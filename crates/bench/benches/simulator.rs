@@ -1,0 +1,110 @@
+//! Criterion microbenchmarks of the simulator stack itself: functional
+//! emulation throughput, cycle-level simulation throughput per mode, and
+//! the hot single structures (IRB lookups, cache accesses, predictor
+//! updates). These guard the harness against performance regressions —
+//! the figure binaries run millions of simulated cycles.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use redsim_core::{ExecMode, MachineConfig, Simulator, VecSource};
+use redsim_irb::{IrbConfig, IrbEntry, ReuseBuffer};
+use redsim_mem::{Hierarchy, HierarchyConfig};
+use redsim_predictor::{Bimodal, DirectionPredictor};
+use redsim_workloads::Workload;
+
+fn emulator_throughput(c: &mut Criterion) {
+    let w = Workload::Gzip;
+    let program = w.program(w.tiny_params()).unwrap();
+    let len = {
+        let mut e = redsim_isa::emu::Emulator::new(&program);
+        e.run(100_000_000).unwrap()
+    };
+    let mut g = c.benchmark_group("emulator");
+    g.throughput(Throughput::Elements(len));
+    g.bench_function("gzip_tiny", |b| {
+        b.iter(|| {
+            let mut e = redsim_isa::emu::Emulator::new(&program);
+            black_box(e.run(100_000_000).unwrap())
+        });
+    });
+    g.finish();
+}
+
+fn simulation_throughput(c: &mut Criterion) {
+    let w = Workload::Gzip;
+    let program = w.program(w.tiny_params()).unwrap();
+    let trace = redsim_isa::emu::Emulator::new(&program)
+        .run_trace(100_000_000)
+        .unwrap();
+    let cfg = MachineConfig::paper_baseline();
+    let mut g = c.benchmark_group("simulator");
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    for mode in [ExecMode::Sie, ExecMode::Die, ExecMode::DieIrb] {
+        g.bench_function(format!("{mode:?}_gzip_tiny"), |b| {
+            b.iter(|| {
+                let mut src = VecSource::new(trace.clone());
+                black_box(
+                    Simulator::new(cfg.clone(), mode)
+                        .run_source(&mut src)
+                        .unwrap(),
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+fn irb_operations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("irb");
+    g.bench_function("lookup_insert_1024dm", |b| {
+        let mut irb = ReuseBuffer::new(IrbConfig::paper_baseline());
+        let mut pc = 0x1000u64;
+        b.iter(|| {
+            pc = pc.wrapping_add(8) & 0xfff8;
+            irb.insert(IrbEntry {
+                pc,
+                op1: pc,
+                op2: 3,
+                result: pc + 3,
+            });
+            black_box(irb.lookup(pc.wrapping_sub(64)))
+        });
+    });
+    g.finish();
+}
+
+fn cache_accesses(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache");
+    g.bench_function("hierarchy_streaming", |b| {
+        let mut h = Hierarchy::new(HierarchyConfig::paper_baseline());
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = addr.wrapping_add(64) & 0xf_ffff;
+            black_box(h.read_data(addr))
+        });
+    });
+    g.finish();
+}
+
+fn predictor_updates(c: &mut Criterion) {
+    let mut g = c.benchmark_group("predictor");
+    g.bench_function("bimodal_train_predict", |b| {
+        let mut p = Bimodal::new(4096);
+        let mut pc = 0u64;
+        b.iter(|| {
+            pc = pc.wrapping_add(8);
+            let t = pc & 16 != 0;
+            p.update(pc, t);
+            black_box(p.predict(pc))
+        });
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = emulator_throughput, simulation_throughput, irb_operations,
+              cache_accesses, predictor_updates
+}
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Figure 2: percentage IPC loss with respect to SIE for the base DIE
+//! and the seven resource-doubled DIE configurations, across the twelve
+//! workloads plus the mean.
+//!
+//! Expected shape (paper §2.2): the base DIE loses 1–43% (~22% mean);
+//! `2xALU` is the single most effective doubling; doubling all three
+//! resources (`2xALU-2xRUU-2xWidths`) brings DIE back to roughly SIE.
+
+use redsim_bench::{ipc, mean, pct, Harness, Table};
+use redsim_core::{ExecMode, MachineConfig};
+use redsim_workloads::Workload;
+
+fn main() {
+    let mut h = Harness::from_args();
+    let base = MachineConfig::paper_baseline();
+    let configs: Vec<(&str, MachineConfig)> = vec![
+        ("DIE", base.clone()),
+        ("DIE-2xALU", base.clone().with_double_alus()),
+        ("DIE-2xRUU", base.clone().with_double_ruu()),
+        ("DIE-2xWidths", base.clone().with_double_widths()),
+        (
+            "DIE-2xALU-2xRUU",
+            base.clone().with_double_alus().with_double_ruu(),
+        ),
+        (
+            "DIE-2xALU-2xWidths",
+            base.clone().with_double_alus().with_double_widths(),
+        ),
+        (
+            "DIE-2xRUU-2xWidths",
+            base.clone().with_double_ruu().with_double_widths(),
+        ),
+        (
+            "DIE-2xALU-2xRUU-2xWidths",
+            base.clone()
+                .with_double_alus()
+                .with_double_ruu()
+                .with_double_widths(),
+        ),
+    ];
+
+    let mut header: Vec<String> = vec!["app".into(), "SIE-IPC".into()];
+    header.extend(configs.iter().map(|(n, _)| format!("{n} loss")));
+    let mut table = Table::new(header);
+
+    let mut losses: Vec<Vec<f64>> = vec![Vec::new(); configs.len()];
+    for w in Workload::ALL {
+        let sie = h.run(w, ExecMode::Sie, &base);
+        let mut cells = vec![w.name().to_owned(), ipc(sie.ipc())];
+        for (i, (_, cfg)) in configs.iter().enumerate() {
+            let die = h.run(w, ExecMode::Die, cfg);
+            let loss = die.ipc_loss_vs(&sie);
+            losses[i].push(loss);
+            cells.push(pct(loss));
+        }
+        table.row(cells);
+    }
+    let mut cells = vec!["mean".to_owned(), String::new()];
+    cells.extend(losses.iter().map(|l| pct(mean(l))));
+    table.row(cells);
+
+    println!("Figure 2: % IPC loss with respect to SIE");
+    println!("(quick mode: {})\n", h.is_quick());
+    print!("{}", table.render());
+}

@@ -1,0 +1,50 @@
+//! The clustered alternative (§3): give the duplicate stream its own
+//! replicated functional-unit cluster instead of an IRB. The paper
+//! rejects this as "bordering on spatial redundancy" — those replicated
+//! units could have sped up SIE instead. This table quantifies the
+//! argument: DIE-Cluster is compared both against DIE-IRB (which spends
+//! almost no hardware) and against SIE-2xALU (what the same transistors
+//! buy without redundancy).
+
+use redsim_bench::{ipc, mean, Harness, Table};
+use redsim_core::{ExecMode, MachineConfig};
+use redsim_workloads::Workload;
+
+fn main() {
+    let mut h = Harness::from_args();
+    let base = MachineConfig::paper_baseline();
+    let twoalu = base.clone().with_double_alus();
+
+    let mut table = Table::new(vec![
+        "app",
+        "SIE",
+        "DIE",
+        "DIE-IRB",
+        "DIE-Cluster",
+        "SIE-2xALU",
+    ]);
+    let mut cols: [Vec<f64>; 5] = Default::default();
+    for w in Workload::ALL {
+        let runs = [
+            h.run(w, ExecMode::Sie, &base),
+            h.run(w, ExecMode::Die, &base),
+            h.run(w, ExecMode::DieIrb, &base),
+            h.run(w, ExecMode::DieCluster, &base),
+            h.run(w, ExecMode::Sie, &twoalu),
+        ];
+        let mut cells = vec![w.name().to_owned()];
+        for (c, s) in cols.iter_mut().zip(&runs) {
+            c.push(s.ipc());
+            cells.push(ipc(s.ipc()));
+        }
+        table.row(cells);
+    }
+    let mut cells = vec!["mean".to_owned()];
+    cells.extend(cols.iter().map(|c| ipc(mean(c))));
+    table.row(cells);
+
+    println!("Clustered DIE vs DIE-IRB vs what the transistors buy in SIE (§3)");
+    println!("(cluster: replicated 4/2/2/1 FUs + {}-cycle inter-cluster data delay, quick mode: {})\n",
+             base.cluster_delay, h.is_quick());
+    print!("{}", table.render());
+}

@@ -1,0 +1,53 @@
+//! Fidelity ablation: how much do the optional model refinements —
+//! wrong-path I-cache pollution and store-to-load forwarding — move the
+//! results the paper cares about? Both effects apply to SIE and DIE
+//! alike, so the *relative* DIE loss should be nearly invariant.
+
+use redsim_bench::{ipc, mean, pct, Harness, Table};
+use redsim_core::{ExecMode, MachineConfig};
+use redsim_workloads::Workload;
+
+fn main() {
+    let mut h = Harness::from_args();
+    let base = MachineConfig::paper_baseline();
+    let mut full = base.clone();
+    full.wrong_path_fetch = true;
+    full.stl_forwarding = true;
+
+    let mut table = Table::new(vec![
+        "app",
+        "SIE base",
+        "SIE full-fidelity",
+        "DIE loss base",
+        "DIE loss full-fidelity",
+    ]);
+    let (mut base_loss, mut full_loss) = (Vec::new(), Vec::new());
+    for w in Workload::ALL {
+        let sie_b = h.run(w, ExecMode::Sie, &base);
+        let die_b = h.run(w, ExecMode::Die, &base);
+        let sie_f = h.run(w, ExecMode::Sie, &full);
+        let die_f = h.run(w, ExecMode::Die, &full);
+        let lb = die_b.ipc_loss_vs(&sie_b);
+        let lf = die_f.ipc_loss_vs(&sie_f);
+        base_loss.push(lb);
+        full_loss.push(lf);
+        table.row(vec![
+            w.name().to_owned(),
+            ipc(sie_b.ipc()),
+            ipc(sie_f.ipc()),
+            pct(lb),
+            pct(lf),
+        ]);
+    }
+    table.row(vec![
+        "mean".to_owned(),
+        String::new(),
+        String::new(),
+        pct(mean(&base_loss)),
+        pct(mean(&full_loss)),
+    ]);
+
+    println!("Fidelity ablation: wrong-path i-fetch + store-to-load forwarding");
+    println!("(quick mode: {})\n", h.is_quick());
+    print!("{}", table.render());
+}

@@ -1,0 +1,48 @@
+//! Ablation G (§3.3): value-based vs name-based reuse tests. Name-based
+//! reuse invalidates an entry whenever one of its source registers is
+//! overwritten, avoiding operand comparators — at the cost of hit rate.
+
+use redsim_bench::{ipc, mean, pct, Harness, Table};
+use redsim_core::{ExecMode, MachineConfig};
+use redsim_irb::ReusePolicy;
+use redsim_workloads::Workload;
+
+fn main() {
+    let mut h = Harness::from_args();
+    let value_cfg = MachineConfig::paper_baseline();
+    let mut name_cfg = value_cfg.clone();
+    name_cfg.irb.policy = ReusePolicy::Name;
+
+    let mut table = Table::new(vec![
+        "app",
+        "value IPC",
+        "value pass",
+        "name IPC",
+        "name pass",
+    ]);
+    let (mut v_ipc, mut n_ipc) = (Vec::new(), Vec::new());
+    for w in Workload::ALL {
+        let v = h.run(w, ExecMode::DieIrb, &value_cfg);
+        let n = h.run(w, ExecMode::DieIrb, &name_cfg);
+        v_ipc.push(v.ipc());
+        n_ipc.push(n.ipc());
+        table.row(vec![
+            w.name().to_owned(),
+            ipc(v.ipc()),
+            pct(v.irb.reuse_pass_rate() * 100.0),
+            ipc(n.ipc()),
+            pct(n.irb.reuse_pass_rate() * 100.0),
+        ]);
+    }
+    table.row(vec![
+        "mean".to_owned(),
+        ipc(mean(&v_ipc)),
+        String::new(),
+        ipc(mean(&n_ipc)),
+        String::new(),
+    ]);
+
+    println!("Value-based vs name-based reuse (Ablation G, §3.3)");
+    println!("(quick mode: {})\n", h.is_quick());
+    print!("{}", table.render());
+}

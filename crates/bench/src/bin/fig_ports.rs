@@ -1,0 +1,74 @@
+//! Reconstructed Fig. D: DIE-IRB sensitivity to IRB port provisioning.
+//! The paper argues (§3.2) that modest ports suffice because only the
+//! duplicate stream reads the IRB and the effective dispatch rate of a
+//! DIE core is half that of SIE.
+
+use redsim_bench::{ipc, mean, Harness, Table};
+use redsim_core::{ExecMode, MachineConfig};
+use redsim_irb::PortConfig;
+use redsim_workloads::Workload;
+
+fn main() {
+    let mut h = Harness::from_args();
+    let base = MachineConfig::paper_baseline();
+    let ports: Vec<(&str, PortConfig)> = vec![
+        (
+            "1R/1W",
+            PortConfig {
+                read: 1,
+                write: 1,
+                read_write: 0,
+            },
+        ),
+        (
+            "2R/1W",
+            PortConfig {
+                read: 2,
+                write: 1,
+                read_write: 0,
+            },
+        ),
+        (
+            "2R/2W",
+            PortConfig {
+                read: 2,
+                write: 2,
+                read_write: 0,
+            },
+        ),
+        ("4R/2W/2RW", PortConfig::paper_baseline()),
+        (
+            "8R/4W",
+            PortConfig {
+                read: 8,
+                write: 4,
+                read_write: 0,
+            },
+        ),
+        ("unlimited", PortConfig::unlimited()),
+    ];
+
+    let mut header: Vec<String> = vec!["app".into()];
+    header.extend(ports.iter().map(|(n, _)| (*n).to_owned()));
+    let mut table = Table::new(header);
+
+    let mut per_port: Vec<Vec<f64>> = vec![Vec::new(); ports.len()];
+    for w in Workload::ALL {
+        let mut cells = vec![w.name().to_owned()];
+        for (i, (_, pc)) in ports.iter().enumerate() {
+            let mut cfg = base.clone();
+            cfg.irb.ports = *pc;
+            let s = h.run(w, ExecMode::DieIrb, &cfg);
+            per_port[i].push(s.ipc());
+            cells.push(ipc(s.ipc()));
+        }
+        table.row(cells);
+    }
+    let mut cells = vec!["mean".to_owned()];
+    cells.extend(per_port.iter().map(|v| ipc(mean(v))));
+    table.row(cells);
+
+    println!("DIE-IRB IPC vs IRB port provisioning (reconstructed Fig. D)");
+    println!("(quick mode: {})\n", h.is_quick());
+    print!("{}", table.render());
+}

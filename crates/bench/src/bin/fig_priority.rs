@@ -1,0 +1,49 @@
+//! Scheduling-vs-reuse ablation: how much of DIE-IRB's gain comes from
+//! giving the primary stream issue priority (a scheduling policy that
+//! needs no IRB at all) versus from the reuse bypass itself.
+//!
+//! Configurations: plain DIE (symmetric oldest-first), DIE with
+//! primary-first selection but no IRB, and full DIE-IRB.
+
+use redsim_bench::{ipc, mean, Harness, Table};
+use redsim_core::{ExecMode, IssuePolicy, MachineConfig};
+use redsim_workloads::Workload;
+
+fn main() {
+    let mut h = Harness::from_args();
+    let base = MachineConfig::paper_baseline();
+    let mut priority = base.clone();
+    priority.issue_policy = IssuePolicy::PrimaryFirst;
+
+    let mut table = Table::new(vec![
+        "app",
+        "SIE",
+        "DIE",
+        "DIE+priority",
+        "DIE-IRB",
+    ]);
+    let mut cols: [Vec<f64>; 4] = Default::default();
+    for w in Workload::ALL {
+        let sie = h.run(w, ExecMode::Sie, &base);
+        let die = h.run(w, ExecMode::Die, &base);
+        let die_prio = h.run(w, ExecMode::Die, &priority);
+        let die_irb = h.run(w, ExecMode::DieIrb, &base);
+        for (c, s) in cols.iter_mut().zip([&sie, &die, &die_prio, &die_irb]) {
+            c.push(s.ipc());
+        }
+        table.row(vec![
+            w.name().to_owned(),
+            ipc(sie.ipc()),
+            ipc(die.ipc()),
+            ipc(die_prio.ipc()),
+            ipc(die_irb.ipc()),
+        ]);
+    }
+    let mut cells = vec!["mean".to_owned()];
+    cells.extend(cols.iter().map(|c| ipc(mean(c))));
+    table.row(cells);
+
+    println!("Scheduling vs reuse: where DIE-IRB's gain comes from");
+    println!("(quick mode: {})\n", h.is_quick());
+    print!("{}", table.render());
+}

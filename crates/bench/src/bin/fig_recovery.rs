@@ -1,0 +1,88 @@
+//! The headline result (reconstructed Fig. A): IPC of SIE, DIE, DIE-IRB
+//! and DIE-2xALU per workload, with the fraction of the ALU-bandwidth
+//! loss (the DIE → DIE-2xALU gap) and of the overall loss (DIE → SIE)
+//! that the IRB wins back.
+//!
+//! Paper claims (abstract): DIE-IRB regains ~50% of the ALU-bandwidth
+//! IPC loss and ~23% of the overall IPC loss, on average.
+//!
+//! `--forwarding per-stream` runs the ablation where the IRB keeps
+//! per-stream forwarding (the issue-window complexity the paper avoids).
+
+use redsim_bench::{ipc, mean, pct, Harness, Table};
+use redsim_core::{ExecMode, ForwardingPolicy, MachineConfig};
+use redsim_workloads::Workload;
+
+fn main() {
+    let per_stream = {
+        let args: Vec<String> = std::env::args().collect();
+        args.windows(2)
+            .any(|w| w[0] == "--forwarding" && w[1] == "per-stream")
+    };
+    let mut h = Harness::from_args();
+    let mut base = MachineConfig::paper_baseline();
+    if per_stream {
+        base.forwarding = ForwardingPolicy::PerStream;
+    }
+    let twoalu = base.clone().with_double_alus();
+
+    let mut table = Table::new(vec![
+        "app",
+        "SIE",
+        "DIE",
+        "DIE-IRB",
+        "DIE-2xALU",
+        "alu-loss-recovered",
+        "overall-loss-recovered",
+    ]);
+    let (mut alu_rec, mut all_rec) = (Vec::new(), Vec::new());
+    let (mut die_losses, mut irb_losses) = (Vec::new(), Vec::new());
+    for w in Workload::ALL {
+        let sie = h.run(w, ExecMode::Sie, &base);
+        let die = h.run(w, ExecMode::Die, &base);
+        let irb = h.run(w, ExecMode::DieIrb, &base);
+        let die2x = h.run(w, ExecMode::Die, &twoalu);
+        let alu_gap = die2x.ipc() - die.ipc();
+        let overall_gap = sie.ipc() - die.ipc();
+        let a = if alu_gap > 1e-9 {
+            (irb.ipc() - die.ipc()) / alu_gap * 100.0
+        } else {
+            0.0
+        };
+        let o = if overall_gap > 1e-9 {
+            (irb.ipc() - die.ipc()) / overall_gap * 100.0
+        } else {
+            0.0
+        };
+        alu_rec.push(a);
+        all_rec.push(o);
+        die_losses.push(die.ipc_loss_vs(&sie));
+        irb_losses.push(irb.ipc_loss_vs(&sie));
+        table.row(vec![
+            w.name().to_owned(),
+            ipc(sie.ipc()),
+            ipc(die.ipc()),
+            ipc(irb.ipc()),
+            ipc(die2x.ipc()),
+            pct(a),
+            pct(o),
+        ]);
+    }
+    table.row(vec![
+        "mean".to_owned(),
+        String::new(),
+        pct(mean(&die_losses)) + " loss",
+        pct(mean(&irb_losses)) + " loss",
+        String::new(),
+        pct(mean(&alu_rec)),
+        pct(mean(&all_rec)),
+    ]);
+
+    println!("Headline recovery (reconstructed Fig. A): SIE vs DIE vs DIE-IRB vs DIE-2xALU");
+    println!(
+        "(forwarding: {}, quick mode: {})\n",
+        if per_stream { "per-stream" } else { "primary-to-both" },
+        h.is_quick()
+    );
+    print!("{}", table.render());
+}

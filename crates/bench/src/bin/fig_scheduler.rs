@@ -1,0 +1,54 @@
+//! §3.3's scheduler discussion, measured: the data-capture issue window
+//! (reuse test in parallel with operand capture), the pipelined
+//! non-data-capture adaptation (reuse test one cycle after wakeup,
+//! following the register-file read), and the naive non-data-capture
+//! design where a passing reuse test wastes the already-allocated
+//! functional unit — forfeiting the bandwidth benefit entirely.
+
+use redsim_bench::{ipc, mean, Harness, Table};
+use redsim_core::{ExecMode, MachineConfig, SchedulerModel};
+use redsim_workloads::Workload;
+
+fn main() {
+    let mut h = Harness::from_args();
+    let base = MachineConfig::paper_baseline();
+    let models = [
+        ("data-capture", SchedulerModel::DataCapture),
+        ("ndc-pipelined", SchedulerModel::NonDataCapturePipelined),
+        ("ndc-naive", SchedulerModel::NonDataCaptureNaive),
+    ];
+
+    let mut header: Vec<String> = vec!["app".into(), "DIE".into()];
+    for (n, _) in &models {
+        header.push(format!("{n} IPC"));
+        header.push(format!("{n} bypass"));
+    }
+    let mut table = Table::new(header);
+
+    let mut per_model: Vec<Vec<f64>> = vec![Vec::new(); models.len()];
+    let mut die_col = Vec::new();
+    for w in Workload::ALL {
+        let die = h.run(w, ExecMode::Die, &base);
+        die_col.push(die.ipc());
+        let mut cells = vec![w.name().to_owned(), ipc(die.ipc())];
+        for (i, (_, m)) in models.iter().enumerate() {
+            let mut cfg = base.clone();
+            cfg.scheduler = *m;
+            let s = h.run(w, ExecMode::DieIrb, &cfg);
+            per_model[i].push(s.ipc());
+            cells.push(ipc(s.ipc()));
+            cells.push(s.fu_bypasses.to_string());
+        }
+        table.row(cells);
+    }
+    let mut cells = vec!["mean".to_owned(), ipc(mean(&die_col))];
+    for v in &per_model {
+        cells.push(ipc(mean(v)));
+        cells.push(String::new());
+    }
+    table.row(cells);
+
+    println!("DIE-IRB under the three scheduler models of §3.3");
+    println!("(quick mode: {})\n", h.is_quick());
+    print!("{}", table.render());
+}

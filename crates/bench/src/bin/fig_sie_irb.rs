@@ -1,0 +1,50 @@
+//! Ablation H: the same IRB attached to SIE vs to DIE. Reproduces the
+//! observation (Sodani & Sohi via Citron et al., recounted in §1) that
+//! bandwidth amplification barely helps a balanced single-stream core,
+//! while it strongly helps the overloaded DIE core — the paper's reason
+//! for revisiting instruction reuse.
+
+use redsim_bench::{mean, pct, Harness, Table};
+use redsim_core::{ExecMode, MachineConfig};
+use redsim_workloads::Workload;
+
+fn main() {
+    let mut h = Harness::from_args();
+    let base = MachineConfig::paper_baseline();
+
+    let mut longlat = base.clone();
+    longlat.reuse_long_latency_only = true;
+
+    let mut table = Table::new(vec![
+        "app",
+        "SIE-IRB speedup over SIE",
+        "SIE-IRB (long-latency ops only)",
+        "DIE-IRB speedup over DIE",
+    ]);
+    let (mut sie_gain, mut sie_ll_gain, mut die_gain) =
+        (Vec::new(), Vec::new(), Vec::new());
+    for w in Workload::ALL {
+        let sie = h.run(w, ExecMode::Sie, &base);
+        let sie_irb = h.run(w, ExecMode::SieIrb, &base);
+        let sie_irb_ll = h.run(w, ExecMode::SieIrb, &longlat);
+        let die = h.run(w, ExecMode::Die, &base);
+        let die_irb = h.run(w, ExecMode::DieIrb, &base);
+        let s = (sie_irb.ipc() / sie.ipc() - 1.0) * 100.0;
+        let sl = (sie_irb_ll.ipc() / sie.ipc() - 1.0) * 100.0;
+        let d = (die_irb.ipc() / die.ipc() - 1.0) * 100.0;
+        sie_gain.push(s);
+        sie_ll_gain.push(sl);
+        die_gain.push(d);
+        table.row(vec![w.name().to_owned(), pct(s), pct(sl), pct(d)]);
+    }
+    table.row(vec![
+        "mean".to_owned(),
+        pct(mean(&sie_gain)),
+        pct(mean(&sie_ll_gain)),
+        pct(mean(&die_gain)),
+    ]);
+
+    println!("IRB on SIE vs IRB on DIE (Ablation H)");
+    println!("(quick mode: {})\n", h.is_quick());
+    print!("{}", table.render());
+}

@@ -1,0 +1,42 @@
+//! Reconstructed Fig. C: DIE-IRB IPC sensitivity to IRB capacity
+//! (64–4096 entries, direct-mapped), against the DIE and SIE anchors.
+
+use redsim_bench::{ipc, mean, Harness, Table};
+use redsim_core::{ExecMode, MachineConfig};
+use redsim_workloads::Workload;
+
+const SIZES: [usize; 8] = [16, 32, 64, 128, 256, 512, 1024, 4096];
+
+fn main() {
+    let mut h = Harness::from_args();
+    let base = MachineConfig::paper_baseline();
+
+    let mut header: Vec<String> = vec!["app".into(), "DIE".into()];
+    header.extend(SIZES.iter().map(|s| format!("IRB-{s}")));
+    header.push("SIE".into());
+    let mut table = Table::new(header);
+
+    let mut per_size: Vec<Vec<f64>> = vec![Vec::new(); SIZES.len()];
+    for w in Workload::ALL {
+        let die = h.run(w, ExecMode::Die, &base);
+        let sie = h.run(w, ExecMode::Sie, &base);
+        let mut cells = vec![w.name().to_owned(), ipc(die.ipc())];
+        for (i, &entries) in SIZES.iter().enumerate() {
+            let mut cfg = base.clone();
+            cfg.irb.entries = entries;
+            let s = h.run(w, ExecMode::DieIrb, &cfg);
+            per_size[i].push(s.ipc());
+            cells.push(ipc(s.ipc()));
+        }
+        cells.push(ipc(sie.ipc()));
+        table.row(cells);
+    }
+    let mut cells = vec!["mean".to_owned(), String::new()];
+    cells.extend(per_size.iter().map(|v| ipc(mean(v))));
+    cells.push(String::new());
+    table.row(cells);
+
+    println!("DIE-IRB IPC vs IRB capacity (reconstructed Fig. C)");
+    println!("(quick mode: {})\n", h.is_quick());
+    print!("{}", table.render());
+}

@@ -1,0 +1,239 @@
+#![warn(missing_docs)]
+
+//! # redsim-bench
+//!
+//! The experiment harness: every table and figure of the DIE-IRB paper
+//! has a regeneration binary in `src/bin/` built on the helpers here.
+//!
+//! | Binary | Regenerates |
+//! |--------|-------------|
+//! | `fig2`             | Figure 2 — % IPC loss vs SIE for the 8 DIE resource configs |
+//! | `table_config`     | the §4 base-machine configuration table |
+//! | `fig_recovery`     | the headline SIE / DIE / DIE-IRB / DIE-2xALU comparison |
+//! | `fig_hitrate`      | IRB PC-hit and reuse-test pass rates per workload |
+//! | `fig_size_sweep`   | DIE-IRB sensitivity to IRB capacity |
+//! | `fig_ports`        | DIE-IRB sensitivity to IRB port provisioning |
+//! | `fig_conflict`     | conflict-miss reduction (victim buffer / associativity) |
+//! | `fig_faults`       | fault-injection detection coverage (§3.4 scenarios) |
+//! | `fig_name_vs_value`| value-based vs name-based reuse test |
+//! | `fig_sie_irb`      | IRB on SIE vs IRB on DIE (why DIE benefits more) |
+//! | `fig_priority`     | scheduling-vs-reuse ablation of DIE-IRB's gain |
+//! | `fig_cluster`      | the clustered alternative of §3 vs DIE-IRB vs SIE-2xALU |
+//! | `fig_scheduler`    | §3.3's data-capture vs non-data-capture reuse tests |
+//! | `fig_fidelity`     | wrong-path fetch + store-to-load forwarding sensitivity |
+//!
+//! All binaries accept `--quick` (or the env var `REDSIM_QUICK=1`) to run
+//! the tiny workload instances, and print aligned text tables to stdout.
+
+use redsim_core::{ExecMode, MachineConfig, SimStats, Simulator, VecSource};
+use redsim_isa::trace::DynInst;
+use redsim_workloads::{Params, Workload};
+
+/// Harness context: workload sizing and per-workload trace caching.
+#[derive(Debug, Default)]
+pub struct Harness {
+    quick: bool,
+    cached: Option<(Workload, Params, Vec<DynInst>)>,
+}
+
+impl Harness {
+    /// Creates a harness; `--quick` in `args` or `REDSIM_QUICK=1` in the
+    /// environment selects the tiny workload instances.
+    #[must_use]
+    pub fn from_args() -> Self {
+        let quick = std::env::args().any(|a| a == "--quick")
+            || std::env::var_os("REDSIM_QUICK").is_some();
+        Harness {
+            quick,
+            cached: None,
+        }
+    }
+
+    /// Creates a quick-mode harness (used by the smoke bench).
+    #[must_use]
+    pub fn quick() -> Self {
+        Harness {
+            quick: true,
+            cached: None,
+        }
+    }
+
+    /// Whether quick mode is on.
+    #[must_use]
+    pub fn is_quick(&self) -> bool {
+        self.quick
+    }
+
+    /// The workload parameters this harness runs.
+    #[must_use]
+    pub fn params(&self, w: Workload) -> Params {
+        if self.quick {
+            w.tiny_params()
+        } else {
+            w.default_params()
+        }
+    }
+
+    /// The committed-path trace of a workload, cached so that sweeps
+    /// re-run the timing model over the identical instruction stream.
+    pub fn trace(&mut self, w: Workload) -> Vec<DynInst> {
+        let params = self.params(w);
+        if let Some((cw, cp, t)) = &self.cached {
+            if *cw == w && *cp == params {
+                return t.clone();
+            }
+        }
+        let program = w.program(params).expect("workload kernels assemble");
+        let mut emu = redsim_isa::emu::Emulator::new(&program);
+        let trace = emu.run_trace(200_000_000).expect("workload kernels halt");
+        self.cached = Some((w, params, trace.clone()));
+        trace
+    }
+
+    /// Runs one workload under one mode and machine configuration.
+    pub fn run(&mut self, w: Workload, mode: ExecMode, cfg: &MachineConfig) -> SimStats {
+        let trace = self.trace(w);
+        let mut source = VecSource::new(trace);
+        Simulator::new(cfg.clone(), mode)
+            .run_source(&mut source)
+            .expect("simulation completes")
+    }
+}
+
+/// Arithmetic mean.
+#[must_use]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// A fixed-width text table printer for the figure binaries.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with column headers.
+    #[must_use]
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (must match the header arity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from the header length.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for i in 0..cols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let cell = &cells[i];
+                // Right-align numeric-looking cells, left-align labels.
+                let numeric = cell
+                    .chars()
+                    .all(|ch| ch.is_ascii_digit() || "+-.%x".contains(ch));
+                if numeric && i > 0 {
+                    line.push_str(&format!("{cell:>w$}", w = widths[i]));
+                } else {
+                    line.push_str(&format!("{cell:<w$}", w = widths[i]));
+                }
+            }
+            line
+        };
+        let mut out = fmt_row(&self.header);
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a ratio as a percentage with one decimal.
+#[must_use]
+pub fn pct(x: f64) -> String {
+    format!("{x:.1}%")
+}
+
+/// Formats an IPC with three decimals.
+#[must_use]
+pub fn ipc(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(vec!["app", "ipc"]);
+        t.row(vec!["gzip", "1.234"]);
+        t.row(vec!["a", "2.0"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("app"));
+        assert!(lines[1].starts_with("---"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only one"]);
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+
+    #[test]
+    fn harness_trace_is_cached_and_stable() {
+        let mut h = Harness::quick();
+        let a = h.trace(Workload::Gzip);
+        let b = h.trace(Workload::Gzip);
+        assert_eq!(a.len(), b.len());
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn harness_run_produces_stats() {
+        let mut h = Harness::quick();
+        let cfg = MachineConfig::paper_baseline();
+        let s = h.run(Workload::Gzip, ExecMode::Sie, &cfg);
+        assert!(s.ipc() > 0.0);
+    }
+}

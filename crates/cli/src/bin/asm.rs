@@ -1,0 +1,48 @@
+//! `redsim-asm` — assemble redsim assembly into a `.rprog` container.
+//!
+//! ```text
+//! redsim-asm <input.s> [--out <file.rprog>] [--list]
+//! ```
+//!
+//! `--list` prints the disassembly listing instead of writing a file.
+
+use redsim_cli::{die, usage, Args};
+use redsim_isa::{container, disasm};
+
+fn main() {
+    let args = Args::from_env();
+    let Some(input) = args.positional().first() else {
+        usage("usage: redsim-asm <input.s> [--out <file.rprog>] [--list]");
+    };
+    let src = match std::fs::read_to_string(input) {
+        Ok(s) => s,
+        Err(e) => die(&format!("{input}: {e}")),
+    };
+    let program = match redsim_isa::asm::assemble(&src) {
+        Ok(p) => p,
+        Err(e) => die(&format!("{input}:{e}")),
+    };
+    if args.has("--list") {
+        print!("{}", disasm::listing(&program));
+        return;
+    }
+    let out = args
+        .value_of("--out")
+        .map(str::to_owned)
+        .unwrap_or_else(|| {
+            input
+                .strip_suffix(".s")
+                .unwrap_or(input)
+                .to_owned()
+                + ".rprog"
+        });
+    if let Err(e) = std::fs::write(&out, container::to_bytes(&program)) {
+        die(&format!("{out}: {e}"));
+    }
+    println!(
+        "{out}: {} instructions, {} data bytes, entry {:#x}",
+        program.text().len(),
+        program.data().len(),
+        program.entry()
+    );
+}

@@ -1,0 +1,215 @@
+//! `redsim-sim` — run the cycle-level simulator.
+//!
+//! ```text
+//! redsim-sim <prog.s|prog.rprog>            run a program
+//! redsim-sim --trace <file.rtrc>            replay a captured trace
+//! redsim-sim --workload <name> [--scale n]  run a built-in workload
+//!
+//! options:
+//!   --mode sie|die|die-irb|sie-irb|die-cluster   (default: sie)
+//!   --double-alus --double-ruu --double-widths   Figure-2 knobs
+//!   --irb-entries <n>                            IRB capacity
+//!   --forwarding shared|per-stream               §3.3 wakeup policy
+//!   --fault-fu <rate> --fault-irb <rate> --fault-bus <rate> --seed <s>
+//!   --wrong-path                                 model wrong-path i-fetch
+//!   --stl-forwarding                             store-to-load forwarding
+//!   --compare                                    run SIE, DIE and DIE-IRB
+//!   --budget <n>
+//! ```
+
+use redsim_cli::{die, load_program, usage, Args};
+use redsim_core::{
+    ExecMode, FaultConfig, ForwardingPolicy, MachineConfig, SimStats, Simulator, VecSource,
+};
+use redsim_workloads::{Params, Workload};
+
+fn mode_of(s: &str) -> Option<ExecMode> {
+    Some(match s {
+        "sie" => ExecMode::Sie,
+        "die" => ExecMode::Die,
+        "die-irb" => ExecMode::DieIrb,
+        "sie-irb" => ExecMode::SieIrb,
+        "die-cluster" => ExecMode::DieCluster,
+        _ => return None,
+    })
+}
+
+fn build_config(args: &Args) -> Result<MachineConfig, String> {
+    let mut cfg = MachineConfig::paper_baseline();
+    if args.has("--double-alus") {
+        cfg = cfg.with_double_alus();
+    }
+    if args.has("--double-ruu") {
+        cfg = cfg.with_double_ruu();
+    }
+    if args.has("--double-widths") {
+        cfg = cfg.with_double_widths();
+    }
+    if let Some(n) = args.value_of("--irb-entries") {
+        cfg.irb.entries = n.parse().map_err(|_| format!("bad --irb-entries `{n}`"))?;
+    }
+    match args.value_of("--forwarding") {
+        None | Some("shared") => {}
+        Some("per-stream") => cfg.forwarding = ForwardingPolicy::PerStream,
+        Some(other) => return Err(format!("bad --forwarding `{other}`")),
+    }
+    if args.has("--wrong-path") {
+        cfg.wrong_path_fetch = true;
+    }
+    if args.has("--stl-forwarding") {
+        cfg.stl_forwarding = true;
+    }
+    Ok(cfg)
+}
+
+fn print_stats(mode: ExecMode, stats: &SimStats) {
+    println!("mode:                {mode:?}");
+    println!("instructions:        {}", stats.committed_insts);
+    println!("copies committed:    {}", stats.committed_copies);
+    println!("cycles:              {}", stats.cycles);
+    println!("IPC:                 {:.4}", stats.ipc());
+    println!(
+        "branch mispredicts:  {} ({:.2}% of conditional branches)",
+        stats.branches.cond_mispredicts,
+        stats.branches.cond_mispredict_rate() * 100.0
+    );
+    println!(
+        "L1D miss rate:       {:.2}%   L2 miss rate: {:.2}%",
+        stats.l1d.miss_rate() * 100.0,
+        stats.l2.miss_rate() * 100.0
+    );
+    if mode.has_irb() {
+        println!(
+            "IRB:                 {:.1}% pc-hit, {:.1}% reuse-pass, {} bypasses",
+            stats.irb.buffer.hit_rate() * 100.0,
+            stats.irb.reuse_pass_rate() * 100.0,
+            stats.fu_bypasses
+        );
+    }
+    if mode.is_dual() {
+        println!(
+            "pairs checked:       {} ({} mismatches)",
+            stats.pairs_checked, stats.pair_mismatches
+        );
+    }
+    if stats.faults.injected_fu + stats.faults.injected_forward + stats.faults.injected_irb > 0 {
+        println!(
+            "faults:              {} injected, {} detected, {} escaped, {} silent",
+            stats.faults.injected_fu + stats.faults.injected_forward + stats.faults.injected_irb,
+            stats.faults.detected,
+            stats.faults.escaped,
+            stats.faults.silent_sie
+        );
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    if args.has("--compare") {
+        return compare(&args);
+    }
+    let mode = match args.value_of("--mode") {
+        None => ExecMode::Sie,
+        Some(m) => mode_of(m).unwrap_or_else(|| die(&format!("unknown mode `{m}`"))),
+    };
+    let cfg = build_config(&args).unwrap_or_else(|e| die(&e));
+    let budget = args
+        .parsed_or("--budget", 200_000_000u64)
+        .unwrap_or_else(|e| die(&e));
+    let faults = FaultConfig {
+        fu_rate: args.parsed_or("--fault-fu", 0.0).unwrap_or_else(|e| die(&e)),
+        irb_rate: args.parsed_or("--fault-irb", 0.0).unwrap_or_else(|e| die(&e)),
+        forward_rate: args.parsed_or("--fault-bus", 0.0).unwrap_or_else(|e| die(&e)),
+        seed: args.parsed_or("--seed", 0u64).unwrap_or_else(|e| die(&e)),
+    };
+    let sim = Simulator::new(cfg, mode)
+        .with_budget(budget)
+        .with_faults(faults);
+
+    let stats = if let Some(trace_path) = args.value_of("--trace") {
+        let file = std::fs::File::open(trace_path)
+            .unwrap_or_else(|e| die(&format!("{trace_path}: {e}")));
+        let trace = redsim_isa::trace_io::read_trace(std::io::BufReader::new(file))
+            .unwrap_or_else(|e| die(&format!("{trace_path}: {e}")));
+        let mut src = VecSource::new(trace);
+        sim.run_source(&mut src)
+    } else if let Some(name) = args.value_of("--workload") {
+        let w = Workload::from_name(name)
+            .unwrap_or_else(|| die(&format!("unknown workload `{name}`; try redsim-workload list")));
+        let scale = args
+            .parsed_or("--scale", w.default_params().scale)
+            .unwrap_or_else(|e| die(&e));
+        let seed = args
+            .parsed_or("--seed", w.default_params().seed)
+            .unwrap_or_else(|e| die(&e));
+        let program = w
+            .program(Params::new(scale, seed))
+            .unwrap_or_else(|e| die(&format!("workload generation failed: {e}")));
+        sim.run_program(&program)
+    } else if let Some(input) = args.positional().first() {
+        let program = load_program(input).unwrap_or_else(|e| die(&e));
+        sim.run_program(&program)
+    } else {
+        usage(
+            "usage: redsim-sim <prog.s|prog.rprog> | --trace <file.rtrc> | --workload <name>\n\
+             run `redsim-sim --help-modes` or see the crate docs for options",
+        );
+    };
+
+    match stats {
+        Ok(s) => print_stats(mode, &s),
+        Err(e) => die(&format!("simulation failed: {e}")),
+    }
+}
+
+/// `--compare`: run SIE, DIE and DIE-IRB over the same input and print
+/// a side-by-side summary.
+fn compare(args: &Args) {
+    let cfg = build_config(args).unwrap_or_else(|e| die(&e));
+    let budget = args
+        .parsed_or("--budget", 200_000_000u64)
+        .unwrap_or_else(|e| die(&e));
+    let trace = if let Some(trace_path) = args.value_of("--trace") {
+        let file = std::fs::File::open(trace_path)
+            .unwrap_or_else(|e| die(&format!("{trace_path}: {e}")));
+        redsim_isa::trace_io::read_trace(std::io::BufReader::new(file))
+            .unwrap_or_else(|e| die(&format!("{trace_path}: {e}")))
+    } else if let Some(name) = args.value_of("--workload") {
+        let w = Workload::from_name(name)
+            .unwrap_or_else(|| die(&format!("unknown workload `{name}`")));
+        let scale = args
+            .parsed_or("--scale", w.default_params().scale)
+            .unwrap_or_else(|e| die(&e));
+        let program = w
+            .program(Params::new(scale, w.default_params().seed))
+            .unwrap_or_else(|e| die(&format!("workload generation failed: {e}")));
+        redsim_isa::emu::Emulator::new(&program)
+            .run_trace(budget)
+            .unwrap_or_else(|e| die(&format!("execution failed: {e}")))
+    } else if let Some(input) = args.positional().first() {
+        let program = load_program(input).unwrap_or_else(|e| die(&e));
+        redsim_isa::emu::Emulator::new(&program)
+            .run_trace(budget)
+            .unwrap_or_else(|e| die(&format!("execution failed: {e}")))
+    } else {
+        die("--compare needs a program, --trace or --workload");
+    };
+    println!("{:<8} {:>12} {:>8} {:>10}", "mode", "cycles", "IPC", "vs SIE");
+    let mut sie_ipc = 0.0;
+    for mode in [ExecMode::Sie, ExecMode::Die, ExecMode::DieIrb] {
+        let mut src = VecSource::new(trace.clone());
+        let stats = Simulator::new(cfg.clone(), mode)
+            .run_source(&mut src)
+            .unwrap_or_else(|e| die(&format!("simulation failed: {e}")));
+        if mode == ExecMode::Sie {
+            sie_ipc = stats.ipc();
+        }
+        println!(
+            "{:<8} {:>12} {:>8.3} {:>9.1}%",
+            format!("{mode:?}"),
+            stats.cycles,
+            stats.ipc(),
+            (stats.ipc() / sie_ipc - 1.0) * 100.0
+        );
+    }
+}

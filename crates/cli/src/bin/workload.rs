@@ -1,0 +1,55 @@
+//! `redsim-workload` — inspect the built-in SPEC CPU2000 stand-ins.
+//!
+//! ```text
+//! redsim-workload list                          table of workloads
+//! redsim-workload emit <name> [--scale n] [--seed s]   print the assembly
+//! redsim-workload mix  <name> [--scale n] [--seed s]   dynamic instruction mix
+//! ```
+
+use redsim_cli::{die, usage, Args};
+use redsim_workloads::{mix::InstMix, Params, Workload};
+
+fn params_for(w: Workload, args: &Args) -> Params {
+    let d = w.default_params();
+    let scale = args.parsed_or("--scale", d.scale).unwrap_or_else(|e| die(&e));
+    let seed = args.parsed_or("--seed", d.seed).unwrap_or_else(|e| die(&e));
+    Params::new(scale, seed)
+}
+
+fn main() {
+    let args = Args::from_env();
+    match args.positional() {
+        [cmd] if cmd == "list" => {
+            println!("{:<10} {:<6} {:>13}  models", "name", "suite", "default-scale");
+            println!("{}", "-".repeat(48));
+            for w in Workload::ALL {
+                println!(
+                    "{:<10} {:<6} {:>13}  SPEC CPU2000 {}",
+                    w.name(),
+                    if w.is_fp() { "fp" } else { "int" },
+                    w.default_params().scale,
+                    w.name()
+                );
+            }
+        }
+        [cmd, name] if cmd == "emit" => {
+            let w = Workload::from_name(name)
+                .unwrap_or_else(|| die(&format!("unknown workload `{name}`")));
+            print!("{}", w.source(params_for(w, &args)));
+        }
+        [cmd, name] if cmd == "mix" => {
+            let w = Workload::from_name(name)
+                .unwrap_or_else(|| die(&format!("unknown workload `{name}`")));
+            let program = w
+                .program(params_for(w, &args))
+                .unwrap_or_else(|e| die(&format!("generation failed: {e}")));
+            match InstMix::from_program(&program, 500_000_000) {
+                Ok(m) => println!("{m}"),
+                Err(e) => die(&format!("profiling failed: {e}")),
+            }
+        }
+        _ => usage(
+            "usage: redsim-workload list | emit <name> [--scale n] [--seed s] | mix <name> [...]",
+        ),
+    }
+}

@@ -1,0 +1,244 @@
+//! Transient-fault injection (§3.4's redundancy scenarios).
+//!
+//! Three injection sites, matching the paper's analysis:
+//!
+//! * **Functional units** — a bit flip in the result one copy computes.
+//!   Caught by the commit-stage pair comparison (scenario *i/ii × a*).
+//! * **The IRB array** — a strike on a buffered result. The reuse test
+//!   compares *operands*, so the corrupt result flows to commit where
+//!   the primary stream's ALU execution exposes it: this is exactly why
+//!   the paper argues the IRB needs no dedicated protection.
+//! * **The shared forwarding bus** — under
+//!   [`ForwardingPolicy::PrimaryToBoth`](crate::ForwardingPolicy) a
+//!   corrupted forwarded value feeds *both* streams' consumers
+//!   identically (the paper's Figure 6(c)): the copies agree and the
+//!   fault escapes, the acknowledged residual vulnerability. Under
+//!   [`ForwardingPolicy::PerStream`](crate::ForwardingPolicy) the same
+//!   strike hits one stream only and is detected (Figure 6(b)).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Fault-injection configuration. All rates are per-event
+/// probabilities; zero disables a site.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Probability that one copy's functional-unit execution is struck.
+    pub fu_rate: f64,
+    /// Probability that a result broadcast is struck on the bus.
+    pub forward_rate: f64,
+    /// Per-cycle probability of a strike on a random IRB slot.
+    pub irb_rate: f64,
+    /// RNG seed, so injections replay deterministically.
+    pub seed: u64,
+}
+
+impl FaultConfig {
+    /// No faults.
+    #[must_use]
+    pub fn none() -> Self {
+        FaultConfig {
+            fu_rate: 0.0,
+            forward_rate: 0.0,
+            irb_rate: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// `true` if any site can fire.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.fu_rate > 0.0 || self.forward_rate > 0.0 || self.irb_rate > 0.0
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// Detection accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Faults injected into functional-unit results.
+    pub injected_fu: u64,
+    /// Faults injected onto the forwarding bus.
+    pub injected_forward: u64,
+    /// Faults injected into IRB slots (valid entries struck).
+    pub injected_irb: u64,
+    /// Pair mismatches detected at commit (each triggers a rewind).
+    pub detected: u64,
+    /// Commits where a tainted pair nonetheless matched — the fault
+    /// escaped the sphere of replication.
+    pub escaped: u64,
+    /// Commits of tainted instructions in SIE (no checking exists):
+    /// silent data corruption.
+    pub silent_sie: u64,
+}
+
+impl FaultStats {
+    /// Fraction of commit-visible faults that were detected.
+    #[must_use]
+    pub fn coverage(&self) -> f64 {
+        let seen = self.detected + self.escaped + self.silent_sie;
+        if seen == 0 {
+            0.0
+        } else {
+            self.detected as f64 / seen as f64
+        }
+    }
+}
+
+/// The injector: a deterministic RNG deciding where lightning strikes.
+#[derive(Debug)]
+pub struct FaultInjector {
+    config: FaultConfig,
+    rng: StdRng,
+    stats: FaultStats,
+}
+
+impl FaultInjector {
+    /// Creates an injector.
+    #[must_use]
+    pub fn new(config: FaultConfig) -> Self {
+        FaultInjector {
+            rng: StdRng::seed_from_u64(config.seed),
+            config,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Whether any injection site is active.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.config.enabled()
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> &FaultStats {
+        &self.stats
+    }
+
+    /// Mutable statistics (the commit stage records detections).
+    pub fn stats_mut(&mut self) -> &mut FaultStats {
+        &mut self.stats
+    }
+
+    /// Possibly corrupts a functional-unit result. Returns the (maybe
+    /// flipped) bits and whether a fault was injected.
+    pub fn strike_fu(&mut self, bits: u64) -> (u64, bool) {
+        if self.config.fu_rate > 0.0 && self.rng.gen_bool(self.config.fu_rate) {
+            self.stats.injected_fu += 1;
+            let bit = self.rng.gen_range(0..64);
+            (bits ^ 1 << bit, true)
+        } else {
+            (bits, false)
+        }
+    }
+
+    /// Decides whether this result broadcast is struck on the bus;
+    /// returns the XOR mask to apply to every consumer's view (zero if
+    /// no strike).
+    pub fn strike_forward(&mut self) -> u64 {
+        if self.config.forward_rate > 0.0 && self.rng.gen_bool(self.config.forward_rate) {
+            self.stats.injected_forward += 1;
+            1 << self.rng.gen_range(0..64)
+        } else {
+            0
+        }
+    }
+
+    /// Rolls the per-cycle IRB strike; returns the slot and bit to flip
+    /// if one fires. The caller flips it (and reports back whether a
+    /// valid entry was struck via [`FaultInjector::record_irb_strike`]).
+    pub fn roll_irb_strike(&mut self, num_slots: usize) -> Option<(usize, u32)> {
+        if self.config.irb_rate > 0.0 && self.rng.gen_bool(self.config.irb_rate) {
+            let slot = self.rng.gen_range(0..num_slots);
+            let bit = self.rng.gen_range(0..64);
+            Some((slot, bit))
+        } else {
+            None
+        }
+    }
+
+    /// Records that an IRB strike landed on a valid entry.
+    pub fn record_irb_strike(&mut self) {
+        self.stats.injected_irb += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_injector_never_fires() {
+        let mut inj = FaultInjector::new(FaultConfig::none());
+        assert!(!inj.enabled());
+        for v in 0..1000u64 {
+            let (bits, hit) = inj.strike_fu(v);
+            assert_eq!(bits, v);
+            assert!(!hit);
+            assert_eq!(inj.strike_forward(), 0);
+            assert!(inj.roll_irb_strike(64).is_none());
+        }
+    }
+
+    #[test]
+    fn always_on_fu_fault_flips_exactly_one_bit() {
+        let mut inj = FaultInjector::new(FaultConfig {
+            fu_rate: 1.0,
+            ..FaultConfig::none()
+        });
+        for v in [0u64, u64::MAX, 0xdead_beef] {
+            let (bits, hit) = inj.strike_fu(v);
+            assert!(hit);
+            assert_eq!((bits ^ v).count_ones(), 1);
+        }
+        assert_eq!(inj.stats().injected_fu, 3);
+    }
+
+    #[test]
+    fn injection_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut inj = FaultInjector::new(FaultConfig {
+                fu_rate: 0.5,
+                forward_rate: 0.5,
+                irb_rate: 0.5,
+                seed,
+            });
+            let mut log = Vec::new();
+            for v in 0..100u64 {
+                log.push(inj.strike_fu(v).0);
+                log.push(inj.strike_forward());
+            }
+            log
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn coverage_math() {
+        let s = FaultStats {
+            detected: 9,
+            escaped: 1,
+            ..FaultStats::default()
+        };
+        assert!((s.coverage() - 0.9).abs() < 1e-12);
+        assert_eq!(FaultStats::default().coverage(), 0.0);
+    }
+
+    #[test]
+    fn forward_strike_mask_is_single_bit_or_zero() {
+        let mut inj = FaultInjector::new(FaultConfig {
+            forward_rate: 1.0,
+            ..FaultConfig::none()
+        });
+        let m = inj.strike_forward();
+        assert_eq!(m.count_ones(), 1);
+    }
+}

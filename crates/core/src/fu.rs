@@ -1,0 +1,291 @@
+//! Functional-unit pools.
+
+use serde::{Deserialize, Serialize};
+
+use redsim_isa::OpClass;
+
+use crate::config::{FuCounts, LatencyConfig};
+
+/// The four functional-unit pools of the paper's machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Pool {
+    /// Single-cycle integer ALUs (also branch targets, memory address
+    /// calculation, system ops).
+    IntAlu,
+    /// Integer multiplier/dividers.
+    IntMulDiv,
+    /// FP adders (add/sub/compare/convert/move).
+    FpAdd,
+    /// FP multiplier/divider/square-root units.
+    FpMulDivSqrt,
+}
+
+impl Pool {
+    /// Which pool executes operations of `class`.
+    #[must_use]
+    pub fn for_class(class: OpClass) -> Pool {
+        match class {
+            OpClass::IntAlu
+            | OpClass::Load
+            | OpClass::Store
+            | OpClass::Branch
+            | OpClass::Jump
+            | OpClass::Sys => Pool::IntAlu,
+            OpClass::IntMul | OpClass::IntDiv => Pool::IntMulDiv,
+            OpClass::FpAdd => Pool::FpAdd,
+            OpClass::FpMul | OpClass::FpDiv | OpClass::FpSqrt => Pool::FpMulDivSqrt,
+        }
+    }
+}
+
+/// Latency and pipelining of one operation class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpTiming {
+    /// Cycles from issue to result broadcast.
+    pub latency: u64,
+    /// Whether the unit accepts a new operation every cycle.
+    pub pipelined: bool,
+}
+
+/// Looks up the timing for an operation class.
+#[must_use]
+pub fn op_timing(class: OpClass, lat: &LatencyConfig) -> OpTiming {
+    match class {
+        OpClass::IntAlu | OpClass::Sys => OpTiming {
+            latency: lat.int_alu,
+            pipelined: true,
+        },
+        // Branch condition + target and memory address generation are
+        // single-cycle ALU work; load data latency is added by the
+        // cache model on top.
+        OpClass::Branch | OpClass::Jump | OpClass::Load | OpClass::Store => OpTiming {
+            latency: lat.int_alu,
+            pipelined: true,
+        },
+        OpClass::IntMul => OpTiming {
+            latency: lat.int_mul,
+            pipelined: true,
+        },
+        OpClass::IntDiv => OpTiming {
+            latency: lat.int_div,
+            pipelined: false,
+        },
+        OpClass::FpAdd => OpTiming {
+            latency: lat.fp_add,
+            pipelined: true,
+        },
+        OpClass::FpMul => OpTiming {
+            latency: lat.fp_mul,
+            pipelined: true,
+        },
+        OpClass::FpDiv => OpTiming {
+            latency: lat.fp_div,
+            pipelined: false,
+        },
+        OpClass::FpSqrt => OpTiming {
+            latency: lat.fp_sqrt,
+            pipelined: false,
+        },
+    }
+}
+
+/// One pool of identical units, each free or busy-until-cycle.
+#[derive(Debug, Clone)]
+struct UnitPool {
+    busy_until: Vec<u64>,
+    busy_cycles: u64,
+}
+
+impl UnitPool {
+    fn new(count: usize) -> Self {
+        UnitPool {
+            busy_until: vec![0; count],
+            busy_cycles: 0,
+        }
+    }
+
+    fn try_issue(&mut self, cycle: u64, timing: OpTiming) -> bool {
+        let Some(unit) = self.busy_until.iter_mut().find(|b| **b <= cycle) else {
+            return false;
+        };
+        // A pipelined unit is only unavailable for the issue cycle; an
+        // unpipelined one is held for the full latency.
+        *unit = if timing.pipelined {
+            cycle + 1
+        } else {
+            cycle + timing.latency
+        };
+        self.busy_cycles += if timing.pipelined { 1 } else { timing.latency };
+        true
+    }
+}
+
+/// The machine's functional units.
+///
+/// # Examples
+///
+/// ```
+/// use redsim_core::{FuCounts, LatencyConfig};
+/// use redsim_isa::OpClass;
+///
+/// // FuBank is internal to the simulator; this example exercises the
+/// // public configuration types that size it.
+/// let fu = FuCounts::paper_baseline();
+/// assert_eq!(fu.int_alu, 4);
+/// let lat = LatencyConfig::simplescalar_defaults();
+/// assert_eq!(lat.int_div, 20);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FuBank {
+    int_alu: UnitPool,
+    int_mul_div: UnitPool,
+    fp_add: UnitPool,
+    fp_mul_div_sqrt: UnitPool,
+    latency: LatencyConfig,
+    issued_by_class: [u64; OpClass::ALL.len()],
+}
+
+impl FuBank {
+    /// Creates the pools.
+    #[must_use]
+    pub fn new(counts: FuCounts, latency: LatencyConfig) -> Self {
+        FuBank {
+            int_alu: UnitPool::new(counts.int_alu),
+            int_mul_div: UnitPool::new(counts.int_mul_div),
+            fp_add: UnitPool::new(counts.fp_add),
+            fp_mul_div_sqrt: UnitPool::new(counts.fp_mul_div_sqrt),
+            latency,
+            issued_by_class: [0; OpClass::ALL.len()],
+        }
+    }
+
+    fn pool_mut(&mut self, pool: Pool) -> &mut UnitPool {
+        match pool {
+            Pool::IntAlu => &mut self.int_alu,
+            Pool::IntMulDiv => &mut self.int_mul_div,
+            Pool::FpAdd => &mut self.fp_add,
+            Pool::FpMulDivSqrt => &mut self.fp_mul_div_sqrt,
+        }
+    }
+
+    /// Attempts to issue an operation of `class` at `cycle`.
+    ///
+    /// Returns the operation's completion cycle on success, `None` if
+    /// every unit of the pool is busy (a structural hazard).
+    pub fn try_issue(&mut self, class: OpClass, cycle: u64) -> Option<u64> {
+        let timing = op_timing(class, &self.latency);
+        let pool = Pool::for_class(class);
+        if self.pool_mut(pool).try_issue(cycle, timing) {
+            let idx = OpClass::ALL.iter().position(|&c| c == class).expect("class in ALL");
+            self.issued_by_class[idx] += 1;
+            Some(cycle + timing.latency)
+        } else {
+            None
+        }
+    }
+
+    /// Operations issued so far for one class.
+    #[must_use]
+    pub fn issued(&self, class: OpClass) -> u64 {
+        let idx = OpClass::ALL.iter().position(|&c| c == class).expect("class in ALL");
+        self.issued_by_class[idx]
+    }
+
+    /// Busy unit-cycles accumulated by a pool (utilization numerator).
+    #[must_use]
+    pub fn busy_cycles(&self, pool: Pool) -> u64 {
+        match pool {
+            Pool::IntAlu => self.int_alu.busy_cycles,
+            Pool::IntMulDiv => self.int_mul_div.busy_cycles,
+            Pool::FpAdd => self.fp_add.busy_cycles,
+            Pool::FpMulDivSqrt => self.fp_mul_div_sqrt.busy_cycles,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bank() -> FuBank {
+        FuBank::new(
+            FuCounts {
+                int_alu: 2,
+                int_mul_div: 1,
+                fp_add: 1,
+                fp_mul_div_sqrt: 1,
+            },
+            LatencyConfig::simplescalar_defaults(),
+        )
+    }
+
+    #[test]
+    fn pool_capacity_limits_per_cycle_issue() {
+        let mut b = bank();
+        assert!(b.try_issue(OpClass::IntAlu, 10).is_some());
+        assert!(b.try_issue(OpClass::IntAlu, 10).is_some());
+        assert!(b.try_issue(OpClass::IntAlu, 10).is_none(), "only 2 ALUs");
+        assert!(b.try_issue(OpClass::IntAlu, 11).is_some(), "free next cycle");
+    }
+
+    #[test]
+    fn pipelined_units_accept_back_to_back() {
+        let mut b = bank();
+        assert_eq!(b.try_issue(OpClass::IntMul, 5), Some(8), "3-cycle mul");
+        assert!(b.try_issue(OpClass::IntMul, 6).is_some(), "pipelined");
+    }
+
+    #[test]
+    fn unpipelined_divider_blocks_for_full_latency() {
+        let mut b = bank();
+        assert_eq!(b.try_issue(OpClass::IntDiv, 0), Some(20));
+        assert!(b.try_issue(OpClass::IntDiv, 1).is_none());
+        assert!(b.try_issue(OpClass::IntDiv, 19).is_none());
+        assert!(b.try_issue(OpClass::IntDiv, 20).is_some());
+    }
+
+    #[test]
+    fn mul_and_div_share_the_same_pool() {
+        let mut b = bank();
+        assert!(b.try_issue(OpClass::IntDiv, 0).is_some());
+        assert!(b.try_issue(OpClass::IntMul, 1).is_none(), "single shared unit");
+    }
+
+    #[test]
+    fn address_calcs_consume_int_alus() {
+        let mut b = bank();
+        assert!(b.try_issue(OpClass::Load, 0).is_some());
+        assert!(b.try_issue(OpClass::Branch, 0).is_some());
+        assert!(
+            b.try_issue(OpClass::IntAlu, 0).is_none(),
+            "loads and branches occupy the 2 ALUs"
+        );
+    }
+
+    #[test]
+    fn fp_classes_map_to_fp_pools() {
+        let mut b = bank();
+        assert_eq!(b.try_issue(OpClass::FpAdd, 0), Some(2));
+        assert_eq!(b.try_issue(OpClass::FpMul, 0), Some(4));
+        assert!(
+            b.try_issue(OpClass::FpSqrt, 0).is_none(),
+            "sqrt shares the single fp-mul unit within a cycle"
+        );
+        assert!(
+            b.try_issue(OpClass::FpSqrt, 1).is_some(),
+            "the pipelined multiply frees the unit next cycle"
+        );
+    }
+
+    #[test]
+    fn issue_counters_accumulate() {
+        let mut b = bank();
+        b.try_issue(OpClass::IntAlu, 0);
+        b.try_issue(OpClass::IntAlu, 1);
+        b.try_issue(OpClass::FpAdd, 1);
+        assert_eq!(b.issued(OpClass::IntAlu), 2);
+        assert_eq!(b.issued(OpClass::FpAdd), 1);
+        assert_eq!(b.issued(OpClass::IntDiv), 0);
+        assert_eq!(b.busy_cycles(Pool::IntAlu), 2);
+    }
+}

@@ -1,0 +1,335 @@
+//! The IRB as integrated into the pipeline: port arbitration + the
+//! 3-stage pipelined lookup race of §3.2.
+
+use redsim_irb::{IrbConfig, IrbEntry, PortArbiter, ReuseBuffer};
+use redsim_isa::trace::DynInst;
+use redsim_isa::OpClass;
+
+use crate::ruu::ReuseState;
+
+/// Pipeline-facing statistics beyond the buffer's own counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IrbUnitStats {
+    /// Lookups that could not obtain a read port at fetch.
+    pub lookups_port_starved: u64,
+    /// Commit-time inserts dropped for lack of a write port.
+    pub inserts_port_starved: u64,
+    /// Reuse tests that passed (functional units bypassed).
+    pub reuse_passed: u64,
+    /// Reuse tests that failed (operands differed).
+    pub reuse_failed: u64,
+}
+
+/// The IRB with its ports, as the fetch and commit stages see it.
+#[derive(Debug)]
+pub struct IrbUnit {
+    buffer: ReuseBuffer,
+    arbiter: PortArbiter,
+    lookup_stages: u64,
+    stats: IrbUnitStats,
+}
+
+/// Is this instruction a candidate for instruction reuse?
+///
+/// Per §3.2: integer and FP ALU operations, branch target calculation,
+/// and address calculation for loads/stores. System operations and nops
+/// have nothing to reuse.
+#[must_use]
+pub fn reuse_eligible(di: &DynInst) -> bool {
+    match di.class() {
+        OpClass::IntAlu
+        | OpClass::IntMul
+        | OpClass::IntDiv
+        | OpClass::FpAdd
+        | OpClass::FpMul
+        | OpClass::FpDiv
+        | OpClass::FpSqrt => di.inst.op != redsim_isa::Opcode::Nop && di.result.is_some(),
+        OpClass::Load | OpClass::Store | OpClass::Branch | OpClass::Jump => true,
+        OpClass::Sys => false,
+    }
+}
+
+/// The value an IRB entry buffers for `di`: the register result for ALU
+/// ops, the effective address for memory ops, the encoded outcome for
+/// control ops.
+#[must_use]
+pub fn reuse_output(di: &DynInst) -> u64 {
+    match di.class() {
+        OpClass::Load | OpClass::Store => di.ea.expect("memory op has an ea"),
+        OpClass::Branch | OpClass::Jump => {
+            let c = di.control.expect("control op has an outcome");
+            c.target | u64::from(c.taken) << 63
+        }
+        _ => di.result.expect("eligible ALU op has a result"),
+    }
+}
+
+impl IrbUnit {
+    /// Creates the unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid IRB configuration.
+    #[must_use]
+    pub fn new(config: IrbConfig) -> Self {
+        config.validate();
+        IrbUnit {
+            buffer: ReuseBuffer::new(config),
+            arbiter: PortArbiter::new(config.ports),
+            lookup_stages: u64::from(config.lookup_stages),
+            stats: IrbUnitStats::default(),
+        }
+    }
+
+    /// Resets per-cycle port availability. Call once per cycle.
+    pub fn begin_cycle(&mut self) {
+        self.arbiter.begin_cycle();
+    }
+
+    /// Initiates the fetch-parallel lookup for `di`, returning the
+    /// entry's starting [`ReuseState`] and the cycle the lookup result
+    /// becomes available to the issue window.
+    pub fn start_lookup(&mut self, di: &DynInst, cycle: u64) -> (ReuseState, u64) {
+        if !reuse_eligible(di) {
+            return (ReuseState::NotEligible, cycle);
+        }
+        if !self.arbiter.try_read() {
+            self.stats.lookups_port_starved += 1;
+            return (ReuseState::PortStarved, cycle);
+        }
+        let done = cycle + self.lookup_stages;
+        match self.buffer.lookup(di.pc) {
+            Some(entry) => (ReuseState::Hit(entry), done),
+            None => (ReuseState::PcMiss, done),
+        }
+    }
+
+    /// Evaluates the reuse test for a PC-hit entry against the operand
+    /// values the primary stream forwarded (§3.3's `Rdy2` comparators).
+    pub fn reuse_test(&mut self, hit: &IrbEntry, di: &DynInst) -> bool {
+        let pass = hit.op1 == di.src1 && hit.op2 == di.src2;
+        if pass {
+            self.stats.reuse_passed += 1;
+        } else {
+            self.stats.reuse_failed += 1;
+        }
+        pass
+    }
+
+    /// Commit-time update: buffers the execution of `di` if a write
+    /// port is free this cycle. Returns `true` if the insert happened.
+    pub fn try_insert(&mut self, di: &DynInst) -> bool {
+        if !reuse_eligible(di) {
+            return false;
+        }
+        if !self.arbiter.try_write() {
+            self.stats.inserts_port_starved += 1;
+            return false;
+        }
+        let names = operand_names(di);
+        self.buffer.insert_named(
+            IrbEntry {
+                pc: di.pc,
+                op1: di.src1,
+                op2: di.src2,
+                result: reuse_output(di),
+            },
+            names,
+        );
+        true
+    }
+
+    /// Name-based invalidation for a committed register write.
+    pub fn on_register_write(&mut self, di: &DynInst) {
+        if let Some(r) = di.inst.int_dest() {
+            self.buffer.invalidate_name(r.index() as u8);
+        }
+        if let Some(f) = di.inst.fp_dest() {
+            self.buffer.invalidate_name(32 + f.index() as u8);
+        }
+    }
+
+    /// The underlying buffer (stats, fault injection).
+    #[must_use]
+    pub fn buffer(&self) -> &ReuseBuffer {
+        &self.buffer
+    }
+
+    /// Mutable access to the underlying buffer (fault injection).
+    pub fn buffer_mut(&mut self) -> &mut ReuseBuffer {
+        &mut self.buffer
+    }
+
+    /// Pipeline-level statistics.
+    #[must_use]
+    pub fn stats(&self) -> &IrbUnitStats {
+        &self.stats
+    }
+
+}
+
+/// Register names `di` reads, in the IRB's name encoding (int = index,
+/// fp = 32 + index). Immediate operands are `None`.
+fn operand_names(di: &DynInst) -> [Option<u8>; 2] {
+    let ints = di.inst.int_sources();
+    let fps = di.inst.fp_sources();
+    let mut names = [None, None];
+    let mut n = 0;
+    for r in ints {
+        if n < 2 {
+            names[n] = Some(r.index() as u8);
+            n += 1;
+        }
+    }
+    for f in fps {
+        if n < 2 {
+            names[n] = Some(32 + f.index() as u8);
+            n += 1;
+        }
+    }
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redsim_isa::trace::ControlOutcome;
+    use redsim_isa::{Inst, IntReg, Opcode};
+
+    fn alu_di(pc: u64, a: u64, b: u64, r: u64) -> DynInst {
+        DynInst {
+            seq: 0,
+            pc,
+            inst: Inst::rrr(Opcode::Add, IntReg::new(3), IntReg::new(1), IntReg::new(2)),
+            src1: a,
+            src2: b,
+            result: Some(r),
+            ea: None,
+            control: None,
+            next_pc: pc + 8,
+        }
+    }
+
+    fn unit() -> IrbUnit {
+        IrbUnit::new(IrbConfig {
+            entries: 64,
+            ..IrbConfig::paper_baseline()
+        })
+    }
+
+    #[test]
+    fn lookup_latency_is_three_stages() {
+        let mut u = unit();
+        u.begin_cycle();
+        let (state, done) = u.start_lookup(&alu_di(0x1000, 1, 2, 3), 10);
+        assert_eq!(state, ReuseState::PcMiss);
+        assert_eq!(done, 13);
+    }
+
+    #[test]
+    fn insert_then_hit_then_reuse_test() {
+        let mut u = unit();
+        u.begin_cycle();
+        let d = alu_di(0x1000, 5, 6, 11);
+        assert!(u.try_insert(&d));
+        let (state, _) = u.start_lookup(&d, 1);
+        let ReuseState::Hit(entry) = state else {
+            panic!("expected hit, got {state:?}")
+        };
+        assert!(u.reuse_test(&entry, &d), "same operands pass");
+        let d2 = alu_di(0x1000, 5, 7, 12);
+        assert!(!u.reuse_test(&entry, &d2), "changed operand fails");
+        assert_eq!(u.stats().reuse_passed, 1);
+        assert_eq!(u.stats().reuse_failed, 1);
+    }
+
+    #[test]
+    fn port_starvation_counts_and_denies() {
+        let mut u = unit();
+        u.begin_cycle();
+        let d = alu_di(0x1000, 1, 1, 2);
+        // Paper ports: 6 effective reads per cycle.
+        for _ in 0..6 {
+            let (s, _) = u.start_lookup(&d, 0);
+            assert_ne!(s, ReuseState::PortStarved);
+        }
+        let (s, _) = u.start_lookup(&d, 0);
+        assert_eq!(s, ReuseState::PortStarved);
+        assert_eq!(u.stats().lookups_port_starved, 1);
+        u.begin_cycle();
+        let (s, _) = u.start_lookup(&d, 1);
+        assert_ne!(s, ReuseState::PortStarved, "ports replenish each cycle");
+    }
+
+    #[test]
+    fn sys_ops_are_not_eligible() {
+        let mut u = unit();
+        u.begin_cycle();
+        let halt = DynInst {
+            seq: 0,
+            pc: 0x1000,
+            inst: Inst::halt(),
+            src1: 0,
+            src2: 0,
+            result: None,
+            ea: None,
+            control: None,
+            next_pc: 0x1000,
+        };
+        let (s, _) = u.start_lookup(&halt, 0);
+        assert_eq!(s, ReuseState::NotEligible);
+        assert!(!u.try_insert(&halt));
+    }
+
+    #[test]
+    fn memory_ops_buffer_the_effective_address() {
+        let load = DynInst {
+            seq: 0,
+            pc: 0x2000,
+            inst: Inst::load_int(Opcode::Ld, IntReg::new(4), IntReg::new(2), 16),
+            src1: 0x8000,
+            src2: 16,
+            result: Some(99),
+            ea: Some(0x8010),
+            control: None,
+            next_pc: 0x2008,
+        };
+        assert!(reuse_eligible(&load));
+        assert_eq!(reuse_output(&load), 0x8010, "address, not the loaded value");
+    }
+
+    #[test]
+    fn branches_buffer_the_encoded_outcome() {
+        let br = DynInst {
+            seq: 0,
+            pc: 0x3000,
+            inst: Inst::branch(Opcode::Beq, IntReg::new(1), IntReg::new(2), -64),
+            src1: 7,
+            src2: 7,
+            result: None,
+            ea: None,
+            control: Some(ControlOutcome {
+                taken: true,
+                target: 0x2fc0,
+            }),
+            next_pc: 0x2fc0,
+        };
+        assert_eq!(reuse_output(&br), 0x2fc0 | 1 << 63);
+    }
+
+    #[test]
+    fn operand_names_cover_fp_and_stores() {
+        let st = DynInst {
+            seq: 0,
+            pc: 0x1000,
+            inst: Inst::store_int(Opcode::Sd, IntReg::new(7), IntReg::new(2), 0),
+            src1: 0x8000,
+            src2: 42,
+            result: None,
+            ea: Some(0x8000),
+            control: None,
+            next_pc: 0x1008,
+        };
+        assert_eq!(operand_names(&st), [Some(2), Some(7)]);
+    }
+}

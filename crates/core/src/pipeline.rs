@@ -1,0 +1,1114 @@
+//! The cycle loop: fetch, dispatch, issue, writeback, commit.
+
+use std::collections::{HashMap, VecDeque};
+use std::error::Error;
+use std::fmt;
+
+use redsim_isa::trace::DynInst;
+use redsim_isa::{EmuError, OpClass, Program};
+use redsim_mem::{Hierarchy, Level};
+
+use crate::config::{ExecMode, ForwardingPolicy, IssuePolicy, MachineConfig, SchedulerModel};
+use crate::fault::{FaultConfig, FaultInjector};
+use crate::frontend::{FetchOutcome, FrontEnd};
+use crate::fu::{FuBank, Pool};
+use crate::irb_unit::{reuse_output, IrbUnit};
+use crate::ruu::{Entry, EntryState, ReuseState, Ruu, Stream};
+use crate::source::{EmulatorSource, InstructionSource};
+use crate::stats::{BranchSummary, IrbSummary, SimStats};
+
+/// Simulation failure.
+#[derive(Debug)]
+pub enum SimError {
+    /// The functional emulator faulted while producing the trace.
+    Emu(EmuError),
+    /// The timing model stopped making progress (an internal bug or an
+    /// impossible configuration).
+    Deadlock {
+        /// Cycle at which progress stopped.
+        cycle: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Emu(e) => write!(f, "functional execution failed: {e}"),
+            SimError::Deadlock { cycle } => {
+                write!(f, "pipeline made no progress near cycle {cycle}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Emu(e) => Some(e),
+            SimError::Deadlock { .. } => None,
+        }
+    }
+}
+
+impl From<EmuError> for SimError {
+    fn from(e: EmuError) -> Self {
+        SimError::Emu(e)
+    }
+}
+
+/// The user-facing simulator: a machine configuration plus an execution
+/// mode, runnable over programs or raw instruction sources.
+///
+/// # Examples
+///
+/// ```
+/// use redsim_core::{ExecMode, MachineConfig, Simulator};
+/// use redsim_isa::asm::assemble;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let p = assemble("main: li t0, 50\nl: addi t0, t0, -1\n bnez t0, l\n halt\n")?;
+/// let stats = Simulator::new(MachineConfig::tiny(), ExecMode::Sie).run_program(&p)?;
+/// assert_eq!(stats.committed_insts, 102);
+/// assert!(stats.ipc() > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Simulator {
+    config: MachineConfig,
+    mode: ExecMode,
+    faults: FaultConfig,
+    budget: u64,
+}
+
+impl Simulator {
+    /// Creates a simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent
+    /// ([`MachineConfig::validate`]).
+    #[must_use]
+    pub fn new(config: MachineConfig, mode: ExecMode) -> Self {
+        config.validate();
+        Simulator {
+            config,
+            mode,
+            faults: FaultConfig::none(),
+            budget: 50_000_000,
+        }
+    }
+
+    /// Enables transient-fault injection.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Overrides the functional-instruction budget (runaway backstop).
+    #[must_use]
+    pub fn with_budget(mut self, budget: u64) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// The machine configuration.
+    #[must_use]
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// The execution mode.
+    #[must_use]
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// Runs `program` to completion and reports statistics.
+    ///
+    /// # Errors
+    ///
+    /// Fails if functional execution faults (bad memory access, budget
+    /// exhausted) or the timing model deadlocks.
+    pub fn run_program(&self, program: &Program) -> Result<SimStats, SimError> {
+        let mut source = EmulatorSource::new(program, self.budget);
+        self.run_source(&mut source)
+    }
+
+    /// Runs an arbitrary committed-path source to exhaustion.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulator::run_program`].
+    pub fn run_source(
+        &self,
+        source: &mut dyn InstructionSource,
+    ) -> Result<SimStats, SimError> {
+        let mut m = Machine::new(&self.config, self.mode, self.faults);
+        m.run(source)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FrontState {
+    Running,
+    /// Stalled until the control instruction with this trace seq
+    /// resolves.
+    WaitBranch(u64),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ResumeReason {
+    None,
+    BranchRecovery,
+    BtbBubble,
+}
+
+#[derive(Debug, Clone)]
+struct FetchedInst {
+    di: DynInst,
+    reuse: ReuseState,
+    lookup_done_at: u64,
+}
+
+const PRIMARY: usize = 0;
+const DUP: usize = 1;
+
+struct Machine<'a> {
+    cfg: &'a MachineConfig,
+    mode: ExecMode,
+    cycle: u64,
+    ruu: Ruu,
+    ifq: VecDeque<FetchedInst>,
+    lookahead: Option<DynInst>,
+    source_done: bool,
+    rename_int: [[Option<u64>; 32]; 2],
+    rename_fp: [[Option<u64>; 32]; 2],
+    lsq_used: usize,
+    last_store: HashMap<u64, u64>,
+    frontend: FrontEnd,
+    hierarchy: Hierarchy,
+    fu: FuBank,
+    /// The duplicate stream's replicated cluster (DieCluster only).
+    fu_dup: Option<FuBank>,
+    irb: Option<IrbUnit>,
+    inj: FaultInjector,
+    stats: SimStats,
+    front_state: FrontState,
+    resume_at: u64,
+    resume_reason: ResumeReason,
+    icache_ready_at: u64,
+    last_fetch_line: Option<u64>,
+    dcache_used: usize,
+    /// Next wrong-path address the stalled front end streams through
+    /// the I-cache (when `wrong_path_fetch` is on).
+    wrong_path_pc: Option<u64>,
+    /// Rename bank the duplicate stream reads its sources from.
+    dup_source_bank: usize,
+    cycles_since_commit: u64,
+}
+
+impl<'a> Machine<'a> {
+    fn new(cfg: &'a MachineConfig, mode: ExecMode, faults: FaultConfig) -> Self {
+        let dup_source_bank = match (mode, cfg.forwarding) {
+            // The original DIE forwards strictly within each stream.
+            (ExecMode::Die, _) => DUP,
+            (ExecMode::DieIrb, ForwardingPolicy::PrimaryToBoth) => PRIMARY,
+            (ExecMode::DieIrb, ForwardingPolicy::PerStream) => DUP,
+            // A cluster forwards within itself.
+            (ExecMode::DieCluster, _) => DUP,
+            _ => PRIMARY,
+        };
+        Machine {
+            cfg,
+            mode,
+            cycle: 0,
+            ruu: Ruu::new(cfg.ruu_size),
+            ifq: VecDeque::with_capacity(cfg.fetch_queue),
+            lookahead: None,
+            source_done: false,
+            rename_int: [[None; 32]; 2],
+            rename_fp: [[None; 32]; 2],
+            lsq_used: 0,
+            last_store: HashMap::new(),
+            frontend: FrontEnd::new(cfg),
+            hierarchy: Hierarchy::new(cfg.hierarchy),
+            fu: FuBank::new(cfg.fu, cfg.latency),
+            fu_dup: (mode == ExecMode::DieCluster)
+                .then(|| FuBank::new(cfg.fu, cfg.latency)),
+            irb: mode.has_irb().then(|| IrbUnit::new(cfg.irb)),
+            inj: FaultInjector::new(faults),
+            stats: SimStats::default(),
+            front_state: FrontState::Running,
+            resume_at: 0,
+            resume_reason: ResumeReason::None,
+            icache_ready_at: 0,
+            last_fetch_line: None,
+            dcache_used: 0,
+            wrong_path_pc: None,
+            dup_source_bank,
+            cycles_since_commit: 0,
+        }
+    }
+
+    fn is_dual(&self) -> bool {
+        self.mode.is_dual()
+    }
+
+    fn run(&mut self, source: &mut dyn InstructionSource) -> Result<SimStats, SimError> {
+        loop {
+            self.fill_lookahead(source)?;
+            if self.source_done && self.ifq.is_empty() && self.ruu.is_empty() {
+                break;
+            }
+            self.cycle += 1;
+            self.begin_cycle();
+            self.commit();
+            self.writeback();
+            self.issue();
+            self.dispatch();
+            self.fetch(source)?;
+            self.stats.ruu_occupancy_sum += self.ruu.len() as u64;
+            self.cycles_since_commit += 1;
+            if self.cycles_since_commit > 100_000 {
+                return Err(SimError::Deadlock { cycle: self.cycle });
+            }
+        }
+        self.finalize();
+        Ok(std::mem::take(&mut self.stats))
+    }
+
+    fn fill_lookahead(&mut self, source: &mut dyn InstructionSource) -> Result<(), SimError> {
+        if self.lookahead.is_none() && !self.source_done {
+            match source.next_inst()? {
+                Some(di) => self.lookahead = Some(di),
+                None => self.source_done = true,
+            }
+        }
+        Ok(())
+    }
+
+    fn begin_cycle(&mut self) {
+        self.dcache_used = 0;
+        if let Some(irb) = &mut self.irb {
+            irb.begin_cycle();
+            // Particle strikes on the (unprotected) IRB array.
+            if self.inj.enabled() {
+                if let Some((slot, bit)) = self.inj.roll_irb_strike(irb.buffer().num_slots()) {
+                    if irb.buffer_mut().inject_fault(slot, bit) {
+                        self.inj.record_irb_strike();
+                    }
+                }
+            }
+        }
+    }
+
+    // ----- commit ---------------------------------------------------
+
+    fn commit(&mut self) {
+        let mut budget = self.cfg.commit_width;
+        let mut committed_any = false;
+        loop {
+            if self.ruu.is_empty() {
+                break;
+            }
+            let need = if self.is_dual() { 2 } else { 1 };
+            if budget < need {
+                break;
+            }
+            let head = self.ruu.head_seq();
+            let ready = if self.is_dual() {
+                matches!(
+                    (self.ruu.get(head), self.ruu.get(head + 1)),
+                    (Some(p), Some(d)) if p.is_done() && d.is_done()
+                )
+            } else {
+                self.ruu.get(head).is_some_and(Entry::is_done)
+            };
+            if !ready {
+                break;
+            }
+
+            // DIE pair check.
+            if self.is_dual() {
+                let (p_out, d_out, tainted) = {
+                    let p = self.ruu.get(head).expect("head exists");
+                    let d = self.ruu.get(head + 1).expect("pair exists");
+                    (p.out_bits, d.out_bits, p.fault_tainted || d.fault_tainted)
+                };
+                if let (Some(pb), Some(db)) = (p_out, d_out) {
+                    self.stats.pairs_checked += 1;
+                    if pb != db {
+                        self.rewind_pair(head);
+                        break;
+                    }
+                    if tainted {
+                        self.inj.stats_mut().escaped += 1;
+                    }
+                } else if tainted {
+                    self.inj.stats_mut().escaped += 1;
+                }
+            } else {
+                let tainted = self.ruu.get(head).expect("head exists").fault_tainted;
+                if tainted {
+                    // No checking exists in SIE: silent corruption.
+                    self.inj.stats_mut().silent_sie += 1;
+                }
+            }
+
+            let di = self.ruu.get(head).expect("head exists").di;
+            // Invariant: an untainted copy's comparator word equals the
+            // architectural check value derived from the trace.
+            debug_assert!({
+                let e = self.ruu.get(head).expect("head exists");
+                e.fault_tainted
+                    || e.out_bits.is_none()
+                    || e.clean_check_bits() == e.out_bits
+            });
+
+            // The pair's single architectural store access.
+            if di.inst.op.is_store() {
+                if self.dcache_used >= self.cfg.dcache.ports {
+                    break; // retry next cycle
+                }
+                self.dcache_used += 1;
+                let ea = di.ea.expect("store has an address");
+                let _ = self.hierarchy.write_data(ea);
+            }
+
+            // Commit-time IRB update (§3.2: off the critical path).
+            if let Some(irb) = &mut self.irb {
+                let insert = match self.mode {
+                    ExecMode::DieIrb => {
+                        // Update on executions the IRB did not serve.
+                        let d = self.ruu.get(head + 1).expect("pair exists");
+                        d.executed_on_fu
+                    }
+                    ExecMode::SieIrb => {
+                        let e = self.ruu.get(head).expect("head exists");
+                        e.executed_on_fu
+                    }
+                    _ => false,
+                };
+                let insert_allowed = !self.cfg.reuse_long_latency_only
+                    || matches!(
+                        di.class(),
+                        OpClass::IntMul
+                            | OpClass::IntDiv
+                            | OpClass::FpAdd
+                            | OpClass::FpMul
+                            | OpClass::FpDiv
+                            | OpClass::FpSqrt
+                    );
+                if insert && insert_allowed {
+                    let _ = irb.try_insert(&di);
+                }
+                irb.on_register_write(&di);
+            }
+
+            // Retire.
+            for _ in 0..need {
+                self.ruu.pop();
+            }
+            if di.inst.op.is_mem() {
+                self.lsq_used -= 1;
+            }
+            self.stats.committed_insts += 1;
+            self.stats.committed_copies += need as u64;
+            budget -= need;
+            committed_any = true;
+            self.cycles_since_commit = 0;
+        }
+        if committed_any {
+            self.stats.active_commit_cycles += 1;
+        }
+    }
+
+    /// Pair mismatch at commit: the paper's instruction rewind. Both
+    /// copies re-execute on the functional units; the front end pays a
+    /// flush penalty.
+    fn rewind_pair(&mut self, head: u64) {
+        self.stats.pair_mismatches += 1;
+        self.inj.stats_mut().detected += 1;
+        for seq in [head, head + 1] {
+            let e = self.ruu.get_mut(seq).expect("pair exists");
+            e.state = EntryState::Ready;
+            e.ready_at = self.cycle;
+            e.complete_at = None;
+            e.out_bits = None;
+            e.executed_on_fu = false;
+            e.fault_tainted = false;
+            e.input_corrupt = 0;
+            // Force the re-execution down the functional units.
+            e.reuse = ReuseState::NotEligible;
+        }
+        let resume = self.cycle + self.cfg.mispredict_penalty;
+        if resume > self.resume_at {
+            self.resume_at = resume;
+            self.resume_reason = ResumeReason::BranchRecovery;
+        }
+    }
+
+    // ----- writeback ------------------------------------------------
+
+    fn writeback(&mut self) {
+        let completing: Vec<u64> = self
+            .ruu
+            .iter()
+            .filter(|(_, e)| e.state == EntryState::Issued && e.complete_at == Some(self.cycle))
+            .map(|(s, _)| s)
+            .collect();
+        for seq in completing {
+            let e = self.ruu.get(seq).expect("completing entry exists");
+            let is_dup_load = e.stream == Stream::Dup && e.di.inst.op.is_load();
+            if is_dup_load {
+                let partner_done = self
+                    .ruu
+                    .get(seq - 1)
+                    .is_some_and(Entry::is_done);
+                if !partner_done {
+                    // Address work done; the pair's single data access
+                    // has not returned yet.
+                    self.ruu.get_mut(seq).expect("entry").state = EntryState::WaitingPair;
+                    continue;
+                }
+            }
+            self.mark_done(seq);
+        }
+    }
+
+    /// Finalizes an entry: broadcast, branch resolution, pair wakeup.
+    fn mark_done(&mut self, seq: u64) {
+        {
+            let e = self.ruu.get_mut(seq).expect("entry exists");
+            e.state = EntryState::Done;
+            if e.complete_at.is_none() {
+                e.complete_at = Some(self.cycle);
+            }
+        }
+        self.resolve_control(seq);
+        self.broadcast(seq);
+
+        // A completing primary load releases its duplicate. In the
+        // clustered organization the data crosses clusters first.
+        let e = self.ruu.get(seq).expect("entry exists");
+        if e.stream == Stream::Primary && e.di.inst.op.is_load() && self.is_dual() {
+            let partner = seq + 1;
+            if self
+                .ruu
+                .get(partner)
+                .is_some_and(|p| p.state == EntryState::WaitingPair)
+            {
+                if self.mode == ExecMode::DieCluster && self.cfg.cluster_delay > 0 {
+                    let p = self.ruu.get_mut(partner).expect("partner exists");
+                    p.state = EntryState::Issued;
+                    p.complete_at = Some(self.cycle + self.cfg.cluster_delay);
+                } else {
+                    self.mark_done(partner);
+                }
+            }
+        }
+    }
+
+    /// First-resolver branch handling: train the predictors and release
+    /// a waiting front end (the paper: recovery starts as soon as
+    /// *either* stream resolves).
+    fn resolve_control(&mut self, seq: u64) {
+        let e = self.ruu.get(seq).expect("entry exists");
+        if e.di.control.is_none() || e.resolution_reported {
+            return;
+        }
+        let di = e.di;
+        let stream = e.stream;
+        self.frontend.train(&di);
+        self.ruu.get_mut(seq).expect("entry").resolution_reported = true;
+        if self.is_dual() {
+            let partner = match stream {
+                Stream::Primary => seq + 1,
+                Stream::Dup => seq - 1,
+            };
+            if let Some(p) = self.ruu.get_mut(partner) {
+                p.resolution_reported = true;
+            }
+        }
+        if self.front_state == FrontState::WaitBranch(di.seq) {
+            self.front_state = FrontState::Running;
+            self.wrong_path_pc = None;
+            let resume = self.cycle + self.cfg.mispredict_penalty;
+            if resume > self.resume_at {
+                self.resume_at = resume;
+                self.resume_reason = ResumeReason::BranchRecovery;
+            }
+        }
+    }
+
+    /// Result broadcast: wake consumers, possibly striking the bus.
+    fn broadcast(&mut self, seq: u64) {
+        let consumers = {
+            let e = self.ruu.get_mut(seq).expect("entry exists");
+            std::mem::take(&mut e.consumers)
+        };
+        if consumers.is_empty() {
+            return;
+        }
+        let mask = if self.inj.enabled() {
+            self.inj.strike_forward()
+        } else {
+            0
+        };
+        for c in consumers {
+            if let Some(e) = self.ruu.get_mut(c) {
+                if mask != 0 {
+                    e.input_corrupt ^= mask;
+                    e.fault_tainted = true;
+                }
+                if e.deps_remaining > 0 {
+                    e.deps_remaining -= 1;
+                    if e.deps_remaining == 0 && e.state == EntryState::Waiting {
+                        e.state = EntryState::Ready;
+                        e.ready_at = self.cycle;
+                    }
+                }
+            }
+        }
+    }
+
+    // ----- issue ----------------------------------------------------
+
+    fn issue(&mut self) {
+        let mut issued = 0usize;
+        let mut candidates: Vec<u64> = self
+            .ruu
+            .iter()
+            .filter(|(_, e)| e.state == EntryState::Ready)
+            .map(|(s, _)| s)
+            .collect();
+        // DIE-IRB selection policy (§3.1): the primary stream owns the
+        // functional units — duplicates are IRB candidates first and
+        // contend for leftover FU slots second. Plain DIE keeps the
+        // symmetric oldest-first policy of the original proposal.
+        let primary_first = match self.cfg.issue_policy {
+            IssuePolicy::ModeDefault => self.mode == ExecMode::DieIrb,
+            IssuePolicy::OldestFirst => false,
+            IssuePolicy::PrimaryFirst => self.is_dual(),
+        };
+        if primary_first {
+            candidates.sort_by_key(|&s| {
+                let is_dup = self
+                    .ruu
+                    .get(s)
+                    .map_or(false, |e| e.stream == Stream::Dup);
+                (is_dup, s)
+            });
+        }
+        for seq in candidates {
+            // Reuse-test bypass. With a data-capture scheduler this
+            // consumes neither issue bandwidth nor a functional unit
+            // (§3.3); the non-data-capture models charge their costs
+            // inside `try_bypass`.
+            if self.try_bypass(seq, &mut issued) {
+                continue;
+            }
+            if issued >= self.cfg.issue_width {
+                continue;
+            }
+            if self.try_fu_issue(seq) {
+                issued += 1;
+            }
+        }
+    }
+
+    /// Attempts the IRB reuse test on a ready entry. Returns `true` if
+    /// the entry bypassed the functional units this cycle.
+    fn try_bypass(&mut self, seq: u64, issued: &mut usize) -> bool {
+        let e = self.ruu.get(seq).expect("candidate exists");
+        let ReuseState::Hit(hit) = e.reuse else {
+            return false;
+        };
+        if self.cycle < e.lookup_done_at {
+            return false; // lookup still in its pipelined stages
+        }
+        // Non-data-capture timing (§3.3): the reuse test follows the
+        // register-file read, one cycle after wakeup.
+        if self.cfg.scheduler == SchedulerModel::NonDataCapturePipelined
+            && self.cycle < e.ready_at + 1
+        {
+            return false;
+        }
+        // Naive non-data-capture: the duplicate must win selection and a
+        // functional unit before its operands (and so the reuse test)
+        // exist. That path is charged inside `try_fu_issue`, which runs
+        // the reuse test after allocation; nothing to do here.
+        if self.cfg.scheduler == SchedulerModel::NonDataCaptureNaive {
+            let _ = issued;
+            return false;
+        }
+        let di = e.di;
+        let is_load = di.inst.op.is_load();
+        // An operand corrupted on the forwarding bus can never match the
+        // buffered operands: the test fails and the copy re-executes.
+        if e.input_corrupt != 0 {
+            self.ruu.get_mut(seq).expect("entry").reuse = ReuseState::Failed;
+            return false;
+        }
+        // SIE-IRB loads still perform the (single) data access; make
+        // sure a port exists before burning the reuse test.
+        if is_load && !self.is_dual() && self.dcache_used >= self.cfg.dcache.ports {
+            return false;
+        }
+        let irb = self.irb.as_mut().expect("IRB mode");
+        if !irb.reuse_test(&hit, &di) {
+            self.ruu.get_mut(seq).expect("entry").reuse = ReuseState::Failed;
+            return false;
+        }
+
+        // Passed: the buffered result (possibly struck by an IRB fault)
+        // becomes this copy's output.
+        self.stats.fu_bypasses += 1;
+        let produced = hit.result;
+        let clean = reuse_output(&di);
+        let out = finalize_out(&di, produced);
+        {
+            let e = self.ruu.get_mut(seq).expect("entry");
+            e.reuse = ReuseState::Passed;
+            e.out_bits = Some(out);
+            if produced != clean {
+                e.fault_tainted = true;
+            }
+        }
+
+        if is_load {
+            if self.is_dual() {
+                // The duplicate's data rides the pair's shared access.
+                let partner_done = self.ruu.get(seq - 1).is_some_and(Entry::is_done);
+                if partner_done {
+                    self.mark_done(seq);
+                } else {
+                    self.ruu.get_mut(seq).expect("entry").state = EntryState::WaitingPair;
+                }
+            } else {
+                // SIE-IRB: address calc skipped, data access remains.
+                self.dcache_used += 1;
+                let ea = di.ea.expect("load has an address");
+                let lat = self.hierarchy.read_data(ea);
+                let e = self.ruu.get_mut(seq).expect("entry");
+                e.state = EntryState::Issued;
+                e.complete_at = Some(self.cycle + lat);
+            }
+        } else {
+            self.mark_done(seq);
+        }
+        true
+    }
+
+    /// Attempts to issue a ready entry to its functional-unit pool.
+    fn try_fu_issue(&mut self, seq: u64) -> bool {
+        let (di, input_corrupt, is_dup) = {
+            let e = self.ruu.get(seq).expect("candidate exists");
+            (e.di, e.input_corrupt, e.stream == Stream::Dup)
+        };
+        let class = di.class();
+        let needs_dcache = di.inst.op.is_load() && (!is_dup || !self.is_dual());
+        if needs_dcache && self.dcache_used >= self.cfg.dcache.ports {
+            return false;
+        }
+        let bank = if self.fu_dup.is_some() && is_dup {
+            self.fu_dup.as_mut().expect("dup cluster exists")
+        } else {
+            &mut self.fu
+        };
+        let Some(done) = bank.try_issue(class, self.cycle) else {
+            return false;
+        };
+        self.stats.fu_issues += 1;
+
+        // Naive non-data-capture (§3.3): the operands arrive only now,
+        // after selection and allocation; a passing reuse test wastes
+        // the unit but still supplies the result immediately — a
+        // latency win with no bandwidth win.
+        if self.cfg.scheduler == SchedulerModel::NonDataCaptureNaive {
+            let e = self.ruu.get(seq).expect("candidate exists");
+            if let ReuseState::Hit(hit) = e.reuse {
+                if self.cycle >= e.lookup_done_at && e.input_corrupt == 0 {
+                    let di = e.di;
+                    let irb = self.irb.as_mut().expect("IRB mode");
+                    if irb.reuse_test(&hit, &di) {
+                        self.stats.fu_bypasses += 1;
+                        let produced = hit.result;
+                        let clean = reuse_output(&di);
+                        let out = finalize_out(&di, produced);
+                        let e = self.ruu.get_mut(seq).expect("entry");
+                        e.reuse = ReuseState::Passed;
+                        e.out_bits = Some(out);
+                        if produced != clean {
+                            e.fault_tainted = true;
+                        }
+                        if di.inst.op.is_load() && self.is_dual() {
+                            let partner_done =
+                                self.ruu.get(seq - 1).is_some_and(Entry::is_done);
+                            if partner_done {
+                                self.mark_done(seq);
+                            } else {
+                                self.ruu.get_mut(seq).expect("entry").state =
+                                    EntryState::WaitingPair;
+                            }
+                        } else {
+                            self.mark_done(seq);
+                        }
+                        return true;
+                    }
+                    self.ruu.get_mut(seq).expect("entry").reuse = ReuseState::Failed;
+                }
+            }
+        }
+
+        // Produce this copy's bits, through the fault model.
+        let produced = produced_bits(&di).map(|p| p ^ input_corrupt);
+        let (out, struck) = match produced {
+            Some(p) => {
+                let (pb, hit) = self.inj.strike_fu(p);
+                (Some(finalize_out(&di, pb)), hit)
+            }
+            None => (None, false),
+        };
+
+        let mut complete_at = done;
+        if needs_dcache {
+            let ea = di.ea.expect("load has an address");
+            // Store-to-load forwarding: if the producing store is still
+            // in flight in the LSQ, the data comes from its entry in a
+            // single cycle instead of a cache access.
+            let forwarded = self.cfg.stl_forwarding
+                && self
+                    .last_store
+                    .get(&(ea & !7))
+                    .is_some_and(|&s| self.ruu.get(s).is_some());
+            if forwarded {
+                complete_at = done + 1;
+            } else {
+                self.dcache_used += 1;
+                complete_at = done + self.hierarchy.read_data(ea);
+            }
+        }
+        let e = self.ruu.get_mut(seq).expect("entry");
+        e.state = EntryState::Issued;
+        e.executed_on_fu = true;
+        e.complete_at = Some(complete_at);
+        e.out_bits = out;
+        if struck {
+            e.fault_tainted = true;
+        }
+        true
+    }
+
+    // ----- dispatch -------------------------------------------------
+
+    fn dispatch(&mut self) {
+        let mut budget = self.cfg.decode_width;
+        loop {
+            let need = if self.is_dual() { 2 } else { 1 };
+            if budget < need {
+                break;
+            }
+            let Some(front) = self.ifq.front() else { break };
+            let di = front.di;
+            if self.ruu.free() < need {
+                self.stats.dispatch_stalls_ruu += 1;
+                break;
+            }
+            if di.inst.op.is_mem() && self.lsq_used >= self.cfg.lsq_size {
+                self.stats.dispatch_stalls_lsq += 1;
+                break;
+            }
+            let fetched = self.ifq.pop_front().expect("front exists");
+            self.dispatch_one(fetched);
+            budget -= need;
+        }
+    }
+
+    fn dispatch_one(&mut self, fetched: FetchedInst) {
+        let di = fetched.di;
+        // Primary copy.
+        let pseq = self.ruu.next_seq();
+        let mut primary = Entry::new(di, Stream::Primary);
+        if self.mode == ExecMode::SieIrb {
+            primary.reuse = fetched.reuse;
+            primary.lookup_done_at = fetched.lookup_done_at;
+        }
+        primary.deps_remaining = self.link_deps(pseq, &di, PRIMARY, true);
+        if primary.deps_remaining == 0 {
+            primary.state = EntryState::Ready;
+            primary.ready_at = self.cycle;
+        }
+        let pushed = self.ruu.push(primary);
+        debug_assert_eq!(pushed, pseq);
+
+        // Duplicate copy.
+        if self.is_dual() {
+            let dseq = self.ruu.next_seq();
+            let mut dup = Entry::new(di, Stream::Dup);
+            if self.mode == ExecMode::DieIrb {
+                dup.reuse = fetched.reuse;
+                dup.lookup_done_at = fetched.lookup_done_at;
+            }
+            dup.deps_remaining = self.link_deps(dseq, &di, self.dup_source_bank, false);
+            if dup.deps_remaining == 0 {
+                dup.state = EntryState::Ready;
+                dup.ready_at = self.cycle;
+            }
+            self.ruu.push(dup);
+        }
+
+        // Rename updates (after both copies read the old mappings).
+        if let Some(rd) = di.inst.int_dest() {
+            if !rd.is_zero() {
+                self.rename_int[PRIMARY][rd.index()] = Some(pseq);
+                if self.is_dual() {
+                    self.rename_int[DUP][rd.index()] = Some(pseq + 1);
+                }
+            }
+        }
+        if let Some(fd) = di.inst.fp_dest() {
+            self.rename_fp[PRIMARY][fd.index()] = Some(pseq);
+            if self.is_dual() {
+                self.rename_fp[DUP][fd.index()] = Some(pseq + 1);
+            }
+        }
+
+        // LSQ bookkeeping: one slot per architected memory op; the
+        // store-address map feeds memory-dependence edges.
+        if di.inst.op.is_mem() {
+            self.lsq_used += 1;
+            if di.inst.op.is_store() {
+                let ea = di.ea.expect("store has an address");
+                self.last_store.insert(ea & !7, pseq);
+            }
+        }
+    }
+
+    /// Registers producer→consumer edges; returns the dependence count.
+    fn link_deps(&mut self, myseq: u64, di: &DynInst, bank: usize, is_primary: bool) -> usize {
+        let mut deps = 0;
+        let mut producers: Vec<u64> = Vec::new();
+        for r in di.inst.int_sources() {
+            if r.is_zero() {
+                continue;
+            }
+            if let Some(p) = self.rename_int[bank][r.index()] {
+                producers.push(p);
+            }
+        }
+        for f in di.inst.fp_sources() {
+            if let Some(p) = self.rename_fp[bank][f.index()] {
+                producers.push(p);
+            }
+        }
+        // Memory dependence: the copy that performs the access waits
+        // for the newest earlier store to the same (aligned) address.
+        if di.inst.op.is_load() && (is_primary || !self.is_dual()) {
+            let ea = di.ea.expect("load has an address");
+            if let Some(&s) = self.last_store.get(&(ea & !7)) {
+                producers.push(s);
+            }
+        }
+        for p in producers {
+            if let Some(prod) = self.ruu.get_mut(p) {
+                if !prod.is_done() {
+                    prod.consumers.push(myseq);
+                    deps += 1;
+                }
+            }
+        }
+        deps
+    }
+
+    // ----- fetch ----------------------------------------------------
+
+    fn fetch(&mut self, source: &mut dyn InstructionSource) -> Result<(), SimError> {
+        if matches!(self.front_state, FrontState::WaitBranch(_)) {
+            self.stats.fetch_stalls_branch += 1;
+            // Wrong-path pollution: keep the I-cache streaming down the
+            // mispredicted path, one line per cycle.
+            if let Some(wp) = self.wrong_path_pc {
+                let line_bytes = self.cfg.hierarchy.l1i.line_bytes;
+                let _ = self.hierarchy.fetch_inst(wp);
+                self.last_fetch_line = Some(wp / line_bytes);
+                self.wrong_path_pc = Some(wp + line_bytes);
+            }
+            return Ok(());
+        }
+        if self.cycle < self.resume_at {
+            match self.resume_reason {
+                ResumeReason::BtbBubble => self.stats.fetch_stalls_btb += 1,
+                _ => self.stats.fetch_stalls_branch += 1,
+            }
+            return Ok(());
+        }
+        if self.cycle < self.icache_ready_at {
+            self.stats.fetch_stalls_icache += 1;
+            return Ok(());
+        }
+        self.fill_lookahead(source)?;
+        if self.lookahead.is_none() {
+            return Ok(());
+        }
+        if self.ifq.len() >= self.cfg.fetch_queue {
+            self.stats.fetch_stalls_queue += 1;
+            return Ok(());
+        }
+
+        let line_bytes = self.cfg.hierarchy.l1i.line_bytes;
+        let hit_lat = self.cfg.hierarchy.l1i.hit_latency;
+        let mut fetched = 0usize;
+
+        while fetched < self.cfg.fetch_width && self.ifq.len() < self.cfg.fetch_queue {
+            self.fill_lookahead(source)?;
+            let Some(di) = self.lookahead else { break };
+            // Touch the I-cache once per new line the group walks into
+            // (SimpleScalar-style: the group may span line boundaries as
+            // long as every line hits).
+            let line = di.pc / line_bytes;
+            if self.last_fetch_line != Some(line) {
+                let lat = self.hierarchy.fetch_inst(di.pc);
+                self.last_fetch_line = Some(line);
+                if lat > hit_lat {
+                    self.icache_ready_at = self.cycle + lat;
+                    if fetched == 0 {
+                        self.stats.fetch_stalls_icache += 1;
+                    }
+                    return Ok(());
+                }
+            }
+
+            // Consume the instruction.
+            self.lookahead = None;
+            let reuse_allowed = !self.cfg.reuse_long_latency_only
+                || matches!(
+                    di.class(),
+                    OpClass::IntMul
+                        | OpClass::IntDiv
+                        | OpClass::FpAdd
+                        | OpClass::FpMul
+                        | OpClass::FpDiv
+                        | OpClass::FpSqrt
+                );
+            let (reuse, lookup_done_at) = match &mut self.irb {
+                Some(irb) if reuse_allowed => irb.start_lookup(&di, self.cycle),
+                _ => (ReuseState::NotEligible, self.cycle),
+            };
+            self.ifq.push_back(FetchedInst {
+                di,
+                reuse,
+                lookup_done_at,
+            });
+            fetched += 1;
+
+            let outcome = if self.cfg.perfect_branch_prediction {
+                // Oracle: taken control flow still ends the fetch group
+                // (one redirect per cycle), but never stalls.
+                self.frontend.train(&di);
+                if di.redirects() {
+                    FetchOutcome::TakenPredicted
+                } else {
+                    FetchOutcome::Sequential
+                }
+            } else {
+                self.frontend.assess(&di)
+            };
+            match outcome {
+                FetchOutcome::Sequential => {}
+                FetchOutcome::TakenPredicted => break,
+                FetchOutcome::TakenBtbMiss => {
+                    let resume = self.cycle + self.cfg.btb_miss_penalty;
+                    if resume > self.resume_at {
+                        self.resume_at = resume;
+                        self.resume_reason = ResumeReason::BtbBubble;
+                    }
+                    break;
+                }
+                FetchOutcome::Mispredict => {
+                    self.front_state = FrontState::WaitBranch(di.seq);
+                    if self.cfg.wrong_path_fetch {
+                        // The path the front end *would* have followed:
+                        // the wrong side of the branch.
+                        let ctrl = di.control.expect("mispredicts are control insts");
+                        self.wrong_path_pc = Some(if ctrl.taken {
+                            di.fallthrough_pc()
+                        } else {
+                            ctrl.target
+                        });
+                    }
+                    break;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ----- finalize -------------------------------------------------
+
+    fn finalize(&mut self) {
+        self.stats.cycles = self.cycle;
+        self.stats.l1i = *self.hierarchy.stats(Level::L1I);
+        self.stats.l1d = *self.hierarchy.stats(Level::L1D);
+        self.stats.l2 = *self.hierarchy.stats(Level::L2);
+        let f = self.frontend.stats();
+        self.stats.branches = BranchSummary {
+            cond_branches: f.cond_branches,
+            cond_mispredicts: f.cond_mispredicts,
+            indirect_jumps: f.indirect_jumps,
+            indirect_mispredicts: f.indirect_mispredicts,
+            btb_miss_bubbles: f.btb_miss_bubbles,
+        };
+        self.stats.int_alu_busy_cycles = self.fu.busy_cycles(Pool::IntAlu);
+        self.stats.int_alu_ops = [
+            OpClass::IntAlu,
+            OpClass::Load,
+            OpClass::Store,
+            OpClass::Branch,
+            OpClass::Jump,
+            OpClass::Sys,
+        ]
+        .iter()
+        .map(|&c| self.fu.issued(c))
+        .sum();
+        if let Some(irb) = &self.irb {
+            self.stats.irb = IrbSummary {
+                buffer: *irb.buffer().stats(),
+                reuse_passed: irb.stats().reuse_passed,
+                reuse_failed: irb.stats().reuse_failed,
+                lookups_port_starved: irb.stats().lookups_port_starved,
+                inserts_port_starved: irb.stats().inserts_port_starved,
+            };
+        }
+        self.stats.faults = *self.inj.stats();
+    }
+}
+
+/// The "reuse output domain" bits an execution of `di` produces: the
+/// register result for ALU ops, the effective address for memory ops,
+/// the encoded outcome for control ops, `None` for pure system ops.
+fn produced_bits(di: &DynInst) -> Option<u64> {
+    match di.class() {
+        OpClass::Load | OpClass::Store => di.ea,
+        OpClass::Branch | OpClass::Jump => di
+            .control
+            .map(|c| c.target | u64::from(c.taken) << 63),
+        OpClass::Sys => None,
+        _ => di.result,
+    }
+}
+
+/// Folds store data into the comparator word (see
+/// [`crate::ruu::checked_bits`]); identity for everything else.
+fn finalize_out(di: &DynInst, produced: u64) -> u64 {
+    if di.inst.op.is_store() {
+        produced ^ di.src2.rotate_left(32)
+    } else {
+        produced
+    }
+}
+
+#[cfg(test)]
+mod tests;

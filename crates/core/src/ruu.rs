@@ -1,0 +1,398 @@
+//! The Register Update Unit: SimpleScalar's unified ROB + issue window.
+
+use std::collections::VecDeque;
+
+use redsim_isa::trace::DynInst;
+use redsim_irb::IrbEntry;
+
+/// Which redundant stream a RUU entry belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stream {
+    /// The primary stream — always executes on the functional units.
+    Primary,
+    /// The duplicate stream — the candidate for IRB service.
+    Dup,
+}
+
+/// Scheduling state of one RUU entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryState {
+    /// Waiting for `deps_remaining` producers to broadcast.
+    Waiting,
+    /// All operands available; contending for issue (or for the reuse
+    /// test, for IRB-hit duplicates).
+    Ready,
+    /// Executing; completes at `complete_at`.
+    Issued,
+    /// A duplicate load whose address work is done (or bypassed) but
+    /// whose data awaits the pair's single shared memory access.
+    WaitingPair,
+    /// Result produced (broadcast done, for producers).
+    Done,
+}
+
+/// The IRB interaction of a duplicate entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReuseState {
+    /// Not a candidate (SIE/DIE entry, or ineligible opcode).
+    NotEligible,
+    /// Lookup performed, PC missed.
+    PcMiss,
+    /// Lookup could not get an IRB read port this cycle.
+    PortStarved,
+    /// PC hit; entry rides along awaiting the reuse test.
+    Hit(IrbEntry),
+    /// Reuse test passed — the entry bypassed the functional units.
+    Passed,
+    /// Reuse test failed — executed on the functional units.
+    Failed,
+}
+
+/// One RUU entry: a single copy of a dynamic instruction.
+#[derive(Debug, Clone)]
+pub struct Entry {
+    /// The committed-path record this entry is a copy of.
+    pub di: DynInst,
+    /// Primary or duplicate stream.
+    pub stream: Stream,
+    /// Scheduling state.
+    pub state: EntryState,
+    /// Producers still outstanding.
+    pub deps_remaining: usize,
+    /// Absolute seqs of in-flight consumers to wake on broadcast.
+    pub consumers: Vec<u64>,
+    /// Completion (result broadcast) cycle, once known.
+    pub complete_at: Option<u64>,
+    /// IRB interaction (duplicates in DIE-IRB, all insts in SIE-IRB).
+    pub reuse: ReuseState,
+    /// Earliest cycle the IRB lookup result is available.
+    pub lookup_done_at: u64,
+    /// Cycle the entry last became [`EntryState::Ready`] (drives the
+    /// non-data-capture reuse-test timing).
+    pub ready_at: u64,
+    /// `true` once the entry has consumed a functional unit.
+    pub executed_on_fu: bool,
+    /// Result bits this copy produced (possibly fault-corrupted); the
+    /// commit-stage comparator checks primary vs duplicate.
+    pub out_bits: Option<u64>,
+    /// `true` if a fault was injected anywhere on this copy's path.
+    pub fault_tainted: bool,
+    /// XOR mask accumulated from corrupted operand forwarding; a
+    /// non-zero mask propagates into this copy's produced bits.
+    pub input_corrupt: u64,
+    /// For mispredicted control instructions: resolution already
+    /// reported to the front end.
+    pub resolution_reported: bool,
+}
+
+impl Entry {
+    /// Creates a freshly dispatched entry.
+    #[must_use]
+    pub fn new(di: DynInst, stream: Stream) -> Self {
+        Entry {
+            di,
+            stream,
+            state: EntryState::Waiting,
+            deps_remaining: 0,
+            consumers: Vec::new(),
+            complete_at: None,
+            reuse: ReuseState::NotEligible,
+            lookup_done_at: 0,
+            ready_at: 0,
+            executed_on_fu: false,
+            out_bits: None,
+            fault_tainted: false,
+            input_corrupt: 0,
+            resolution_reported: false,
+        }
+    }
+
+    /// The clean (fault-free) architectural check value of this copy:
+    /// the register result, the effective address for memory ops, or
+    /// the encoded control outcome for branches/jumps.
+    #[must_use]
+    pub fn clean_check_bits(&self) -> Option<u64> {
+        checked_bits(&self.di)
+    }
+
+    /// `true` once the entry's result is final (commit-ready).
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.state == EntryState::Done
+    }
+}
+
+/// The architectural check value of a dynamic instruction, as the DIE
+/// commit comparator sees it (§2.1).
+///
+/// Memory instructions are checked on the redundantly-computed piece —
+/// the effective address (the single shared data-cache access is outside
+/// the comparison; stores additionally fold the data value in). Control
+/// instructions are checked on their encoded outcome; everything else on
+/// the destination value.
+#[must_use]
+pub fn checked_bits(di: &DynInst) -> Option<u64> {
+    if di.inst.op.is_load() {
+        return di.ea;
+    }
+    if di.inst.op.is_store() {
+        // Fold address and store data into one comparator word.
+        return di.ea.map(|ea| ea ^ di.src2.rotate_left(32));
+    }
+    if let Some(c) = di.control {
+        return Some(c.target | u64::from(c.taken) << 63);
+    }
+    di.result
+}
+
+/// The RUU: a bounded FIFO of entries addressed by absolute sequence
+/// number (entries never leave out of order — the committed-path trace
+/// contains no wrong-path work to squash).
+#[derive(Debug, Default)]
+pub struct Ruu {
+    entries: VecDeque<Entry>,
+    /// Absolute seq of `entries[0]`.
+    base: u64,
+    capacity: usize,
+}
+
+impl Ruu {
+    /// Creates an empty RUU with `capacity` entries.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Ruu {
+            entries: VecDeque::with_capacity(capacity),
+            base: 0,
+            capacity,
+        }
+    }
+
+    /// Free slots.
+    #[must_use]
+    pub fn free(&self) -> usize {
+        self.capacity - self.entries.len()
+    }
+
+    /// Occupied slots.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no entries are in flight.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Absolute seq the next pushed entry will receive.
+    #[must_use]
+    pub fn next_seq(&self) -> u64 {
+        self.base + self.entries.len() as u64
+    }
+
+    /// Absolute seq of the oldest entry.
+    #[must_use]
+    pub fn head_seq(&self) -> u64 {
+        self.base
+    }
+
+    /// Pushes an entry, returning its absolute seq.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the RUU is full — dispatch must check [`Ruu::free`].
+    pub fn push(&mut self, entry: Entry) -> u64 {
+        assert!(self.entries.len() < self.capacity, "RUU overflow");
+        let seq = self.next_seq();
+        self.entries.push_back(entry);
+        seq
+    }
+
+    /// Pops the oldest entry (commit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the RUU is empty.
+    pub fn pop(&mut self) -> Entry {
+        let e = self.entries.pop_front().expect("RUU underflow");
+        self.base += 1;
+        e
+    }
+
+    /// The entry with absolute seq `seq`, if still in flight.
+    #[must_use]
+    pub fn get(&self, seq: u64) -> Option<&Entry> {
+        let idx = seq.checked_sub(self.base)?;
+        self.entries.get(idx as usize)
+    }
+
+    /// Mutable access by absolute seq.
+    pub fn get_mut(&mut self, seq: u64) -> Option<&mut Entry> {
+        let idx = seq.checked_sub(self.base)?;
+        self.entries.get_mut(idx as usize)
+    }
+
+    /// Iterates `(seq, entry)` oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &Entry)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .map(move |(i, e)| (self.base + i as u64, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redsim_isa::trace::ControlOutcome;
+    use redsim_isa::Inst;
+
+    fn di(seq: u64) -> DynInst {
+        DynInst {
+            seq,
+            pc: 0x1000 + seq * 8,
+            inst: Inst::NOP,
+            src1: 0,
+            src2: 0,
+            result: None,
+            ea: None,
+            control: None,
+            next_pc: 0x1008 + seq * 8,
+        }
+    }
+
+    #[test]
+    fn seq_addressing_survives_pops() {
+        let mut r = Ruu::new(4);
+        let s0 = r.push(Entry::new(di(0), Stream::Primary));
+        let s1 = r.push(Entry::new(di(1), Stream::Primary));
+        assert_eq!((s0, s1), (0, 1));
+        r.pop();
+        assert!(r.get(s0).is_none(), "committed entries are gone");
+        assert_eq!(r.get(s1).unwrap().di.seq, 1);
+        let s2 = r.push(Entry::new(di(2), Stream::Primary));
+        assert_eq!(s2, 2);
+        assert_eq!(r.head_seq(), 1);
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut r = Ruu::new(2);
+        r.push(Entry::new(di(0), Stream::Primary));
+        assert_eq!(r.free(), 1);
+        r.push(Entry::new(di(1), Stream::Dup));
+        assert_eq!(r.free(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "RUU overflow")]
+    fn overflow_panics() {
+        let mut r = Ruu::new(1);
+        r.push(Entry::new(di(0), Stream::Primary));
+        r.push(Entry::new(di(1), Stream::Primary));
+    }
+
+    #[test]
+    fn checked_bits_covers_each_instruction_kind() {
+        use redsim_isa::{IntReg, Opcode};
+        let mut d = di(0);
+        assert_eq!(checked_bits(&d), None, "nop checks nothing");
+        d.control = Some(ControlOutcome {
+            taken: true,
+            target: 0x2000,
+        });
+        assert_eq!(checked_bits(&d), Some(0x2000 | 1 << 63));
+        d.control = None;
+        d.result = Some(42);
+        assert_eq!(checked_bits(&d), Some(42), "alu checks the result");
+
+        // Control outcome takes precedence over a link-register result
+        // (jal is checked on its encoded outcome, like the pipeline).
+        d.control = Some(ControlOutcome { taken: true, target: 0x40 });
+        assert_eq!(checked_bits(&d), Some(0x40 | 1 << 63));
+
+        // A load is checked on its redundantly computed address, not on
+        // the singly-fetched data value.
+        let mut ld = di(1);
+        ld.inst = Inst::load_int(Opcode::Ld, IntReg::new(1), IntReg::new(2), 0);
+        ld.ea = Some(0x3000);
+        ld.result = Some(777);
+        assert_eq!(checked_bits(&ld), Some(0x3000));
+
+        // A store folds address and data.
+        let mut st = di(2);
+        st.inst = Inst::store_int(Opcode::Sd, IntReg::new(1), IntReg::new(2), 0);
+        st.ea = Some(0x3000);
+        st.src2 = 5;
+        assert_eq!(checked_bits(&st), Some(0x3000 ^ 5u64.rotate_left(32)));
+    }
+
+    #[test]
+    fn iter_yields_oldest_first_with_seqs() {
+        let mut r = Ruu::new(4);
+        r.push(Entry::new(di(0), Stream::Primary));
+        r.push(Entry::new(di(1), Stream::Dup));
+        r.pop();
+        r.push(Entry::new(di(2), Stream::Primary));
+        let seqs: Vec<u64> = r.iter().map(|(s, _)| s).collect();
+        assert_eq!(seqs, [1, 2]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use redsim_isa::Inst;
+
+    fn di(seq: u64) -> DynInst {
+        DynInst {
+            seq,
+            pc: 0x1000 + seq * 8,
+            inst: Inst::NOP,
+            src1: 0,
+            src2: 0,
+            result: None,
+            ea: None,
+            control: None,
+            next_pc: 0x1008 + seq * 8,
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Any interleaving of pushes and pops keeps absolute-sequence
+        /// addressing consistent: `get(seq)` returns the entry that was
+        /// pushed as the seq-th item, or None once popped.
+        #[test]
+        fn seq_addressing_is_stable(ops in proptest::collection::vec(any::<bool>(), 1..200)) {
+            let mut r = Ruu::new(16);
+            let mut pushed: u64 = 0;
+            let mut popped: u64 = 0;
+            for push in ops {
+                if push && r.free() > 0 {
+                    let seq = r.push(Entry::new(di(pushed), Stream::Primary));
+                    prop_assert_eq!(seq, pushed);
+                    pushed += 1;
+                } else if !push && !r.is_empty() {
+                    let e = r.pop();
+                    prop_assert_eq!(e.di.seq, popped);
+                    popped += 1;
+                }
+                prop_assert_eq!(r.head_seq(), popped);
+                prop_assert_eq!(r.next_seq(), pushed);
+                prop_assert_eq!(r.len() as u64, pushed - popped);
+                // Every live seq resolves, every dead one does not.
+                if pushed > popped {
+                    prop_assert!(r.get(popped).is_some());
+                }
+                if popped > 0 {
+                    prop_assert!(r.get(popped - 1).is_none());
+                }
+                prop_assert!(r.get(pushed).is_none());
+            }
+        }
+    }
+}

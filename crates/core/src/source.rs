@@ -1,0 +1,138 @@
+//! Committed-path instruction sources for the timing models.
+
+use redsim_isa::emu::Emulator;
+use redsim_isa::trace::DynInst;
+use redsim_isa::{EmuError, Program};
+
+/// A stream of committed dynamic instructions.
+///
+/// The timing models are trace-driven: they pull the committed path from
+/// a source and decide *when* each instruction moves through the
+/// machine. [`EmulatorSource`] runs the functional emulator lazily;
+/// [`VecSource`] replays a pre-recorded trace (useful for tests and for
+/// running many machine configurations over the identical instruction
+/// stream).
+pub trait InstructionSource {
+    /// The next committed instruction, or `None` at end of program.
+    ///
+    /// # Errors
+    ///
+    /// Propagates functional-execution faults (bad memory access,
+    /// runaway program exceeding its budget).
+    fn next_inst(&mut self) -> Result<Option<DynInst>, EmuError>;
+}
+
+/// Drives the functional emulator on demand.
+#[derive(Debug)]
+pub struct EmulatorSource {
+    emu: Emulator,
+    budget: u64,
+    drawn: u64,
+}
+
+impl EmulatorSource {
+    /// Creates a source executing `program` with an instruction budget
+    /// (a runaway-loop backstop).
+    #[must_use]
+    pub fn new(program: &Program, budget: u64) -> Self {
+        EmulatorSource {
+            emu: Emulator::new(program),
+            budget,
+            drawn: 0,
+        }
+    }
+
+    /// The wrapped emulator (e.g. to read program output afterwards).
+    #[must_use]
+    pub fn emulator(&self) -> &Emulator {
+        &self.emu
+    }
+}
+
+impl InstructionSource for EmulatorSource {
+    fn next_inst(&mut self) -> Result<Option<DynInst>, EmuError> {
+        if self.emu.halted() {
+            return Ok(None);
+        }
+        if self.drawn >= self.budget {
+            return Err(EmuError::BudgetExhausted {
+                executed: self.drawn,
+            });
+        }
+        self.drawn += 1;
+        self.emu.step()
+    }
+}
+
+/// Replays a pre-recorded trace.
+#[derive(Debug, Clone)]
+pub struct VecSource {
+    trace: Vec<DynInst>,
+    pos: usize,
+}
+
+impl VecSource {
+    /// Creates a source replaying `trace` in order.
+    #[must_use]
+    pub fn new(trace: Vec<DynInst>) -> Self {
+        VecSource { trace, pos: 0 }
+    }
+
+    /// Number of instructions remaining.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.trace.len() - self.pos
+    }
+}
+
+impl InstructionSource for VecSource {
+    fn next_inst(&mut self) -> Result<Option<DynInst>, EmuError> {
+        let item = self.trace.get(self.pos).copied();
+        if item.is_some() {
+            self.pos += 1;
+        }
+        Ok(item)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redsim_isa::asm::assemble;
+
+    #[test]
+    fn emulator_source_streams_until_halt() {
+        let p = assemble("main: li a0, 1\n li a1, 2\n halt\n").unwrap();
+        let mut s = EmulatorSource::new(&p, 100);
+        let mut n = 0;
+        while let Some(d) = s.next_inst().unwrap() {
+            assert_eq!(d.seq, n);
+            n += 1;
+        }
+        assert_eq!(n, 3);
+        assert!(s.next_inst().unwrap().is_none(), "stays exhausted");
+    }
+
+    #[test]
+    fn emulator_source_enforces_budget() {
+        let p = assemble("spin: j spin\n").unwrap();
+        let mut s = EmulatorSource::new(&p, 10);
+        for _ in 0..10 {
+            assert!(s.next_inst().unwrap().is_some());
+        }
+        assert!(s.next_inst().is_err());
+    }
+
+    #[test]
+    fn vec_source_replays_in_order() {
+        let p = assemble("main: li a0, 1\n add a1, a0, a0\n halt\n").unwrap();
+        let trace = redsim_isa::emu::Emulator::new(&p).run_trace(100).unwrap();
+        let mut s = VecSource::new(trace.clone());
+        assert_eq!(s.remaining(), 3);
+        for want in &trace {
+            assert_eq!(s.next_inst().unwrap().as_ref(), Some(want));
+        }
+        assert!(s.next_inst().unwrap().is_none());
+        assert_eq!(s.remaining(), 0);
+    }
+}

@@ -1,0 +1,236 @@
+//! End-of-run simulation statistics.
+
+use serde::{Deserialize, Serialize};
+
+use redsim_irb::IrbStats;
+use redsim_mem::CacheStats;
+
+use crate::fault::FaultStats;
+
+/// Why the fetch stage produced no instructions in a cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FetchStallKind {
+    /// Waiting for a mispredicted branch to resolve plus the redirect
+    /// penalty (the wrong-path window).
+    BranchRecovery,
+    /// Waiting on an instruction-cache miss.
+    ICacheMiss,
+    /// The fetch queue is full (back-end pressure).
+    QueueFull,
+    /// A BTB-miss bubble on a taken control instruction.
+    BtbBubble,
+}
+
+/// Front-end prediction summary (copied out of the front end at the end
+/// of a run).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct BranchSummary {
+    /// Conditional branches fetched.
+    pub cond_branches: u64,
+    /// Conditional mispredictions.
+    pub cond_mispredicts: u64,
+    /// Indirect jumps fetched.
+    pub indirect_jumps: u64,
+    /// Indirect mispredictions.
+    pub indirect_mispredicts: u64,
+    /// BTB-miss bubbles.
+    pub btb_miss_bubbles: u64,
+}
+
+impl BranchSummary {
+    /// Conditional-branch misprediction rate in `[0, 1]`.
+    #[must_use]
+    pub fn cond_mispredict_rate(&self) -> f64 {
+        if self.cond_branches == 0 {
+            0.0
+        } else {
+            self.cond_mispredicts as f64 / self.cond_branches as f64
+        }
+    }
+}
+
+/// IRB summary: buffer stats plus pipeline-level reuse outcomes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct IrbSummary {
+    /// The buffer's own counters (lookups, hits, conflicts...).
+    pub buffer: IrbStats,
+    /// Reuse tests passed (duplicates that skipped the ALUs).
+    pub reuse_passed: u64,
+    /// Reuse tests failed.
+    pub reuse_failed: u64,
+    /// Lookups denied a read port.
+    pub lookups_port_starved: u64,
+    /// Inserts denied a write port.
+    pub inserts_port_starved: u64,
+}
+
+impl IrbSummary {
+    /// Fraction of reuse tests that passed.
+    #[must_use]
+    pub fn reuse_pass_rate(&self) -> f64 {
+        let n = self.reuse_passed + self.reuse_failed;
+        if n == 0 {
+            0.0
+        } else {
+            self.reuse_passed as f64 / n as f64
+        }
+    }
+}
+
+/// Everything a run reports.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Architected (per-program) instructions committed.
+    pub committed_insts: u64,
+    /// RUU entries committed (copies; 2× in dual modes).
+    pub committed_copies: u64,
+    /// Copies issued to functional units.
+    pub fu_issues: u64,
+    /// Duplicate copies that bypassed the functional units via reuse.
+    pub fu_bypasses: u64,
+    /// Integer-ALU-pool operations issued (the contended resource).
+    pub int_alu_ops: u64,
+    /// Integer-ALU-pool busy unit-cycles (utilization numerator).
+    pub int_alu_busy_cycles: u64,
+    /// Cycles in which at least one instruction was committed.
+    pub active_commit_cycles: u64,
+    /// Sum of RUU occupancy over cycles (for the average).
+    pub ruu_occupancy_sum: u64,
+    /// Cycles the fetch stage delivered nothing, by cause.
+    pub fetch_stalls_branch: u64,
+    /// I-cache-miss fetch stalls.
+    pub fetch_stalls_icache: u64,
+    /// Fetch-queue-full stalls.
+    pub fetch_stalls_queue: u64,
+    /// BTB-bubble stalls.
+    pub fetch_stalls_btb: u64,
+    /// Cycles dispatch was blocked by a full RUU.
+    pub dispatch_stalls_ruu: u64,
+    /// Cycles dispatch was blocked by a full LSQ.
+    pub dispatch_stalls_lsq: u64,
+    /// Front-end prediction summary.
+    pub branches: BranchSummary,
+    /// L1I cache stats.
+    pub l1i: CacheStats,
+    /// L1D cache stats.
+    pub l1d: CacheStats,
+    /// L2 cache stats.
+    pub l2: CacheStats,
+    /// IRB summary (zeroed in modes without an IRB).
+    pub irb: IrbSummary,
+    /// DIE pair checks performed at commit.
+    pub pairs_checked: u64,
+    /// Pair mismatches (each triggers a rewind).
+    pub pair_mismatches: u64,
+    /// Fault-injection accounting.
+    pub faults: FaultStats,
+}
+
+impl SimStats {
+    /// Architected instructions per cycle — the paper's metric.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed_insts as f64 / self.cycles as f64
+        }
+    }
+
+    /// Copies (RUU entries) per cycle — the machine's raw throughput.
+    #[must_use]
+    pub fn copy_ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed_copies as f64 / self.cycles as f64
+        }
+    }
+
+    /// Average RUU occupancy.
+    #[must_use]
+    pub fn avg_ruu_occupancy(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.ruu_occupancy_sum as f64 / self.cycles as f64
+        }
+    }
+
+    /// Integer-ALU pool utilization in `[0, 1]`, given the pool size.
+    #[must_use]
+    pub fn int_alu_utilization(&self, int_alus: usize) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.int_alu_busy_cycles as f64 / (self.cycles * int_alus as u64) as f64
+        }
+    }
+
+    /// Percentage IPC loss of `self` relative to a baseline run
+    /// (positive = slower than baseline). The y-axis of Figure 2.
+    #[must_use]
+    pub fn ipc_loss_vs(&self, baseline: &SimStats) -> f64 {
+        let (a, b) = (self.ipc(), baseline.ipc());
+        if b == 0.0 {
+            0.0
+        } else {
+            (1.0 - a / b) * 100.0
+        }
+    }
+
+    /// Fraction of eligible duplicate work served by the IRB.
+    #[must_use]
+    pub fn bypass_fraction(&self) -> f64 {
+        let n = self.fu_issues + self.fu_bypasses;
+        if n == 0 {
+            0.0
+        } else {
+            self.fu_bypasses as f64 / n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_handles_zero_cycles() {
+        assert_eq!(SimStats::default().ipc(), 0.0);
+    }
+
+    #[test]
+    fn ipc_loss_matches_figure2_definition() {
+        let base = SimStats {
+            cycles: 100,
+            committed_insts: 200,
+            ..SimStats::default()
+        };
+        let slower = SimStats {
+            cycles: 100,
+            committed_insts: 150,
+            ..SimStats::default()
+        };
+        assert!((slower.ipc_loss_vs(&base) - 25.0).abs() < 1e-12);
+        assert!((base.ipc_loss_vs(&base)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_is_bounded() {
+        let s = SimStats {
+            cycles: 100,
+            int_alu_busy_cycles: 250,
+            ..SimStats::default()
+        };
+        let u = s.int_alu_utilization(4);
+        assert!((u - 0.625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reuse_pass_rate_zero_when_unused() {
+        assert_eq!(IrbSummary::default().reuse_pass_rate(), 0.0);
+    }
+}

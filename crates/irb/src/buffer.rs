@@ -1,0 +1,572 @@
+//! The reuse-buffer storage array.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::{IrbConfig, ReusePolicy};
+
+/// One IRB entry: a PC's most recent execution.
+///
+/// Operand and result values are raw 64-bit patterns (fp values travel
+/// as `f64` bits). For instructions with an immediate second operand the
+/// immediate is stored in `op2` — it is constant per static instruction,
+/// so it always matches, exactly as in hardware where the immediate is
+/// part of the instruction word rather than the reuse test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct IrbEntry {
+    /// The static instruction's address (the tag).
+    pub pc: u64,
+    /// First operand value at the buffered execution.
+    pub op1: u64,
+    /// Second operand value at the buffered execution.
+    pub op2: u64,
+    /// The buffered result (for memory operations, the effective
+    /// address; for branches, the encoded outcome).
+    pub result: u64,
+}
+
+/// Register names an entry depends on, for name-based reuse.
+///
+/// Encoded as `index` for integer registers and `32 + index` for fp
+/// registers; `None` when the operand slot is unused or immediate.
+pub type OperandNames = [Option<u8>; 2];
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Slot {
+    valid: bool,
+    entry: IrbEntry,
+    names: OperandNames,
+    lru: u64,
+}
+
+impl Default for IrbEntry {
+    fn default() -> Self {
+        IrbEntry {
+            pc: 0,
+            op1: 0,
+            op2: 0,
+            result: 0,
+        }
+    }
+}
+
+/// Occupancy and traffic statistics for a [`ReuseBuffer`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IrbStats {
+    /// PC lookups performed.
+    pub lookups: u64,
+    /// Lookups that found a matching PC in the main array.
+    pub pc_hits: u64,
+    /// Lookups that missed the main array but hit the victim buffer.
+    pub victim_hits: u64,
+    /// Entries written.
+    pub inserts: u64,
+    /// Valid entries displaced by an insert with a *different* PC
+    /// (conflict pressure on the direct-mapped array).
+    pub conflict_evictions: u64,
+    /// Entries invalidated by name-based register overwrites.
+    pub invalidations: u64,
+}
+
+impl IrbStats {
+    /// PC hit rate over all lookups (victim hits count as hits).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            (self.pc_hits + self.victim_hits) as f64 / self.lookups as f64
+        }
+    }
+}
+
+/// The IRB storage: a set-associative main array plus an optional
+/// fully-associative victim buffer.
+///
+/// # Examples
+///
+/// ```
+/// use redsim_irb::{IrbConfig, IrbEntry, ReuseBuffer};
+///
+/// let mut irb = ReuseBuffer::new(IrbConfig::paper_baseline());
+/// irb.insert(IrbEntry { pc: 0x1000, op1: 1, op2: 2, result: 3 });
+/// assert_eq!(irb.lookup(0x1000).unwrap().result, 3);
+/// assert!((irb.stats().hit_rate() - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReuseBuffer {
+    config: IrbConfig,
+    slots: Vec<Slot>,
+    victim: Vec<Slot>,
+    stats: IrbStats,
+    tick: u64,
+}
+
+impl ReuseBuffer {
+    /// Creates an empty buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid ([`IrbConfig::validate`]).
+    #[must_use]
+    pub fn new(config: IrbConfig) -> Self {
+        config.validate();
+        ReuseBuffer {
+            slots: vec![Slot::default(); config.entries],
+            victim: vec![Slot::default(); config.victim_entries],
+            config,
+            stats: IrbStats::default(),
+            tick: 0,
+        }
+    }
+
+    /// The buffer's configuration.
+    #[must_use]
+    pub fn config(&self) -> &IrbConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> &IrbStats {
+        &self.stats
+    }
+
+    fn set_of(&self, pc: u64) -> usize {
+        ((pc >> 3) as usize) & (self.config.num_sets() - 1)
+    }
+
+    /// Looks up `pc`, returning the buffered execution on a PC hit.
+    ///
+    /// A victim-buffer hit promotes the entry back into the main array
+    /// (swapping with the displaced main-array occupant).
+    pub fn lookup(&mut self, pc: u64) -> Option<IrbEntry> {
+        self.tick += 1;
+        self.stats.lookups += 1;
+        let assoc = self.config.assoc;
+        let base = self.set_of(pc) * assoc;
+        for way in 0..assoc {
+            let slot = &mut self.slots[base + way];
+            if slot.valid && slot.entry.pc == pc {
+                slot.lru = self.tick;
+                self.stats.pc_hits += 1;
+                return Some(slot.entry);
+            }
+        }
+        // Victim probe.
+        if let Some(vi) = self
+            .victim
+            .iter()
+            .position(|s| s.valid && s.entry.pc == pc)
+        {
+            self.stats.victim_hits += 1;
+            let promoted = self.victim[vi];
+            // Swap with the main-array victim for this set.
+            let victim_way = self.choose_victim(base, assoc);
+            self.victim[vi] = self.slots[base + victim_way];
+            self.slots[base + victim_way] = Slot {
+                lru: self.tick,
+                ..promoted
+            };
+            return Some(promoted.entry);
+        }
+        None
+    }
+
+    fn choose_victim(&self, base: usize, assoc: usize) -> usize {
+        (0..assoc)
+            .find(|&w| !self.slots[base + w].valid)
+            .unwrap_or_else(|| {
+                (0..assoc)
+                    .min_by_key(|&w| self.slots[base + w].lru)
+                    .expect("assoc >= 1")
+            })
+    }
+
+    /// Inserts or refreshes the execution for `entry.pc`.
+    pub fn insert(&mut self, entry: IrbEntry) {
+        self.insert_named(entry, [None, None]);
+    }
+
+    /// Inserts with operand register names recorded (name-based reuse).
+    pub fn insert_named(&mut self, entry: IrbEntry, names: OperandNames) {
+        self.tick += 1;
+        self.stats.inserts += 1;
+        let assoc = self.config.assoc;
+        let base = self.set_of(entry.pc) * assoc;
+        // Refresh in place on a PC match.
+        for way in 0..assoc {
+            let slot = &mut self.slots[base + way];
+            if slot.valid && slot.entry.pc == entry.pc {
+                slot.entry = entry;
+                slot.names = names;
+                slot.lru = self.tick;
+                return;
+            }
+        }
+        let way = self.choose_victim(base, assoc);
+        let displaced = self.slots[base + way];
+        if displaced.valid && displaced.entry.pc != entry.pc {
+            self.stats.conflict_evictions += 1;
+            // Spill into the victim buffer (LRU there as well).
+            if !self.victim.is_empty() {
+                let vi = self
+                    .victim
+                    .iter()
+                    .position(|s| !s.valid)
+                    .unwrap_or_else(|| {
+                        self.victim
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|(_, s)| s.lru)
+                            .map(|(i, _)| i)
+                            .expect("victim_entries > 0")
+                    });
+                self.victim[vi] = displaced;
+            }
+        }
+        self.slots[base + way] = Slot {
+            valid: true,
+            entry,
+            names,
+            lru: self.tick,
+        };
+    }
+
+    /// Name-based invalidation: drops every entry that names `reg` as a
+    /// source. Call on every committed register write when the policy is
+    /// [`ReusePolicy::Name`]; a no-op under value-based reuse.
+    pub fn invalidate_name(&mut self, reg: u8) {
+        if self.config.policy != ReusePolicy::Name {
+            return;
+        }
+        for slot in self.slots.iter_mut().chain(self.victim.iter_mut()) {
+            if slot.valid && slot.names.iter().flatten().any(|&n| n == reg) {
+                slot.valid = false;
+                self.stats.invalidations += 1;
+            }
+        }
+    }
+
+    /// Total addressable slots (main array only), for fault injection.
+    #[must_use]
+    pub fn num_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Flips one bit of the buffered *result* in slot `slot`, modelling a
+    /// particle strike on the (unprotected) IRB array. Returns `true` if
+    /// the slot held a valid entry.
+    ///
+    /// The paper argues (§3.4) that the IRB needs no dedicated
+    /// protection: a corrupted reused result still gets compared against
+    /// the primary stream's ALU execution at commit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn inject_fault(&mut self, slot: usize, bit: u32) -> bool {
+        assert!(slot < self.slots.len(), "fault slot {slot} out of range");
+        let s = &mut self.slots[slot];
+        if s.valid {
+            s.entry.result ^= 1 << (bit % 64);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Invalidates everything and clears statistics.
+    pub fn reset(&mut self) {
+        self.slots.fill(Slot::default());
+        self.victim.fill(Slot::default());
+        self.stats = IrbStats::default();
+        self.tick = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PortConfig;
+
+    fn cfg(entries: usize, assoc: usize, victim: usize) -> IrbConfig {
+        IrbConfig {
+            entries,
+            assoc,
+            victim_entries: victim,
+            ports: PortConfig::paper_baseline(),
+            lookup_stages: 3,
+            policy: ReusePolicy::Value,
+        }
+    }
+
+    #[test]
+    fn miss_insert_hit() {
+        let mut b = ReuseBuffer::new(cfg(16, 1, 0));
+        assert!(b.lookup(0x1000).is_none());
+        b.insert(IrbEntry {
+            pc: 0x1000,
+            op1: 7,
+            op2: 8,
+            result: 15,
+        });
+        let e = b.lookup(0x1000).unwrap();
+        assert_eq!((e.op1, e.op2, e.result), (7, 8, 15));
+        assert_eq!(b.stats().lookups, 2);
+        assert_eq!(b.stats().pc_hits, 1);
+    }
+
+    #[test]
+    fn insert_refreshes_in_place() {
+        let mut b = ReuseBuffer::new(cfg(16, 1, 0));
+        b.insert(IrbEntry {
+            pc: 0x1000,
+            op1: 1,
+            op2: 1,
+            result: 2,
+        });
+        b.insert(IrbEntry {
+            pc: 0x1000,
+            op1: 2,
+            op2: 2,
+            result: 4,
+        });
+        assert_eq!(b.lookup(0x1000).unwrap().result, 4);
+        assert_eq!(b.stats().conflict_evictions, 0, "same-pc refresh is not a conflict");
+    }
+
+    #[test]
+    fn direct_mapped_conflicts_evict() {
+        let mut b = ReuseBuffer::new(cfg(16, 1, 0));
+        // Two PCs in the same set: stride = sets * 8 bytes = 128.
+        let (p1, p2) = (0x1000, 0x1000 + 128);
+        b.insert(IrbEntry {
+            pc: p1,
+            op1: 0,
+            op2: 0,
+            result: 1,
+        });
+        b.insert(IrbEntry {
+            pc: p2,
+            op1: 0,
+            op2: 0,
+            result: 2,
+        });
+        assert!(b.lookup(p1).is_none(), "p1 was evicted by p2");
+        assert_eq!(b.lookup(p2).unwrap().result, 2);
+        assert_eq!(b.stats().conflict_evictions, 1);
+    }
+
+    #[test]
+    fn two_way_associativity_absorbs_the_same_conflict() {
+        let mut b = ReuseBuffer::new(cfg(16, 2, 0));
+        let sets = 8;
+        let (p1, p2) = (0x1000, 0x1000 + sets * 8);
+        b.insert(IrbEntry {
+            pc: p1,
+            op1: 0,
+            op2: 0,
+            result: 1,
+        });
+        b.insert(IrbEntry {
+            pc: p2,
+            op1: 0,
+            op2: 0,
+            result: 2,
+        });
+        assert!(b.lookup(p1).is_some());
+        assert!(b.lookup(p2).is_some());
+    }
+
+    #[test]
+    fn victim_buffer_catches_conflict_evictions() {
+        let mut b = ReuseBuffer::new(cfg(16, 1, 4));
+        let (p1, p2) = (0x1000, 0x1000 + 128);
+        b.insert(IrbEntry {
+            pc: p1,
+            op1: 0,
+            op2: 0,
+            result: 1,
+        });
+        b.insert(IrbEntry {
+            pc: p2,
+            op1: 0,
+            op2: 0,
+            result: 2,
+        });
+        // p1 now lives in the victim buffer.
+        let e = b.lookup(p1).expect("victim hit");
+        assert_eq!(e.result, 1);
+        assert_eq!(b.stats().victim_hits, 1);
+        // Promotion swapped p2 out to the victim buffer; both remain findable.
+        assert_eq!(b.lookup(p2).unwrap().result, 2);
+    }
+
+    #[test]
+    fn name_based_invalidation_drops_dependents() {
+        let mut b = ReuseBuffer::new(IrbConfig {
+            policy: ReusePolicy::Name,
+            ..cfg(16, 1, 0)
+        });
+        b.insert_named(
+            IrbEntry {
+                pc: 0x1000,
+                op1: 5,
+                op2: 6,
+                result: 11,
+            },
+            [Some(3), Some(4)],
+        );
+        b.insert_named(
+            IrbEntry {
+                pc: 0x1008,
+                op1: 9,
+                op2: 0,
+                result: 9,
+            },
+            [Some(7), None],
+        );
+        b.invalidate_name(4);
+        assert!(b.lookup(0x1000).is_none(), "entry naming r4 must die");
+        assert!(b.lookup(0x1008).is_some());
+        assert_eq!(b.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn value_policy_ignores_invalidation() {
+        let mut b = ReuseBuffer::new(cfg(16, 1, 0));
+        b.insert_named(
+            IrbEntry {
+                pc: 0x1000,
+                op1: 5,
+                op2: 6,
+                result: 11,
+            },
+            [Some(3), None],
+        );
+        b.invalidate_name(3);
+        assert!(b.lookup(0x1000).is_some());
+    }
+
+    #[test]
+    fn fault_injection_flips_result_bit() {
+        let mut b = ReuseBuffer::new(cfg(16, 1, 0));
+        b.insert(IrbEntry {
+            pc: 0x1000,
+            op1: 0,
+            op2: 0,
+            result: 0b100,
+        });
+        let slot = ((0x1000u64 >> 3) as usize) & 15;
+        assert!(b.inject_fault(slot, 0));
+        assert_eq!(b.lookup(0x1000).unwrap().result, 0b101);
+        // Invalid slot reports false.
+        let empty = (slot + 1) % 16;
+        assert!(!b.inject_fault(empty, 0));
+    }
+
+    #[test]
+    fn hit_rate_counts_victim_hits() {
+        let mut b = ReuseBuffer::new(cfg(16, 1, 4));
+        b.insert(IrbEntry {
+            pc: 0x1000,
+            op1: 0,
+            op2: 0,
+            result: 1,
+        });
+        b.insert(IrbEntry {
+            pc: 0x1000 + 128,
+            op1: 0,
+            op2: 0,
+            result: 2,
+        });
+        b.lookup(0x1000); // victim hit
+        b.lookup(0x9999_9999 & !7); // miss
+        assert!((b.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut b = ReuseBuffer::new(cfg(16, 1, 2));
+        b.insert(IrbEntry {
+            pc: 0x1000,
+            op1: 0,
+            op2: 0,
+            result: 1,
+        });
+        b.reset();
+        assert!(b.lookup(0x1000).is_none());
+        assert_eq!(b.stats().inserts, 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::config::PortConfig;
+    use proptest::prelude::*;
+
+    fn arb_entry() -> impl Strategy<Value = IrbEntry> {
+        (0u64..1u64 << 20, any::<u64>(), any::<u64>(), any::<u64>()).prop_map(
+            |(pc, op1, op2, result)| IrbEntry {
+                pc: pc & !7,
+                op1,
+                op2,
+                result,
+            },
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// After inserting an entry, looking its PC up immediately
+        /// returns exactly that entry, for any organization.
+        #[test]
+        fn insert_then_lookup_returns_entry(
+            e in arb_entry(),
+            assoc in prop::sample::select(vec![1usize, 2, 4]),
+            victim in 0usize..4,
+        ) {
+            let mut b = ReuseBuffer::new(IrbConfig {
+                entries: 64,
+                assoc,
+                victim_entries: victim,
+                ports: PortConfig::paper_baseline(),
+                lookup_stages: 3,
+                policy: ReusePolicy::Value,
+            });
+            b.insert(e);
+            prop_assert_eq!(b.lookup(e.pc), Some(e));
+        }
+
+        /// A returned entry always carries the queried PC, and stats
+        /// stay consistent under arbitrary workloads.
+        #[test]
+        fn lookup_never_returns_wrong_pc(
+            entries in proptest::collection::vec(arb_entry(), 1..100),
+            probes in proptest::collection::vec(0u64..1u64 << 20, 1..100),
+        ) {
+            let mut b = ReuseBuffer::new(IrbConfig {
+                entries: 32,
+                assoc: 1,
+                victim_entries: 4,
+                ports: PortConfig::paper_baseline(),
+                lookup_stages: 3,
+                policy: ReusePolicy::Value,
+            });
+            for e in &entries {
+                b.insert(*e);
+            }
+            for p in &probes {
+                let pc = p & !7;
+                if let Some(e) = b.lookup(pc) {
+                    prop_assert_eq!(e.pc, pc);
+                }
+            }
+            let s = *b.stats();
+            prop_assert_eq!(s.inserts, entries.len() as u64);
+            prop_assert!(s.pc_hits + s.victim_hits <= s.lookups);
+        }
+    }
+}

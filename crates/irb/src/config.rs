@@ -1,0 +1,200 @@
+//! IRB configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// How the reuse test decides that a buffered result is still valid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReusePolicy {
+    /// Value-based reuse (the paper's evaluated scheme): the entry
+    /// stores operand *values* and the reuse test compares them against
+    /// the operands forwarded from the primary stream.
+    Value,
+    /// Name-based reuse (§3.3): the entry stores operand register
+    /// *names*; writing a source register invalidates dependent entries,
+    /// and a valid entry passes the reuse test without a value compare.
+    /// Cheaper for non-data-capture schedulers, lower hit rate.
+    Name,
+}
+
+/// Port provisioning for the IRB (§3.2 of the paper).
+///
+/// Reads are consumed by duplicate-stream lookups; writes by commit-time
+/// updates; read/write ports can serve either, arbitrated per cycle by
+/// [`PortArbiter`](crate::PortArbiter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PortConfig {
+    /// Dedicated read ports.
+    pub read: u32,
+    /// Dedicated write ports.
+    pub write: u32,
+    /// Shared read/write ports.
+    pub read_write: u32,
+}
+
+impl PortConfig {
+    /// The paper's allocation: 4 read + 2 write + 2 read/write.
+    #[must_use]
+    pub fn paper_baseline() -> Self {
+        PortConfig {
+            read: 4,
+            write: 2,
+            read_write: 2,
+        }
+    }
+
+    /// Effectively unlimited ports, for idealized studies.
+    #[must_use]
+    pub fn unlimited() -> Self {
+        PortConfig {
+            read: u32::MAX / 2,
+            write: u32::MAX / 2,
+            read_write: 0,
+        }
+    }
+
+    /// Maximum reads serviceable in one cycle.
+    #[must_use]
+    pub fn max_reads(&self) -> u32 {
+        self.read + self.read_write
+    }
+
+    /// Maximum writes serviceable in one cycle.
+    #[must_use]
+    pub fn max_writes(&self) -> u32 {
+        self.write + self.read_write
+    }
+}
+
+/// Full IRB configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IrbConfig {
+    /// Total entries in the main array (power of two).
+    pub entries: usize,
+    /// Ways per set (1 = direct-mapped, the paper's choice).
+    pub assoc: usize,
+    /// Fully-associative victim-buffer entries (0 disables it). The
+    /// victim buffer is the conflict-miss-reduction mechanism of §3.1.
+    pub victim_entries: usize,
+    /// Port provisioning.
+    pub ports: PortConfig,
+    /// Pipelined lookup latency in cycles (paper: 3, from Cacti 3.2 at
+    /// 180 nm / 2 GHz).
+    pub lookup_stages: u32,
+    /// Reuse-test policy.
+    pub policy: ReusePolicy,
+}
+
+impl IrbConfig {
+    /// The paper's suggested configuration: 1024-entry direct-mapped,
+    /// 4R/2W/2RW ports, 3-stage pipelined lookup, value-based reuse.
+    #[must_use]
+    pub fn paper_baseline() -> Self {
+        IrbConfig {
+            entries: 1024,
+            assoc: 1,
+            victim_entries: 0,
+            ports: PortConfig::paper_baseline(),
+            lookup_stages: 3,
+            policy: ReusePolicy::Value,
+        }
+    }
+
+    /// Baseline plus a 16-entry victim buffer (the conflict-miss
+    /// mechanism evaluated in the reproduction's Fig. E).
+    #[must_use]
+    pub fn paper_baseline_with_victim() -> Self {
+        IrbConfig {
+            victim_entries: 16,
+            ..Self::paper_baseline()
+        }
+    }
+
+    /// Checks invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two, `assoc` is zero or
+    /// does not divide `entries`, or the resulting set count is not a
+    /// power of two.
+    pub fn validate(&self) {
+        assert!(
+            self.entries.is_power_of_two() && self.entries > 0,
+            "IRB entries {} must be a power of two",
+            self.entries
+        );
+        assert!(self.assoc >= 1, "IRB associativity must be at least 1");
+        assert!(
+            self.entries % self.assoc == 0,
+            "IRB entries {} not divisible by associativity {}",
+            self.entries,
+            self.assoc
+        );
+        let sets = self.entries / self.assoc;
+        assert!(sets.is_power_of_two(), "IRB set count {sets} must be a power of two");
+    }
+
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid geometry (see [`IrbConfig::validate`]).
+    #[must_use]
+    pub fn num_sets(&self) -> usize {
+        self.validate();
+        self.entries / self.assoc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_baseline_matches_section_3_2() {
+        let c = IrbConfig::paper_baseline();
+        assert_eq!(c.entries, 1024);
+        assert_eq!(c.assoc, 1);
+        assert_eq!(c.lookup_stages, 3);
+        assert_eq!(c.ports.read, 4);
+        assert_eq!(c.ports.write, 2);
+        assert_eq!(c.ports.read_write, 2);
+        assert_eq!(c.ports.max_reads(), 6);
+        assert_eq!(c.ports.max_writes(), 4);
+        assert_eq!(c.policy, ReusePolicy::Value);
+        c.validate();
+    }
+
+    #[test]
+    fn victim_variant_only_adds_victim_entries() {
+        let base = IrbConfig::paper_baseline();
+        let v = IrbConfig::paper_baseline_with_victim();
+        assert_eq!(v.victim_entries, 16);
+        assert_eq!(
+            IrbConfig {
+                victim_entries: 0,
+                ..v
+            },
+            base
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_entries_panic() {
+        IrbConfig {
+            entries: 1000,
+            ..IrbConfig::paper_baseline()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn num_sets_accounts_for_associativity() {
+        let c = IrbConfig {
+            entries: 1024,
+            assoc: 4,
+            ..IrbConfig::paper_baseline()
+        };
+        assert_eq!(c.num_sets(), 256);
+    }
+}

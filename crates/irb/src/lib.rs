@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+
+//! # redsim-irb
+//!
+//! The Instruction Reuse Buffer (IRB) of the DIE-IRB design (Parashar,
+//! Gurumurthi & Sivasubramaniam, ISCA 2004, §3).
+//!
+//! The IRB is a PC-indexed table of `(pc, operand1, operand2, result)`
+//! tuples. In the paper's design the *duplicate* instruction stream of a
+//! dual-instruction-execution (DIE) core looks its PC up in parallel with
+//! fetch; on a PC hit, the entry's operands ride along to the issue
+//! window, where a *reuse test* compares them against the operands
+//! forwarded from the primary stream. A passing test lets the duplicate
+//! skip the functional units entirely — amplifying effective ALU
+//! bandwidth without growing the issue width or adding forwarding buses.
+//!
+//! This crate models the structure itself:
+//!
+//! * [`ReuseBuffer`] — direct-mapped or set-associative storage with an
+//!   optional victim buffer (the paper's conflict-miss-reduction
+//!   mechanism), plus hit/insert/conflict statistics.
+//! * [`PortArbiter`] — the paper's explicit port provisioning (4 read,
+//!   2 write, 2 read/write at baseline) with per-cycle arbitration.
+//! * [`IrbConfig`] — declarative configuration with
+//!   [`IrbConfig::paper_baseline`] matching §3.2 (1024-entry
+//!   direct-mapped, 3-stage pipelined lookup).
+//! * [`ReusePolicy`] — value-based reuse (the paper's evaluated scheme)
+//!   or name-based reuse (§3.3's sketch for non-data-capture
+//!   schedulers), where entries are invalidated when a source register
+//!   is overwritten rather than compared by value.
+//!
+//! The *timing* integration (the 3-stage lookup pipeline racing
+//! fetch/dispatch, and the `Rdy2L/Rdy2R` issue-window reuse test) lives
+//! in `redsim-core`; this crate supplies the state and the port model.
+//!
+//! # Examples
+//!
+//! ```
+//! use redsim_irb::{IrbConfig, IrbEntry, ReuseBuffer};
+//!
+//! let mut irb = ReuseBuffer::new(IrbConfig::paper_baseline());
+//! irb.insert(IrbEntry { pc: 0x1000, op1: 2, op2: 3, result: 5 });
+//! let e = irb.lookup(0x1000).expect("pc hit");
+//! assert_eq!(e.result, 5);
+//! assert!(irb.lookup(0x1008).is_none());
+//! ```
+
+mod buffer;
+mod config;
+mod ports;
+
+pub use buffer::{IrbEntry, IrbStats, ReuseBuffer};
+pub use config::{IrbConfig, PortConfig, ReusePolicy};
+pub use ports::PortArbiter;

@@ -1,0 +1,321 @@
+//! Operand parsing for the assembler.
+
+use std::collections::BTreeMap;
+
+use crate::error::AsmError;
+use crate::inst::Inst;
+use crate::op::{Opcode, OperandSig};
+use crate::reg::{FpReg, IntReg};
+
+/// Splits a statement into mnemonic and operand text.
+pub(super) fn split_statement(stmt: &str) -> (&str, &str) {
+    match stmt.find(char::is_whitespace) {
+        Some(i) => (&stmt[..i], stmt[i..].trim_start()),
+        None => (stmt, ""),
+    }
+}
+
+/// A comma-separated operand cursor with label resolution.
+pub(super) struct Cursor<'a> {
+    items: Vec<&'a str>,
+    next: usize,
+    line: u32,
+    symbols: &'a BTreeMap<String, u64>,
+}
+
+impl<'a> Cursor<'a> {
+    pub(super) fn new(rest: &'a str, line: u32, symbols: &'a BTreeMap<String, u64>) -> Self {
+        let items = rest
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .collect();
+        Cursor {
+            items,
+            next: 0,
+            line,
+            symbols,
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> AsmError {
+        AsmError::new(self.line, msg)
+    }
+
+    fn take(&mut self, what: &str) -> Result<&'a str, AsmError> {
+        let item = self
+            .items
+            .get(self.next)
+            .ok_or_else(|| self.err(format!("missing {what} operand")))?;
+        self.next += 1;
+        Ok(item)
+    }
+
+    fn peek(&self) -> Option<&'a str> {
+        self.items.get(self.next).copied()
+    }
+
+    pub(super) fn expect_end(&self) -> Result<(), AsmError> {
+        if self.next < self.items.len() {
+            return Err(self.err(format!(
+                "unexpected extra operand `{}`",
+                self.items[self.next]
+            )));
+        }
+        Ok(())
+    }
+
+    fn int_reg(&mut self) -> Result<IntReg, AsmError> {
+        let item = self.take("integer register")?;
+        IntReg::from_name(item).ok_or_else(|| self.err(format!("`{item}` is not an integer register")))
+    }
+
+    fn fp_reg(&mut self) -> Result<FpReg, AsmError> {
+        let item = self.take("fp register")?;
+        FpReg::from_name(item).ok_or_else(|| self.err(format!("`{item}` is not an fp register")))
+    }
+
+    fn imm32(&mut self) -> Result<i32, AsmError> {
+        let item = self.take("immediate")?;
+        self.resolve_imm(item)
+    }
+
+    fn resolve_imm(&self, item: &str) -> Result<i32, AsmError> {
+        let v = if let Some(&addr) = self.symbols.get(item) {
+            addr as i64
+        } else {
+            parse_int(item).ok_or_else(|| self.err(format!("bad immediate `{item}`")))?
+        };
+        i32::try_from(v).map_err(|_| self.err(format!("immediate `{item}` out of 32-bit range")))
+    }
+
+    /// Parses `offset(base)`, `(base)`, `label`, or a bare offset with an
+    /// implied zero base.
+    fn mem_operand(&mut self) -> Result<(IntReg, i32), AsmError> {
+        let item = self.take("memory operand")?;
+        if let Some(open) = item.find('(') {
+            let close = item
+                .rfind(')')
+                .ok_or_else(|| self.err(format!("unbalanced parentheses in `{item}`")))?;
+            let base_name = item[open + 1..close].trim();
+            let base = IntReg::from_name(base_name)
+                .ok_or_else(|| self.err(format!("`{base_name}` is not an integer register")))?;
+            let off_text = item[..open].trim();
+            let offset = if off_text.is_empty() {
+                0
+            } else {
+                self.resolve_imm(off_text)?
+            };
+            Ok((base, offset))
+        } else {
+            Ok((IntReg::ZERO, self.resolve_imm(item)?))
+        }
+    }
+
+    /// Resolves a branch/jump target into a PC-relative byte offset.
+    fn pc_rel_target(&mut self, pc: u64) -> Result<i32, AsmError> {
+        let item = self.take("branch target")?;
+        let abs = if let Some(&addr) = self.symbols.get(item) {
+            addr as i64
+        } else {
+            parse_int(item).ok_or_else(|| self.err(format!("unknown target `{item}`")))?
+        };
+        let rel = abs - pc as i64;
+        i32::try_from(rel).map_err(|_| self.err(format!("target `{item}` out of range")))
+    }
+}
+
+/// Parses a signed integer literal: decimal, `0x` hex, `0b` binary, or
+/// `'c'` char.
+pub(super) fn parse_int(s: &str) -> Option<i64> {
+    let s = s.trim();
+    if let Some(rest) = s.strip_prefix("0b").or_else(|| s.strip_prefix("0B")) {
+        return i64::from_str_radix(rest, 2).ok();
+    }
+    if let Some(rest) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        return i64::from_str_radix(rest, 16).ok().or_else(|| {
+            u64::from_str_radix(rest, 16).ok().map(|v| v as i64)
+        });
+    }
+    if let Some(rest) = s.strip_prefix("-0x").or_else(|| s.strip_prefix("-0X")) {
+        return i64::from_str_radix(rest, 16).ok().map(|v| -v);
+    }
+    if s.len() == 3 && s.starts_with('\'') && s.ends_with('\'') {
+        return Some(s.as_bytes()[1] as i64);
+    }
+    s.parse().ok()
+}
+
+/// Parses one statement (real or pseudo) into exactly one instruction.
+pub(super) fn parse_statement(
+    mnemonic: &str,
+    cur: &mut Cursor<'_>,
+    pc: u64,
+) -> Result<Inst, AsmError> {
+    if let Some(inst) = parse_pseudo(mnemonic, cur, pc)? {
+        return Ok(inst);
+    }
+    let op = Opcode::from_mnemonic(mnemonic)
+        .ok_or_else(|| AsmError::new(cur.line, format!("unknown mnemonic `{mnemonic}`")))?;
+    parse_real(op, cur, pc)
+}
+
+fn parse_real(op: Opcode, cur: &mut Cursor<'_>, pc: u64) -> Result<Inst, AsmError> {
+    use OperandSig::*;
+    Ok(match op.sig() {
+        Rrr => {
+            let (rd, rs1, rs2) = (cur.int_reg()?, cur.int_reg()?, cur.int_reg()?);
+            Inst::rrr(op, rd, rs1, rs2)
+        }
+        Rri => {
+            let (rd, rs1, imm) = (cur.int_reg()?, cur.int_reg()?, cur.imm32()?);
+            Inst::rri(op, rd, rs1, imm)
+        }
+        Ri => {
+            let (rd, imm) = (cur.int_reg()?, cur.imm32()?);
+            Inst::li(rd, imm)
+        }
+        Fff => {
+            let (fd, fs1, fs2) = (cur.fp_reg()?, cur.fp_reg()?, cur.fp_reg()?);
+            Inst::fff(op, fd, fs1, fs2)
+        }
+        Ff => {
+            let (fd, fs1) = (cur.fp_reg()?, cur.fp_reg()?);
+            Inst::ff(op, fd, fs1)
+        }
+        Rff => {
+            let (rd, fs1, fs2) = (cur.int_reg()?, cur.fp_reg()?, cur.fp_reg()?);
+            Inst::rff(op, rd, fs1, fs2)
+        }
+        Fr => {
+            let (fd, rs1) = (cur.fp_reg()?, cur.int_reg()?);
+            Inst::cvt_int_to_fp(fd, rs1)
+        }
+        Rf => {
+            let (rd, fs1) = (cur.int_reg()?, cur.fp_reg()?);
+            Inst::cvt_fp_to_int(rd, fs1)
+        }
+        MemLoadInt => {
+            let rd = cur.int_reg()?;
+            let (base, off) = cur.mem_operand()?;
+            Inst::load_int(op, rd, base, off)
+        }
+        MemLoadFp => {
+            let fd = cur.fp_reg()?;
+            let (base, off) = cur.mem_operand()?;
+            Inst::load_fp(fd, base, off)
+        }
+        MemStoreInt => {
+            let src = cur.int_reg()?;
+            let (base, off) = cur.mem_operand()?;
+            Inst::store_int(op, src, base, off)
+        }
+        MemStoreFp => {
+            let src = cur.fp_reg()?;
+            let (base, off) = cur.mem_operand()?;
+            Inst::store_fp(src, base, off)
+        }
+        Bcc => {
+            let (rs1, rs2) = (cur.int_reg()?, cur.int_reg()?);
+            let off = cur.pc_rel_target(pc)?;
+            Inst::branch(op, rs1, rs2, off)
+        }
+        JImm => Inst::j(cur.pc_rel_target(pc)?),
+        JalImm => {
+            // `jal target` implies the link register; `jal rd, target` is
+            // also accepted.
+            if cur.items.len() - cur.next >= 2 {
+                let rd = cur.int_reg()?;
+                Inst::jal(rd, cur.pc_rel_target(pc)?)
+            } else {
+                Inst::jal(IntReg::RA, cur.pc_rel_target(pc)?)
+            }
+        }
+        JReg => {
+            let rs1 = cur.int_reg()?;
+            let imm = if cur.peek().is_some() { cur.imm32()? } else { 0 };
+            Inst::jr(rs1, imm)
+        }
+        JalReg => {
+            let (rd, rs1) = (cur.int_reg()?, cur.int_reg()?);
+            let imm = if cur.peek().is_some() { cur.imm32()? } else { 0 };
+            Inst::jalr(rd, rs1, imm)
+        }
+        SysR => {
+            let rs1 = cur.int_reg()?;
+            Inst::sys_r(op, rs1)
+        }
+        SysF => Inst::putf(cur.fp_reg()?),
+        SysNone => match op {
+            Opcode::Halt => Inst::halt(),
+            _ => Inst::NOP,
+        },
+    })
+}
+
+/// Pseudo-instructions; each expands to exactly one real instruction.
+fn parse_pseudo(
+    mnemonic: &str,
+    cur: &mut Cursor<'_>,
+    pc: u64,
+) -> Result<Option<Inst>, AsmError> {
+    let inst = match mnemonic {
+        "mv" => {
+            let (rd, rs) = (cur.int_reg()?, cur.int_reg()?);
+            Inst::rri(Opcode::Addi, rd, rs, 0)
+        }
+        "neg" => {
+            let (rd, rs) = (cur.int_reg()?, cur.int_reg()?);
+            Inst::rrr(Opcode::Sub, rd, IntReg::ZERO, rs)
+        }
+        "not" => {
+            let (rd, rs) = (cur.int_reg()?, cur.int_reg()?);
+            Inst::rrr(Opcode::Nor, rd, rs, IntReg::ZERO)
+        }
+        "la" => {
+            let (rd, imm) = (cur.int_reg()?, cur.imm32()?);
+            Inst::li(rd, imm)
+        }
+        "b" => Inst::j(cur.pc_rel_target(pc)?),
+        "beqz" => {
+            let rs = cur.int_reg()?;
+            Inst::branch(Opcode::Beq, rs, IntReg::ZERO, cur.pc_rel_target(pc)?)
+        }
+        "bnez" => {
+            let rs = cur.int_reg()?;
+            Inst::branch(Opcode::Bne, rs, IntReg::ZERO, cur.pc_rel_target(pc)?)
+        }
+        "bltz" => {
+            let rs = cur.int_reg()?;
+            Inst::branch(Opcode::Blt, rs, IntReg::ZERO, cur.pc_rel_target(pc)?)
+        }
+        "bgez" => {
+            let rs = cur.int_reg()?;
+            Inst::branch(Opcode::Bge, rs, IntReg::ZERO, cur.pc_rel_target(pc)?)
+        }
+        "bgtz" => {
+            let rs = cur.int_reg()?;
+            Inst::branch(Opcode::Blt, IntReg::ZERO, rs, cur.pc_rel_target(pc)?)
+        }
+        "blez" => {
+            let rs = cur.int_reg()?;
+            Inst::branch(Opcode::Bge, IntReg::ZERO, rs, cur.pc_rel_target(pc)?)
+        }
+        "ble" => {
+            let (rs1, rs2) = (cur.int_reg()?, cur.int_reg()?);
+            Inst::branch(Opcode::Bge, rs2, rs1, cur.pc_rel_target(pc)?)
+        }
+        "bgt" => {
+            let (rs1, rs2) = (cur.int_reg()?, cur.int_reg()?);
+            Inst::branch(Opcode::Blt, rs2, rs1, cur.pc_rel_target(pc)?)
+        }
+        "call" => Inst::jal(IntReg::RA, cur.pc_rel_target(pc)?),
+        "ret" => Inst::jr(IntReg::RA, 0),
+        "fmv.d" => {
+            let (fd, fs) = (cur.fp_reg()?, cur.fp_reg()?);
+            Inst::ff(Opcode::FmovD, fd, fs)
+        }
+        _ => return Ok(None),
+    };
+    Ok(Some(inst))
+}

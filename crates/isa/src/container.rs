@@ -1,0 +1,261 @@
+//! A binary container format for linked programs, so kernels can be
+//! assembled once and shipped/loaded like object files.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic   "RSIM"            4 bytes
+//! version u16               currently 1
+//! entry   u64
+//! ninsts  u64               text length in instructions
+//! ndata   u64               data length in bytes
+//! nsyms   u32
+//! text    ninsts * 8 bytes  (the fixed-width encoding of `encode`)
+//! data    ndata bytes
+//! syms    nsyms * { u16 len, len bytes of UTF-8 name, u64 addr }
+//! ```
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::encode::{decode_text, encode_text};
+use crate::error::DecodeError;
+use crate::program::{program_from_parts, Program};
+
+const MAGIC: &[u8; 4] = b"RSIM";
+const VERSION: u16 = 1;
+
+/// An error produced while reading a program container.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContainerError {
+    /// The magic bytes did not match.
+    BadMagic,
+    /// The container version is not supported.
+    BadVersion(u16),
+    /// The byte stream ended before the declared contents.
+    Truncated,
+    /// A symbol name was not valid UTF-8.
+    BadSymbolName,
+    /// An instruction word failed to decode.
+    Decode(DecodeError),
+}
+
+impl fmt::Display for ContainerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ContainerError::BadMagic => write!(f, "not a redsim program (bad magic)"),
+            ContainerError::BadVersion(v) => write!(f, "unsupported container version {v}"),
+            ContainerError::Truncated => write!(f, "container truncated"),
+            ContainerError::BadSymbolName => write!(f, "symbol name is not valid utf-8"),
+            ContainerError::Decode(e) => write!(f, "bad instruction in container: {e}"),
+        }
+    }
+}
+
+impl Error for ContainerError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ContainerError::Decode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DecodeError> for ContainerError {
+    fn from(e: DecodeError) -> Self {
+        ContainerError::Decode(e)
+    }
+}
+
+/// Serializes a program into the container format.
+///
+/// # Examples
+///
+/// ```
+/// use redsim_isa::asm::assemble;
+/// use redsim_isa::container::{from_bytes, to_bytes};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let p = assemble("main: li a0, 1\n halt\n")?;
+/// let bytes = to_bytes(&p);
+/// assert_eq!(from_bytes(&bytes)?, p);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn to_bytes(program: &Program) -> Vec<u8> {
+    let text = encode_text(program.text());
+    let symbols: Vec<_> = program.symbols().collect();
+    let mut out = Vec::with_capacity(64 + text.len() + program.data().len());
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&program.entry().to_le_bytes());
+    out.extend_from_slice(&(program.text().len() as u64).to_le_bytes());
+    out.extend_from_slice(&(program.data().len() as u64).to_le_bytes());
+    out.extend_from_slice(&(symbols.len() as u32).to_le_bytes());
+    out.extend_from_slice(&text);
+    out.extend_from_slice(program.data());
+    for s in symbols {
+        out.extend_from_slice(&(s.name.len() as u16).to_le_bytes());
+        out.extend_from_slice(s.name.as_bytes());
+        out.extend_from_slice(&s.addr.to_le_bytes());
+    }
+    out
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ContainerError> {
+        let end = self.pos.checked_add(n).ok_or(ContainerError::Truncated)?;
+        let slice = self.buf.get(self.pos..end).ok_or(ContainerError::Truncated)?;
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u16(&mut self) -> Result<u16, ContainerError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+    }
+
+    fn u32(&mut self) -> Result<u32, ContainerError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, ContainerError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+}
+
+/// Deserializes a program from container bytes.
+///
+/// # Errors
+///
+/// Returns [`ContainerError`] for malformed input; never panics on
+/// untrusted bytes.
+pub fn from_bytes(bytes: &[u8]) -> Result<Program, ContainerError> {
+    let mut r = Reader { buf: bytes, pos: 0 };
+    if r.take(4)? != MAGIC {
+        return Err(ContainerError::BadMagic);
+    }
+    let version = r.u16()?;
+    if version != VERSION {
+        return Err(ContainerError::BadVersion(version));
+    }
+    let entry = r.u64()?;
+    let ninsts = r.u64()?;
+    let ndata = r.u64()?;
+    let nsyms = r.u32()?;
+    let text_bytes = r.take(
+        usize::try_from(ninsts)
+            .ok()
+            .and_then(|n| n.checked_mul(8))
+            .ok_or(ContainerError::Truncated)?,
+    )?;
+    let text = decode_text(text_bytes)?;
+    let data = r
+        .take(usize::try_from(ndata).map_err(|_| ContainerError::Truncated)?)?
+        .to_vec();
+    let mut symbols = BTreeMap::new();
+    for _ in 0..nsyms {
+        let len = r.u16()? as usize;
+        let name = std::str::from_utf8(r.take(len)?)
+            .map_err(|_| ContainerError::BadSymbolName)?
+            .to_owned();
+        let addr = r.u64()?;
+        symbols.insert(name, addr);
+    }
+    Ok(program_from_parts(text, data, symbols, entry))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn sample() -> Program {
+        assemble(
+            r#"
+                .data
+            arr: .word 1, 2, 3
+            msg: .asciiz "hi"
+                .text
+            main:
+                la t0, arr
+                ld a0, 0(t0)
+            loop:
+                addi a0, a0, -1
+                bnez a0, loop
+                halt
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let p = sample();
+        let q = from_bytes(&to_bytes(&p)).unwrap();
+        assert_eq!(p, q);
+        assert_eq!(q.symbol("msg"), p.symbol("msg"));
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut b = to_bytes(&sample());
+        b[0] = b'X';
+        assert_eq!(from_bytes(&b), Err(ContainerError::BadMagic));
+    }
+
+    #[test]
+    fn bad_version_is_rejected() {
+        let mut b = to_bytes(&sample());
+        b[4] = 99;
+        assert!(matches!(from_bytes(&b), Err(ContainerError::BadVersion(_))));
+    }
+
+    #[test]
+    fn truncations_are_rejected_not_panics() {
+        let b = to_bytes(&sample());
+        for cut in [0, 3, 5, 10, 30, b.len() - 1] {
+            let r = from_bytes(&b[..cut]);
+            assert!(r.is_err(), "cut at {cut} must fail gracefully");
+        }
+    }
+
+    #[test]
+    fn empty_program_round_trips() {
+        let p = assemble("").unwrap();
+        assert_eq!(from_bytes(&to_bytes(&p)).unwrap(), p);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Arbitrary byte soup never panics the loader.
+        #[test]
+        fn loader_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = from_bytes(&bytes);
+        }
+
+        /// Flipping any single byte of a valid container either still
+        /// loads or fails cleanly — never panics.
+        #[test]
+        fn mutation_is_handled(idx in 0usize..64, val in any::<u8>()) {
+            let p = crate::asm::assemble("main: li a0, 7\n halt\n").unwrap();
+            let mut b = to_bytes(&p);
+            let i = idx % b.len();
+            b[i] = val;
+            let _ = from_bytes(&b);
+        }
+    }
+}

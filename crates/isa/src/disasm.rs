@@ -1,0 +1,96 @@
+//! Disassembler: renders program text with addresses, labels and
+//! resolved control-flow targets.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::encode::INST_BYTES;
+use crate::inst::Inst;
+use crate::op::OperandSig;
+use crate::program::Program;
+
+/// Disassembles one instruction at `pc`, resolving PC-relative targets
+/// to absolute addresses (and to `label` names when `labels` knows them).
+#[must_use]
+pub fn disasm_at(inst: &Inst, pc: u64, labels: &HashMap<u64, &str>) -> String {
+    match inst.op.sig() {
+        OperandSig::Bcc | OperandSig::JImm | OperandSig::JalImm => {
+            let target = pc.wrapping_add(inst.imm as i64 as u64);
+            let base = inst.to_string();
+            // Replace the trailing numeric offset with the resolved target.
+            let head = base.rsplit_once(' ').map_or(base.as_str(), |(h, _)| h);
+            match labels.get(&target) {
+                Some(name) => format!("{head} {name}"),
+                None => format!("{head} {target:#x}"),
+            }
+        }
+        _ => inst.to_string(),
+    }
+}
+
+/// Produces a full listing of a program's text segment.
+///
+/// # Examples
+///
+/// ```
+/// use redsim_isa::{asm::assemble, disasm::listing};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let p = assemble("main: addi a0, a0, 1\n beqz a0, main\n halt\n")?;
+/// let text = listing(&p);
+/// assert!(text.contains("main:"));
+/// assert!(text.contains("beq a0, zero, main"));
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn listing(program: &Program) -> String {
+    let mut by_addr: HashMap<u64, &str> = HashMap::new();
+    let symbols: Vec<_> = program.symbols().collect();
+    for s in &symbols {
+        by_addr.insert(s.addr, s.name.as_str());
+    }
+    let mut out = String::new();
+    for (i, inst) in program.text().iter().enumerate() {
+        let pc = program.text_base() + i as u64 * INST_BYTES;
+        if let Some(name) = by_addr.get(&pc) {
+            let _ = writeln!(out, "{name}:");
+        }
+        let _ = writeln!(out, "    {:<32} # {pc:#x}", disasm_at(inst, pc, &by_addr));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    #[test]
+    fn listing_round_trips_through_assembler() {
+        let src = r#"
+        main:
+            li   t0, 10
+        loop:
+            addi t0, t0, -1
+            bne  t0, zero, loop
+            ld   a0, 16(sp)
+            halt
+        "#;
+        let p = assemble(src).unwrap();
+        let text = listing(&p);
+        assert!(text.contains("bne t0, zero, loop"), "{text}");
+        assert!(text.contains("ld a0, 16(sp)"), "{text}");
+        // The listing itself must be reassemblable to the same program.
+        let p2 = assemble(&text).unwrap();
+        assert_eq!(p.text(), p2.text());
+    }
+
+    #[test]
+    fn unresolved_targets_print_as_hex() {
+        let p = assemble("j main\nmain: halt\n").unwrap();
+        let inst = p.text()[0];
+        let rendered = disasm_at(&inst, p.text_base(), &HashMap::new());
+        assert!(rendered.starts_with("j 0x"), "{rendered}");
+    }
+}

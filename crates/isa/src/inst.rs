@@ -1,0 +1,386 @@
+//! The static instruction representation.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::op::{OperandSig, Opcode};
+use crate::reg::{FpReg, IntReg};
+
+/// A decoded static instruction.
+///
+/// The raw operand fields `rd`, `rs1`, `rs2` are register *indices*; how
+/// they map onto the integer or floating-point files is dictated by the
+/// opcode's [`OperandSig`]. Use the typed constructors and the
+/// [`Inst::int_dest`]/[`Inst::fp_dest`]/[`Inst::int_sources`]/
+/// [`Inst::fp_sources`] accessors rather than poking the raw fields.
+///
+/// # Examples
+///
+/// ```
+/// use redsim_isa::{Inst, IntReg, Opcode};
+///
+/// let i = Inst::rrr(Opcode::Add, IntReg::new(3), IntReg::new(1), IntReg::new(2));
+/// assert_eq!(i.int_dest(), Some(IntReg::new(3)));
+/// assert_eq!(i.to_string(), "add gp, ra, sp");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Inst {
+    /// The operation.
+    pub op: Opcode,
+    /// Destination register index (meaning depends on [`Opcode::sig`]).
+    pub rd: u8,
+    /// First source register index.
+    pub rs1: u8,
+    /// Second source register index.
+    pub rs2: u8,
+    /// Immediate operand (offset, shift amount, or literal).
+    pub imm: i32,
+}
+
+impl Inst {
+    /// A `nop`.
+    pub const NOP: Inst = Inst {
+        op: Opcode::Nop,
+        rd: 0,
+        rs1: 0,
+        rs2: 0,
+        imm: 0,
+    };
+
+    fn raw(op: Opcode, rd: u8, rs1: u8, rs2: u8, imm: i32) -> Self {
+        Inst {
+            op,
+            rd,
+            rs1,
+            rs2,
+            imm,
+        }
+    }
+
+    /// Builds a three-integer-register instruction (`add rd, rs1, rs2`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the opcode's signature is not [`OperandSig::Rrr`].
+    #[must_use]
+    pub fn rrr(op: Opcode, rd: IntReg, rs1: IntReg, rs2: IntReg) -> Self {
+        assert_eq!(op.sig(), OperandSig::Rrr, "{op} is not an rrr instruction");
+        Self::raw(op, rd.index() as u8, rs1.index() as u8, rs2.index() as u8, 0)
+    }
+
+    /// Builds a register-immediate instruction (`addi rd, rs1, imm`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the opcode's signature is not [`OperandSig::Rri`].
+    #[must_use]
+    pub fn rri(op: Opcode, rd: IntReg, rs1: IntReg, imm: i32) -> Self {
+        assert_eq!(op.sig(), OperandSig::Rri, "{op} is not an rri instruction");
+        Self::raw(op, rd.index() as u8, rs1.index() as u8, 0, imm)
+    }
+
+    /// Builds `li rd, imm`.
+    #[must_use]
+    pub fn li(rd: IntReg, imm: i32) -> Self {
+        Self::raw(Opcode::Li, rd.index() as u8, 0, 0, imm)
+    }
+
+    /// Builds a three-fp-register instruction (`fadd.d fd, fs1, fs2`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the opcode's signature is not [`OperandSig::Fff`].
+    #[must_use]
+    pub fn fff(op: Opcode, fd: FpReg, fs1: FpReg, fs2: FpReg) -> Self {
+        assert_eq!(op.sig(), OperandSig::Fff, "{op} is not an fff instruction");
+        Self::raw(op, fd.index() as u8, fs1.index() as u8, fs2.index() as u8, 0)
+    }
+
+    /// Builds a two-fp-register instruction (`fsqrt.d fd, fs1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the opcode's signature is not [`OperandSig::Ff`].
+    #[must_use]
+    pub fn ff(op: Opcode, fd: FpReg, fs1: FpReg) -> Self {
+        assert_eq!(op.sig(), OperandSig::Ff, "{op} is not an ff instruction");
+        Self::raw(op, fd.index() as u8, fs1.index() as u8, 0, 0)
+    }
+
+    /// Builds an fp compare writing an integer register (`feq.d rd, fs1, fs2`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the opcode's signature is not [`OperandSig::Rff`].
+    #[must_use]
+    pub fn rff(op: Opcode, rd: IntReg, fs1: FpReg, fs2: FpReg) -> Self {
+        assert_eq!(op.sig(), OperandSig::Rff, "{op} is not an rff instruction");
+        Self::raw(op, rd.index() as u8, fs1.index() as u8, fs2.index() as u8, 0)
+    }
+
+    /// Builds an int→fp convert (`fcvt.d.l fd, rs1`).
+    #[must_use]
+    pub fn cvt_int_to_fp(fd: FpReg, rs1: IntReg) -> Self {
+        Self::raw(Opcode::FcvtDL, fd.index() as u8, rs1.index() as u8, 0, 0)
+    }
+
+    /// Builds an fp→int convert (`fcvt.l.d rd, fs1`).
+    #[must_use]
+    pub fn cvt_fp_to_int(rd: IntReg, fs1: FpReg) -> Self {
+        Self::raw(Opcode::FcvtLD, rd.index() as u8, fs1.index() as u8, 0, 0)
+    }
+
+    /// Builds an integer load (`lw rd, imm(rs1)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the opcode's signature is not [`OperandSig::MemLoadInt`].
+    #[must_use]
+    pub fn load_int(op: Opcode, rd: IntReg, base: IntReg, offset: i32) -> Self {
+        assert_eq!(op.sig(), OperandSig::MemLoadInt, "{op} is not an int load");
+        Self::raw(op, rd.index() as u8, base.index() as u8, 0, offset)
+    }
+
+    /// Builds an fp load (`fld fd, imm(rs1)`).
+    #[must_use]
+    pub fn load_fp(fd: FpReg, base: IntReg, offset: i32) -> Self {
+        Self::raw(Opcode::Fld, fd.index() as u8, base.index() as u8, 0, offset)
+    }
+
+    /// Builds an integer store (`sw rs2, imm(rs1)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the opcode's signature is not [`OperandSig::MemStoreInt`].
+    #[must_use]
+    pub fn store_int(op: Opcode, src: IntReg, base: IntReg, offset: i32) -> Self {
+        assert_eq!(op.sig(), OperandSig::MemStoreInt, "{op} is not an int store");
+        Self::raw(op, 0, base.index() as u8, src.index() as u8, offset)
+    }
+
+    /// Builds an fp store (`fsd fs2, imm(rs1)`).
+    #[must_use]
+    pub fn store_fp(src: FpReg, base: IntReg, offset: i32) -> Self {
+        Self::raw(Opcode::Fsd, 0, base.index() as u8, src.index() as u8, offset)
+    }
+
+    /// Builds a conditional branch with a PC-relative byte offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the opcode's signature is not [`OperandSig::Bcc`].
+    #[must_use]
+    pub fn branch(op: Opcode, rs1: IntReg, rs2: IntReg, offset: i32) -> Self {
+        assert_eq!(op.sig(), OperandSig::Bcc, "{op} is not a branch");
+        Self::raw(op, 0, rs1.index() as u8, rs2.index() as u8, offset)
+    }
+
+    /// Builds `j offset` (PC-relative).
+    #[must_use]
+    pub fn j(offset: i32) -> Self {
+        Self::raw(Opcode::J, 0, 0, 0, offset)
+    }
+
+    /// Builds `jal rd, offset` (PC-relative).
+    #[must_use]
+    pub fn jal(rd: IntReg, offset: i32) -> Self {
+        Self::raw(Opcode::Jal, rd.index() as u8, 0, 0, offset)
+    }
+
+    /// Builds `jr rs1, imm` (indirect jump to `rs1 + imm`).
+    #[must_use]
+    pub fn jr(rs1: IntReg, imm: i32) -> Self {
+        Self::raw(Opcode::Jr, 0, rs1.index() as u8, 0, imm)
+    }
+
+    /// Builds `jalr rd, rs1, imm`.
+    #[must_use]
+    pub fn jalr(rd: IntReg, rs1: IntReg, imm: i32) -> Self {
+        Self::raw(Opcode::Jalr, rd.index() as u8, rs1.index() as u8, 0, imm)
+    }
+
+    /// Builds a system instruction reading one integer register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the opcode's signature is not [`OperandSig::SysR`].
+    #[must_use]
+    pub fn sys_r(op: Opcode, rs1: IntReg) -> Self {
+        assert_eq!(op.sig(), OperandSig::SysR, "{op} does not read an int reg");
+        Self::raw(op, 0, rs1.index() as u8, 0, 0)
+    }
+
+    /// Builds `putf fs1`.
+    #[must_use]
+    pub fn putf(fs1: FpReg) -> Self {
+        Self::raw(Opcode::Putf, 0, fs1.index() as u8, 0, 0)
+    }
+
+    /// Builds `halt`.
+    #[must_use]
+    pub fn halt() -> Self {
+        Self::raw(Opcode::Halt, 0, 0, 0, 0)
+    }
+
+    /// The integer destination register, if the instruction writes one.
+    #[must_use]
+    pub fn int_dest(&self) -> Option<IntReg> {
+        use OperandSig::*;
+        match self.op.sig() {
+            Rrr | Rri | Ri | Rff | Rf | MemLoadInt | JalImm | JalReg => {
+                Some(IntReg::new(self.rd))
+            }
+            _ => None,
+        }
+    }
+
+    /// The fp destination register, if the instruction writes one.
+    #[must_use]
+    pub fn fp_dest(&self) -> Option<FpReg> {
+        use OperandSig::*;
+        match self.op.sig() {
+            Fff | Ff | Fr | MemLoadFp => Some(FpReg::new(self.rd)),
+            _ => None,
+        }
+    }
+
+    /// The integer source registers, in operand order.
+    #[must_use]
+    pub fn int_sources(&self) -> Vec<IntReg> {
+        use OperandSig::*;
+        match self.op.sig() {
+            Rrr => vec![IntReg::new(self.rs1), IntReg::new(self.rs2)],
+            Rri => vec![IntReg::new(self.rs1)],
+            Ri | JImm | JalImm | SysNone => vec![],
+            Fff | Ff | Rff | Rf | SysF => vec![],
+            Fr => vec![IntReg::new(self.rs1)],
+            MemLoadInt | MemLoadFp => vec![IntReg::new(self.rs1)],
+            MemStoreInt => vec![IntReg::new(self.rs1), IntReg::new(self.rs2)],
+            MemStoreFp => vec![IntReg::new(self.rs1)],
+            Bcc => vec![IntReg::new(self.rs1), IntReg::new(self.rs2)],
+            JReg | JalReg => vec![IntReg::new(self.rs1)],
+            SysR => vec![IntReg::new(self.rs1)],
+        }
+    }
+
+    /// The fp source registers, in operand order.
+    #[must_use]
+    pub fn fp_sources(&self) -> Vec<FpReg> {
+        use OperandSig::*;
+        match self.op.sig() {
+            Fff | Rff => vec![FpReg::new(self.rs1), FpReg::new(self.rs2)],
+            Ff | Rf | SysF => vec![FpReg::new(self.rs1)],
+            MemStoreFp => vec![FpReg::new(self.rs2)],
+            _ => vec![],
+        }
+    }
+
+    /// `true` if the instruction writes any architectural register.
+    #[must_use]
+    pub fn has_dest(&self) -> bool {
+        self.int_dest().is_some() || self.fp_dest().is_some()
+    }
+}
+
+impl Default for Inst {
+    fn default() -> Self {
+        Inst::NOP
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use OperandSig::*;
+        let m = self.op.mnemonic();
+        let (rd, rs1, rs2) = (self.rd, self.rs1, self.rs2);
+        let ir = |i: u8| IntReg::new(i).to_string();
+        let fr = |i: u8| FpReg::new(i).to_string();
+        match self.op.sig() {
+            Rrr => write!(f, "{m} {}, {}, {}", ir(rd), ir(rs1), ir(rs2)),
+            Rri => write!(f, "{m} {}, {}, {}", ir(rd), ir(rs1), self.imm),
+            Ri => write!(f, "{m} {}, {}", ir(rd), self.imm),
+            Fff => write!(f, "{m} {}, {}, {}", fr(rd), fr(rs1), fr(rs2)),
+            Ff => write!(f, "{m} {}, {}", fr(rd), fr(rs1)),
+            Rff => write!(f, "{m} {}, {}, {}", ir(rd), fr(rs1), fr(rs2)),
+            Fr => write!(f, "{m} {}, {}", fr(rd), ir(rs1)),
+            Rf => write!(f, "{m} {}, {}", ir(rd), fr(rs1)),
+            MemLoadInt => write!(f, "{m} {}, {}({})", ir(rd), self.imm, ir(rs1)),
+            MemLoadFp => write!(f, "{m} {}, {}({})", fr(rd), self.imm, ir(rs1)),
+            MemStoreInt => write!(f, "{m} {}, {}({})", ir(rs2), self.imm, ir(rs1)),
+            MemStoreFp => write!(f, "{m} {}, {}({})", fr(rs2), self.imm, ir(rs1)),
+            Bcc => write!(f, "{m} {}, {}, {}", ir(rs1), ir(rs2), self.imm),
+            JImm => write!(f, "{m} {}", self.imm),
+            JalImm => write!(f, "{m} {}, {}", ir(rd), self.imm),
+            JReg => write!(f, "{m} {}, {}", ir(rs1), self.imm),
+            JalReg => write!(f, "{m} {}, {}, {}", ir(rd), ir(rs1), self.imm),
+            SysR => write!(f, "{m} {}", ir(rs1)),
+            SysF => write!(f, "{m} {}", fr(rs1)),
+            SysNone => f.write_str(m),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_expected_fields() {
+        let i = Inst::rri(Opcode::Addi, IntReg::new(5), IntReg::new(6), -42);
+        assert_eq!(i.int_dest(), Some(IntReg::new(5)));
+        assert_eq!(i.int_sources(), vec![IntReg::new(6)]);
+        assert_eq!(i.imm, -42);
+    }
+
+    #[test]
+    fn store_sources_include_data_register() {
+        let s = Inst::store_int(Opcode::Sd, IntReg::new(7), IntReg::new(2), 16);
+        assert_eq!(s.int_dest(), None);
+        assert_eq!(s.int_sources(), vec![IntReg::new(2), IntReg::new(7)]);
+    }
+
+    #[test]
+    fn fp_store_reads_fp_data() {
+        let s = Inst::store_fp(FpReg::new(4), IntReg::new(2), 8);
+        assert_eq!(s.fp_sources(), vec![FpReg::new(4)]);
+        assert_eq!(s.int_sources(), vec![IntReg::new(2)]);
+        assert!(!s.has_dest());
+    }
+
+    #[test]
+    fn fp_compare_writes_int_reg() {
+        let c = Inst::rff(Opcode::FltD, IntReg::new(9), FpReg::new(1), FpReg::new(2));
+        assert_eq!(c.int_dest(), Some(IntReg::new(9)));
+        assert_eq!(c.fp_sources().len(), 2);
+    }
+
+    #[test]
+    fn jal_writes_link_register() {
+        let j = Inst::jal(IntReg::RA, 64);
+        assert_eq!(j.int_dest(), Some(IntReg::RA));
+        assert!(j.int_sources().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not an rrr")]
+    fn wrong_signature_panics() {
+        let _ = Inst::rrr(Opcode::Addi, IntReg::ZERO, IntReg::ZERO, IntReg::ZERO);
+    }
+
+    #[test]
+    fn display_formats_mem_operands() {
+        let l = Inst::load_int(Opcode::Lw, IntReg::new(10), IntReg::SP, 24);
+        assert_eq!(l.to_string(), "lw a0, 24(sp)");
+        let s = Inst::store_fp(FpReg::new(2), IntReg::new(11), -8);
+        assert_eq!(s.to_string(), "fsd f2, -8(a1)");
+    }
+
+    #[test]
+    fn nop_is_default_and_has_no_operands() {
+        let n = Inst::default();
+        assert_eq!(n.op, Opcode::Nop);
+        assert!(!n.has_dest());
+        assert!(n.int_sources().is_empty());
+    }
+}

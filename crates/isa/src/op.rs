@@ -1,0 +1,599 @@
+//! Opcodes, operand signatures and operation classes.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Every operation in the ISA.
+///
+/// Floating-point arithmetic is double-precision only (`f64`), mirroring
+/// the dominant FP type of the SPEC CPU2000 floating-point suite the paper
+/// evaluates on. The operand roles of each opcode are described by its
+/// [`Opcode::sig`] signature.
+///
+/// # Examples
+///
+/// ```
+/// use redsim_isa::{OpClass, Opcode};
+///
+/// assert_eq!(Opcode::Add.class(), OpClass::IntAlu);
+/// assert_eq!(Opcode::FdivD.class(), OpClass::FpDiv);
+/// assert!(Opcode::Beq.is_branch());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Opcode {
+    // Integer register-register ALU.
+    /// Integer add: `rd = rs1 + rs2`.
+    Add,
+    /// Integer subtract: `rd = rs1 - rs2`.
+    Sub,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Bitwise NOR (`not` is `nor rd, rs, zero`).
+    Nor,
+    /// Shift left logical by `rs2 & 63`.
+    Sll,
+    /// Shift right logical by `rs2 & 63`.
+    Srl,
+    /// Shift right arithmetic by `rs2 & 63`.
+    Sra,
+    /// Set if less than, signed: `rd = (rs1 < rs2)`.
+    Slt,
+    /// Set if less than, unsigned.
+    Sltu,
+    // Integer register-immediate ALU.
+    /// Add immediate.
+    Addi,
+    /// AND immediate.
+    Andi,
+    /// OR immediate.
+    Ori,
+    /// XOR immediate.
+    Xori,
+    /// Set if less than immediate, signed.
+    Slti,
+    /// Set if less than immediate, unsigned.
+    Sltiu,
+    /// Shift left logical by immediate.
+    Slli,
+    /// Shift right logical by immediate.
+    Srli,
+    /// Shift right arithmetic by immediate.
+    Srai,
+    /// Load immediate: `rd = sign_extend(imm32)`.
+    Li,
+    // Integer multiply/divide.
+    /// Multiply, low 64 bits.
+    Mul,
+    /// Multiply, high 64 bits of the signed 128-bit product.
+    Mulh,
+    /// Signed divide (`-1` on division by zero).
+    Div,
+    /// Unsigned divide (all-ones on division by zero).
+    Divu,
+    /// Signed remainder (dividend on division by zero).
+    Rem,
+    /// Unsigned remainder (dividend on division by zero).
+    Remu,
+    // Double-precision floating point.
+    /// Double-precision add.
+    FaddD,
+    /// Double-precision subtract.
+    FsubD,
+    /// Double-precision multiply.
+    FmulD,
+    /// Double-precision divide.
+    FdivD,
+    /// Double-precision square root.
+    FsqrtD,
+    /// Double-precision minimum.
+    FminD,
+    /// Double-precision maximum.
+    FmaxD,
+    /// Double-precision absolute value.
+    FabsD,
+    /// Double-precision negate.
+    FnegD,
+    /// Copy between fp registers.
+    FmovD,
+    /// Convert signed 64-bit integer (rs1) to double (fd).
+    FcvtDL,
+    /// Convert double (fs1) to signed 64-bit integer (rd), truncating.
+    FcvtLD,
+    /// FP compare equal; writes 0/1 to an integer register.
+    FeqD,
+    /// FP compare less-than; writes 0/1 to an integer register.
+    FltD,
+    /// FP compare less-or-equal; writes 0/1 to an integer register.
+    FleD,
+    // Loads.
+    /// Load byte, sign-extending.
+    Lb,
+    /// Load byte, zero-extending.
+    Lbu,
+    /// Load halfword, sign-extending.
+    Lh,
+    /// Load halfword, zero-extending.
+    Lhu,
+    /// Load word, sign-extending.
+    Lw,
+    /// Load word, zero-extending.
+    Lwu,
+    /// Load doubleword.
+    Ld,
+    /// Load a double into an fp register.
+    Fld,
+    // Stores.
+    /// Store byte.
+    Sb,
+    /// Store halfword.
+    Sh,
+    /// Store word.
+    Sw,
+    /// Store doubleword.
+    Sd,
+    /// Store a double from an fp register.
+    Fsd,
+    // Conditional branches (PC-relative).
+    /// Branch if equal.
+    Beq,
+    /// Branch if not equal.
+    Bne,
+    /// Branch if less than, signed.
+    Blt,
+    /// Branch if greater or equal, signed.
+    Bge,
+    /// Branch if less than, unsigned.
+    Bltu,
+    /// Branch if greater or equal, unsigned.
+    Bgeu,
+    // Jumps.
+    /// Unconditional PC-relative jump.
+    J,
+    /// Jump-and-link, PC-relative; writes the return address to `rd`.
+    Jal,
+    /// Indirect jump to `rs1 + imm`.
+    Jr,
+    /// Indirect jump-and-link to `rs1 + imm`; return address to `rd`.
+    Jalr,
+    // System.
+    /// Stop the program.
+    Halt,
+    /// No operation.
+    Nop,
+    /// Emit the integer in `rs1` to the program's output channel.
+    Puti,
+    /// Emit the low byte of `rs1` as a character.
+    Putc,
+    /// Emit the double in `fs1` to the program's output channel.
+    Putf,
+}
+
+/// The functional-unit class an operation executes on.
+///
+/// The out-of-order core binds each class to a pool of functional units
+/// with a configurable latency (`redsim-core`). Following the paper's
+/// platform, branch-target and memory-address calculations occupy integer
+/// ALUs, so [`OpClass::Load`], [`OpClass::Store`], [`OpClass::Branch`] and
+/// [`OpClass::Jump`] operations consume `IntAlu` issue slots for their
+/// address/target arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum OpClass {
+    /// Single-cycle integer ALU operation.
+    IntAlu,
+    /// Pipelined integer multiplier.
+    IntMul,
+    /// Unpipelined integer divider.
+    IntDiv,
+    /// FP adder (add/sub/compare/convert/move family).
+    FpAdd,
+    /// FP multiplier.
+    FpMul,
+    /// FP divider.
+    FpDiv,
+    /// FP square root unit.
+    FpSqrt,
+    /// Memory load (address calculation on an integer ALU).
+    Load,
+    /// Memory store (address calculation on an integer ALU).
+    Store,
+    /// Conditional branch (target calculation on an integer ALU).
+    Branch,
+    /// Unconditional or indirect jump.
+    Jump,
+    /// System operation (halt / output); executes on an integer ALU.
+    Sys,
+}
+
+impl OpClass {
+    /// All classes, in a stable order convenient for stats tables.
+    pub const ALL: [OpClass; 12] = [
+        OpClass::IntAlu,
+        OpClass::IntMul,
+        OpClass::IntDiv,
+        OpClass::FpAdd,
+        OpClass::FpMul,
+        OpClass::FpDiv,
+        OpClass::FpSqrt,
+        OpClass::Load,
+        OpClass::Store,
+        OpClass::Branch,
+        OpClass::Jump,
+        OpClass::Sys,
+    ];
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpClass::IntAlu => "int-alu",
+            OpClass::IntMul => "int-mul",
+            OpClass::IntDiv => "int-div",
+            OpClass::FpAdd => "fp-add",
+            OpClass::FpMul => "fp-mul",
+            OpClass::FpDiv => "fp-div",
+            OpClass::FpSqrt => "fp-sqrt",
+            OpClass::Load => "load",
+            OpClass::Store => "store",
+            OpClass::Branch => "branch",
+            OpClass::Jump => "jump",
+            OpClass::Sys => "sys",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Width of a memory access, in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum MemWidth {
+    /// 1 byte.
+    B1,
+    /// 2 bytes.
+    B2,
+    /// 4 bytes.
+    B4,
+    /// 8 bytes.
+    B8,
+}
+
+impl MemWidth {
+    /// The access width in bytes.
+    #[must_use]
+    pub fn bytes(self) -> u64 {
+        match self {
+            MemWidth::B1 => 1,
+            MemWidth::B2 => 2,
+            MemWidth::B4 => 4,
+            MemWidth::B8 => 8,
+        }
+    }
+}
+
+/// How an instruction's operand fields are interpreted.
+///
+/// The signature drives the assembler's operand parsing, the
+/// disassembler's formatting, the encoder's field layout and the
+/// emulator's register-file routing, guaranteeing all four agree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OperandSig {
+    /// `op rd, rs1, rs2` — three integer registers.
+    Rrr,
+    /// `op rd, rs1, imm` — integer destination, integer source, immediate.
+    Rri,
+    /// `op rd, imm` — integer destination and immediate (e.g. `li`).
+    Ri,
+    /// `op fd, fs1, fs2` — three fp registers.
+    Fff,
+    /// `op fd, fs1` — two fp registers (e.g. `fsqrt.d`).
+    Ff,
+    /// `op rd, fs1, fs2` — integer destination, fp sources (fp compares).
+    Rff,
+    /// `op fd, rs1` — fp destination, integer source (`fcvt.d.l`).
+    Fr,
+    /// `op rd, fs1` — integer destination, fp source (`fcvt.l.d`).
+    Rf,
+    /// `op rd, imm(rs1)` — integer load.
+    MemLoadInt,
+    /// `op fd, imm(rs1)` — fp load.
+    MemLoadFp,
+    /// `op rs2, imm(rs1)` — integer store (`rs2` is the data source).
+    MemStoreInt,
+    /// `op fs2, imm(rs1)` — fp store (`fs2` is the data source).
+    MemStoreFp,
+    /// `op rs1, rs2, target` — conditional branch, PC-relative immediate.
+    Bcc,
+    /// `op target` — PC-relative jump (`j`).
+    JImm,
+    /// `op rd, target` — PC-relative jump-and-link (`jal`).
+    JalImm,
+    /// `op rs1` or `op rs1, imm` — indirect jump (`jr`).
+    JReg,
+    /// `op rd, rs1, imm` — indirect jump-and-link (`jalr`).
+    JalReg,
+    /// `op rs1` — system op reading one integer register.
+    SysR,
+    /// `op fs1` — system op reading one fp register.
+    SysF,
+    /// `op` — no operands.
+    SysNone,
+}
+
+impl Opcode {
+    /// The operation's functional-unit class.
+    #[must_use]
+    pub fn class(self) -> OpClass {
+        use Opcode::*;
+        match self {
+            Add | Sub | And | Or | Xor | Nor | Sll | Srl | Sra | Slt | Sltu | Addi | Andi
+            | Ori | Xori | Slti | Sltiu | Slli | Srli | Srai | Li | Nop => OpClass::IntAlu,
+            Mul | Mulh => OpClass::IntMul,
+            Div | Divu | Rem | Remu => OpClass::IntDiv,
+            FaddD | FsubD | FminD | FmaxD | FabsD | FnegD | FmovD | FcvtDL | FcvtLD | FeqD
+            | FltD | FleD => OpClass::FpAdd,
+            FmulD => OpClass::FpMul,
+            FdivD => OpClass::FpDiv,
+            FsqrtD => OpClass::FpSqrt,
+            Lb | Lbu | Lh | Lhu | Lw | Lwu | Ld | Fld => OpClass::Load,
+            Sb | Sh | Sw | Sd | Fsd => OpClass::Store,
+            Beq | Bne | Blt | Bge | Bltu | Bgeu => OpClass::Branch,
+            J | Jal | Jr | Jalr => OpClass::Jump,
+            Halt | Puti | Putc | Putf => OpClass::Sys,
+        }
+    }
+
+    /// The operand signature (how `rd`/`rs1`/`rs2`/`imm` are interpreted).
+    #[must_use]
+    pub fn sig(self) -> OperandSig {
+        use Opcode::*;
+        match self {
+            Add | Sub | And | Or | Xor | Nor | Sll | Srl | Sra | Slt | Sltu | Mul | Mulh
+            | Div | Divu | Rem | Remu => OperandSig::Rrr,
+            Addi | Andi | Ori | Xori | Slti | Sltiu | Slli | Srli | Srai => OperandSig::Rri,
+            Li => OperandSig::Ri,
+            FaddD | FsubD | FmulD | FdivD | FminD | FmaxD => OperandSig::Fff,
+            FsqrtD | FabsD | FnegD | FmovD => OperandSig::Ff,
+            FeqD | FltD | FleD => OperandSig::Rff,
+            FcvtDL => OperandSig::Fr,
+            FcvtLD => OperandSig::Rf,
+            Lb | Lbu | Lh | Lhu | Lw | Lwu | Ld => OperandSig::MemLoadInt,
+            Fld => OperandSig::MemLoadFp,
+            Sb | Sh | Sw | Sd => OperandSig::MemStoreInt,
+            Fsd => OperandSig::MemStoreFp,
+            Beq | Bne | Blt | Bge | Bltu | Bgeu => OperandSig::Bcc,
+            J => OperandSig::JImm,
+            Jal => OperandSig::JalImm,
+            Jr => OperandSig::JReg,
+            Jalr => OperandSig::JalReg,
+            Puti | Putc => OperandSig::SysR,
+            Putf => OperandSig::SysF,
+            Halt | Nop => OperandSig::SysNone,
+        }
+    }
+
+    /// The memory access width for loads and stores, `None` otherwise.
+    #[must_use]
+    pub fn mem_width(self) -> Option<MemWidth> {
+        use Opcode::*;
+        match self {
+            Lb | Lbu | Sb => Some(MemWidth::B1),
+            Lh | Lhu | Sh => Some(MemWidth::B2),
+            Lw | Lwu | Sw => Some(MemWidth::B4),
+            Ld | Sd | Fld | Fsd => Some(MemWidth::B8),
+            _ => None,
+        }
+    }
+
+    /// `true` for sign-extending loads (`lb`, `lh`, `lw`).
+    #[must_use]
+    pub fn load_sign_extends(self) -> bool {
+        matches!(self, Opcode::Lb | Opcode::Lh | Opcode::Lw)
+    }
+
+    /// `true` for conditional branches.
+    #[must_use]
+    pub fn is_branch(self) -> bool {
+        self.class() == OpClass::Branch
+    }
+
+    /// `true` for unconditional or indirect jumps.
+    #[must_use]
+    pub fn is_jump(self) -> bool {
+        self.class() == OpClass::Jump
+    }
+
+    /// `true` for any instruction that can redirect the PC.
+    #[must_use]
+    pub fn is_control(self) -> bool {
+        self.is_branch() || self.is_jump()
+    }
+
+    /// `true` for loads (including fp loads).
+    #[must_use]
+    pub fn is_load(self) -> bool {
+        self.class() == OpClass::Load
+    }
+
+    /// `true` for stores (including fp stores).
+    #[must_use]
+    pub fn is_store(self) -> bool {
+        self.class() == OpClass::Store
+    }
+
+    /// `true` if the instruction accesses memory.
+    #[must_use]
+    pub fn is_mem(self) -> bool {
+        self.is_load() || self.is_store()
+    }
+
+    /// The assembler mnemonic.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        use Opcode::*;
+        match self {
+            Add => "add",
+            Sub => "sub",
+            And => "and",
+            Or => "or",
+            Xor => "xor",
+            Nor => "nor",
+            Sll => "sll",
+            Srl => "srl",
+            Sra => "sra",
+            Slt => "slt",
+            Sltu => "sltu",
+            Addi => "addi",
+            Andi => "andi",
+            Ori => "ori",
+            Xori => "xori",
+            Slti => "slti",
+            Sltiu => "sltiu",
+            Slli => "slli",
+            Srli => "srli",
+            Srai => "srai",
+            Li => "li",
+            Mul => "mul",
+            Mulh => "mulh",
+            Div => "div",
+            Divu => "divu",
+            Rem => "rem",
+            Remu => "remu",
+            FaddD => "fadd.d",
+            FsubD => "fsub.d",
+            FmulD => "fmul.d",
+            FdivD => "fdiv.d",
+            FsqrtD => "fsqrt.d",
+            FminD => "fmin.d",
+            FmaxD => "fmax.d",
+            FabsD => "fabs.d",
+            FnegD => "fneg.d",
+            FmovD => "fmov.d",
+            FcvtDL => "fcvt.d.l",
+            FcvtLD => "fcvt.l.d",
+            FeqD => "feq.d",
+            FltD => "flt.d",
+            FleD => "fle.d",
+            Lb => "lb",
+            Lbu => "lbu",
+            Lh => "lh",
+            Lhu => "lhu",
+            Lw => "lw",
+            Lwu => "lwu",
+            Ld => "ld",
+            Fld => "fld",
+            Sb => "sb",
+            Sh => "sh",
+            Sw => "sw",
+            Sd => "sd",
+            Fsd => "fsd",
+            Beq => "beq",
+            Bne => "bne",
+            Blt => "blt",
+            Bge => "bge",
+            Bltu => "bltu",
+            Bgeu => "bgeu",
+            J => "j",
+            Jal => "jal",
+            Jr => "jr",
+            Jalr => "jalr",
+            Halt => "halt",
+            Nop => "nop",
+            Puti => "puti",
+            Putc => "putc",
+            Putf => "putf",
+        }
+    }
+
+    /// Looks an opcode up by its mnemonic.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use redsim_isa::Opcode;
+    ///
+    /// assert_eq!(Opcode::from_mnemonic("fadd.d"), Some(Opcode::FaddD));
+    /// assert_eq!(Opcode::from_mnemonic("frobnicate"), None);
+    /// ```
+    #[must_use]
+    pub fn from_mnemonic(s: &str) -> Option<Self> {
+        Opcode::ALL.iter().copied().find(|op| op.mnemonic() == s)
+    }
+
+    /// All opcodes, in declaration order. The position of an opcode in
+    /// this table is its stable binary encoding number.
+    pub const ALL: [Opcode; 70] = {
+        use Opcode::*;
+        [
+            Add, Sub, And, Or, Xor, Nor, Sll, Srl, Sra, Slt, Sltu, Addi, Andi, Ori, Xori, Slti,
+            Sltiu, Slli, Srli, Srai, Li, Mul, Mulh, Div, Divu, Rem, Remu, FaddD, FsubD, FmulD,
+            FdivD, FsqrtD, FminD, FmaxD, FabsD, FnegD, FmovD, FcvtDL, FcvtLD, FeqD, FltD, FleD,
+            Lb, Lbu, Lh, Lhu, Lw, Lwu, Ld, Fld, Sb, Sh, Sw, Sd, Fsd, Beq, Bne, Blt, Bge, Bltu,
+            Bgeu, J, Jal, Jr, Jalr, Halt, Nop, Puti, Putc, Putf,
+        ]
+    };
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mnemonics_are_unique_and_round_trip() {
+        let mut seen = std::collections::HashSet::new();
+        for op in Opcode::ALL {
+            assert!(seen.insert(op.mnemonic()), "duplicate {}", op.mnemonic());
+            assert_eq!(Opcode::from_mnemonic(op.mnemonic()), Some(op));
+        }
+    }
+
+    #[test]
+    fn all_table_has_no_duplicates() {
+        let mut seen = std::collections::HashSet::new();
+        for op in Opcode::ALL {
+            assert!(seen.insert(op), "duplicate opcode {op:?}");
+        }
+    }
+
+    #[test]
+    fn mem_width_only_for_mem_ops() {
+        for op in Opcode::ALL {
+            assert_eq!(op.mem_width().is_some(), op.is_mem(), "{op}");
+        }
+    }
+
+    #[test]
+    fn control_classification() {
+        assert!(Opcode::Beq.is_control());
+        assert!(Opcode::Jal.is_control());
+        assert!(!Opcode::Add.is_control());
+        assert!(Opcode::Jr.is_jump());
+        assert!(!Opcode::Jr.is_branch());
+    }
+
+    #[test]
+    fn class_covers_expected_units() {
+        assert_eq!(Opcode::Mul.class(), OpClass::IntMul);
+        assert_eq!(Opcode::Div.class(), OpClass::IntDiv);
+        assert_eq!(Opcode::FsqrtD.class(), OpClass::FpSqrt);
+        assert_eq!(Opcode::Fld.class(), OpClass::Load);
+        assert_eq!(Opcode::Fsd.class(), OpClass::Store);
+        assert_eq!(Opcode::Halt.class(), OpClass::Sys);
+    }
+
+    #[test]
+    fn load_sign_extension_flags() {
+        assert!(Opcode::Lw.load_sign_extends());
+        assert!(!Opcode::Lwu.load_sign_extends());
+        assert!(!Opcode::Ld.load_sign_extends());
+    }
+}

@@ -1,0 +1,246 @@
+//! Architectural register names.
+//!
+//! Integer and floating-point registers are distinct newtypes
+//! ([`IntReg`], [`FpReg`]) so an instruction constructor can never confuse
+//! the two files. Both files have 32 registers; integer register 0 is
+//! hard-wired to zero, as on MIPS/RISC-V and SimpleScalar PISA.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Number of registers in each architectural register file.
+pub const NUM_REGS: usize = 32;
+
+/// An integer architectural register, `r0`–`r31`.
+///
+/// `r0` reads as zero and ignores writes. The assembler also accepts the
+/// RISC-V-style ABI aliases (`zero`, `ra`, `sp`, `a0`–`a7`, `t0`–`t6`,
+/// `s0`–`s11`, `gp`, `tp`); see [`IntReg::from_name`].
+///
+/// # Examples
+///
+/// ```
+/// use redsim_isa::IntReg;
+///
+/// let a0 = IntReg::from_name("a0").unwrap();
+/// assert_eq!(a0, IntReg::new(10));
+/// assert_eq!(a0.to_string(), "a0");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct IntReg(u8);
+
+/// A floating-point architectural register, `f0`–`f31`.
+///
+/// Values are 64-bit IEEE-754 doubles; the emulator and simulators carry
+/// them as raw bit patterns so that redundancy comparisons are bit-exact,
+/// the way the hardware comparator of the DIE commit stage would be.
+///
+/// # Examples
+///
+/// ```
+/// use redsim_isa::FpReg;
+///
+/// let f3 = FpReg::new(3);
+/// assert_eq!(f3.to_string(), "f3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FpReg(u8);
+
+/// ABI aliases in index order: alias name for integer register `i`.
+const INT_ALIASES: [&str; NUM_REGS] = [
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3", "a4",
+    "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11", "t3", "t4",
+    "t5", "t6",
+];
+
+impl IntReg {
+    /// The hard-wired zero register, `r0`.
+    pub const ZERO: IntReg = IntReg(0);
+    /// The link register written by `jal`/`call` (`r1`).
+    pub const RA: IntReg = IntReg(1);
+    /// The stack pointer by convention (`r2`).
+    pub const SP: IntReg = IntReg(2);
+
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    #[must_use]
+    pub fn new(index: u8) -> Self {
+        assert!(
+            (index as usize) < NUM_REGS,
+            "integer register index {index} out of range"
+        );
+        IntReg(index)
+    }
+
+    /// The register's index in the architectural file, `0..32`.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns `true` for the hard-wired zero register.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The `i`-th argument register (`a0` = `r10`, ... `a7` = `r17`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 8`.
+    #[must_use]
+    pub fn arg(i: u8) -> Self {
+        assert!(i < 8, "argument register a{i} does not exist");
+        IntReg(10 + i)
+    }
+
+    /// Parses a register name: `r<N>` or an ABI alias such as `a0`, `sp`.
+    ///
+    /// Returns `None` if the name does not denote an integer register.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        if let Some(rest) = name.strip_prefix('r') {
+            if let Ok(n) = rest.parse::<u8>() {
+                if (n as usize) < NUM_REGS {
+                    return Some(IntReg(n));
+                }
+            }
+        }
+        INT_ALIASES
+            .iter()
+            .position(|&a| a == name)
+            .map(|i| IntReg(i as u8))
+    }
+
+    /// The register's ABI alias (`"a0"`, `"sp"`, ...).
+    #[must_use]
+    pub fn abi_name(self) -> &'static str {
+        INT_ALIASES[self.index()]
+    }
+}
+
+impl FpReg {
+    /// Creates a floating-point register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    #[must_use]
+    pub fn new(index: u8) -> Self {
+        assert!(
+            (index as usize) < NUM_REGS,
+            "fp register index {index} out of range"
+        );
+        FpReg(index)
+    }
+
+    /// The register's index in the architectural file, `0..32`.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Parses a register name of the form `f<N>`.
+    ///
+    /// Returns `None` if the name does not denote an fp register.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        let rest = name.strip_prefix('f')?;
+        let n: u8 = rest.parse().ok()?;
+        ((n as usize) < NUM_REGS).then_some(FpReg(n))
+    }
+}
+
+impl fmt::Display for IntReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abi_name())
+    }
+}
+
+impl fmt::Display for FpReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+impl From<IntReg> for u8 {
+    fn from(r: IntReg) -> u8 {
+        r.0
+    }
+}
+
+impl From<FpReg> for u8 {
+    fn from(r: FpReg) -> u8 {
+        r.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_register_identity() {
+        assert!(IntReg::ZERO.is_zero());
+        assert!(!IntReg::RA.is_zero());
+        assert_eq!(IntReg::ZERO, IntReg::new(0));
+    }
+
+    #[test]
+    fn from_name_numeric_and_alias_agree() {
+        for i in 0..NUM_REGS as u8 {
+            let numeric = IntReg::from_name(&format!("r{i}")).unwrap();
+            let alias = IntReg::from_name(INT_ALIASES[i as usize]).unwrap();
+            assert_eq!(numeric, alias);
+            assert_eq!(numeric.index(), i as usize);
+        }
+    }
+
+    #[test]
+    fn from_name_rejects_bad_names() {
+        assert_eq!(IntReg::from_name("r32"), None);
+        assert_eq!(IntReg::from_name("x5"), None);
+        assert_eq!(IntReg::from_name("f1"), None);
+        assert_eq!(IntReg::from_name(""), None);
+        assert_eq!(FpReg::from_name("f32"), None);
+        assert_eq!(FpReg::from_name("r1"), None);
+        assert_eq!(FpReg::from_name("f"), None);
+    }
+
+    #[test]
+    fn fp_round_trip() {
+        for i in 0..NUM_REGS as u8 {
+            let r = FpReg::new(i);
+            assert_eq!(FpReg::from_name(&r.to_string()), Some(r));
+        }
+    }
+
+    #[test]
+    fn arg_registers_follow_abi() {
+        assert_eq!(IntReg::arg(0).abi_name(), "a0");
+        assert_eq!(IntReg::arg(7).abi_name(), "a7");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_panics_out_of_range() {
+        let _ = IntReg::new(32);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist")]
+    fn arg_panics_out_of_range() {
+        let _ = IntReg::arg(8);
+    }
+
+    #[test]
+    fn display_uses_abi_names() {
+        assert_eq!(IntReg::new(2).to_string(), "sp");
+        assert_eq!(IntReg::new(10).to_string(), "a0");
+    }
+}

@@ -1,0 +1,155 @@
+//! Committed dynamic-instruction trace records.
+//!
+//! The functional emulator emits one [`DynInst`] per architecturally
+//! committed instruction. The record carries everything the timing models
+//! need: operand *values* (so the instruction-reuse test of the DIE-IRB
+//! design operates on real data), results, effective addresses, and branch
+//! outcomes. Floating-point values travel as raw `f64` bit patterns, which
+//! is what the hardware comparators of the DIE commit stage and the IRB
+//! reuse test would see.
+
+use serde::{Deserialize, Serialize};
+
+use crate::inst::Inst;
+use crate::op::OpClass;
+
+/// Outcome of a control-flow instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ControlOutcome {
+    /// Whether the branch/jump redirected the PC (always `true` for
+    /// jumps).
+    pub taken: bool,
+    /// The target the instruction computes, whether or not it was taken.
+    pub target: u64,
+}
+
+/// One committed dynamic instruction.
+///
+/// # Examples
+///
+/// ```
+/// use redsim_isa::{asm::assemble, emu::Emulator};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let p = assemble("main: li a0, 2\n add a1, a0, a0\n halt\n")?;
+/// let mut emu = Emulator::new(&p);
+/// let _li = emu.step()?.unwrap();
+/// let add = emu.step()?.unwrap();
+/// assert_eq!(add.src1, 2);
+/// assert_eq!(add.result, Some(4));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DynInst {
+    /// Commit-order sequence number, starting at 0.
+    pub seq: u64,
+    /// The instruction's address.
+    pub pc: u64,
+    /// The static instruction.
+    pub inst: Inst,
+    /// First source-operand value. For register–immediate ALU operations
+    /// this is the register value; for loads/stores it is the base
+    /// address register; for fp operations it is the `f64` bit pattern.
+    pub src1: u64,
+    /// Second source-operand value. For register–immediate operations
+    /// this is the sign-extended immediate; for stores it is the data
+    /// value being stored.
+    pub src2: u64,
+    /// Value written to the destination register (bit pattern), if any.
+    /// For loads this is the loaded value; for `jal`/`jalr` the link
+    /// address.
+    pub result: Option<u64>,
+    /// Effective address, for loads and stores.
+    pub ea: Option<u64>,
+    /// Control-flow outcome, for branches and jumps.
+    pub control: Option<ControlOutcome>,
+    /// Address of the next committed instruction.
+    pub next_pc: u64,
+}
+
+impl DynInst {
+    /// The functional-unit class of the instruction.
+    #[must_use]
+    pub fn class(&self) -> OpClass {
+        self.inst.op.class()
+    }
+
+    /// `true` if this dynamic instruction redirected the PC.
+    #[must_use]
+    pub fn redirects(&self) -> bool {
+        self.control.map_or(false, |c| c.taken)
+    }
+
+    /// The address of the instruction immediately after this one in
+    /// static program order (the fall-through PC).
+    #[must_use]
+    pub fn fallthrough_pc(&self) -> u64 {
+        self.pc + crate::encode::INST_BYTES
+    }
+}
+
+/// Events a program emits through the `puti`/`putc`/`putf` instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum OutputEvent {
+    /// `puti` — a signed integer.
+    Int(i64),
+    /// `putc` — one byte.
+    Char(u8),
+    /// `putf` — a double.
+    Float(f64),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Inst;
+
+    #[test]
+    fn redirects_requires_taken() {
+        let base = DynInst {
+            seq: 0,
+            pc: 0x1000,
+            inst: Inst::NOP,
+            src1: 0,
+            src2: 0,
+            result: None,
+            ea: None,
+            control: None,
+            next_pc: 0x1008,
+        };
+        assert!(!base.redirects());
+        let not_taken = DynInst {
+            control: Some(ControlOutcome {
+                taken: false,
+                target: 0x2000,
+            }),
+            ..base
+        };
+        assert!(!not_taken.redirects());
+        let taken = DynInst {
+            control: Some(ControlOutcome {
+                taken: true,
+                target: 0x2000,
+            }),
+            ..base
+        };
+        assert!(taken.redirects());
+    }
+
+    #[test]
+    fn fallthrough_is_pc_plus_inst_bytes() {
+        let d = DynInst {
+            seq: 1,
+            pc: 0x1010,
+            inst: Inst::NOP,
+            src1: 0,
+            src2: 0,
+            result: None,
+            ea: None,
+            control: None,
+            next_pc: 0x1018,
+        };
+        assert_eq!(d.fallthrough_pc(), 0x1018);
+    }
+}

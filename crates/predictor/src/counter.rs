@@ -1,0 +1,92 @@
+//! Saturating two-bit counters, the workhorse of dynamic prediction.
+
+use serde::{Deserialize, Serialize};
+
+/// A two-bit saturating counter.
+///
+/// States 0–1 predict not-taken, 2–3 predict taken. [`Counter2::default`]
+/// starts at weakly-not-taken (1), SimpleScalar's initialization.
+///
+/// # Examples
+///
+/// ```
+/// use redsim_predictor::Counter2;
+///
+/// let mut c = Counter2::default();
+/// assert!(!c.predict());
+/// c.train(true);
+/// c.train(true);
+/// assert!(c.predict());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Counter2(u8);
+
+impl Counter2 {
+    /// Creates a counter in the given state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state > 3`.
+    #[must_use]
+    pub fn new(state: u8) -> Self {
+        assert!(state <= 3, "two-bit counter state must be 0..=3");
+        Counter2(state)
+    }
+
+    /// The prediction this counter currently makes.
+    #[must_use]
+    pub fn predict(self) -> bool {
+        self.0 >= 2
+    }
+
+    /// Trains the counter toward the observed outcome.
+    pub fn train(&mut self, taken: bool) {
+        if taken {
+            self.0 = (self.0 + 1).min(3);
+        } else {
+            self.0 = self.0.saturating_sub(1);
+        }
+    }
+
+    /// The raw state, `0..=3`.
+    #[must_use]
+    pub fn state(self) -> u8 {
+        self.0
+    }
+}
+
+impl Default for Counter2 {
+    fn default() -> Self {
+        Counter2(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturates_at_both_ends() {
+        let mut c = Counter2::new(3);
+        c.train(true);
+        assert_eq!(c.state(), 3);
+        let mut c = Counter2::new(0);
+        c.train(false);
+        assert_eq!(c.state(), 0);
+    }
+
+    #[test]
+    fn hysteresis_requires_two_flips() {
+        let mut c = Counter2::new(3);
+        c.train(false);
+        assert!(c.predict(), "strongly-taken survives one not-taken");
+        c.train(false);
+        assert!(!c.predict());
+    }
+
+    #[test]
+    #[should_panic(expected = "0..=3")]
+    fn bad_state_panics() {
+        let _ = Counter2::new(4);
+    }
+}

@@ -1,0 +1,535 @@
+//! Branch direction predictors.
+
+use serde::{Deserialize, Serialize};
+
+use crate::counter::Counter2;
+
+/// A conditional-branch direction predictor.
+///
+/// `predict` is a pure query; `update` trains on the resolved outcome.
+/// Timing models call `update` at branch resolution.
+pub trait DirectionPredictor: std::fmt::Debug + Send {
+    /// Predicts whether the branch at `pc` is taken.
+    fn predict(&self, pc: u64) -> bool;
+    /// Trains on a resolved outcome.
+    fn update(&mut self, pc: u64, taken: bool);
+    /// A short human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+fn index(pc: u64, entries: usize) -> usize {
+    // Instruction addresses are 8-byte aligned; drop the low bits.
+    ((pc >> 3) as usize) & (entries - 1)
+}
+
+fn assert_pow2(entries: usize) {
+    assert!(
+        entries.is_power_of_two() && entries > 0,
+        "predictor table size {entries} must be a power of two"
+    );
+}
+
+/// Static predict-taken (backward-taken-like upper bound for loops).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AlwaysTaken;
+
+impl DirectionPredictor for AlwaysTaken {
+    fn predict(&self, _pc: u64) -> bool {
+        true
+    }
+    fn update(&mut self, _pc: u64, _taken: bool) {}
+    fn name(&self) -> &'static str {
+        "always-taken"
+    }
+}
+
+/// Static predict-not-taken.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NeverTaken;
+
+impl DirectionPredictor for NeverTaken {
+    fn predict(&self, _pc: u64) -> bool {
+        false
+    }
+    fn update(&mut self, _pc: u64, _taken: bool) {}
+    fn name(&self) -> &'static str {
+        "never-taken"
+    }
+}
+
+/// Bimodal predictor: a PC-indexed table of two-bit counters.
+#[derive(Debug, Clone)]
+pub struct Bimodal {
+    table: Vec<Counter2>,
+}
+
+impl Bimodal {
+    /// Creates a bimodal predictor with `entries` counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `entries` is a power of two.
+    #[must_use]
+    pub fn new(entries: usize) -> Self {
+        assert_pow2(entries);
+        Bimodal {
+            table: vec![Counter2::default(); entries],
+        }
+    }
+}
+
+impl DirectionPredictor for Bimodal {
+    fn predict(&self, pc: u64) -> bool {
+        self.table[index(pc, self.table.len())].predict()
+    }
+
+    fn update(&mut self, pc: u64, taken: bool) {
+        let i = index(pc, self.table.len());
+        self.table[i].train(taken);
+    }
+
+    fn name(&self) -> &'static str {
+        "bimodal"
+    }
+}
+
+/// Gshare: global history XOR PC indexes a counter table.
+#[derive(Debug, Clone)]
+pub struct Gshare {
+    table: Vec<Counter2>,
+    history: u64,
+    hist_bits: u32,
+}
+
+impl Gshare {
+    /// Creates a gshare predictor.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `entries` is a power of two and
+    /// `hist_bits <= log2(entries)`.
+    #[must_use]
+    pub fn new(entries: usize, hist_bits: u32) -> Self {
+        assert_pow2(entries);
+        assert!(
+            hist_bits <= entries.trailing_zeros(),
+            "history bits {hist_bits} exceed index width"
+        );
+        Gshare {
+            table: vec![Counter2::default(); entries],
+            history: 0,
+            hist_bits,
+        }
+    }
+
+    fn idx(&self, pc: u64) -> usize {
+        let h = self.history & ((1 << self.hist_bits) - 1);
+        (((pc >> 3) ^ h) as usize) & (self.table.len() - 1)
+    }
+}
+
+impl DirectionPredictor for Gshare {
+    fn predict(&self, pc: u64) -> bool {
+        self.table[self.idx(pc)].predict()
+    }
+
+    fn update(&mut self, pc: u64, taken: bool) {
+        let i = self.idx(pc);
+        self.table[i].train(taken);
+        self.history = self.history << 1 | u64::from(taken);
+    }
+
+    fn name(&self) -> &'static str {
+        "gshare"
+    }
+}
+
+/// Two-level local predictor: per-branch history selects a pattern
+/// counter (the Alpha 21264's local component).
+#[derive(Debug, Clone)]
+pub struct TwoLevelLocal {
+    histories: Vec<u64>,
+    pattern: Vec<Counter2>,
+    hist_bits: u32,
+}
+
+impl TwoLevelLocal {
+    /// Creates a two-level local predictor with `hist_entries` local
+    /// history registers of `hist_bits` bits and `2^hist_bits` pattern
+    /// counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `hist_entries` is a power of two and
+    /// `hist_bits <= 20`.
+    #[must_use]
+    pub fn new(hist_entries: usize, hist_bits: u32) -> Self {
+        assert_pow2(hist_entries);
+        assert!(hist_bits <= 20, "local history of {hist_bits} bits is unreasonable");
+        TwoLevelLocal {
+            histories: vec![0; hist_entries],
+            pattern: vec![Counter2::default(); 1 << hist_bits],
+            hist_bits,
+        }
+    }
+
+    fn pattern_idx(&self, pc: u64) -> usize {
+        let h = self.histories[index(pc, self.histories.len())];
+        (h & ((1 << self.hist_bits) - 1)) as usize
+    }
+}
+
+impl DirectionPredictor for TwoLevelLocal {
+    fn predict(&self, pc: u64) -> bool {
+        self.pattern[self.pattern_idx(pc)].predict()
+    }
+
+    fn update(&mut self, pc: u64, taken: bool) {
+        let pi = self.pattern_idx(pc);
+        self.pattern[pi].train(taken);
+        let hi = index(pc, self.histories.len());
+        self.histories[hi] = self.histories[hi] << 1 | u64::from(taken);
+    }
+
+    fn name(&self) -> &'static str {
+        "two-level-local"
+    }
+}
+
+/// Tournament predictor: a chooser table arbitrates between a bimodal
+/// and a gshare component (the paper's baseline front end).
+#[derive(Debug)]
+pub struct Tournament {
+    chooser: Vec<Counter2>,
+    bimodal: Bimodal,
+    gshare: Gshare,
+}
+
+impl Tournament {
+    /// Creates a tournament predictor; each component gets `entries`
+    /// counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `entries` is a power of two.
+    #[must_use]
+    pub fn new(entries: usize, hist_bits: u32) -> Self {
+        assert_pow2(entries);
+        Tournament {
+            chooser: vec![Counter2::default(); entries],
+            bimodal: Bimodal::new(entries),
+            gshare: Gshare::new(entries, hist_bits),
+        }
+    }
+}
+
+impl DirectionPredictor for Tournament {
+    fn predict(&self, pc: u64) -> bool {
+        // Chooser state >= 2 selects gshare.
+        if self.chooser[index(pc, self.chooser.len())].predict() {
+            self.gshare.predict(pc)
+        } else {
+            self.bimodal.predict(pc)
+        }
+    }
+
+    fn update(&mut self, pc: u64, taken: bool) {
+        let b = self.bimodal.predict(pc);
+        let g = self.gshare.predict(pc);
+        if b != g {
+            // Train the chooser toward whichever component was right.
+            let i = index(pc, self.chooser.len());
+            self.chooser[i].train(g == taken);
+        }
+        self.bimodal.update(pc, taken);
+        self.gshare.update(pc, taken);
+    }
+
+    fn name(&self) -> &'static str {
+        "tournament"
+    }
+}
+
+/// Declarative direction-predictor configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DirectionConfig {
+    /// Static taken.
+    AlwaysTaken,
+    /// Static not-taken.
+    NeverTaken,
+    /// Bimodal with the given table size.
+    Bimodal {
+        /// Counter-table entries (power of two).
+        entries: usize,
+    },
+    /// Gshare with the given table size and history length.
+    Gshare {
+        /// Counter-table entries (power of two).
+        entries: usize,
+        /// Global history bits.
+        hist_bits: u32,
+    },
+    /// Two-level local predictor.
+    TwoLevelLocal {
+        /// Local-history registers (power of two).
+        hist_entries: usize,
+        /// Local history bits (pattern table is `2^hist_bits`).
+        hist_bits: u32,
+    },
+    /// Tournament of bimodal + gshare with a chooser.
+    Tournament {
+        /// Per-component table entries (power of two).
+        entries: usize,
+        /// Gshare history bits.
+        hist_bits: u32,
+    },
+}
+
+impl DirectionConfig {
+    /// The paper's baseline: a 4K-entry tournament predictor with
+    /// 12 bits of global history.
+    #[must_use]
+    pub fn paper_baseline() -> Self {
+        DirectionConfig::Tournament {
+            entries: 4096,
+            hist_bits: 12,
+        }
+    }
+}
+
+/// Instantiates a predictor from its configuration.
+///
+/// # Examples
+///
+/// ```
+/// use redsim_predictor::{build_direction, DirectionConfig};
+///
+/// let p = build_direction(DirectionConfig::Bimodal { entries: 256 });
+/// assert_eq!(p.name(), "bimodal");
+/// ```
+#[must_use]
+pub fn build_direction(config: DirectionConfig) -> Box<dyn DirectionPredictor> {
+    match config {
+        DirectionConfig::AlwaysTaken => Box::new(AlwaysTaken),
+        DirectionConfig::NeverTaken => Box::new(NeverTaken),
+        DirectionConfig::Bimodal { entries } => Box::new(Bimodal::new(entries)),
+        DirectionConfig::Gshare { entries, hist_bits } => {
+            Box::new(Gshare::new(entries, hist_bits))
+        }
+        DirectionConfig::TwoLevelLocal {
+            hist_entries,
+            hist_bits,
+        } => Box::new(TwoLevelLocal::new(hist_entries, hist_bits)),
+        DirectionConfig::Tournament { entries, hist_bits } => {
+            Box::new(Tournament::new(entries, hist_bits))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn accuracy(p: &mut dyn DirectionPredictor, stream: &[(u64, bool)]) -> f64 {
+        let mut right = 0usize;
+        for &(pc, taken) in stream {
+            if p.predict(pc) == taken {
+                right += 1;
+            }
+            p.update(pc, taken);
+        }
+        right as f64 / stream.len() as f64
+    }
+
+    /// A loop branch: taken 15 times, then not taken, repeated.
+    fn loop_stream(pc: u64, trips: usize, iters: usize) -> Vec<(u64, bool)> {
+        let mut v = Vec::new();
+        for _ in 0..iters {
+            for i in 0..trips {
+                v.push((pc, i != trips - 1));
+            }
+        }
+        v
+    }
+
+    /// Two branches with perfectly correlated outcomes (second equals
+    /// the first) — global history should nail the second branch.
+    fn correlated_stream(iters: usize) -> Vec<(u64, bool)> {
+        let mut v = Vec::new();
+        let mut flip = false;
+        for _ in 0..iters {
+            flip = !flip;
+            v.push((0x1000, flip));
+            v.push((0x2000, flip));
+        }
+        v
+    }
+
+    #[test]
+    fn bimodal_learns_biased_branches() {
+        let mut p = Bimodal::new(256);
+        let acc = accuracy(&mut p, &loop_stream(0x1000, 16, 100));
+        assert!(acc > 0.9, "bimodal on a 16-trip loop: {acc}");
+    }
+
+    #[test]
+    fn gshare_beats_bimodal_on_correlated_branches() {
+        let stream = correlated_stream(500);
+        let mut bim = Bimodal::new(1024);
+        let mut gsh = Gshare::new(1024, 8);
+        let acc_b = accuracy(&mut bim, &stream);
+        let acc_g = accuracy(&mut gsh, &stream);
+        assert!(
+            acc_g > acc_b + 0.2,
+            "gshare {acc_g} should beat bimodal {acc_b} by a wide margin"
+        );
+        assert!(acc_g > 0.9);
+    }
+
+    #[test]
+    fn local_predictor_learns_short_periodic_patterns() {
+        // Period-4 pattern T T T N.
+        let mut stream = Vec::new();
+        for i in 0..2000usize {
+            stream.push((0x3000u64, i % 4 != 3));
+        }
+        let mut local = TwoLevelLocal::new(256, 10);
+        let acc = accuracy(&mut local, &stream);
+        assert!(acc > 0.95, "local on period-4 pattern: {acc}");
+    }
+
+    #[test]
+    fn tournament_tracks_the_better_component() {
+        let stream = correlated_stream(500);
+        let mut t = Tournament::new(1024, 8);
+        let acc = accuracy(&mut t, &stream);
+        assert!(acc > 0.85, "tournament on correlated stream: {acc}");
+    }
+
+    #[test]
+    fn statics_do_what_they_say() {
+        assert!(AlwaysTaken.predict(0));
+        assert!(!NeverTaken.predict(0));
+    }
+
+    #[test]
+    fn build_direction_constructs_each_variant() {
+        for (cfg, name) in [
+            (DirectionConfig::AlwaysTaken, "always-taken"),
+            (DirectionConfig::NeverTaken, "never-taken"),
+            (DirectionConfig::Bimodal { entries: 64 }, "bimodal"),
+            (
+                DirectionConfig::Gshare {
+                    entries: 64,
+                    hist_bits: 4,
+                },
+                "gshare",
+            ),
+            (
+                DirectionConfig::TwoLevelLocal {
+                    hist_entries: 64,
+                    hist_bits: 6,
+                },
+                "two-level-local",
+            ),
+            (
+                DirectionConfig::Tournament {
+                    entries: 64,
+                    hist_bits: 4,
+                },
+                "tournament",
+            ),
+        ] {
+            assert_eq!(build_direction(cfg).name(), name);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_table_panics() {
+        let _ = Bimodal::new(100);
+    }
+
+    #[test]
+    fn aliasing_distinct_pcs_share_counters() {
+        let mut p = Bimodal::new(4);
+        // PCs 8 bytes apart with a 4-entry table: pc>>3 mod 4 collides
+        // every 4 instructions.
+        p.update(0x1000, true);
+        p.update(0x1000, true);
+        assert!(
+            p.predict(0x1000 + 4 * 8),
+            "aliased pc shares the trained counter"
+        );
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_config() -> impl Strategy<Value = DirectionConfig> {
+        prop_oneof![
+            Just(DirectionConfig::AlwaysTaken),
+            Just(DirectionConfig::NeverTaken),
+            Just(DirectionConfig::Bimodal { entries: 64 }),
+            Just(DirectionConfig::Gshare {
+                entries: 64,
+                hist_bits: 5,
+            }),
+            Just(DirectionConfig::TwoLevelLocal {
+                hist_entries: 32,
+                hist_bits: 6,
+            }),
+            Just(DirectionConfig::Tournament {
+                entries: 64,
+                hist_bits: 5,
+            }),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Any predictor, fed any branch stream, stays deterministic:
+        /// the same stream yields the same prediction sequence.
+        #[test]
+        fn predictors_are_deterministic(
+            cfg in arb_config(),
+            stream in proptest::collection::vec((0u64..1u64 << 16, any::<bool>()), 1..200),
+        ) {
+            let run = || {
+                let mut p = build_direction(cfg);
+                stream
+                    .iter()
+                    .map(|&(pc, t)| {
+                        let pred = p.predict(pc & !7);
+                        p.update(pc & !7, t);
+                        pred
+                    })
+                    .collect::<Vec<bool>>()
+            };
+            prop_assert_eq!(run(), run());
+        }
+
+        /// A perfectly biased branch converges: after a burst of
+        /// training, every dynamic predictor agrees with the bias.
+        #[test]
+        fn biased_branch_converges(
+            cfg in arb_config(),
+            taken in any::<bool>(),
+            pc in (0u64..1u64 << 12).prop_map(|p| p << 3),
+        ) {
+            let mut p = build_direction(cfg);
+            for _ in 0..8 {
+                p.update(pc, taken);
+            }
+            match cfg {
+                DirectionConfig::AlwaysTaken => prop_assert!(p.predict(pc)),
+                DirectionConfig::NeverTaken => prop_assert!(!p.predict(pc)),
+                _ => prop_assert_eq!(p.predict(pc), taken),
+            }
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Return-address stack.
+
+/// A fixed-depth return-address stack.
+///
+/// Calls push their return address; returns pop the predicted target.
+/// On overflow the oldest entry is overwritten (circular), as in real
+/// hardware.
+///
+/// # Examples
+///
+/// ```
+/// use redsim_predictor::ReturnAddressStack;
+///
+/// let mut ras = ReturnAddressStack::new(4);
+/// ras.push(0x1008);
+/// assert_eq!(ras.pop(), Some(0x1008));
+/// assert_eq!(ras.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReturnAddressStack {
+    buf: Vec<u64>,
+    top: usize,
+    depth: usize,
+}
+
+impl ReturnAddressStack {
+    /// Creates an empty stack holding up to `capacity` addresses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "return-address stack needs capacity");
+        ReturnAddressStack {
+            buf: vec![0; capacity],
+            top: 0,
+            depth: 0,
+        }
+    }
+
+    /// Pushes a return address (on a call).
+    pub fn push(&mut self, addr: u64) {
+        self.buf[self.top] = addr;
+        self.top = (self.top + 1) % self.buf.len();
+        self.depth = (self.depth + 1).min(self.buf.len());
+    }
+
+    /// Pops the predicted return target (on a return), or `None` if the
+    /// stack has underflowed.
+    pub fn pop(&mut self) -> Option<u64> {
+        if self.depth == 0 {
+            return None;
+        }
+        self.depth -= 1;
+        self.top = (self.top + self.buf.len() - 1) % self.buf.len();
+        Some(self.buf[self.top])
+    }
+
+    /// Current number of live entries.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Empties the stack (e.g. on pipeline recovery in simple models).
+    pub fn clear(&mut self) {
+        self.depth = 0;
+        self.top = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_order() {
+        let mut r = ReturnAddressStack::new(8);
+        r.push(1);
+        r.push(2);
+        r.push(3);
+        assert_eq!(r.pop(), Some(3));
+        assert_eq!(r.pop(), Some(2));
+        assert_eq!(r.pop(), Some(1));
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn overflow_drops_oldest() {
+        let mut r = ReturnAddressStack::new(2);
+        r.push(1);
+        r.push(2);
+        r.push(3); // overwrites 1
+        assert_eq!(r.depth(), 2);
+        assert_eq!(r.pop(), Some(3));
+        assert_eq!(r.pop(), Some(2));
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn wraparound_is_circular() {
+        let mut r = ReturnAddressStack::new(2);
+        for round in 0..5u64 {
+            r.push(round * 10);
+            assert_eq!(r.pop(), Some(round * 10));
+        }
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut r = ReturnAddressStack::new(4);
+        r.push(7);
+        r.clear();
+        assert_eq!(r.depth(), 0);
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = ReturnAddressStack::new(0);
+    }
+}

@@ -1,0 +1,111 @@
+//! `ammp` stand-in: molecular-dynamics pairwise energy over a neighbor
+//! list. The energy accumulation is a *serial* floating-point dependence
+//! chain (each pair's softening term depends on the accumulated energy),
+//! so the kernel is latency-bound with the functional units mostly idle —
+//! the profile that makes 188.ammp nearly insensitive to DIE's extra ALU
+//! load (its loss in the paper's Figure 2 is ~1%).
+
+use crate::gen::{doubles_block, words_block, Splitmix};
+use crate::Params;
+
+const ATOMS: usize = 128;
+
+pub(crate) fn ammp(p: &Params) -> String {
+    let steps = 14 * p.scale as usize;
+    let pairs_n = 400;
+    let mut rng = Splitmix::new(p.seed ^ 0x616d_6d70);
+    let pos: Vec<f64> = (0..ATOMS * 3).map(|_| rng.unit_f64() * 10.0 + 0.5).collect();
+    let mut pairs: Vec<i64> = Vec::with_capacity(pairs_n * 2);
+    for _ in 0..pairs_n {
+        let a = rng.below(ATOMS as u64) as i64;
+        let mut b = rng.below(ATOMS as u64) as i64;
+        if a == b {
+            b = (b + 1) % ATOMS as i64;
+        }
+        pairs.push(a);
+        pairs.push(b);
+    }
+
+    format!(
+        r#"# ammp stand-in: serial pairwise-energy chain (latency bound)
+        .data
+{pos_block}
+{pairs_block}
+        .text
+main:
+        la   s0, pos
+        la   s1, pairs
+        li   s3, {steps}
+        li   t0, 0
+        fcvt.d.l f15, t0        # e = 0.0
+        li   t0, 1
+        fcvt.d.l f8, t0         # 1.0
+        li   t0, 65536
+        fcvt.d.l f14, t0
+        fdiv.d f14, f8, f14     # tiny = 2^-16 (softening coupling)
+step:
+        li   s4, 0              # pair index
+        la   s1, pairs
+        li   s6, 24
+pair:
+        slli t1, s4, 4
+        add  t1, s1, t1
+        ld   t2, 0(t1)          # atom a
+        ld   t3, 8(t1)          # atom b
+        mul  a0, t2, s6
+        add  a0, s0, a0         # &pos[a]
+        mul  a1, t3, s6
+        add  a1, s0, a1         # &pos[b]
+        fld  f0, 0(a0)
+        fld  f1, 0(a1)
+        fsub.d f0, f0, f1
+        fabs.d f0, f0           # |dx|
+        fld  f1, 8(a0)
+        fld  f2, 8(a1)
+        fsub.d f1, f1, f2
+        fabs.d f1, f1           # |dy|
+        fld  f2, 16(a0)
+        fld  f3, 16(a1)
+        fsub.d f2, f2, f3
+        fabs.d f2, f2           # |dz|
+        fadd.d f3, f0, f1
+        fadd.d f3, f3, f2       # manhattan distance
+        # serial softening: every pair's term depends on the running
+        # energy through ~14 cycles of fp latency, so the kernel is
+        # latency-bound and the functional units sit mostly idle
+        fmul.d f10, f15, f14    # e * tiny       (4 cycles)
+        fmul.d f10, f10, f14    # .. * tiny      (4 cycles)
+        fadd.d f11, f3, f10     # + distance     (2 cycles)
+        fadd.d f11, f11, f8     # + 1.0          (2 cycles)
+        fadd.d f15, f15, f11    # e += term      (2 cycles)
+        # every 16th pair: a real sqrt joins the chain
+        andi t0, s4, 15
+        bnez t0, nosqrt
+        fsqrt.d f12, f11
+        fadd.d f15, f15, f12
+nosqrt:
+        addi s4, s4, 1
+        li   t0, {pairs_n}
+        blt  s4, t0, pair
+        # drift the first atom a little so steps differ
+        fld  f0, 0(s0)
+        fmul.d f1, f15, f14
+        fmul.d f1, f1, f14
+        fadd.d f0, f0, f1
+        fsd  f0, 0(s0)
+        addi s3, s3, -1
+        bnez s3, step
+        li   t0, 1000
+        fcvt.d.l f1, t0
+        fmul.d f0, f15, f14     # scale e down by 2^-16
+        fmul.d f0, f0, f1       # and report with 3 digits of precision
+        fcvt.l.d a0, f0
+        puti a0
+        halt
+"#,
+        pos_block = doubles_block("pos", &pos),
+        pairs_block = words_block("pairs", &pairs),
+        steps = steps,
+        pairs_n = pairs_n,
+    )
+}

@@ -1,0 +1,117 @@
+//! `art` stand-in: the F1-layer of an adaptive-resonance network —
+//! streaming weighted sums over large arrays, winner-take-all compares,
+//! and a winner weight update. Low-IPC fp streaming, as in 179.art.
+
+use crate::gen::{doubles_block, Splitmix};
+use crate::Params;
+
+const NEURONS: usize = 10;
+const INPUTS: usize = 512;
+
+pub(crate) fn art(p: &Params) -> String {
+    let presentations = 12 * p.scale as usize;
+    let mut rng = Splitmix::new(p.seed ^ 0x6172_74);
+    let weights: Vec<f64> = (0..NEURONS * INPUTS).map(|_| rng.unit_f64()).collect();
+    let inputs: Vec<f64> = (0..INPUTS).map(|_| rng.unit_f64()).collect();
+
+    format!(
+        r#"# art stand-in: F1 activation + winner-take-all + weight update
+        .data
+{w_block}
+{in_block}
+acts:
+        .space {act_bytes}
+        .text
+main:
+        la   s0, weights
+        la   s1, inputs
+        la   s2, acts
+        li   s3, {presentations}
+        li   t0, 0
+        fcvt.d.l f9, t0         # 0.0
+        li   t0, 1
+        fcvt.d.l f8, t0
+        li   t0, 10
+        fcvt.d.l f7, t0
+        fdiv.d f8, f8, f7       # learning rate 0.1
+present:
+        # activations: act[j] = sum_k w[j][k] * in[k]
+        li   s4, 0              # neuron j
+neuron:
+        fmov.d f0, f9
+        li   s5, 0              # input k
+        li   t0, {inputs}
+        mul  t1, s4, t0
+        slli t1, t1, 3
+        add  t1, s0, t1         # &w[j][0]
+dot:
+        slli t2, s5, 3
+        add  t3, t1, t2
+        fld  f1, 0(t3)
+        add  t4, s1, t2
+        fld  f2, 0(t4)
+        fmul.d f3, f1, f2
+        fadd.d f0, f0, f3
+        addi s5, s5, 1
+        li   t0, {inputs}
+        blt  s5, t0, dot
+        slli t5, s4, 3
+        add  t6, s2, t5
+        fsd  f0, 0(t6)
+        addi s4, s4, 1
+        li   t0, {neurons}
+        blt  s4, t0, neuron
+        # winner-take-all
+        li   s4, 1
+        li   s6, 0              # winner index
+        fld  f4, 0(s2)          # best
+wta:
+        slli t5, s4, 3
+        add  t6, s2, t5
+        fld  f5, 0(t6)
+        fle.d t0, f5, f4
+        bnez t0, notbetter
+        fmov.d f4, f5
+        mv   s6, s4
+notbetter:
+        addi s4, s4, 1
+        li   t0, {neurons}
+        blt  s4, t0, wta
+        # update winner weights: w += rate * (in - w)
+        li   s5, 0
+        li   t0, {inputs}
+        mul  t1, s6, t0
+        slli t1, t1, 3
+        add  t1, s0, t1
+update:
+        slli t2, s5, 3
+        add  t3, t1, t2
+        fld  f1, 0(t3)
+        add  t4, s1, t2
+        fld  f2, 0(t4)
+        fsub.d f3, f2, f1
+        fmul.d f3, f3, f8
+        fadd.d f1, f1, f3
+        fsd  f1, 0(t3)
+        addi s5, s5, 1
+        li   t0, {inputs}
+        blt  s5, t0, update
+        addi s3, s3, -1
+        bnez s3, present
+        # checksum: winner index + scaled best activation
+        li   t0, 1000
+        fcvt.d.l f6, t0
+        fmul.d f4, f4, f6
+        fcvt.l.d a0, f4
+        add  a0, a0, s6
+        puti a0
+        halt
+"#,
+        w_block = doubles_block("weights", &weights),
+        in_block = doubles_block("inputs", &inputs),
+        act_bytes = NEURONS * 8,
+        presentations = presentations,
+        inputs = INPUTS,
+        neurons = NEURONS,
+    )
+}

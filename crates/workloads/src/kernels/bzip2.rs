@@ -1,0 +1,114 @@
+//! `bzip2` stand-in: block sorting (insertion sort per block) followed
+//! by a move-to-front pass — compare/swap control flow and byte
+//! shuffling.
+
+use crate::gen::{bytes_block, compressible_bytes, Splitmix};
+use crate::Params;
+
+const BLOCK: usize = 32;
+
+pub(crate) fn bzip2(p: &Params) -> String {
+    let n = 1024 * p.scale as usize;
+    let mut rng = Splitmix::new(p.seed ^ 0x627a_6970);
+    let data = compressible_bytes(&mut rng, n);
+
+    format!(
+        r#"# bzip2 stand-in: per-block insertion sort + move-to-front
+        .data
+{data_block}
+        .align 8
+mtf:
+        .space 256
+        .text
+main:
+        la   s0, data
+        li   s1, {n}
+        li   s3, 0              # checksum
+
+        # ---- phase 1: insertion-sort each {block}-byte block ----
+        li   s4, 0              # block base
+sortblk:
+        li   t0, 1              # i
+inner:
+        add  t1, s0, s4
+        add  t1, t1, t0
+        lbu  t2, 0(t1)          # key = d[base+i]
+        mv   t3, t0             # j
+shift:
+        beqz t3, insert
+        addi t4, t3, -1
+        add  t5, s0, s4
+        add  t5, t5, t4
+        lbu  t6, 0(t5)          # d[base+j-1]
+        ble  t6, t2, insert
+        sb   t6, 1(t5)          # shift right
+        mv   t3, t4
+        j    shift
+insert:
+        add  t5, s0, s4
+        add  t5, t5, t3
+        sb   t2, 0(t5)
+        addi t0, t0, 1
+        li   t6, {block}
+        blt  t0, t6, inner
+        addi s4, s4, {block}
+        blt  s4, s1, sortblk
+
+        # ---- phase 2: move-to-front over the sorted data ----
+        la   s5, mtf
+        li   t0, 0
+mtfinit:
+        add  t1, s5, t0
+        sb   t0, 0(t1)
+        addi t0, t0, 1
+        li   t2, 256
+        blt  t0, t2, mtfinit
+        li   s4, 0              # position
+mtfloop:
+        add  t0, s0, s4
+        lbu  a0, 0(t0)          # symbol
+        call mtfrank            # a0 <- rank, table updated
+        add  s3, s3, a0         # checksum accumulates ranks
+        addi s4, s4, 1
+        blt  s4, s1, mtfloop
+        puti s3
+        halt
+
+# a0 = symbol; returns its move-to-front rank and rotates it to front
+mtfrank:
+        addi sp, sp, -16
+        sd   ra, 8(sp)
+        sd   s0, 0(sp)
+        la   s0, mtf
+        mv   t1, a0
+        # find the rank (linear scan of the mtf table)
+        li   t2, 0
+find:
+        add  t3, s0, t2
+        lbu  t4, 0(t3)
+        beq  t4, t1, movefront
+        addi t2, t2, 1
+        j    find
+movefront:
+        mv   a0, t2
+        # shift table[0..rank) right by one, put symbol at front
+shiftdn:
+        beqz t2, front
+        addi t5, t2, -1
+        add  t6, s0, t5
+        lbu  t0, 0(t6)
+        sb   t0, 1(t6)
+        mv   t2, t5
+        j    shiftdn
+front:
+        sb   t1, 0(s0)
+        ld   s0, 0(sp)
+        ld   ra, 8(sp)
+        addi sp, sp, 16
+        ret
+"#,
+        data_block = bytes_block("data", &data),
+        n = n,
+        block = BLOCK,
+    )
+}

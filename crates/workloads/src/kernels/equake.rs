@@ -1,0 +1,111 @@
+//! `equake` stand-in: sparse matrix–vector products in CSR form —
+//! indexed fp loads through a column-index array, like the stiffness
+//! matrix sweeps of 183.equake.
+
+use crate::gen::{doubles_block, words_block, Splitmix};
+use crate::Params;
+
+const ROWS: usize = 256;
+const NNZ_PER_ROW: usize = 6;
+
+pub(crate) fn equake(p: &Params) -> String {
+    let sweeps = 30 * p.scale as usize;
+    let mut rng = Splitmix::new(p.seed ^ 0x6571_6b);
+    let mut colidx: Vec<i64> = Vec::with_capacity(ROWS * NNZ_PER_ROW);
+    let mut vals: Vec<f64> = Vec::with_capacity(ROWS * NNZ_PER_ROW);
+    for row in 0..ROWS {
+        for k in 0..NNZ_PER_ROW {
+            // A banded-ish sparsity pattern with some scatter.
+            let col = if k == 0 {
+                row as i64
+            } else {
+                rng.below(ROWS as u64) as i64
+            };
+            colidx.push(col);
+            vals.push((rng.unit_f64() - 0.5) * 0.3);
+        }
+    }
+    let x: Vec<f64> = (0..ROWS).map(|_| rng.unit_f64()).collect();
+
+    format!(
+        r#"# equake stand-in: CSR sparse mat-vec sweeps, y = K*x
+        .data
+{col_block}
+{val_block}
+{x_block}
+yvec:
+        .space {y_bytes}
+        .text
+main:
+        la   s0, colidx
+        la   s1, vals
+        la   s2, xvec
+        la   s3, yvec
+        li   s4, {sweeps}
+        li   t0, 0
+        fcvt.d.l f9, t0         # 0.0
+        li   t0, 1
+        fcvt.d.l f8, t0         # 1.0
+        li   t0, 2
+        fcvt.d.l f7, t0
+        fdiv.d f6, f8, f7       # 0.5
+sweep:
+        li   s5, 0              # row
+row:
+        fmov.d f0, f9           # acc
+        li   t0, {nnz}
+        mul  t1, s5, t0
+        li   s6, 0              # k within row
+nz:
+        add  t2, t1, s6
+        slli t3, t2, 3
+        add  t4, s0, t3
+        ld   t5, 0(t4)          # col = colidx[base+k]
+        add  t6, s1, t3
+        fld  f1, 0(t6)          # vals[base+k]
+        slli t5, t5, 3
+        add  t5, s2, t5
+        fld  f2, 0(t5)          # x[col] (indexed load)
+        fmul.d f3, f1, f2
+        fadd.d f0, f0, f3
+        addi s6, s6, 1
+        li   t0, {nnz}
+        blt  s6, t0, nz
+        slli t3, s5, 3
+        add  t4, s3, t3
+        fsd  f0, 0(t4)
+        addi s5, s5, 1
+        li   t0, {rows}
+        blt  s5, t0, row
+        # x[i] = 0.5*y[i] + 0.5  (bounded fixed-point-ish iteration)
+        li   s5, 0
+relax:
+        slli t3, s5, 3
+        add  t4, s3, t3
+        fld  f0, 0(t4)
+        fmul.d f0, f0, f6
+        fadd.d f0, f0, f6
+        add  t5, s2, t3
+        fsd  f0, 0(t5)
+        addi s5, s5, 1
+        li   t0, {rows}
+        blt  s5, t0, relax
+        addi s4, s4, -1
+        bnez s4, sweep
+        fld  f0, 0(s2)
+        li   t0, 1000000
+        fcvt.d.l f1, t0
+        fmul.d f0, f0, f1
+        fcvt.l.d a0, f0
+        puti a0
+        halt
+"#,
+        col_block = words_block("colidx", &colidx),
+        val_block = doubles_block("vals", &vals),
+        x_block = doubles_block("xvec", &x),
+        y_bytes = ROWS * 8,
+        sweeps = sweeps,
+        nnz = NNZ_PER_ROW,
+        rows = ROWS,
+    )
+}

@@ -1,0 +1,191 @@
+//! `gcc` stand-in: symbol processing — binary-search-tree lookups and
+//! open-addressed hash-table interning, each behind a called routine,
+//! over an LCG key stream. Branchy, irregular integer code.
+
+use crate::gen::{words_block, Splitmix};
+use crate::Params;
+
+const KEY_SPACE: u64 = 4096;
+const HASH_ENTRIES: usize = 8192;
+
+pub(crate) fn gcc(p: &Params) -> String {
+    let nodes = 1024;
+    let lookups = 550 * p.scale as usize;
+    let mut rng = Splitmix::new(p.seed ^ 0x6763_63);
+
+    // A balanced BST over `nodes` distinct random keys, laid out as
+    // key/left/right index arrays (index 0 = null, root at 1).
+    let mut keys: Vec<i64> = {
+        let mut set = std::collections::BTreeSet::new();
+        while set.len() < nodes {
+            set.insert(rng.below(KEY_SPACE) as i64);
+        }
+        set.into_iter().collect()
+    };
+    keys.sort_unstable();
+    let mut key_arr = vec![0i64; nodes + 1];
+    let mut left = vec![0i64; nodes + 1];
+    let mut right = vec![0i64; nodes + 1];
+    let mut next_slot = 1usize;
+    // Recursive balanced build over the sorted keys.
+    fn build(
+        keys: &[i64],
+        lo: usize,
+        hi: usize,
+        key_arr: &mut [i64],
+        left: &mut [i64],
+        right: &mut [i64],
+        next_slot: &mut usize,
+    ) -> i64 {
+        if lo >= hi {
+            return 0;
+        }
+        let mid = (lo + hi) / 2;
+        let me = *next_slot;
+        *next_slot += 1;
+        key_arr[me] = keys[mid];
+        left[me] = build(keys, lo, mid, key_arr, left, right, next_slot);
+        right[me] = build(keys, mid + 1, hi, key_arr, left, right, next_slot);
+        me as i64
+    }
+    let root = build(
+        &keys,
+        0,
+        keys.len(),
+        &mut key_arr,
+        &mut left,
+        &mut right,
+        &mut next_slot,
+    );
+
+    // Real gcc has hundreds of static call sites; replicate the lookup
+    // and interning routines into clones dispatched through a jump
+    // table, so the kernel has a code footprint (and indirect-branch
+    // behaviour) closer to compiled symbol-table code.
+    let clones = 8usize;
+    let mut funcs = String::new();
+    let mut table_entries = Vec::new();
+    for i in 0..clones {
+        table_entries.push(format!("bstfind{i}"));
+        funcs.push_str(&format!(
+            r#"
+# a0 = key; returns key[node] if found, else 1 (clone {i})
+bstfind{i}:
+        addi sp, sp, -16
+        sd   ra, 8(sp)
+        sd   s0, 0(sp)
+        la   s0, keyarr
+        la   t2, leftarr
+        la   t3, rightarr
+        li   t4, {root}         # node = root
+search{i}:
+        slli t5, t4, 3
+        add  t6, s0, t5
+        ld   a1, 0(t6)          # key[node]
+        beq  a1, a0, found{i}
+        blt  a0, a1, goleft{i}
+        add  t6, t3, t5
+        ld   t4, 0(t6)          # node = right[node]
+        bnez t4, search{i}
+        j    notfound{i}
+goleft{i}:
+        add  t6, t2, t5
+        ld   t4, 0(t6)          # node = left[node]
+        bnez t4, search{i}
+notfound{i}:
+        li   a0, 1
+        j    bstout{i}
+found{i}:
+        mv   a0, a1
+bstout{i}:
+        call intern{i}
+        ld   s0, 0(sp)
+        ld   ra, 8(sp)
+        addi sp, sp, 16
+        ret
+
+# a0 = value; interns into the hash table, returns the slot index
+intern{i}:
+        addi sp, sp, -16
+        sd   ra, 8(sp)
+        sd   s0, 0(sp)
+        la   s0, htab
+        andi t6, a0, {hash_mask}
+probe{i}:
+        slli t5, t6, 3
+        add  t4, s0, t5
+        ld   t3, 0(t4)
+        beq  t3, a0, hdone{i}   # interned already
+        beqz t3, hinsert{i}
+        addi t6, t6, 1
+        andi t6, t6, {hash_mask}
+        j    probe{i}
+hinsert{i}:
+        sd   a0, 0(t4)
+hdone{i}:
+        mv   a0, t6
+        ld   s0, 0(sp)
+        ld   ra, 8(sp)
+        addi sp, sp, 16
+        ret
+"#,
+            i = i,
+            root = root,
+            hash_mask = HASH_ENTRIES - 1,
+        ));
+    }
+    let calltab = format!(
+        "calltab:\n    .word {}\n",
+        table_entries.join(", ")
+    );
+
+    format!(
+        r#"# gcc stand-in: BST lookups + hash interning across {clones} clone call sites
+        .data
+{key_block}
+{left_block}
+{right_block}
+{calltab}
+        .align 8
+htab:
+        .space {hash_bytes}
+        .text
+main:
+        li   s4, {lookups}
+        li   s5, 0              # checksum
+        li   s6, {lcg_seed}     # lcg state
+        la   s7, calltab
+loop:
+        li   t0, 1103515245
+        mul  s6, s6, t0
+        addi s6, s6, 12345
+        srli t1, s6, 16
+        andi t1, t1, {key_mask} # probe key
+        # dispatch through the jump table (indirect call, like a
+        # function pointer in compiled code)
+        andi t2, t1, {clone_mask}
+        slli t2, t2, 3
+        add  t2, s7, t2
+        ld   t3, 0(t2)
+        mv   a0, t1
+        jalr ra, t3, 0
+        add  s5, s5, a0
+        addi s4, s4, -1
+        bnez s4, loop
+        puti s5
+        halt
+{funcs}
+"#,
+        key_block = words_block("keyarr", &key_arr),
+        left_block = words_block("leftarr", &left),
+        right_block = words_block("rightarr", &right),
+        calltab = calltab,
+        hash_bytes = HASH_ENTRIES * 8,
+        lookups = lookups,
+        lcg_seed = (p.seed as u32 as i64 | 1).min(i32::MAX as i64),
+        key_mask = KEY_SPACE - 1,
+        clone_mask = clones - 1,
+        clones = clones,
+        funcs = funcs,
+    )
+}

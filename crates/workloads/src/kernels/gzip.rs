@@ -1,0 +1,107 @@
+//! `gzip` stand-in: LZ77-style hashing, match finding and token
+//! emission over a compressible byte stream.
+
+use crate::gen::{bytes_block, compressible_bytes, Splitmix};
+use crate::Params;
+
+const HASH_ENTRIES: usize = 1024;
+
+pub(crate) fn gzip(p: &Params) -> String {
+    let n = 2048 * p.scale as usize;
+    let mut rng = Splitmix::new(p.seed ^ 0x677a_6970);
+    let input = compressible_bytes(&mut rng, n);
+    let out_bytes = n * 3 + 64;
+    let limit = n - 16;
+
+    format!(
+        r#"# gzip stand-in: LZ77 hash-chain compression kernel
+        .data
+{input_block}
+        .align 8
+hashtab:
+        .space {hash_bytes}
+out:
+        .space {out_bytes}
+        .text
+main:
+        la   s0, input
+        la   s1, hashtab
+        la   s2, out
+        li   s3, 0              # pos
+        li   s4, {limit}        # scan limit
+        li   s5, 0              # checksum
+        li   s6, 0              # token index
+scan:
+        bge  s3, s4, done
+        add  t0, s0, s3
+        mv   a0, t0
+        call hash3              # a0 <- hash of in[pos..pos+3]
+        lbu  t1, 0(t0)          # in[pos]
+        slli t5, a0, 3
+        add  t5, s1, t5
+        ld   t6, 0(t5)          # candidate position
+        sd   s3, 0(t5)          # head of hash chain <- pos
+        beqz t6, literal
+        bge  t6, s3, literal
+        # measure the match length (capped at 16)
+        add  a0, s0, t6
+        mv   a1, t0
+        li   a2, 0
+mloop:
+        lbu  a3, 0(a0)
+        lbu  a4, 0(a1)
+        bne  a3, a4, mdone
+        addi a0, a0, 1
+        addi a1, a1, 1
+        addi a2, a2, 1
+        li   a5, 16
+        blt  a2, a5, mloop
+mdone:
+        li   a5, 3
+        blt  a2, a5, literal
+        # emit a (distance, length) token
+        sub  a6, s3, t6
+        slli a7, a2, 16
+        add  a6, a6, a7
+        add  s5, s5, a6
+        slli a7, s6, 3
+        add  a7, s2, a7
+        sd   a6, 0(a7)
+        addi s6, s6, 1
+        add  s3, s3, a2
+        j    scan
+literal:
+        add  s5, s5, t1
+        addi s3, s3, 1
+        j    scan
+done:
+        puti s5
+        puti s6
+        halt
+
+# a0 = pointer to three bytes; returns their hash in a0
+hash3:
+        addi sp, sp, -16
+        sd   ra, 8(sp)
+        sd   s0, 0(sp)
+        mv   s0, a0
+        lbu  t1, 0(s0)
+        lbu  t2, 1(s0)
+        lbu  t3, 2(s0)
+        slli t2, t2, 3
+        slli t3, t3, 6
+        xor  a0, t1, t2
+        xor  a0, a0, t3
+        andi a0, a0, {hash_mask}
+        ld   s0, 0(sp)
+        ld   ra, 8(sp)
+        addi sp, sp, 16
+        ret
+"#,
+        input_block = bytes_block("input", &input),
+        hash_bytes = HASH_ENTRIES * 8,
+        out_bytes = out_bytes,
+        limit = limit,
+        hash_mask = HASH_ENTRIES - 1,
+    )
+}

@@ -1,0 +1,68 @@
+//! `mcf` stand-in: network-simplex-style pointer chasing with a
+//! working set far beyond the L1, the classic memory-bound low-IPC
+//! profile.
+
+use crate::gen::{words_block, Splitmix};
+use crate::Params;
+
+pub(crate) fn mcf(p: &Params) -> String {
+    let n = 2048 * p.scale as usize;
+    let mut rng = Splitmix::new(p.seed ^ 0x6d63_66);
+
+    // A single-cycle random permutation (Sattolo) so every chase walks
+    // the whole node set — maximal dependent-load chains.
+    let mut next: Vec<i64> = (0..n as i64).collect();
+    for i in (1..n).rev() {
+        let j = rng.below(i as u64) as usize;
+        next.swap(i, j);
+    }
+    let cost: Vec<i64> = (0..n).map(|_| rng.below(1000) as i64).collect();
+    let depth: Vec<i64> = (0..n).map(|_| rng.below(64) as i64).collect();
+
+    let steps = n;
+    let rounds = 4;
+
+    format!(
+        r#"# mcf stand-in: dependent-load pointer chase over {n} nodes
+        .data
+{next_block}
+{cost_block}
+{depth_block}
+        .text
+main:
+        la   s0, nextarr
+        la   s1, cost
+        la   s2, depth
+        li   s3, 0              # checksum
+        li   s4, {rounds}
+round:
+        li   t0, 0              # current node
+        li   t1, {steps}
+step:
+        slli t2, t0, 3
+        add  t3, s0, t2
+        ld   t0, 0(t3)          # node = next[node] (dependent load)
+        slli t2, t0, 3
+        add  t4, s1, t2
+        ld   t5, 0(t4)          # cost[node]
+        add  s3, s3, t5
+        add  t6, s2, t2
+        ld   a0, 0(t6)          # depth[node]
+        add  s3, s3, a0
+        andi a1, t0, 15
+        bnez a1, noupd
+        addi t5, t5, 1          # occasional cost update
+        sd   t5, 0(t4)
+noupd:
+        addi t1, t1, -1
+        bnez t1, step
+        addi s4, s4, -1
+        bnez s4, round
+        puti s3
+        halt
+"#,
+        next_block = words_block("nextarr", &next),
+        cost_block = words_block("cost", &cost),
+        depth_block = words_block("depth", &depth),
+    )
+}

@@ -1,0 +1,32 @@
+//! The kernel generators, one module per SPEC CPU2000 stand-in.
+//!
+//! Each generator returns complete assembly source: a `.data` section
+//! with deterministic, seed-derived inputs, and a `.text` section with
+//! the kernel. Problem dimensions scale linearly with
+//! [`Params::scale`](crate::Params).
+
+mod ammp;
+mod art;
+mod bzip2;
+mod equake;
+mod gcc;
+mod gzip;
+mod mcf;
+mod parser;
+mod twolf;
+mod vortex;
+mod vpr;
+mod wupwise;
+
+pub(crate) use ammp::ammp;
+pub(crate) use art::art;
+pub(crate) use bzip2::bzip2;
+pub(crate) use equake::equake;
+pub(crate) use gcc::gcc;
+pub(crate) use gzip::gzip;
+pub(crate) use mcf::mcf;
+pub(crate) use parser::parser;
+pub(crate) use twolf::twolf;
+pub(crate) use vortex::vortex;
+pub(crate) use vpr::vpr;
+pub(crate) use wupwise::wupwise;

@@ -1,0 +1,124 @@
+//! `parser` stand-in: dictionary lookups by binary search with a
+//! called byte-compare routine — byte loads, data-dependent branches,
+//! and the call-frame traffic of compiled code.
+
+use crate::gen::{bytes_block, Splitmix};
+use crate::Params;
+
+const DICT_WORDS: usize = 512;
+const WORD_BYTES: usize = 8;
+
+fn random_word(rng: &mut Splitmix) -> [u8; WORD_BYTES] {
+    let len = 3 + rng.below(6) as usize;
+    let mut w = [0u8; WORD_BYTES];
+    for slot in w.iter_mut().take(len) {
+        *slot = b'a' + rng.below(26) as u8;
+    }
+    w
+}
+
+pub(crate) fn parser(p: &Params) -> String {
+    let tokens = 450 * p.scale as usize;
+    let mut rng = Splitmix::new(p.seed ^ 0x7061_7273);
+
+    // Sorted dictionary of fixed-width words.
+    let mut dict: Vec<[u8; WORD_BYTES]> = std::collections::BTreeSet::<[u8; WORD_BYTES]>::from_iter(
+        std::iter::repeat_with(|| random_word(&mut rng)).take(DICT_WORDS * 2),
+    )
+    .into_iter()
+    .take(DICT_WORDS)
+    .collect();
+    dict.sort_unstable();
+
+    // Token stream: roughly half dictionary hits, half misses.
+    let mut stream: Vec<u8> = Vec::with_capacity(tokens * WORD_BYTES);
+    for _ in 0..tokens {
+        let w = if rng.below(2) == 0 {
+            dict[rng.below(dict.len() as u64) as usize]
+        } else {
+            random_word(&mut rng)
+        };
+        stream.extend_from_slice(&w);
+    }
+
+    let dict_bytes: Vec<u8> = dict.iter().flatten().copied().collect();
+
+    format!(
+        r#"# parser stand-in: binary-search dictionary with a compare routine
+        .data
+{dict_block}
+{stream_block}
+        .text
+main:
+        la   s0, dict
+        la   s1, stream
+        li   s2, {tokens}
+        li   s3, 0              # checksum
+        li   s4, 0              # token index
+tok:
+        slli t0, s4, 3
+        add  s6, s1, t0         # token pointer
+        li   s7, 0              # lo
+        li   s8, {dict_words}   # hi (exclusive)
+bs:
+        bge  s7, s8, nfound
+        add  s9, s7, s8
+        srli s9, s9, 1          # mid
+        slli a0, s9, 3
+        add  a0, s0, a0         # dict[mid] pointer
+        mv   a1, s6
+        call wordcmp            # a0 <- sign(dict[mid] - token)
+        beqz a0, foundmid
+        bltz a0, lower
+        mv   s8, s9             # dict > token: hi = mid
+        j    bs
+lower:
+        addi s7, s9, 1          # dict < token: lo = mid + 1
+        j    bs
+foundmid:
+        add  s3, s3, s9
+        j    next
+nfound:
+        addi s3, s3, -1
+next:
+        addi s4, s4, 1
+        blt  s4, s2, tok
+        puti s3
+        halt
+
+# a0 = left word, a1 = right word; returns -1/0/1 in a0
+wordcmp:
+        addi sp, sp, -16
+        sd   ra, 8(sp)
+        sd   s0, 0(sp)
+        li   t2, {word_bytes}
+        li   s0, 0              # byte index
+cmp:
+        add  t0, a0, s0
+        lbu  t3, 0(t0)
+        add  t1, a1, s0
+        lbu  t4, 0(t1)
+        blt  t3, t4, isless
+        blt  t4, t3, ismore
+        addi s0, s0, 1
+        blt  s0, t2, cmp
+        li   a0, 0
+        j    out
+isless:
+        li   a0, -1
+        j    out
+ismore:
+        li   a0, 1
+out:
+        ld   s0, 0(sp)
+        ld   ra, 8(sp)
+        addi sp, sp, 16
+        ret
+"#,
+        dict_block = bytes_block("dict", &dict_bytes),
+        stream_block = bytes_block("stream", &stream),
+        tokens = tokens,
+        dict_words = dict.len(),
+        word_bytes = WORD_BYTES,
+    )
+}

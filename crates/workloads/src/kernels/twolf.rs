@@ -1,0 +1,105 @@
+//! `twolf` stand-in: place-and-route annealing with a quadratic cost
+//! (integer multiplies) and a congestion grid consulted per move.
+
+use crate::gen::{words_block, Splitmix};
+use crate::Params;
+
+const GRID: i64 = 32;
+
+pub(crate) fn twolf(p: &Params) -> String {
+    let cells = 256;
+    let moves = 700 * p.scale as usize;
+    let mut rng = Splitmix::new(p.seed ^ 0x7477_6f6c);
+    let xs: Vec<i64> = (0..cells).map(|_| rng.below(GRID as u64) as i64).collect();
+    let ys: Vec<i64> = (0..cells).map(|_| rng.below(GRID as u64) as i64).collect();
+    let occupancy: Vec<i64> = (0..GRID * GRID).map(|_| rng.below(4) as i64).collect();
+
+    format!(
+        r#"# twolf stand-in: annealing with quadratic wirelength + congestion
+        .data
+{xs_block}
+{ys_block}
+{occ_block}
+        .text
+main:
+        la   s0, xs
+        la   s1, ys
+        la   s2, occ
+        li   s3, {moves}
+        li   s5, 0              # checksum
+        li   s6, {lcg_seed}
+move:
+        call lcgnext
+        andi t1, a0, {cell_mask}    # cell c
+        call lcgnext
+        srli t2, a0, 2
+        andi t2, t2, {grid_mask}    # proposed x
+        call lcgnext
+        srli t3, a0, 2
+        andi t3, t3, {grid_mask}    # proposed y
+        # current position
+        slli t4, t1, 3
+        add  t5, s0, t4
+        ld   a0, 0(t5)          # x[c]
+        add  t6, s1, t4
+        ld   a1, 0(t6)          # y[c]
+        # quadratic displacement cost
+        sub  a2, a0, t2
+        mul  a2, a2, a2
+        sub  a3, a1, t3
+        mul  a3, a3, a3
+        add  a2, a2, a3
+        # congestion at the destination
+        slli a4, t3, 5          # y * GRID
+        add  a4, a4, t2
+        slli a4, a4, 3
+        add  a4, s2, a4
+        ld   a5, 0(a4)          # occ[y][x]
+        slli a6, a5, 4
+        add  a2, a2, a6         # total cost
+        li   a7, 600
+        bge  a2, a7, reject
+        # accept: move the cell, adjust occupancy
+        sd   t2, 0(t5)
+        sd   t3, 0(t6)
+        addi a5, a5, 1
+        sd   a5, 0(a4)
+        # release the old site
+        slli a6, a1, 5
+        add  a6, a6, a0
+        slli a6, a6, 3
+        add  a6, s2, a6
+        ld   a5, 0(a6)
+        addi a5, a5, -1
+        sd   a5, 0(a6)
+        add  s5, s5, a2
+        j    next
+reject:
+        addi s5, s5, 1
+next:
+        addi s3, s3, -1
+        bnez s3, move
+        puti s5
+        halt
+
+# advances the LCG in s6, returns the next draw in a0
+lcgnext:
+        addi sp, sp, -16
+        sd   ra, 8(sp)
+        li   t0, 1103515245
+        mul  s6, s6, t0
+        addi s6, s6, 12345
+        srli a0, s6, 16
+        ld   ra, 8(sp)
+        addi sp, sp, 16
+        ret
+"#,
+        xs_block = words_block("xs", &xs),
+        ys_block = words_block("ys", &ys),
+        occ_block = words_block("occ", &occupancy),
+        moves = moves,
+        lcg_seed = (p.seed as u32 as i64 | 1).min(i32::MAX as i64),
+        cell_mask = cells - 1,
+        grid_mask = GRID - 1,
+    )
+}

@@ -1,0 +1,93 @@
+//! `vortex` stand-in: an in-memory record store processing a
+//! transaction stream — field reads/updates, record copies, and an
+//! index maintained on the side.
+
+use crate::gen::{words_block, Splitmix};
+use crate::Params;
+
+const FIELDS: usize = 4;
+
+pub(crate) fn vortex(p: &Params) -> String {
+    let records = 1024;
+    let txns = 600 * p.scale as usize;
+    let mut rng = Splitmix::new(p.seed ^ 0x766f_7274);
+    let store: Vec<i64> = (0..records * FIELDS)
+        .map(|_| rng.below(100_000) as i64)
+        .collect();
+    let index: Vec<i64> = (0..records).map(|i| i as i64).collect();
+
+    format!(
+        r#"# vortex stand-in: record-store transactions over {records} records
+        .data
+{store_block}
+{index_block}
+        .text
+main:
+        la   s0, store
+        la   s1, index
+        li   s2, {txns}
+        li   s3, 0              # checksum
+        li   s4, {lcg_seed}
+txn:
+        li   t0, 1103515245
+        mul  s4, s4, t0
+        addi s4, s4, 12345
+        srli t1, s4, 16
+        andi t1, t1, {rec_mask}     # record id r
+        mv   a0, t1
+        call dorec              # a0 <- field digest, t3/t4 index info
+        add  s3, s3, a0
+        # every 8th txn: rotate the index entry with its successor
+        andi a6, t1, 7
+        bnez a6, skip
+        addi a7, t1, 1
+        andi a7, a7, {rec_mask}
+        slli a7, a7, 3
+        add  a7, s1, a7
+        ld   a6, 0(a7)
+        sd   t4, 0(a7)
+        sd   a6, 0(t3)
+skip:
+        addi s2, s2, -1
+        bnez s2, txn
+        puti s3
+        halt
+
+# a0 = record id; runs one read-modify-write transaction, returns the
+# field digest in a0; leaves &index[r] in t3 and the slot in t4
+dorec:
+        addi sp, sp, -16
+        sd   ra, 8(sp)
+        sd   s0, 0(sp)
+        la   s0, store
+        la   t6, index
+        # indirect through the index
+        slli t2, a0, 3
+        add  t3, t6, t2
+        ld   t4, 0(t3)          # slot = index[r]
+        slli t5, t4, 5          # slot * 32 bytes
+        add  t5, s0, t5         # record base
+        # read all fields, compute an update
+        ld   a1, 0(t5)
+        ld   a2, 8(t5)
+        ld   a3, 16(t5)
+        ld   a4, 24(t5)
+        add  a5, a1, a2
+        sub  a6, a3, a4
+        add  a0, a5, a6
+        # write back two fields
+        addi a1, a1, 1
+        sd   a1, 0(t5)
+        sd   a5, 24(t5)
+        ld   s0, 0(sp)
+        ld   ra, 8(sp)
+        addi sp, sp, 16
+        ret
+"#,
+        store_block = words_block("store", &store),
+        index_block = words_block("index", &index),
+        txns = txns,
+        lcg_seed = (p.seed as u32 as i64 | 1).min(i32::MAX as i64),
+        rec_mask = records - 1,
+    )
+}

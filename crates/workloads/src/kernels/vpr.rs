@@ -1,0 +1,132 @@
+//! `vpr` stand-in: simulated-annealing placement — random cell swaps,
+//! incremental wirelength deltas, temperature-gated acceptance.
+
+use crate::gen::{words_block, Splitmix};
+use crate::Params;
+
+pub(crate) fn vpr(p: &Params) -> String {
+    let cells = 512;
+    let moves = 800 * p.scale as usize;
+    let mut rng = Splitmix::new(p.seed ^ 0x7670_72);
+    let grid = 64i64;
+    let xs: Vec<i64> = (0..cells).map(|_| rng.below(grid as u64) as i64).collect();
+    let ys: Vec<i64> = (0..cells).map(|_| rng.below(grid as u64) as i64).collect();
+
+    format!(
+        r#"# vpr stand-in: annealing placement over a {cells}-cell chain net
+        .data
+{xs_block}
+{ys_block}
+        .text
+main:
+        la   s0, xs
+        la   s1, ys
+        li   s2, {moves}
+        li   s3, 0              # accepted-move checksum
+        li   s4, {lcg_seed}
+        li   s5, 4096           # temperature (decays)
+anneal:
+        # pick two cells a, b
+        call lcgnext
+        andi t1, a0, {cell_mask}    # a
+        call lcgnext
+        andi t2, a0, {cell_mask}    # b
+        # cost of cell i against its chain neighbour i+1 (wraps via mask)
+        # old cost: c(a) + c(b)
+        addi a0, t1, 1
+        andi a0, a0, {cell_mask}
+        slli t3, t1, 3
+        slli t4, a0, 3
+        add  a1, s0, t3
+        ld   a2, 0(a1)          # x[a]
+        add  a1, s0, t4
+        ld   a3, 0(a1)          # x[a+1]
+        sub  a4, a2, a3
+        bgez a4, xposa
+        sub  a4, zero, a4
+xposa:
+        add  a1, s1, t3
+        ld   a5, 0(a1)          # y[a]
+        add  a1, s1, t4
+        ld   a6, 0(a1)          # y[a+1]
+        sub  a7, a5, a6
+        bgez a7, yposa
+        sub  a7, zero, a7
+yposa:
+        add  t5, a4, a7         # old partial cost around a
+        # swap positions of a and b
+        slli t4, t2, 3
+        add  a1, s0, t4
+        ld   a3, 0(a1)          # x[b]
+        sd   a2, 0(a1)          # x[b] <- x[a]
+        add  a1, s0, t3
+        sd   a3, 0(a1)          # x[a] <- x[b]
+        add  a1, s1, t4
+        ld   a6, 0(a1)          # y[b]
+        sd   a5, 0(a1)
+        add  a1, s1, t3
+        sd   a6, 0(a1)
+        # new cost around a (same neighbour)
+        addi a0, t1, 1
+        andi a0, a0, {cell_mask}
+        slli a0, a0, 3
+        add  a1, s0, a0
+        ld   a2, 0(a1)
+        sub  a4, a3, a2
+        bgez a4, xposb
+        sub  a4, zero, a4
+xposb:
+        add  a1, s1, a0
+        ld   a2, 0(a1)
+        sub  a7, a6, a2
+        bgez a7, yposb
+        sub  a7, zero, a7
+yposb:
+        add  t6, a4, a7         # new partial cost around a
+        sub  t6, t6, t5         # delta
+        blt  t6, s5, accept     # accept if delta under temperature
+        # reject: swap back
+        slli t4, t2, 3
+        add  a1, s0, t3
+        ld   a2, 0(a1)
+        add  a0, s0, t4
+        ld   a3, 0(a0)
+        sd   a2, 0(a0)
+        sd   a3, 0(a1)
+        add  a1, s1, t3
+        ld   a2, 0(a1)
+        add  a0, s1, t4
+        ld   a3, 0(a0)
+        sd   a2, 0(a0)
+        sd   a3, 0(a1)
+        j    cool
+accept:
+        addi s3, s3, 1
+        add  s3, s3, t6
+cool:
+        srli t0, s5, 10         # temperature decay every move
+        sub  s5, s5, t0
+        addi s2, s2, -1
+        bnez s2, anneal
+        puti s3
+        halt
+
+# advances the LCG in s4, returns the next draw in a0
+lcgnext:
+        addi sp, sp, -16
+        sd   ra, 8(sp)
+        li   t0, 1103515245
+        mul  s4, s4, t0
+        addi s4, s4, 12345
+        srli a0, s4, 16
+        ld   ra, 8(sp)
+        addi sp, sp, 16
+        ret
+"#,
+        xs_block = words_block("xs", &xs),
+        ys_block = words_block("ys", &ys),
+        moves = moves,
+        lcg_seed = (p.seed as u32 as i64 | 1).min(i32::MAX as i64),
+        cell_mask = cells - 1,
+    )
+}

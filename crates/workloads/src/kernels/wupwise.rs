@@ -1,0 +1,107 @@
+//! `wupwise` stand-in: dense complex matrix–vector products (the BiCGStab
+//! heart of wupwise) — regular fp multiply/add streams with high ILP.
+
+use crate::gen::{doubles_block, Splitmix};
+use crate::Params;
+
+const M: usize = 24;
+
+pub(crate) fn wupwise(p: &Params) -> String {
+    let sweeps = 24 * p.scale as usize;
+    let mut rng = Splitmix::new(p.seed ^ 0x7775_7077);
+    // Complex matrix stored interleaved (re, im), row-major, and a
+    // complex vector likewise.
+    let a: Vec<f64> = (0..M * M * 2).map(|_| rng.unit_f64() - 0.5).collect();
+    let x: Vec<f64> = (0..M * 2).map(|_| rng.unit_f64() - 0.5).collect();
+
+    format!(
+        r#"# wupwise stand-in: repeated complex mat-vec z = A*x
+        .data
+{a_block}
+{x_block}
+zvec:
+        .space {z_bytes}
+        .text
+main:
+        la   s0, amat
+        la   s1, xvec
+        la   s2, zvec
+        li   s3, {sweeps}
+        li   t0, 0
+        fcvt.d.l f9, t0         # 0.0
+        li   t0, 1
+        fcvt.d.l f10, t0
+        li   t0, 2
+        fcvt.d.l f11, t0
+        fdiv.d f10, f10, f11    # 0.5 (damping factor)
+sweep:
+        li   s4, 0              # row i
+row:
+        fmov.d f0, f9           # z_re = 0
+        fmov.d f1, f9           # z_im = 0
+        li   s5, 0              # col k
+        # row base = (i*M) * 16 bytes
+        li   t0, {m}
+        mul  t1, s4, t0
+        slli t1, t1, 4
+        add  t1, s0, t1         # &A[i][0]
+col:
+        slli t2, s5, 4
+        add  t3, t1, t2
+        fld  f2, 0(t3)          # a_re
+        fld  f3, 8(t3)          # a_im
+        add  t4, s1, t2
+        fld  f4, 0(t4)          # x_re
+        fld  f5, 8(t4)          # x_im
+        # complex multiply-accumulate
+        fmul.d f6, f2, f4
+        fmul.d f7, f3, f5
+        fsub.d f6, f6, f7
+        fadd.d f0, f0, f6       # z_re += a_re*x_re - a_im*x_im
+        fmul.d f6, f2, f5
+        fmul.d f7, f3, f4
+        fadd.d f6, f6, f7
+        fadd.d f1, f1, f6       # z_im += a_re*x_im + a_im*x_re
+        addi s5, s5, 1
+        li   t0, {m}
+        blt  s5, t0, col
+        slli t5, s4, 4
+        add  t6, s2, t5
+        fsd  f0, 0(t6)
+        fsd  f1, 8(t6)
+        addi s4, s4, 1
+        li   t0, {m}
+        blt  s4, t0, row
+        # x = 0.5 * z  (keeps values bounded and the iteration alive)
+        li   s4, 0
+mix:
+        slli t5, s4, 4
+        add  t6, s2, t5
+        fld  f2, 0(t6)
+        fld  f3, 8(t6)
+        fmul.d f2, f2, f10
+        fmul.d f3, f3, f10
+        add  t4, s1, t5
+        fsd  f2, 0(t4)
+        fsd  f3, 8(t4)
+        addi s4, s4, 1
+        li   t0, {m}
+        blt  s4, t0, mix
+        addi s3, s3, -1
+        bnez s3, sweep
+        # checksum: scaled first element of x
+        fld  f2, 0(s1)
+        li   t0, 1000000
+        fcvt.d.l f4, t0
+        fmul.d f2, f2, f4
+        fcvt.l.d a0, f2
+        puti a0
+        halt
+"#,
+        a_block = doubles_block("amat", &a),
+        x_block = doubles_block("xvec", &x),
+        z_bytes = M * 16,
+        sweeps = sweeps,
+        m = M,
+    )
+}

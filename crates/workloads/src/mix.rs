@@ -1,0 +1,190 @@
+//! Instruction-mix characterization, for validating that each stand-in
+//! kernel has the texture it claims.
+
+use std::fmt;
+
+use redsim_isa::emu::Emulator;
+use redsim_isa::{EmuError, OpClass, Program};
+
+/// Dynamic instruction mix of a program run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct InstMix {
+    /// Total committed instructions.
+    pub total: u64,
+    /// Single-cycle integer ALU operations.
+    pub int_alu: u64,
+    /// Integer multiplies/divides.
+    pub int_muldiv: u64,
+    /// Floating-point operations.
+    pub fp: u64,
+    /// Loads.
+    pub loads: u64,
+    /// Stores.
+    pub stores: u64,
+    /// Conditional branches.
+    pub branches: u64,
+    /// Unconditional/indirect jumps.
+    pub jumps: u64,
+    /// Taken conditional branches.
+    pub taken_branches: u64,
+}
+
+impl InstMix {
+    /// Profiles `program` by running it functionally for up to
+    /// `budget` instructions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates emulation faults, including budget exhaustion.
+    pub fn from_program(program: &Program, budget: u64) -> Result<InstMix, EmuError> {
+        let mut emu = Emulator::new(program);
+        let mut mix = InstMix::default();
+        while !emu.halted() {
+            if mix.total >= budget {
+                return Err(EmuError::BudgetExhausted { executed: mix.total });
+            }
+            let Some(di) = emu.step()? else { break };
+            mix.total += 1;
+            match di.class() {
+                OpClass::IntAlu | OpClass::Sys => mix.int_alu += 1,
+                OpClass::IntMul | OpClass::IntDiv => mix.int_muldiv += 1,
+                OpClass::FpAdd | OpClass::FpMul | OpClass::FpDiv | OpClass::FpSqrt => {
+                    mix.fp += 1;
+                }
+                OpClass::Load => mix.loads += 1,
+                OpClass::Store => mix.stores += 1,
+                OpClass::Branch => {
+                    mix.branches += 1;
+                    if di.redirects() {
+                        mix.taken_branches += 1;
+                    }
+                }
+                OpClass::Jump => mix.jumps += 1,
+            }
+        }
+        Ok(mix)
+    }
+
+    fn frac(&self, n: u64) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            n as f64 / self.total as f64
+        }
+    }
+
+    /// Fraction of instructions that are loads.
+    #[must_use]
+    pub fn load_fraction(&self) -> f64 {
+        self.frac(self.loads)
+    }
+
+    /// Fraction of instructions that are stores.
+    #[must_use]
+    pub fn store_fraction(&self) -> f64 {
+        self.frac(self.stores)
+    }
+
+    /// Fraction of instructions that are floating point.
+    #[must_use]
+    pub fn fp_fraction(&self) -> f64 {
+        self.frac(self.fp)
+    }
+
+    /// Fraction of instructions that are conditional branches.
+    #[must_use]
+    pub fn branch_fraction(&self) -> f64 {
+        self.frac(self.branches)
+    }
+
+    /// Fraction of conditional branches that were taken.
+    #[must_use]
+    pub fn taken_rate(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.taken_branches as f64 / self.branches as f64
+        }
+    }
+}
+
+impl fmt::Display for InstMix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} insts: {:.0}% alu, {:.0}% muldiv, {:.0}% fp, {:.0}% ld, {:.0}% st, {:.0}% br ({:.0}% taken), {:.0}% jmp",
+            self.total,
+            100.0 * self.frac(self.int_alu),
+            100.0 * self.frac(self.int_muldiv),
+            100.0 * self.fp_fraction(),
+            100.0 * self.load_fraction(),
+            100.0 * self.store_fraction(),
+            100.0 * self.branch_fraction(),
+            100.0 * self.taken_rate(),
+            100.0 * self.frac(self.jumps),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Params, Workload};
+    use redsim_isa::asm::assemble;
+
+    #[test]
+    fn mix_counts_sum_to_total() {
+        let p = Workload::Gzip.program(Params::new(1, 3)).unwrap();
+        let m = InstMix::from_program(&p, 20_000_000).unwrap();
+        let sum = m.int_alu + m.int_muldiv + m.fp + m.loads + m.stores + m.branches + m.jumps;
+        assert_eq!(sum, m.total);
+    }
+
+    #[test]
+    fn fp_kernels_have_fp_work_and_int_kernels_do_not() {
+        for w in Workload::ALL {
+            let p = w.program(w.tiny_params()).unwrap();
+            let m = InstMix::from_program(&p, 20_000_000).unwrap();
+            if w.is_fp() {
+                assert!(m.fp_fraction() > 0.10, "{w}: fp fraction {}", m.fp_fraction());
+            } else {
+                assert!(m.fp_fraction() < 0.02, "{w}: fp fraction {}", m.fp_fraction());
+            }
+        }
+    }
+
+    #[test]
+    fn mcf_is_load_heavy() {
+        let w = Workload::Mcf;
+        let p = w.program(w.tiny_params()).unwrap();
+        let m = InstMix::from_program(&p, 20_000_000).unwrap();
+        assert!(m.load_fraction() > 0.20, "mcf loads: {}", m.load_fraction());
+    }
+
+    #[test]
+    fn gcc_and_parser_are_branchy() {
+        for w in [Workload::Gcc, Workload::Parser] {
+            let p = w.program(w.tiny_params()).unwrap();
+            let m = InstMix::from_program(&p, 20_000_000).unwrap();
+            assert!(
+                m.branch_fraction() > 0.12,
+                "{w} branches: {}",
+                m.branch_fraction()
+            );
+        }
+    }
+
+    #[test]
+    fn display_is_compact_and_nonempty() {
+        let p = assemble("main: li a0, 1\n halt\n").unwrap();
+        let m = InstMix::from_program(&p, 100).unwrap();
+        let s = m.to_string();
+        assert!(s.contains("2 insts"), "{s}");
+    }
+
+    #[test]
+    fn budget_exhaustion_propagates() {
+        let p = assemble("spin: j spin\n").unwrap();
+        assert!(InstMix::from_program(&p, 50).is_err());
+    }
+}

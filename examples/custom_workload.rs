@@ -1,0 +1,82 @@
+//! Bring your own workload: write assembly, inspect the disassembly and
+//! the dynamic instruction mix, check functional output against the
+//! emulator, then measure it on the cycle-level core.
+//!
+//! ```sh
+//! cargo run --release --example custom_workload
+//! ```
+
+use redsim::core::{ExecMode, MachineConfig, Simulator};
+use redsim::isa::asm::assemble;
+use redsim::isa::disasm::listing;
+use redsim::isa::emu::Emulator;
+use redsim::workloads::mix::InstMix;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Sieve of Eratosthenes over a small table, then count the primes.
+    let program = assemble(
+        r#"
+            .data
+        flags:  .space 2048             # one byte per candidate
+            .text
+        main:
+            la   s0, flags
+            li   s1, 2048
+            li   t0, 2                  # p
+        outer:
+            add  t1, s0, t0
+            lbu  t2, 0(t1)
+            bnez t2, nextp              # already composite
+            # mark multiples of p
+            add  t3, t0, t0             # m = 2p
+        mark:
+            bge  t3, s1, nextp
+            add  t4, s0, t3
+            li   t5, 1
+            sb   t5, 0(t4)
+            add  t3, t3, t0
+            j    mark
+        nextp:
+            addi t0, t0, 1
+            blt  t0, s1, outer
+            # count zeros (primes)
+            li   t0, 2
+            li   s2, 0
+        count:
+            add  t1, s0, t0
+            lbu  t2, 0(t1)
+            bnez t2, skip
+            addi s2, s2, 1
+        skip:
+            addi t0, t0, 1
+            blt  t0, s1, count
+            puti s2
+            halt
+        "#,
+    )?;
+
+    println!("--- first lines of the disassembly ---");
+    for line in listing(&program).lines().take(8) {
+        println!("{line}");
+    }
+
+    // Functional check: 309 primes below 2048.
+    let mut emu = Emulator::new(&program);
+    emu.run(10_000_000)?;
+    println!("\nemulator says: {} primes below 2048", emu.output_ints()[0]);
+    assert_eq!(emu.output_ints(), &[309]);
+
+    let mix = InstMix::from_program(&program, 10_000_000)?;
+    println!("dynamic mix: {mix}");
+
+    let cfg = MachineConfig::paper_baseline();
+    for mode in [ExecMode::Sie, ExecMode::Die, ExecMode::DieIrb] {
+        let stats = Simulator::new(cfg.clone(), mode).run_program(&program)?;
+        println!(
+            "{mode:?}: IPC {:.3}, branch mispredict rate {:.1}%",
+            stats.ipc(),
+            stats.branches.cond_mispredict_rate() * 100.0
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,80 @@
+//! Design-space walk: how DIE-IRB performance moves with IRB capacity,
+//! organization and the paper's two policy levers (forwarding and issue
+//! priority), on one ALU-hungry workload.
+//!
+//! ```sh
+//! cargo run --release --example design_space
+//! ```
+
+use redsim::core::{
+    ExecMode, ForwardingPolicy, IssuePolicy, MachineConfig, Simulator,
+};
+use redsim::irb::IrbConfig;
+use redsim::workloads::Workload;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let w = Workload::Twolf;
+    let program = w.program(w.tiny_params())?;
+    let base = MachineConfig::paper_baseline();
+
+    let sie = Simulator::new(base.clone(), ExecMode::Sie).run_program(&program)?;
+    let die = Simulator::new(base.clone(), ExecMode::Die).run_program(&program)?;
+    println!("workload {w}: SIE IPC {:.3}, DIE IPC {:.3}\n", sie.ipc(), die.ipc());
+
+    println!("IRB capacity sweep (direct-mapped):");
+    for entries in [64, 256, 1024, 4096] {
+        let mut cfg = base.clone();
+        cfg.irb.entries = entries;
+        let s = Simulator::new(cfg, ExecMode::DieIrb).run_program(&program)?;
+        println!(
+            "  {entries:>5} entries: IPC {:.3}, reuse-pass {:>5.1}%, conflict evictions {}",
+            s.ipc(),
+            s.irb.reuse_pass_rate() * 100.0,
+            s.irb.buffer.conflict_evictions
+        );
+    }
+
+    println!("\norganization at 1024 entries:");
+    for (name, irb) in [
+        ("direct-mapped ", IrbConfig::paper_baseline()),
+        ("+victim buffer", IrbConfig::paper_baseline_with_victim()),
+        (
+            "2-way         ",
+            IrbConfig {
+                assoc: 2,
+                ..IrbConfig::paper_baseline()
+            },
+        ),
+    ] {
+        let mut cfg = base.clone();
+        cfg.irb = irb;
+        let s = Simulator::new(cfg, ExecMode::DieIrb).run_program(&program)?;
+        println!("  {name}: IPC {:.3}", s.ipc());
+    }
+
+    println!("\npolicy levers:");
+    for (name, fwd, prio) in [
+        (
+            "paper design (shared fwd, primary-first)",
+            ForwardingPolicy::PrimaryToBoth,
+            IssuePolicy::ModeDefault,
+        ),
+        (
+            "per-stream forwarding ablation          ",
+            ForwardingPolicy::PerStream,
+            IssuePolicy::ModeDefault,
+        ),
+        (
+            "oldest-first selection ablation         ",
+            ForwardingPolicy::PrimaryToBoth,
+            IssuePolicy::OldestFirst,
+        ),
+    ] {
+        let mut cfg = base.clone();
+        cfg.forwarding = fwd;
+        cfg.issue_policy = prio;
+        let s = Simulator::new(cfg, ExecMode::DieIrb).run_program(&program)?;
+        println!("  {name}: IPC {:.3}", s.ipc());
+    }
+    Ok(())
+}

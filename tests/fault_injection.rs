@@ -1,0 +1,141 @@
+//! End-to-end fault-injection properties over real workloads (§3.4).
+
+use redsim::core::{ExecMode, FaultConfig, ForwardingPolicy, MachineConfig, Simulator};
+use redsim::workloads::Workload;
+
+fn cfg() -> MachineConfig {
+    MachineConfig::paper_baseline()
+}
+
+#[test]
+fn die_detects_fu_faults_on_real_workloads_and_still_completes() {
+    for w in [Workload::Gzip, Workload::Twolf] {
+        let program = w.program(w.tiny_params()).unwrap();
+        let clean = Simulator::new(cfg(), ExecMode::Die)
+            .run_program(&program)
+            .unwrap();
+        let faulty = Simulator::new(cfg(), ExecMode::Die)
+            .with_faults(FaultConfig {
+                fu_rate: 1e-4,
+                seed: 5,
+                ..FaultConfig::none()
+            })
+            .run_program(&program)
+            .unwrap();
+        assert!(faulty.faults.injected_fu > 0, "{w}");
+        assert_eq!(faulty.faults.detected, faulty.pair_mismatches, "{w}");
+        assert!(faulty.faults.detected > 0, "{w}");
+        assert_eq!(faulty.committed_insts, clean.committed_insts, "{w}");
+        assert!(
+            faulty.cycles >= clean.cycles,
+            "{w}: recovery must cost cycles"
+        );
+    }
+}
+
+#[test]
+fn fu_fault_coverage_is_complete_under_die() {
+    // Independent single-bit strikes on the two copies essentially never
+    // collide, so coverage should be total on these run lengths.
+    let w = Workload::Vortex;
+    let program = w.program(w.tiny_params()).unwrap();
+    let s = Simulator::new(cfg(), ExecMode::Die)
+        .with_faults(FaultConfig {
+            fu_rate: 5e-4,
+            seed: 23,
+            ..FaultConfig::none()
+        })
+        .run_program(&program)
+        .unwrap();
+    assert!(s.faults.injected_fu > 10);
+    assert_eq!(s.faults.escaped, 0);
+    assert!((s.faults.coverage() - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn unprotected_irb_is_covered_by_the_sphere_of_replication() {
+    // §3.4: a particle strike on the IRB array produces a wrong reused
+    // result for the duplicate, which the primary's ALU execution
+    // exposes at commit. No ECC needed.
+    let w = Workload::Parser; // high reuse: strikes actually get consumed
+    let program = w.program(w.tiny_params()).unwrap();
+    let s = Simulator::new(cfg(), ExecMode::DieIrb)
+        .with_faults(FaultConfig {
+            irb_rate: 0.05,
+            seed: 31,
+            ..FaultConfig::none()
+        })
+        .run_program(&program)
+        .unwrap();
+    assert!(s.faults.injected_irb > 0);
+    assert!(
+        s.faults.detected > 0,
+        "corrupt reused results must be caught at commit"
+    );
+    assert_eq!(s.faults.escaped, 0, "IRB corruption cannot escape the pair check");
+}
+
+#[test]
+fn shared_forwarding_is_the_acknowledged_escape_path() {
+    let w = Workload::Gzip;
+    let program = w.program(w.tiny_params()).unwrap();
+    let fc = FaultConfig {
+        forward_rate: 2e-4,
+        seed: 41,
+        ..FaultConfig::none()
+    };
+    // Figure 6(c): shared forwarding -> common-mode corruption escapes.
+    let shared = Simulator::new(cfg(), ExecMode::DieIrb)
+        .with_faults(fc)
+        .run_program(&program)
+        .unwrap();
+    assert!(shared.faults.injected_forward > 0);
+    assert!(shared.faults.escaped > 0);
+    assert_eq!(shared.faults.detected, 0);
+    // Figure 6(b): per-stream forwarding -> the same strikes are caught.
+    let mut ps = cfg();
+    ps.forwarding = ForwardingPolicy::PerStream;
+    let split = Simulator::new(ps, ExecMode::Die)
+        .with_faults(fc)
+        .run_program(&program)
+        .unwrap();
+    assert!(split.faults.injected_forward > 0);
+    assert!(split.faults.detected > 0);
+}
+
+#[test]
+fn sie_has_zero_detection_by_construction() {
+    let w = Workload::Bzip2;
+    let program = w.program(w.tiny_params()).unwrap();
+    let s = Simulator::new(cfg(), ExecMode::Sie)
+        .with_faults(FaultConfig {
+            fu_rate: 1e-4,
+            seed: 3,
+            ..FaultConfig::none()
+        })
+        .run_program(&program)
+        .unwrap();
+    assert!(s.faults.injected_fu > 0);
+    assert_eq!(s.faults.detected, 0);
+    assert!(s.faults.silent_sie > 0);
+    assert_eq!(s.pair_mismatches, 0);
+}
+
+#[test]
+fn fault_runs_are_deterministic_per_seed() {
+    let w = Workload::Gcc;
+    let program = w.program(w.tiny_params()).unwrap();
+    let go = |seed| {
+        Simulator::new(cfg(), ExecMode::DieIrb)
+            .with_faults(FaultConfig {
+                fu_rate: 1e-4,
+                irb_rate: 0.01,
+                forward_rate: 1e-5,
+                seed,
+            })
+            .run_program(&program)
+            .unwrap()
+    };
+    assert_eq!(go(9), go(9));
+    assert_ne!(go(9).faults, go(10).faults);
+}

@@ -1,0 +1,155 @@
+//! Shape tests for the paper's headline claims, run at tiny scale so the
+//! suite stays fast. Magnitudes are looser than the figure binaries, but
+//! the *orderings* the paper reports must hold.
+
+use redsim::core::{ExecMode, MachineConfig, SimStats, Simulator};
+use redsim::workloads::Workload;
+
+fn run(w: Workload, mode: ExecMode, cfg: &MachineConfig) -> SimStats {
+    let program = w.program(w.tiny_params()).unwrap();
+    Simulator::new(cfg.clone(), mode)
+        .run_program(&program)
+        .unwrap()
+}
+
+/// Figure 2's premise: duplication costs IPC, substantially on average.
+#[test]
+fn die_loses_ipc_on_average() {
+    let cfg = MachineConfig::paper_baseline();
+    let mut losses = Vec::new();
+    for w in Workload::ALL {
+        let sie = run(w, ExecMode::Sie, &cfg);
+        let die = run(w, ExecMode::Die, &cfg);
+        losses.push(die.ipc_loss_vs(&sie));
+    }
+    let mean = losses.iter().sum::<f64>() / losses.len() as f64;
+    assert!(
+        (10.0..45.0).contains(&mean),
+        "mean DIE loss {mean:.1}% out of the paper's ballpark (paper: ~22%)"
+    );
+    assert!(
+        losses.iter().all(|&l| l > -2.0),
+        "duplication should never speed things up: {losses:?}"
+    );
+    assert!(
+        losses.iter().any(|&l| l > 30.0),
+        "some workloads must be hit hard: {losses:?}"
+    );
+    assert!(
+        losses.iter().any(|&l| l < 15.0),
+        "some workloads must barely notice: {losses:?}"
+    );
+}
+
+/// Figure 2's conclusion: doubling ALUs is the most effective single
+/// doubling, and doubling everything restores SIE-level IPC.
+#[test]
+fn resource_doublings_order_as_in_figure_2() {
+    let base = MachineConfig::paper_baseline();
+    let (mut l_alu, mut l_ruu, mut l_width, mut l_all) =
+        (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+    for w in Workload::ALL {
+        let sie = run(w, ExecMode::Sie, &base);
+        let loss = |cfg: &MachineConfig| run(w, ExecMode::Die, cfg).ipc_loss_vs(&sie);
+        l_alu.push(loss(&base.clone().with_double_alus()));
+        l_ruu.push(loss(&base.clone().with_double_ruu()));
+        l_width.push(loss(&base.clone().with_double_widths()));
+        l_all.push(loss(
+            &base
+                .clone()
+                .with_double_alus()
+                .with_double_ruu()
+                .with_double_widths(),
+        ));
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let (alu, ruu, width, all) = (mean(&l_alu), mean(&l_ruu), mean(&l_width), mean(&l_all));
+    assert!(
+        alu < ruu && alu < width,
+        "2xALU must be the best single doubling: alu={alu:.1} ruu={ruu:.1} width={width:.1}"
+    );
+    assert!(
+        all < 6.0,
+        "doubling everything must approach SIE (mean loss {all:.1}%)"
+    );
+}
+
+/// The headline: DIE-IRB wins back a solid fraction of both the
+/// ALU-limited loss and the overall loss.
+#[test]
+fn die_irb_recovers_a_meaningful_fraction_of_the_loss() {
+    let base = MachineConfig::paper_baseline();
+    let twoalu = base.clone().with_double_alus();
+    let (mut alu_rec, mut overall_rec) = (Vec::new(), Vec::new());
+    for w in Workload::ALL {
+        let sie = run(w, ExecMode::Sie, &base);
+        let die = run(w, ExecMode::Die, &base);
+        let irb = run(w, ExecMode::DieIrb, &base);
+        let die2x = run(w, ExecMode::Die, &twoalu);
+        let gain = irb.ipc() - die.ipc();
+        let alu_gap = die2x.ipc() - die.ipc();
+        let overall_gap = sie.ipc() - die.ipc();
+        if alu_gap > 1e-6 {
+            alu_rec.push(gain / alu_gap);
+        }
+        if overall_gap > 1e-6 {
+            overall_rec.push(gain / overall_gap);
+        }
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let (a, o) = (mean(&alu_rec), mean(&overall_rec));
+    assert!(
+        a > 0.30,
+        "mean ALU-gap recovery {a:.2} too low (paper: ~0.5)"
+    );
+    assert!(
+        o > 0.12,
+        "mean overall recovery {o:.2} too low (paper: ~0.23)"
+    );
+}
+
+/// §3.1's premise, via the SIE-IRB ablation: the same buffer helps a
+/// balanced SIE far less than it helps the overloaded DIE.
+#[test]
+fn irb_helps_die_more_than_sie() {
+    let cfg = MachineConfig::paper_baseline();
+    let (mut sie_gain, mut die_gain) = (Vec::new(), Vec::new());
+    for w in Workload::ALL {
+        let sie = run(w, ExecMode::Sie, &cfg);
+        let sie_irb = run(w, ExecMode::SieIrb, &cfg);
+        let die = run(w, ExecMode::Die, &cfg);
+        let die_irb = run(w, ExecMode::DieIrb, &cfg);
+        sie_gain.push(sie_irb.ipc() / sie.ipc() - 1.0);
+        die_gain.push(die_irb.ipc() / die.ipc() - 1.0);
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    assert!(
+        mean(&die_gain) > 2.0 * mean(&sie_gain),
+        "IRB must pay off far more under DIE: sie={:.3} die={:.3}",
+        mean(&sie_gain),
+        mean(&die_gain)
+    );
+}
+
+/// The duplicate stream rides the IRB: bypasses happen only in IRB
+/// modes, and reuse rates are workload-dependent but nonzero overall.
+#[test]
+fn reuse_happens_where_it_should() {
+    let cfg = MachineConfig::paper_baseline();
+    let mut passes = Vec::new();
+    for w in Workload::ALL {
+        let die = run(w, ExecMode::Die, &cfg);
+        assert_eq!(die.fu_bypasses, 0, "{w}: no IRB in plain DIE");
+        let irb = run(w, ExecMode::DieIrb, &cfg);
+        passes.push(irb.irb.reuse_pass_rate());
+    }
+    let mean = passes.iter().sum::<f64>() / passes.len() as f64;
+    assert!(
+        mean > 0.10,
+        "mean reuse pass rate {mean:.2} too low to matter"
+    );
+    assert!(
+        passes.iter().any(|&p| p > 0.3),
+        "call-heavy workloads should reuse heavily: {passes:?}"
+    );
+}

