@@ -2,161 +2,160 @@
 //! exercises every figure's code path on every run. Each benchmark runs
 //! one representative workload at tiny scale through the mode/config
 //! matrix of the corresponding figure binary.
+//!
+//! Plain `harness = false` timing binary on [`redsim_util::bench`]; run
+//! with `cargo bench -p redsim-bench --bench figures_smoke`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
 
 use redsim_bench::Harness;
-use redsim_core::{ExecMode, FaultConfig, MachineConfig, Simulator, VecSource};
+use redsim_core::{ExecMode, FaultConfig, MachineConfig, Simulator, SliceSource};
 use redsim_irb::{IrbConfig, PortConfig, ReusePolicy};
+use redsim_util::bench;
 use redsim_workloads::Workload;
 
 const APP: Workload = Workload::Gzip;
 
-fn fig2_smoke(c: &mut Criterion) {
-    c.bench_function("fig2_smoke", |b| {
-        let mut h = Harness::quick();
-        let base = MachineConfig::paper_baseline();
-        let trace = h.trace(APP);
-        b.iter(|| {
-            for cfg in [
-                base.clone(),
-                base.clone().with_double_alus(),
-                base.clone().with_double_ruu(),
-                base.clone().with_double_widths(),
-            ] {
-                let mut src = VecSource::new(trace.clone());
-                black_box(
-                    Simulator::new(cfg, ExecMode::Die)
-                        .run_source(&mut src)
-                        .unwrap(),
-                );
-            }
-        });
-    });
-}
-
-fn recovery_smoke(c: &mut Criterion) {
-    c.bench_function("fig_recovery_smoke", |b| {
-        let mut h = Harness::quick();
-        let base = MachineConfig::paper_baseline();
-        let trace = h.trace(APP);
-        b.iter(|| {
-            for mode in [ExecMode::Sie, ExecMode::Die, ExecMode::DieIrb] {
-                let mut src = VecSource::new(trace.clone());
-                black_box(
-                    Simulator::new(base.clone(), mode)
-                        .run_source(&mut src)
-                        .unwrap(),
-                );
-            }
-        });
-    });
-}
-
-fn irb_sweep_smoke(c: &mut Criterion) {
-    c.bench_function("fig_size_ports_conflict_smoke", |b| {
-        let mut h = Harness::quick();
-        let base = MachineConfig::paper_baseline();
-        let trace = h.trace(APP);
-        b.iter(|| {
-            for irb in [
-                IrbConfig {
-                    entries: 128,
-                    ..IrbConfig::paper_baseline()
-                },
-                IrbConfig {
-                    ports: PortConfig {
-                        read: 1,
-                        write: 1,
-                        read_write: 0,
-                    },
-                    ..IrbConfig::paper_baseline()
-                },
-                IrbConfig::paper_baseline_with_victim(),
-                IrbConfig {
-                    policy: ReusePolicy::Name,
-                    ..IrbConfig::paper_baseline()
-                },
-            ] {
-                let mut cfg = base.clone();
-                cfg.irb = irb;
-                let mut src = VecSource::new(trace.clone());
-                black_box(
-                    Simulator::new(cfg, ExecMode::DieIrb)
-                        .run_source(&mut src)
-                        .unwrap(),
-                );
-            }
-        });
-    });
-}
-
-fn faults_smoke(c: &mut Criterion) {
-    c.bench_function("fig_faults_smoke", |b| {
-        let mut h = Harness::quick();
-        let base = MachineConfig::paper_baseline();
-        let trace = h.trace(APP);
-        b.iter(|| {
-            let mut src = VecSource::new(trace.clone());
-            black_box(
-                Simulator::new(base.clone(), ExecMode::Die)
-                    .with_faults(FaultConfig {
-                        fu_rate: 1e-4,
-                        seed: 1,
-                        ..FaultConfig::none()
-                    })
-                    .run_source(&mut src)
-                    .unwrap(),
-            );
-        });
-    });
-}
-
-fn extensions_smoke(c: &mut Criterion) {
-    c.bench_function("fig_cluster_scheduler_fidelity_smoke", |b| {
-        let mut h = Harness::quick();
-        let base = MachineConfig::paper_baseline();
-        let trace = h.trace(APP);
-        b.iter(|| {
-            // Clustered alternative.
-            let mut src = VecSource::new(trace.clone());
-            black_box(
-                Simulator::new(base.clone(), ExecMode::DieCluster)
-                    .run_source(&mut src)
-                    .unwrap(),
-            );
-            // Non-data-capture scheduler variants.
-            for m in [
-                redsim_core::SchedulerModel::NonDataCapturePipelined,
-                redsim_core::SchedulerModel::NonDataCaptureNaive,
-            ] {
-                let mut cfg = base.clone();
-                cfg.scheduler = m;
-                let mut src = VecSource::new(trace.clone());
-                black_box(
-                    Simulator::new(cfg, ExecMode::DieIrb)
-                        .run_source(&mut src)
-                        .unwrap(),
-                );
-            }
-            // Fidelity knobs.
-            let mut cfg = base.clone();
-            cfg.wrong_path_fetch = true;
-            cfg.stl_forwarding = true;
-            let mut src = VecSource::new(trace.clone());
+fn fig2_smoke() {
+    let mut h = Harness::quick();
+    let base = MachineConfig::paper_baseline();
+    let trace = h.trace(APP);
+    let r = bench(1, 10, || {
+        for cfg in [
+            base.clone(),
+            base.clone().with_double_alus(),
+            base.clone().with_double_ruu(),
+            base.clone().with_double_widths(),
+        ] {
+            let mut src = SliceSource::new(&trace);
             black_box(
                 Simulator::new(cfg, ExecMode::Die)
                     .run_source(&mut src)
                     .unwrap(),
             );
-        });
+        }
     });
+    println!("{}", r.report("fig2_smoke", None));
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = fig2_smoke, recovery_smoke, irb_sweep_smoke, faults_smoke,
-              extensions_smoke
+fn recovery_smoke() {
+    let mut h = Harness::quick();
+    let base = MachineConfig::paper_baseline();
+    let trace = h.trace(APP);
+    let r = bench(1, 10, || {
+        for mode in [ExecMode::Sie, ExecMode::Die, ExecMode::DieIrb] {
+            let mut src = SliceSource::new(&trace);
+            black_box(
+                Simulator::new(base.clone(), mode)
+                    .run_source(&mut src)
+                    .unwrap(),
+            );
+        }
+    });
+    println!("{}", r.report("fig_recovery_smoke", None));
 }
-criterion_main!(benches);
+
+fn irb_sweep_smoke() {
+    let mut h = Harness::quick();
+    let base = MachineConfig::paper_baseline();
+    let trace = h.trace(APP);
+    let r = bench(1, 10, || {
+        for irb in [
+            IrbConfig {
+                entries: 128,
+                ..IrbConfig::paper_baseline()
+            },
+            IrbConfig {
+                ports: PortConfig {
+                    read: 1,
+                    write: 1,
+                    read_write: 0,
+                },
+                ..IrbConfig::paper_baseline()
+            },
+            IrbConfig::paper_baseline_with_victim(),
+            IrbConfig {
+                policy: ReusePolicy::Name,
+                ..IrbConfig::paper_baseline()
+            },
+        ] {
+            let mut cfg = base.clone();
+            cfg.irb = irb;
+            let mut src = SliceSource::new(&trace);
+            black_box(
+                Simulator::new(cfg, ExecMode::DieIrb)
+                    .run_source(&mut src)
+                    .unwrap(),
+            );
+        }
+    });
+    println!("{}", r.report("fig_size_ports_conflict_smoke", None));
+}
+
+fn faults_smoke() {
+    let mut h = Harness::quick();
+    let base = MachineConfig::paper_baseline();
+    let trace = h.trace(APP);
+    let r = bench(1, 10, || {
+        let mut src = SliceSource::new(&trace);
+        black_box(
+            Simulator::new(base.clone(), ExecMode::Die)
+                .with_faults(FaultConfig {
+                    fu_rate: 1e-4,
+                    seed: 1,
+                    ..FaultConfig::none()
+                })
+                .run_source(&mut src)
+                .unwrap(),
+        );
+    });
+    println!("{}", r.report("fig_faults_smoke", None));
+}
+
+fn extensions_smoke() {
+    let mut h = Harness::quick();
+    let base = MachineConfig::paper_baseline();
+    let trace = h.trace(APP);
+    let r = bench(1, 10, || {
+        // Clustered alternative.
+        let mut src = SliceSource::new(&trace);
+        black_box(
+            Simulator::new(base.clone(), ExecMode::DieCluster)
+                .run_source(&mut src)
+                .unwrap(),
+        );
+        // Non-data-capture scheduler variants.
+        for m in [
+            redsim_core::SchedulerModel::NonDataCapturePipelined,
+            redsim_core::SchedulerModel::NonDataCaptureNaive,
+        ] {
+            let mut cfg = base.clone();
+            cfg.scheduler = m;
+            let mut src = SliceSource::new(&trace);
+            black_box(
+                Simulator::new(cfg, ExecMode::DieIrb)
+                    .run_source(&mut src)
+                    .unwrap(),
+            );
+        }
+        // Fidelity knobs.
+        let mut cfg = base.clone();
+        cfg.wrong_path_fetch = true;
+        cfg.stl_forwarding = true;
+        let mut src = SliceSource::new(&trace);
+        black_box(
+            Simulator::new(cfg, ExecMode::Die)
+                .run_source(&mut src)
+                .unwrap(),
+        );
+    });
+    println!("{}", r.report("fig_cluster_scheduler_fidelity_smoke", None));
+}
+
+fn main() {
+    fig2_smoke();
+    recovery_smoke();
+    irb_sweep_smoke();
+    faults_smoke();
+    extensions_smoke();
+}

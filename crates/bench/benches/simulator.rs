@@ -1,65 +1,66 @@
-//! Criterion microbenchmarks of the simulator stack itself: functional
-//! emulation throughput, cycle-level simulation throughput per mode, and
-//! the hot single structures (IRB lookups, cache accesses, predictor
-//! updates). These guard the harness against performance regressions —
-//! the figure binaries run millions of simulated cycles.
+//! Microbenchmarks of the simulator stack itself: functional emulation
+//! throughput, cycle-level simulation throughput per mode, and the hot
+//! single structures (IRB lookups, cache accesses, predictor updates).
+//! These guard the harness against performance regressions — the figure
+//! binaries run millions of simulated cycles.
+//!
+//! Plain `harness = false` timing binary on [`redsim_util::bench`]; run
+//! with `cargo bench -p redsim-bench --bench simulator`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
 
-use redsim_core::{ExecMode, MachineConfig, Simulator, VecSource};
+use redsim_core::{ExecMode, MachineConfig, Simulator, SliceSource};
 use redsim_irb::{IrbConfig, IrbEntry, ReuseBuffer};
 use redsim_mem::{Hierarchy, HierarchyConfig};
 use redsim_predictor::{Bimodal, DirectionPredictor};
+use redsim_util::bench;
 use redsim_workloads::Workload;
 
-fn emulator_throughput(c: &mut Criterion) {
+fn emulator_throughput() {
     let w = Workload::Gzip;
     let program = w.program(w.tiny_params()).unwrap();
     let len = {
         let mut e = redsim_isa::emu::Emulator::new(&program);
         e.run(100_000_000).unwrap()
     };
-    let mut g = c.benchmark_group("emulator");
-    g.throughput(Throughput::Elements(len));
-    g.bench_function("gzip_tiny", |b| {
-        b.iter(|| {
-            let mut e = redsim_isa::emu::Emulator::new(&program);
-            black_box(e.run(100_000_000).unwrap())
-        });
+    let r = bench(2, 10, || {
+        let mut e = redsim_isa::emu::Emulator::new(&program);
+        black_box(e.run(100_000_000).unwrap())
     });
-    g.finish();
+    println!("{}", r.report("emulator/gzip_tiny", Some(len)));
 }
 
-fn simulation_throughput(c: &mut Criterion) {
+fn simulation_throughput() {
     let w = Workload::Gzip;
     let program = w.program(w.tiny_params()).unwrap();
     let trace = redsim_isa::emu::Emulator::new(&program)
         .run_trace(100_000_000)
         .unwrap();
     let cfg = MachineConfig::paper_baseline();
-    let mut g = c.benchmark_group("simulator");
-    g.throughput(Throughput::Elements(trace.len() as u64));
     for mode in [ExecMode::Sie, ExecMode::Die, ExecMode::DieIrb] {
-        g.bench_function(format!("{mode:?}_gzip_tiny"), |b| {
-            b.iter(|| {
-                let mut src = VecSource::new(trace.clone());
-                black_box(
-                    Simulator::new(cfg.clone(), mode)
-                        .run_source(&mut src)
-                        .unwrap(),
-                )
-            });
+        let r = bench(2, 10, || {
+            let mut src = SliceSource::new(&trace);
+            black_box(
+                Simulator::new(cfg.clone(), mode)
+                    .run_source(&mut src)
+                    .unwrap(),
+            )
         });
+        println!(
+            "{}",
+            r.report(
+                &format!("simulator/{mode:?}_gzip_tiny"),
+                Some(trace.len() as u64)
+            )
+        );
     }
-    g.finish();
 }
 
-fn irb_operations(c: &mut Criterion) {
-    let mut g = c.benchmark_group("irb");
-    g.bench_function("lookup_insert_1024dm", |b| {
-        let mut irb = ReuseBuffer::new(IrbConfig::paper_baseline());
-        let mut pc = 0x1000u64;
-        b.iter(|| {
+fn irb_operations() {
+    let mut irb = ReuseBuffer::new(IrbConfig::paper_baseline());
+    let mut pc = 0x1000u64;
+    let r = bench(100, 1000, || {
+        for _ in 0..1000 {
             pc = pc.wrapping_add(8) & 0xfff8;
             irb.insert(IrbEntry {
                 pc,
@@ -67,44 +68,45 @@ fn irb_operations(c: &mut Criterion) {
                 op2: 3,
                 result: pc + 3,
             });
-            black_box(irb.lookup(pc.wrapping_sub(64)))
-        });
+            black_box(irb.lookup(pc.wrapping_sub(64)));
+        }
     });
-    g.finish();
+    println!("{}", r.report("irb/lookup_insert_1024dm (x1000)", None));
 }
 
-fn cache_accesses(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cache");
-    g.bench_function("hierarchy_streaming", |b| {
-        let mut h = Hierarchy::new(HierarchyConfig::paper_baseline());
-        let mut addr = 0u64;
-        b.iter(|| {
+fn cache_accesses() {
+    let mut h = Hierarchy::new(HierarchyConfig::paper_baseline());
+    let mut addr = 0u64;
+    let r = bench(100, 1000, || {
+        for _ in 0..1000 {
             addr = addr.wrapping_add(64) & 0xf_ffff;
-            black_box(h.read_data(addr))
-        });
+            black_box(h.read_data(addr));
+        }
     });
-    g.finish();
+    println!("{}", r.report("cache/hierarchy_streaming (x1000)", None));
 }
 
-fn predictor_updates(c: &mut Criterion) {
-    let mut g = c.benchmark_group("predictor");
-    g.bench_function("bimodal_train_predict", |b| {
-        let mut p = Bimodal::new(4096);
-        let mut pc = 0u64;
-        b.iter(|| {
+fn predictor_updates() {
+    let mut p = Bimodal::new(4096);
+    let mut pc = 0u64;
+    let r = bench(100, 1000, || {
+        for _ in 0..1000 {
             pc = pc.wrapping_add(8);
             let t = pc & 16 != 0;
             p.update(pc, t);
-            black_box(p.predict(pc))
-        });
+            black_box(p.predict(pc));
+        }
     });
-    g.finish();
+    println!(
+        "{}",
+        r.report("predictor/bimodal_train_predict (x1000)", None)
+    );
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = emulator_throughput, simulation_throughput, irb_operations,
-              cache_accesses, predictor_updates
+fn main() {
+    emulator_throughput();
+    simulation_throughput();
+    irb_operations();
+    cache_accesses();
+    predictor_updates();
 }
-criterion_main!(benches);

@@ -6,12 +6,13 @@
 //! `2xALU` is the single most effective doubling; doubling all three
 //! resources (`2xALU-2xRUU-2xWidths`) brings DIE back to roughly SIE.
 
-use redsim_bench::{ipc, mean, pct, Harness, Table};
+use redsim_bench::{emit, ipc, mean, pct, Cli, Harness, Job, Table};
 use redsim_core::{ExecMode, MachineConfig};
 use redsim_workloads::Workload;
 
 fn main() {
-    let mut h = Harness::from_args();
+    let cli = Cli::parse();
+    let mut h = Harness::from_cli(&cli);
     let base = MachineConfig::paper_baseline();
     let configs: Vec<(&str, MachineConfig)> = vec![
         ("DIE", base.clone()),
@@ -39,17 +40,26 @@ fn main() {
         ),
     ];
 
+    let mut jobs = Vec::new();
+    for w in Workload::ALL {
+        jobs.push(Job::new(w, ExecMode::Sie, &base));
+        for (_, cfg) in &configs {
+            jobs.push(Job::new(w, ExecMode::Die, cfg));
+        }
+    }
+    let results = h.sweep(&jobs, cli.threads);
+
     let mut header: Vec<String> = vec!["app".into(), "SIE-IPC".into()];
     header.extend(configs.iter().map(|(n, _)| format!("{n} loss")));
     let mut table = Table::new(header);
 
+    let per_app = 1 + configs.len();
     let mut losses: Vec<Vec<f64>> = vec![Vec::new(); configs.len()];
-    for w in Workload::ALL {
-        let sie = h.run(w, ExecMode::Sie, &base);
+    for (w, runs) in Workload::ALL.iter().zip(results.chunks_exact(per_app)) {
+        let sie = &runs[0];
         let mut cells = vec![w.name().to_owned(), ipc(sie.ipc())];
-        for (i, (_, cfg)) in configs.iter().enumerate() {
-            let die = h.run(w, ExecMode::Die, cfg);
-            let loss = die.ipc_loss_vs(&sie);
+        for (i, die) in runs[1..].iter().enumerate() {
+            let loss = die.ipc_loss_vs(sie);
             losses[i].push(loss);
             cells.push(pct(loss));
         }
@@ -59,7 +69,5 @@ fn main() {
     cells.extend(losses.iter().map(|l| pct(mean(l))));
     table.row(cells);
 
-    println!("Figure 2: % IPC loss with respect to SIE");
-    println!("(quick mode: {})\n", h.is_quick());
-    print!("{}", table.render());
+    emit(&cli, "Figure 2: % IPC loss with respect to SIE", "", &table);
 }

@@ -6,14 +6,25 @@
 //! almost no hardware) and against SIE-2xALU (what the same transistors
 //! buy without redundancy).
 
-use redsim_bench::{ipc, mean, Harness, Table};
+use redsim_bench::{emit, ipc, mean, Cli, Harness, Job, Table};
 use redsim_core::{ExecMode, MachineConfig};
 use redsim_workloads::Workload;
 
 fn main() {
-    let mut h = Harness::from_args();
+    let cli = Cli::parse();
+    let mut h = Harness::from_cli(&cli);
     let base = MachineConfig::paper_baseline();
     let twoalu = base.clone().with_double_alus();
+
+    let mut jobs = Vec::new();
+    for w in Workload::ALL {
+        jobs.push(Job::new(w, ExecMode::Sie, &base));
+        jobs.push(Job::new(w, ExecMode::Die, &base));
+        jobs.push(Job::new(w, ExecMode::DieIrb, &base));
+        jobs.push(Job::new(w, ExecMode::DieCluster, &base));
+        jobs.push(Job::new(w, ExecMode::Sie, &twoalu));
+    }
+    let results = h.sweep(&jobs, cli.threads);
 
     let mut table = Table::new(vec![
         "app",
@@ -24,16 +35,9 @@ fn main() {
         "SIE-2xALU",
     ]);
     let mut cols: [Vec<f64>; 5] = Default::default();
-    for w in Workload::ALL {
-        let runs = [
-            h.run(w, ExecMode::Sie, &base),
-            h.run(w, ExecMode::Die, &base),
-            h.run(w, ExecMode::DieIrb, &base),
-            h.run(w, ExecMode::DieCluster, &base),
-            h.run(w, ExecMode::Sie, &twoalu),
-        ];
+    for (w, runs) in Workload::ALL.iter().zip(results.chunks_exact(5)) {
         let mut cells = vec![w.name().to_owned()];
-        for (c, s) in cols.iter_mut().zip(&runs) {
+        for (c, s) in cols.iter_mut().zip(runs) {
             c.push(s.ipc());
             cells.push(ipc(s.ipc()));
         }
@@ -43,8 +47,13 @@ fn main() {
     cells.extend(cols.iter().map(|c| ipc(mean(c))));
     table.row(cells);
 
-    println!("Clustered DIE vs DIE-IRB vs what the transistors buy in SIE (§3)");
-    println!("(cluster: replicated 4/2/2/1 FUs + {}-cycle inter-cluster data delay, quick mode: {})\n",
-             base.cluster_delay, h.is_quick());
-    print!("{}", table.render());
+    emit(
+        &cli,
+        "Clustered DIE vs DIE-IRB vs what the transistors buy in SIE (§3)",
+        &format!(
+            "cluster: replicated 4/2/2/1 FUs + {}-cycle inter-cluster data delay",
+            base.cluster_delay
+        ),
+        &table,
+    );
 }

@@ -5,13 +5,14 @@
 //! is itself the paper's point that 1024 entries suffice. Direct-mapped
 //! vs a 16-entry victim buffer vs 2-way and 4-way of the same capacity.
 
-use redsim_bench::{ipc, mean, pct, Harness, Table};
+use redsim_bench::{emit, ipc, mean, pct, Cli, Harness, Job, Table};
 use redsim_core::{ExecMode, MachineConfig};
 use redsim_irb::IrbConfig;
 use redsim_workloads::Workload;
 
 fn main() {
-    let mut h = Harness::from_args();
+    let cli = Cli::parse();
+    let mut h = Harness::from_cli(&cli);
     let base = MachineConfig::paper_baseline();
     let small = IrbConfig {
         entries: 64,
@@ -26,22 +27,20 @@ fn main() {
                 ..small
             },
         ),
-        (
-            "2-way",
-            IrbConfig {
-                assoc: 2,
-                ..small
-            },
-        ),
-        (
-            "4-way",
-            IrbConfig {
-                assoc: 4,
-                ..small
-            },
-        ),
+        ("2-way", IrbConfig { assoc: 2, ..small }),
+        ("4-way", IrbConfig { assoc: 4, ..small }),
         ("DM-1024 (paper)", IrbConfig::paper_baseline()),
     ];
+
+    let mut jobs = Vec::new();
+    for w in Workload::ALL {
+        for (_, irb) in &orgs {
+            let mut cfg = base.clone();
+            cfg.irb = *irb;
+            jobs.push(Job::new(w, ExecMode::DieIrb, &cfg));
+        }
+    }
+    let results = h.sweep(&jobs, cli.threads);
 
     let mut header: Vec<String> = vec!["app".into()];
     for (n, _) in &orgs {
@@ -51,12 +50,9 @@ fn main() {
     let mut table = Table::new(header);
 
     let mut per_org: Vec<Vec<f64>> = vec![Vec::new(); orgs.len()];
-    for w in Workload::ALL {
+    for (w, runs) in Workload::ALL.iter().zip(results.chunks_exact(orgs.len())) {
         let mut cells = vec![w.name().to_owned()];
-        for (i, (_, irb)) in orgs.iter().enumerate() {
-            let mut cfg = base.clone();
-            cfg.irb = *irb;
-            let s = h.run(w, ExecMode::DieIrb, &cfg);
+        for (i, s) in runs.iter().enumerate() {
             per_org[i].push(s.ipc());
             cells.push(ipc(s.ipc()));
             cells.push(pct(s.irb.reuse_pass_rate() * 100.0));
@@ -70,7 +66,10 @@ fn main() {
     }
     table.row(cells);
 
-    println!("IRB conflict-miss reduction (reconstructed Fig. E)");
-    println!("(64 entries per organization + the 1024-entry reference, quick mode: {})\n", h.is_quick());
-    print!("{}", table.render());
+    emit(
+        &cli,
+        "IRB conflict-miss reduction (reconstructed Fig. E)",
+        "64 entries per organization + the 1024-entry reference",
+        &table,
+    );
 }

@@ -12,14 +12,20 @@
 //! * SIE under the same strikes — silent data corruption, the contrast
 //!   motivating redundancy at all.
 
-use redsim_bench::{pct, Harness, Table};
-use redsim_core::{ExecMode, FaultConfig, MachineConfig, Simulator, VecSource};
+use redsim_bench::{emit, pct, Cli, Harness, Job, Table};
+use redsim_core::{ExecMode, FaultConfig, MachineConfig};
 use redsim_workloads::Workload;
 
 fn main() {
-    let mut h = Harness::from_args();
+    let cli = Cli::parse();
+    let mut h = Harness::from_cli(&cli);
     let base = MachineConfig::paper_baseline();
-    let apps = [Workload::Gzip, Workload::Gcc, Workload::Twolf, Workload::Equake];
+    let apps = [
+        Workload::Gzip,
+        Workload::Gcc,
+        Workload::Twolf,
+        Workload::Equake,
+    ];
 
     let scenarios: Vec<(&str, ExecMode, FaultConfig)> = vec![
         (
@@ -78,6 +84,14 @@ fn main() {
         ),
     ];
 
+    let mut jobs = Vec::new();
+    for (_, mode, fc) in &scenarios {
+        for w in apps {
+            jobs.push(Job::new(w, *mode, &base).with_faults(*fc));
+        }
+    }
+    let results = h.sweep(&jobs, cli.threads);
+
     let mut table = Table::new(vec![
         "scenario",
         "app",
@@ -87,14 +101,8 @@ fn main() {
         "silent(SIE)",
         "coverage",
     ]);
-    for (name, mode, fc) in &scenarios {
-        for w in apps {
-            let trace = h.trace(w);
-            let mut src = VecSource::new(trace);
-            let stats = Simulator::new(base.clone(), *mode)
-                .with_faults(*fc)
-                .run_source(&mut src)
-                .expect("faulted run completes");
+    for ((name, _, _), runs) in scenarios.iter().zip(results.chunks_exact(apps.len())) {
+        for (w, stats) in apps.iter().zip(runs) {
             let f = stats.faults;
             let injected = f.injected_fu + f.injected_forward + f.injected_irb;
             table.row(vec![
@@ -109,7 +117,10 @@ fn main() {
         }
     }
 
-    println!("Transient-fault detection coverage (reconstructed Fig. F, §3.4)");
-    println!("(quick mode: {})\n", h.is_quick());
-    print!("{}", table.render());
+    emit(
+        &cli,
+        "Transient-fault detection coverage (reconstructed Fig. F, §3.4)",
+        "",
+        &table,
+    );
 }

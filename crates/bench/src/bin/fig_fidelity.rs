@@ -3,16 +3,26 @@
 //! results the paper cares about? Both effects apply to SIE and DIE
 //! alike, so the *relative* DIE loss should be nearly invariant.
 
-use redsim_bench::{ipc, mean, pct, Harness, Table};
+use redsim_bench::{emit, ipc, mean, pct, Cli, Harness, Job, Table};
 use redsim_core::{ExecMode, MachineConfig};
 use redsim_workloads::Workload;
 
 fn main() {
-    let mut h = Harness::from_args();
+    let cli = Cli::parse();
+    let mut h = Harness::from_cli(&cli);
     let base = MachineConfig::paper_baseline();
     let mut full = base.clone();
     full.wrong_path_fetch = true;
     full.stl_forwarding = true;
+
+    let mut jobs = Vec::new();
+    for w in Workload::ALL {
+        jobs.push(Job::new(w, ExecMode::Sie, &base));
+        jobs.push(Job::new(w, ExecMode::Die, &base));
+        jobs.push(Job::new(w, ExecMode::Sie, &full));
+        jobs.push(Job::new(w, ExecMode::Die, &full));
+    }
+    let results = h.sweep(&jobs, cli.threads);
 
     let mut table = Table::new(vec![
         "app",
@@ -22,13 +32,12 @@ fn main() {
         "DIE loss full-fidelity",
     ]);
     let (mut base_loss, mut full_loss) = (Vec::new(), Vec::new());
-    for w in Workload::ALL {
-        let sie_b = h.run(w, ExecMode::Sie, &base);
-        let die_b = h.run(w, ExecMode::Die, &base);
-        let sie_f = h.run(w, ExecMode::Sie, &full);
-        let die_f = h.run(w, ExecMode::Die, &full);
-        let lb = die_b.ipc_loss_vs(&sie_b);
-        let lf = die_f.ipc_loss_vs(&sie_f);
+    for (w, runs) in Workload::ALL.iter().zip(results.chunks_exact(4)) {
+        let [sie_b, die_b, sie_f, die_f] = runs else {
+            unreachable!("chunks_exact(4)")
+        };
+        let lb = die_b.ipc_loss_vs(sie_b);
+        let lf = die_f.ipc_loss_vs(sie_f);
         base_loss.push(lb);
         full_loss.push(lf);
         table.row(vec![
@@ -47,7 +56,10 @@ fn main() {
         pct(mean(&full_loss)),
     ]);
 
-    println!("Fidelity ablation: wrong-path i-fetch + store-to-load forwarding");
-    println!("(quick mode: {})\n", h.is_quick());
-    print!("{}", table.render());
+    emit(
+        &cli,
+        "Fidelity ablation: wrong-path i-fetch + store-to-load forwarding",
+        "",
+        &table,
+    );
 }

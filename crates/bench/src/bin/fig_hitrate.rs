@@ -2,13 +2,20 @@
 //! PC-hit rate, reuse-test pass rate, the fraction of duplicate-stream
 //! work that bypassed the functional units, and port starvation.
 
-use redsim_bench::{mean, pct, Harness, Table};
+use redsim_bench::{emit, mean, pct, Cli, Harness, Job, Table};
 use redsim_core::{ExecMode, MachineConfig};
 use redsim_workloads::Workload;
 
 fn main() {
-    let mut h = Harness::from_args();
+    let cli = Cli::parse();
+    let mut h = Harness::from_cli(&cli);
     let base = MachineConfig::paper_baseline();
+
+    let jobs: Vec<Job> = Workload::ALL
+        .iter()
+        .map(|&w| Job::new(w, ExecMode::DieIrb, &base))
+        .collect();
+    let results = h.sweep(&jobs, cli.threads);
 
     let mut table = Table::new(vec![
         "app",
@@ -20,8 +27,7 @@ fn main() {
         "conflict-evictions",
     ]);
     let (mut hits, mut passes, mut bypasses) = (Vec::new(), Vec::new(), Vec::new());
-    for w in Workload::ALL {
-        let s = h.run(w, ExecMode::DieIrb, &base);
+    for (w, s) in Workload::ALL.iter().zip(&results) {
         let hit = s.irb.buffer.hit_rate() * 100.0;
         let pass = s.irb.reuse_pass_rate() * 100.0;
         let bypass = s.bypass_fraction() * 100.0;
@@ -48,7 +54,10 @@ fn main() {
         String::new(),
     ]);
 
-    println!("IRB hit and reuse rates under DIE-IRB (reconstructed Fig. B)");
-    println!("(1024-entry direct-mapped, 4R/2W/2RW, quick mode: {})\n", h.is_quick());
-    print!("{}", table.render());
+    emit(
+        &cli,
+        "IRB hit and reuse rates under DIE-IRB (reconstructed Fig. B)",
+        "1024-entry direct-mapped, 4R/2W/2RW",
+        &table,
+    );
 }

@@ -2,16 +2,24 @@
 //! reuse invalidates an entry whenever one of its source registers is
 //! overwritten, avoiding operand comparators — at the cost of hit rate.
 
-use redsim_bench::{ipc, mean, pct, Harness, Table};
+use redsim_bench::{emit, ipc, mean, pct, Cli, Harness, Job, Table};
 use redsim_core::{ExecMode, MachineConfig};
 use redsim_irb::ReusePolicy;
 use redsim_workloads::Workload;
 
 fn main() {
-    let mut h = Harness::from_args();
+    let cli = Cli::parse();
+    let mut h = Harness::from_cli(&cli);
     let value_cfg = MachineConfig::paper_baseline();
     let mut name_cfg = value_cfg.clone();
     name_cfg.irb.policy = ReusePolicy::Name;
+
+    let mut jobs = Vec::new();
+    for w in Workload::ALL {
+        jobs.push(Job::new(w, ExecMode::DieIrb, &value_cfg));
+        jobs.push(Job::new(w, ExecMode::DieIrb, &name_cfg));
+    }
+    let results = h.sweep(&jobs, cli.threads);
 
     let mut table = Table::new(vec![
         "app",
@@ -21,9 +29,8 @@ fn main() {
         "name pass",
     ]);
     let (mut v_ipc, mut n_ipc) = (Vec::new(), Vec::new());
-    for w in Workload::ALL {
-        let v = h.run(w, ExecMode::DieIrb, &value_cfg);
-        let n = h.run(w, ExecMode::DieIrb, &name_cfg);
+    for (w, runs) in Workload::ALL.iter().zip(results.chunks_exact(2)) {
+        let (v, n) = (&runs[0], &runs[1]);
         v_ipc.push(v.ipc());
         n_ipc.push(n.ipc());
         table.row(vec![
@@ -42,7 +49,10 @@ fn main() {
         String::new(),
     ]);
 
-    println!("Value-based vs name-based reuse (Ablation G, §3.3)");
-    println!("(quick mode: {})\n", h.is_quick());
-    print!("{}", table.render());
+    emit(
+        &cli,
+        "Value-based vs name-based reuse (Ablation G, §3.3)",
+        "",
+        &table,
+    );
 }

@@ -3,13 +3,14 @@
 //! duplicate stream reads the IRB and the effective dispatch rate of a
 //! DIE core is half that of SIE.
 
-use redsim_bench::{ipc, mean, Harness, Table};
+use redsim_bench::{emit, ipc, mean, Cli, Harness, Job, Table};
 use redsim_core::{ExecMode, MachineConfig};
 use redsim_irb::PortConfig;
 use redsim_workloads::Workload;
 
 fn main() {
-    let mut h = Harness::from_args();
+    let cli = Cli::parse();
+    let mut h = Harness::from_cli(&cli);
     let base = MachineConfig::paper_baseline();
     let ports: Vec<(&str, PortConfig)> = vec![
         (
@@ -48,17 +49,24 @@ fn main() {
         ("unlimited", PortConfig::unlimited()),
     ];
 
+    let mut jobs = Vec::new();
+    for w in Workload::ALL {
+        for (_, pc) in &ports {
+            let mut cfg = base.clone();
+            cfg.irb.ports = *pc;
+            jobs.push(Job::new(w, ExecMode::DieIrb, &cfg));
+        }
+    }
+    let results = h.sweep(&jobs, cli.threads);
+
     let mut header: Vec<String> = vec!["app".into()];
     header.extend(ports.iter().map(|(n, _)| (*n).to_owned()));
     let mut table = Table::new(header);
 
     let mut per_port: Vec<Vec<f64>> = vec![Vec::new(); ports.len()];
-    for w in Workload::ALL {
+    for (w, runs) in Workload::ALL.iter().zip(results.chunks_exact(ports.len())) {
         let mut cells = vec![w.name().to_owned()];
-        for (i, (_, pc)) in ports.iter().enumerate() {
-            let mut cfg = base.clone();
-            cfg.irb.ports = *pc;
-            let s = h.run(w, ExecMode::DieIrb, &cfg);
+        for (i, s) in runs.iter().enumerate() {
             per_port[i].push(s.ipc());
             cells.push(ipc(s.ipc()));
         }
@@ -68,7 +76,10 @@ fn main() {
     cells.extend(per_port.iter().map(|v| ipc(mean(v))));
     table.row(cells);
 
-    println!("DIE-IRB IPC vs IRB port provisioning (reconstructed Fig. D)");
-    println!("(quick mode: {})\n", h.is_quick());
-    print!("{}", table.render());
+    emit(
+        &cli,
+        "DIE-IRB IPC vs IRB port provisioning (reconstructed Fig. D)",
+        "",
+        &table,
+    );
 }

@@ -5,45 +5,44 @@
 //! Configurations: plain DIE (symmetric oldest-first), DIE with
 //! primary-first selection but no IRB, and full DIE-IRB.
 
-use redsim_bench::{ipc, mean, Harness, Table};
+use redsim_bench::{emit, ipc, mean, Cli, Harness, Job, Table};
 use redsim_core::{ExecMode, IssuePolicy, MachineConfig};
 use redsim_workloads::Workload;
 
 fn main() {
-    let mut h = Harness::from_args();
+    let cli = Cli::parse();
+    let mut h = Harness::from_cli(&cli);
     let base = MachineConfig::paper_baseline();
     let mut priority = base.clone();
     priority.issue_policy = IssuePolicy::PrimaryFirst;
 
-    let mut table = Table::new(vec![
-        "app",
-        "SIE",
-        "DIE",
-        "DIE+priority",
-        "DIE-IRB",
-    ]);
-    let mut cols: [Vec<f64>; 4] = Default::default();
+    let mut jobs = Vec::new();
     for w in Workload::ALL {
-        let sie = h.run(w, ExecMode::Sie, &base);
-        let die = h.run(w, ExecMode::Die, &base);
-        let die_prio = h.run(w, ExecMode::Die, &priority);
-        let die_irb = h.run(w, ExecMode::DieIrb, &base);
-        for (c, s) in cols.iter_mut().zip([&sie, &die, &die_prio, &die_irb]) {
+        jobs.push(Job::new(w, ExecMode::Sie, &base));
+        jobs.push(Job::new(w, ExecMode::Die, &base));
+        jobs.push(Job::new(w, ExecMode::Die, &priority));
+        jobs.push(Job::new(w, ExecMode::DieIrb, &base));
+    }
+    let results = h.sweep(&jobs, cli.threads);
+
+    let mut table = Table::new(vec!["app", "SIE", "DIE", "DIE+priority", "DIE-IRB"]);
+    let mut cols: [Vec<f64>; 4] = Default::default();
+    for (w, runs) in Workload::ALL.iter().zip(results.chunks_exact(4)) {
+        let mut cells = vec![w.name().to_owned()];
+        for (c, s) in cols.iter_mut().zip(runs) {
             c.push(s.ipc());
+            cells.push(ipc(s.ipc()));
         }
-        table.row(vec![
-            w.name().to_owned(),
-            ipc(sie.ipc()),
-            ipc(die.ipc()),
-            ipc(die_prio.ipc()),
-            ipc(die_irb.ipc()),
-        ]);
+        table.row(cells);
     }
     let mut cells = vec!["mean".to_owned()];
     cells.extend(cols.iter().map(|c| ipc(mean(c))));
     table.row(cells);
 
-    println!("Scheduling vs reuse: where DIE-IRB's gain comes from");
-    println!("(quick mode: {})\n", h.is_quick());
-    print!("{}", table.render());
+    emit(
+        &cli,
+        "Scheduling vs reuse: where DIE-IRB's gain comes from",
+        "",
+        &table,
+    );
 }

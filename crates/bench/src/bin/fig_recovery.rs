@@ -9,22 +9,28 @@
 //! `--forwarding per-stream` runs the ablation where the IRB keeps
 //! per-stream forwarding (the issue-window complexity the paper avoids).
 
-use redsim_bench::{ipc, mean, pct, Harness, Table};
+use redsim_bench::{emit, ipc, mean, pct, Cli, Harness, Job, Table};
 use redsim_core::{ExecMode, ForwardingPolicy, MachineConfig};
 use redsim_workloads::Workload;
 
 fn main() {
-    let per_stream = {
-        let args: Vec<String> = std::env::args().collect();
-        args.windows(2)
-            .any(|w| w[0] == "--forwarding" && w[1] == "per-stream")
-    };
-    let mut h = Harness::from_args();
+    let cli = Cli::parse();
+    let per_stream = cli.value("--forwarding") == Some("per-stream");
+    let mut h = Harness::from_cli(&cli);
     let mut base = MachineConfig::paper_baseline();
     if per_stream {
         base.forwarding = ForwardingPolicy::PerStream;
     }
     let twoalu = base.clone().with_double_alus();
+
+    let mut jobs = Vec::new();
+    for w in Workload::ALL {
+        jobs.push(Job::new(w, ExecMode::Sie, &base));
+        jobs.push(Job::new(w, ExecMode::Die, &base));
+        jobs.push(Job::new(w, ExecMode::DieIrb, &base));
+        jobs.push(Job::new(w, ExecMode::Die, &twoalu));
+    }
+    let results = h.sweep(&jobs, cli.threads);
 
     let mut table = Table::new(vec![
         "app",
@@ -37,11 +43,10 @@ fn main() {
     ]);
     let (mut alu_rec, mut all_rec) = (Vec::new(), Vec::new());
     let (mut die_losses, mut irb_losses) = (Vec::new(), Vec::new());
-    for w in Workload::ALL {
-        let sie = h.run(w, ExecMode::Sie, &base);
-        let die = h.run(w, ExecMode::Die, &base);
-        let irb = h.run(w, ExecMode::DieIrb, &base);
-        let die2x = h.run(w, ExecMode::Die, &twoalu);
+    for (w, runs) in Workload::ALL.iter().zip(results.chunks_exact(4)) {
+        let [sie, die, irb, die2x] = runs else {
+            unreachable!("chunks_exact(4)")
+        };
         let alu_gap = die2x.ipc() - die.ipc();
         let overall_gap = sie.ipc() - die.ipc();
         let a = if alu_gap > 1e-9 {
@@ -56,8 +61,8 @@ fn main() {
         };
         alu_rec.push(a);
         all_rec.push(o);
-        die_losses.push(die.ipc_loss_vs(&sie));
-        irb_losses.push(irb.ipc_loss_vs(&sie));
+        die_losses.push(die.ipc_loss_vs(sie));
+        irb_losses.push(irb.ipc_loss_vs(sie));
         table.row(vec![
             w.name().to_owned(),
             ipc(sie.ipc()),
@@ -78,11 +83,17 @@ fn main() {
         pct(mean(&all_rec)),
     ]);
 
-    println!("Headline recovery (reconstructed Fig. A): SIE vs DIE vs DIE-IRB vs DIE-2xALU");
-    println!(
-        "(forwarding: {}, quick mode: {})\n",
-        if per_stream { "per-stream" } else { "primary-to-both" },
-        h.is_quick()
+    emit(
+        &cli,
+        "Headline recovery (reconstructed Fig. A): SIE vs DIE vs DIE-IRB vs DIE-2xALU",
+        &format!(
+            "forwarding: {}",
+            if per_stream {
+                "per-stream"
+            } else {
+                "primary-to-both"
+            }
+        ),
+        &table,
     );
-    print!("{}", table.render());
 }

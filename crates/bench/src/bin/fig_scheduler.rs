@@ -5,18 +5,30 @@
 //! design where a passing reuse test wastes the already-allocated
 //! functional unit — forfeiting the bandwidth benefit entirely.
 
-use redsim_bench::{ipc, mean, Harness, Table};
+use redsim_bench::{emit, ipc, mean, Cli, Harness, Job, Table};
 use redsim_core::{ExecMode, MachineConfig, SchedulerModel};
 use redsim_workloads::Workload;
 
 fn main() {
-    let mut h = Harness::from_args();
+    let cli = Cli::parse();
+    let mut h = Harness::from_cli(&cli);
     let base = MachineConfig::paper_baseline();
     let models = [
         ("data-capture", SchedulerModel::DataCapture),
         ("ndc-pipelined", SchedulerModel::NonDataCapturePipelined),
         ("ndc-naive", SchedulerModel::NonDataCaptureNaive),
     ];
+
+    let mut jobs = Vec::new();
+    for w in Workload::ALL {
+        jobs.push(Job::new(w, ExecMode::Die, &base));
+        for (_, m) in &models {
+            let mut cfg = base.clone();
+            cfg.scheduler = *m;
+            jobs.push(Job::new(w, ExecMode::DieIrb, &cfg));
+        }
+    }
+    let results = h.sweep(&jobs, cli.threads);
 
     let mut header: Vec<String> = vec!["app".into(), "DIE".into()];
     for (n, _) in &models {
@@ -25,16 +37,14 @@ fn main() {
     }
     let mut table = Table::new(header);
 
+    let per_app = 1 + models.len();
     let mut per_model: Vec<Vec<f64>> = vec![Vec::new(); models.len()];
     let mut die_col = Vec::new();
-    for w in Workload::ALL {
-        let die = h.run(w, ExecMode::Die, &base);
+    for (w, runs) in Workload::ALL.iter().zip(results.chunks_exact(per_app)) {
+        let die = &runs[0];
         die_col.push(die.ipc());
         let mut cells = vec![w.name().to_owned(), ipc(die.ipc())];
-        for (i, (_, m)) in models.iter().enumerate() {
-            let mut cfg = base.clone();
-            cfg.scheduler = *m;
-            let s = h.run(w, ExecMode::DieIrb, &cfg);
+        for (i, s) in runs[1..].iter().enumerate() {
             per_model[i].push(s.ipc());
             cells.push(ipc(s.ipc()));
             cells.push(s.fu_bypasses.to_string());
@@ -48,7 +58,10 @@ fn main() {
     }
     table.row(cells);
 
-    println!("DIE-IRB under the three scheduler models of §3.3");
-    println!("(quick mode: {})\n", h.is_quick());
-    print!("{}", table.render());
+    emit(
+        &cli,
+        "DIE-IRB under the three scheduler models of §3.3",
+        "",
+        &table,
+    );
 }

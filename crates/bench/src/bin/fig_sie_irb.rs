@@ -4,16 +4,27 @@
 //! while it strongly helps the overloaded DIE core — the paper's reason
 //! for revisiting instruction reuse.
 
-use redsim_bench::{mean, pct, Harness, Table};
+use redsim_bench::{emit, mean, pct, Cli, Harness, Job, Table};
 use redsim_core::{ExecMode, MachineConfig};
 use redsim_workloads::Workload;
 
 fn main() {
-    let mut h = Harness::from_args();
+    let cli = Cli::parse();
+    let mut h = Harness::from_cli(&cli);
     let base = MachineConfig::paper_baseline();
 
     let mut longlat = base.clone();
     longlat.reuse_long_latency_only = true;
+
+    let mut jobs = Vec::new();
+    for w in Workload::ALL {
+        jobs.push(Job::new(w, ExecMode::Sie, &base));
+        jobs.push(Job::new(w, ExecMode::SieIrb, &base));
+        jobs.push(Job::new(w, ExecMode::SieIrb, &longlat));
+        jobs.push(Job::new(w, ExecMode::Die, &base));
+        jobs.push(Job::new(w, ExecMode::DieIrb, &base));
+    }
+    let results = h.sweep(&jobs, cli.threads);
 
     let mut table = Table::new(vec![
         "app",
@@ -21,14 +32,11 @@ fn main() {
         "SIE-IRB (long-latency ops only)",
         "DIE-IRB speedup over DIE",
     ]);
-    let (mut sie_gain, mut sie_ll_gain, mut die_gain) =
-        (Vec::new(), Vec::new(), Vec::new());
-    for w in Workload::ALL {
-        let sie = h.run(w, ExecMode::Sie, &base);
-        let sie_irb = h.run(w, ExecMode::SieIrb, &base);
-        let sie_irb_ll = h.run(w, ExecMode::SieIrb, &longlat);
-        let die = h.run(w, ExecMode::Die, &base);
-        let die_irb = h.run(w, ExecMode::DieIrb, &base);
+    let (mut sie_gain, mut sie_ll_gain, mut die_gain) = (Vec::new(), Vec::new(), Vec::new());
+    for (w, runs) in Workload::ALL.iter().zip(results.chunks_exact(5)) {
+        let [sie, sie_irb, sie_irb_ll, die, die_irb] = runs else {
+            unreachable!("chunks_exact(5)")
+        };
         let s = (sie_irb.ipc() / sie.ipc() - 1.0) * 100.0;
         let sl = (sie_irb_ll.ipc() / sie.ipc() - 1.0) * 100.0;
         let d = (die_irb.ipc() / die.ipc() - 1.0) * 100.0;
@@ -44,7 +52,5 @@ fn main() {
         pct(mean(&die_gain)),
     ]);
 
-    println!("IRB on SIE vs IRB on DIE (Ablation H)");
-    println!("(quick mode: {})\n", h.is_quick());
-    print!("{}", table.render());
+    emit(&cli, "IRB on SIE vs IRB on DIE (Ablation H)", "", &table);
 }

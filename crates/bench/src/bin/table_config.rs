@@ -2,10 +2,11 @@
 //! `MachineConfig::paper_baseline()` so the docs can never drift from
 //! the code.
 
-use redsim_bench::Table;
+use redsim_bench::{Cli, Table};
 use redsim_core::MachineConfig;
 
 fn main() {
+    let cli = Cli::parse();
     let c = MachineConfig::paper_baseline();
     let mut t = Table::new(vec!["parameter", "value"]);
     t.row(vec![
@@ -15,7 +16,10 @@ fn main() {
             c.fetch_width, c.decode_width, c.issue_width, c.commit_width
         ),
     ]);
-    t.row(vec!["RUU (unified ROB+IW)".to_owned(), format!("{} entries", c.ruu_size)]);
+    t.row(vec![
+        "RUU (unified ROB+IW)".to_owned(),
+        format!("{} entries", c.ruu_size),
+    ]);
     t.row(vec!["LSQ".to_owned(), format!("{} entries", c.lsq_size)]);
     t.row(vec![
         "int ALU / int mul-div / fp add / fp mul-div-sqrt".to_owned(),
@@ -78,7 +82,10 @@ fn main() {
     ]);
     t.row(vec![
         "BTB / RAS".to_owned(),
-        format!("{} sets x {} ways / {} deep", c.btb.sets, c.btb.assoc, c.ras_depth),
+        format!(
+            "{} sets x {} ways / {} deep",
+            c.btb.sets, c.btb.assoc, c.ras_depth
+        ),
     ]);
     t.row(vec![
         "mispredict / BTB-miss penalty".to_owned(),
@@ -98,6 +105,13 @@ fn main() {
         ),
     ]);
 
-    println!("Base machine configuration (paper §4)\n");
-    print!("{}", t.render());
+    if cli.json {
+        let out = redsim_util::Json::obj()
+            .field("title", "Base machine configuration (paper §4)")
+            .field("table", t.to_json());
+        println!("{out}");
+    } else {
+        println!("Base machine configuration (paper §4)\n");
+        print!("{}", t.render());
+    }
 }

@@ -22,40 +22,155 @@
 //! | `fig_scheduler`    | §3.3's data-capture vs non-data-capture reuse tests |
 //! | `fig_fidelity`     | wrong-path fetch + store-to-load forwarding sensitivity |
 //!
-//! All binaries accept `--quick` (or the env var `REDSIM_QUICK=1`) to run
-//! the tiny workload instances, and print aligned text tables to stdout.
+//! All binaries share one command line (see [`Cli`]):
+//!
+//! * `--quick` (or `REDSIM_QUICK=1`) — run the tiny workload instances;
+//! * `--json` — emit the result table as a JSON object instead of text;
+//! * `--threads N` — fan the simulation grid across `N` worker threads
+//!   (default: all available cores). Every simulation is single-threaded
+//!   and deterministic, so the results are identical for any `N`.
+//!
+//! The binaries build their experiment grid as a list of [`Job`]s and
+//! hand it to [`Harness::sweep`], which materializes each workload's
+//! committed trace once (shared as `Arc<[DynInst]>`) and runs the grid
+//! in parallel.
 
-use redsim_core::{ExecMode, MachineConfig, SimStats, Simulator, VecSource};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use redsim_core::{ExecMode, FaultConfig, MachineConfig, SimStats, Simulator, SliceSource};
 use redsim_isa::trace::DynInst;
+use redsim_util::Json;
 use redsim_workloads::{Params, Workload};
+
+/// Shared command line of the figure binaries.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    /// Run tiny workload instances (`--quick` or `REDSIM_QUICK=1`).
+    pub quick: bool,
+    /// Emit JSON instead of the aligned text table (`--json`).
+    pub json: bool,
+    /// Worker threads for [`Harness::sweep`] (`--threads N`).
+    pub threads: usize,
+    args: Vec<String>,
+}
+
+impl Cli {
+    /// Parses the process arguments.
+    #[must_use]
+    pub fn parse() -> Self {
+        Self::from_vec(std::env::args().skip(1).collect())
+    }
+
+    /// Parses an explicit argument vector (for tests).
+    #[must_use]
+    pub fn from_vec(args: Vec<String>) -> Self {
+        let quick =
+            args.iter().any(|a| a == "--quick") || std::env::var_os("REDSIM_QUICK").is_some();
+        let json = args.iter().any(|a| a == "--json");
+        let threads = args
+            .windows(2)
+            .find(|w| w[0] == "--threads")
+            .and_then(|w| w[1].parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+            });
+        Cli {
+            quick,
+            json,
+            threads,
+            args,
+        }
+    }
+
+    /// Whether a bare flag (e.g. `--verbose`) is present.
+    #[must_use]
+    pub fn flag(&self, name: &str) -> bool {
+        self.args.iter().any(|a| a == name)
+    }
+
+    /// The value following a `--key value` pair, if present.
+    #[must_use]
+    pub fn value(&self, name: &str) -> Option<&str> {
+        self.args
+            .windows(2)
+            .find(|w| w[0] == name)
+            .map(|w| w[1].as_str())
+    }
+}
+
+/// One cell of the experiment grid: a workload run under a mode and
+/// machine configuration, optionally with fault injection.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// The workload whose committed trace to replay.
+    pub workload: Workload,
+    /// Execution mode (SIE / DIE / DIE-IRB / ...).
+    pub mode: ExecMode,
+    /// Machine configuration.
+    pub config: MachineConfig,
+    /// Transient-fault injection, if any.
+    pub faults: Option<FaultConfig>,
+}
+
+impl Job {
+    /// Creates a fault-free job.
+    #[must_use]
+    pub fn new(workload: Workload, mode: ExecMode, config: &MachineConfig) -> Self {
+        Job {
+            workload,
+            mode,
+            config: config.clone(),
+            faults: None,
+        }
+    }
+
+    /// Adds fault injection to the job.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+}
+
+fn run_job(trace: &[DynInst], job: &Job) -> SimStats {
+    let mut source = SliceSource::new(trace);
+    let mut sim = Simulator::new(job.config.clone(), job.mode);
+    if let Some(fc) = job.faults {
+        sim = sim.with_faults(fc);
+    }
+    sim.run_source(&mut source).expect("simulation completes")
+}
 
 /// Harness context: workload sizing and per-workload trace caching.
 #[derive(Debug, Default)]
 pub struct Harness {
     quick: bool,
-    cached: Option<(Workload, Params, Vec<DynInst>)>,
+    cache: HashMap<Workload, Arc<[DynInst]>>,
 }
 
 impl Harness {
-    /// Creates a harness; `--quick` in `args` or `REDSIM_QUICK=1` in the
-    /// environment selects the tiny workload instances.
+    /// Creates a harness; `quick` selects the tiny workload instances.
     #[must_use]
-    pub fn from_args() -> Self {
-        let quick = std::env::args().any(|a| a == "--quick")
-            || std::env::var_os("REDSIM_QUICK").is_some();
+    pub fn new(quick: bool) -> Self {
         Harness {
             quick,
-            cached: None,
+            cache: HashMap::new(),
         }
+    }
+
+    /// Creates a harness sized by the shared command line.
+    #[must_use]
+    pub fn from_cli(cli: &Cli) -> Self {
+        Self::new(cli.quick)
     }
 
     /// Creates a quick-mode harness (used by the smoke bench).
     #[must_use]
     pub fn quick() -> Self {
-        Harness {
-            quick: true,
-            cached: None,
-        }
+        Self::new(true)
     }
 
     /// Whether quick mode is on.
@@ -74,29 +189,66 @@ impl Harness {
         }
     }
 
-    /// The committed-path trace of a workload, cached so that sweeps
-    /// re-run the timing model over the identical instruction stream.
-    pub fn trace(&mut self, w: Workload) -> Vec<DynInst> {
-        let params = self.params(w);
-        if let Some((cw, cp, t)) = &self.cached {
-            if *cw == w && *cp == params {
-                return t.clone();
-            }
+    /// The committed-path trace of a workload. Built once per workload
+    /// (the functional emulator is the expensive part) and shared by
+    /// reference count, so sweeps re-run the timing model over the
+    /// identical instruction stream without copying it.
+    pub fn trace(&mut self, w: Workload) -> Arc<[DynInst]> {
+        if let Some(t) = self.cache.get(&w) {
+            return Arc::clone(t);
         }
+        let params = self.params(w);
         let program = w.program(params).expect("workload kernels assemble");
         let mut emu = redsim_isa::emu::Emulator::new(&program);
-        let trace = emu.run_trace(200_000_000).expect("workload kernels halt");
-        self.cached = Some((w, params, trace.clone()));
+        let trace: Arc<[DynInst]> = emu
+            .run_trace(200_000_000)
+            .expect("workload kernels halt")
+            .into();
+        self.cache.insert(w, Arc::clone(&trace));
         trace
     }
 
     /// Runs one workload under one mode and machine configuration.
     pub fn run(&mut self, w: Workload, mode: ExecMode, cfg: &MachineConfig) -> SimStats {
         let trace = self.trace(w);
-        let mut source = VecSource::new(trace);
-        Simulator::new(cfg.clone(), mode)
-            .run_source(&mut source)
-            .expect("simulation completes")
+        run_job(&trace, &Job::new(w, mode, cfg))
+    }
+
+    /// Runs an experiment grid, fanning the jobs across `threads`
+    /// worker threads.
+    ///
+    /// Traces are materialized up front (once per distinct workload);
+    /// the workers then share them read-only. Results come back in job
+    /// order, and because every simulation is single-threaded and
+    /// deterministic, the output is bit-identical for any thread count.
+    pub fn sweep(&mut self, jobs: &[Job], threads: usize) -> Vec<SimStats> {
+        let traces: Vec<Arc<[DynInst]>> = jobs.iter().map(|j| self.trace(j.workload)).collect();
+        let threads = threads.clamp(1, jobs.len().max(1));
+        if threads == 1 {
+            return jobs
+                .iter()
+                .zip(&traces)
+                .map(|(j, t)| run_job(t, j))
+                .collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<OnceLock<SimStats>> = jobs.iter().map(|_| OnceLock::new()).collect();
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs.len() {
+                        break;
+                    }
+                    let stats = run_job(&traces[i], &jobs[i]);
+                    assert!(slots[i].set(stats).is_ok(), "each job runs once");
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|c| c.into_inner().expect("worker filled every slot"))
+            .collect()
     }
 }
 
@@ -169,13 +321,49 @@ impl Table {
         };
         let mut out = fmt_row(&self.header);
         out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * cols.saturating_sub(1)));
         out.push('\n');
         for row in &self.rows {
             out.push_str(&fmt_row(row));
             out.push('\n');
         }
         out
+    }
+
+    /// The table as a JSON object: `{"header": [...], "rows": [[...]]}`.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let header: Json = self.header.iter().map(|h| Json::from(h.as_str())).collect();
+        let rows: Json = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(|c| Json::from(c.as_str())).collect::<Json>())
+            .collect();
+        Json::obj().field("header", header).field("rows", rows)
+    }
+}
+
+/// Prints a figure's result table, honouring `--json`.
+///
+/// In text mode this reproduces the binaries' traditional layout: the
+/// title, a parenthesized note including the quick-mode flag, a blank
+/// line, then the aligned table.
+pub fn emit(cli: &Cli, title: &str, note: &str, table: &Table) {
+    if cli.json {
+        let out = Json::obj()
+            .field("title", title)
+            .field("note", note)
+            .field("quick", cli.quick)
+            .field("table", table.to_json());
+        println!("{out}");
+    } else {
+        println!("{title}");
+        if note.is_empty() {
+            println!("(quick mode: {})\n", cli.quick);
+        } else {
+            println!("({note}, quick mode: {})\n", cli.quick);
+        }
+        print!("{}", table.render());
     }
 }
 
@@ -208,10 +396,32 @@ mod tests {
     }
 
     #[test]
+    fn empty_table_renders_without_panicking() {
+        // Regression: `2 * (cols - 1)` underflowed for a header-less
+        // table; the separator math must saturate instead.
+        let t = Table::new(Vec::<String>::new());
+        let s = t.render();
+        assert_eq!(s, "\n\n");
+        let mut one = Table::new(vec!["only"]);
+        one.row(vec!["x"]);
+        assert!(one.render().contains("only"));
+    }
+
+    #[test]
     #[should_panic(expected = "row arity mismatch")]
     fn table_rejects_ragged_rows() {
         let mut t = Table::new(vec!["a", "b"]);
         t.row(vec!["only one"]);
+    }
+
+    #[test]
+    fn table_to_json_shape() {
+        let mut t = Table::new(vec!["app", "ipc"]);
+        t.row(vec!["gzip", "1.234"]);
+        assert_eq!(
+            t.to_json().to_string(),
+            r#"{"header":["app","ipc"],"rows":[["gzip","1.234"]]}"#
+        );
     }
 
     #[test]
@@ -221,11 +431,34 @@ mod tests {
     }
 
     #[test]
+    fn cli_parses_shared_flags() {
+        let cli = Cli::from_vec(
+            [
+                "--quick",
+                "--json",
+                "--threads",
+                "3",
+                "--forwarding",
+                "per-stream",
+            ]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect(),
+        );
+        assert!(cli.quick);
+        assert!(cli.json);
+        assert_eq!(cli.threads, 3);
+        assert!(cli.flag("--quick"));
+        assert_eq!(cli.value("--forwarding"), Some("per-stream"));
+        assert_eq!(cli.value("--missing"), None);
+    }
+
+    #[test]
     fn harness_trace_is_cached_and_stable() {
         let mut h = Harness::quick();
         let a = h.trace(Workload::Gzip);
         let b = h.trace(Workload::Gzip);
-        assert_eq!(a.len(), b.len());
+        assert!(Arc::ptr_eq(&a, &b), "second call reuses the cached trace");
         assert!(!a.is_empty());
     }
 
@@ -235,5 +468,48 @@ mod tests {
         let cfg = MachineConfig::paper_baseline();
         let s = h.run(Workload::Gzip, ExecMode::Sie, &cfg);
         assert!(s.ipc() > 0.0);
+    }
+
+    #[test]
+    fn sweep_matches_individual_runs() {
+        let mut h = Harness::quick();
+        let cfg = MachineConfig::paper_baseline();
+        let jobs = vec![
+            Job::new(Workload::Gzip, ExecMode::Sie, &cfg),
+            Job::new(Workload::Gzip, ExecMode::Die, &cfg),
+            Job::new(Workload::Mcf, ExecMode::DieIrb, &cfg),
+        ];
+        let swept = h.sweep(&jobs, 1);
+        assert_eq!(swept[0], h.run(Workload::Gzip, ExecMode::Sie, &cfg));
+        assert_eq!(swept[1], h.run(Workload::Gzip, ExecMode::Die, &cfg));
+        assert_eq!(swept[2], h.run(Workload::Mcf, ExecMode::DieIrb, &cfg));
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_serial() {
+        let mut h = Harness::quick();
+        let cfg = MachineConfig::paper_baseline();
+        let mut jobs = Vec::new();
+        for w in [Workload::Gzip, Workload::Mcf] {
+            for mode in [ExecMode::Sie, ExecMode::Die, ExecMode::DieIrb] {
+                jobs.push(Job::new(w, mode, &cfg));
+            }
+        }
+        jobs.push(
+            Job::new(Workload::Gzip, ExecMode::Die, &cfg).with_faults(FaultConfig {
+                fu_rate: 1e-4,
+                seed: 7,
+                ..FaultConfig::none()
+            }),
+        );
+        let serial = h.sweep(&jobs, 1);
+        let parallel = h.sweep(&jobs, 4);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn sweep_of_empty_grid_is_empty() {
+        let mut h = Harness::quick();
+        assert!(h.sweep(&[], 8).is_empty());
     }
 }

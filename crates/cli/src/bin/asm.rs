@@ -29,13 +29,7 @@ fn main() {
     let out = args
         .value_of("--out")
         .map(str::to_owned)
-        .unwrap_or_else(|| {
-            input
-                .strip_suffix(".s")
-                .unwrap_or(input)
-                .to_owned()
-                + ".rprog"
-        });
+        .unwrap_or_else(|| input.strip_suffix(".s").unwrap_or(input).to_owned() + ".rprog");
     if let Err(e) = std::fs::write(&out, container::to_bytes(&program)) {
         die(&format!("{out}: {e}"));
     }

@@ -117,9 +117,15 @@ fn main() {
         .parsed_or("--budget", 200_000_000u64)
         .unwrap_or_else(|e| die(&e));
     let faults = FaultConfig {
-        fu_rate: args.parsed_or("--fault-fu", 0.0).unwrap_or_else(|e| die(&e)),
-        irb_rate: args.parsed_or("--fault-irb", 0.0).unwrap_or_else(|e| die(&e)),
-        forward_rate: args.parsed_or("--fault-bus", 0.0).unwrap_or_else(|e| die(&e)),
+        fu_rate: args
+            .parsed_or("--fault-fu", 0.0)
+            .unwrap_or_else(|e| die(&e)),
+        irb_rate: args
+            .parsed_or("--fault-irb", 0.0)
+            .unwrap_or_else(|e| die(&e)),
+        forward_rate: args
+            .parsed_or("--fault-bus", 0.0)
+            .unwrap_or_else(|e| die(&e)),
         seed: args.parsed_or("--seed", 0u64).unwrap_or_else(|e| die(&e)),
     };
     let sim = Simulator::new(cfg, mode)
@@ -127,15 +133,18 @@ fn main() {
         .with_faults(faults);
 
     let stats = if let Some(trace_path) = args.value_of("--trace") {
-        let file = std::fs::File::open(trace_path)
-            .unwrap_or_else(|e| die(&format!("{trace_path}: {e}")));
+        let file =
+            std::fs::File::open(trace_path).unwrap_or_else(|e| die(&format!("{trace_path}: {e}")));
         let trace = redsim_isa::trace_io::read_trace(std::io::BufReader::new(file))
             .unwrap_or_else(|e| die(&format!("{trace_path}: {e}")));
         let mut src = VecSource::new(trace);
         sim.run_source(&mut src)
     } else if let Some(name) = args.value_of("--workload") {
-        let w = Workload::from_name(name)
-            .unwrap_or_else(|| die(&format!("unknown workload `{name}`; try redsim-workload list")));
+        let w = Workload::from_name(name).unwrap_or_else(|| {
+            die(&format!(
+                "unknown workload `{name}`; try redsim-workload list"
+            ))
+        });
         let scale = args
             .parsed_or("--scale", w.default_params().scale)
             .unwrap_or_else(|e| die(&e));
@@ -170,13 +179,13 @@ fn compare(args: &Args) {
         .parsed_or("--budget", 200_000_000u64)
         .unwrap_or_else(|e| die(&e));
     let trace = if let Some(trace_path) = args.value_of("--trace") {
-        let file = std::fs::File::open(trace_path)
-            .unwrap_or_else(|e| die(&format!("{trace_path}: {e}")));
+        let file =
+            std::fs::File::open(trace_path).unwrap_or_else(|e| die(&format!("{trace_path}: {e}")));
         redsim_isa::trace_io::read_trace(std::io::BufReader::new(file))
             .unwrap_or_else(|e| die(&format!("{trace_path}: {e}")))
     } else if let Some(name) = args.value_of("--workload") {
-        let w = Workload::from_name(name)
-            .unwrap_or_else(|| die(&format!("unknown workload `{name}`")));
+        let w =
+            Workload::from_name(name).unwrap_or_else(|| die(&format!("unknown workload `{name}`")));
         let scale = args
             .parsed_or("--scale", w.default_params().scale)
             .unwrap_or_else(|e| die(&e));
@@ -194,7 +203,10 @@ fn compare(args: &Args) {
     } else {
         die("--compare needs a program, --trace or --workload");
     };
-    println!("{:<8} {:>12} {:>8} {:>10}", "mode", "cycles", "IPC", "vs SIE");
+    println!(
+        "{:<8} {:>12} {:>8} {:>10}",
+        "mode", "cycles", "IPC", "vs SIE"
+    );
     let mut sie_ipc = 0.0;
     for mode in [ExecMode::Sie, ExecMode::Die, ExecMode::DieIrb] {
         let mut src = VecSource::new(trace.clone());

@@ -11,7 +11,9 @@ use redsim_workloads::{mix::InstMix, Params, Workload};
 
 fn params_for(w: Workload, args: &Args) -> Params {
     let d = w.default_params();
-    let scale = args.parsed_or("--scale", d.scale).unwrap_or_else(|e| die(&e));
+    let scale = args
+        .parsed_or("--scale", d.scale)
+        .unwrap_or_else(|e| die(&e));
     let seed = args.parsed_or("--seed", d.seed).unwrap_or_else(|e| die(&e));
     Params::new(scale, seed)
 }
@@ -20,7 +22,10 @@ fn main() {
     let args = Args::from_env();
     match args.positional() {
         [cmd] if cmd == "list" => {
-            println!("{:<10} {:<6} {:>13}  models", "name", "suite", "default-scale");
+            println!(
+                "{:<10} {:<6} {:>13}  models",
+                "name", "suite", "default-scale"
+            );
             println!("{}", "-".repeat(48));
             for w in Workload::ALL {
                 println!(

@@ -32,9 +32,7 @@ use redsim_isa::Program;
 /// Returns a human-readable message on I/O, assembly or container
 /// failures.
 pub fn load_program(path: &str) -> Result<Program, String> {
-    let is_container = Path::new(path)
-        .extension()
-        .is_some_and(|e| e == "rprog");
+    let is_container = Path::new(path).extension().is_some_and(|e| e == "rprog");
     if is_container {
         let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
         container::from_bytes(&bytes).map_err(|e| format!("{path}: {e}"))
@@ -119,9 +117,7 @@ impl Args {
     pub fn parsed_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
         match self.value_of(key) {
             None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|_| format!("bad value for {key}: `{v}`")),
+            Some(v) => v.parse().map_err(|_| format!("bad value for {key}: `{v}`")),
         }
     }
 }

@@ -33,7 +33,11 @@ fn asm_emu_sim_pipeline() {
         .args([src.to_str().unwrap(), "--out", prog.to_str().unwrap()])
         .output()
         .unwrap();
-    assert!(out.status.success(), "asm: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "asm: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(prog.exists());
 
     // Emulate with trace capture: sum 0..=99 = 4950.
@@ -45,7 +49,11 @@ fn asm_emu_sim_pipeline() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "emu: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "emu: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("4950"), "emu output: {stdout}");
 
@@ -54,7 +62,11 @@ fn asm_emu_sim_pipeline() {
         .args(["--trace", trace.to_str().unwrap(), "--mode", "die-irb"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "sim: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "sim: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("IPC:"), "sim output: {stdout}");
     assert!(stdout.contains("pairs checked:"), "sim output: {stdout}");
@@ -79,7 +91,11 @@ fn sim_runs_builtin_workloads() {
         .args(["--workload", "vortex", "--scale", "1", "--mode", "die"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("mode:                Die"), "{stdout}");
 }
@@ -126,7 +142,11 @@ fn compare_mode_prints_all_three() {
         .args(["--compare", "--workload", "gzip", "--scale", "1"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     for needle in ["Sie", "Die", "DieIrb", "vs SIE"] {
         assert!(stdout.contains(needle), "{stdout}");
@@ -147,6 +167,10 @@ fn fidelity_flags_are_accepted() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("DieCluster"));
 }

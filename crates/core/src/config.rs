@@ -1,13 +1,11 @@
 //! Machine configuration.
 
-use serde::{Deserialize, Serialize};
-
 use redsim_irb::IrbConfig;
 use redsim_mem::HierarchyConfig;
 use redsim_predictor::{BtbConfig, DirectionConfig};
 
 /// Which execution discipline the core runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ExecMode {
     /// Single instruction execution — no redundancy (the baseline).
     Sie,
@@ -46,7 +44,7 @@ impl ExecMode {
 }
 
 /// Who wakes up the duplicate stream's waiting instructions (§3.3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ForwardingPolicy {
     /// Each stream forwards only within itself (the original DIE). An
     /// IRB under this policy needs its own forwarding buses — the
@@ -59,7 +57,7 @@ pub enum ForwardingPolicy {
 }
 
 /// Which ready entries the select logic favours in dual modes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum IssuePolicy {
     /// The mode's natural policy: symmetric oldest-first for plain DIE
     /// (the original proposal treats the streams identically),
@@ -75,7 +73,7 @@ pub enum IssuePolicy {
 
 /// How the issue window obtains operands, which dictates when the IRB
 /// reuse test can run (§3.3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SchedulerModel {
     /// Data-capture scheduler (the paper's evaluated design): operands
     /// are broadcast into the issue window, so the `Rdy2` comparators
@@ -99,7 +97,7 @@ pub enum SchedulerModel {
 ///
 /// Integer ALUs also perform branch-target and memory-address
 /// calculations, as on the paper's platform.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FuCounts {
     /// Single-cycle integer ALUs.
     pub int_alu: usize,
@@ -136,7 +134,7 @@ impl FuCounts {
 }
 
 /// Operation latencies (cycles) and pipelining, SimpleScalar defaults.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LatencyConfig {
     /// Integer ALU operation latency.
     pub int_alu: u64,
@@ -171,7 +169,7 @@ impl LatencyConfig {
 }
 
 /// Data-cache port provisioning.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DcacheConfig {
     /// Accesses (loads at issue + stores at commit) per cycle.
     pub ports: usize,
@@ -182,7 +180,7 @@ pub struct DcacheConfig {
 /// [`MachineConfig::paper_baseline`] reproduces the configuration table
 /// of the paper's §4; the `with_*` builders derive the seven scaled
 /// configurations of Figure 2.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MachineConfig {
     /// Instructions fetched per cycle (architected instructions).
     pub fetch_width: usize,
@@ -366,7 +364,10 @@ impl MachineConfig {
         assert!(self.ruu_size >= 2, "RUU must hold at least one pair");
         assert!(self.lsq_size > 0, "LSQ must be non-empty");
         assert!(self.fu.int_alu > 0, "at least one integer ALU is required");
-        assert!(self.dcache.ports > 0, "at least one d-cache port is required");
+        assert!(
+            self.dcache.ports > 0,
+            "at least one d-cache port is required"
+        );
         self.irb.validate();
     }
 }
@@ -402,8 +403,14 @@ mod tests {
         let widths = base.clone().with_double_widths();
         assert_eq!(widths.issue_width, 16);
         assert_eq!(widths.fu, base.fu);
-        let all = base.with_double_alus().with_double_ruu().with_double_widths();
-        assert_eq!((all.fu.int_alu, all.ruu_size, all.commit_width), (8, 256, 16));
+        let all = base
+            .with_double_alus()
+            .with_double_ruu()
+            .with_double_widths();
+        assert_eq!(
+            (all.fu.int_alu, all.ruu_size, all.commit_width),
+            (8, 256, 16)
+        );
     }
 
     #[test]

@@ -2,9 +2,7 @@
 
 use redsim_isa::trace::DynInst;
 use redsim_isa::{IntReg, Opcode};
-use redsim_predictor::{
-    build_direction, Btb, DirectionPredictor, ReturnAddressStack,
-};
+use redsim_predictor::{build_direction, Btb, DirectionPredictor, ReturnAddressStack};
 
 use crate::config::MachineConfig;
 
@@ -183,7 +181,12 @@ mod tests {
         DynInst {
             seq: 0,
             pc,
-            inst: Inst::branch(Opcode::Bne, IntReg::new(1), IntReg::ZERO, (target as i64 - pc as i64) as i32),
+            inst: Inst::branch(
+                Opcode::Bne,
+                IntReg::new(1),
+                IntReg::ZERO,
+                (target as i64 - pc as i64) as i32,
+            ),
             src1: 1,
             src2: 0,
             result: None,

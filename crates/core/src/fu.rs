@@ -1,13 +1,11 @@
 //! Functional-unit pools.
 
-use serde::{Deserialize, Serialize};
-
 use redsim_isa::OpClass;
 
 use crate::config::{FuCounts, LatencyConfig};
 
 /// The four functional-unit pools of the paper's machine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Pool {
     /// Single-cycle integer ALUs (also branch targets, memory address
     /// calculation, system ops).
@@ -176,7 +174,10 @@ impl FuBank {
         let timing = op_timing(class, &self.latency);
         let pool = Pool::for_class(class);
         if self.pool_mut(pool).try_issue(cycle, timing) {
-            let idx = OpClass::ALL.iter().position(|&c| c == class).expect("class in ALL");
+            let idx = OpClass::ALL
+                .iter()
+                .position(|&c| c == class)
+                .expect("class in ALL");
             self.issued_by_class[idx] += 1;
             Some(cycle + timing.latency)
         } else {
@@ -187,7 +188,10 @@ impl FuBank {
     /// Operations issued so far for one class.
     #[must_use]
     pub fn issued(&self, class: OpClass) -> u64 {
-        let idx = OpClass::ALL.iter().position(|&c| c == class).expect("class in ALL");
+        let idx = OpClass::ALL
+            .iter()
+            .position(|&c| c == class)
+            .expect("class in ALL");
         self.issued_by_class[idx]
     }
 
@@ -225,7 +229,10 @@ mod tests {
         assert!(b.try_issue(OpClass::IntAlu, 10).is_some());
         assert!(b.try_issue(OpClass::IntAlu, 10).is_some());
         assert!(b.try_issue(OpClass::IntAlu, 10).is_none(), "only 2 ALUs");
-        assert!(b.try_issue(OpClass::IntAlu, 11).is_some(), "free next cycle");
+        assert!(
+            b.try_issue(OpClass::IntAlu, 11).is_some(),
+            "free next cycle"
+        );
     }
 
     #[test]
@@ -248,7 +255,10 @@ mod tests {
     fn mul_and_div_share_the_same_pool() {
         let mut b = bank();
         assert!(b.try_issue(OpClass::IntDiv, 0).is_some());
-        assert!(b.try_issue(OpClass::IntMul, 1).is_none(), "single shared unit");
+        assert!(
+            b.try_issue(OpClass::IntMul, 1).is_none(),
+            "single shared unit"
+        );
     }
 
     #[test]

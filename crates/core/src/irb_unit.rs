@@ -165,7 +165,6 @@ impl IrbUnit {
     pub fn stats(&self) -> &IrbUnitStats {
         &self.stats
     }
-
 }
 
 /// Register names `di` reads, in the IRB's name encoding (int = index,

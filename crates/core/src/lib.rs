@@ -67,10 +67,10 @@ mod source;
 mod stats;
 
 pub use config::{
-    DcacheConfig, ExecMode, ForwardingPolicy, FuCounts, IssuePolicy, LatencyConfig,
-    MachineConfig, SchedulerModel,
+    DcacheConfig, ExecMode, ForwardingPolicy, FuCounts, IssuePolicy, LatencyConfig, MachineConfig,
+    SchedulerModel,
 };
 pub use fault::{FaultConfig, FaultStats};
 pub use pipeline::{SimError, Simulator};
-pub use source::{EmulatorSource, InstructionSource, VecSource};
+pub use source::{ArcSource, EmulatorSource, InstructionSource, SliceSource, VecSource};
 pub use stats::{FetchStallKind, SimStats};

@@ -141,10 +141,7 @@ impl Simulator {
     /// # Errors
     ///
     /// Same conditions as [`Simulator::run_program`].
-    pub fn run_source(
-        &self,
-        source: &mut dyn InstructionSource,
-    ) -> Result<SimStats, SimError> {
+    pub fn run_source(&self, source: &mut dyn InstructionSource) -> Result<SimStats, SimError> {
         let mut m = Machine::new(&self.config, self.mode, self.faults);
         m.run(source)
     }
@@ -235,8 +232,7 @@ impl<'a> Machine<'a> {
             frontend: FrontEnd::new(cfg),
             hierarchy: Hierarchy::new(cfg.hierarchy),
             fu: FuBank::new(cfg.fu, cfg.latency),
-            fu_dup: (mode == ExecMode::DieCluster)
-                .then(|| FuBank::new(cfg.fu, cfg.latency)),
+            fu_dup: (mode == ExecMode::DieCluster).then(|| FuBank::new(cfg.fu, cfg.latency)),
             irb: mode.has_irb().then(|| IrbUnit::new(cfg.irb)),
             inj: FaultInjector::new(faults),
             stats: SimStats::default(),
@@ -362,9 +358,7 @@ impl<'a> Machine<'a> {
             // architectural check value derived from the trace.
             debug_assert!({
                 let e = self.ruu.get(head).expect("head exists");
-                e.fault_tainted
-                    || e.out_bits.is_none()
-                    || e.clean_check_bits() == e.out_bits
+                e.fault_tainted || e.out_bits.is_none() || e.clean_check_bits() == e.out_bits
             });
 
             // The pair's single architectural store access.
@@ -463,10 +457,7 @@ impl<'a> Machine<'a> {
             let e = self.ruu.get(seq).expect("completing entry exists");
             let is_dup_load = e.stream == Stream::Dup && e.di.inst.op.is_load();
             if is_dup_load {
-                let partner_done = self
-                    .ruu
-                    .get(seq - 1)
-                    .is_some_and(Entry::is_done);
+                let partner_done = self.ruu.get(seq - 1).is_some_and(Entry::is_done);
                 if !partner_done {
                     // Address work done; the pair's single data access
                     // has not returned yet.
@@ -595,10 +586,7 @@ impl<'a> Machine<'a> {
         };
         if primary_first {
             candidates.sort_by_key(|&s| {
-                let is_dup = self
-                    .ruu
-                    .get(s)
-                    .map_or(false, |e| e.stream == Stream::Dup);
+                let is_dup = self.ruu.get(s).is_some_and(|e| e.stream == Stream::Dup);
                 (is_dup, s)
             });
         }
@@ -713,10 +701,9 @@ impl<'a> Machine<'a> {
         if needs_dcache && self.dcache_used >= self.cfg.dcache.ports {
             return false;
         }
-        let bank = if self.fu_dup.is_some() && is_dup {
-            self.fu_dup.as_mut().expect("dup cluster exists")
-        } else {
-            &mut self.fu
+        let bank = match &mut self.fu_dup {
+            Some(dup) if is_dup => dup,
+            _ => &mut self.fu,
         };
         let Some(done) = bank.try_issue(class, self.cycle) else {
             return false;
@@ -745,8 +732,7 @@ impl<'a> Machine<'a> {
                             e.fault_tainted = true;
                         }
                         if di.inst.op.is_load() && self.is_dual() {
-                            let partner_done =
-                                self.ruu.get(seq - 1).is_some_and(Entry::is_done);
+                            let partner_done = self.ruu.get(seq - 1).is_some_and(Entry::is_done);
                             if partner_done {
                                 self.mark_done(seq);
                             } else {
@@ -1092,9 +1078,7 @@ impl<'a> Machine<'a> {
 fn produced_bits(di: &DynInst) -> Option<u64> {
     match di.class() {
         OpClass::Load | OpClass::Store => di.ea,
-        OpClass::Branch | OpClass::Jump => di
-            .control
-            .map(|c| c.target | u64::from(c.taken) << 63),
+        OpClass::Branch | OpClass::Jump => di.control.map(|c| c.target | u64::from(c.taken) << 63),
         OpClass::Sys => None,
         _ => di.result,
     }

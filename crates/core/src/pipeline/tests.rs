@@ -46,7 +46,10 @@ fn trace_len(src: &str) -> u64 {
 
 #[test]
 fn sie_commits_every_instruction_exactly_once() {
-    let stats = run("main: li a0, 3\n li a1, 4\n add a2, a0, a1\n halt\n", ExecMode::Sie);
+    let stats = run(
+        "main: li a0, 3\n li a1, 4\n add a2, a0, a1\n halt\n",
+        ExecMode::Sie,
+    );
     assert_eq!(stats.committed_insts, 4);
     assert_eq!(stats.committed_copies, 4);
     assert_eq!(stats.pairs_checked, 0, "no pairs in SIE");
@@ -54,10 +57,16 @@ fn sie_commits_every_instruction_exactly_once() {
 
 #[test]
 fn die_commits_two_copies_per_instruction() {
-    let stats = run("main: li a0, 3\n li a1, 4\n add a2, a0, a1\n halt\n", ExecMode::Die);
+    let stats = run(
+        "main: li a0, 3\n li a1, 4\n add a2, a0, a1\n halt\n",
+        ExecMode::Die,
+    );
     assert_eq!(stats.committed_insts, 4);
     assert_eq!(stats.committed_copies, 8);
-    assert!(stats.pairs_checked >= 3, "value-producing pairs are checked");
+    assert!(
+        stats.pairs_checked >= 3,
+        "value-producing pairs are checked"
+    );
     assert_eq!(stats.pair_mismatches, 0, "fault-free run never mismatches");
 }
 
@@ -75,7 +84,10 @@ fn parallel_work_is_limited_by_alu_count() {
     let stats = run(&parallel_adds(200), ExecMode::Sie);
     let ipc = stats.ipc();
     assert!(ipc <= 2.1, "2 ALUs cap IPC at 2, got {ipc}");
-    assert!(ipc > 1.6, "independent work should saturate the ALUs, got {ipc}");
+    assert!(
+        ipc > 1.6,
+        "independent work should saturate the ALUs, got {ipc}"
+    );
 }
 
 #[test]
@@ -374,7 +386,10 @@ fn common_mode_forwarding_faults_escape_primary_to_both() {
         .expect("run");
     assert!(stats.faults.injected_forward > 0);
     assert!(stats.faults.escaped > 0, "common-mode faults escape");
-    assert_eq!(stats.faults.detected, 0, "both copies agree on the wrong value");
+    assert_eq!(
+        stats.faults.detected, 0,
+        "both copies agree on the wrong value"
+    );
 }
 
 #[test]
@@ -391,7 +406,10 @@ fn per_stream_forwarding_faults_are_detected() {
         .run_program(&p)
         .expect("run");
     assert!(stats.faults.injected_forward > 0);
-    assert!(stats.faults.detected > 0, "single-stream corruption is caught");
+    assert!(
+        stats.faults.detected > 0,
+        "single-stream corruption is caught"
+    );
 }
 
 #[test]
@@ -496,8 +514,12 @@ fn cluster_delay_slows_load_dependent_duplicates() {
     let mut slow = MachineConfig::tiny();
     slow.cluster_delay = 12;
     let p = assemble(src).unwrap();
-    let f = Simulator::new(fast, ExecMode::DieCluster).run_program(&p).unwrap();
-    let s = Simulator::new(slow, ExecMode::DieCluster).run_program(&p).unwrap();
+    let f = Simulator::new(fast, ExecMode::DieCluster)
+        .run_program(&p)
+        .unwrap();
+    let s = Simulator::new(slow, ExecMode::DieCluster)
+        .run_program(&p)
+        .unwrap();
     assert!(
         s.cycles > f.cycles,
         "inter-cluster latency must cost cycles: fast={} slow={}",
@@ -529,7 +551,9 @@ fn scheduler_models_order_as_section_3_3_argues() {
     let run_sched = |m: SchedulerModel| {
         let mut cfg = MachineConfig::tiny();
         cfg.scheduler = m;
-        Simulator::new(cfg, ExecMode::DieIrb).run_program(&p).unwrap()
+        Simulator::new(cfg, ExecMode::DieIrb)
+            .run_program(&p)
+            .unwrap()
     };
     let dc = run_sched(SchedulerModel::DataCapture);
     let pipe = run_sched(SchedulerModel::NonDataCapturePipelined);
@@ -574,7 +598,8 @@ fn ruu_full_stalls_are_counted() {
 #[test]
 fn lsq_full_stalls_are_counted() {
     // More outstanding memory ops than the tiny 16-entry LSQ holds.
-    let mut src = String::from(".data\nbuf: .space 4096\n.text\nmain: la s0, buf\n li s1, 30\nloop:\n");
+    let mut src =
+        String::from(".data\nbuf: .space 4096\n.text\nmain: la s0, buf\n li s1, 30\nloop:\n");
     for i in 0..24 {
         src.push_str(&format!(" sd t0, {}(s0)\n", i * 8));
     }
@@ -645,7 +670,9 @@ fn per_stream_forwarding_ablation_changes_timing_not_function() {
     let p = assemble(&src).unwrap();
     let mut cfg = MachineConfig::tiny();
     cfg.forwarding = crate::config::ForwardingPolicy::PerStream;
-    let stats = Simulator::new(cfg, ExecMode::DieIrb).run_program(&p).unwrap();
+    let stats = Simulator::new(cfg, ExecMode::DieIrb)
+        .run_program(&p)
+        .unwrap();
     assert_eq!(stats.committed_insts, n);
 }
 
@@ -708,7 +735,9 @@ fn wrong_path_fetch_pollutes_the_icache() {
     "#;
     let p = assemble(src).unwrap();
     let base = MachineConfig::tiny();
-    let off = Simulator::new(base.clone(), ExecMode::Sie).run_program(&p).unwrap();
+    let off = Simulator::new(base.clone(), ExecMode::Sie)
+        .run_program(&p)
+        .unwrap();
     let mut cfg = base;
     cfg.wrong_path_fetch = true;
     let on = Simulator::new(cfg, ExecMode::Sie).run_program(&p).unwrap();
@@ -740,7 +769,9 @@ fn stl_forwarding_speeds_store_load_pairs() {
     "#;
     let p = assemble(src).unwrap();
     let base = MachineConfig::tiny();
-    let slow = Simulator::new(base.clone(), ExecMode::Sie).run_program(&p).unwrap();
+    let slow = Simulator::new(base.clone(), ExecMode::Sie)
+        .run_program(&p)
+        .unwrap();
     let mut cfg = base;
     cfg.stl_forwarding = true;
     let fast = Simulator::new(cfg, ExecMode::Sie).run_program(&p).unwrap();
@@ -783,8 +814,14 @@ fn perfect_branch_prediction_removes_recovery_stalls() {
     let mut cfg = MachineConfig::tiny();
     cfg.perfect_branch_prediction = true;
     let oracle = Simulator::new(cfg, ExecMode::Sie).run_program(&p).unwrap();
-    assert!(real.branches.cond_mispredicts > 50, "pattern must confound bimodal");
-    assert_eq!(oracle.fetch_stalls_branch, 0, "oracle never waits on branches");
+    assert!(
+        real.branches.cond_mispredicts > 50,
+        "pattern must confound bimodal"
+    );
+    assert_eq!(
+        oracle.fetch_stalls_branch, 0,
+        "oracle never waits on branches"
+    );
     assert!(
         oracle.ipc() > real.ipc() * 1.1,
         "removing mispredicts must pay: real={} oracle={}",
@@ -815,7 +852,9 @@ fn long_latency_filter_restricts_reuse_to_expensive_ops() {
         .unwrap();
     let mut cfg = MachineConfig::tiny();
     cfg.reuse_long_latency_only = true;
-    let filtered = Simulator::new(cfg, ExecMode::DieIrb).run_program(&p).unwrap();
+    let filtered = Simulator::new(cfg, ExecMode::DieIrb)
+        .run_program(&p)
+        .unwrap();
     assert!(filtered.fu_bypasses > 0, "multiplies still reuse");
     assert!(
         filtered.fu_bypasses < all.fu_bypasses / 2,

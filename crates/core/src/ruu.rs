@@ -2,8 +2,8 @@
 
 use std::collections::VecDeque;
 
-use redsim_isa::trace::DynInst;
 use redsim_irb::IrbEntry;
+use redsim_isa::trace::DynInst;
 
 /// Which redundant stream a RUU entry belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -309,7 +309,10 @@ mod tests {
 
         // Control outcome takes precedence over a link-register result
         // (jal is checked on its encoded outcome, like the pipeline).
-        d.control = Some(ControlOutcome { taken: true, target: 0x40 });
+        d.control = Some(ControlOutcome {
+            taken: true,
+            target: 0x40,
+        });
         assert_eq!(checked_bits(&d), Some(0x40 | 1 << 63));
 
         // A load is checked on its redundantly computed address, not on
@@ -341,10 +344,13 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod generative {
+    //! Seeded generative tests: inputs drawn from a fixed-seed
+    //! [`redsim_util::Rng`], so failures replay exactly.
+
     use super::*;
-    use proptest::prelude::*;
     use redsim_isa::Inst;
+    use redsim_util::Rng;
 
     fn di(seq: u64) -> DynInst {
         DynInst {
@@ -360,38 +366,39 @@ mod proptests {
         }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-
-        /// Any interleaving of pushes and pops keeps absolute-sequence
-        /// addressing consistent: `get(seq)` returns the entry that was
-        /// pushed as the seq-th item, or None once popped.
-        #[test]
-        fn seq_addressing_is_stable(ops in proptest::collection::vec(any::<bool>(), 1..200)) {
+    /// Any interleaving of pushes and pops keeps absolute-sequence
+    /// addressing consistent: `get(seq)` returns the entry that was
+    /// pushed as the seq-th item, or None once popped.
+    #[test]
+    fn seq_addressing_is_stable() {
+        let mut rng = Rng::new(0x2100_0001);
+        for _ in 0..64 {
+            let nops = rng.range_u64(1, 200);
             let mut r = Ruu::new(16);
             let mut pushed: u64 = 0;
             let mut popped: u64 = 0;
-            for push in ops {
+            for _ in 0..nops {
+                let push = rng.flip();
                 if push && r.free() > 0 {
                     let seq = r.push(Entry::new(di(pushed), Stream::Primary));
-                    prop_assert_eq!(seq, pushed);
+                    assert_eq!(seq, pushed);
                     pushed += 1;
                 } else if !push && !r.is_empty() {
                     let e = r.pop();
-                    prop_assert_eq!(e.di.seq, popped);
+                    assert_eq!(e.di.seq, popped);
                     popped += 1;
                 }
-                prop_assert_eq!(r.head_seq(), popped);
-                prop_assert_eq!(r.next_seq(), pushed);
-                prop_assert_eq!(r.len() as u64, pushed - popped);
+                assert_eq!(r.head_seq(), popped);
+                assert_eq!(r.next_seq(), pushed);
+                assert_eq!(r.len() as u64, pushed - popped);
                 // Every live seq resolves, every dead one does not.
                 if pushed > popped {
-                    prop_assert!(r.get(popped).is_some());
+                    assert!(r.get(popped).is_some());
                 }
                 if popped > 0 {
-                    prop_assert!(r.get(popped - 1).is_none());
+                    assert!(r.get(popped - 1).is_none());
                 }
-                prop_assert!(r.get(pushed).is_none());
+                assert!(r.get(pushed).is_none());
             }
         }
     }

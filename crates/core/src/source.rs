@@ -95,6 +95,77 @@ impl InstructionSource for VecSource {
     }
 }
 
+/// Replays a borrowed trace without copying it.
+///
+/// Sweeps run many machine configurations over the identical committed
+/// path; borrowing lets every run share one materialized trace instead
+/// of cloning a multi-million-entry `Vec` per run (what [`VecSource`]
+/// requires).
+#[derive(Debug, Clone)]
+pub struct SliceSource<'a> {
+    trace: &'a [DynInst],
+    pos: usize,
+}
+
+impl<'a> SliceSource<'a> {
+    /// Creates a source replaying `trace` in order.
+    #[must_use]
+    pub fn new(trace: &'a [DynInst]) -> Self {
+        SliceSource { trace, pos: 0 }
+    }
+
+    /// Number of instructions remaining.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.trace.len() - self.pos
+    }
+}
+
+impl InstructionSource for SliceSource<'_> {
+    fn next_inst(&mut self) -> Result<Option<DynInst>, EmuError> {
+        let item = self.trace.get(self.pos).copied();
+        if item.is_some() {
+            self.pos += 1;
+        }
+        Ok(item)
+    }
+}
+
+/// Replays a reference-counted trace shared across threads.
+///
+/// Cloning an `ArcSource` (or the underlying `Arc<[DynInst]>`) is a
+/// pointer bump, so a parallel sweep can hand every worker the same
+/// trace without copying instruction data.
+#[derive(Debug, Clone)]
+pub struct ArcSource {
+    trace: std::sync::Arc<[DynInst]>,
+    pos: usize,
+}
+
+impl ArcSource {
+    /// Creates a source replaying `trace` in order.
+    #[must_use]
+    pub fn new(trace: std::sync::Arc<[DynInst]>) -> Self {
+        ArcSource { trace, pos: 0 }
+    }
+
+    /// Number of instructions remaining.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.trace.len() - self.pos
+    }
+}
+
+impl InstructionSource for ArcSource {
+    fn next_inst(&mut self) -> Result<Option<DynInst>, EmuError> {
+        let item = self.trace.get(self.pos).copied();
+        if item.is_some() {
+            self.pos += 1;
+        }
+        Ok(item)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,5 +205,39 @@ mod tests {
         }
         assert!(s.next_inst().unwrap().is_none());
         assert_eq!(s.remaining(), 0);
+    }
+
+    fn drain(s: &mut dyn InstructionSource) -> Vec<DynInst> {
+        let mut out = Vec::new();
+        while let Some(d) = s.next_inst().unwrap() {
+            out.push(d);
+        }
+        out
+    }
+
+    #[test]
+    fn slice_and_arc_sources_stream_identically_to_vec_source() {
+        let p = assemble("main: li a0, 5\nloop: addi a0, a0, -1\n bnez a0, loop\n halt\n").unwrap();
+        let trace = redsim_isa::emu::Emulator::new(&p).run_trace(100).unwrap();
+        let from_vec = drain(&mut VecSource::new(trace.clone()));
+        let from_slice = drain(&mut SliceSource::new(&trace));
+        let arc: std::sync::Arc<[DynInst]> = trace.clone().into();
+        let from_arc = drain(&mut ArcSource::new(arc));
+        assert_eq!(from_vec, trace);
+        assert_eq!(from_slice, from_vec);
+        assert_eq!(from_arc, from_vec);
+    }
+
+    #[test]
+    fn slice_source_tracks_remaining() {
+        let p = assemble("main: li a0, 1\n halt\n").unwrap();
+        let trace = redsim_isa::emu::Emulator::new(&p).run_trace(100).unwrap();
+        let mut s = SliceSource::new(&trace);
+        assert_eq!(s.remaining(), 2);
+        s.next_inst().unwrap();
+        assert_eq!(s.remaining(), 1);
+        drain(&mut s);
+        assert_eq!(s.remaining(), 0);
+        assert!(s.next_inst().unwrap().is_none(), "stays exhausted");
     }
 }

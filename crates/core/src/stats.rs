@@ -1,14 +1,13 @@
 //! End-of-run simulation statistics.
 
-use serde::{Deserialize, Serialize};
-
 use redsim_irb::IrbStats;
 use redsim_mem::CacheStats;
+use redsim_util::Json;
 
 use crate::fault::FaultStats;
 
 /// Why the fetch stage produced no instructions in a cycle.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FetchStallKind {
     /// Waiting for a mispredicted branch to resolve plus the redirect
     /// penalty (the wrong-path window).
@@ -23,7 +22,7 @@ pub enum FetchStallKind {
 
 /// Front-end prediction summary (copied out of the front end at the end
 /// of a run).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct BranchSummary {
     /// Conditional branches fetched.
     pub cond_branches: u64,
@@ -50,7 +49,7 @@ impl BranchSummary {
 }
 
 /// IRB summary: buffer stats plus pipeline-level reuse outcomes.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct IrbSummary {
     /// The buffer's own counters (lookups, hits, conflicts...).
     pub buffer: IrbStats,
@@ -78,7 +77,7 @@ impl IrbSummary {
 }
 
 /// Everything a run reports.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimStats {
     /// Total simulated cycles.
     pub cycles: u64,
@@ -190,6 +189,81 @@ impl SimStats {
         } else {
             self.fu_bypasses as f64 / n as f64
         }
+    }
+
+    /// The full statistics record as a JSON object (the machine-readable
+    /// form behind the bench harness's `--json` flag).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let cache = |c: &CacheStats| {
+            Json::obj()
+                .field("accesses", c.accesses)
+                .field("hits", c.hits)
+                .field("writebacks", c.writebacks)
+        };
+        Json::obj()
+            .field("cycles", self.cycles)
+            .field("committed_insts", self.committed_insts)
+            .field("committed_copies", self.committed_copies)
+            .field("ipc", self.ipc())
+            .field("fu_issues", self.fu_issues)
+            .field("fu_bypasses", self.fu_bypasses)
+            .field("int_alu_ops", self.int_alu_ops)
+            .field("int_alu_busy_cycles", self.int_alu_busy_cycles)
+            .field("active_commit_cycles", self.active_commit_cycles)
+            .field("ruu_occupancy_sum", self.ruu_occupancy_sum)
+            .field(
+                "fetch_stalls",
+                Json::obj()
+                    .field("branch", self.fetch_stalls_branch)
+                    .field("icache", self.fetch_stalls_icache)
+                    .field("queue", self.fetch_stalls_queue)
+                    .field("btb", self.fetch_stalls_btb),
+            )
+            .field(
+                "dispatch_stalls",
+                Json::obj()
+                    .field("ruu", self.dispatch_stalls_ruu)
+                    .field("lsq", self.dispatch_stalls_lsq),
+            )
+            .field(
+                "branches",
+                Json::obj()
+                    .field("cond_branches", self.branches.cond_branches)
+                    .field("cond_mispredicts", self.branches.cond_mispredicts)
+                    .field("indirect_jumps", self.branches.indirect_jumps)
+                    .field("indirect_mispredicts", self.branches.indirect_mispredicts)
+                    .field("btb_miss_bubbles", self.branches.btb_miss_bubbles),
+            )
+            .field("l1i", cache(&self.l1i))
+            .field("l1d", cache(&self.l1d))
+            .field("l2", cache(&self.l2))
+            .field(
+                "irb",
+                Json::obj()
+                    .field("lookups", self.irb.buffer.lookups)
+                    .field("pc_hits", self.irb.buffer.pc_hits)
+                    .field("victim_hits", self.irb.buffer.victim_hits)
+                    .field("inserts", self.irb.buffer.inserts)
+                    .field("conflict_evictions", self.irb.buffer.conflict_evictions)
+                    .field("invalidations", self.irb.buffer.invalidations)
+                    .field("reuse_passed", self.irb.reuse_passed)
+                    .field("reuse_failed", self.irb.reuse_failed)
+                    .field("lookups_port_starved", self.irb.lookups_port_starved)
+                    .field("inserts_port_starved", self.irb.inserts_port_starved),
+            )
+            .field("pairs_checked", self.pairs_checked)
+            .field("pair_mismatches", self.pair_mismatches)
+            .field(
+                "faults",
+                Json::obj()
+                    .field("injected_fu", self.faults.injected_fu)
+                    .field("injected_forward", self.faults.injected_forward)
+                    .field("injected_irb", self.faults.injected_irb)
+                    .field("detected", self.faults.detected)
+                    .field("escaped", self.faults.escaped)
+                    .field("silent_sie", self.faults.silent_sie),
+            )
     }
 }
 

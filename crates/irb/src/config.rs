@@ -1,9 +1,7 @@
 //! IRB configuration.
 
-use serde::{Deserialize, Serialize};
-
 /// How the reuse test decides that a buffered result is still valid.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ReusePolicy {
     /// Value-based reuse (the paper's evaluated scheme): the entry
     /// stores operand *values* and the reuse test compares them against
@@ -21,7 +19,7 @@ pub enum ReusePolicy {
 /// Reads are consumed by duplicate-stream lookups; writes by commit-time
 /// updates; read/write ports can serve either, arbitrated per cycle by
 /// [`PortArbiter`](crate::PortArbiter).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PortConfig {
     /// Dedicated read ports.
     pub read: u32,
@@ -66,7 +64,7 @@ impl PortConfig {
 }
 
 /// Full IRB configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IrbConfig {
     /// Total entries in the main array (power of two).
     pub entries: usize,
@@ -124,13 +122,16 @@ impl IrbConfig {
         );
         assert!(self.assoc >= 1, "IRB associativity must be at least 1");
         assert!(
-            self.entries % self.assoc == 0,
+            self.entries.is_multiple_of(self.assoc),
             "IRB entries {} not divisible by associativity {}",
             self.entries,
             self.assoc
         );
         let sets = self.entries / self.assoc;
-        assert!(sets.is_power_of_two(), "IRB set count {sets} must be a power of two");
+        assert!(
+            sets.is_power_of_two(),
+            "IRB set count {sets} must be a power of two"
+        );
     }
 
     /// Number of sets implied by the geometry.

@@ -80,7 +80,10 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
                 Segment::Data => DATA_BASE + data_len,
             };
             if symbols.insert(label.clone(), addr).is_some() {
-                return Err(AsmError::new(line.num, format!("duplicate label `{label}`")));
+                return Err(AsmError::new(
+                    line.num,
+                    format!("duplicate label `{label}`"),
+                ));
             }
         }
         if let Some(stmt) = &line.stmt {
@@ -122,10 +125,7 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
         }
     }
 
-    let entry = symbols
-        .get("main")
-        .copied()
-        .unwrap_or(TEXT_BASE);
+    let entry = symbols.get("main").copied().unwrap_or(TEXT_BASE);
     Ok(program_from_parts(text, data, symbols, entry))
 }
 
@@ -238,7 +238,7 @@ fn apply_directive_size(
             if a == 0 || !a.is_power_of_two() {
                 return Err(AsmError::new(num, ".align requires a power of two"));
             }
-            *data_len = (*data_len + a - 1) / a * a;
+            *data_len = (*data_len).div_ceil(a) * a;
         }
         ".asciiz" => {
             let s = parse_string_literal(&args, num)?;
@@ -301,7 +301,7 @@ fn emit_directive(
             let a: usize = args
                 .parse()
                 .map_err(|_| AsmError::new(num, format!("bad .align amount `{args}`")))?;
-            let target = (data.len() + a - 1) / a * a;
+            let target = data.len().div_ceil(a) * a;
             data.resize(target, 0);
         }
         ".asciiz" => {

@@ -67,7 +67,8 @@ impl<'a> Cursor<'a> {
 
     fn int_reg(&mut self) -> Result<IntReg, AsmError> {
         let item = self.take("integer register")?;
-        IntReg::from_name(item).ok_or_else(|| self.err(format!("`{item}` is not an integer register")))
+        IntReg::from_name(item)
+            .ok_or_else(|| self.err(format!("`{item}` is not an integer register")))
     }
 
     fn fp_reg(&mut self) -> Result<FpReg, AsmError> {
@@ -133,9 +134,9 @@ pub(super) fn parse_int(s: &str) -> Option<i64> {
         return i64::from_str_radix(rest, 2).ok();
     }
     if let Some(rest) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
-        return i64::from_str_radix(rest, 16).ok().or_else(|| {
-            u64::from_str_radix(rest, 16).ok().map(|v| v as i64)
-        });
+        return i64::from_str_radix(rest, 16)
+            .ok()
+            .or_else(|| u64::from_str_radix(rest, 16).ok().map(|v| v as i64));
     }
     if let Some(rest) = s.strip_prefix("-0x").or_else(|| s.strip_prefix("-0X")) {
         return i64::from_str_radix(rest, 16).ok().map(|v| -v);
@@ -233,12 +234,20 @@ fn parse_real(op: Opcode, cur: &mut Cursor<'_>, pc: u64) -> Result<Inst, AsmErro
         }
         JReg => {
             let rs1 = cur.int_reg()?;
-            let imm = if cur.peek().is_some() { cur.imm32()? } else { 0 };
+            let imm = if cur.peek().is_some() {
+                cur.imm32()?
+            } else {
+                0
+            };
             Inst::jr(rs1, imm)
         }
         JalReg => {
             let (rd, rs1) = (cur.int_reg()?, cur.int_reg()?);
-            let imm = if cur.peek().is_some() { cur.imm32()? } else { 0 };
+            let imm = if cur.peek().is_some() {
+                cur.imm32()?
+            } else {
+                0
+            };
             Inst::jalr(rd, rs1, imm)
         }
         SysR => {
@@ -254,11 +263,7 @@ fn parse_real(op: Opcode, cur: &mut Cursor<'_>, pc: u64) -> Result<Inst, AsmErro
 }
 
 /// Pseudo-instructions; each expands to exactly one real instruction.
-fn parse_pseudo(
-    mnemonic: &str,
-    cur: &mut Cursor<'_>,
-    pc: u64,
-) -> Result<Option<Inst>, AsmError> {
+fn parse_pseudo(mnemonic: &str, cur: &mut Cursor<'_>, pc: u64) -> Result<Option<Inst>, AsmError> {
     let inst = match mnemonic {
         "mv" => {
             let (rd, rs) = (cur.int_reg()?, cur.int_reg()?);

@@ -112,21 +112,30 @@ struct Reader<'a> {
 impl<'a> Reader<'a> {
     fn take(&mut self, n: usize) -> Result<&'a [u8], ContainerError> {
         let end = self.pos.checked_add(n).ok_or(ContainerError::Truncated)?;
-        let slice = self.buf.get(self.pos..end).ok_or(ContainerError::Truncated)?;
+        let slice = self
+            .buf
+            .get(self.pos..end)
+            .ok_or(ContainerError::Truncated)?;
         self.pos = end;
         Ok(slice)
     }
 
     fn u16(&mut self) -> Result<u16, ContainerError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
     }
 
     fn u32(&mut self) -> Result<u32, ContainerError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     fn u64(&mut self) -> Result<u64, ContainerError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 }
 
@@ -234,28 +243,39 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod generative {
+    //! Seeded generative tests: inputs drawn from a fixed-seed
+    //! [`redsim_util::Rng`], so failures replay exactly.
+
     use super::*;
-    use proptest::prelude::*;
+    use redsim_util::Rng;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-
-        /// Arbitrary byte soup never panics the loader.
-        #[test]
-        fn loader_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+    /// Arbitrary byte soup never panics the loader.
+    #[test]
+    fn loader_never_panics() {
+        let mut rng = Rng::new(0xC0_7A1);
+        for _ in 0..256 {
+            let mut bytes = vec![0u8; rng.index(256)];
+            rng.fill_bytes(&mut bytes);
             let _ = from_bytes(&bytes);
         }
+    }
 
-        /// Flipping any single byte of a valid container either still
-        /// loads or fails cleanly — never panics.
-        #[test]
-        fn mutation_is_handled(idx in 0usize..64, val in any::<u8>()) {
-            let p = crate::asm::assemble("main: li a0, 7\n halt\n").unwrap();
-            let mut b = to_bytes(&p);
-            let i = idx % b.len();
-            b[i] = val;
-            let _ = from_bytes(&b);
+    /// Flipping any single byte of a valid container either still
+    /// loads or fails cleanly — never panics. Exhaustive over the
+    /// first 64 byte positions (the proptest original sampled them).
+    #[test]
+    fn mutation_is_handled() {
+        let mut rng = Rng::new(0xC0_7A2);
+        let p = crate::asm::assemble("main: li a0, 7\n halt\n").unwrap();
+        let clean = to_bytes(&p);
+        for idx in 0..64usize {
+            for _ in 0..4 {
+                let mut b = clean.clone();
+                let i = idx % b.len();
+                b[i] = rng.any_u8();
+                let _ = from_bytes(&b);
+            }
         }
     }
 }

@@ -149,10 +149,7 @@ impl Emulator {
             return Ok(None);
         }
         let pc = self.pc;
-        let inst = *self
-            .program
-            .fetch(pc)
-            .ok_or(EmuError::PcOutOfText { pc })?;
+        let inst = *self.program.fetch(pc).ok_or(EmuError::PcOutOfText { pc })?;
         let rec = self.exec(pc, inst)?;
         self.pc = rec.next_pc;
         self.seq += 1;
@@ -346,7 +343,7 @@ impl Emulator {
             }
             Divu => {
                 let (a, b) = rrr(self, &mut rec);
-                let v = if b == 0 { u64::MAX } else { a / b };
+                let v = a.checked_div(b).unwrap_or(u64::MAX);
                 self.set_int(&mut rec, v);
             }
             Rem => {

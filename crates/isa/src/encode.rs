@@ -15,7 +15,7 @@
 //! paper's platform likewise uses a fixed-width ISA) while leaving room
 //! for full 32-bit immediates. [`encode`] and [`decode`] round-trip for
 //! every well-formed instruction — a property the test-suite verifies
-//! exhaustively over opcodes and with `proptest` over operand values.
+//! exhaustively over opcodes and generatively over operand values.
 
 use crate::error::DecodeError;
 use crate::inst::Inst;
@@ -100,7 +100,7 @@ pub fn encode_text(insts: &[Inst]) -> Vec<u8> {
 /// Returns [`DecodeError`] if the length is not a multiple of
 /// [`INST_BYTES`] or any word fails to decode.
 pub fn decode_text(bytes: &[u8]) -> Result<Vec<Inst>, DecodeError> {
-    if bytes.len() % INST_BYTES as usize != 0 {
+    if !bytes.len().is_multiple_of(INST_BYTES as usize) {
         return Err(DecodeError::TruncatedText(bytes.len()));
     }
     bytes
@@ -170,32 +170,39 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod generative {
+    //! Seeded generative tests: inputs drawn from a fixed-seed
+    //! [`redsim_util::Rng`], so failures replay exactly.
+
     use super::*;
-    use proptest::prelude::*;
+    use redsim_util::Rng;
 
-    proptest! {
-        #[test]
-        fn any_wellformed_inst_round_trips(
-            opnum in 0..Opcode::ALL.len(),
-            rd in 0u8..32,
-            rs1 in 0u8..32,
-            rs2 in 0u8..32,
-            imm in any::<i32>(),
-        ) {
-            let i = Inst { op: Opcode::ALL[opnum], rd, rs1, rs2, imm };
-            prop_assert_eq!(decode(encode(&i)).unwrap(), i);
+    #[test]
+    fn any_wellformed_inst_round_trips() {
+        let mut rng = Rng::new(0x00E7_C0DE);
+        // Exhaustive over opcodes × many operand draws: strictly more
+        // coverage than the former 256-case proptest run.
+        for op in Opcode::ALL {
+            for _ in 0..32 {
+                let i = Inst {
+                    op,
+                    rd: rng.any_u8() % 32,
+                    rs1: rng.any_u8() % 32,
+                    rs2: rng.any_u8() % 32,
+                    imm: rng.any_i32(),
+                };
+                assert_eq!(decode(encode(&i)).unwrap(), i, "{i:?}");
+            }
         }
+    }
 
-        #[test]
-        fn decode_never_panics(word in any::<u64>()) {
-            let _ = decode(word);
-        }
-
-        #[test]
-        fn decoded_registers_in_range(word in any::<u64>()) {
+    #[test]
+    fn decode_never_panics_and_registers_stay_in_range() {
+        let mut rng = Rng::new(0x00E7_C0DF);
+        for _ in 0..4096 {
+            let word = rng.next_u64();
             if let Ok(i) = decode(word) {
-                prop_assert!(i.rd < 32 && i.rs1 < 32 && i.rs2 < 32);
+                assert!(i.rd < 32 && i.rs1 < 32 && i.rs2 < 32, "word {word:#x}");
             }
         }
     }

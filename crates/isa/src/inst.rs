@@ -2,9 +2,7 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
-use crate::op::{OperandSig, Opcode};
+use crate::op::{Opcode, OperandSig};
 use crate::reg::{FpReg, IntReg};
 
 /// A decoded static instruction.
@@ -24,7 +22,7 @@ use crate::reg::{FpReg, IntReg};
 /// assert_eq!(i.int_dest(), Some(IntReg::new(3)));
 /// assert_eq!(i.to_string(), "add gp, ra, sp");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Inst {
     /// The operation.
     pub op: Opcode,
@@ -66,7 +64,13 @@ impl Inst {
     #[must_use]
     pub fn rrr(op: Opcode, rd: IntReg, rs1: IntReg, rs2: IntReg) -> Self {
         assert_eq!(op.sig(), OperandSig::Rrr, "{op} is not an rrr instruction");
-        Self::raw(op, rd.index() as u8, rs1.index() as u8, rs2.index() as u8, 0)
+        Self::raw(
+            op,
+            rd.index() as u8,
+            rs1.index() as u8,
+            rs2.index() as u8,
+            0,
+        )
     }
 
     /// Builds a register-immediate instruction (`addi rd, rs1, imm`).
@@ -94,7 +98,13 @@ impl Inst {
     #[must_use]
     pub fn fff(op: Opcode, fd: FpReg, fs1: FpReg, fs2: FpReg) -> Self {
         assert_eq!(op.sig(), OperandSig::Fff, "{op} is not an fff instruction");
-        Self::raw(op, fd.index() as u8, fs1.index() as u8, fs2.index() as u8, 0)
+        Self::raw(
+            op,
+            fd.index() as u8,
+            fs1.index() as u8,
+            fs2.index() as u8,
+            0,
+        )
     }
 
     /// Builds a two-fp-register instruction (`fsqrt.d fd, fs1`).
@@ -116,7 +126,13 @@ impl Inst {
     #[must_use]
     pub fn rff(op: Opcode, rd: IntReg, fs1: FpReg, fs2: FpReg) -> Self {
         assert_eq!(op.sig(), OperandSig::Rff, "{op} is not an rff instruction");
-        Self::raw(op, rd.index() as u8, fs1.index() as u8, fs2.index() as u8, 0)
+        Self::raw(
+            op,
+            rd.index() as u8,
+            fs1.index() as u8,
+            fs2.index() as u8,
+            0,
+        )
     }
 
     /// Builds an int→fp convert (`fcvt.d.l fd, rs1`).
@@ -155,14 +171,24 @@ impl Inst {
     /// Panics if the opcode's signature is not [`OperandSig::MemStoreInt`].
     #[must_use]
     pub fn store_int(op: Opcode, src: IntReg, base: IntReg, offset: i32) -> Self {
-        assert_eq!(op.sig(), OperandSig::MemStoreInt, "{op} is not an int store");
+        assert_eq!(
+            op.sig(),
+            OperandSig::MemStoreInt,
+            "{op} is not an int store"
+        );
         Self::raw(op, 0, base.index() as u8, src.index() as u8, offset)
     }
 
     /// Builds an fp store (`fsd fs2, imm(rs1)`).
     #[must_use]
     pub fn store_fp(src: FpReg, base: IntReg, offset: i32) -> Self {
-        Self::raw(Opcode::Fsd, 0, base.index() as u8, src.index() as u8, offset)
+        Self::raw(
+            Opcode::Fsd,
+            0,
+            base.index() as u8,
+            src.index() as u8,
+            offset,
+        )
     }
 
     /// Builds a conditional branch with a PC-relative byte offset.
@@ -228,9 +254,7 @@ impl Inst {
     pub fn int_dest(&self) -> Option<IntReg> {
         use OperandSig::*;
         match self.op.sig() {
-            Rrr | Rri | Ri | Rff | Rf | MemLoadInt | JalImm | JalReg => {
-                Some(IntReg::new(self.rd))
-            }
+            Rrr | Rri | Ri | Rff | Rf | MemLoadInt | JalImm | JalReg => Some(IntReg::new(self.rd)),
             _ => None,
         }
     }

@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Every operation in the ISA.
 ///
 /// Floating-point arithmetic is double-precision only (`f64`), mirroring
@@ -20,7 +18,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(Opcode::FdivD.class(), OpClass::FpDiv);
 /// assert!(Opcode::Beq.is_branch());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[repr(u8)]
 pub enum Opcode {
     // Integer register-register ALU.
@@ -182,7 +180,7 @@ pub enum Opcode {
 /// ALUs, so [`OpClass::Load`], [`OpClass::Store`], [`OpClass::Branch`] and
 /// [`OpClass::Jump`] operations consume `IntAlu` issue slots for their
 /// address/target arithmetic.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum OpClass {
     /// Single-cycle integer ALU operation.
     IntAlu,
@@ -249,7 +247,7 @@ impl fmt::Display for OpClass {
 }
 
 /// Width of a memory access, in bytes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum MemWidth {
     /// 1 byte.
     B1,
@@ -279,7 +277,7 @@ impl MemWidth {
 /// The signature drives the assembler's operand parsing, the
 /// disassembler's formatting, the encoder's field layout and the
 /// emulator's register-file routing, guaranteeing all four agree.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OperandSig {
     /// `op rd, rs1, rs2` — three integer registers.
     Rrr,
@@ -329,8 +327,8 @@ impl Opcode {
     pub fn class(self) -> OpClass {
         use Opcode::*;
         match self {
-            Add | Sub | And | Or | Xor | Nor | Sll | Srl | Sra | Slt | Sltu | Addi | Andi
-            | Ori | Xori | Slti | Sltiu | Slli | Srli | Srai | Li | Nop => OpClass::IntAlu,
+            Add | Sub | And | Or | Xor | Nor | Sll | Srl | Sra | Slt | Sltu | Addi | Andi | Ori
+            | Xori | Slti | Sltiu | Slli | Srli | Srai | Li | Nop => OpClass::IntAlu,
             Mul | Mulh => OpClass::IntMul,
             Div | Divu | Rem | Remu => OpClass::IntDiv,
             FaddD | FsubD | FminD | FmaxD | FabsD | FnegD | FmovD | FcvtDL | FcvtLD | FeqD
@@ -351,8 +349,8 @@ impl Opcode {
     pub fn sig(self) -> OperandSig {
         use Opcode::*;
         match self {
-            Add | Sub | And | Or | Xor | Nor | Sll | Srl | Sra | Slt | Sltu | Mul | Mulh
-            | Div | Divu | Rem | Remu => OperandSig::Rrr,
+            Add | Sub | And | Or | Xor | Nor | Sll | Srl | Sra | Slt | Sltu | Mul | Mulh | Div
+            | Divu | Rem | Remu => OperandSig::Rrr,
             Addi | Andi | Ori | Xori | Slti | Sltiu | Slli | Srli | Srai => OperandSig::Rri,
             Li => OperandSig::Ri,
             FaddD | FsubD | FmulD | FdivD | FminD | FmaxD => OperandSig::Fff,
@@ -530,9 +528,9 @@ impl Opcode {
         [
             Add, Sub, And, Or, Xor, Nor, Sll, Srl, Sra, Slt, Sltu, Addi, Andi, Ori, Xori, Slti,
             Sltiu, Slli, Srli, Srai, Li, Mul, Mulh, Div, Divu, Rem, Remu, FaddD, FsubD, FmulD,
-            FdivD, FsqrtD, FminD, FmaxD, FabsD, FnegD, FmovD, FcvtDL, FcvtLD, FeqD, FltD, FleD,
-            Lb, Lbu, Lh, Lhu, Lw, Lwu, Ld, Fld, Sb, Sh, Sw, Sd, Fsd, Beq, Bne, Blt, Bge, Bltu,
-            Bgeu, J, Jal, Jr, Jalr, Halt, Nop, Puti, Putc, Putf,
+            FdivD, FsqrtD, FminD, FmaxD, FabsD, FnegD, FmovD, FcvtDL, FcvtLD, FeqD, FltD, FleD, Lb,
+            Lbu, Lh, Lhu, Lw, Lwu, Ld, Fld, Sb, Sh, Sw, Sd, Fsd, Beq, Bne, Blt, Bge, Bltu, Bgeu, J,
+            Jal, Jr, Jalr, Halt, Nop, Puti, Putc, Putf,
         ]
     };
 }

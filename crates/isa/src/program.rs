@@ -3,8 +3,6 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::encode::INST_BYTES;
 use crate::inst::Inst;
 
@@ -16,7 +14,7 @@ pub const DATA_BASE: u64 = 0x1000_0000;
 pub const STACK_TOP: u64 = 0x7fff_fff0;
 
 /// A named address in a program image.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Symbol {
     /// The label name as written in the source.
     pub name: String,
@@ -40,7 +38,7 @@ pub struct Symbol {
 ///     .build();
 /// assert_eq!(program.text().len(), 2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Program {
     text: Vec<Inst>,
     text_base: u64,
@@ -105,7 +103,7 @@ impl Program {
     /// is instruction-aligned.
     #[must_use]
     pub fn fetch(&self, pc: u64) -> Option<&Inst> {
-        if pc < self.text_base || (pc - self.text_base) % INST_BYTES != 0 {
+        if pc < self.text_base || !(pc - self.text_base).is_multiple_of(INST_BYTES) {
             return None;
         }
         self.text.get(((pc - self.text_base) / INST_BYTES) as usize)

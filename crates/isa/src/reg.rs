@@ -7,8 +7,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Number of registers in each architectural register file.
 pub const NUM_REGS: usize = 32;
 
@@ -27,7 +25,7 @@ pub const NUM_REGS: usize = 32;
 /// assert_eq!(a0, IntReg::new(10));
 /// assert_eq!(a0.to_string(), "a0");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct IntReg(u8);
 
 /// A floating-point architectural register, `f0`–`f31`.
@@ -44,7 +42,7 @@ pub struct IntReg(u8);
 /// let f3 = FpReg::new(3);
 /// assert_eq!(f3.to_string(), "f3");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FpReg(u8);
 
 /// ABI aliases in index order: alias name for integer register `i`.

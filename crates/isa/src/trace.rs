@@ -8,13 +8,11 @@
 //! is what the hardware comparators of the DIE commit stage and the IRB
 //! reuse test would see.
 
-use serde::{Deserialize, Serialize};
-
 use crate::inst::Inst;
 use crate::op::OpClass;
 
 /// Outcome of a control-flow instruction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ControlOutcome {
     /// Whether the branch/jump redirected the PC (always `true` for
     /// jumps).
@@ -40,7 +38,7 @@ pub struct ControlOutcome {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DynInst {
     /// Commit-order sequence number, starting at 0.
     pub seq: u64,
@@ -78,7 +76,7 @@ impl DynInst {
     /// `true` if this dynamic instruction redirected the PC.
     #[must_use]
     pub fn redirects(&self) -> bool {
-        self.control.map_or(false, |c| c.taken)
+        self.control.is_some_and(|c| c.taken)
     }
 
     /// The address of the instruction immediately after this one in
@@ -90,7 +88,7 @@ impl DynInst {
 }
 
 /// Events a program emits through the `puti`/`putc`/`putf` instructions.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum OutputEvent {
     /// `puti` — a signed integer.
     Int(i64),

@@ -158,7 +158,7 @@ pub fn read_trace<R: Read>(mut r: R) -> Result<Vec<DynInst>, TraceIoError> {
             src2,
             result: (flags & 1 != 0).then_some(result_raw),
             ea: (flags & 2 != 0).then_some(ea_raw),
-            control: (flags & 4 != 0).then(|| ControlOutcome {
+            control: (flags & 4 != 0).then_some(ControlOutcome {
                 taken: flags & 8 != 0,
                 target,
             }),

@@ -243,9 +243,8 @@ fn every_opcode_has_checked_semantics() {
 
     // System ops (putc/putf checked by kind, halt/nop implicitly).
     {
-        let (emu, _) = c.run(
-            "main: nop\n li a0, 88\n putc a0\n fcvt.d.l f0, a0\n putf f0\n halt\n",
-        );
+        let (emu, _) =
+            c.run("main: nop\n li a0, 88\n putc a0\n fcvt.d.l f0, a0\n putf f0\n halt\n");
         use redsim_isa::trace::OutputEvent;
         assert_eq!(
             emu.output(),

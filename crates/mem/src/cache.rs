@@ -1,9 +1,7 @@
 //! Generic set-associative cache model.
 
-use serde::{Deserialize, Serialize};
-
 /// Replacement policy for a cache set.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Replacement {
     /// Evict the least-recently-used way.
     Lru,
@@ -14,7 +12,7 @@ pub enum Replacement {
 }
 
 /// Geometry and policy of one cache.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub size_bytes: u64,
@@ -47,22 +45,28 @@ impl CacheConfig {
     ///
     /// Panics with a descriptive message on an invalid geometry.
     pub fn validate(&self) {
-        assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            self.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(self.assoc >= 1, "associativity must be at least 1");
         assert!(
-            self.size_bytes % (self.line_bytes * self.assoc) == 0,
+            self.size_bytes.is_multiple_of(self.line_bytes * self.assoc),
             "capacity {} not divisible by line {} x assoc {}",
             self.size_bytes,
             self.line_bytes,
             self.assoc
         );
         let sets = self.size_bytes / (self.line_bytes * self.assoc);
-        assert!(sets.is_power_of_two(), "set count {sets} must be a power of two");
+        assert!(
+            sets.is_power_of_two(),
+            "set count {sets} must be a power of two"
+        );
     }
 }
 
 /// Result of one cache access.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AccessOutcome {
     /// Whether the line was present.
     pub hit: bool,
@@ -71,7 +75,7 @@ pub struct AccessOutcome {
 }
 
 /// Hit/miss/writeback counters for one cache.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Total accesses.
     pub accesses: u64,
@@ -131,7 +135,7 @@ pub struct Cache {
     lines: Vec<Line>,
     stats: CacheStats,
     tick: u64,
-    rng: u64,
+    rng: redsim_util::SplitMix64,
 }
 
 impl Cache {
@@ -149,7 +153,7 @@ impl Cache {
             lines: vec![Line::default(); total],
             stats: CacheStats::default(),
             tick: 0,
-            rng: 0x9e37_79b9_7f4a_7c15,
+            rng: redsim_util::SplitMix64::new(0x9e37_79b9_7f4a_7c15),
         }
     }
 
@@ -175,14 +179,9 @@ impl Cache {
     }
 
     fn next_random(&mut self) -> u64 {
-        // xorshift64* — deterministic and seedless, so identical runs
-        // produce identical timing.
-        let mut x = self.rng;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        self.rng = x;
-        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        // Deterministic and seedless, so identical runs produce
+        // identical timing.
+        self.rng.next_u64()
     }
 
     /// Performs one access, allocating on miss.
@@ -265,6 +264,7 @@ impl Cache {
         self.lines.fill(Line::default());
         self.stats = CacheStats::default();
         self.tick = 0;
+        self.rng = redsim_util::SplitMix64::new(0x9e37_79b9_7f4a_7c15);
     }
 }
 
@@ -400,38 +400,44 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod generative {
+    //! Seeded generative tests: inputs drawn from a fixed-seed
+    //! [`redsim_util::Rng`], so failures replay exactly.
+
     use super::*;
-    use proptest::prelude::*;
+    use redsim_util::Rng;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-
-        /// Re-accessing an address immediately after it was accessed
-        /// always hits (no policy may evict the line it just touched).
-        #[test]
-        fn immediate_reaccess_hits(
-            addrs in proptest::collection::vec(0u64..0x10_0000, 1..200),
-            assoc in 1u64..=4,
-        ) {
-            let mut c = Cache::new(CacheConfig {
-                size_bytes: 4096 * assoc,
-                line_bytes: 64,
-                assoc,
-                replacement: Replacement::Lru,
-                hit_latency: 1,
-            });
-            for a in addrs {
-                c.access(a, false);
-                prop_assert!(c.access(a, false).hit);
+    /// Re-accessing an address immediately after it was accessed
+    /// always hits (no policy may evict the line it just touched).
+    #[test]
+    fn immediate_reaccess_hits() {
+        let mut rng = Rng::new(0xCA_0001);
+        for assoc in 1u64..=4 {
+            for _ in 0..16 {
+                let mut c = Cache::new(CacheConfig {
+                    size_bytes: 4096 * assoc,
+                    line_bytes: 64,
+                    assoc,
+                    replacement: Replacement::Lru,
+                    hit_latency: 1,
+                });
+                for _ in 0..rng.range_u64(1, 200) {
+                    let a = rng.below(0x10_0000);
+                    c.access(a, false);
+                    assert!(c.access(a, false).hit, "assoc={assoc} addr={a:#x}");
+                }
             }
         }
+    }
 
-        /// hits + misses == accesses, for any access pattern.
-        #[test]
-        fn stats_are_consistent(
-            ops in proptest::collection::vec((0u64..0x4000, any::<bool>()), 0..300),
-        ) {
+    /// hits + misses == accesses, for any access pattern.
+    #[test]
+    fn stats_are_consistent() {
+        let mut rng = Rng::new(0xCA_0002);
+        for _ in 0..64 {
+            let ops: Vec<(u64, bool)> = (0..rng.index(300))
+                .map(|_| (rng.below(0x4000), rng.flip()))
+                .collect();
             let mut c = Cache::new(CacheConfig {
                 size_bytes: 2048,
                 line_bytes: 32,
@@ -442,14 +448,18 @@ mod proptests {
             for (a, w) in &ops {
                 c.access(*a, *w);
             }
-            prop_assert_eq!(c.stats().hits + c.stats().misses(), ops.len() as u64);
-            prop_assert!(c.stats().writebacks <= c.stats().misses());
+            assert_eq!(c.stats().hits + c.stats().misses(), ops.len() as u64);
+            assert!(c.stats().writebacks <= c.stats().misses());
         }
+    }
 
-        /// A working set no larger than one set's associativity never
-        /// conflict-misses after the cold fill.
-        #[test]
-        fn small_working_set_stays_resident(reps in 1usize..20) {
+    /// A working set no larger than one set's associativity never
+    /// conflict-misses after the cold fill.
+    #[test]
+    fn small_working_set_stays_resident() {
+        let mut rng = Rng::new(0xCA_0003);
+        for _ in 0..32 {
+            let reps = rng.range_u64(1, 20);
             let mut c = Cache::new(CacheConfig {
                 size_bytes: 1024,
                 line_bytes: 32,
@@ -463,8 +473,8 @@ mod proptests {
             c.access(a, false);
             c.access(b, false);
             for _ in 0..reps {
-                prop_assert!(c.access(a, false).hit);
-                prop_assert!(c.access(b, false).hit);
+                assert!(c.access(a, false).hit);
+                assert!(c.access(b, false).hit);
             }
         }
     }

@@ -1,11 +1,9 @@
 //! Two-level memory hierarchy: split L1s, unified L2, flat memory.
 
-use serde::{Deserialize, Serialize};
-
 use crate::cache::{Cache, CacheConfig, CacheStats, Replacement};
 
 /// A level of the hierarchy, for stats queries.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Level {
     /// L1 instruction cache.
     L1I,
@@ -16,7 +14,7 @@ pub enum Level {
 }
 
 /// Configuration of the whole hierarchy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HierarchyConfig {
     /// L1 instruction cache geometry.
     pub l1i: CacheConfig,

@@ -1,9 +1,7 @@
 //! Branch target buffer.
 
-use serde::{Deserialize, Serialize};
-
 /// BTB geometry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BtbConfig {
     /// Number of sets (power of two).
     pub sets: usize,
@@ -60,7 +58,10 @@ impl Btb {
     /// Panics unless `sets` is a power of two and `assoc >= 1`.
     #[must_use]
     pub fn new(config: BtbConfig) -> Self {
-        assert!(config.sets.is_power_of_two(), "BTB sets must be a power of two");
+        assert!(
+            config.sets.is_power_of_two(),
+            "BTB sets must be a power of two"
+        );
         assert!(config.assoc >= 1, "BTB associativity must be at least 1");
         Btb {
             entries: vec![Entry::default(); config.sets * config.assoc],

@@ -1,7 +1,5 @@
 //! Saturating two-bit counters, the workhorse of dynamic prediction.
 
-use serde::{Deserialize, Serialize};
-
 /// A two-bit saturating counter.
 ///
 /// States 0–1 predict not-taken, 2–3 predict taken. [`Counter2::default`]
@@ -18,7 +16,7 @@ use serde::{Deserialize, Serialize};
 /// c.train(true);
 /// assert!(c.predict());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Counter2(u8);
 
 impl Counter2 {

@@ -1,7 +1,5 @@
 //! Branch direction predictors.
 
-use serde::{Deserialize, Serialize};
-
 use crate::counter::Counter2;
 
 /// A conditional-branch direction predictor.
@@ -165,7 +163,10 @@ impl TwoLevelLocal {
     #[must_use]
     pub fn new(hist_entries: usize, hist_bits: u32) -> Self {
         assert_pow2(hist_entries);
-        assert!(hist_bits <= 20, "local history of {hist_bits} bits is unreasonable");
+        assert!(
+            hist_bits <= 20,
+            "local history of {hist_bits} bits is unreasonable"
+        );
         TwoLevelLocal {
             histories: vec![0; hist_entries],
             pattern: vec![Counter2::default(); 1 << hist_bits],
@@ -251,7 +252,7 @@ impl DirectionPredictor for Tournament {
 }
 
 /// Declarative direction-predictor configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DirectionConfig {
     /// Static taken.
     AlwaysTaken,
@@ -313,9 +314,7 @@ pub fn build_direction(config: DirectionConfig) -> Box<dyn DirectionPredictor> {
         DirectionConfig::AlwaysTaken => Box::new(AlwaysTaken),
         DirectionConfig::NeverTaken => Box::new(NeverTaken),
         DirectionConfig::Bimodal { entries } => Box::new(Bimodal::new(entries)),
-        DirectionConfig::Gshare { entries, hist_bits } => {
-            Box::new(Gshare::new(entries, hist_bits))
-        }
+        DirectionConfig::Gshare { entries, hist_bits } => Box::new(Gshare::new(entries, hist_bits)),
         DirectionConfig::TwoLevelLocal {
             hist_entries,
             hist_bits,
@@ -465,70 +464,76 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
-    use super::*;
-    use proptest::prelude::*;
+mod generative {
+    //! Seeded generative tests: inputs drawn from a fixed-seed
+    //! [`redsim_util::Rng`], so failures replay exactly.
 
-    fn arb_config() -> impl Strategy<Value = DirectionConfig> {
-        prop_oneof![
-            Just(DirectionConfig::AlwaysTaken),
-            Just(DirectionConfig::NeverTaken),
-            Just(DirectionConfig::Bimodal { entries: 64 }),
-            Just(DirectionConfig::Gshare {
-                entries: 64,
-                hist_bits: 5,
-            }),
-            Just(DirectionConfig::TwoLevelLocal {
-                hist_entries: 32,
-                hist_bits: 6,
-            }),
-            Just(DirectionConfig::Tournament {
-                entries: 64,
-                hist_bits: 5,
-            }),
-        ]
+    use super::*;
+    use redsim_util::Rng;
+
+    const CONFIGS: [DirectionConfig; 6] = [
+        DirectionConfig::AlwaysTaken,
+        DirectionConfig::NeverTaken,
+        DirectionConfig::Bimodal { entries: 64 },
+        DirectionConfig::Gshare {
+            entries: 64,
+            hist_bits: 5,
+        },
+        DirectionConfig::TwoLevelLocal {
+            hist_entries: 32,
+            hist_bits: 6,
+        },
+        DirectionConfig::Tournament {
+            entries: 64,
+            hist_bits: 5,
+        },
+    ];
+
+    /// Any predictor, fed any branch stream, stays deterministic:
+    /// the same stream yields the same prediction sequence.
+    #[test]
+    fn predictors_are_deterministic() {
+        let mut rng = Rng::new(0xD1_0001);
+        for cfg in CONFIGS {
+            for _ in 0..8 {
+                let stream: Vec<(u64, bool)> = (0..rng.range_u64(1, 200))
+                    .map(|_| (rng.below(1 << 16) & !7, rng.flip()))
+                    .collect();
+                let run = || {
+                    let mut p = build_direction(cfg);
+                    stream
+                        .iter()
+                        .map(|&(pc, t)| {
+                            let pred = p.predict(pc);
+                            p.update(pc, t);
+                            pred
+                        })
+                        .collect::<Vec<bool>>()
+                };
+                assert_eq!(run(), run(), "{cfg:?}");
+            }
+        }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(48))]
-
-        /// Any predictor, fed any branch stream, stays deterministic:
-        /// the same stream yields the same prediction sequence.
-        #[test]
-        fn predictors_are_deterministic(
-            cfg in arb_config(),
-            stream in proptest::collection::vec((0u64..1u64 << 16, any::<bool>()), 1..200),
-        ) {
-            let run = || {
-                let mut p = build_direction(cfg);
-                stream
-                    .iter()
-                    .map(|&(pc, t)| {
-                        let pred = p.predict(pc & !7);
-                        p.update(pc & !7, t);
-                        pred
-                    })
-                    .collect::<Vec<bool>>()
-            };
-            prop_assert_eq!(run(), run());
-        }
-
-        /// A perfectly biased branch converges: after a burst of
-        /// training, every dynamic predictor agrees with the bias.
-        #[test]
-        fn biased_branch_converges(
-            cfg in arb_config(),
-            taken in any::<bool>(),
-            pc in (0u64..1u64 << 12).prop_map(|p| p << 3),
-        ) {
-            let mut p = build_direction(cfg);
-            for _ in 0..8 {
-                p.update(pc, taken);
-            }
-            match cfg {
-                DirectionConfig::AlwaysTaken => prop_assert!(p.predict(pc)),
-                DirectionConfig::NeverTaken => prop_assert!(!p.predict(pc)),
-                _ => prop_assert_eq!(p.predict(pc), taken),
+    /// A perfectly biased branch converges: after a burst of
+    /// training, every dynamic predictor agrees with the bias.
+    #[test]
+    fn biased_branch_converges() {
+        let mut rng = Rng::new(0xD1_0002);
+        for cfg in CONFIGS {
+            for taken in [false, true] {
+                for _ in 0..8 {
+                    let pc = rng.below(1 << 12) << 3;
+                    let mut p = build_direction(cfg);
+                    for _ in 0..8 {
+                        p.update(pc, taken);
+                    }
+                    match cfg {
+                        DirectionConfig::AlwaysTaken => assert!(p.predict(pc)),
+                        DirectionConfig::NeverTaken => assert!(!p.predict(pc)),
+                        _ => assert_eq!(p.predict(pc), taken, "{cfg:?} pc={pc:#x}"),
+                    }
+                }
             }
         }
     }

@@ -32,7 +32,7 @@ mod ras;
 pub use btb::{Btb, BtbConfig};
 pub use counter::Counter2;
 pub use direction::{
-    build_direction, AlwaysTaken, Bimodal, DirectionConfig, DirectionPredictor, Gshare,
-    NeverTaken, Tournament, TwoLevelLocal,
+    build_direction, AlwaysTaken, Bimodal, DirectionConfig, DirectionPredictor, Gshare, NeverTaken,
+    Tournament, TwoLevelLocal,
 };
 pub use ras::ReturnAddressStack;

@@ -1,0 +1,289 @@
+//! A minimal JSON value model and writer.
+//!
+//! The bench harness emits machine-readable results with `--json`; this
+//! module is the in-tree replacement for a serde stack. It only
+//! *writes* JSON — nothing in the workspace needs to parse it — and it
+//! writes strictly valid output: strings are escaped per RFC 8259,
+//! non-finite floats serialize as `null`, and object key order is the
+//! insertion order (so output is deterministic).
+//!
+//! # Examples
+//!
+//! ```
+//! use redsim_util::Json;
+//!
+//! let j = Json::obj()
+//!     .field("app", "gzip")
+//!     .field("ipc", 1.25)
+//!     .field("modes", Json::from_iter(["sie", "die"]));
+//! assert_eq!(
+//!     j.to_string(),
+//!     r#"{"app":"gzip","ipc":1.25,"modes":["sie","die"]}"#
+//! );
+//! ```
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A signed integer (serialized without a decimal point).
+    Int(i64),
+    /// An unsigned integer (serialized without a decimal point).
+    UInt(u64),
+    /// A double. Non-finite values serialize as `null`.
+    Num(f64),
+    /// A string (escaped on output).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; key order is preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An empty object, ready for [`Json::field`] chaining.
+    #[must_use]
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// An empty array, ready for [`Json::push`] chaining.
+    #[must_use]
+    pub fn arr() -> Json {
+        Json::Arr(Vec::new())
+    }
+
+    /// Adds (or replaces) a field on an object, builder style.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not an object.
+    #[must_use]
+    pub fn field(mut self, key: &str, value: impl Into<Json>) -> Json {
+        self.set(key, value);
+        self
+    }
+
+    /// Adds (or replaces) a field on an object, in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not an object.
+    pub fn set(&mut self, key: &str, value: impl Into<Json>) {
+        let Json::Obj(fields) = self else {
+            panic!("Json::set on a non-object");
+        };
+        let value = value.into();
+        if let Some(slot) = fields.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value;
+        } else {
+            fields.push((key.to_owned(), value));
+        }
+    }
+
+    /// Appends an element to an array, builder style.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not an array.
+    #[must_use]
+    pub fn push(mut self, value: impl Into<Json>) -> Json {
+        let Json::Arr(items) = &mut self else {
+            panic!("Json::push on a non-array");
+        };
+        items.push(value.into());
+        self
+    }
+
+    /// Looks a field up on an object (test convenience).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => out.push_str(&i.to_string()),
+            Json::UInt(u) => out.push_str(&u.to_string()),
+            Json::Num(x) => {
+                if x.is_finite() {
+                    // `{:?}` prints the shortest representation that
+                    // round-trips, and always includes `.0` for whole
+                    // numbers — both valid JSON.
+                    out.push_str(&format!("{x:?}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        self.write(&mut s);
+        f.write_str(&s)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+impl From<i64> for Json {
+    fn from(i: i64) -> Json {
+        Json::Int(i)
+    }
+}
+impl From<i32> for Json {
+    fn from(i: i32) -> Json {
+        Json::Int(i64::from(i))
+    }
+}
+impl From<u64> for Json {
+    fn from(u: u64) -> Json {
+        Json::UInt(u)
+    }
+}
+impl From<u32> for Json {
+    fn from(u: u32) -> Json {
+        Json::UInt(u64::from(u))
+    }
+}
+impl From<usize> for Json {
+    fn from(u: usize) -> Json {
+        Json::UInt(u as u64)
+    }
+}
+impl From<f64> for Json {
+    fn from(x: f64) -> Json {
+        Json::Num(x)
+    }
+}
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_owned())
+    }
+}
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+impl<T: Into<Json>> FromIterator<T> for Json {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Json {
+        Json::Arr(iter.into_iter().map(Into::into).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_serialize() {
+        assert_eq!(Json::Null.to_string(), "null");
+        assert_eq!(Json::from(true).to_string(), "true");
+        assert_eq!(Json::from(-3i64).to_string(), "-3");
+        assert_eq!(
+            Json::from(18_446_744_073_709_551_615u64).to_string(),
+            "18446744073709551615"
+        );
+        assert_eq!(Json::from(1.5).to_string(), "1.5");
+        assert_eq!(Json::from(2.0).to_string(), "2.0");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(Json::from(f64::NAN).to_string(), "null");
+        assert_eq!(Json::from(f64::INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    fn strings_escape_control_and_quotes() {
+        let j = Json::from("a\"b\\c\nd\te\u{1}");
+        assert_eq!(j.to_string(), r#""a\"b\\c\nd\te\u0001""#);
+    }
+
+    #[test]
+    fn object_preserves_insertion_order_and_replaces() {
+        let j = Json::obj()
+            .field("b", 1i64)
+            .field("a", 2i64)
+            .field("b", 3i64);
+        assert_eq!(j.to_string(), r#"{"b":3,"a":2}"#);
+        assert_eq!(j.get("a"), Some(&Json::Int(2)));
+        assert_eq!(j.get("zz"), None);
+    }
+
+    #[test]
+    fn arrays_nest() {
+        let j = Json::arr()
+            .push(Json::from_iter([1i64, 2]))
+            .push(Json::obj().field("k", "v"));
+        assert_eq!(j.to_string(), r#"[[1,2],{"k":"v"}]"#);
+    }
+
+    #[test]
+    fn round_trip_shape_is_parseable() {
+        // A light structural check: balanced braces, valid escapes.
+        let j = Json::obj()
+            .field("name", "fig \"x\"")
+            .field("vals", Json::from_iter([0.5, 1.0, f64::NAN]));
+        let s = j.to_string();
+        assert_eq!(s, r#"{"name":"fig \"x\"","vals":[0.5,1.0,null]}"#);
+    }
+}

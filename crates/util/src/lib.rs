@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! # redsim-util
+//!
+//! The zero-dependency support library every other redsim crate leans
+//! on. The workspace builds fully offline — no registry, no network —
+//! so the small pieces usually imported from `rand`, `serde_json` and
+//! `criterion` live here instead:
+//!
+//! * [`rng`] — seedable, deterministic PRNGs: [`SplitMix64`] (the
+//!   workload-input generator stream) and [`Rng`] (xoshiro256**, the
+//!   general-purpose generator used for fault injection, cache
+//!   replacement and generative tests).
+//! * [`json`] — a minimal JSON value model and writer ([`Json`]) for the
+//!   machine-readable output of the bench harness (`--json`).
+//! * [`timer`] — a wall-clock micro-benchmark timer ([`bench`]) backing
+//!   the `cargo bench` targets.
+//!
+//! Everything in this crate is deterministic given its inputs; nothing
+//! touches the filesystem or the environment.
+
+pub mod json;
+pub mod rng;
+pub mod timer;
+
+pub use json::Json;
+pub use rng::{Rng, SplitMix64};
+pub use timer::{bench, BenchResult};

@@ -1,34 +1,9 @@
 //! Deterministic input-data generation for the kernels.
 
-/// A splitmix64 stream: tiny, seedable, and plenty random for inputs.
-#[derive(Debug, Clone)]
-pub struct Splitmix {
-    state: u64,
-}
-
-impl Splitmix {
-    pub fn new(seed: u64) -> Self {
-        Splitmix { state: seed }
-    }
-
-    pub fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = self.state;
-        z = (z ^ z >> 30).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ z >> 27).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ z >> 31
-    }
-
-    /// Uniform value in `[0, bound)`.
-    pub fn below(&mut self, bound: u64) -> u64 {
-        self.next_u64() % bound
-    }
-
-    /// A double in `[0, 1)`.
-    pub fn unit_f64(&mut self) -> f64 {
-        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
-    }
-}
+/// The kernels' input stream: `redsim_util`'s splitmix64. The sequence
+/// for a given seed is part of the workload contract — every golden
+/// checksum derives from it — and `SplitMix64` guarantees it.
+pub use redsim_util::SplitMix64 as Splitmix;
 
 /// Formats a `.word` data block, 8 values per line, under `label`.
 pub fn words_block(label: &str, values: &[i64]) -> String {
@@ -79,7 +54,11 @@ pub fn doubles_block(label: &str, values: &[f64]) -> String {
 /// the texture LZ compressors feed on.
 pub fn compressible_bytes(rng: &mut Splitmix, len: usize) -> Vec<u8> {
     let motifs: Vec<Vec<u8>> = (0..8)
-        .map(|_| (0..4 + rng.below(12)).map(|_| rng.next_u64() as u8).collect())
+        .map(|_| {
+            (0..4 + rng.below(12))
+                .map(|_| rng.next_u64() as u8)
+                .collect()
+        })
         .collect();
     let mut out = Vec::with_capacity(len);
     while out.len() < len {
@@ -139,7 +118,7 @@ mod tests {
             doubles_block("d", &[1.5, -0.25]),
         );
         let p = redsim_isa::asm::assemble(&src).expect("blocks must assemble");
-        assert_eq!(p.symbol("w").is_some(), true);
+        assert!(p.symbol("w").is_some());
     }
 
     #[test]

@@ -14,7 +14,9 @@ pub(crate) fn ammp(p: &Params) -> String {
     let steps = 14 * p.scale as usize;
     let pairs_n = 400;
     let mut rng = Splitmix::new(p.seed ^ 0x616d_6d70);
-    let pos: Vec<f64> = (0..ATOMS * 3).map(|_| rng.unit_f64() * 10.0 + 0.5).collect();
+    let pos: Vec<f64> = (0..ATOMS * 3)
+        .map(|_| rng.unit_f64() * 10.0 + 0.5)
+        .collect();
     let mut pairs: Vec<i64> = Vec::with_capacity(pairs_n * 2);
     for _ in 0..pairs_n {
         let a = rng.below(ATOMS as u64) as i64;

@@ -10,7 +10,7 @@ const INPUTS: usize = 512;
 
 pub(crate) fn art(p: &Params) -> String {
     let presentations = 12 * p.scale as usize;
-    let mut rng = Splitmix::new(p.seed ^ 0x6172_74);
+    let mut rng = Splitmix::new(p.seed ^ 0x0061_7274);
     let weights: Vec<f64> = (0..NEURONS * INPUTS).map(|_| rng.unit_f64()).collect();
     let inputs: Vec<f64> = (0..INPUTS).map(|_| rng.unit_f64()).collect();
 

@@ -10,7 +10,7 @@ const NNZ_PER_ROW: usize = 6;
 
 pub(crate) fn equake(p: &Params) -> String {
     let sweeps = 30 * p.scale as usize;
-    let mut rng = Splitmix::new(p.seed ^ 0x6571_6b);
+    let mut rng = Splitmix::new(p.seed ^ 0x0065_716b);
     let mut colidx: Vec<i64> = Vec::with_capacity(ROWS * NNZ_PER_ROW);
     let mut vals: Vec<f64> = Vec::with_capacity(ROWS * NNZ_PER_ROW);
     for row in 0..ROWS {

@@ -11,7 +11,7 @@ const HASH_ENTRIES: usize = 8192;
 pub(crate) fn gcc(p: &Params) -> String {
     let nodes = 1024;
     let lookups = 550 * p.scale as usize;
-    let mut rng = Splitmix::new(p.seed ^ 0x6763_63);
+    let mut rng = Splitmix::new(p.seed ^ 0x0067_6363);
 
     // A balanced BST over `nodes` distinct random keys, laid out as
     // key/left/right index arrays (index 0 = null, root at 1).
@@ -134,10 +134,7 @@ hdone{i}:
             hash_mask = HASH_ENTRIES - 1,
         ));
     }
-    let calltab = format!(
-        "calltab:\n    .word {}\n",
-        table_entries.join(", ")
-    );
+    let calltab = format!("calltab:\n    .word {}\n", table_entries.join(", "));
 
     format!(
         r#"# gcc stand-in: BST lookups + hash interning across {clones} clone call sites

@@ -7,7 +7,7 @@ use crate::Params;
 
 pub(crate) fn mcf(p: &Params) -> String {
     let n = 2048 * p.scale as usize;
-    let mut rng = Splitmix::new(p.seed ^ 0x6d63_66);
+    let mut rng = Splitmix::new(p.seed ^ 0x006d_6366);
 
     // A single-cycle random permutation (Sattolo) so every chase walks
     // the whole node set — maximal dependent-load chains.

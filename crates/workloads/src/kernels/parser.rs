@@ -22,12 +22,13 @@ pub(crate) fn parser(p: &Params) -> String {
     let mut rng = Splitmix::new(p.seed ^ 0x7061_7273);
 
     // Sorted dictionary of fixed-width words.
-    let mut dict: Vec<[u8; WORD_BYTES]> = std::collections::BTreeSet::<[u8; WORD_BYTES]>::from_iter(
-        std::iter::repeat_with(|| random_word(&mut rng)).take(DICT_WORDS * 2),
-    )
-    .into_iter()
-    .take(DICT_WORDS)
-    .collect();
+    let mut dict: Vec<[u8; WORD_BYTES]> =
+        std::collections::BTreeSet::<[u8; WORD_BYTES]>::from_iter(
+            std::iter::repeat_with(|| random_word(&mut rng)).take(DICT_WORDS * 2),
+        )
+        .into_iter()
+        .take(DICT_WORDS)
+        .collect();
     dict.sort_unstable();
 
     // Token stream: roughly half dictionary hits, half misses.

@@ -7,7 +7,7 @@ use crate::Params;
 pub(crate) fn vpr(p: &Params) -> String {
     let cells = 512;
     let moves = 800 * p.scale as usize;
-    let mut rng = Splitmix::new(p.seed ^ 0x7670_72);
+    let mut rng = Splitmix::new(p.seed ^ 0x0076_7072);
     let grid = 64i64;
     let xs: Vec<i64> = (0..cells).map(|_| rng.below(grid as u64) as i64).collect();
     let ys: Vec<i64> = (0..cells).map(|_| rng.below(grid as u64) as i64).collect();

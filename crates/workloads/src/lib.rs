@@ -54,10 +54,9 @@ pub mod mix;
 
 use redsim_isa::asm::assemble;
 use redsim_isa::{AsmError, Program};
-use serde::{Deserialize, Serialize};
 
 /// Problem-size and seeding knobs for a workload instance.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Params {
     /// Problem-size multiplier; each workload maps it onto its own
     /// natural dimensions (buffer bytes, node counts, trip counts).
@@ -75,7 +74,7 @@ impl Params {
 }
 
 /// The twelve SPEC CPU2000 stand-ins.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Workload {
     /// 164.gzip — LZ77-style compression.
     Gzip,
@@ -241,10 +240,7 @@ mod tests {
                 .run(20_000_000)
                 .unwrap_or_else(|e| panic!("{w} failed: {e}"));
             assert!(n > 1_000, "{w} too small: {n} instructions");
-            assert!(
-                !emu.output_ints().is_empty(),
-                "{w} must emit a checksum"
-            );
+            assert!(!emu.output_ints().is_empty(), "{w} must emit a checksum");
         }
     }
 

@@ -41,7 +41,9 @@ impl InstMix {
         let mut mix = InstMix::default();
         while !emu.halted() {
             if mix.total >= budget {
-                return Err(EmuError::BudgetExhausted { executed: mix.total });
+                return Err(EmuError::BudgetExhausted {
+                    executed: mix.total,
+                });
             }
             let Some(di) = emu.step()? else { break };
             mix.total += 1;
@@ -146,9 +148,17 @@ mod tests {
             let p = w.program(w.tiny_params()).unwrap();
             let m = InstMix::from_program(&p, 20_000_000).unwrap();
             if w.is_fp() {
-                assert!(m.fp_fraction() > 0.10, "{w}: fp fraction {}", m.fp_fraction());
+                assert!(
+                    m.fp_fraction() > 0.10,
+                    "{w}: fp fraction {}",
+                    m.fp_fraction()
+                );
             } else {
-                assert!(m.fp_fraction() < 0.02, "{w}: fp fraction {}", m.fp_fraction());
+                assert!(
+                    m.fp_fraction() < 0.02,
+                    "{w}: fp fraction {}",
+                    m.fp_fraction()
+                );
             }
         }
     }

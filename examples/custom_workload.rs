@@ -63,7 +63,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Functional check: 309 primes below 2048.
     let mut emu = Emulator::new(&program);
     emu.run(10_000_000)?;
-    println!("\nemulator says: {} primes below 2048", emu.output_ints()[0]);
+    println!(
+        "\nemulator says: {} primes below 2048",
+        emu.output_ints()[0]
+    );
     assert_eq!(emu.output_ints(), &[309]);
 
     let mix = InstMix::from_program(&program, 10_000_000)?;

@@ -6,9 +6,7 @@
 //! cargo run --release --example design_space
 //! ```
 
-use redsim::core::{
-    ExecMode, ForwardingPolicy, IssuePolicy, MachineConfig, Simulator,
-};
+use redsim::core::{ExecMode, ForwardingPolicy, IssuePolicy, MachineConfig, Simulator};
 use redsim::irb::IrbConfig;
 use redsim::workloads::Workload;
 
@@ -19,7 +17,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let sie = Simulator::new(base.clone(), ExecMode::Sie).run_program(&program)?;
     let die = Simulator::new(base.clone(), ExecMode::Die).run_program(&program)?;
-    println!("workload {w}: SIE IPC {:.3}, DIE IPC {:.3}\n", sie.ipc(), die.ipc());
+    println!(
+        "workload {w}: SIE IPC {:.3}, DIE IPC {:.3}\n",
+        sie.ipc(),
+        die.ipc()
+    );
 
     println!("IRB capacity sweep (direct-mapped):");
     for entries in [64, 256, 1024, 4096] {

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Full offline verification: formatting, lints, release build, the test
+# suite, and one end-to-end figure smoke. Run from anywhere; no network
+# access is needed (the workspace has zero external dependencies).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo fmt --all -- --check
+run cargo clippy --offline --workspace --all-targets -- -D warnings
+run cargo build --offline --release --workspace
+run cargo test --offline --workspace -q
+
+# One figure end-to-end: quick JSON run, and the parallel sweep must be
+# byte-identical to the serial one.
+echo "==> fig_recovery --quick --json determinism check"
+bin=target/release/fig_recovery
+one=$("$bin" --quick --json --threads 1)
+many=$("$bin" --quick --json --threads 8)
+if [ "$one" != "$many" ]; then
+    echo "FAIL: --threads 8 output differs from --threads 1" >&2
+    exit 1
+fi
+case "$one" in
+    '{"title":'*) ;;
+    *) echo "FAIL: --json output is not a JSON object: $one" >&2; exit 1 ;;
+esac
+
+echo "OK: all checks passed"

@@ -72,7 +72,10 @@ fn unprotected_irb_is_covered_by_the_sphere_of_replication() {
         s.faults.detected > 0,
         "corrupt reused results must be caught at commit"
     );
-    assert_eq!(s.faults.escaped, 0, "IRB corruption cannot escape the pair check");
+    assert_eq!(
+        s.faults.escaped, 0,
+        "IRB corruption cannot escape the pair check"
+    );
 }
 
 #[test]

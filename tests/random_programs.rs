@@ -1,4 +1,4 @@
-//! Property tests over randomly generated programs.
+//! Generative tests over randomly generated programs.
 //!
 //! The generator emits straight-line code with *forward-only* branches,
 //! so every program terminates within one pass over its text. Each
@@ -6,12 +6,14 @@
 //! modes; the timing models must commit exactly the functional
 //! instruction count, never mismatch a fault-free pair, and be
 //! deterministic.
-
-use proptest::prelude::*;
+//!
+//! Inputs are drawn from a fixed-seed [`redsim_util::Rng`], so a
+//! failing case replays exactly under `cargo test`.
 
 use redsim::core::{ExecMode, MachineConfig, Simulator};
 use redsim::isa::emu::Emulator;
 use redsim::isa::{Inst, IntReg, Opcode, ProgramBuilder};
+use redsim_util::Rng;
 
 /// One step of the generator: an abstract instruction to lower.
 #[derive(Debug, Clone)]
@@ -54,22 +56,26 @@ fn reg(sel: u8) -> IntReg {
     IntReg::new(5 + sel % 20)
 }
 
-fn gen_step() -> impl Strategy<Value = Gen> {
-    prop_oneof![
-        (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>())
-            .prop_map(|(o, a, b, c)| Gen::AluRrr(o, a, b, c)),
-        (any::<u8>(), any::<u8>(), any::<u8>(), any::<i16>())
-            .prop_map(|(o, a, b, i)| Gen::AluRri(o, a, b, i)),
-        (any::<u8>(), any::<i32>()).prop_map(|(a, i)| Gen::Li(a, i)),
-        (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>())
-            .prop_map(|(o, a, b, c)| Gen::MulDiv(o, a, b, c)),
-        (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>())
-            .prop_map(|(o, a, b, c)| Gen::Fp(o, a, b, c)),
-        (any::<u8>(), any::<u16>()).prop_map(|(a, off)| Gen::Load(a, off)),
-        (any::<u8>(), any::<u16>()).prop_map(|(a, off)| Gen::Store(a, off)),
-        (any::<u8>(), any::<u8>(), any::<u8>(), 1u8..12)
-            .prop_map(|(o, a, b, s)| Gen::Branch(o, a, b, s)),
-    ]
+fn gen_step(rng: &mut Rng) -> Gen {
+    match rng.index(8) {
+        0 => Gen::AluRrr(rng.any_u8(), rng.any_u8(), rng.any_u8(), rng.any_u8()),
+        1 => Gen::AluRri(rng.any_u8(), rng.any_u8(), rng.any_u8(), rng.any_i16()),
+        2 => Gen::Li(rng.any_u8(), rng.any_i32()),
+        3 => Gen::MulDiv(rng.any_u8(), rng.any_u8(), rng.any_u8(), rng.any_u8()),
+        4 => Gen::Fp(rng.any_u8(), rng.any_u8(), rng.any_u8(), rng.any_u8()),
+        5 => Gen::Load(rng.any_u8(), rng.next_u64() as u16),
+        6 => Gen::Store(rng.any_u8(), rng.next_u64() as u16),
+        _ => Gen::Branch(
+            rng.any_u8(),
+            rng.any_u8(),
+            rng.any_u8(),
+            rng.range_u64(1, 12) as u8,
+        ),
+    }
+}
+
+fn gen_steps(rng: &mut Rng, lo: u64, hi: u64) -> Vec<Gen> {
+    (0..rng.range_u64(lo, hi)).map(|_| gen_step(rng)).collect()
 }
 
 /// Lowers the abstract steps into a runnable program.
@@ -77,14 +83,11 @@ fn lower(steps: &[Gen]) -> redsim::isa::Program {
     let mut b = ProgramBuilder::new();
     let buf = b.data_space(2048);
     let base = IntReg::new(28); // t3 holds the data buffer
-    // Prologue: seed the registers.
+                                // Prologue: seed the registers.
     b = b.inst(Inst::li(base, buf as i32));
     for i in 0..8u8 {
         b = b.inst(Inst::li(reg(i), i32::from(i) * 77 - 100));
-        b = b.inst(Inst::cvt_int_to_fp(
-            redsim::isa::FpReg::new(1 + i),
-            reg(i),
-        ));
+        b = b.inst(Inst::cvt_int_to_fp(redsim::isa::FpReg::new(1 + i), reg(i)));
     }
     let prologue_len = 17u64;
     // Pre-compute instruction index of each step (1 inst per step).
@@ -138,32 +141,41 @@ fn lower(steps: &[Gen]) -> redsim::isa::Program {
     b.inst(Inst::halt()).build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+const CASES: u64 = 24;
 
-    #[test]
-    fn all_modes_agree_with_the_emulator_on_any_program(
-        steps in proptest::collection::vec(gen_step(), 5..120),
-    ) {
+#[test]
+fn all_modes_agree_with_the_emulator_on_any_program() {
+    let mut rng = Rng::new(0x9E0_0001);
+    for case in 0..CASES {
+        let steps = gen_steps(&mut rng, 5, 120);
         let program = lower(&steps);
         let mut emu = Emulator::new(&program);
         // Forward-only control flow: each instruction runs at most once.
-        let n = emu.run(program.text().len() as u64 + 1).expect("terminates");
+        let n = emu
+            .run(program.text().len() as u64 + 1)
+            .expect("terminates");
         let cfg = MachineConfig::tiny();
-        for mode in [ExecMode::Sie, ExecMode::Die, ExecMode::DieIrb, ExecMode::SieIrb] {
+        for mode in [
+            ExecMode::Sie,
+            ExecMode::Die,
+            ExecMode::DieIrb,
+            ExecMode::SieIrb,
+        ] {
             let stats = Simulator::new(cfg.clone(), mode)
                 .run_program(&program)
                 .expect("simulates");
-            prop_assert_eq!(stats.committed_insts, n, "{:?}", mode);
-            prop_assert_eq!(stats.pair_mismatches, 0, "{:?}", mode);
-            prop_assert!(stats.cycles > 0);
+            assert_eq!(stats.committed_insts, n, "case {case} {mode:?}");
+            assert_eq!(stats.pair_mismatches, 0, "case {case} {mode:?}");
+            assert!(stats.cycles > 0);
         }
     }
+}
 
-    #[test]
-    fn timing_is_deterministic_for_any_program(
-        steps in proptest::collection::vec(gen_step(), 5..60),
-    ) {
+#[test]
+fn timing_is_deterministic_for_any_program() {
+    let mut rng = Rng::new(0x9E0_0002);
+    for case in 0..CASES {
+        let steps = gen_steps(&mut rng, 5, 60);
         let program = lower(&steps);
         let cfg = MachineConfig::tiny();
         let run = || {
@@ -171,52 +183,68 @@ proptest! {
                 .run_program(&program)
                 .expect("simulates")
         };
-        prop_assert_eq!(run(), run());
+        assert_eq!(run(), run(), "case {case}");
     }
+}
 
-    #[test]
-    fn disassembly_listing_reassembles_identically(
-        steps in proptest::collection::vec(gen_step(), 1..60),
-    ) {
-        use redsim::isa::asm::assemble;
-        use redsim::isa::disasm::listing;
+#[test]
+fn disassembly_listing_reassembles_identically() {
+    use redsim::isa::asm::assemble;
+    use redsim::isa::disasm::listing;
+    let mut rng = Rng::new(0x9E0_0003);
+    for case in 0..CASES {
+        let steps = gen_steps(&mut rng, 1, 60);
         let program = lower(&steps);
         let text = listing(&program);
         let back = assemble(&text).expect("listing must reassemble");
-        prop_assert_eq!(back.text(), program.text());
+        assert_eq!(back.text(), program.text(), "case {case}");
     }
+}
 
-    #[test]
-    fn container_round_trips_any_program(
-        steps in proptest::collection::vec(gen_step(), 1..60),
-    ) {
-        use redsim::isa::container::{from_bytes, to_bytes};
+#[test]
+fn container_round_trips_any_program() {
+    use redsim::isa::container::{from_bytes, to_bytes};
+    let mut rng = Rng::new(0x9E0_0004);
+    for case in 0..CASES {
+        let steps = gen_steps(&mut rng, 1, 60);
         let program = lower(&steps);
-        prop_assert_eq!(from_bytes(&to_bytes(&program)).expect("loads"), program);
+        assert_eq!(
+            from_bytes(&to_bytes(&program)).expect("loads"),
+            program,
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn trace_serialization_round_trips_any_program(
-        steps in proptest::collection::vec(gen_step(), 1..60),
-    ) {
-        use redsim::isa::trace_io::{read_trace, write_trace};
+#[test]
+fn trace_serialization_round_trips_any_program() {
+    use redsim::isa::trace_io::{read_trace, write_trace};
+    let mut rng = Rng::new(0x9E0_0005);
+    for case in 0..CASES {
+        let steps = gen_steps(&mut rng, 1, 60);
         let program = lower(&steps);
         let trace = Emulator::new(&program)
             .run_trace(program.text().len() as u64 + 1)
             .expect("terminates");
         let mut buf = Vec::new();
         write_trace(&mut buf, &trace).expect("writes");
-        prop_assert_eq!(read_trace(buf.as_slice()).expect("reads"), trace);
+        assert_eq!(
+            read_trace(buf.as_slice()).expect("reads"),
+            trace,
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn encoded_program_text_round_trips(
-        steps in proptest::collection::vec(gen_step(), 1..80),
-    ) {
-        use redsim::isa::encode::{decode_text, encode_text};
+#[test]
+fn encoded_program_text_round_trips() {
+    use redsim::isa::encode::{decode_text, encode_text};
+    let mut rng = Rng::new(0x9E0_0006);
+    for case in 0..CASES {
+        let steps = gen_steps(&mut rng, 1, 80);
         let program = lower(&steps);
         let bytes = encode_text(program.text());
         let back = decode_text(&bytes).expect("decodes");
-        prop_assert_eq!(back.as_slice(), program.text());
+        assert_eq!(back.as_slice(), program.text(), "case {case}");
     }
 }

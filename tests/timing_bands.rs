@@ -8,7 +8,9 @@ use redsim::core::{ExecMode, MachineConfig, Simulator};
 use redsim::workloads::Workload;
 
 /// (workload, SIE band, DIE-loss band in percent).
-const BANDS: &[(Workload, (f64, f64), (f64, f64))] = &[
+type Band = (Workload, (f64, f64), (f64, f64));
+
+const BANDS: &[Band] = &[
     (Workload::Gzip, (1.0, 2.2), (10.0, 40.0)),
     (Workload::Vpr, (1.0, 2.2), (8.0, 40.0)),
     (Workload::Gcc, (0.3, 1.0), (2.0, 25.0)),
