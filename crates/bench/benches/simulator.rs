@@ -5,7 +5,14 @@
 //! binaries run millions of simulated cycles.
 //!
 //! Plain `harness = false` timing binary on [`redsim_util::bench`]; run
-//! with `cargo bench -p redsim-bench --bench simulator`.
+//! with `cargo bench -p redsim-bench --bench simulator`. Besides the
+//! aligned report lines on stdout, the run writes a machine-readable
+//! summary (`BENCH_simulator.json` by default, `--out <path>` to
+//! redirect) comparing the five simulator cases against the recorded
+//! scan-based baseline, so the event-driven scheduler's speedup stays
+//! an auditable number rather than a claim. `--quick` trims the
+//! iteration counts for CI smoke runs — timings get noisier, but the
+//! file shape and the determinism of the simulated stats don't change.
 
 use std::hint::black_box;
 
@@ -13,24 +20,52 @@ use redsim_core::{ExecMode, MachineConfig, Simulator, SliceSource};
 use redsim_irb::{IrbConfig, IrbEntry, ReuseBuffer};
 use redsim_mem::{Hierarchy, HierarchyConfig};
 use redsim_predictor::{Bimodal, DirectionPredictor};
-use redsim_util::bench;
+use redsim_util::{bench, BenchResult, Json};
 use redsim_workloads::Workload;
 
-fn emulator_throughput() {
+/// Minimum iteration time of the scan-based scheduler (the pre-event-
+/// driven seed of this repo) on the same five cases, in milliseconds.
+/// Recorded on the reference container with `bench(2, 10)`; the paired
+/// names must match the `case` names produced by
+/// [`simulation_throughput`].
+const SCAN_BASELINE_MS: [(&str, f64); 5] = [
+    ("simulator/Sie_gzip_tiny", 12.09),
+    ("simulator/Die_gzip_tiny", 21.00),
+    ("simulator/DieIrb_gzip_tiny", 39.71),
+    ("simulator/Die_gzip_tiny_2xruu", 23.26),
+    ("simulator/DieIrb_gzip_tiny_2xruu", 49.82),
+];
+
+struct Case {
+    name: String,
+    result: BenchResult,
+    elements: Option<u64>,
+}
+
+fn record(cases: &mut Vec<Case>, name: &str, result: BenchResult, elements: Option<u64>) {
+    println!("{}", result.report(name, elements));
+    cases.push(Case {
+        name: name.to_owned(),
+        result,
+        elements,
+    });
+}
+
+fn emulator_throughput(cases: &mut Vec<Case>, iters: (u32, u32)) {
     let w = Workload::Gzip;
     let program = w.program(w.tiny_params()).unwrap();
     let len = {
         let mut e = redsim_isa::emu::Emulator::new(&program);
         e.run(100_000_000).unwrap()
     };
-    let r = bench(2, 10, || {
+    let r = bench(iters.0, iters.1, || {
         let mut e = redsim_isa::emu::Emulator::new(&program);
         black_box(e.run(100_000_000).unwrap())
     });
-    println!("{}", r.report("emulator/gzip_tiny", Some(len)));
+    record(cases, "emulator/gzip_tiny", r, Some(len));
 }
 
-fn simulation_throughput() {
+fn simulation_throughput(cases: &mut Vec<Case>, iters: (u32, u32)) {
     let w = Workload::Gzip;
     let program = w.program(w.tiny_params()).unwrap();
     let trace = redsim_isa::emu::Emulator::new(&program)
@@ -38,7 +73,7 @@ fn simulation_throughput() {
         .unwrap();
     let cfg = MachineConfig::paper_baseline();
     for mode in [ExecMode::Sie, ExecMode::Die, ExecMode::DieIrb] {
-        let r = bench(2, 10, || {
+        let r = bench(iters.0, iters.1, || {
             let mut src = SliceSource::new(&trace);
             black_box(
                 Simulator::new(cfg.clone(), mode)
@@ -46,20 +81,36 @@ fn simulation_throughput() {
                     .unwrap(),
             )
         });
-        println!(
-            "{}",
-            r.report(
-                &format!("simulator/{mode:?}_gzip_tiny"),
-                Some(trace.len() as u64)
+        record(
+            cases,
+            &format!("simulator/{mode:?}_gzip_tiny"),
+            r,
+            Some(trace.len() as u64),
+        );
+    }
+    let big = MachineConfig::paper_baseline().with_double_ruu();
+    for mode in [ExecMode::Die, ExecMode::DieIrb] {
+        let r = bench(iters.0, iters.1, || {
+            let mut src = SliceSource::new(&trace);
+            black_box(
+                Simulator::new(big.clone(), mode)
+                    .run_source(&mut src)
+                    .unwrap(),
             )
+        });
+        record(
+            cases,
+            &format!("simulator/{mode:?}_gzip_tiny_2xruu"),
+            r,
+            Some(trace.len() as u64),
         );
     }
 }
 
-fn irb_operations() {
+fn irb_operations(cases: &mut Vec<Case>, iters: (u32, u32)) {
     let mut irb = ReuseBuffer::new(IrbConfig::paper_baseline());
     let mut pc = 0x1000u64;
-    let r = bench(100, 1000, || {
+    let r = bench(iters.0, iters.1, || {
         for _ in 0..1000 {
             pc = pc.wrapping_add(8) & 0xfff8;
             irb.insert(IrbEntry {
@@ -71,25 +122,25 @@ fn irb_operations() {
             black_box(irb.lookup(pc.wrapping_sub(64)));
         }
     });
-    println!("{}", r.report("irb/lookup_insert_1024dm (x1000)", None));
+    record(cases, "irb/lookup_insert_1024dm (x1000)", r, None);
 }
 
-fn cache_accesses() {
+fn cache_accesses(cases: &mut Vec<Case>, iters: (u32, u32)) {
     let mut h = Hierarchy::new(HierarchyConfig::paper_baseline());
     let mut addr = 0u64;
-    let r = bench(100, 1000, || {
+    let r = bench(iters.0, iters.1, || {
         for _ in 0..1000 {
             addr = addr.wrapping_add(64) & 0xf_ffff;
             black_box(h.read_data(addr));
         }
     });
-    println!("{}", r.report("cache/hierarchy_streaming (x1000)", None));
+    record(cases, "cache/hierarchy_streaming (x1000)", r, None);
 }
 
-fn predictor_updates() {
+fn predictor_updates(cases: &mut Vec<Case>, iters: (u32, u32)) {
     let mut p = Bimodal::new(4096);
     let mut pc = 0u64;
-    let r = bench(100, 1000, || {
+    let r = bench(iters.0, iters.1, || {
         for _ in 0..1000 {
             pc = pc.wrapping_add(8);
             let t = pc & 16 != 0;
@@ -97,16 +148,82 @@ fn predictor_updates() {
             black_box(p.predict(pc));
         }
     });
-    println!(
-        "{}",
-        r.report("predictor/bimodal_train_predict (x1000)", None)
-    );
+    record(cases, "predictor/bimodal_train_predict (x1000)", r, None);
+}
+
+fn baseline_ms(name: &str) -> Option<f64> {
+    SCAN_BASELINE_MS
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|&(_, ms)| ms)
+}
+
+fn summary_json(cases: &[Case], quick: bool) -> Json {
+    let mut arr = Json::arr();
+    let mut speedups = Vec::new();
+    for c in cases {
+        let min_ms = c.result.min.as_secs_f64() * 1e3;
+        let mut obj = Json::obj()
+            .field("name", c.name.as_str())
+            .field("iters", c.result.iters)
+            .field("min_ms", min_ms)
+            .field("mean_ms", c.result.mean.as_secs_f64() * 1e3)
+            .field("max_ms", c.result.max.as_secs_f64() * 1e3);
+        if let Some(n) = c.elements {
+            obj = obj.field("melem_per_sec", c.result.throughput(n) / 1e6);
+        }
+        if let Some(base) = baseline_ms(&c.name) {
+            let speedup = if min_ms > 0.0 { base / min_ms } else { 0.0 };
+            speedups.push(speedup);
+            obj = obj
+                .field("scan_baseline_min_ms", base)
+                .field("speedup_vs_scan", speedup);
+        }
+        arr = arr.push(obj);
+    }
+    let geomean = if speedups.is_empty() {
+        0.0
+    } else {
+        (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp()
+    };
+    Json::obj()
+        .field("bench", "simulator")
+        .field("quick", quick)
+        .field("trace", "gzip tiny (committed-path µop trace)")
+        .field(
+            "scan_baseline",
+            "scan-based scheduler seed, bench(2,10) min on the reference container",
+        )
+        .field("geomean_speedup_vs_scan", geomean)
+        .field("cases", arr)
 }
 
 fn main() {
-    emulator_throughput();
-    simulation_throughput();
-    irb_operations();
-    cache_accesses();
-    predictor_updates();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    // Cargo runs bench binaries with the package directory as cwd, so
+    // anchor the default output at the workspace root instead.
+    let default_out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_simulator.json");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or(default_out, String::as_str);
+
+    // Quick mode exists for CI smoke: one warmup + three timed
+    // iterations keeps the whole run under a few seconds while still
+    // exercising every case and the summary writer.
+    let sim_iters = if quick { (1, 3) } else { (2, 10) };
+    let micro_iters = if quick { (10, 100) } else { (100, 1000) };
+
+    let mut cases = Vec::new();
+    emulator_throughput(&mut cases, sim_iters);
+    simulation_throughput(&mut cases, sim_iters);
+    irb_operations(&mut cases, micro_iters);
+    cache_accesses(&mut cases, micro_iters);
+    predictor_updates(&mut cases, micro_iters);
+
+    let json = summary_json(&cases, quick);
+    std::fs::write(out, format!("{json}\n")).expect("write bench summary");
+    println!("wrote {out}");
 }

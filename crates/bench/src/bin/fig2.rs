@@ -69,5 +69,11 @@ fn main() {
     cells.extend(losses.iter().map(|l| pct(mean(l))));
     table.row(cells);
 
-    emit(&cli, "Figure 2: % IPC loss with respect to SIE", "", &table);
+    emit(
+        &cli,
+        "Figure 2: % IPC loss with respect to SIE",
+        "",
+        &table,
+        h.perf(),
+    );
 }

@@ -55,5 +55,6 @@ fn main() {
             base.cluster_delay
         ),
         &table,
+        h.perf(),
     );
 }

@@ -71,5 +71,6 @@ fn main() {
         "IRB conflict-miss reduction (reconstructed Fig. E)",
         "64 entries per organization + the 1024-entry reference",
         &table,
+        h.perf(),
     );
 }

@@ -122,5 +122,6 @@ fn main() {
         "Transient-fault detection coverage (reconstructed Fig. F, §3.4)",
         "",
         &table,
+        h.perf(),
     );
 }

@@ -61,5 +61,6 @@ fn main() {
         "Fidelity ablation: wrong-path i-fetch + store-to-load forwarding",
         "",
         &table,
+        h.perf(),
     );
 }

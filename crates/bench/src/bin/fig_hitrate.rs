@@ -59,5 +59,6 @@ fn main() {
         "IRB hit and reuse rates under DIE-IRB (reconstructed Fig. B)",
         "1024-entry direct-mapped, 4R/2W/2RW",
         &table,
+        h.perf(),
     );
 }

@@ -54,5 +54,6 @@ fn main() {
         "Value-based vs name-based reuse (Ablation G, §3.3)",
         "",
         &table,
+        h.perf(),
     );
 }

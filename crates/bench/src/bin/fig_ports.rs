@@ -81,5 +81,6 @@ fn main() {
         "DIE-IRB IPC vs IRB port provisioning (reconstructed Fig. D)",
         "",
         &table,
+        h.perf(),
     );
 }

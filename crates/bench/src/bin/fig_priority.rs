@@ -44,5 +44,6 @@ fn main() {
         "Scheduling vs reuse: where DIE-IRB's gain comes from",
         "",
         &table,
+        h.perf(),
     );
 }

@@ -95,5 +95,6 @@ fn main() {
             }
         ),
         &table,
+        h.perf(),
     );
 }

@@ -63,5 +63,6 @@ fn main() {
         "DIE-IRB under the three scheduler models of §3.3",
         "",
         &table,
+        h.perf(),
     );
 }

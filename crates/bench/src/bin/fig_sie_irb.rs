@@ -52,5 +52,11 @@ fn main() {
         pct(mean(&die_gain)),
     ]);
 
-    emit(&cli, "IRB on SIE vs IRB on DIE (Ablation H)", "", &table);
+    emit(
+        &cli,
+        "IRB on SIE vs IRB on DIE (Ablation H)",
+        "",
+        &table,
+        h.perf(),
+    );
 }

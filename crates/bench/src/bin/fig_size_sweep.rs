@@ -51,5 +51,6 @@ fn main() {
         "DIE-IRB IPC vs IRB capacity (reconstructed Fig. C)",
         "",
         &table,
+        h.perf(),
     );
 }

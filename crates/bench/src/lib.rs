@@ -39,7 +39,9 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
-use redsim_core::{ExecMode, FaultConfig, MachineConfig, SimStats, Simulator, SliceSource};
+use redsim_core::{
+    ExecMode, FaultConfig, MachineConfig, SimStats, Simulator, SliceSource, Throughput,
+};
 use redsim_isa::trace::DynInst;
 use redsim_util::Json;
 use redsim_workloads::{Params, Workload};
@@ -135,20 +137,32 @@ impl Job {
     }
 }
 
-fn run_job(trace: &[DynInst], job: &Job) -> SimStats {
+/// Runs one job, reporting its stats and the wall-clock throughput of
+/// the timing simulation (trace construction is excluded — the caller
+/// materializes traces up front).
+fn run_job(trace: &[DynInst], job: &Job) -> (SimStats, Throughput) {
     let mut source = SliceSource::new(trace);
     let mut sim = Simulator::new(job.config.clone(), job.mode);
     if let Some(fc) = job.faults {
         sim = sim.with_faults(fc);
     }
-    sim.run_source(&mut source).expect("simulation completes")
+    let t0 = std::time::Instant::now();
+    let stats = sim.run_source(&mut source).expect("simulation completes");
+    let perf = Throughput {
+        wall_seconds: t0.elapsed().as_secs_f64(),
+        sim_cycles: stats.cycles,
+        committed_insts: stats.committed_insts,
+    };
+    (stats, perf)
 }
 
-/// Harness context: workload sizing and per-workload trace caching.
+/// Harness context: workload sizing, per-workload trace caching, and
+/// accumulated wall-clock throughput of every simulation run.
 #[derive(Debug, Default)]
 pub struct Harness {
     quick: bool,
     cache: HashMap<Workload, Arc<[DynInst]>>,
+    perf: Throughput,
 }
 
 impl Harness {
@@ -158,6 +172,7 @@ impl Harness {
         Harness {
             quick,
             cache: HashMap::new(),
+            perf: Throughput::default(),
         }
     }
 
@@ -208,10 +223,20 @@ impl Harness {
         trace
     }
 
+    /// Wall-clock throughput accumulated over every simulation this
+    /// harness has run (timing simulation only; functional trace
+    /// construction is excluded).
+    #[must_use]
+    pub fn perf(&self) -> &Throughput {
+        &self.perf
+    }
+
     /// Runs one workload under one mode and machine configuration.
     pub fn run(&mut self, w: Workload, mode: ExecMode, cfg: &MachineConfig) -> SimStats {
         let trace = self.trace(w);
-        run_job(&trace, &Job::new(w, mode, cfg))
+        let (stats, perf) = run_job(&trace, &Job::new(w, mode, cfg));
+        self.perf.add(&perf);
+        stats
     }
 
     /// Runs an experiment grid, fanning the jobs across `threads`
@@ -224,30 +249,40 @@ impl Harness {
     pub fn sweep(&mut self, jobs: &[Job], threads: usize) -> Vec<SimStats> {
         let traces: Vec<Arc<[DynInst]>> = jobs.iter().map(|j| self.trace(j.workload)).collect();
         let threads = threads.clamp(1, jobs.len().max(1));
-        if threads == 1 {
-            return jobs
-                .iter()
+        let results: Vec<(SimStats, Throughput)> = if threads == 1 {
+            jobs.iter()
                 .zip(&traces)
                 .map(|(j, t)| run_job(t, j))
-                .collect();
-        }
-        let next = AtomicUsize::new(0);
-        let slots: Vec<OnceLock<SimStats>> = jobs.iter().map(|_| OnceLock::new()).collect();
-        std::thread::scope(|s| {
-            for _ in 0..threads {
-                s.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= jobs.len() {
-                        break;
-                    }
-                    let stats = run_job(&traces[i], &jobs[i]);
-                    assert!(slots[i].set(stats).is_ok(), "each job runs once");
-                });
-            }
-        });
-        slots
+                .collect()
+        } else {
+            let next = AtomicUsize::new(0);
+            let slots: Vec<OnceLock<(SimStats, Throughput)>> =
+                jobs.iter().map(|_| OnceLock::new()).collect();
+            std::thread::scope(|s| {
+                for _ in 0..threads {
+                    s.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= jobs.len() {
+                            break;
+                        }
+                        let stats = run_job(&traces[i], &jobs[i]);
+                        assert!(slots[i].set(stats).is_ok(), "each job runs once");
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|c| c.into_inner().expect("worker filled every slot"))
+                .collect()
+        };
+        // Accumulate in job order so the total is thread-count
+        // independent apart from the wall-clock values themselves.
+        results
             .into_iter()
-            .map(|c| c.into_inner().expect("worker filled every slot"))
+            .map(|(stats, perf)| {
+                self.perf.add(&perf);
+                stats
+            })
             .collect()
     }
 }
@@ -347,14 +382,19 @@ impl Table {
 ///
 /// In text mode this reproduces the binaries' traditional layout: the
 /// title, a parenthesized note including the quick-mode flag, a blank
-/// line, then the aligned table.
-pub fn emit(cli: &Cli, title: &str, note: &str, table: &Table) {
+/// line, then the aligned table. `perf` (usually [`Harness::perf`])
+/// reports the host-side wall-clock throughput of the runs behind the
+/// figure: in JSON it lands in a trailing `"perf"` field; in text mode
+/// it goes to *stderr*, keeping stdout captures byte-stable across
+/// machines.
+pub fn emit(cli: &Cli, title: &str, note: &str, table: &Table, perf: &Throughput) {
     if cli.json {
         let out = Json::obj()
             .field("title", title)
             .field("note", note)
             .field("quick", cli.quick)
-            .field("table", table.to_json());
+            .field("table", table.to_json())
+            .field("perf", perf.to_json());
         println!("{out}");
     } else {
         println!("{title}");
@@ -364,6 +404,17 @@ pub fn emit(cli: &Cli, title: &str, note: &str, table: &Table) {
             println!("({note}, quick mode: {})\n", cli.quick);
         }
         print!("{}", table.render());
+        if perf.wall_seconds > 0.0 {
+            eprintln!(
+                "perf: {:.2}s wall, {:.2}M cycles/s, {:.2}M insts/s \
+                 ({} sim cycles, {} committed insts)",
+                perf.wall_seconds,
+                perf.cycles_per_sec() / 1e6,
+                perf.insts_per_sec() / 1e6,
+                perf.sim_cycles,
+                perf.committed_insts,
+            );
+        }
     }
 }
 

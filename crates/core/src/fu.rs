@@ -92,6 +92,10 @@ pub fn op_timing(class: OpClass, lat: &LatencyConfig) -> OpTiming {
 struct UnitPool {
     busy_until: Vec<u64>,
     busy_cycles: u64,
+    /// No unit frees before this cycle — cached on a full-pool miss.
+    /// `busy_until` values only grow, so the bound stays valid forever
+    /// and repeated structural-hazard probes skip the scan entirely.
+    free_hint: u64,
 }
 
 impl UnitPool {
@@ -99,11 +103,16 @@ impl UnitPool {
         UnitPool {
             busy_until: vec![0; count],
             busy_cycles: 0,
+            free_hint: 0,
         }
     }
 
     fn try_issue(&mut self, cycle: u64, timing: OpTiming) -> bool {
+        if cycle < self.free_hint {
+            return false;
+        }
         let Some(unit) = self.busy_until.iter_mut().find(|b| **b <= cycle) else {
+            self.free_hint = self.busy_until.iter().copied().min().unwrap_or(u64::MAX);
             return false;
         };
         // A pipelined unit is only unavailable for the issue cycle; an

@@ -63,14 +63,15 @@ mod fu;
 mod irb_unit;
 mod pipeline;
 mod ruu;
+pub mod sched;
 mod source;
 mod stats;
 
 pub use config::{
     DcacheConfig, ExecMode, ForwardingPolicy, FuCounts, IssuePolicy, LatencyConfig, MachineConfig,
-    SchedulerModel,
+    SchedEngine, SchedulerModel,
 };
 pub use fault::{FaultConfig, FaultStats};
 pub use pipeline::{SimError, Simulator};
 pub use source::{ArcSource, EmulatorSource, InstructionSource, SliceSource, VecSource};
-pub use stats::{FetchStallKind, SimStats};
+pub use stats::{FetchStallKind, SimStats, Throughput};

@@ -1,19 +1,23 @@
 //! The cycle loop: fetch, dispatch, issue, writeback, commit.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::error::Error;
 use std::fmt;
 
 use redsim_isa::trace::DynInst;
 use redsim_isa::{EmuError, OpClass, Program};
 use redsim_mem::{Hierarchy, Level};
+use redsim_util::FxHashMap;
 
-use crate::config::{ExecMode, ForwardingPolicy, IssuePolicy, MachineConfig, SchedulerModel};
+use crate::config::{
+    ExecMode, ForwardingPolicy, IssuePolicy, MachineConfig, SchedEngine, SchedulerModel,
+};
 use crate::fault::{FaultConfig, FaultInjector};
 use crate::frontend::{FetchOutcome, FrontEnd};
 use crate::fu::{FuBank, Pool};
 use crate::irb_unit::{reuse_output, IrbUnit};
 use crate::ruu::{Entry, EntryState, ReuseState, Ruu, Stream};
+use crate::sched::{self, Calendar, ReadyQueue};
 use crate::source::{EmulatorSource, InstructionSource};
 use crate::stats::{BranchSummary, IrbSummary, SimStats};
 
@@ -162,6 +166,16 @@ enum ResumeReason {
     BtbBubble,
 }
 
+/// The entry fields an FU-issue attempt needs, read once by the issue
+/// loop's candidate guard.
+#[derive(Debug, Clone, Copy)]
+struct FuAttempt {
+    class: OpClass,
+    is_load: bool,
+    is_dup: bool,
+    input_corrupt: u64,
+}
+
 #[derive(Debug, Clone)]
 struct FetchedInst {
     di: DynInst,
@@ -183,7 +197,7 @@ struct Machine<'a> {
     rename_int: [[Option<u64>; 32]; 2],
     rename_fp: [[Option<u64>; 32]; 2],
     lsq_used: usize,
-    last_store: HashMap<u64, u64>,
+    last_store: FxHashMap<u64, u64>,
     frontend: FrontEnd,
     hierarchy: Hierarchy,
     fu: FuBank,
@@ -204,6 +218,27 @@ struct Machine<'a> {
     /// Rename bank the duplicate stream reads its sources from.
     dup_source_bank: usize,
     cycles_since_commit: u64,
+    /// `true` under [`SchedEngine::EventDriven`]; gates every queue and
+    /// calendar update so the scan reference never accumulates stale
+    /// events.
+    event_driven: bool,
+    /// Ready entries per stream (indexed [`PRIMARY`]/[`DUP`]); the
+    /// §3.1 primary-first policy is the drain order of these queues.
+    ready: [ReadyQueue; 2],
+    /// Completion events keyed by `complete_at`.
+    calendar: Calendar,
+    /// Scratch for the seqs completing this cycle (reused every cycle).
+    scratch_events: Vec<u64>,
+    /// Scratch for the issue candidates of this cycle.
+    scratch_candidates: Vec<u64>,
+    /// Scratch for the producer seqs of the entry being dispatched.
+    scratch_producers: Vec<u64>,
+    /// Scratch for the seqs that left the ready state during issue.
+    scratch_removed: Vec<u64>,
+    /// Recycled `consumers` vectors (bounded by in-flight producers):
+    /// broadcast returns each drained list here, dispatch hands them
+    /// back out, so steady-state wakeup never allocates.
+    consumer_pool: Vec<Vec<u64>>,
 }
 
 impl<'a> Machine<'a> {
@@ -228,7 +263,7 @@ impl<'a> Machine<'a> {
             rename_int: [[None; 32]; 2],
             rename_fp: [[None; 32]; 2],
             lsq_used: 0,
-            last_store: HashMap::new(),
+            last_store: FxHashMap::default(),
             frontend: FrontEnd::new(cfg),
             hierarchy: Hierarchy::new(cfg.hierarchy),
             fu: FuBank::new(cfg.fu, cfg.latency),
@@ -245,6 +280,33 @@ impl<'a> Machine<'a> {
             wrong_path_pc: None,
             dup_source_bank,
             cycles_since_commit: 0,
+            event_driven: cfg.engine == SchedEngine::EventDriven,
+            ready: [ReadyQueue::default(), ReadyQueue::default()],
+            calendar: Calendar::new(),
+            scratch_events: Vec::new(),
+            scratch_candidates: Vec::new(),
+            scratch_producers: Vec::new(),
+            scratch_removed: Vec::new(),
+            consumer_pool: Vec::new(),
+        }
+    }
+
+    /// Files a newly [`EntryState::Ready`] entry with its stream's
+    /// queue. Every `Ready` transition outside the issue loop must pass
+    /// through here — the queues ARE the ready set under the
+    /// event-driven engine.
+    fn push_ready(&mut self, seq: u64, stream: Stream) {
+        if self.event_driven {
+            let q = if stream == Stream::Dup { DUP } else { PRIMARY };
+            self.ready[q].push(seq);
+        }
+    }
+
+    /// Files a completion event for an entry entering
+    /// [`EntryState::Issued`] with `complete_at = Some(at)`.
+    fn schedule_completion(&mut self, at: u64, seq: u64) {
+        if self.event_driven {
+            self.calendar.schedule(at, self.cycle, seq);
         }
     }
 
@@ -353,7 +415,14 @@ impl<'a> Machine<'a> {
                 }
             }
 
-            let di = self.ruu.get(head).expect("head exists").di;
+            // Only the op kind and address are needed on the common
+            // path; the full `DynInst` is copied out solely for the
+            // IRB's commit-time update below.
+            let (is_store, is_mem, ea) = {
+                let e = self.ruu.get(head).expect("head exists");
+                let op = e.di.inst.op;
+                (op.is_store(), op.is_mem(), e.di.ea)
+            };
             // Invariant: an untainted copy's comparator word equals the
             // architectural check value derived from the trace.
             debug_assert!({
@@ -362,17 +431,17 @@ impl<'a> Machine<'a> {
             });
 
             // The pair's single architectural store access.
-            if di.inst.op.is_store() {
+            if is_store {
                 if self.dcache_used >= self.cfg.dcache.ports {
                     break; // retry next cycle
                 }
                 self.dcache_used += 1;
-                let ea = di.ea.expect("store has an address");
-                let _ = self.hierarchy.write_data(ea);
+                let _ = self.hierarchy.write_data(ea.expect("store has an address"));
             }
 
             // Commit-time IRB update (§3.2: off the critical path).
-            if let Some(irb) = &mut self.irb {
+            if self.irb.is_some() {
+                let di = self.ruu.get(head).expect("head exists").di;
                 let insert = match self.mode {
                     ExecMode::DieIrb => {
                         // Update on executions the IRB did not serve.
@@ -395,17 +464,30 @@ impl<'a> Machine<'a> {
                             | OpClass::FpDiv
                             | OpClass::FpSqrt
                     );
-                if insert && insert_allowed {
-                    let _ = irb.try_insert(&di);
+                if let Some(irb) = self.irb.as_mut() {
+                    if insert && insert_allowed {
+                        let _ = irb.try_insert(&di);
+                    }
+                    irb.on_register_write(&di);
                 }
-                irb.on_register_write(&di);
             }
 
-            // Retire.
+            // Retire. A committing store tears down its store-address
+            // map entry (unless a newer in-flight store to the same
+            // address overwrote it), keeping `last_store` bounded by
+            // the LSQ instead of growing with the trace. Readers treat
+            // a committed seq and a missing key identically, so this
+            // changes no timing.
+            if is_store {
+                let key = ea.expect("store has an address") & !7;
+                if self.last_store.get(&key) == Some(&head) {
+                    self.last_store.remove(&key);
+                }
+            }
             for _ in 0..need {
                 self.ruu.pop();
             }
-            if di.inst.op.is_mem() {
+            if is_mem {
                 self.lsq_used -= 1;
             }
             self.stats.committed_insts += 1;
@@ -436,6 +518,8 @@ impl<'a> Machine<'a> {
             e.input_corrupt = 0;
             // Force the re-execution down the functional units.
             e.reuse = ReuseState::NotEligible;
+            let stream = e.stream;
+            self.push_ready(seq, stream);
         }
         let resume = self.cycle + self.cfg.mispredict_penalty;
         if resume > self.resume_at {
@@ -447,14 +531,28 @@ impl<'a> Machine<'a> {
     // ----- writeback ------------------------------------------------
 
     fn writeback(&mut self) {
-        let completing: Vec<u64> = self
-            .ruu
-            .iter()
-            .filter(|(_, e)| e.state == EntryState::Issued && e.complete_at == Some(self.cycle))
-            .map(|(s, _)| s)
-            .collect();
-        for seq in completing {
-            let e = self.ruu.get(seq).expect("completing entry exists");
+        let mut completing = std::mem::take(&mut self.scratch_events);
+        if self.event_driven {
+            self.calendar.pop_due(self.cycle, &mut completing);
+        } else {
+            completing.clear();
+            completing.extend(
+                self.ruu
+                    .iter()
+                    .filter(|(_, e)| {
+                        e.state == EntryState::Issued && e.complete_at == Some(self.cycle)
+                    })
+                    .map(|(s, _)| s),
+            );
+        }
+        for &seq in &completing {
+            // The scan selected on exactly this predicate; re-checking
+            // it at pop time keeps the engines interchangeable and
+            // makes any stale calendar event a no-op.
+            let Some(e) = self.ruu.get(seq) else { continue };
+            if e.state != EntryState::Issued || e.complete_at != Some(self.cycle) {
+                continue;
+            }
             let is_dup_load = e.stream == Stream::Dup && e.di.inst.op.is_load();
             if is_dup_load {
                 let partner_done = self.ruu.get(seq - 1).is_some_and(Entry::is_done);
@@ -467,24 +565,25 @@ impl<'a> Machine<'a> {
             }
             self.mark_done(seq);
         }
+        self.scratch_events = completing;
     }
 
     /// Finalizes an entry: broadcast, branch resolution, pair wakeup.
     fn mark_done(&mut self, seq: u64) {
-        {
+        let (stream, is_load) = {
             let e = self.ruu.get_mut(seq).expect("entry exists");
             e.state = EntryState::Done;
             if e.complete_at.is_none() {
                 e.complete_at = Some(self.cycle);
             }
-        }
+            (e.stream, e.di.inst.op.is_load())
+        };
         self.resolve_control(seq);
         self.broadcast(seq);
 
         // A completing primary load releases its duplicate. In the
         // clustered organization the data crosses clusters first.
-        let e = self.ruu.get(seq).expect("entry exists");
-        if e.stream == Stream::Primary && e.di.inst.op.is_load() && self.is_dual() {
+        if stream == Stream::Primary && is_load && self.is_dual() {
             let partner = seq + 1;
             if self
                 .ruu
@@ -492,9 +591,11 @@ impl<'a> Machine<'a> {
                 .is_some_and(|p| p.state == EntryState::WaitingPair)
             {
                 if self.mode == ExecMode::DieCluster && self.cfg.cluster_delay > 0 {
+                    let at = self.cycle + self.cfg.cluster_delay;
                     let p = self.ruu.get_mut(partner).expect("partner exists");
                     p.state = EntryState::Issued;
-                    p.complete_at = Some(self.cycle + self.cfg.cluster_delay);
+                    p.complete_at = Some(at);
+                    self.schedule_completion(at, partner);
                 } else {
                     self.mark_done(partner);
                 }
@@ -510,9 +611,11 @@ impl<'a> Machine<'a> {
         if e.di.control.is_none() || e.resolution_reported {
             return;
         }
-        let di = e.di;
+        let di_seq = e.di.seq;
         let stream = e.stream;
-        self.frontend.train(&di);
+        // Train through the borrow — `frontend` and `ruu` are disjoint
+        // fields, so no `DynInst` copy is needed.
+        self.frontend.train(&e.di);
         self.ruu.get_mut(seq).expect("entry").resolution_reported = true;
         if self.is_dual() {
             let partner = match stream {
@@ -523,7 +626,7 @@ impl<'a> Machine<'a> {
                 p.resolution_reported = true;
             }
         }
-        if self.front_state == FrontState::WaitBranch(di.seq) {
+        if self.front_state == FrontState::WaitBranch(di_seq) {
             self.front_state = FrontState::Running;
             self.wrong_path_pc = None;
             let resume = self.cycle + self.cfg.mispredict_penalty;
@@ -536,7 +639,7 @@ impl<'a> Machine<'a> {
 
     /// Result broadcast: wake consumers, possibly striking the bus.
     fn broadcast(&mut self, seq: u64) {
-        let consumers = {
+        let mut consumers = {
             let e = self.ruu.get_mut(seq).expect("entry exists");
             std::mem::take(&mut e.consumers)
         };
@@ -548,7 +651,8 @@ impl<'a> Machine<'a> {
         } else {
             0
         };
-        for c in consumers {
+        for &c in &consumers {
+            let mut woke = None;
             if let Some(e) = self.ruu.get_mut(c) {
                 if mask != 0 {
                     e.input_corrupt ^= mask;
@@ -559,22 +663,22 @@ impl<'a> Machine<'a> {
                     if e.deps_remaining == 0 && e.state == EntryState::Waiting {
                         e.state = EntryState::Ready;
                         e.ready_at = self.cycle;
+                        woke = Some(e.stream);
                     }
                 }
             }
+            if let Some(stream) = woke {
+                self.push_ready(c, stream);
+            }
         }
+        consumers.clear();
+        self.consumer_pool.push(consumers);
     }
 
     // ----- issue ----------------------------------------------------
 
     fn issue(&mut self) {
         let mut issued = 0usize;
-        let mut candidates: Vec<u64> = self
-            .ruu
-            .iter()
-            .filter(|(_, e)| e.state == EntryState::Ready)
-            .map(|(s, _)| s)
-            .collect();
         // DIE-IRB selection policy (§3.1): the primary stream owns the
         // functional units — duplicates are IRB candidates first and
         // contend for leftover FU slots second. Plain DIE keeps the
@@ -584,27 +688,91 @@ impl<'a> Machine<'a> {
             IssuePolicy::OldestFirst => false,
             IssuePolicy::PrimaryFirst => self.is_dual(),
         };
-        if primary_first {
-            candidates.sort_by_key(|&s| {
-                let is_dup = self.ruu.get(s).is_some_and(|e| e.stream == Stream::Dup);
-                (is_dup, s)
-            });
+        let mut candidates = std::mem::take(&mut self.scratch_candidates);
+        candidates.clear();
+        if self.event_driven {
+            // Copying the ready set up front snapshots it exactly as the
+            // scan did: entries woken by a mid-issue broadcast land in
+            // the queues' incoming buffers and wait for the next cycle.
+            let [primary, dup] = &mut self.ready;
+            if primary_first {
+                primary.append_to(&mut candidates);
+                dup.append_to(&mut candidates);
+            } else {
+                sched::merge_into(primary, dup, &mut candidates);
+            }
+        } else {
+            candidates.extend(
+                self.ruu
+                    .iter()
+                    .filter(|(_, e)| e.state == EntryState::Ready)
+                    .map(|(s, _)| s),
+            );
+            if primary_first {
+                candidates.sort_by_key(|&s| {
+                    let is_dup = self.ruu.get(s).is_some_and(|e| e.stream == Stream::Dup);
+                    (is_dup, s)
+                });
+            }
         }
-        for seq in candidates {
+        // Without an IRB every entry's reuse state is NotEligible, so
+        // `try_bypass` can never fire: skip the call, and stop scanning
+        // entirely once the issue slots are gone.
+        let has_irb = self.irb.is_some();
+        // Seqs that left the Ready state this cycle (issued, bypassed,
+        // or found stale); everything else stays queued.
+        let mut removed = std::mem::take(&mut self.scratch_removed);
+        removed.clear();
+        for &seq in &candidates {
+            // One read covers the still-ready guard and everything an
+            // issue attempt needs; most attempts fail, so they should
+            // touch the entry exactly once.
+            let Some(e) = self.ruu.get(seq) else {
+                removed.push(seq);
+                continue;
+            };
+            if e.state != EntryState::Ready {
+                removed.push(seq);
+                continue;
+            }
+            let attempt = FuAttempt {
+                class: e.di.class(),
+                is_load: e.di.inst.op.is_load(),
+                is_dup: e.stream == Stream::Dup,
+                input_corrupt: e.input_corrupt,
+            };
             // Reuse-test bypass. With a data-capture scheduler this
             // consumes neither issue bandwidth nor a functional unit
             // (§3.3); the non-data-capture models charge their costs
             // inside `try_bypass`.
-            if self.try_bypass(seq, &mut issued) {
+            if has_irb && self.try_bypass(seq, &mut issued) {
+                removed.push(seq);
                 continue;
             }
             if issued >= self.cfg.issue_width {
-                continue;
+                if has_irb {
+                    continue;
+                }
+                break;
             }
-            if self.try_fu_issue(seq) {
+            if self.try_fu_issue(seq, attempt) {
                 issued += 1;
+                removed.push(seq);
             }
         }
+        // Entries that lost arbitration (no unit, no port, lookup in
+        // flight) are still Ready and stay queued; drop exactly the
+        // ones that left. The removal list is at most a few entries,
+        // so the membership test is a short linear scan — cheaper than
+        // re-reading every ready entry's pipeline state.
+        if self.event_driven && !removed.is_empty() {
+            for q in &mut self.ready {
+                q.sweep(|s| !removed.contains(&s));
+            }
+        }
+        removed.clear();
+        self.scratch_removed = removed;
+        self.scratch_candidates = candidates;
     }
 
     /// Attempts the IRB reuse test on a ready entry. Returns `true` if
@@ -679,10 +847,11 @@ impl<'a> Machine<'a> {
                 // SIE-IRB: address calc skipped, data access remains.
                 self.dcache_used += 1;
                 let ea = di.ea.expect("load has an address");
-                let lat = self.hierarchy.read_data(ea);
+                let at = self.cycle + self.hierarchy.read_data(ea);
                 let e = self.ruu.get_mut(seq).expect("entry");
                 e.state = EntryState::Issued;
-                e.complete_at = Some(self.cycle + lat);
+                e.complete_at = Some(at);
+                self.schedule_completion(at, seq);
             }
         } else {
             self.mark_done(seq);
@@ -691,13 +860,16 @@ impl<'a> Machine<'a> {
     }
 
     /// Attempts to issue a ready entry to its functional-unit pool.
-    fn try_fu_issue(&mut self, seq: u64) -> bool {
-        let (di, input_corrupt, is_dup) = {
-            let e = self.ruu.get(seq).expect("candidate exists");
-            (e.di, e.input_corrupt, e.stream == Stream::Dup)
-        };
-        let class = di.class();
-        let needs_dcache = di.inst.op.is_load() && (!is_dup || !self.is_dual());
+    /// `attempt` carries the entry fields the caller already read;
+    /// the full `DynInst` is copied only after a unit is secured.
+    fn try_fu_issue(&mut self, seq: u64, attempt: FuAttempt) -> bool {
+        let FuAttempt {
+            class,
+            is_load,
+            is_dup,
+            input_corrupt,
+        } = attempt;
+        let needs_dcache = is_load && (!is_dup || !self.is_dual());
         if needs_dcache && self.dcache_used >= self.cfg.dcache.ports {
             return false;
         }
@@ -709,6 +881,7 @@ impl<'a> Machine<'a> {
             return false;
         };
         self.stats.fu_issues += 1;
+        let di = self.ruu.get(seq).expect("candidate exists").di;
 
         // Naive non-data-capture (§3.3): the operands arrive only now,
         // after selection and allocation; a passing reuse test wastes
@@ -785,6 +958,7 @@ impl<'a> Machine<'a> {
         if struck {
             e.fault_tainted = true;
         }
+        self.schedule_completion(complete_at, seq);
         true
     }
 
@@ -798,12 +972,12 @@ impl<'a> Machine<'a> {
                 break;
             }
             let Some(front) = self.ifq.front() else { break };
-            let di = front.di;
+            let is_mem = front.di.inst.op.is_mem();
             if self.ruu.free() < need {
                 self.stats.dispatch_stalls_ruu += 1;
                 break;
             }
-            if di.inst.op.is_mem() && self.lsq_used >= self.cfg.lsq_size {
+            if is_mem && self.lsq_used >= self.cfg.lsq_size {
                 self.stats.dispatch_stalls_lsq += 1;
                 break;
             }
@@ -823,12 +997,16 @@ impl<'a> Machine<'a> {
             primary.lookup_done_at = fetched.lookup_done_at;
         }
         primary.deps_remaining = self.link_deps(pseq, &di, PRIMARY, true);
-        if primary.deps_remaining == 0 {
+        let primary_ready = primary.deps_remaining == 0;
+        if primary_ready {
             primary.state = EntryState::Ready;
             primary.ready_at = self.cycle;
         }
         let pushed = self.ruu.push(primary);
         debug_assert_eq!(pushed, pseq);
+        if primary_ready {
+            self.push_ready(pseq, Stream::Primary);
+        }
 
         // Duplicate copy.
         if self.is_dual() {
@@ -839,11 +1017,15 @@ impl<'a> Machine<'a> {
                 dup.lookup_done_at = fetched.lookup_done_at;
             }
             dup.deps_remaining = self.link_deps(dseq, &di, self.dup_source_bank, false);
-            if dup.deps_remaining == 0 {
+            let dup_ready = dup.deps_remaining == 0;
+            if dup_ready {
                 dup.state = EntryState::Ready;
                 dup.ready_at = self.cycle;
             }
             self.ruu.push(dup);
+            if dup_ready {
+                self.push_ready(dseq, Stream::Dup);
+            }
         }
 
         // Rename updates (after both copies read the old mappings).
@@ -876,7 +1058,8 @@ impl<'a> Machine<'a> {
     /// Registers producer→consumer edges; returns the dependence count.
     fn link_deps(&mut self, myseq: u64, di: &DynInst, bank: usize, is_primary: bool) -> usize {
         let mut deps = 0;
-        let mut producers: Vec<u64> = Vec::new();
+        let mut producers = std::mem::take(&mut self.scratch_producers);
+        producers.clear();
         for r in di.inst.int_sources() {
             if r.is_zero() {
                 continue;
@@ -898,14 +1081,27 @@ impl<'a> Machine<'a> {
                 producers.push(s);
             }
         }
-        for p in producers {
+        for &p in &producers {
+            // A producer touched for the first time gets a recycled
+            // consumers vector so its first push does not allocate.
+            let mut spare = self.consumer_pool.pop();
             if let Some(prod) = self.ruu.get_mut(p) {
                 if !prod.is_done() {
+                    if prod.consumers.capacity() == 0 {
+                        if let Some(v) = spare.take() {
+                            prod.consumers = v;
+                        }
+                    }
                     prod.consumers.push(myseq);
                     deps += 1;
                 }
             }
+            if let Some(v) = spare {
+                self.consumer_pool.push(v);
+            }
         }
+        producers.clear();
+        self.scratch_producers = producers;
         deps
     }
 

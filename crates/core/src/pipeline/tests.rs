@@ -863,3 +863,55 @@ fn long_latency_filter_restricts_reuse_to_expensive_ops() {
         filtered.fu_bypasses
     );
 }
+
+#[test]
+fn last_store_map_is_pruned_as_stores_commit() {
+    // Dozens of distinct addresses, stored over many loop iterations.
+    // Before prune-on-commit the memory-dependence map kept one entry
+    // per address ever stored for the life of the run; with pruning,
+    // every address's final writer removes its own entry at commit, so
+    // the map must be empty once the program drains.
+    let mut src =
+        String::from(".data\nbuf: .space 4096\n.text\nmain: la s0, buf\n li s1, 40\nloop:\n");
+    for i in 0..32 {
+        src.push_str(&format!(" sd t0, {}(s0)\n", i * 8));
+    }
+    src.push_str(" addi s1, s1, -1\n bnez s1, loop\n halt\n");
+    let p = assemble(&src).expect("assemble");
+    let cfg = MachineConfig::tiny();
+    for mode in [ExecMode::Sie, ExecMode::Die] {
+        let mut source = EmulatorSource::new(&p, 10_000_000);
+        let mut m = Machine::new(&cfg, mode, FaultConfig::none());
+        m.run(&mut source).expect("run");
+        assert!(
+            m.last_store.is_empty(),
+            "{mode:?}: {} stale store entries survived commit",
+            m.last_store.len()
+        );
+    }
+}
+
+#[test]
+fn scan_reference_engine_matches_event_driven() {
+    // The retained full-window scan is the oracle for the event-driven
+    // scheduler: identical SimStats on dependence-heavy, ILP-heavy and
+    // memory-heavy kernels, in every mode.
+    let mut mem =
+        String::from(".data\nbuf: .space 512\n.text\nmain: la s0, buf\n li s1, 25\nloop:\n");
+    for i in 0..8 {
+        mem.push_str(&format!(" sd t0, {}(s0)\n ld t1, {}(s0)\n", i * 8, i * 8));
+    }
+    mem.push_str(" addi s1, s1, -1\n bnez s1, loop\n halt\n");
+    for src in [serial_chain(40), parallel_adds(40), mem] {
+        let p = assemble(&src).expect("assemble");
+        for mode in [ExecMode::Sie, ExecMode::Die, ExecMode::DieIrb] {
+            let mut scan = MachineConfig::tiny();
+            scan.engine = SchedEngine::ScanReference;
+            let ev = Simulator::new(MachineConfig::tiny(), mode)
+                .run_program(&p)
+                .expect("event-driven");
+            let sc = Simulator::new(scan, mode).run_program(&p).expect("scan");
+            assert_eq!(ev, sc, "{mode:?}");
+        }
+    }
+}

@@ -202,6 +202,7 @@ impl Ruu {
     /// # Panics
     ///
     /// Panics if the RUU is full — dispatch must check [`Ruu::free`].
+    #[inline]
     pub fn push(&mut self, entry: Entry) -> u64 {
         assert!(self.entries.len() < self.capacity, "RUU overflow");
         let seq = self.next_seq();
@@ -221,6 +222,7 @@ impl Ruu {
     }
 
     /// The entry with absolute seq `seq`, if still in flight.
+    #[inline]
     #[must_use]
     pub fn get(&self, seq: u64) -> Option<&Entry> {
         let idx = seq.checked_sub(self.base)?;
@@ -228,6 +230,7 @@ impl Ruu {
     }
 
     /// Mutable access by absolute seq.
+    #[inline]
     pub fn get_mut(&mut self, seq: u64) -> Option<&mut Entry> {
         let idx = seq.checked_sub(self.base)?;
         self.entries.get_mut(idx as usize)

@@ -76,6 +76,61 @@ impl IrbSummary {
     }
 }
 
+///// Wall-clock throughput of one or more timing-simulation runs: how
+/// fast the *host* chews through simulated work (the perf-trajectory
+/// metric recorded in `BENCH_simulator.json`), as opposed to the
+/// simulated machine's own IPC.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Throughput {
+    /// Host seconds spent inside the timing simulation.
+    pub wall_seconds: f64,
+    /// Simulated cycles advanced in that time.
+    pub sim_cycles: u64,
+    /// Architected instructions committed in that time.
+    pub committed_insts: u64,
+}
+
+impl Throughput {
+    /// Accumulates another run into this record.
+    pub fn add(&mut self, other: &Throughput) {
+        self.wall_seconds += other.wall_seconds;
+        self.sim_cycles += other.sim_cycles;
+        self.committed_insts += other.committed_insts;
+    }
+
+    /// Simulated cycles per host second.
+    #[must_use]
+    pub fn cycles_per_sec(&self) -> f64 {
+        if self.wall_seconds <= 0.0 {
+            0.0
+        } else {
+            self.sim_cycles as f64 / self.wall_seconds
+        }
+    }
+
+    /// Committed instructions per host second.
+    #[must_use]
+    pub fn insts_per_sec(&self) -> f64 {
+        if self.wall_seconds <= 0.0 {
+            0.0
+        } else {
+            self.committed_insts as f64 / self.wall_seconds
+        }
+    }
+
+    /// The record as a flat JSON object (the `"perf"` field of the
+    /// figure binaries' `--json` output).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("wall_seconds", self.wall_seconds)
+            .field("sim_cycles", self.sim_cycles)
+            .field("committed_insts", self.committed_insts)
+            .field("cycles_per_sec", self.cycles_per_sec())
+            .field("insts_per_sec", self.insts_per_sec())
+    }
+}
+
 /// Everything a run reports.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimStats {

@@ -86,6 +86,10 @@ pub struct ReuseBuffer {
     victim: Vec<Slot>,
     stats: IrbStats,
     tick: u64,
+    /// `num_sets() - 1`, cached at construction: `set_of` runs on every
+    /// lookup and insert, and re-deriving (and re-validating) the set
+    /// count there dominated the access cost.
+    set_mask: usize,
 }
 
 impl ReuseBuffer {
@@ -97,12 +101,14 @@ impl ReuseBuffer {
     #[must_use]
     pub fn new(config: IrbConfig) -> Self {
         config.validate();
+        let set_mask = config.num_sets() - 1;
         ReuseBuffer {
             slots: vec![Slot::default(); config.entries],
             victim: vec![Slot::default(); config.victim_entries],
             config,
             stats: IrbStats::default(),
             tick: 0,
+            set_mask,
         }
     }
 
@@ -119,7 +125,7 @@ impl ReuseBuffer {
     }
 
     fn set_of(&self, pc: u64) -> usize {
-        ((pc >> 3) as usize) & (self.config.num_sets() - 1)
+        ((pc >> 3) as usize) & self.set_mask
     }
 
     /// Looks up `pc`, returning the buffered execution on a PC hit.

@@ -136,6 +136,12 @@ pub struct Cache {
     stats: CacheStats,
     tick: u64,
     rng: redsim_util::SplitMix64,
+    /// Geometry cached at construction — `set_index`/`tag` run on every
+    /// access, and re-deriving (and re-validating) the set count there
+    /// dominated the access cost.
+    set_mask: u64,
+    line_shift: u32,
+    tag_shift: u32,
 }
 
 impl Cache {
@@ -147,13 +153,18 @@ impl Cache {
     #[must_use]
     pub fn new(config: CacheConfig) -> Self {
         config.validate();
-        let total = (config.num_sets() * config.assoc) as usize;
+        let sets = config.num_sets();
+        let total = (sets * config.assoc) as usize;
+        let line_shift = config.line_bytes.trailing_zeros();
         Cache {
             config,
             lines: vec![Line::default(); total],
             stats: CacheStats::default(),
             tick: 0,
             rng: redsim_util::SplitMix64::new(0x9e37_79b9_7f4a_7c15),
+            set_mask: sets - 1,
+            line_shift,
+            tag_shift: line_shift + sets.trailing_zeros(),
         }
     }
 
@@ -170,12 +181,11 @@ impl Cache {
     }
 
     fn set_index(&self, addr: u64) -> usize {
-        let line = addr / self.config.line_bytes;
-        (line & (self.config.num_sets() - 1)) as usize
+        ((addr >> self.line_shift) & self.set_mask) as usize
     }
 
     fn tag(&self, addr: u64) -> u64 {
-        addr / self.config.line_bytes / self.config.num_sets()
+        addr >> self.tag_shift
     }
 
     fn next_random(&mut self) -> u64 {

@@ -13,16 +13,21 @@
 //!   replacement and generative tests).
 //! * [`json`] — a minimal JSON value model and writer ([`Json`]) for the
 //!   machine-readable output of the bench harness (`--json`).
+//! * [`hash`] — a deterministic non-cryptographic hasher
+//!   ([`FxHashMap`]) for integer-keyed maps probed per simulated
+//!   instruction.
 //! * [`timer`] — a wall-clock micro-benchmark timer ([`bench`]) backing
 //!   the `cargo bench` targets.
 //!
 //! Everything in this crate is deterministic given its inputs; nothing
 //! touches the filesystem or the environment.
 
+pub mod hash;
 pub mod json;
 pub mod rng;
 pub mod timer;
 
+pub use hash::FxHashMap;
 pub use json::Json;
 pub use rng::{Rng, SplitMix64};
 pub use timer::{bench, BenchResult};

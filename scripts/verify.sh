@@ -1,7 +1,12 @@
 #!/usr/bin/env bash
 # Full offline verification: formatting, lints, release build, the test
-# suite, and one end-to-end figure smoke. Run from anywhere; no network
-# access is needed (the workspace has zero external dependencies).
+# suite, an end-to-end figure smoke, and a bench smoke that exercises
+# the perf-baseline writer. Run from anywhere; no network access is
+# needed (the workspace has zero external dependencies).
+#
+#   scripts/verify.sh               # everything
+#   scripts/verify.sh bench-smoke   # only the bench + determinism smoke
+#                                   # (assumes a release build exists)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -10,24 +15,71 @@ run() {
     "$@"
 }
 
+# Wall-clock throughput ("perf") fields vary run to run by design;
+# strip them before any byte-identical comparison.
+strip_perf() {
+    sed -E 's/,"perf":\{[^{}]*\}//'
+}
+
+figure_smoke() {
+    # One figure end-to-end: quick JSON run, and the parallel sweep must
+    # be byte-identical to the serial one (modulo the perf field).
+    echo "==> fig_recovery --quick --json determinism check"
+    local bin=target/release/fig_recovery
+    local one many
+    one=$("$bin" --quick --json --threads 1)
+    many=$("$bin" --quick --json --threads 8)
+    if [ "$(strip_perf <<<"$one")" != "$(strip_perf <<<"$many")" ]; then
+        echo "FAIL: --threads 8 output differs from --threads 1" >&2
+        exit 1
+    fi
+    case "$one" in
+        '{"title":'*'"perf":{"wall_seconds":'*) ;;
+        *) echo "FAIL: --json output shape is wrong: $one" >&2; exit 1 ;;
+    esac
+}
+
+bench_smoke() {
+    # The simulator bench in quick mode: cheap, but it runs every case
+    # and the summary writer. The summary must be a well-formed record
+    # of the event-driven vs scan-baseline comparison.
+    # Cargo runs the bench binary from the package directory, so hand it
+    # an absolute output path.
+    local out="$PWD/target/BENCH_simulator.quick.json"
+    run cargo bench --offline -p redsim-bench --bench simulator -- \
+        --quick --out "$out"
+    case "$(cat "$out")" in
+        '{"bench":"simulator","quick":true,'*'"geomean_speedup_vs_scan":'*'"cases":['*) ;;
+        *) echo "FAIL: $out is not a well-formed bench summary" >&2; exit 1 ;;
+    esac
+
+    # Simulated stats must stay byte-identical to the committed
+    # quick-mode goldens — the scheduling rewrite is a host-side
+    # optimization, never a model change.
+    echo "==> quick-mode figure goldens"
+    local fig
+    for fig in results/quick/*.json; do
+        local name
+        name=$(basename "$fig" .json)
+        if ! "target/release/$name" --quick --json --threads 1 \
+                | strip_perf | cmp -s - "$fig"; then
+            echo "FAIL: $name --quick --json differs from committed $fig" >&2
+            exit 1
+        fi
+    done
+}
+
+if [ "${1:-}" = "bench-smoke" ]; then
+    bench_smoke
+    echo "OK: bench smoke passed"
+    exit 0
+fi
+
 run cargo fmt --all -- --check
 run cargo clippy --offline --workspace --all-targets -- -D warnings
 run cargo build --offline --release --workspace
 run cargo test --offline --workspace -q
-
-# One figure end-to-end: quick JSON run, and the parallel sweep must be
-# byte-identical to the serial one.
-echo "==> fig_recovery --quick --json determinism check"
-bin=target/release/fig_recovery
-one=$("$bin" --quick --json --threads 1)
-many=$("$bin" --quick --json --threads 8)
-if [ "$one" != "$many" ]; then
-    echo "FAIL: --threads 8 output differs from --threads 1" >&2
-    exit 1
-fi
-case "$one" in
-    '{"title":'*) ;;
-    *) echo "FAIL: --json output is not a JSON object: $one" >&2; exit 1 ;;
-esac
+figure_smoke
+bench_smoke
 
 echo "OK: all checks passed"
