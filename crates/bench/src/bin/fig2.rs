@@ -47,7 +47,7 @@ fn main() {
             jobs.push(Job::new(w, ExecMode::Die, cfg));
         }
     }
-    let results = h.sweep(&jobs, cli.threads);
+    let (results, errors) = h.try_sweep(&jobs, cli.threads);
 
     let mut header: Vec<String> = vec!["app".into(), "SIE-IPC".into()];
     header.extend(configs.iter().map(|(n, _)| format!("{n} loss")));
@@ -74,6 +74,10 @@ fn main() {
         "Figure 2: % IPC loss with respect to SIE",
         "",
         &table,
+        &errors,
         h.perf(),
     );
+    if !errors.is_empty() {
+        std::process::exit(1);
+    }
 }

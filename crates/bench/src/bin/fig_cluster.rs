@@ -24,7 +24,7 @@ fn main() {
         jobs.push(Job::new(w, ExecMode::DieCluster, &base));
         jobs.push(Job::new(w, ExecMode::Sie, &twoalu));
     }
-    let results = h.sweep(&jobs, cli.threads);
+    let (results, errors) = h.try_sweep(&jobs, cli.threads);
 
     let mut table = Table::new(vec![
         "app",
@@ -55,6 +55,10 @@ fn main() {
             base.cluster_delay
         ),
         &table,
+        &errors,
         h.perf(),
     );
+    if !errors.is_empty() {
+        std::process::exit(1);
+    }
 }

@@ -40,7 +40,7 @@ fn main() {
             jobs.push(Job::new(w, ExecMode::DieIrb, &cfg));
         }
     }
-    let results = h.sweep(&jobs, cli.threads);
+    let (results, errors) = h.try_sweep(&jobs, cli.threads);
 
     let mut header: Vec<String> = vec!["app".into()];
     for (n, _) in &orgs {
@@ -71,6 +71,10 @@ fn main() {
         "IRB conflict-miss reduction (reconstructed Fig. E)",
         "64 entries per organization + the 1024-entry reference",
         &table,
+        &errors,
         h.perf(),
     );
+    if !errors.is_empty() {
+        std::process::exit(1);
+    }
 }

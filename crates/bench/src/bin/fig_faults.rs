@@ -11,13 +11,36 @@
 //!   strike is caught (Fig. 6(b));
 //! * SIE under the same strikes — silent data corruption, the contrast
 //!   motivating redundancy at all.
+//!
+//! `--fu-rate R`, `--forward-rate R` and `--irb-rate R` override the
+//! strike rate of every scenario that injects at the matching site
+//! (rejected with a clear message if the rate is not in `[0, 1]`).
+//! `--seeds N` replicates every scenario across `N` independent fault
+//! seeds and reports mean±stddev per column.
 
-use redsim_bench::{emit, pct, Cli, Harness, Job, Table};
-use redsim_core::{ExecMode, FaultConfig, MachineConfig};
+use redsim_bench::{emit, pm, Cli, Harness, Job, Table};
+use redsim_core::{ExecMode, FaultConfig, MachineConfig, SimStats};
 use redsim_workloads::Workload;
+
+/// Parses a `--*-rate` override, exiting with a clear message if the
+/// value is not a number (range checking is `FaultConfig::validate`'s
+/// job so the typed error covers both entry paths).
+fn rate_override(cli: &Cli, flag: &str) -> Option<f64> {
+    let v = cli.value(flag)?;
+    match v.parse::<f64>() {
+        Ok(x) => Some(x),
+        Err(_) => {
+            eprintln!("error: {flag} expects a number, got {v:?}");
+            std::process::exit(2);
+        }
+    }
+}
 
 fn main() {
     let cli = Cli::parse();
+    let fu = rate_override(&cli, "--fu-rate");
+    let fwd = rate_override(&cli, "--forward-rate");
+    let irb = rate_override(&cli, "--irb-rate");
     let mut h = Harness::from_cli(&cli);
     let base = MachineConfig::paper_baseline();
     let apps = [
@@ -27,7 +50,7 @@ fn main() {
         Workload::Equake,
     ];
 
-    let scenarios: Vec<(&str, ExecMode, FaultConfig)> = vec![
+    let mut scenarios: Vec<(&str, ExecMode, FaultConfig)> = vec![
         (
             "DIE / FU strikes",
             ExecMode::Die,
@@ -84,13 +107,45 @@ fn main() {
         ),
     ];
 
+    // Apply CLI rate overrides to the scenarios that inject at the
+    // matching site, then validate each configuration up front so a bad
+    // rate fails fast with the typed error instead of mid-sweep.
+    for (name, _, fc) in &mut scenarios {
+        if fc.fu_rate > 0.0 {
+            if let Some(r) = fu {
+                fc.fu_rate = r;
+            }
+        }
+        if fc.forward_rate > 0.0 {
+            if let Some(r) = fwd {
+                fc.forward_rate = r;
+            }
+        }
+        if fc.irb_rate > 0.0 {
+            if let Some(r) = irb {
+                fc.irb_rate = r;
+            }
+        }
+        if let Err(e) = fc.validate() {
+            eprintln!("error: scenario {name:?}: invalid fault configuration: {e}");
+            std::process::exit(2);
+        }
+    }
+
+    let seeds = u64::from(cli.seeds);
     let mut jobs = Vec::new();
     for (_, mode, fc) in &scenarios {
         for w in apps {
-            jobs.push(Job::new(w, *mode, &base).with_faults(*fc));
+            for rep in 0..seeds {
+                let fc = FaultConfig {
+                    seed: fc.seed + 1000 * rep,
+                    ..*fc
+                };
+                jobs.push(Job::new(w, *mode, &base).with_faults(fc));
+            }
         }
     }
-    let results = h.sweep(&jobs, cli.threads);
+    let (results, errors) = h.try_sweep(&jobs, cli.threads);
 
     let mut table = Table::new(vec![
         "scenario",
@@ -101,18 +156,26 @@ fn main() {
         "silent(SIE)",
         "coverage",
     ]);
-    for ((name, _, _), runs) in scenarios.iter().zip(results.chunks_exact(apps.len())) {
-        for (w, stats) in apps.iter().zip(runs) {
-            let f = stats.faults;
-            let injected = f.injected_fu + f.injected_forward + f.injected_irb;
+    let per_scenario = apps.len() * seeds as usize;
+    for ((name, _, _), runs) in scenarios.iter().zip(results.chunks_exact(per_scenario)) {
+        for (w, reps) in apps.iter().zip(runs.chunks_exact(seeds as usize)) {
+            let col =
+                |get: &dyn Fn(&SimStats) -> f64| -> Vec<f64> { reps.iter().map(get).collect() };
+            let injected = col(&|s| {
+                (s.faults.injected_fu + s.faults.injected_forward + s.faults.injected_irb) as f64
+            });
+            let detected = col(&|s| s.faults.detected as f64);
+            let escaped = col(&|s| s.faults.escaped as f64);
+            let silent = col(&|s| s.faults.silent_sie as f64);
+            let coverage = col(&|s| s.faults.coverage() * 100.0);
             table.row(vec![
                 (*name).to_owned(),
                 w.name().to_owned(),
-                injected.to_string(),
-                f.detected.to_string(),
-                f.escaped.to_string(),
-                f.silent_sie.to_string(),
-                pct(f.coverage() * 100.0),
+                pm(&injected, 0),
+                pm(&detected, 0),
+                pm(&escaped, 0),
+                pm(&silent, 0),
+                pm(&coverage, 1) + "%",
             ]);
         }
     }
@@ -120,8 +183,12 @@ fn main() {
     emit(
         &cli,
         "Transient-fault detection coverage (reconstructed Fig. F, §3.4)",
-        "",
+        &format!("{seeds} fault seed(s) per scenario"),
         &table,
+        &errors,
         h.perf(),
     );
+    if !errors.is_empty() {
+        std::process::exit(1);
+    }
 }

@@ -22,7 +22,7 @@ fn main() {
         jobs.push(Job::new(w, ExecMode::Sie, &full));
         jobs.push(Job::new(w, ExecMode::Die, &full));
     }
-    let results = h.sweep(&jobs, cli.threads);
+    let (results, errors) = h.try_sweep(&jobs, cli.threads);
 
     let mut table = Table::new(vec![
         "app",
@@ -61,6 +61,10 @@ fn main() {
         "Fidelity ablation: wrong-path i-fetch + store-to-load forwarding",
         "",
         &table,
+        &errors,
         h.perf(),
     );
+    if !errors.is_empty() {
+        std::process::exit(1);
+    }
 }

@@ -15,7 +15,7 @@ fn main() {
         .iter()
         .map(|&w| Job::new(w, ExecMode::DieIrb, &base))
         .collect();
-    let results = h.sweep(&jobs, cli.threads);
+    let (results, errors) = h.try_sweep(&jobs, cli.threads);
 
     let mut table = Table::new(vec![
         "app",
@@ -59,6 +59,10 @@ fn main() {
         "IRB hit and reuse rates under DIE-IRB (reconstructed Fig. B)",
         "1024-entry direct-mapped, 4R/2W/2RW",
         &table,
+        &errors,
         h.perf(),
     );
+    if !errors.is_empty() {
+        std::process::exit(1);
+    }
 }

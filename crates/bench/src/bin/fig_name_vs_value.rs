@@ -19,7 +19,7 @@ fn main() {
         jobs.push(Job::new(w, ExecMode::DieIrb, &value_cfg));
         jobs.push(Job::new(w, ExecMode::DieIrb, &name_cfg));
     }
-    let results = h.sweep(&jobs, cli.threads);
+    let (results, errors) = h.try_sweep(&jobs, cli.threads);
 
     let mut table = Table::new(vec![
         "app",
@@ -54,6 +54,10 @@ fn main() {
         "Value-based vs name-based reuse (Ablation G, §3.3)",
         "",
         &table,
+        &errors,
         h.perf(),
     );
+    if !errors.is_empty() {
+        std::process::exit(1);
+    }
 }

@@ -57,7 +57,7 @@ fn main() {
             jobs.push(Job::new(w, ExecMode::DieIrb, &cfg));
         }
     }
-    let results = h.sweep(&jobs, cli.threads);
+    let (results, errors) = h.try_sweep(&jobs, cli.threads);
 
     let mut header: Vec<String> = vec!["app".into()];
     header.extend(ports.iter().map(|(n, _)| (*n).to_owned()));
@@ -81,6 +81,10 @@ fn main() {
         "DIE-IRB IPC vs IRB port provisioning (reconstructed Fig. D)",
         "",
         &table,
+        &errors,
         h.perf(),
     );
+    if !errors.is_empty() {
+        std::process::exit(1);
+    }
 }

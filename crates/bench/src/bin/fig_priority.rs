@@ -23,7 +23,7 @@ fn main() {
         jobs.push(Job::new(w, ExecMode::Die, &priority));
         jobs.push(Job::new(w, ExecMode::DieIrb, &base));
     }
-    let results = h.sweep(&jobs, cli.threads);
+    let (results, errors) = h.try_sweep(&jobs, cli.threads);
 
     let mut table = Table::new(vec!["app", "SIE", "DIE", "DIE+priority", "DIE-IRB"]);
     let mut cols: [Vec<f64>; 4] = Default::default();
@@ -44,6 +44,10 @@ fn main() {
         "Scheduling vs reuse: where DIE-IRB's gain comes from",
         "",
         &table,
+        &errors,
         h.perf(),
     );
+    if !errors.is_empty() {
+        std::process::exit(1);
+    }
 }

@@ -8,10 +8,15 @@
 //!
 //! `--forwarding per-stream` runs the ablation where the IRB keeps
 //! per-stream forwarding (the issue-window complexity the paper avoids).
+//! `--seeds N` replicates every workload across `N` independent input
+//! seeds (distinct generated inputs, hence distinct traces) and reports
+//! mean±stddev per cell.
 
-use redsim_bench::{emit, ipc, mean, pct, Cli, Harness, Job, Table};
+use redsim_bench::{emit, mean, pct, pm, Cli, Harness, Job, Table};
 use redsim_core::{ExecMode, ForwardingPolicy, MachineConfig};
 use redsim_workloads::Workload;
+
+const MODES: usize = 4;
 
 fn main() {
     let cli = Cli::parse();
@@ -23,14 +28,28 @@ fn main() {
     }
     let twoalu = base.clone().with_double_alus();
 
+    // Replica 0 runs the workload's default input; replica r > 0 shifts
+    // the input-generation seed, producing a genuinely different trace.
+    let seeds = cli.seeds as usize;
     let mut jobs = Vec::new();
     for w in Workload::ALL {
-        jobs.push(Job::new(w, ExecMode::Sie, &base));
-        jobs.push(Job::new(w, ExecMode::Die, &base));
-        jobs.push(Job::new(w, ExecMode::DieIrb, &base));
-        jobs.push(Job::new(w, ExecMode::Die, &twoalu));
+        let default_seed = h.params(w).seed;
+        for rep in 0..seeds as u64 {
+            let input = (rep > 0).then(|| default_seed + rep);
+            let mk = |mode, cfg: &MachineConfig| {
+                let j = Job::new(w, mode, cfg);
+                match input {
+                    Some(s) => j.with_input_seed(s),
+                    None => j,
+                }
+            };
+            jobs.push(mk(ExecMode::Sie, &base));
+            jobs.push(mk(ExecMode::Die, &base));
+            jobs.push(mk(ExecMode::DieIrb, &base));
+            jobs.push(mk(ExecMode::Die, &twoalu));
+        }
     }
-    let results = h.sweep(&jobs, cli.threads);
+    let (results, errors) = h.try_sweep(&jobs, cli.threads);
 
     let mut table = Table::new(vec![
         "app",
@@ -43,34 +62,43 @@ fn main() {
     ]);
     let (mut alu_rec, mut all_rec) = (Vec::new(), Vec::new());
     let (mut die_losses, mut irb_losses) = (Vec::new(), Vec::new());
-    for (w, runs) in Workload::ALL.iter().zip(results.chunks_exact(4)) {
-        let [sie, die, irb, die2x] = runs else {
-            unreachable!("chunks_exact(4)")
-        };
-        let alu_gap = die2x.ipc() - die.ipc();
-        let overall_gap = sie.ipc() - die.ipc();
-        let a = if alu_gap > 1e-9 {
-            (irb.ipc() - die.ipc()) / alu_gap * 100.0
-        } else {
-            0.0
-        };
-        let o = if overall_gap > 1e-9 {
-            (irb.ipc() - die.ipc()) / overall_gap * 100.0
-        } else {
-            0.0
-        };
-        alu_rec.push(a);
-        all_rec.push(o);
-        die_losses.push(die.ipc_loss_vs(sie));
-        irb_losses.push(irb.ipc_loss_vs(sie));
+    let per_app = MODES * seeds;
+    for (w, reps) in Workload::ALL.iter().zip(results.chunks_exact(per_app)) {
+        // Per-replica IPCs and derived recovery fractions.
+        let mut cols: [Vec<f64>; MODES] = Default::default();
+        let (mut a_rep, mut o_rep) = (Vec::new(), Vec::new());
+        for runs in reps.chunks_exact(MODES) {
+            let [sie, die, irb, die2x] = runs else {
+                unreachable!("chunks_exact(MODES)")
+            };
+            for (c, s) in cols.iter_mut().zip(runs) {
+                c.push(s.ipc());
+            }
+            let alu_gap = die2x.ipc() - die.ipc();
+            let overall_gap = sie.ipc() - die.ipc();
+            a_rep.push(if alu_gap > 1e-9 {
+                (irb.ipc() - die.ipc()) / alu_gap * 100.0
+            } else {
+                0.0
+            });
+            o_rep.push(if overall_gap > 1e-9 {
+                (irb.ipc() - die.ipc()) / overall_gap * 100.0
+            } else {
+                0.0
+            });
+            die_losses.push(die.ipc_loss_vs(sie));
+            irb_losses.push(irb.ipc_loss_vs(sie));
+        }
+        alu_rec.extend_from_slice(&a_rep);
+        all_rec.extend_from_slice(&o_rep);
         table.row(vec![
             w.name().to_owned(),
-            ipc(sie.ipc()),
-            ipc(die.ipc()),
-            ipc(irb.ipc()),
-            ipc(die2x.ipc()),
-            pct(a),
-            pct(o),
+            pm(&cols[0], 3),
+            pm(&cols[1], 3),
+            pm(&cols[2], 3),
+            pm(&cols[3], 3),
+            pm(&a_rep, 1) + "%",
+            pm(&o_rep, 1) + "%",
         ]);
     }
     table.row(vec![
@@ -95,6 +123,10 @@ fn main() {
             }
         ),
         &table,
+        &errors,
         h.perf(),
     );
+    if !errors.is_empty() {
+        std::process::exit(1);
+    }
 }

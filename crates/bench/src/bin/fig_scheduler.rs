@@ -28,7 +28,7 @@ fn main() {
             jobs.push(Job::new(w, ExecMode::DieIrb, &cfg));
         }
     }
-    let results = h.sweep(&jobs, cli.threads);
+    let (results, errors) = h.try_sweep(&jobs, cli.threads);
 
     let mut header: Vec<String> = vec!["app".into(), "DIE".into()];
     for (n, _) in &models {
@@ -63,6 +63,10 @@ fn main() {
         "DIE-IRB under the three scheduler models of §3.3",
         "",
         &table,
+        &errors,
         h.perf(),
     );
+    if !errors.is_empty() {
+        std::process::exit(1);
+    }
 }

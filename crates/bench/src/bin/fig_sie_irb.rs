@@ -24,7 +24,7 @@ fn main() {
         jobs.push(Job::new(w, ExecMode::Die, &base));
         jobs.push(Job::new(w, ExecMode::DieIrb, &base));
     }
-    let results = h.sweep(&jobs, cli.threads);
+    let (results, errors) = h.try_sweep(&jobs, cli.threads);
 
     let mut table = Table::new(vec![
         "app",
@@ -57,6 +57,10 @@ fn main() {
         "IRB on SIE vs IRB on DIE (Ablation H)",
         "",
         &table,
+        &errors,
         h.perf(),
     );
+    if !errors.is_empty() {
+        std::process::exit(1);
+    }
 }

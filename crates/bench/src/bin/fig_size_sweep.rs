@@ -22,7 +22,7 @@ fn main() {
             jobs.push(Job::new(w, ExecMode::DieIrb, &cfg));
         }
     }
-    let results = h.sweep(&jobs, cli.threads);
+    let (results, errors) = h.try_sweep(&jobs, cli.threads);
 
     let mut header: Vec<String> = vec!["app".into(), "DIE".into()];
     header.extend(SIZES.iter().map(|s| format!("IRB-{s}")));
@@ -51,6 +51,10 @@ fn main() {
         "DIE-IRB IPC vs IRB capacity (reconstructed Fig. C)",
         "",
         &table,
+        &errors,
         h.perf(),
     );
+    if !errors.is_empty() {
+        std::process::exit(1);
+    }
 }

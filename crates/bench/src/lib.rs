@@ -36,6 +36,7 @@
 //! in parallel.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
@@ -55,6 +56,9 @@ pub struct Cli {
     pub json: bool,
     /// Worker threads for [`Harness::sweep`] (`--threads N`).
     pub threads: usize,
+    /// Replications across independent seeds (`--seeds N`, default 1).
+    /// Figure binaries that support it report mean ± stddev columns.
+    pub seeds: u32,
     args: Vec<String>,
 }
 
@@ -79,10 +83,17 @@ impl Cli {
             .unwrap_or_else(|| {
                 std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
             });
+        let seeds = args
+            .windows(2)
+            .find(|w| w[0] == "--seeds")
+            .and_then(|w| w[1].parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(1);
         Cli {
             quick,
             json,
             threads,
+            seeds,
             args,
         }
     }
@@ -115,6 +126,13 @@ pub struct Job {
     pub config: MachineConfig,
     /// Transient-fault injection, if any.
     pub faults: Option<FaultConfig>,
+    /// Watchdog deadline in simulated cycles
+    /// ([`Simulator::with_watchdog`]); a job that reaches it comes back
+    /// with `watchdog_fired` set instead of running forever.
+    pub watchdog: Option<u64>,
+    /// Workload input seed override (replication across `--seeds`);
+    /// `None` uses the workload's default parameters.
+    pub input_seed: Option<u64>,
 }
 
 impl Job {
@@ -126,6 +144,8 @@ impl Job {
             mode,
             config: config.clone(),
             faults: None,
+            watchdog: None,
+            input_seed: None,
         }
     }
 
@@ -135,25 +155,94 @@ impl Job {
         self.faults = Some(faults);
         self
     }
+
+    /// Sets a watchdog deadline in simulated cycles.
+    #[must_use]
+    pub fn with_watchdog(mut self, max_cycles: u64) -> Self {
+        self.watchdog = Some(max_cycles);
+        self
+    }
+
+    /// Overrides the workload's input-generation seed.
+    #[must_use]
+    pub fn with_input_seed(mut self, seed: u64) -> Self {
+        self.input_seed = Some(seed);
+        self
+    }
+
+    /// A short human-readable label (error reports, manifests).
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!("{}/{:?}", self.workload.name(), self.mode)
+    }
+}
+
+/// One failed sweep job: which grid cell died and why. Produced by
+/// [`Harness::try_sweep`] instead of aborting the whole sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobError {
+    /// Index of the job in the submitted grid.
+    pub index: usize,
+    /// The job's [`Job::label`].
+    pub label: String,
+    /// The simulation error or panic message.
+    pub message: String,
+}
+
+impl JobError {
+    /// The record as a JSON object (the `"errors"` array of `--json`
+    /// output).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("index", self.index)
+            .field("label", self.label.as_str())
+            .field("message", self.message.as_str())
+    }
 }
 
 /// Runs one job, reporting its stats and the wall-clock throughput of
 /// the timing simulation (trace construction is excluded — the caller
 /// materializes traces up front).
-fn run_job(trace: &[DynInst], job: &Job) -> (SimStats, Throughput) {
+///
+/// # Errors
+///
+/// Returns the simulation error rendered as a string (deadlock, budget
+/// exhaustion...).
+fn run_job(trace: &[DynInst], job: &Job) -> Result<(SimStats, Throughput), String> {
     let mut source = SliceSource::new(trace);
     let mut sim = Simulator::new(job.config.clone(), job.mode);
     if let Some(fc) = job.faults {
         sim = sim.with_faults(fc);
     }
+    if let Some(w) = job.watchdog {
+        sim = sim.with_watchdog(w);
+    }
     let t0 = std::time::Instant::now();
-    let stats = sim.run_source(&mut source).expect("simulation completes");
+    let stats = sim.run_source(&mut source).map_err(|e| e.to_string())?;
     let perf = Throughput {
         wall_seconds: t0.elapsed().as_secs_f64(),
         sim_cycles: stats.cycles,
         committed_insts: stats.committed_insts,
     };
-    (stats, perf)
+    Ok((stats, perf))
+}
+
+/// Runs one job with panic isolation: a panicking simulation (a model
+/// bug, an invalid configuration) becomes an `Err` string instead of
+/// tearing down the sweep.
+fn run_job_caught(trace: &[DynInst], job: &Job) -> Result<(SimStats, Throughput), String> {
+    match catch_unwind(AssertUnwindSafe(|| run_job(trace, job))) {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "panic with non-string payload".to_owned());
+            Err(format!("panic: {msg}"))
+        }
+    }
 }
 
 /// Harness context: workload sizing, per-workload trace caching, and
@@ -161,7 +250,7 @@ fn run_job(trace: &[DynInst], job: &Job) -> (SimStats, Throughput) {
 #[derive(Debug, Default)]
 pub struct Harness {
     quick: bool,
-    cache: HashMap<Workload, Arc<[DynInst]>>,
+    cache: HashMap<(Workload, Option<u64>), Arc<[DynInst]>>,
     perf: Throughput,
 }
 
@@ -209,17 +298,26 @@ impl Harness {
     /// reference count, so sweeps re-run the timing model over the
     /// identical instruction stream without copying it.
     pub fn trace(&mut self, w: Workload) -> Arc<[DynInst]> {
-        if let Some(t) = self.cache.get(&w) {
+        self.trace_for(w, None)
+    }
+
+    /// Like [`Harness::trace`], with an optional input-seed override.
+    /// Each `(workload, seed)` pair is built once and cached.
+    pub fn trace_for(&mut self, w: Workload, input_seed: Option<u64>) -> Arc<[DynInst]> {
+        if let Some(t) = self.cache.get(&(w, input_seed)) {
             return Arc::clone(t);
         }
-        let params = self.params(w);
+        let mut params = self.params(w);
+        if let Some(seed) = input_seed {
+            params.seed = seed;
+        }
         let program = w.program(params).expect("workload kernels assemble");
         let mut emu = redsim_isa::emu::Emulator::new(&program);
         let trace: Arc<[DynInst]> = emu
             .run_trace(200_000_000)
             .expect("workload kernels halt")
             .into();
-        self.cache.insert(w, Arc::clone(&trace));
+        self.cache.insert((w, input_seed), Arc::clone(&trace));
         trace
     }
 
@@ -234,7 +332,7 @@ impl Harness {
     /// Runs one workload under one mode and machine configuration.
     pub fn run(&mut self, w: Workload, mode: ExecMode, cfg: &MachineConfig) -> SimStats {
         let trace = self.trace(w);
-        let (stats, perf) = run_job(&trace, &Job::new(w, mode, cfg));
+        let (stats, perf) = run_job(&trace, &Job::new(w, mode, cfg)).expect("simulation completes");
         self.perf.add(&perf);
         stats
     }
@@ -246,17 +344,71 @@ impl Harness {
     /// the workers then share them read-only. Results come back in job
     /// order, and because every simulation is single-threaded and
     /// deterministic, the output is bit-identical for any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any job fails; use [`Harness::try_sweep`] to degrade
+    /// gracefully instead.
     pub fn sweep(&mut self, jobs: &[Job], threads: usize) -> Vec<SimStats> {
-        let traces: Vec<Arc<[DynInst]>> = jobs.iter().map(|j| self.trace(j.workload)).collect();
+        let (stats, errors) = self.try_sweep(jobs, threads);
+        assert!(
+            errors.is_empty(),
+            "sweep job failed: {} ({})",
+            errors[0].label,
+            errors[0].message
+        );
+        stats
+    }
+
+    /// Runs an experiment grid without aborting on individual-job
+    /// failure: a job that returns a simulation error *or panics* is
+    /// isolated, its slot in the returned stats is a default-valued
+    /// placeholder, and a structured [`JobError`] records what
+    /// happened. The remaining jobs still run to completion.
+    pub fn try_sweep(&mut self, jobs: &[Job], threads: usize) -> (Vec<SimStats>, Vec<JobError>) {
+        self.try_sweep_with(jobs, threads, |_, _| {})
+    }
+
+    /// [`Harness::try_sweep`] with a per-job completion callback.
+    ///
+    /// `on_done(index, result)` fires once per job, from the worker
+    /// thread that finished it, as soon as the result is known —
+    /// completion *order* is thread-schedule dependent, but each call's
+    /// content is deterministic. The campaign runner uses this to
+    /// checkpoint progress incrementally.
+    pub fn try_sweep_with(
+        &mut self,
+        jobs: &[Job],
+        threads: usize,
+        on_done: impl Fn(usize, Result<&SimStats, &JobError>) + Sync,
+    ) -> (Vec<SimStats>, Vec<JobError>) {
+        let traces: Vec<Arc<[DynInst]>> = jobs
+            .iter()
+            .map(|j| self.trace_for(j.workload, j.input_seed))
+            .collect();
         let threads = threads.clamp(1, jobs.len().max(1));
-        let results: Vec<(SimStats, Throughput)> = if threads == 1 {
-            jobs.iter()
-                .zip(&traces)
-                .map(|(j, t)| run_job(t, j))
-                .collect()
+        let run_one = |i: usize| -> Result<(SimStats, Throughput), JobError> {
+            match run_job_caught(&traces[i], &jobs[i]) {
+                Ok(r) => {
+                    on_done(i, Ok(&r.0));
+                    Ok(r)
+                }
+                Err(message) => {
+                    let err = JobError {
+                        index: i,
+                        label: jobs[i].label(),
+                        message,
+                    };
+                    on_done(i, Err(&err));
+                    Err(err)
+                }
+            }
+        };
+        let results: Vec<Result<(SimStats, Throughput), JobError>> = if threads == 1 {
+            (0..jobs.len()).map(run_one).collect()
         } else {
             let next = AtomicUsize::new(0);
-            let slots: Vec<OnceLock<(SimStats, Throughput)>> =
+            let slots: Vec<OnceLock<Result<(SimStats, Throughput), JobError>>> =
                 jobs.iter().map(|_| OnceLock::new()).collect();
             std::thread::scope(|s| {
                 for _ in 0..threads {
@@ -265,8 +417,7 @@ impl Harness {
                         if i >= jobs.len() {
                             break;
                         }
-                        let stats = run_job(&traces[i], &jobs[i]);
-                        assert!(slots[i].set(stats).is_ok(), "each job runs once");
+                        assert!(slots[i].set(run_one(i)).is_ok(), "each job runs once");
                     });
                 }
             });
@@ -277,13 +428,21 @@ impl Harness {
         };
         // Accumulate in job order so the total is thread-count
         // independent apart from the wall-clock values themselves.
-        results
+        let mut errors = Vec::new();
+        let stats = results
             .into_iter()
-            .map(|(stats, perf)| {
-                self.perf.add(&perf);
-                stats
+            .map(|r| match r {
+                Ok((stats, perf)) => {
+                    self.perf.add(&perf);
+                    stats
+                }
+                Err(e) => {
+                    errors.push(e);
+                    SimStats::default()
+                }
             })
-            .collect()
+            .collect();
+        (stats, errors)
     }
 }
 
@@ -294,6 +453,29 @@ pub fn mean(xs: &[f64]) -> f64 {
         0.0
     } else {
         xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Sample standard deviation (n−1 denominator); 0 for fewer than two
+/// samples.
+#[must_use]
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Formats replicated samples as `mean±stddev` with `decimals` fraction
+/// digits; a single sample renders without the `±` suffix.
+#[must_use]
+pub fn pm(xs: &[f64], decimals: usize) -> String {
+    if xs.len() < 2 {
+        format!("{:.decimals$}", mean(xs))
+    } else {
+        format!("{:.decimals$}±{:.decimals$}", mean(xs), stddev(xs))
     }
 }
 
@@ -387,13 +569,29 @@ impl Table {
 /// figure: in JSON it lands in a trailing `"perf"` field; in text mode
 /// it goes to *stderr*, keeping stdout captures byte-stable across
 /// machines.
-pub fn emit(cli: &Cli, title: &str, note: &str, table: &Table, perf: &Throughput) {
+///
+/// `errors` (usually the second half of [`Harness::try_sweep`]) lists
+/// the grid cells that failed: in JSON they become an `"errors"` array
+/// before `"perf"`; in text mode each is reported on stderr. Callers
+/// are expected to exit nonzero when the slice is non-empty.
+pub fn emit(
+    cli: &Cli,
+    title: &str,
+    note: &str,
+    table: &Table,
+    errors: &[JobError],
+    perf: &Throughput,
+) {
     if cli.json {
         let out = Json::obj()
             .field("title", title)
             .field("note", note)
             .field("quick", cli.quick)
             .field("table", table.to_json())
+            .field(
+                "errors",
+                errors.iter().map(JobError::to_json).collect::<Json>(),
+            )
             .field("perf", perf.to_json());
         println!("{out}");
     } else {
@@ -404,6 +602,9 @@ pub fn emit(cli: &Cli, title: &str, note: &str, table: &Table, perf: &Throughput
             println!("({note}, quick mode: {})\n", cli.quick);
         }
         print!("{}", table.render());
+        for e in errors {
+            eprintln!("error: job {} ({}): {}", e.index, e.label, e.message);
+        }
         if perf.wall_seconds > 0.0 {
             eprintln!(
                 "perf: {:.2}s wall, {:.2}M cycles/s, {:.2}M insts/s \
@@ -562,5 +763,101 @@ mod tests {
     fn sweep_of_empty_grid_is_empty() {
         let mut h = Harness::quick();
         assert!(h.sweep(&[], 8).is_empty());
+    }
+
+    #[test]
+    fn stddev_and_pm_formatting() {
+        assert_eq!(stddev(&[]), 0.0);
+        assert_eq!(stddev(&[5.0]), 0.0);
+        assert_eq!(stddev(&[2.0, 4.0]), f64::sqrt(2.0));
+        assert_eq!(pm(&[1.25], 2), "1.25");
+        assert_eq!(pm(&[1.0, 2.0], 1), "1.5±0.7");
+    }
+
+    #[test]
+    fn input_seed_changes_the_cached_trace() {
+        let mut h = Harness::quick();
+        let base = h.trace_for(Workload::Gzip, None);
+        let same = h.trace_for(Workload::Gzip, None);
+        assert!(Arc::ptr_eq(&base, &same));
+        let other = h.trace_for(Workload::Gzip, Some(99));
+        assert!(!Arc::ptr_eq(&base, &other), "seeds get distinct traces");
+    }
+
+    #[test]
+    fn try_sweep_isolates_a_panicking_job() {
+        let mut h = Harness::quick();
+        let cfg = MachineConfig::paper_baseline();
+        // fu_rate 2.0 is invalid; Simulator::with_faults panics on it,
+        // exercising the catch_unwind isolation path.
+        let bad = FaultConfig {
+            fu_rate: 2.0,
+            ..FaultConfig::none()
+        };
+        let jobs = vec![
+            Job::new(Workload::Gzip, ExecMode::Sie, &cfg),
+            Job::new(Workload::Gzip, ExecMode::Die, &cfg).with_faults(bad),
+            Job::new(Workload::Gzip, ExecMode::DieIrb, &cfg),
+        ];
+        let (stats, errors) = h.try_sweep(&jobs, 2);
+        assert_eq!(stats.len(), 3);
+        assert!(stats[0].ipc() > 0.0, "healthy jobs still complete");
+        assert!(stats[2].ipc() > 0.0, "healthy jobs still complete");
+        assert_eq!(
+            stats[1],
+            SimStats::default(),
+            "failed slot is a placeholder"
+        );
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].index, 1);
+        assert_eq!(errors[0].label, "gzip/Die");
+        assert!(
+            errors[0].message.contains("invalid fault configuration"),
+            "panic message survives: {}",
+            errors[0].message
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sweep job failed")]
+    fn sweep_still_panics_on_job_failure() {
+        let mut h = Harness::quick();
+        let cfg = MachineConfig::paper_baseline();
+        let bad = FaultConfig {
+            fu_rate: -1.0,
+            ..FaultConfig::none()
+        };
+        let jobs = vec![Job::new(Workload::Gzip, ExecMode::Die, &cfg).with_faults(bad)];
+        let _ = h.sweep(&jobs, 1);
+    }
+
+    #[test]
+    fn try_sweep_with_reports_every_completion() {
+        use std::sync::Mutex;
+        let mut h = Harness::quick();
+        let cfg = MachineConfig::paper_baseline();
+        let jobs = vec![
+            Job::new(Workload::Gzip, ExecMode::Sie, &cfg),
+            Job::new(Workload::Gzip, ExecMode::Die, &cfg),
+        ];
+        let seen = Mutex::new(Vec::new());
+        let (stats, errors) = h.try_sweep_with(&jobs, 2, |i, r| {
+            seen.lock().unwrap().push((i, r.is_ok()));
+        });
+        assert!(errors.is_empty());
+        let mut seen = seen.into_inner().unwrap();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![(0, true), (1, true)]);
+        assert_eq!(stats.len(), 2);
+    }
+
+    #[test]
+    fn watchdog_job_comes_back_flagged_not_failed() {
+        let mut h = Harness::quick();
+        let cfg = MachineConfig::paper_baseline();
+        let jobs = vec![Job::new(Workload::Gzip, ExecMode::Sie, &cfg).with_watchdog(50)];
+        let (stats, errors) = h.try_sweep(&jobs, 1);
+        assert!(errors.is_empty(), "a tripped watchdog is not a job error");
+        assert!(stats[0].watchdog_fired);
     }
 }

@@ -1,0 +1,260 @@
+//! Full fault-lifecycle coverage table: every §3.4 scenario classified
+//! into the four-way lifecycle (detected / masked / silent / hang) with
+//! AVF-style derived metrics, replicated across independent fault seeds.
+//!
+//! Runs as a resumable campaign: progress checkpoints to an append-only
+//! JSONL manifest and `--resume` picks up a killed run, provably
+//! producing the byte-identical final report.
+//!
+//! Flags on top of the shared bench CLI (`--quick`, `--json`,
+//! `--threads N`, `--seeds N`):
+//!
+//! * `--out PATH` — base path for the campaign files (default
+//!   `target/campaign/fig_coverage`); the manifest lands at
+//!   `PATH.progress.jsonl`, the report at `PATH.report.json`;
+//! * `--resume` — skip shards the manifest already records;
+//! * `--interrupt-after K` — test hook: stop after `K` new shards with
+//!   exit code 3;
+//! * `--watchdog N` — per-shard deadline in simulated cycles (default
+//!   50,000,000; livelocked shards classify pending faults as `Hang`);
+//! * `--fu-rate R` / `--forward-rate R` / `--irb-rate R` — override the
+//!   strike rate of scenarios injecting at that site (validated, bad
+//!   rates exit 2).
+
+use std::path::PathBuf;
+
+use redsim_bench::{emit, pm, Cli, Table};
+use redsim_campaign::{run_campaign, CampaignOptions, CampaignOutcome, CampaignSpec, Scenario};
+use redsim_core::{ExecMode, FaultConfig, ForwardingPolicy, Throughput};
+use redsim_util::Json;
+use redsim_workloads::Workload;
+
+fn rate_override(cli: &Cli, flag: &str) -> Option<f64> {
+    let v = cli.value(flag)?;
+    match v.parse::<f64>() {
+        Ok(x) => Some(x),
+        Err(_) => {
+            eprintln!("error: {flag} expects a number, got {v:?}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn spec_from_cli(cli: &Cli) -> CampaignSpec {
+    let shared = ForwardingPolicy::PrimaryToBoth;
+    let per_stream = ForwardingPolicy::PerStream;
+    let fu = FaultConfig {
+        fu_rate: 2e-4,
+        seed: 11,
+        ..FaultConfig::none()
+    };
+    let irb = FaultConfig {
+        irb_rate: 0.05,
+        seed: 13,
+        ..FaultConfig::none()
+    };
+    let bus = FaultConfig {
+        forward_rate: 1e-4,
+        seed: 17,
+        ..FaultConfig::none()
+    };
+    let sc = |name: &str, mode, faults, forwarding| Scenario {
+        name: name.to_owned(),
+        mode,
+        faults,
+        forwarding,
+    };
+    let mut scenarios = vec![
+        sc("sie/fu", ExecMode::Sie, fu, shared),
+        sc("die/fu", ExecMode::Die, fu, shared),
+        sc("die-irb/fu", ExecMode::DieIrb, fu, shared),
+        sc("die-irb/irb", ExecMode::DieIrb, irb, shared),
+        sc("die-irb/bus-shared", ExecMode::DieIrb, bus, shared),
+        sc("die/bus-per-stream", ExecMode::Die, bus, per_stream),
+        sc("die-irb/bus-per-stream", ExecMode::DieIrb, bus, per_stream),
+    ];
+    let (fu_o, fwd_o, irb_o) = (
+        rate_override(cli, "--fu-rate"),
+        rate_override(cli, "--forward-rate"),
+        rate_override(cli, "--irb-rate"),
+    );
+    for s in &mut scenarios {
+        if s.faults.fu_rate > 0.0 {
+            if let Some(r) = fu_o {
+                s.faults.fu_rate = r;
+            }
+        }
+        if s.faults.forward_rate > 0.0 {
+            if let Some(r) = fwd_o {
+                s.faults.forward_rate = r;
+            }
+        }
+        if s.faults.irb_rate > 0.0 {
+            if let Some(r) = irb_o {
+                s.faults.irb_rate = r;
+            }
+        }
+        if let Err(e) = s.faults.validate() {
+            eprintln!(
+                "error: scenario {:?}: invalid fault configuration: {e}",
+                s.name
+            );
+            std::process::exit(2);
+        }
+    }
+    let watchdog = match cli.value("--watchdog") {
+        Some(v) => match v.parse::<u64>() {
+            Ok(n) if n > 0 => Some(n),
+            _ => {
+                eprintln!("error: --watchdog expects a positive cycle count, got {v:?}");
+                std::process::exit(2);
+            }
+        },
+        None => Some(50_000_000),
+    };
+    CampaignSpec {
+        scenarios,
+        workloads: vec![
+            Workload::Gzip,
+            Workload::Gcc,
+            Workload::Twolf,
+            Workload::Equake,
+        ],
+        seeds: cli.seeds,
+        quick: cli.quick,
+        watchdog,
+    }
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let spec = spec_from_cli(&cli);
+    let out = PathBuf::from(cli.value("--out").unwrap_or("target/campaign/fig_coverage"));
+    let opts = CampaignOptions {
+        threads: cli.threads,
+        resume: cli.flag("--resume"),
+        interrupt_after: cli
+            .value("--interrupt-after")
+            .map(|v| match v.parse::<usize>() {
+                Ok(n) => n,
+                Err(_) => {
+                    eprintln!("error: --interrupt-after expects a shard count, got {v:?}");
+                    std::process::exit(2);
+                }
+            }),
+        progress_path: out.with_extension("progress.jsonl"),
+        report_path: out.with_extension("report.json"),
+    };
+
+    let report = match run_campaign(&spec, &opts) {
+        Ok(CampaignOutcome::Complete(r)) => r,
+        Ok(CampaignOutcome::Interrupted { completed, total }) => {
+            eprintln!(
+                "campaign interrupted: {completed}/{total} shards recorded in {}; \
+                 rerun with --resume to continue",
+                opts.progress_path.display()
+            );
+            std::process::exit(3);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    // Per-scenario rows, aggregated per replica across workloads so
+    // `--seeds N` yields N samples per cell (mean±stddev via `pm`).
+    let seeds = spec.seeds as usize;
+    let mut table = Table::new(vec![
+        "scenario",
+        "injected",
+        "detected",
+        "masked",
+        "silent",
+        "hang",
+        "coverage",
+        "avf",
+        "mean-det-lat",
+    ]);
+    for (si, sc) in spec.scenarios.iter().enumerate() {
+        let mut injected = vec![0u64; seeds];
+        let mut detected = vec![0u64; seeds];
+        let mut masked = vec![0u64; seeds];
+        let mut silent = vec![0u64; seeds];
+        let mut hung = vec![0u64; seeds];
+        let mut lat_sum = vec![0u64; seeds];
+        for line in &report.records {
+            let j = Json::parse(line).expect("report records parse");
+            if j.get("scenario").and_then(Json::as_u64) != Some(si as u64)
+                || j.get("ok").and_then(Json::as_bool) != Some(true)
+            {
+                continue;
+            }
+            let rep = j.get("rep").and_then(Json::as_u64).expect("rep") as usize;
+            let l = j.get("lifecycle").expect("lifecycle");
+            let g = |k: &str| l.get(k).and_then(Json::as_u64).unwrap_or(0);
+            injected[rep] += g("injected");
+            detected[rep] += g("detected");
+            masked[rep] += g("masked");
+            silent[rep] += g("silent");
+            hung[rep] += g("hung");
+            lat_sum[rep] += g("detection_latency_sum");
+        }
+        let f = |v: &[u64]| -> Vec<f64> { v.iter().map(|&x| x as f64).collect() };
+        let coverage: Vec<f64> = detected
+            .iter()
+            .zip(&silent)
+            .map(|(&d, &s)| {
+                if d + s > 0 {
+                    d as f64 / (d + s) as f64 * 100.0
+                } else {
+                    100.0
+                }
+            })
+            .collect();
+        let avf: Vec<f64> = injected
+            .iter()
+            .zip(detected.iter().zip(&silent))
+            .map(|(&i, (&d, &s))| {
+                if i > 0 {
+                    (d + s) as f64 / i as f64
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let lat: Vec<f64> = detected
+            .iter()
+            .zip(&lat_sum)
+            .map(|(&d, &ls)| if d > 0 { ls as f64 / d as f64 } else { 0.0 })
+            .collect();
+        table.row(vec![
+            sc.name.clone(),
+            pm(&f(&injected), 0),
+            pm(&f(&detected), 0),
+            pm(&f(&masked), 0),
+            pm(&f(&silent), 0),
+            pm(&f(&hung), 0),
+            pm(&coverage, 1) + "%",
+            pm(&avf, 3),
+            pm(&lat, 1),
+        ]);
+    }
+
+    emit(
+        &cli,
+        "Fault-lifecycle coverage by scenario (§3.4, four-way classification)",
+        &format!(
+            "{} workloads x {} fault seed(s) per scenario; report: {}",
+            spec.workloads.len(),
+            spec.seeds,
+            opts.report_path.display()
+        ),
+        &table,
+        &report.failed,
+        &Throughput::default(),
+    );
+    if !report.failed.is_empty() {
+        std::process::exit(1);
+    }
+}

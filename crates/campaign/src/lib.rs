@@ -1,0 +1,725 @@
+#![warn(missing_docs)]
+
+//! # redsim-campaign
+//!
+//! A fault-injection campaign runner built for interruption: it
+//! enumerates a deterministic list of *shards* (one simulation per
+//! `(scenario, workload, fault-seed)` cell), fans them across worker
+//! threads through the bench [`Harness`], and checkpoints every
+//! completed shard to an append-only JSONL *progress manifest* so a
+//! killed campaign resumes where it stopped.
+//!
+//! Robustness properties, by construction rather than by testing luck:
+//!
+//! * **Deterministic shard list** — [`CampaignSpec::shards`] derives
+//!   the full grid from the spec alone; the spec's canonical JSON is
+//!   hashed ([`CampaignSpec::fingerprint`]) into the manifest header so
+//!   a resume against a *different* campaign is rejected, never merged.
+//! * **Per-shard isolation** — a shard that panics or returns a
+//!   simulation error is recorded as a structured failure
+//!   (`"ok":false`) and the remaining shards still run
+//!   ([`Harness::try_sweep_with`] wraps each job in `catch_unwind`).
+//! * **Livelock containment** — the spec's watchdog deadline bounds
+//!   every shard in simulated cycles; a tripped watchdog classifies the
+//!   shard's pending faults as `Hang` and completes normally.
+//! * **Byte-identical reports** — progress lines land in completion
+//!   order (thread-schedule dependent) but each line's *content* is
+//!   deterministic, and the final report embeds the record lines sorted
+//!   by shard id. Any thread count, and any interrupt/resume split,
+//!   produces the identical report file.
+//! * **Torn-tail tolerance** — a partial trailing line (the process was
+//!   killed mid-write) is discarded on resume and its shard re-runs;
+//!   resume also rewrites the manifest (via a temp file + rename) so
+//!   the torn bytes never corrupt subsequent appends.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::hash::Hasher;
+use std::io::{ErrorKind, Write};
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use redsim_bench::Harness;
+pub use redsim_bench::{Job, JobError};
+use redsim_core::{
+    ExecMode, FaultConfig, FaultLifecycle, ForwardingPolicy, MachineConfig, SimStats,
+};
+use redsim_util::hash::FxHasher;
+use redsim_util::Json;
+use redsim_workloads::Workload;
+
+/// One fault-injection scenario: an execution mode plus where and how
+/// often to strike.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Short stable name, used in shard labels and the report summary.
+    pub name: String,
+    /// Execution mode under test.
+    pub mode: ExecMode,
+    /// Strike sites and rates (replica `r` shifts `seed` by `1000·r`).
+    pub faults: FaultConfig,
+    /// Forwarding policy — the §3.4 shared-bus escapes exist only under
+    /// [`ForwardingPolicy::PrimaryToBoth`].
+    pub forwarding: ForwardingPolicy,
+}
+
+/// The full, self-describing campaign definition. Everything the
+/// runner does — the shard list, each shard's job, the manifest
+/// fingerprint — derives deterministically from this value.
+#[derive(Debug, Clone)]
+pub struct CampaignSpec {
+    /// The scenarios to sweep.
+    pub scenarios: Vec<Scenario>,
+    /// The workloads each scenario runs over.
+    pub workloads: Vec<Workload>,
+    /// Fault-seed replicas per `(scenario, workload)` cell.
+    pub seeds: u32,
+    /// Use the tiny workload instances.
+    pub quick: bool,
+    /// Per-shard watchdog deadline in simulated cycles; a shard that
+    /// reaches it resolves pending faults as `Hang` instead of spinning
+    /// forever.
+    pub watchdog: Option<u64>,
+}
+
+/// One cell of the campaign grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    /// Position in the deterministic shard list (the manifest key).
+    pub id: usize,
+    /// Index into [`CampaignSpec::scenarios`].
+    pub scenario: usize,
+    /// The workload this shard simulates.
+    pub workload: Workload,
+    /// Fault-seed replica number (`0..spec.seeds`).
+    pub rep: u64,
+}
+
+impl CampaignSpec {
+    /// The deterministic shard list: scenarios × workloads × replicas,
+    /// in declaration order.
+    #[must_use]
+    pub fn shards(&self) -> Vec<Shard> {
+        let mut out = Vec::new();
+        for (si, _) in self.scenarios.iter().enumerate() {
+            for &w in &self.workloads {
+                for rep in 0..u64::from(self.seeds) {
+                    out.push(Shard {
+                        id: out.len(),
+                        scenario: si,
+                        workload: w,
+                        rep,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// The shard's human-readable label (`scenario/workload#sN`).
+    #[must_use]
+    pub fn label(&self, shard: &Shard) -> String {
+        format!(
+            "{}/{}#s{}",
+            self.scenarios[shard.scenario].name,
+            shard.workload.name(),
+            shard.rep
+        )
+    }
+
+    /// Builds the bench [`Job`] for one shard.
+    #[must_use]
+    pub fn job(&self, shard: &Shard) -> Job {
+        let sc = &self.scenarios[shard.scenario];
+        let mut cfg = MachineConfig::paper_baseline();
+        cfg.forwarding = sc.forwarding;
+        let faults = FaultConfig {
+            seed: sc.faults.seed + 1000 * shard.rep,
+            ..sc.faults
+        };
+        let mut job = Job::new(shard.workload, sc.mode, &cfg).with_faults(faults);
+        if let Some(w) = self.watchdog {
+            job = job.with_watchdog(w);
+        }
+        job
+    }
+
+    /// Canonical JSON rendering of the spec — the fingerprint input.
+    #[must_use]
+    pub fn canonical(&self) -> String {
+        let scenarios: Json = self
+            .scenarios
+            .iter()
+            .map(|s| {
+                Json::obj()
+                    .field("name", s.name.as_str())
+                    .field("mode", format!("{:?}", s.mode).as_str())
+                    .field("fu_rate", s.faults.fu_rate)
+                    .field("forward_rate", s.faults.forward_rate)
+                    .field("irb_rate", s.faults.irb_rate)
+                    .field("seed", s.faults.seed)
+                    .field("forwarding", format!("{:?}", s.forwarding).as_str())
+            })
+            .collect();
+        let workloads: Json = self
+            .workloads
+            .iter()
+            .map(|w| Json::from(w.name()))
+            .collect();
+        let mut spec = Json::obj()
+            .field("scenarios", scenarios)
+            .field("workloads", workloads)
+            .field("seeds", u64::from(self.seeds))
+            .field("quick", self.quick);
+        if let Some(w) = self.watchdog {
+            spec.set("watchdog", w);
+        }
+        spec.to_string()
+    }
+
+    /// A deterministic 64-bit fingerprint of the canonical spec. Stored
+    /// in the manifest header; a resume whose spec hashes differently
+    /// is rejected instead of silently mixing two campaigns.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = FxHasher::default();
+        h.write(self.canonical().as_bytes());
+        h.finish()
+    }
+}
+
+/// How to run a campaign: parallelism, resume behaviour and file
+/// placement.
+#[derive(Debug, Clone)]
+pub struct CampaignOptions {
+    /// Worker threads for the shard sweep.
+    pub threads: usize,
+    /// Reuse an existing progress manifest, re-running only the shards
+    /// it does not record.
+    pub resume: bool,
+    /// Test hook: complete at most this many *new* shards, then return
+    /// [`CampaignOutcome::Interrupted`] (the binaries exit with code 3).
+    pub interrupt_after: Option<usize>,
+    /// The append-only JSONL progress manifest.
+    pub progress_path: PathBuf,
+    /// The final report (written only when every shard is recorded).
+    pub report_path: PathBuf,
+}
+
+/// Campaign failure: I/O trouble or a manifest that does not belong to
+/// this campaign.
+#[derive(Debug)]
+pub enum CampaignError {
+    /// Filesystem error on the manifest or report.
+    Io(std::io::Error),
+    /// The progress manifest exists but its header does not match this
+    /// spec (different fingerprint or shard count), or a record is
+    /// out of range.
+    Mismatch(String),
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::Io(e) => write!(f, "campaign i/o error: {e}"),
+            CampaignError::Mismatch(m) => write!(f, "campaign manifest mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+impl From<std::io::Error> for CampaignError {
+    fn from(e: std::io::Error) -> Self {
+        CampaignError::Io(e)
+    }
+}
+
+/// A completed campaign: every shard recorded, report written.
+#[derive(Debug)]
+pub struct CampaignReport {
+    /// The spec fingerprint the manifest carries.
+    pub fingerprint: u64,
+    /// Verbatim record lines, sorted by shard id (dense `0..shards`).
+    pub records: Vec<String>,
+    /// Shards recorded as failed (`"ok":false`).
+    pub failed: Vec<JobError>,
+    /// The exact report text written to `report_path`.
+    pub report: String,
+}
+
+/// What a [`run_campaign`] call achieved.
+#[derive(Debug)]
+pub enum CampaignOutcome {
+    /// All shards recorded; the final report was written.
+    Complete(CampaignReport),
+    /// Stopped by `interrupt_after` with shards still pending.
+    Interrupted {
+        /// Shards recorded in the manifest so far.
+        completed: usize,
+        /// Total shards in the campaign.
+        total: usize,
+    },
+}
+
+fn header_line(fingerprint: u64, shards: usize) -> String {
+    Json::obj()
+        .field("kind", "header")
+        .field("fingerprint", format!("{fingerprint:016x}").as_str())
+        .field("shards", shards)
+        .to_string()
+}
+
+fn lifecycle_json(l: &FaultLifecycle) -> Json {
+    Json::obj()
+        .field("injected", l.injected)
+        .field("detected", l.detected)
+        .field("masked", l.masked)
+        .field("silent", l.silent)
+        .field("hung", l.hung)
+        .field("detection_latency_sum", l.detection_latency_sum)
+        .field("detection_latency_max", l.detection_latency_max)
+        .field(
+            "latency_histogram",
+            l.latency_histogram
+                .iter()
+                .map(|&b| Json::from(b))
+                .collect::<Json>(),
+        )
+        .field("squash_depth_sum", l.squash_depth_sum)
+        .field("refetch_penalty_sum", l.refetch_penalty_sum)
+}
+
+/// The deterministic record line for one completed shard.
+fn record_line(shard: &Shard, label: &str, result: Result<&SimStats, &str>) -> String {
+    let base = Json::obj()
+        .field("kind", "shard")
+        .field("id", shard.id)
+        .field("scenario", shard.scenario)
+        .field("rep", shard.rep)
+        .field("label", label);
+    match result {
+        Ok(s) => base
+            .field("ok", true)
+            .field("cycles", s.cycles)
+            .field("committed_insts", s.committed_insts)
+            .field("watchdog_fired", s.watchdog_fired)
+            .field("injected_fu", s.faults.injected_fu)
+            .field("injected_forward", s.faults.injected_forward)
+            .field("injected_irb", s.faults.injected_irb)
+            .field("legacy_detected", s.faults.detected)
+            .field("legacy_escaped", s.faults.escaped)
+            .field("silent_sie", s.faults.silent_sie)
+            .field("lifecycle", lifecycle_json(&s.fault_lifecycle))
+            .to_string(),
+        Err(msg) => base.field("ok", false).field("error", msg).to_string(),
+    }
+}
+
+/// Parses a progress manifest back into `id → verbatim line`.
+///
+/// Unparseable lines (a torn tail from a kill mid-write) are skipped —
+/// their shards simply re-run. Duplicate ids keep the *last* line, so a
+/// shard recorded again after a torn first attempt settles on the
+/// complete record.
+fn parse_manifest(
+    text: &str,
+    expect_header: &str,
+    shards: usize,
+) -> Result<BTreeMap<usize, String>, CampaignError> {
+    let mut lines = text.lines();
+    match lines.next() {
+        None => return Ok(BTreeMap::new()),
+        Some(h) if h == expect_header => {}
+        Some(h) => {
+            return Err(CampaignError::Mismatch(format!(
+                "header {h:?} does not match this campaign (expected {expect_header:?})"
+            )));
+        }
+    }
+    let mut done = BTreeMap::new();
+    for line in lines {
+        let Ok(j) = Json::parse(line) else {
+            continue; // torn tail / partial write
+        };
+        if j.get("kind").and_then(Json::as_str) != Some("shard") {
+            continue;
+        }
+        let Some(id) = j.get("id").and_then(Json::as_u64) else {
+            continue;
+        };
+        let id = id as usize;
+        if id >= shards {
+            return Err(CampaignError::Mismatch(format!(
+                "record id {id} out of range for {shards} shards"
+            )));
+        }
+        done.insert(id, line.to_owned());
+    }
+    Ok(done)
+}
+
+/// Aggregates the sorted record lines into the per-scenario summary
+/// embedded in the report.
+fn summary_json(spec: &CampaignSpec, records: &BTreeMap<usize, String>) -> Json {
+    struct Acc {
+        injected: u64,
+        detected: u64,
+        masked: u64,
+        silent: u64,
+        hung: u64,
+        latency_sum: u64,
+        failed: u64,
+        hangs_contained: u64,
+    }
+    let mut accs: Vec<Acc> = spec
+        .scenarios
+        .iter()
+        .map(|_| Acc {
+            injected: 0,
+            detected: 0,
+            masked: 0,
+            silent: 0,
+            hung: 0,
+            latency_sum: 0,
+            failed: 0,
+            hangs_contained: 0,
+        })
+        .collect();
+    for line in records.values() {
+        let j = Json::parse(line).expect("records we wrote parse back");
+        let si = j.get("scenario").and_then(Json::as_u64).expect("scenario") as usize;
+        let acc = &mut accs[si];
+        if j.get("ok").and_then(Json::as_bool) != Some(true) {
+            acc.failed += 1;
+            continue;
+        }
+        if j.get("watchdog_fired").and_then(Json::as_bool) == Some(true) {
+            acc.hangs_contained += 1;
+        }
+        let l = j.get("lifecycle").expect("ok records carry lifecycle");
+        let g = |k: &str| l.get(k).and_then(Json::as_u64).unwrap_or(0);
+        acc.injected += g("injected");
+        acc.detected += g("detected");
+        acc.masked += g("masked");
+        acc.silent += g("silent");
+        acc.hung += g("hung");
+        acc.latency_sum += g("detection_latency_sum");
+    }
+    spec.scenarios
+        .iter()
+        .zip(&accs)
+        .map(|(sc, a)| {
+            let vulnerable = a.detected + a.silent;
+            Json::obj()
+                .field("scenario", sc.name.as_str())
+                .field("injected", a.injected)
+                .field("detected", a.detected)
+                .field("masked", a.masked)
+                .field("silent", a.silent)
+                .field("hung", a.hung)
+                .field(
+                    "coverage",
+                    if vulnerable > 0 {
+                        a.detected as f64 / vulnerable as f64
+                    } else {
+                        1.0
+                    },
+                )
+                .field(
+                    "avf",
+                    if a.injected > 0 {
+                        vulnerable as f64 / a.injected as f64
+                    } else {
+                        0.0
+                    },
+                )
+                .field(
+                    "mean_detection_latency",
+                    if a.detected > 0 {
+                        a.latency_sum as f64 / a.detected as f64
+                    } else {
+                        0.0
+                    },
+                )
+                .field("failed_shards", a.failed)
+                .field("watchdog_shards", a.hangs_contained)
+        })
+        .collect()
+}
+
+/// Assembles the final report text: header fields, the per-scenario
+/// summary, then every record line verbatim, sorted by shard id. Pure
+/// function of the record set — hence byte-identical however the
+/// campaign was scheduled, interrupted or resumed.
+fn report_text(spec: &CampaignSpec, fingerprint: u64, records: &BTreeMap<usize, String>) -> String {
+    let failed = records
+        .values()
+        .filter(|l| {
+            Json::parse(l)
+                .ok()
+                .and_then(|j| j.get("ok").and_then(Json::as_bool))
+                != Some(true)
+        })
+        .count();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"fingerprint\":\"{fingerprint:016x}\",\"shards\":{},\"failed\":{failed},\"summary\":{},\"records\":[",
+        records.len(),
+        summary_json(spec, records),
+    ));
+    for (i, line) in records.values().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(line);
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Extracts the failed-shard list from the sorted records.
+fn failed_records(records: &BTreeMap<usize, String>) -> Vec<JobError> {
+    records
+        .iter()
+        .filter_map(|(&id, line)| {
+            let j = Json::parse(line).ok()?;
+            if j.get("ok").and_then(Json::as_bool) == Some(true) {
+                return None;
+            }
+            Some(JobError {
+                index: id,
+                label: j
+                    .get("label")
+                    .and_then(Json::as_str)
+                    .unwrap_or("?")
+                    .to_owned(),
+                message: j
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unrecorded error")
+                    .to_owned(),
+            })
+        })
+        .collect()
+}
+
+/// Runs (or resumes) a campaign.
+///
+/// Completed shards checkpoint to `opts.progress_path` as they finish;
+/// when every shard is recorded the final report is written to
+/// `opts.report_path` and returned. With `opts.interrupt_after`
+/// set, at most that many new shards complete before the run stops
+/// with [`CampaignOutcome::Interrupted`].
+///
+/// # Errors
+///
+/// [`CampaignError::Io`] on filesystem trouble, and
+/// [`CampaignError::Mismatch`] when resuming against a manifest written
+/// by a different campaign.
+pub fn run_campaign(
+    spec: &CampaignSpec,
+    opts: &CampaignOptions,
+) -> Result<CampaignOutcome, CampaignError> {
+    let shards = spec.shards();
+    let fingerprint = spec.fingerprint();
+    let header = header_line(fingerprint, shards.len());
+
+    if let Some(dir) = opts.progress_path.parent() {
+        fs::create_dir_all(dir)?;
+    }
+    if let Some(dir) = opts.report_path.parent() {
+        fs::create_dir_all(dir)?;
+    }
+
+    let mut done: BTreeMap<usize, String> = BTreeMap::new();
+    if opts.resume {
+        match fs::read_to_string(&opts.progress_path) {
+            Ok(text) => done = parse_manifest(&text, &header, shards.len())?,
+            Err(e) if e.kind() == ErrorKind::NotFound => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+
+    // (Re)write the manifest cleanly — header plus every known-good
+    // record — via a temp file and rename, so a torn tail from a
+    // previous kill never corrupts the lines appended next.
+    {
+        let tmp = opts.progress_path.with_extension("tmp");
+        let mut f = fs::File::create(&tmp)?;
+        writeln!(f, "{header}")?;
+        for line in done.values() {
+            writeln!(f, "{line}")?;
+        }
+        f.sync_all()?;
+        fs::rename(&tmp, &opts.progress_path)?;
+    }
+
+    let mut pending: Vec<Shard> = shards
+        .iter()
+        .filter(|s| !done.contains_key(&s.id))
+        .copied()
+        .collect();
+    let interrupted = match opts.interrupt_after {
+        Some(k) if pending.len() > k => {
+            pending.truncate(k);
+            true
+        }
+        _ => false,
+    };
+
+    if !pending.is_empty() {
+        let jobs: Vec<Job> = pending.iter().map(|s| spec.job(s)).collect();
+        let progress = Mutex::new(
+            fs::OpenOptions::new()
+                .append(true)
+                .open(&opts.progress_path)?,
+        );
+        let fresh: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::new());
+        let mut h = Harness::new(spec.quick);
+        h.try_sweep_with(&jobs, opts.threads, |i, result| {
+            let shard = &pending[i];
+            let label = spec.label(shard);
+            let line = match result {
+                Ok(stats) => record_line(shard, &label, Ok(stats)),
+                Err(err) => record_line(shard, &label, Err(&err.message)),
+            };
+            {
+                let mut f = progress.lock().expect("progress writer lock");
+                writeln!(f, "{line}").expect("progress manifest append");
+                f.flush().expect("progress manifest flush");
+            }
+            fresh
+                .lock()
+                .expect("record list lock")
+                .push((shard.id, line));
+        });
+        for (id, line) in fresh.into_inner().expect("record list lock") {
+            done.insert(id, line);
+        }
+    }
+
+    if interrupted || done.len() < shards.len() {
+        return Ok(CampaignOutcome::Interrupted {
+            completed: done.len(),
+            total: shards.len(),
+        });
+    }
+
+    let report = report_text(spec, fingerprint, &done);
+    fs::write(&opts.report_path, &report)?;
+    Ok(CampaignOutcome::Complete(CampaignReport {
+        fingerprint,
+        records: done.values().cloned().collect(),
+        failed: failed_records(&done),
+        report,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> CampaignSpec {
+        CampaignSpec {
+            scenarios: vec![
+                Scenario {
+                    name: "die/fu".into(),
+                    mode: ExecMode::Die,
+                    faults: FaultConfig {
+                        fu_rate: 2e-4,
+                        seed: 11,
+                        ..FaultConfig::none()
+                    },
+                    forwarding: ForwardingPolicy::PrimaryToBoth,
+                },
+                Scenario {
+                    name: "sie/fu".into(),
+                    mode: ExecMode::Sie,
+                    faults: FaultConfig {
+                        fu_rate: 2e-4,
+                        seed: 11,
+                        ..FaultConfig::none()
+                    },
+                    forwarding: ForwardingPolicy::PrimaryToBoth,
+                },
+            ],
+            workloads: vec![Workload::Gzip],
+            seeds: 2,
+            quick: true,
+            watchdog: Some(5_000_000),
+        }
+    }
+
+    #[test]
+    fn shard_list_is_dense_and_deterministic() {
+        let spec = tiny_spec();
+        let shards = spec.shards();
+        assert_eq!(shards.len(), 4);
+        for (i, s) in shards.iter().enumerate() {
+            assert_eq!(s.id, i);
+        }
+        assert_eq!(shards, spec.shards());
+        assert_eq!(spec.label(&shards[1]), "die/fu/gzip#s1");
+    }
+
+    #[test]
+    fn fingerprint_tracks_the_spec() {
+        let spec = tiny_spec();
+        let mut other = tiny_spec();
+        other.seeds = 3;
+        assert_ne!(spec.fingerprint(), other.fingerprint());
+        assert_eq!(spec.fingerprint(), tiny_spec().fingerprint());
+    }
+
+    #[test]
+    fn replica_shifts_the_fault_seed_only() {
+        let spec = tiny_spec();
+        let shards = spec.shards();
+        let j0 = spec.job(&shards[0]);
+        let j1 = spec.job(&shards[1]);
+        assert_eq!(j0.faults.unwrap().seed + 1000, j1.faults.unwrap().seed);
+        assert_eq!(j0.mode, j1.mode);
+        assert_eq!(j0.watchdog, Some(5_000_000));
+    }
+
+    #[test]
+    fn manifest_parser_skips_torn_tail_and_rejects_foreign_headers() {
+        let header = header_line(0xabcd, 4);
+        let rec = r#"{"kind":"shard","id":2,"ok":false,"error":"x"}"#;
+        let text = format!("{header}\n{rec}\n{{\"kind\":\"sha");
+        let done = parse_manifest(&text, &header, 4).expect("parses");
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[&2], rec);
+
+        let foreign = header_line(0x1234, 4);
+        assert!(matches!(
+            parse_manifest(&text, &foreign, 4),
+            Err(CampaignError::Mismatch(_))
+        ));
+        assert!(matches!(
+            parse_manifest(&format!("{header}\n{rec}\n"), &header, 2),
+            Err(CampaignError::Mismatch(_))
+        ));
+    }
+
+    #[test]
+    fn report_text_is_a_pure_function_of_the_records() {
+        let spec = tiny_spec();
+        let mut records = BTreeMap::new();
+        records.insert(
+            0,
+            r#"{"kind":"shard","id":0,"scenario":0,"rep":0,"label":"l","ok":false,"error":"boom"}"#
+                .to_owned(),
+        );
+        let a = report_text(&spec, 7, &records);
+        let b = report_text(&spec, 7, &records);
+        assert_eq!(a, b);
+        assert!(a.contains("\"failed\":1"));
+        let parsed = Json::parse(a.trim_end()).expect("report is valid json");
+        assert_eq!(
+            parsed.get("fingerprint").and_then(Json::as_str),
+            Some("0000000000000007")
+        );
+    }
+}

@@ -1,0 +1,224 @@
+//! End-to-end robustness properties of the campaign runner: resume
+//! produces byte-identical reports, failed shards are contained, and
+//! livelocked shards are classified as hangs by the watchdog.
+
+use std::path::PathBuf;
+
+use redsim_campaign::{
+    run_campaign, CampaignError, CampaignOptions, CampaignOutcome, CampaignReport, CampaignSpec,
+    Scenario,
+};
+use redsim_core::{ExecMode, FaultConfig, ForwardingPolicy};
+use redsim_util::Json;
+use redsim_workloads::Workload;
+
+fn scenario(name: &str, mode: ExecMode, faults: FaultConfig) -> Scenario {
+    Scenario {
+        name: name.to_owned(),
+        mode,
+        faults,
+        forwarding: ForwardingPolicy::PrimaryToBoth,
+    }
+}
+
+fn small_spec() -> CampaignSpec {
+    CampaignSpec {
+        scenarios: vec![
+            scenario(
+                "die/fu",
+                ExecMode::Die,
+                FaultConfig {
+                    fu_rate: 2e-4,
+                    seed: 11,
+                    ..FaultConfig::none()
+                },
+            ),
+            scenario(
+                "die-irb/irb",
+                ExecMode::DieIrb,
+                FaultConfig {
+                    irb_rate: 0.05,
+                    seed: 13,
+                    ..FaultConfig::none()
+                },
+            ),
+        ],
+        workloads: vec![Workload::Gzip, Workload::Mcf],
+        seeds: 2,
+        quick: true,
+        watchdog: Some(5_000_000),
+    }
+}
+
+fn opts(dir: &str, threads: usize) -> CampaignOptions {
+    let base = PathBuf::from(env!("CARGO_TARGET_TMPDIR"))
+        .join(format!("campaign-{}-{dir}", std::process::id()));
+    CampaignOptions {
+        threads,
+        resume: false,
+        interrupt_after: None,
+        progress_path: base.join("c.progress.jsonl"),
+        report_path: base.join("c.report.json"),
+    }
+}
+
+fn complete(outcome: CampaignOutcome) -> CampaignReport {
+    match outcome {
+        CampaignOutcome::Complete(r) => r,
+        CampaignOutcome::Interrupted { completed, total } => {
+            panic!("expected completion, interrupted at {completed}/{total}")
+        }
+    }
+}
+
+#[test]
+fn interrupted_resumed_and_reparallelized_reports_are_byte_identical() {
+    let spec = small_spec();
+
+    // Reference: one uninterrupted run.
+    let full = opts("full", 2);
+    let reference = complete(run_campaign(&spec, &full).expect("uninterrupted run"));
+    assert_eq!(
+        std::fs::read_to_string(&full.report_path).expect("report on disk"),
+        reference.report
+    );
+
+    // Interrupt after 3 of 8 shards, then resume with a different
+    // thread count; the final report must match byte for byte.
+    let mut split = opts("split", 1);
+    split.interrupt_after = Some(3);
+    match run_campaign(&spec, &split).expect("interrupted run") {
+        CampaignOutcome::Interrupted { completed, total } => {
+            assert_eq!(completed, 3);
+            assert_eq!(total, 8);
+        }
+        CampaignOutcome::Complete(_) => panic!("expected interruption"),
+    }
+    // Simulate a kill mid-write: leave a torn partial line behind.
+    let torn = std::fs::read_to_string(&split.progress_path).expect("progress exists")
+        + "{\"kind\":\"shard\",\"id\":9";
+    std::fs::write(&split.progress_path, torn).expect("tear the manifest");
+
+    split.interrupt_after = None;
+    split.resume = true;
+    split.threads = 4;
+    let resumed = complete(run_campaign(&spec, &split).expect("resumed run"));
+    assert_eq!(resumed.report, reference.report, "resume is byte-identical");
+    assert_eq!(
+        std::fs::read_to_string(&split.report_path).expect("report on disk"),
+        reference.report
+    );
+}
+
+#[test]
+fn resume_against_a_different_campaign_is_rejected() {
+    let spec = small_spec();
+    let mut o = opts("foreign", 1);
+    o.interrupt_after = Some(1);
+    run_campaign(&spec, &o).expect("first shard");
+
+    let mut other = small_spec();
+    other.seeds = 1;
+    o.resume = true;
+    o.interrupt_after = None;
+    match run_campaign(&other, &o) {
+        Err(CampaignError::Mismatch(_)) => {}
+        r => panic!("expected a fingerprint mismatch, got {r:?}"),
+    }
+}
+
+#[test]
+fn failed_shards_are_recorded_and_the_rest_complete() {
+    // fu_rate 2.0 is invalid: Simulator::with_faults panics, so every
+    // shard of the first scenario dies while the second still runs.
+    let spec = CampaignSpec {
+        scenarios: vec![
+            scenario(
+                "broken",
+                ExecMode::Die,
+                FaultConfig {
+                    fu_rate: 2.0,
+                    seed: 1,
+                    ..FaultConfig::none()
+                },
+            ),
+            scenario(
+                "healthy",
+                ExecMode::Sie,
+                FaultConfig {
+                    fu_rate: 2e-4,
+                    seed: 11,
+                    ..FaultConfig::none()
+                },
+            ),
+        ],
+        workloads: vec![Workload::Gzip],
+        seeds: 1,
+        quick: true,
+        watchdog: Some(5_000_000),
+    };
+    let o = opts("failing", 2);
+    let report = complete(run_campaign(&spec, &o).expect("campaign completes"));
+    assert_eq!(report.records.len(), 2);
+    assert_eq!(report.failed.len(), 1);
+    assert_eq!(report.failed[0].index, 0);
+    assert!(report.failed[0].label.starts_with("broken/"));
+    assert!(
+        report.failed[0]
+            .message
+            .contains("invalid fault configuration"),
+        "panic message recorded: {}",
+        report.failed[0].message
+    );
+    let healthy = Json::parse(&report.records[1]).expect("record parses");
+    assert_eq!(healthy.get("ok").and_then(Json::as_bool), Some(true));
+    assert!(
+        healthy
+            .get("lifecycle")
+            .and_then(|l| l.get("injected"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+            > 0
+    );
+}
+
+#[test]
+fn livelocked_shard_is_classified_as_hang_by_the_watchdog() {
+    // DIE with fu_rate 1.0 corrupts every result, so every commit-time
+    // pair comparison fails and the pipeline rewinds forever; the
+    // watchdog must contain it and classify pending faults as hangs.
+    let spec = CampaignSpec {
+        scenarios: vec![scenario(
+            "livelock",
+            ExecMode::Die,
+            FaultConfig {
+                fu_rate: 1.0,
+                seed: 3,
+                ..FaultConfig::none()
+            },
+        )],
+        workloads: vec![Workload::Gzip],
+        seeds: 1,
+        quick: true,
+        watchdog: Some(20_000),
+    };
+    let o = opts("livelock", 1);
+    let report = complete(run_campaign(&spec, &o).expect("watchdog contains the shard"));
+    assert!(
+        report.failed.is_empty(),
+        "a hang is a classification, not an error"
+    );
+    let rec = Json::parse(&report.records[0]).expect("record parses");
+    assert_eq!(
+        rec.get("watchdog_fired").and_then(Json::as_bool),
+        Some(true)
+    );
+    let l = rec.get("lifecycle").expect("lifecycle");
+    let g = |k: &str| l.get(k).and_then(Json::as_u64).unwrap_or(0);
+    assert!(g("hung") > 0, "pending faults became hangs");
+    assert_eq!(
+        g("injected"),
+        g("detected") + g("masked") + g("silent") + g("hung"),
+        "conservation holds in the manifest too"
+    );
+}

@@ -71,7 +71,9 @@ pub use config::{
     DcacheConfig, ExecMode, ForwardingPolicy, FuCounts, IssuePolicy, LatencyConfig, MachineConfig,
     SchedEngine, SchedulerModel,
 };
-pub use fault::{FaultConfig, FaultStats};
+pub use fault::{
+    FaultConfig, FaultConfigError, FaultLifecycle, FaultOutcome, FaultRecord, FaultSite, FaultStats,
+};
 pub use pipeline::{SimError, Simulator};
 pub use source::{ArcSource, EmulatorSource, InstructionSource, SliceSource, VecSource};
 pub use stats::{FetchStallKind, SimStats, Throughput};

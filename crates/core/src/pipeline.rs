@@ -12,7 +12,7 @@ use redsim_util::FxHashMap;
 use crate::config::{
     ExecMode, ForwardingPolicy, IssuePolicy, MachineConfig, SchedEngine, SchedulerModel,
 };
-use crate::fault::{FaultConfig, FaultInjector};
+use crate::fault::{FaultConfig, FaultInjector, FaultOutcome};
 use crate::frontend::{FetchOutcome, FrontEnd};
 use crate::fu::{FuBank, Pool};
 use crate::irb_unit::{reuse_output, IrbUnit};
@@ -83,6 +83,7 @@ pub struct Simulator {
     mode: ExecMode,
     faults: FaultConfig,
     budget: u64,
+    watchdog: Option<u64>,
 }
 
 impl Simulator {
@@ -100,13 +101,35 @@ impl Simulator {
             mode,
             faults: FaultConfig::none(),
             budget: 50_000_000,
+            watchdog: None,
         }
     }
 
     /// Enables transient-fault injection.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration
+    /// ([`FaultConfig::validate`]) — CLI layers should validate first
+    /// and report the typed error instead.
     #[must_use]
     pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        if let Err(e) = faults.validate() {
+            panic!("invalid fault configuration: {e}");
+        }
         self.faults = faults;
+        self
+    }
+
+    /// Sets a watchdog deadline in simulated cycles. A run that reaches
+    /// the deadline stops cleanly instead of erroring: the stats carry
+    /// [`SimStats::watchdog_fired`](crate::SimStats) and every
+    /// unresolved fault is classified as a hang, so a livelocked
+    /// configuration (e.g. a rewind storm under an extreme fault rate)
+    /// becomes a structured result rather than a stuck job.
+    #[must_use]
+    pub fn with_watchdog(mut self, max_cycles: u64) -> Self {
+        self.watchdog = Some(max_cycles);
         self
     }
 
@@ -146,7 +169,7 @@ impl Simulator {
     ///
     /// Same conditions as [`Simulator::run_program`].
     pub fn run_source(&self, source: &mut dyn InstructionSource) -> Result<SimStats, SimError> {
-        let mut m = Machine::new(&self.config, self.mode, self.faults);
+        let mut m = Machine::new(&self.config, self.mode, self.faults, self.watchdog);
         m.run(source)
     }
 }
@@ -205,6 +228,13 @@ struct Machine<'a> {
     fu_dup: Option<FuBank>,
     irb: Option<IrbUnit>,
     inj: FaultInjector,
+    /// PC of the entry occupying a struck IRB slot, keyed to the fault
+    /// id — a later reuse of that PC that serves corrupt bits is
+    /// attributed to the strike (latest strike per PC wins).
+    irb_fault_pc: FxHashMap<u64, u32>,
+    /// Watchdog deadline in cycles; reaching it ends the run cleanly
+    /// with pending faults classified as hangs.
+    watchdog: Option<u64>,
     stats: SimStats,
     front_state: FrontState,
     resume_at: u64,
@@ -242,7 +272,12 @@ struct Machine<'a> {
 }
 
 impl<'a> Machine<'a> {
-    fn new(cfg: &'a MachineConfig, mode: ExecMode, faults: FaultConfig) -> Self {
+    fn new(
+        cfg: &'a MachineConfig,
+        mode: ExecMode,
+        faults: FaultConfig,
+        watchdog: Option<u64>,
+    ) -> Self {
         let dup_source_bank = match (mode, cfg.forwarding) {
             // The original DIE forwards strictly within each stream.
             (ExecMode::Die, _) => DUP,
@@ -270,6 +305,8 @@ impl<'a> Machine<'a> {
             fu_dup: (mode == ExecMode::DieCluster).then(|| FuBank::new(cfg.fu, cfg.latency)),
             irb: mode.has_irb().then(|| IrbUnit::new(cfg.irb)),
             inj: FaultInjector::new(faults),
+            irb_fault_pc: FxHashMap::default(),
+            watchdog,
             stats: SimStats::default(),
             front_state: FrontState::Running,
             resume_at: 0,
@@ -332,6 +369,15 @@ impl<'a> Machine<'a> {
             if self.cycles_since_commit > 100_000 {
                 return Err(SimError::Deadlock { cycle: self.cycle });
             }
+            if self.watchdog.is_some_and(|limit| self.cycle >= limit) {
+                // Watchdog deadline: end the run cleanly. Faults still
+                // unresolved never reached a terminal commit — a
+                // livelock (e.g. a rewind storm) holds them in flight
+                // forever — so they are classified as hangs.
+                self.inj.resolve_all_pending(FaultOutcome::Hang, self.cycle);
+                self.stats.watchdog_fired = true;
+                break;
+            }
         }
         self.finalize();
         Ok(std::mem::take(&mut self.stats))
@@ -355,7 +401,10 @@ impl<'a> Machine<'a> {
             if self.inj.enabled() {
                 if let Some((slot, bit)) = self.inj.roll_irb_strike(irb.buffer().num_slots()) {
                     if irb.buffer_mut().inject_fault(slot, bit) {
-                        self.inj.record_irb_strike();
+                        let id = self.inj.record_irb_strike(self.cycle);
+                        if let Some(pc) = irb.buffer().slot_pc(slot) {
+                            self.irb_fault_pc.insert(pc, id);
+                        }
                     }
                 }
             }
@@ -484,6 +533,11 @@ impl<'a> Machine<'a> {
                     self.last_store.remove(&key);
                 }
             }
+            if self.inj.enabled() {
+                for s in 0..need as u64 {
+                    self.resolve_commit_faults(head + s);
+                }
+            }
             for _ in 0..need {
                 self.ruu.pop();
             }
@@ -501,12 +555,36 @@ impl<'a> Machine<'a> {
         }
     }
 
+    /// Commit of one copy under fault injection: faults riding on a
+    /// tainted copy that delivers a wrong architectural value resolve
+    /// as silent corruption; faults whose corruption cancelled out (or
+    /// never produced a comparator word) stay pending and fall out as
+    /// masked at the end of the run.
+    fn resolve_commit_faults(&mut self, seq: u64) {
+        let e = self.ruu.get_mut(seq).expect("committing entry exists");
+        if e.fault_ids.is_empty() {
+            return;
+        }
+        let silent = e.fault_tainted && e.out_bits.is_some() && e.out_bits != e.clean_check_bits();
+        let ids = std::mem::take(&mut e.fault_ids);
+        if silent {
+            for id in ids {
+                self.inj.resolve_silent(id, self.cycle);
+            }
+        }
+    }
+
     /// Pair mismatch at commit: the paper's instruction rewind. Both
     /// copies re-execute on the functional units; the front end pays a
     /// flush penalty.
     fn rewind_pair(&mut self, head: u64) {
         self.stats.pair_mismatches += 1;
         self.inj.stats_mut().detected += 1;
+        // Recovery cost attributed to the faults being detected: the
+        // in-flight copies behind the pair (the window exposed to the
+        // rewind) and the front-end re-fetch penalty.
+        let squash_depth = self.ruu.len() as u64 - 2;
+        let refetch = self.cfg.mispredict_penalty;
         for seq in [head, head + 1] {
             let e = self.ruu.get_mut(seq).expect("pair exists");
             e.state = EntryState::Ready;
@@ -518,7 +596,12 @@ impl<'a> Machine<'a> {
             e.input_corrupt = 0;
             // Force the re-execution down the functional units.
             e.reuse = ReuseState::NotEligible;
+            let ids = std::mem::take(&mut e.fault_ids);
             let stream = e.stream;
+            for id in ids {
+                self.inj
+                    .resolve_detected(id, self.cycle, squash_depth, refetch);
+            }
             self.push_ready(seq, stream);
         }
         let resume = self.cycle + self.cfg.mispredict_penalty;
@@ -646,17 +729,18 @@ impl<'a> Machine<'a> {
         if consumers.is_empty() {
             return;
         }
-        let mask = if self.inj.enabled() {
-            self.inj.strike_forward()
+        let strike = if self.inj.enabled() {
+            self.inj.strike_forward(self.cycle)
         } else {
-            0
+            None
         };
         for &c in &consumers {
             let mut woke = None;
             if let Some(e) = self.ruu.get_mut(c) {
-                if mask != 0 {
+                if let Some((mask, id)) = strike {
                     e.input_corrupt ^= mask;
                     e.fault_tainted = true;
+                    e.fault_ids.push(id);
                 }
                 if e.deps_remaining > 0 {
                     e.deps_remaining -= 1;
@@ -831,6 +915,11 @@ impl<'a> Machine<'a> {
             e.out_bits = Some(out);
             if produced != clean {
                 e.fault_tainted = true;
+                // Attribute the corrupt buffered result to the IRB
+                // strike that hit this PC's slot.
+                if let Some(&id) = self.irb_fault_pc.get(&hit.pc) {
+                    e.fault_ids.push(id);
+                }
             }
         }
 
@@ -903,6 +992,9 @@ impl<'a> Machine<'a> {
                         e.out_bits = Some(out);
                         if produced != clean {
                             e.fault_tainted = true;
+                            if let Some(&id) = self.irb_fault_pc.get(&hit.pc) {
+                                e.fault_ids.push(id);
+                            }
                         }
                         if di.inst.op.is_load() && self.is_dual() {
                             let partner_done = self.ruu.get(seq - 1).is_some_and(Entry::is_done);
@@ -926,10 +1018,10 @@ impl<'a> Machine<'a> {
         let produced = produced_bits(&di).map(|p| p ^ input_corrupt);
         let (out, struck) = match produced {
             Some(p) => {
-                let (pb, hit) = self.inj.strike_fu(p);
-                (Some(finalize_out(&di, pb)), hit)
+                let (pb, fid) = self.inj.strike_fu(p, self.cycle);
+                (Some(finalize_out(&di, pb)), fid)
             }
-            None => (None, false),
+            None => (None, None),
         };
 
         let mut complete_at = done;
@@ -955,8 +1047,9 @@ impl<'a> Machine<'a> {
         e.executed_on_fu = true;
         e.complete_at = Some(complete_at);
         e.out_bits = out;
-        if struck {
+        if let Some(id) = struck {
             e.fault_tainted = true;
+            e.fault_ids.push(id);
         }
         self.schedule_completion(complete_at, seq);
         true
@@ -1265,6 +1358,12 @@ impl<'a> Machine<'a> {
             };
         }
         self.stats.faults = *self.inj.stats();
+        // Faults with no terminal event by now never corrupted an
+        // architectural value: masked. (A watchdog break already
+        // classified its pending faults as hangs above.)
+        self.inj
+            .resolve_all_pending(FaultOutcome::Masked, self.cycle);
+        self.stats.fault_lifecycle = self.inj.lifecycle();
     }
 }
 

@@ -80,6 +80,10 @@ pub struct Entry {
     /// XOR mask accumulated from corrupted operand forwarding; a
     /// non-zero mask propagates into this copy's produced bits.
     pub input_corrupt: u64,
+    /// Ids (into the injector's ledger) of the faults riding on this
+    /// copy; resolved to a terminal outcome at commit or rewind. Empty
+    /// in fault-free runs, so it never allocates on the common path.
+    pub fault_ids: Vec<u32>,
     /// For mispredicted control instructions: resolution already
     /// reported to the front end.
     pub resolution_reported: bool,
@@ -103,6 +107,7 @@ impl Entry {
             out_bits: None,
             fault_tainted: false,
             input_corrupt: 0,
+            fault_ids: Vec::new(),
             resolution_reported: false,
         }
     }

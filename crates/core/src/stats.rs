@@ -4,7 +4,7 @@ use redsim_irb::IrbStats;
 use redsim_mem::CacheStats;
 use redsim_util::Json;
 
-use crate::fault::FaultStats;
+use crate::fault::{FaultLifecycle, FaultStats};
 
 /// Why the fetch stage produced no instructions in a cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -180,6 +180,14 @@ pub struct SimStats {
     pub pair_mismatches: u64,
     /// Fault-injection accounting.
     pub faults: FaultStats,
+    /// Per-fault lifecycle classification (every injected fault lands
+    /// in exactly one terminal outcome; see
+    /// [`FaultLifecycle::conservation_holds`]).
+    pub fault_lifecycle: FaultLifecycle,
+    /// `true` if the run was cut short by the watchdog deadline
+    /// ([`Simulator::with_watchdog`](crate::Simulator::with_watchdog));
+    /// pending faults were then classified as hangs.
+    pub watchdog_fired: bool,
 }
 
 impl SimStats {
@@ -319,6 +327,37 @@ impl SimStats {
                     .field("escaped", self.faults.escaped)
                     .field("silent_sie", self.faults.silent_sie),
             )
+            .field(
+                "fault_lifecycle",
+                Json::obj()
+                    .field("injected", self.fault_lifecycle.injected)
+                    .field("detected", self.fault_lifecycle.detected)
+                    .field("masked", self.fault_lifecycle.masked)
+                    .field("silent", self.fault_lifecycle.silent)
+                    .field("hung", self.fault_lifecycle.hung)
+                    .field(
+                        "detection_latency_sum",
+                        self.fault_lifecycle.detection_latency_sum,
+                    )
+                    .field(
+                        "detection_latency_max",
+                        self.fault_lifecycle.detection_latency_max,
+                    )
+                    .field(
+                        "latency_histogram",
+                        self.fault_lifecycle
+                            .latency_histogram
+                            .iter()
+                            .map(|&n| Json::from(n))
+                            .collect::<Json>(),
+                    )
+                    .field("squash_depth_sum", self.fault_lifecycle.squash_depth_sum)
+                    .field(
+                        "refetch_penalty_sum",
+                        self.fault_lifecycle.refetch_penalty_sum,
+                    ),
+            )
+            .field("watchdog_fired", self.watchdog_fired)
     }
 }
 

@@ -242,6 +242,20 @@ impl ReuseBuffer {
         self.slots.len()
     }
 
+    /// PC of the valid entry occupying `slot`, if any — lets the fault
+    /// layer attribute a strike to the instruction whose buffered
+    /// result it corrupted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    #[must_use]
+    pub fn slot_pc(&self, slot: usize) -> Option<u64> {
+        assert!(slot < self.slots.len(), "slot {slot} out of range");
+        let s = &self.slots[slot];
+        s.valid.then_some(s.entry.pc)
+    }
+
     /// Flips one bit of the buffered *result* in slot `slot`, modelling a
     /// particle strike on the (unprotected) IRB array. Returns `true` if
     /// the slot held a valid entry.

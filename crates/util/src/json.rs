@@ -1,11 +1,12 @@
 //! A minimal JSON value model and writer.
 //!
 //! The bench harness emits machine-readable results with `--json`; this
-//! module is the in-tree replacement for a serde stack. It only
-//! *writes* JSON — nothing in the workspace needs to parse it — and it
-//! writes strictly valid output: strings are escaped per RFC 8259,
-//! non-finite floats serialize as `null`, and object key order is the
-//! insertion order (so output is deterministic).
+//! module is the in-tree replacement for a serde stack. Output is
+//! strictly valid: strings are escaped per RFC 8259, non-finite floats
+//! serialize as `null`, and object key order is the insertion order (so
+//! output is deterministic). A small recursive-descent [`Json::parse`]
+//! reads values back — the campaign runner's `--resume` path consumes
+//! its own checkpoint manifest with it.
 //!
 //! # Examples
 //!
@@ -109,6 +110,79 @@ impl Json {
         }
     }
 
+    /// The value as an unsigned integer, if it is one (or a
+    /// non-negative signed integer).
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::UInt(u) => Some(*u),
+            Json::Int(i) => u64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a double (integers convert).
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            Json::Int(i) => Some(*i as f64),
+            Json::UInt(u) => Some(*u as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements of an array, if the value is one.
+    #[must_use]
+    pub fn items(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Parses a complete JSON document (trailing whitespace allowed,
+    /// trailing garbage rejected).
+    ///
+    /// Integers without a fraction or exponent parse to
+    /// [`Json::UInt`]/[`Json::Int`] so counter values round-trip
+    /// exactly; everything else numeric becomes [`Json::Num`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonParseError`] locating the first offending byte.
+    pub fn parse(text: &str) -> Result<Json, JsonParseError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after JSON value"));
+        }
+        Ok(v)
+    }
+
     fn write(&self, out: &mut String) {
         match self {
             Json::Null => out.push_str("null"),
@@ -149,6 +223,214 @@ impl Json {
                 out.push('}');
             }
         }
+    }
+}
+
+/// A malformed JSON document: what was wrong and where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// Byte offset of the offending input.
+    pub pos: usize,
+    /// What the parser expected or found.
+    pub msg: &'static str,
+}
+
+impl fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &'static str) -> JsonParseError {
+        JsonParseError { pos: self.pos, msg }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8, msg: &'static str) -> Result<(), JsonParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(msg))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, JsonParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonParseError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonParseError> {
+        self.expect(b'{', "expected '{'")?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':', "expected ':' after object key")?;
+            self.skip_ws();
+            let v = self.value()?;
+            fields.push((key, v));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonParseError> {
+        self.expect(b'[', "expected '['")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonParseError> {
+        self.expect(b'"', "expected '\"'")?;
+        let mut s = String::new();
+        loop {
+            let start = self.pos;
+            // Consume a run of plain UTF-8 (no escapes, no quote).
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            s.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("truncated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'b' => s.push('\u{8}'),
+                        b'f' => s.push('\u{c}'),
+                        b'n' => s.push('\n'),
+                        b'r' => s.push('\r'),
+                        b't' => s.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("invalid \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogates are not paired up — the writer
+                            // never emits them; reject rather than
+                            // corrupt.
+                            let c = char::from_u32(hex)
+                                .ok_or_else(|| self.err("\\u escape is not a scalar value"))?;
+                            s.push(c);
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut fractional = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    fractional = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII digits");
+        if !fractional {
+            if text.starts_with('-') {
+                if let Ok(i) = text.parse::<i64>() {
+                    return Ok(Json::Int(i));
+                }
+            } else if let Ok(u) = text.parse::<u64>() {
+                return Ok(Json::UInt(u));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err("invalid number"))
     }
 }
 
@@ -285,5 +567,74 @@ mod tests {
             .field("vals", Json::from_iter([0.5, 1.0, f64::NAN]));
         let s = j.to_string();
         assert_eq!(s, r#"{"name":"fig \"x\"","vals":[0.5,1.0,null]}"#);
+    }
+
+    #[test]
+    fn parse_round_trips_writer_output() {
+        let j = Json::obj()
+            .field("title", "coverage \"x\"\n")
+            .field("quick", true)
+            .field("count", 18_446_744_073_709_551_615u64)
+            .field("delta", -3i64)
+            .field("ipc", 1.25)
+            .field("none", Json::Null)
+            .field("rows", Json::from_iter([1u64, 2, 3]))
+            .field("nested", Json::obj().field("k", "v"));
+        let parsed = Json::parse(&j.to_string()).expect("writer output parses");
+        assert_eq!(parsed, j);
+        // And the text round-trips byte-identically.
+        assert_eq!(parsed.to_string(), j.to_string());
+    }
+
+    #[test]
+    fn parse_accessors_expose_scalars() {
+        let j = Json::parse(r#"{"a": 7, "b": -2, "c": 1.5, "d": "s", "e": [true]}"#).unwrap();
+        assert_eq!(j.get("a").and_then(Json::as_u64), Some(7));
+        assert_eq!(j.get("b").and_then(Json::as_u64), None);
+        assert_eq!(j.get("b").and_then(Json::as_f64), Some(-2.0));
+        assert_eq!(j.get("c").and_then(Json::as_f64), Some(1.5));
+        assert_eq!(j.get("d").and_then(Json::as_str), Some("s"));
+        let items = j.get("e").and_then(Json::items).unwrap();
+        assert_eq!(items[0].as_bool(), Some(true));
+    }
+
+    #[test]
+    fn parse_handles_escapes_and_whitespace() {
+        let j = Json::parse(" { \"k\\n\\u0041\" : [ 1 , 2 ] } ").unwrap();
+        assert_eq!(
+            j.get("k\nA").and_then(Json::items).map(<[Json]>::len),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "tru",
+            "\"unterminated",
+            "1 2",
+            "{\"a\":1,}",
+            "nulll",
+            "\"bad \\x escape\"",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} must not parse");
+        }
+        let e = Json::parse("[1, oops]").unwrap_err();
+        assert!(e.to_string().contains("byte 4"), "{e}");
+    }
+
+    #[test]
+    fn parse_keeps_integer_fidelity() {
+        assert_eq!(
+            Json::parse("18446744073709551615").unwrap(),
+            Json::UInt(u64::MAX)
+        );
+        assert_eq!(Json::parse("-9").unwrap(), Json::Int(-9));
+        assert_eq!(Json::parse("1e3").unwrap(), Json::Num(1000.0));
+        assert_eq!(Json::parse("0.5").unwrap(), Json::Num(0.5));
     }
 }

@@ -69,9 +69,47 @@ bench_smoke() {
     done
 }
 
+campaign_smoke() {
+    # The resumable fault-injection campaign end-to-end: a full tiny
+    # run, then the same campaign interrupted partway (exit code 3) and
+    # resumed with a different thread count. The two final reports must
+    # be byte-identical — the checkpoint/resume machinery may never
+    # change a result.
+    echo "==> fig_coverage campaign interrupt/resume determinism check"
+    local bin=target/release/fig_coverage
+    local dir=target/campaign-smoke
+    rm -rf "$dir"
+    mkdir -p "$dir"
+    run "$bin" --quick --json --threads 4 --out "$dir/full" >/dev/null
+
+    local rc=0
+    "$bin" --quick --json --threads 1 --interrupt-after 5 \
+        --out "$dir/split" >/dev/null 2>&1 || rc=$?
+    if [ "$rc" -ne 3 ]; then
+        echo "FAIL: interrupted campaign must exit with code 3, got $rc" >&2
+        exit 1
+    fi
+    if [ -e "$dir/split.report.json" ]; then
+        echo "FAIL: an interrupted campaign must not write a report" >&2
+        exit 1
+    fi
+    run "$bin" --quick --json --threads 8 --resume --out "$dir/split" >/dev/null
+
+    if ! cmp -s "$dir/full.report.json" "$dir/split.report.json"; then
+        echo "FAIL: resumed campaign report differs from the uninterrupted one" >&2
+        exit 1
+    fi
+}
+
 if [ "${1:-}" = "bench-smoke" ]; then
     bench_smoke
     echo "OK: bench smoke passed"
+    exit 0
+fi
+
+if [ "${1:-}" = "campaign-smoke" ]; then
+    campaign_smoke
+    echo "OK: campaign smoke passed"
     exit 0
 fi
 
@@ -80,6 +118,7 @@ run cargo clippy --offline --workspace --all-targets -- -D warnings
 run cargo build --offline --release --workspace
 run cargo test --offline --workspace -q
 figure_smoke
+campaign_smoke
 bench_smoke
 
 echo "OK: all checks passed"

@@ -217,3 +217,46 @@ fn engines_agree_under_fault_injection() {
         }
     }
 }
+
+#[test]
+fn fault_lifecycle_is_conserved_and_identical_in_every_mode() {
+    // The four-way lifecycle classification (detected / masked / silent
+    // / hang) must account for every injected fault exactly once —
+    // generatively, in all five execution modes, on both engines (the
+    // full-struct equality already proves the engines' lifecycle blocks
+    // bit-identical; the invariants below pin the classification
+    // itself).
+    let mut rng = Rng::new(0xE0E_0004);
+    let cfg = MachineConfig::tiny();
+    let faults = FaultConfig {
+        fu_rate: 0.02,
+        forward_rate: 0.01,
+        irb_rate: 0.005,
+        seed: 0xFA18,
+    };
+    for case in 0..8u64 {
+        let program = gen_program(&mut rng, 20, 120);
+        for mode in ALL_MODES {
+            let (ev, sc) = both_engines(&program, &cfg, mode, faults);
+            assert_eq!(ev, sc, "case {case} {mode:?}");
+            let l = ev.fault_lifecycle;
+            assert!(
+                l.conservation_holds(),
+                "case {case} {mode:?}: injected {} != {} detected + {} masked \
+                 + {} silent + {} hung",
+                l.injected,
+                l.detected,
+                l.masked,
+                l.silent,
+                l.hung
+            );
+            assert_eq!(
+                l.injected,
+                ev.faults.injected_fu + ev.faults.injected_forward + ev.faults.injected_irb,
+                "case {case} {mode:?}: every legacy-counted strike has a lifecycle record"
+            );
+            // No watchdog is armed, so nothing may classify as a hang.
+            assert_eq!(l.hung, 0, "case {case} {mode:?}");
+        }
+    }
+}

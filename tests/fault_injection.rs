@@ -125,6 +125,133 @@ fn sie_has_zero_detection_by_construction() {
 }
 
 #[test]
+fn lifecycle_detection_carries_latency_and_recovery_cost() {
+    // DIE functional-unit strikes: every vulnerable fault is detected,
+    // each detection has a latency (inject -> commit-compare) binned
+    // into the log2 histogram and a recovery cost of one pair re-fetch.
+    let w = Workload::Gzip;
+    let program = w.program(w.tiny_params()).unwrap();
+    let machine = cfg();
+    let s = Simulator::new(machine.clone(), ExecMode::Die)
+        .with_faults(FaultConfig {
+            fu_rate: 2e-4,
+            seed: 5,
+            ..FaultConfig::none()
+        })
+        .run_program(&program)
+        .unwrap();
+    let l = s.fault_lifecycle;
+    assert!(l.conservation_holds());
+    assert!(l.detected > 0);
+    assert_eq!(
+        l.silent, 0,
+        "DIE leaves no silent corruption from FU strikes"
+    );
+    assert_eq!(l.hung, 0);
+    assert_eq!(
+        l.detected, s.faults.detected,
+        "lifecycle agrees with legacy"
+    );
+    assert_eq!(
+        l.latency_histogram.iter().sum::<u64>(),
+        l.detected,
+        "every detection lands in exactly one latency bucket"
+    );
+    assert!(l.detection_latency_max > 0);
+    assert!(l.mean_detection_latency() > 0.0);
+    assert!(l.detection_latency_sum >= l.detection_latency_max);
+    assert_eq!(
+        l.refetch_penalty_sum,
+        l.detected * machine.mispredict_penalty,
+        "each detection costs one pair re-fetch"
+    );
+}
+
+#[test]
+fn lifecycle_classifies_sie_and_shared_bus_corruption_as_silent() {
+    // SIE has no checker: vulnerable FU strikes terminate as silent
+    // corruption, never detected.
+    let w = Workload::Bzip2;
+    let program = w.program(w.tiny_params()).unwrap();
+    let s = Simulator::new(cfg(), ExecMode::Sie)
+        .with_faults(FaultConfig {
+            fu_rate: 1e-4,
+            seed: 3,
+            ..FaultConfig::none()
+        })
+        .run_program(&program)
+        .unwrap();
+    let l = s.fault_lifecycle;
+    assert!(l.conservation_holds());
+    assert_eq!(l.detected, 0);
+    assert!(l.silent > 0);
+    assert!((l.coverage() - 0.0).abs() < 1e-9);
+
+    // Shared-bus strikes under primary-to-both forwarding are the §3.4
+    // common-mode escape: both copies agree on the corrupt operand.
+    let w = Workload::Gzip;
+    let program = w.program(w.tiny_params()).unwrap();
+    let s = Simulator::new(cfg(), ExecMode::DieIrb)
+        .with_faults(FaultConfig {
+            forward_rate: 2e-4,
+            seed: 41,
+            ..FaultConfig::none()
+        })
+        .run_program(&program)
+        .unwrap();
+    let l = s.fault_lifecycle;
+    assert!(l.conservation_holds());
+    assert_eq!(l.detected, 0);
+    assert!(l.silent > 0, "common-mode corruption is silent, not masked");
+    assert!(l.avf() > 0.0);
+}
+
+#[test]
+fn watchdog_classifies_a_detection_livelock_as_hang() {
+    // fu_rate 1.0 corrupts every single result: the commit pair check
+    // fails forever and DIE re-fetches the same pair endlessly. The
+    // watchdog must contain the livelock and classify the still-pending
+    // faults as hangs, conserving the total.
+    let w = Workload::Gzip;
+    let program = w.program(w.tiny_params()).unwrap();
+    let s = Simulator::new(cfg(), ExecMode::Die)
+        .with_watchdog(20_000)
+        .with_faults(FaultConfig {
+            fu_rate: 1.0,
+            seed: 7,
+            ..FaultConfig::none()
+        })
+        .run_program(&program)
+        .unwrap();
+    assert!(s.watchdog_fired);
+    let l = s.fault_lifecycle;
+    assert!(l.conservation_holds());
+    assert!(
+        l.hung > 0,
+        "pending faults at the deadline classify as hangs"
+    );
+    assert!(
+        s.cycles <= 20_000 + 1,
+        "the deadline actually bounds the run"
+    );
+}
+
+#[test]
+fn watchdog_is_inert_on_a_healthy_run() {
+    let w = Workload::Gzip;
+    let program = w.program(w.tiny_params()).unwrap();
+    let clean = Simulator::new(cfg(), ExecMode::Die)
+        .run_program(&program)
+        .unwrap();
+    let guarded = Simulator::new(cfg(), ExecMode::Die)
+        .with_watchdog(clean.cycles + 1)
+        .run_program(&program)
+        .unwrap();
+    assert!(!guarded.watchdog_fired);
+    assert_eq!(clean, guarded, "an untripped watchdog changes nothing");
+}
+
+#[test]
 fn fault_runs_are_deterministic_per_seed() {
     let w = Workload::Gcc;
     let program = w.program(w.tiny_params()).unwrap();
