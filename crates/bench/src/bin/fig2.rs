@@ -74,6 +74,7 @@ fn main() {
         "Figure 2: % IPC loss with respect to SIE",
         "",
         &table,
+        h.stall_summary(),
         &errors,
         h.perf(),
     );

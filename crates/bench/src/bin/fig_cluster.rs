@@ -55,6 +55,7 @@ fn main() {
             base.cluster_delay
         ),
         &table,
+        h.stall_summary(),
         &errors,
         h.perf(),
     );

@@ -71,6 +71,7 @@ fn main() {
         "IRB conflict-miss reduction (reconstructed Fig. E)",
         "64 entries per organization + the 1024-entry reference",
         &table,
+        h.stall_summary(),
         &errors,
         h.perf(),
     );

@@ -185,6 +185,7 @@ fn main() {
         "Transient-fault detection coverage (reconstructed Fig. F, §3.4)",
         &format!("{seeds} fault seed(s) per scenario"),
         &table,
+        h.stall_summary(),
         &errors,
         h.perf(),
     );

@@ -61,6 +61,7 @@ fn main() {
         "Fidelity ablation: wrong-path i-fetch + store-to-load forwarding",
         "",
         &table,
+        h.stall_summary(),
         &errors,
         h.perf(),
     );

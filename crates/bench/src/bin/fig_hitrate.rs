@@ -59,6 +59,7 @@ fn main() {
         "IRB hit and reuse rates under DIE-IRB (reconstructed Fig. B)",
         "1024-entry direct-mapped, 4R/2W/2RW",
         &table,
+        h.stall_summary(),
         &errors,
         h.perf(),
     );

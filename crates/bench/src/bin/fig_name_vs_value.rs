@@ -54,6 +54,7 @@ fn main() {
         "Value-based vs name-based reuse (Ablation G, §3.3)",
         "",
         &table,
+        h.stall_summary(),
         &errors,
         h.perf(),
     );

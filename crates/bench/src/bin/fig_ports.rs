@@ -81,6 +81,7 @@ fn main() {
         "DIE-IRB IPC vs IRB port provisioning (reconstructed Fig. D)",
         "",
         &table,
+        h.stall_summary(),
         &errors,
         h.perf(),
     );

@@ -44,6 +44,7 @@ fn main() {
         "Scheduling vs reuse: where DIE-IRB's gain comes from",
         "",
         &table,
+        h.stall_summary(),
         &errors,
         h.perf(),
     );

@@ -123,6 +123,7 @@ fn main() {
             }
         ),
         &table,
+        h.stall_summary(),
         &errors,
         h.perf(),
     );

@@ -63,6 +63,7 @@ fn main() {
         "DIE-IRB under the three scheduler models of §3.3",
         "",
         &table,
+        h.stall_summary(),
         &errors,
         h.perf(),
     );

@@ -57,6 +57,7 @@ fn main() {
         "IRB on SIE vs IRB on DIE (Ablation H)",
         "",
         &table,
+        h.stall_summary(),
         &errors,
         h.perf(),
     );

@@ -51,6 +51,7 @@ fn main() {
         "DIE-IRB IPC vs IRB capacity (reconstructed Fig. C)",
         "",
         &table,
+        h.stall_summary(),
         &errors,
         h.perf(),
     );

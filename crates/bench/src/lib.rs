@@ -41,7 +41,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use redsim_core::{
-    ExecMode, FaultConfig, MachineConfig, SimStats, Simulator, SliceSource, Throughput,
+    ExecMode, FaultConfig, MachineConfig, SimStats, Simulator, SliceSource, StallSummary,
+    Throughput,
 };
 use redsim_isa::trace::DynInst;
 use redsim_util::Json;
@@ -62,40 +63,105 @@ pub struct Cli {
     args: Vec<String>,
 }
 
+/// A rejected shared-CLI argument. The binaries print the message and
+/// exit 2 — the same typed-error path `FaultConfig::validate` feeds —
+/// instead of silently substituting a default.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// `--threads` needs a positive integer (0 used to be clamped to 1
+    /// deep inside the sweep; it is a usage error and is rejected at
+    /// the front door).
+    InvalidThreads(String),
+    /// `--seeds` needs a positive integer.
+    InvalidSeeds(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::InvalidThreads(v) => {
+                write!(f, "--threads expects a positive integer, got {v:?}")
+            }
+            CliError::InvalidSeeds(v) => {
+                write!(f, "--seeds expects a positive integer, got {v:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Truthiness of an environment flag: unset, empty, `0` and `false`
+/// (ASCII case-insensitive) are off; anything else is on.
+/// `REDSIM_QUICK=0` must mean *off* — the old `var_os(..).is_some()`
+/// check got this wrong. This is the workspace's only environment
+/// truthiness check (audited when the bug was fixed).
+fn env_flag(name: &str) -> bool {
+    env_value_enabled(std::env::var_os(name).as_deref())
+}
+
+/// The pure decision behind [`env_flag`], split out so tests can cover
+/// it without racing on process-global environment state.
+fn env_value_enabled(value: Option<&std::ffi::OsStr>) -> bool {
+    let Some(v) = value else { return false };
+    let s = v.to_string_lossy();
+    !(s.is_empty() || s == "0" || s.eq_ignore_ascii_case("false"))
+}
+
 impl Cli {
-    /// Parses the process arguments.
+    /// Parses the process arguments; invalid values print the
+    /// [`CliError`] and exit with code 2.
     #[must_use]
     pub fn parse() -> Self {
-        Self::from_vec(std::env::args().skip(1).collect())
+        Self::try_from_vec(std::env::args().skip(1).collect()).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        })
     }
 
     /// Parses an explicit argument vector (for tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics on arguments [`Cli::try_from_vec`] rejects.
     #[must_use]
     pub fn from_vec(args: Vec<String>) -> Self {
-        let quick =
-            args.iter().any(|a| a == "--quick") || std::env::var_os("REDSIM_QUICK").is_some();
+        Self::try_from_vec(args).expect("valid shared CLI arguments")
+    }
+
+    /// Parses an explicit argument vector, rejecting invalid values
+    /// with a typed error instead of substituting defaults.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError`] when `--threads` or `--seeds` is zero or not an
+    /// integer.
+    pub fn try_from_vec(args: Vec<String>) -> Result<Self, CliError> {
+        let quick = args.iter().any(|a| a == "--quick") || env_flag("REDSIM_QUICK");
         let json = args.iter().any(|a| a == "--json");
-        let threads = args
-            .windows(2)
-            .find(|w| w[0] == "--threads")
-            .and_then(|w| w[1].parse().ok())
-            .filter(|&n| n > 0)
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
-            });
-        let seeds = args
-            .windows(2)
-            .find(|w| w[0] == "--seeds")
-            .and_then(|w| w[1].parse().ok())
-            .filter(|&n| n > 0)
-            .unwrap_or(1);
-        Cli {
+        let threads = match args.windows(2).find(|w| w[0] == "--threads") {
+            Some(w) => w[1]
+                .parse()
+                .ok()
+                .filter(|&n: &usize| n > 0)
+                .ok_or_else(|| CliError::InvalidThreads(w[1].clone()))?,
+            None => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        };
+        let seeds = match args.windows(2).find(|w| w[0] == "--seeds") {
+            Some(w) => w[1]
+                .parse()
+                .ok()
+                .filter(|&n: &u32| n > 0)
+                .ok_or_else(|| CliError::InvalidSeeds(w[1].clone()))?,
+            None => 1,
+        };
+        Ok(Cli {
             quick,
             json,
             threads,
             seeds,
             args,
-        }
+        })
     }
 
     /// Whether a bare flag (e.g. `--verbose`) is present.
@@ -252,6 +318,7 @@ pub struct Harness {
     quick: bool,
     cache: HashMap<(Workload, Option<u64>), Arc<[DynInst]>>,
     perf: Throughput,
+    stalls: StallSummary,
 }
 
 impl Harness {
@@ -262,6 +329,7 @@ impl Harness {
             quick,
             cache: HashMap::new(),
             perf: Throughput::default(),
+            stalls: StallSummary::default(),
         }
     }
 
@@ -329,11 +397,21 @@ impl Harness {
         &self.perf
     }
 
+    /// Cycle-accounting aggregate (productive vs attributed stall
+    /// cycles) over every simulation this harness has run. Deterministic
+    /// — unlike [`Harness::perf`] it carries no wall-clock values, so
+    /// it is safe to include in golden outputs.
+    #[must_use]
+    pub fn stall_summary(&self) -> &StallSummary {
+        &self.stalls
+    }
+
     /// Runs one workload under one mode and machine configuration.
     pub fn run(&mut self, w: Workload, mode: ExecMode, cfg: &MachineConfig) -> SimStats {
         let trace = self.trace(w);
         let (stats, perf) = run_job(&trace, &Job::new(w, mode, cfg)).expect("simulation completes");
         self.perf.add(&perf);
+        self.stalls.add_run(&stats);
         stats
     }
 
@@ -434,6 +512,7 @@ impl Harness {
             .map(|r| match r {
                 Ok((stats, perf)) => {
                     self.perf.add(&perf);
+                    self.stalls.add_run(&stats);
                     stats
                 }
                 Err(e) => {
@@ -574,11 +653,17 @@ impl Table {
 /// the grid cells that failed: in JSON they become an `"errors"` array
 /// before `"perf"`; in text mode each is reported on stderr. Callers
 /// are expected to exit nonzero when the slice is non-empty.
+///
+/// `stalls` (usually [`Harness::stall_summary`]) is the deterministic
+/// cycle-accounting aggregate behind the figure: in JSON it lands in a
+/// `"stalls"` field after `"table"`; in text mode it prints one stderr
+/// line, keeping stdout captures byte-stable.
 pub fn emit(
     cli: &Cli,
     title: &str,
     note: &str,
     table: &Table,
+    stalls: &StallSummary,
     errors: &[JobError],
     perf: &Throughput,
 ) {
@@ -588,6 +673,7 @@ pub fn emit(
             .field("note", note)
             .field("quick", cli.quick)
             .field("table", table.to_json())
+            .field("stalls", stalls.to_json())
             .field(
                 "errors",
                 errors.iter().map(JobError::to_json).collect::<Json>(),
@@ -604,6 +690,23 @@ pub fn emit(
         print!("{}", table.render());
         for e in errors {
             eprintln!("error: job {} ({}): {}", e.index, e.label, e.message);
+        }
+        if stalls.cycles > 0 {
+            let b = &stalls.stalls;
+            eprintln!(
+                "stalls: {} of {} cycles productive; frontend {}, deps {}, issue {}, \
+                 fu {}, irb-port {}, exec {}, commit {}, rewind {}",
+                stalls.productive_cycles,
+                stalls.cycles,
+                b.frontend_empty,
+                b.waiting_deps,
+                b.issue_starved,
+                b.fu_contention,
+                b.irb_port,
+                b.execution,
+                b.commit_blocked,
+                b.rewind,
+            );
         }
         if perf.wall_seconds > 0.0 {
             eprintln!(
@@ -703,6 +806,71 @@ mod tests {
         assert!(cli.flag("--quick"));
         assert_eq!(cli.value("--forwarding"), Some("per-stream"));
         assert_eq!(cli.value("--missing"), None);
+    }
+
+    #[test]
+    fn env_flag_truthiness_treats_zero_and_false_as_off() {
+        use std::ffi::OsStr;
+        // Regression: REDSIM_QUICK=0 used to enable quick mode because
+        // the check was `var_os(..).is_some()`.
+        assert!(!env_value_enabled(None));
+        assert!(!env_value_enabled(Some(OsStr::new(""))));
+        assert!(!env_value_enabled(Some(OsStr::new("0"))));
+        assert!(!env_value_enabled(Some(OsStr::new("false"))));
+        assert!(!env_value_enabled(Some(OsStr::new("FALSE"))));
+        assert!(!env_value_enabled(Some(OsStr::new("False"))));
+        assert!(env_value_enabled(Some(OsStr::new("1"))));
+        assert!(env_value_enabled(Some(OsStr::new("true"))));
+        assert!(env_value_enabled(Some(OsStr::new("yes"))));
+        // "00" is deliberately on: only the exact spellings are off.
+        assert!(env_value_enabled(Some(OsStr::new("00"))));
+    }
+
+    #[test]
+    fn cli_rejects_nonpositive_thread_and_seed_counts() {
+        let args = |v: &[&str]| v.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>();
+        assert_eq!(
+            Cli::try_from_vec(args(&["--threads", "0"])).err(),
+            Some(CliError::InvalidThreads("0".into()))
+        );
+        assert_eq!(
+            Cli::try_from_vec(args(&["--threads", "many"])).err(),
+            Some(CliError::InvalidThreads("many".into()))
+        );
+        assert_eq!(
+            Cli::try_from_vec(args(&["--seeds", "0"])).err(),
+            Some(CliError::InvalidSeeds("0".into()))
+        );
+        assert_eq!(
+            Cli::try_from_vec(args(&["--seeds", "-3"])).err(),
+            Some(CliError::InvalidSeeds("-3".into()))
+        );
+        let ok = Cli::try_from_vec(args(&["--threads", "2", "--seeds", "3"])).expect("valid");
+        assert_eq!((ok.threads, ok.seeds), (2, 3));
+        let e = CliError::InvalidThreads("0".into());
+        assert!(e.to_string().contains("--threads"));
+    }
+
+    #[test]
+    #[should_panic(expected = "valid shared CLI arguments")]
+    fn from_vec_panics_on_rejected_arguments() {
+        let _ = Cli::from_vec(vec!["--threads".into(), "0".into()]);
+    }
+
+    #[test]
+    fn harness_accumulates_a_conserving_stall_summary() {
+        let mut h = Harness::quick();
+        let cfg = MachineConfig::paper_baseline();
+        let s1 = h.run(Workload::Gzip, ExecMode::Sie, &cfg);
+        let jobs = vec![Job::new(Workload::Gzip, ExecMode::DieIrb, &cfg)];
+        let swept = h.sweep(&jobs, 1);
+        let sum = h.stall_summary();
+        assert_eq!(sum.cycles, s1.cycles + swept[0].cycles);
+        assert_eq!(
+            sum.productive_cycles + sum.stalls.total(),
+            sum.cycles,
+            "aggregated cycle accounting must still partition"
+        );
     }
 
     #[test]

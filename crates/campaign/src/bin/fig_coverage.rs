@@ -24,8 +24,12 @@
 use std::path::PathBuf;
 
 use redsim_bench::{emit, pm, Cli, Table};
-use redsim_campaign::{run_campaign, CampaignOptions, CampaignOutcome, CampaignSpec, Scenario};
-use redsim_core::{ExecMode, FaultConfig, ForwardingPolicy, Throughput};
+use redsim_campaign::{
+    run_campaign, CampaignOptions, CampaignOutcome, CampaignSpec, HangDumpOptions, Scenario,
+};
+use redsim_core::{
+    ExecMode, FaultConfig, ForwardingPolicy, StallBreakdown, StallSummary, Throughput,
+};
 use redsim_util::Json;
 use redsim_workloads::Workload;
 
@@ -144,6 +148,10 @@ fn main() {
             }),
         progress_path: out.with_extension("progress.jsonl"),
         report_path: out.with_extension("report.json"),
+        hang_dumps: Some(HangDumpOptions {
+            base: out.clone(),
+            capacity: 1 << 15,
+        }),
     };
 
     let report = match run_campaign(&spec, &opts) {
@@ -161,6 +169,24 @@ fn main() {
             std::process::exit(2);
         }
     };
+
+    // Campaign-wide stall accounting, folded back out of the manifest
+    // records (the shards ran inside `run_campaign`, not our harness).
+    let mut stalls = StallSummary::default();
+    for line in &report.records {
+        let j = Json::parse(line).expect("report records parse");
+        if j.get("ok").and_then(Json::as_bool) != Some(true) {
+            continue;
+        }
+        stalls.cycles += j.get("cycles").and_then(Json::as_u64).unwrap_or(0);
+        stalls.productive_cycles += j
+            .get("active_commit_cycles")
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        if let Some(b) = j.get("stalls").and_then(StallBreakdown::from_json) {
+            stalls.stalls.add(&b);
+        }
+    }
 
     // Per-scenario rows, aggregated per replica across workloads so
     // `--seeds N` yields N samples per cell (mean±stddev via `pm`).
@@ -251,6 +277,7 @@ fn main() {
             opts.report_path.display()
         ),
         &table,
+        &stalls,
         &report.failed,
         &Throughput::default(),
     );

@@ -36,13 +36,14 @@ use std::collections::BTreeMap;
 use std::fs;
 use std::hash::Hasher;
 use std::io::{ErrorKind, Write};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
 use redsim_bench::Harness;
 pub use redsim_bench::{Job, JobError};
 use redsim_core::{
-    ExecMode, FaultConfig, FaultLifecycle, ForwardingPolicy, MachineConfig, SimStats,
+    ExecMode, FaultConfig, FaultLifecycle, FlightRecorder, ForwardingPolicy, MachineConfig,
+    SimStats, Simulator, SliceSource,
 };
 use redsim_util::hash::FxHasher;
 use redsim_util::Json;
@@ -204,6 +205,24 @@ pub struct CampaignOptions {
     pub progress_path: PathBuf,
     /// The final report (written only when every shard is recorded).
     pub report_path: PathBuf,
+    /// When set, every shard whose watchdog fired is replayed under a
+    /// flight recorder and its trace tail dumped to a sidecar file.
+    pub hang_dumps: Option<HangDumpOptions>,
+}
+
+/// Where and how large the hang flight-recorder sidecars are.
+#[derive(Debug, Clone)]
+pub struct HangDumpOptions {
+    /// Sidecar base path; shard `N` dumps to `<base>.hang-N.trace.json`.
+    pub base: PathBuf,
+    /// Flight-recorder capacity: the newest events kept from the replay.
+    pub capacity: usize,
+}
+
+/// The sidecar path for one hung shard under `base`.
+#[must_use]
+pub fn hang_trace_path(base: &Path, shard_id: usize) -> PathBuf {
+    PathBuf::from(format!("{}.hang-{shard_id}.trace.json", base.display()))
 }
 
 /// Campaign failure: I/O trouble or a manifest that does not belong to
@@ -246,6 +265,9 @@ pub struct CampaignReport {
     pub failed: Vec<JobError>,
     /// The exact report text written to `report_path`.
     pub report: String,
+    /// Flight-recorder sidecars written for hung shards (empty unless
+    /// [`CampaignOptions::hang_dumps`] was set and a watchdog fired).
+    pub hang_traces: Vec<PathBuf>,
 }
 
 /// What a [`run_campaign`] call achieved.
@@ -304,6 +326,8 @@ fn record_line(shard: &Shard, label: &str, result: Result<&SimStats, &str>) -> S
             .field("cycles", s.cycles)
             .field("committed_insts", s.committed_insts)
             .field("watchdog_fired", s.watchdog_fired)
+            .field("active_commit_cycles", s.active_commit_cycles)
+            .field("stalls", s.stalls.to_json())
             .field("injected_fu", s.faults.injected_fu)
             .field("injected_forward", s.faults.injected_forward)
             .field("injected_irb", s.faults.injected_irb)
@@ -608,12 +632,61 @@ pub fn run_campaign(
 
     let report = report_text(spec, fingerprint, &done);
     fs::write(&opts.report_path, &report)?;
+
+    let mut hang_traces = Vec::new();
+    if let Some(dump) = &opts.hang_dumps {
+        let mut h = Harness::new(spec.quick);
+        for (&id, line) in &done {
+            let Ok(j) = Json::parse(line) else { continue };
+            if j.get("watchdog_fired").and_then(Json::as_bool) != Some(true) {
+                continue;
+            }
+            if let Some(p) = dump_hang_trace(spec, &shards[id], dump, &mut h) {
+                hang_traces.push(p);
+            }
+        }
+    }
+
     Ok(CampaignOutcome::Complete(CampaignReport {
         fingerprint,
         records: done.values().cloned().collect(),
         failed: failed_records(&done),
         report,
+        hang_traces,
     }))
+}
+
+/// Replays one hung shard deterministically under a flight recorder and
+/// writes its Chrome-trace sidecar. The replay is single-threaded and a
+/// pure function of the shard's job, so the sidecar bytes are identical
+/// however the campaign itself was scheduled. Best-effort post-mortem:
+/// a replay or I/O failure skips the sidecar, never fails the campaign.
+fn dump_hang_trace(
+    spec: &CampaignSpec,
+    shard: &Shard,
+    dump: &HangDumpOptions,
+    harness: &mut Harness,
+) -> Option<PathBuf> {
+    let path = hang_trace_path(&dump.base, shard.id);
+    if path.exists() {
+        return Some(path); // resumed campaign: the dump is already on disk
+    }
+    let job = spec.job(shard);
+    let trace = harness.trace_for(job.workload, job.input_seed);
+    let mut sim = Simulator::new(job.config.clone(), job.mode);
+    if let Some(fc) = job.faults {
+        sim = sim.with_faults(fc);
+    }
+    if let Some(w) = job.watchdog {
+        sim = sim.with_watchdog(w);
+    }
+    let mut recorder = FlightRecorder::new(dump.capacity);
+    let mut source = SliceSource::new(&trace);
+    // The shard already ran to classification once; the replay exists
+    // only for its event tail, so the stats result is discarded.
+    let _ = sim.run_source_traced(&mut source, &mut recorder);
+    fs::write(&path, format!("{}\n", recorder.to_chrome_json())).ok()?;
+    Some(path)
 }
 
 #[cfg(test)]

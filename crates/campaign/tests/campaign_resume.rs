@@ -5,8 +5,8 @@
 use std::path::PathBuf;
 
 use redsim_campaign::{
-    run_campaign, CampaignError, CampaignOptions, CampaignOutcome, CampaignReport, CampaignSpec,
-    Scenario,
+    hang_trace_path, run_campaign, CampaignError, CampaignOptions, CampaignOutcome, CampaignReport,
+    CampaignSpec, HangDumpOptions, Scenario,
 };
 use redsim_core::{ExecMode, FaultConfig, ForwardingPolicy};
 use redsim_util::Json;
@@ -59,6 +59,7 @@ fn opts(dir: &str, threads: usize) -> CampaignOptions {
         interrupt_after: None,
         progress_path: base.join("c.progress.jsonl"),
         report_path: base.join("c.report.json"),
+        hang_dumps: None,
     }
 }
 
@@ -202,7 +203,11 @@ fn livelocked_shard_is_classified_as_hang_by_the_watchdog() {
         quick: true,
         watchdog: Some(20_000),
     };
-    let o = opts("livelock", 1);
+    let mut o = opts("livelock", 1);
+    o.hang_dumps = Some(HangDumpOptions {
+        base: o.report_path.clone(),
+        capacity: 4096,
+    });
     let report = complete(run_campaign(&spec, &o).expect("watchdog contains the shard"));
     assert!(
         report.failed.is_empty(),
@@ -213,6 +218,29 @@ fn livelocked_shard_is_classified_as_hang_by_the_watchdog() {
         rec.get("watchdog_fired").and_then(Json::as_bool),
         Some(true)
     );
+    let stalls = rec.get("stalls").expect("shard records carry stalls");
+    let productive = rec
+        .get("active_commit_cycles")
+        .and_then(Json::as_u64)
+        .expect("active_commit_cycles");
+    let attributed: u64 = [
+        "frontend_empty",
+        "waiting_deps",
+        "issue_starved",
+        "fu_contention",
+        "irb_port",
+        "execution",
+        "commit_blocked",
+        "rewind",
+    ]
+    .iter()
+    .map(|k| stalls.get(k).and_then(Json::as_u64).unwrap_or(0))
+    .sum();
+    assert_eq!(
+        productive + attributed,
+        rec.get("cycles").and_then(Json::as_u64).expect("cycles"),
+        "stall attribution conserves cycles in the manifest"
+    );
     let l = rec.get("lifecycle").expect("lifecycle");
     let g = |k: &str| l.get(k).and_then(Json::as_u64).unwrap_or(0);
     assert!(g("hung") > 0, "pending faults became hangs");
@@ -221,4 +249,34 @@ fn livelocked_shard_is_classified_as_hang_by_the_watchdog() {
         g("detected") + g("masked") + g("silent") + g("hung"),
         "conservation holds in the manifest too"
     );
+
+    // The hung shard left a flight-recorder sidecar: valid Chrome-trace
+    // JSON with at least one event from the replay's final cycles.
+    let sidecar = hang_trace_path(&o.report_path, 0);
+    assert_eq!(report.hang_traces, vec![sidecar.clone()]);
+    let trace = std::fs::read_to_string(&sidecar).expect("sidecar on disk");
+    let parsed = Json::parse(trace.trim_end()).expect("sidecar is valid json");
+    let events = parsed
+        .get("traceEvents")
+        .and_then(Json::items)
+        .expect("traceEvents array");
+    assert!(!events.is_empty(), "flight recorder captured the tail");
+    assert!(
+        events
+            .iter()
+            .any(|e| e.get("name").and_then(Json::as_str) == Some("rewind")),
+        "a livelocked DIE shard rewinds in its final window"
+    );
+
+    // The replay is deterministic: a second campaign at a different
+    // thread count reproduces the sidecar byte for byte.
+    let mut o2 = opts("livelock2", 4);
+    o2.hang_dumps = Some(HangDumpOptions {
+        base: o2.report_path.clone(),
+        capacity: 4096,
+    });
+    complete(run_campaign(&spec, &o2).expect("second run"));
+    let trace2 =
+        std::fs::read_to_string(hang_trace_path(&o2.report_path, 0)).expect("second sidecar");
+    assert_eq!(trace, trace2, "sidecar bytes are thread-count invariant");
 }

@@ -14,12 +14,14 @@
 //!   --wrong-path                                 model wrong-path i-fetch
 //!   --stl-forwarding                             store-to-load forwarding
 //!   --compare                                    run SIE, DIE and DIE-IRB
+//!   --trace-out <file.json>                      Chrome-trace event dump
 //!   --budget <n>
 //! ```
 
 use redsim_cli::{die, load_program, usage, Args};
 use redsim_core::{
-    ExecMode, FaultConfig, ForwardingPolicy, MachineConfig, SimStats, Simulator, VecSource,
+    EventLog, ExecMode, FaultConfig, ForwardingPolicy, MachineConfig, NullTracer, SimStats,
+    Simulator, Tracer, VecSource,
 };
 use redsim_workloads::{Params, Workload};
 
@@ -101,6 +103,28 @@ fn print_stats(mode: ExecMode, stats: &SimStats) {
             stats.faults.silent_sie
         );
     }
+    let st = &stats.stalls;
+    println!(
+        "commit activity:     {} of {} cycles productive ({:.1}%)",
+        stats.active_commit_cycles,
+        stats.cycles,
+        if stats.cycles > 0 {
+            stats.active_commit_cycles as f64 / stats.cycles as f64 * 100.0
+        } else {
+            0.0
+        }
+    );
+    println!(
+        "stall cycles:        frontend {}, deps {}, issue {}, fu {}, irb-port {}, exec {}, commit {}, rewind {}",
+        st.frontend_empty,
+        st.waiting_deps,
+        st.issue_starved,
+        st.fu_contention,
+        st.irb_port,
+        st.execution,
+        st.commit_blocked,
+        st.rewind
+    );
 }
 
 fn main() {
@@ -132,13 +156,22 @@ fn main() {
         .with_budget(budget)
         .with_faults(faults);
 
+    let trace_out = args.value_of("--trace-out").map(str::to_owned);
+    let mut log = EventLog::new();
+    let mut null = NullTracer;
+    let tracer: &mut dyn Tracer = if trace_out.is_some() {
+        &mut log
+    } else {
+        &mut null
+    };
+
     let stats = if let Some(trace_path) = args.value_of("--trace") {
         let file =
             std::fs::File::open(trace_path).unwrap_or_else(|e| die(&format!("{trace_path}: {e}")));
         let trace = redsim_isa::trace_io::read_trace(std::io::BufReader::new(file))
             .unwrap_or_else(|e| die(&format!("{trace_path}: {e}")));
         let mut src = VecSource::new(trace);
-        sim.run_source(&mut src)
+        sim.run_source_traced(&mut src, tracer)
     } else if let Some(name) = args.value_of("--workload") {
         let w = Workload::from_name(name).unwrap_or_else(|| {
             die(&format!(
@@ -154,10 +187,10 @@ fn main() {
         let program = w
             .program(Params::new(scale, seed))
             .unwrap_or_else(|e| die(&format!("workload generation failed: {e}")));
-        sim.run_program(&program)
+        sim.run_program_traced(&program, tracer)
     } else if let Some(input) = args.positional().first() {
         let program = load_program(input).unwrap_or_else(|e| die(&e));
-        sim.run_program(&program)
+        sim.run_program_traced(&program, tracer)
     } else {
         usage(
             "usage: redsim-sim <prog.s|prog.rprog> | --trace <file.rtrc> | --workload <name>\n\
@@ -168,6 +201,12 @@ fn main() {
     match stats {
         Ok(s) => print_stats(mode, &s),
         Err(e) => die(&format!("simulation failed: {e}")),
+    }
+
+    if let Some(path) = trace_out {
+        std::fs::write(&path, format!("{}\n", log.to_chrome_json()))
+            .unwrap_or_else(|e| die(&format!("{path}: {e}")));
+        eprintln!("wrote {} trace events to {path}", log.len());
     }
 }
 

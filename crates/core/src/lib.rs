@@ -66,6 +66,7 @@ mod ruu;
 pub mod sched;
 mod source;
 mod stats;
+pub mod trace;
 
 pub use config::{
     DcacheConfig, ExecMode, ForwardingPolicy, FuCounts, IssuePolicy, LatencyConfig, MachineConfig,
@@ -76,4 +77,7 @@ pub use fault::{
 };
 pub use pipeline::{SimError, Simulator};
 pub use source::{ArcSource, EmulatorSource, InstructionSource, SliceSource, VecSource};
-pub use stats::{FetchStallKind, SimStats, Throughput};
+pub use stats::{FetchStallKind, SimStats, StallBreakdown, StallSummary, Throughput};
+pub use trace::{
+    chrome_trace, EventLog, FlightRecorder, NullTracer, TraceEvent, TraceEventKind, Tracer,
+};

@@ -20,6 +20,7 @@ use crate::ruu::{Entry, EntryState, ReuseState, Ruu, Stream};
 use crate::sched::{self, Calendar, ReadyQueue};
 use crate::source::{EmulatorSource, InstructionSource};
 use crate::stats::{BranchSummary, IrbSummary, SimStats};
+use crate::trace::{NullTracer, TraceEvent, TraceEventKind, Tracer};
 
 /// Simulation failure.
 #[derive(Debug)]
@@ -159,8 +160,7 @@ impl Simulator {
     /// Fails if functional execution faults (bad memory access, budget
     /// exhausted) or the timing model deadlocks.
     pub fn run_program(&self, program: &Program) -> Result<SimStats, SimError> {
-        let mut source = EmulatorSource::new(program, self.budget);
-        self.run_source(&mut source)
+        self.run_program_traced(program, &mut NullTracer)
     }
 
     /// Runs an arbitrary committed-path source to exhaustion.
@@ -169,7 +169,40 @@ impl Simulator {
     ///
     /// Same conditions as [`Simulator::run_program`].
     pub fn run_source(&self, source: &mut dyn InstructionSource) -> Result<SimStats, SimError> {
-        let mut m = Machine::new(&self.config, self.mode, self.faults, self.watchdog);
+        self.run_source_traced(source, &mut NullTracer)
+    }
+
+    /// Like [`Simulator::run_program`], recording structured pipeline
+    /// events into `tracer` as the run progresses.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulator::run_program`].
+    pub fn run_program_traced(
+        &self,
+        program: &Program,
+        tracer: &mut dyn Tracer,
+    ) -> Result<SimStats, SimError> {
+        let mut source = EmulatorSource::new(program, self.budget);
+        self.run_source_traced(&mut source, tracer)
+    }
+
+    /// Like [`Simulator::run_source`], recording structured pipeline
+    /// events into `tracer`. With a sink whose
+    /// [`Tracer::enabled`](crate::Tracer::enabled) answers `false`
+    /// (the default [`NullTracer`](crate::NullTracer)), emission is
+    /// skipped behind one cached branch per site — timing and stats are
+    /// identical either way.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulator::run_program`].
+    pub fn run_source_traced(
+        &self,
+        source: &mut dyn InstructionSource,
+        tracer: &mut dyn Tracer,
+    ) -> Result<SimStats, SimError> {
+        let mut m = Machine::new(&self.config, self.mode, self.faults, self.watchdog, tracer);
         m.run(source)
     }
 }
@@ -235,6 +268,16 @@ struct Machine<'a> {
     /// Watchdog deadline in cycles; reaching it ends the run cleanly
     /// with pending faults classified as hangs.
     watchdog: Option<u64>,
+    /// The event sink. `trace_on` caches `tracer.enabled()` so every
+    /// emission site pays one predictable branch when tracing is off.
+    tracer: &'a mut dyn Tracer,
+    trace_on: bool,
+    /// A pair mismatch rewound the head pair this cycle (stall
+    /// attribution: the cycle belongs to rewind recovery).
+    rewound_this_cycle: bool,
+    /// The previous cycle's issue loop ran out of issue slots — ready
+    /// entries left over then were starved of bandwidth, not units.
+    prev_issue_saturated: bool,
     stats: SimStats,
     front_state: FrontState,
     resume_at: u64,
@@ -277,7 +320,9 @@ impl<'a> Machine<'a> {
         mode: ExecMode,
         faults: FaultConfig,
         watchdog: Option<u64>,
+        tracer: &'a mut dyn Tracer,
     ) -> Self {
+        let trace_on = tracer.enabled();
         let dup_source_bank = match (mode, cfg.forwarding) {
             // The original DIE forwards strictly within each stream.
             (ExecMode::Die, _) => DUP,
@@ -307,6 +352,10 @@ impl<'a> Machine<'a> {
             inj: FaultInjector::new(faults),
             irb_fault_pc: FxHashMap::default(),
             watchdog,
+            tracer,
+            trace_on,
+            rewound_this_cycle: false,
+            prev_issue_saturated: false,
             stats: SimStats::default(),
             front_state: FrontState::Running,
             resume_at: 0,
@@ -325,6 +374,23 @@ impl<'a> Machine<'a> {
             scratch_producers: Vec::new(),
             scratch_removed: Vec::new(),
             consumer_pool: Vec::new(),
+        }
+    }
+
+    /// Emits one trace event. All arguments are plain scalars the call
+    /// sites already hold, so the disabled path is a single branch with
+    /// no allocation and no extra loads.
+    #[inline]
+    fn trace(&mut self, kind: TraceEventKind, seq: u64, pc: u64, stream: u8, arg: u64) {
+        if self.trace_on {
+            self.tracer.record(TraceEvent {
+                cycle: self.cycle,
+                kind,
+                seq,
+                pc,
+                stream,
+                arg,
+            });
         }
     }
 
@@ -395,6 +461,8 @@ impl<'a> Machine<'a> {
 
     fn begin_cycle(&mut self) {
         self.dcache_used = 0;
+        self.rewound_this_cycle = false;
+        let mut irb_strike = None;
         if let Some(irb) = &mut self.irb {
             irb.begin_cycle();
             // Particle strikes on the (unprotected) IRB array.
@@ -402,12 +470,17 @@ impl<'a> Machine<'a> {
                 if let Some((slot, bit)) = self.inj.roll_irb_strike(irb.buffer().num_slots()) {
                     if irb.buffer_mut().inject_fault(slot, bit) {
                         let id = self.inj.record_irb_strike(self.cycle);
-                        if let Some(pc) = irb.buffer().slot_pc(slot) {
+                        let pc = irb.buffer().slot_pc(slot);
+                        if let Some(pc) = pc {
                             self.irb_fault_pc.insert(pc, id);
                         }
+                        irb_strike = Some((id, pc.unwrap_or(0)));
                     }
                 }
             }
+        }
+        if let Some((id, pc)) = irb_strike {
+            self.trace(TraceEventKind::FaultInject, u64::from(id), pc, 2, 2);
         }
     }
 
@@ -467,10 +540,10 @@ impl<'a> Machine<'a> {
             // Only the op kind and address are needed on the common
             // path; the full `DynInst` is copied out solely for the
             // IRB's commit-time update below.
-            let (is_store, is_mem, ea) = {
+            let (is_store, is_mem, ea, di_seq, di_pc) = {
                 let e = self.ruu.get(head).expect("head exists");
                 let op = e.di.inst.op;
-                (op.is_store(), op.is_mem(), e.di.ea)
+                (op.is_store(), op.is_mem(), e.di.ea, e.di.seq, e.di.pc)
             };
             // Invariant: an untainted copy's comparator word equals the
             // architectural check value derived from the trace.
@@ -513,11 +586,21 @@ impl<'a> Machine<'a> {
                             | OpClass::FpDiv
                             | OpClass::FpSqrt
                     );
+                let mut inserted = false;
+                let mut insert_denied = false;
                 if let Some(irb) = self.irb.as_mut() {
                     if insert && insert_allowed {
-                        let _ = irb.try_insert(&di);
+                        let starved_before = irb.stats().inserts_port_starved;
+                        inserted = irb.try_insert(&di);
+                        insert_denied =
+                            !inserted && irb.stats().inserts_port_starved > starved_before;
                     }
                     irb.on_register_write(&di);
+                }
+                if inserted {
+                    self.trace(TraceEventKind::IrbInsert, di_seq, di_pc, 0, 0);
+                } else if insert_denied {
+                    self.trace(TraceEventKind::IrbPortDenied, di_seq, di_pc, 0, 1);
                 }
             }
 
@@ -546,12 +629,63 @@ impl<'a> Machine<'a> {
             }
             self.stats.committed_insts += 1;
             self.stats.committed_copies += need as u64;
+            self.trace(TraceEventKind::Commit, di_seq, di_pc, 0, need as u64);
             budget -= need;
             committed_any = true;
             self.cycles_since_commit = 0;
         }
         if committed_any {
             self.stats.active_commit_cycles += 1;
+        } else {
+            self.attribute_stall();
+        }
+    }
+
+    /// Charges a cycle in which nothing retired to exactly one
+    /// [`StallBreakdown`](crate::StallBreakdown) cause, keyed off the
+    /// oldest unretired copy — the instruction gating commit. Runs once
+    /// per non-committing cycle, so together with
+    /// `active_commit_cycles` it partitions the run:
+    /// `active_commit_cycles + stalls.total() == cycles`.
+    ///
+    /// The classification reads only architected pipeline state (RUU
+    /// entries, reuse state, last cycle's issue saturation), which both
+    /// scheduling engines keep bit-identical — so the breakdown is
+    /// engine-independent by the same argument as the rest of
+    /// `SimStats`.
+    fn attribute_stall(&mut self) {
+        if self.rewound_this_cycle {
+            self.stats.stalls.rewind += 1;
+            return;
+        }
+        if self.ruu.is_empty() {
+            self.stats.stalls.frontend_empty += 1;
+            return;
+        }
+        let head = self.ruu.head_seq();
+        // In dual modes the pair retires together: blame the copy that
+        // is not done yet (the primary first, then its duplicate).
+        let blocker = if self.is_dual() && self.ruu.get(head).is_some_and(Entry::is_done) {
+            head + 1
+        } else {
+            head
+        };
+        let snapshot = self.ruu.get(blocker).map(|e| (e.state, e.reuse));
+        let s = &mut self.stats.stalls;
+        match snapshot {
+            None => s.commit_blocked += 1,
+            Some((EntryState::Waiting, _)) => s.waiting_deps += 1,
+            Some((EntryState::Ready, reuse)) => {
+                if matches!(reuse, ReuseState::PortStarved) {
+                    s.irb_port += 1;
+                } else if self.prev_issue_saturated {
+                    s.issue_starved += 1;
+                } else {
+                    s.fu_contention += 1;
+                }
+            }
+            Some((EntryState::Issued | EntryState::WaitingPair, _)) => s.execution += 1,
+            Some((EntryState::Done, _)) => s.commit_blocked += 1,
         }
     }
 
@@ -579,7 +713,13 @@ impl<'a> Machine<'a> {
     /// flush penalty.
     fn rewind_pair(&mut self, head: u64) {
         self.stats.pair_mismatches += 1;
+        self.rewound_this_cycle = true;
         self.inj.stats_mut().detected += 1;
+        if self.trace_on {
+            let e = self.ruu.get(head).expect("head exists");
+            let (di_seq, di_pc) = (e.di.seq, e.di.pc);
+            self.trace(TraceEventKind::Rewind, di_seq, di_pc, 2, 0);
+        }
         // Recovery cost attributed to the faults being detected: the
         // in-flight copies behind the pair (the window exposed to the
         // rewind) and the front-end re-fetch penalty.
@@ -598,9 +738,11 @@ impl<'a> Machine<'a> {
             e.reuse = ReuseState::NotEligible;
             let ids = std::mem::take(&mut e.fault_ids);
             let stream = e.stream;
+            let di_pc = e.di.pc;
             for id in ids {
                 self.inj
                     .resolve_detected(id, self.cycle, squash_depth, refetch);
+                self.trace(TraceEventKind::FaultDetect, u64::from(id), di_pc, 2, 0);
             }
             self.push_ready(seq, stream);
         }
@@ -653,14 +795,21 @@ impl<'a> Machine<'a> {
 
     /// Finalizes an entry: broadcast, branch resolution, pair wakeup.
     fn mark_done(&mut self, seq: u64) {
-        let (stream, is_load) = {
+        let (stream, is_load, di_seq, di_pc) = {
             let e = self.ruu.get_mut(seq).expect("entry exists");
             e.state = EntryState::Done;
             if e.complete_at.is_none() {
                 e.complete_at = Some(self.cycle);
             }
-            (e.stream, e.di.inst.op.is_load())
+            (e.stream, e.di.inst.op.is_load(), e.di.seq, e.di.pc)
         };
+        self.trace(
+            TraceEventKind::Writeback,
+            di_seq,
+            di_pc,
+            stream_code(stream),
+            0,
+        );
         self.resolve_control(seq);
         self.broadcast(seq);
 
@@ -734,6 +883,9 @@ impl<'a> Machine<'a> {
         } else {
             None
         };
+        if let Some((_, id)) = strike {
+            self.trace(TraceEventKind::FaultInject, u64::from(id), 0, 2, 1);
+        }
         for &c in &consumers {
             let mut woke = None;
             if let Some(e) = self.ruu.get_mut(c) {
@@ -807,6 +959,7 @@ impl<'a> Machine<'a> {
         // or found stale); everything else stays queued.
         let mut removed = std::mem::take(&mut self.scratch_removed);
         removed.clear();
+        let mut saturated = false;
         for &seq in &candidates {
             // One read covers the still-ready guard and everything an
             // issue attempt needs; most attempts fail, so they should
@@ -834,6 +987,7 @@ impl<'a> Machine<'a> {
                 continue;
             }
             if issued >= self.cfg.issue_width {
+                saturated = true;
                 if has_irb {
                     continue;
                 }
@@ -857,6 +1011,7 @@ impl<'a> Machine<'a> {
         removed.clear();
         self.scratch_removed = removed;
         self.scratch_candidates = candidates;
+        self.prev_issue_saturated = saturated;
     }
 
     /// Attempts the IRB reuse test on a ready entry. Returns `true` if
@@ -909,6 +1064,11 @@ impl<'a> Machine<'a> {
         let produced = hit.result;
         let clean = reuse_output(&di);
         let out = finalize_out(&di, produced);
+        {
+            let e = self.ruu.get(seq).expect("entry");
+            let stream = e.stream;
+            self.trace(TraceEventKind::Issue, di.seq, di.pc, stream_code(stream), 0);
+        }
         {
             let e = self.ruu.get_mut(seq).expect("entry");
             e.reuse = ReuseState::Passed;
@@ -996,6 +1156,7 @@ impl<'a> Machine<'a> {
                                 e.fault_ids.push(id);
                             }
                         }
+                        self.trace(TraceEventKind::Issue, di.seq, di.pc, u8::from(is_dup), 0);
                         if di.inst.op.is_load() && self.is_dual() {
                             let partner_done = self.ruu.get(seq - 1).is_some_and(Entry::is_done);
                             if partner_done {
@@ -1052,6 +1213,15 @@ impl<'a> Machine<'a> {
             e.fault_ids.push(id);
         }
         self.schedule_completion(complete_at, seq);
+        if self.trace_on {
+            let stream = u8::from(is_dup);
+            self.trace(TraceEventKind::Issue, di.seq, di.pc, stream, 1);
+            let dur = complete_at.saturating_sub(self.cycle).max(1);
+            self.trace(TraceEventKind::Execute, di.seq, di.pc, stream, dur);
+            if let Some(id) = struck {
+                self.trace(TraceEventKind::FaultInject, u64::from(id), di.pc, stream, 0);
+            }
+        }
         true
     }
 
@@ -1097,6 +1267,7 @@ impl<'a> Machine<'a> {
         }
         let pushed = self.ruu.push(primary);
         debug_assert_eq!(pushed, pseq);
+        self.trace(TraceEventKind::Dispatch, di.seq, di.pc, 0, 0);
         if primary_ready {
             self.push_ready(pseq, Stream::Primary);
         }
@@ -1116,6 +1287,7 @@ impl<'a> Machine<'a> {
                 dup.ready_at = self.cycle;
             }
             self.ruu.push(dup);
+            self.trace(TraceEventKind::Dispatch, di.seq, di.pc, 1, 0);
             if dup_ready {
                 self.push_ready(dseq, Stream::Dup);
             }
@@ -1278,6 +1450,22 @@ impl<'a> Machine<'a> {
                 lookup_done_at,
             });
             fetched += 1;
+            if self.trace_on {
+                self.trace(TraceEventKind::Fetch, di.seq, di.pc, 0, 0);
+                match reuse {
+                    ReuseState::Hit(_) => {
+                        self.trace(TraceEventKind::IrbLookup, di.seq, di.pc, 0, 0);
+                        self.trace(TraceEventKind::IrbHit, di.seq, di.pc, 0, 0);
+                    }
+                    ReuseState::PcMiss => {
+                        self.trace(TraceEventKind::IrbLookup, di.seq, di.pc, 0, 0);
+                    }
+                    ReuseState::PortStarved => {
+                        self.trace(TraceEventKind::IrbPortDenied, di.seq, di.pc, 0, 0);
+                    }
+                    _ => {}
+                }
+            }
 
             let outcome = if self.cfg.perfect_branch_prediction {
                 // Oracle: taken control flow still ends the fetch group
@@ -1365,6 +1553,11 @@ impl<'a> Machine<'a> {
             .resolve_all_pending(FaultOutcome::Masked, self.cycle);
         self.stats.fault_lifecycle = self.inj.lifecycle();
     }
+}
+
+/// Trace stream id for an RUU stream (0 primary, 1 duplicate).
+fn stream_code(s: Stream) -> u8 {
+    u8::from(s == Stream::Dup)
 }
 
 /// The "reuse output domain" bits an execution of `di` produces: the

@@ -881,7 +881,8 @@ fn last_store_map_is_pruned_as_stores_commit() {
     let cfg = MachineConfig::tiny();
     for mode in [ExecMode::Sie, ExecMode::Die] {
         let mut source = EmulatorSource::new(&p, 10_000_000);
-        let mut m = Machine::new(&cfg, mode, FaultConfig::none(), None);
+        let mut tracer = NullTracer;
+        let mut m = Machine::new(&cfg, mode, FaultConfig::none(), None, &mut tracer);
         m.run(&mut source).expect("run");
         assert!(
             m.last_store.is_empty(),

@@ -7,8 +7,8 @@
 //! writeback, the pipeline *pushes* a sequence number exactly when the
 //! corresponding transition happens and *pops* exactly the work due.
 //! `DESIGN.md` ("The event-driven scheduling core") documents the
-//! invariants that keep these structures in sync with
-//! [`crate::ruu::EntryState`].
+//! invariants that keep these structures in sync with the RUU's
+//! per-entry `EntryState`.
 //!
 //! Both structures recycle their backing storage: pushes after the
 //! warm-up phase never allocate, which keeps the steady-state cycle

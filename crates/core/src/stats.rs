@@ -76,7 +76,7 @@ impl IrbSummary {
     }
 }
 
-///// Wall-clock throughput of one or more timing-simulation runs: how
+/// Wall-clock throughput of one or more timing-simulation runs: how
 /// fast the *host* chews through simulated work (the perf-trajectory
 /// metric recorded in `BENCH_simulator.json`), as opposed to the
 /// simulated machine's own IPC.
@@ -131,6 +131,138 @@ impl Throughput {
     }
 }
 
+/// Per-cycle stall attribution. Every simulated cycle in which no
+/// instruction retired is charged to *exactly one* cause, keyed off the
+/// oldest unretired copy — the instruction whose progress gates commit.
+/// Together with productive cycles this partitions the whole run:
+///
+/// ```text
+/// active_commit_cycles + stalls.total() == cycles
+/// ```
+///
+/// (see [`SimStats::stall_conservation_holds`]). The taxonomy follows
+/// the paper's Section 3 decomposition of where ALU-bandwidth pressure
+/// shows up: front-end supply, data dependences, issue-slot pressure,
+/// FU contention, IRB port starvation, execution latency, retirement
+/// limits and DIE rewind recovery.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StallBreakdown {
+    /// The window held no copies — the front end supplied nothing
+    /// (branch recovery, I-cache misses, BTB bubbles; the
+    /// `fetch_stalls_*` counters say which).
+    pub frontend_empty: u64,
+    /// Oldest unretired copy was waiting on operands (data
+    /// dependences, including loads feeding it).
+    pub waiting_deps: u64,
+    /// Oldest copy was ready but the previous cycle's issue bandwidth
+    /// was exhausted before reaching it.
+    pub issue_starved: u64,
+    /// Oldest copy was ready with issue bandwidth to spare but lost
+    /// functional-unit (or D-cache port) arbitration.
+    pub fu_contention: u64,
+    /// Oldest copy was ready but its IRB lookup had been denied a read
+    /// port, so the reuse test could not serve it.
+    pub irb_port: u64,
+    /// Oldest copy was in flight (functional-unit or memory latency).
+    pub execution: u64,
+    /// Oldest copy was done but retirement was blocked (commit width,
+    /// D-cache store port, or an unfinished pair partner).
+    pub commit_blocked: u64,
+    /// A DIE pair mismatch rewound the head pair this cycle.
+    pub rewind: u64,
+}
+
+impl StallBreakdown {
+    /// Total attributed stall cycles.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.frontend_empty
+            + self.waiting_deps
+            + self.issue_starved
+            + self.fu_contention
+            + self.irb_port
+            + self.execution
+            + self.commit_blocked
+            + self.rewind
+    }
+
+    /// Accumulates another breakdown into this one.
+    pub fn add(&mut self, other: &StallBreakdown) {
+        self.frontend_empty += other.frontend_empty;
+        self.waiting_deps += other.waiting_deps;
+        self.issue_starved += other.issue_starved;
+        self.fu_contention += other.fu_contention;
+        self.irb_port += other.irb_port;
+        self.execution += other.execution;
+        self.commit_blocked += other.commit_blocked;
+        self.rewind += other.rewind;
+    }
+
+    /// The breakdown as a flat JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("frontend_empty", self.frontend_empty)
+            .field("waiting_deps", self.waiting_deps)
+            .field("issue_starved", self.issue_starved)
+            .field("fu_contention", self.fu_contention)
+            .field("irb_port", self.irb_port)
+            .field("execution", self.execution)
+            .field("commit_blocked", self.commit_blocked)
+            .field("rewind", self.rewind)
+    }
+
+    /// Reads a breakdown back out of [`StallBreakdown::to_json`] output
+    /// (missing fields read as zero; `None` only for a non-object).
+    #[must_use]
+    pub fn from_json(j: &Json) -> Option<StallBreakdown> {
+        let g = |k: &str| j.get(k).and_then(Json::as_u64).unwrap_or(0);
+        j.get("frontend_empty")?;
+        Some(StallBreakdown {
+            frontend_empty: g("frontend_empty"),
+            waiting_deps: g("waiting_deps"),
+            issue_starved: g("issue_starved"),
+            fu_contention: g("fu_contention"),
+            irb_port: g("irb_port"),
+            execution: g("execution"),
+            commit_blocked: g("commit_blocked"),
+            rewind: g("rewind"),
+        })
+    }
+}
+
+/// Cycle-accounting aggregate across every simulation a harness ran:
+/// total cycles, the productive (committing) share, and the stall
+/// breakdown for the rest. Emitted as the `"stalls"` field of the
+/// figure binaries' `--json` output.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StallSummary {
+    /// Total simulated cycles across the aggregated runs.
+    pub cycles: u64,
+    /// Cycles in which at least one instruction committed.
+    pub productive_cycles: u64,
+    /// Where the remaining cycles went.
+    pub stalls: StallBreakdown,
+}
+
+impl StallSummary {
+    /// Folds one run's statistics into the aggregate.
+    pub fn add_run(&mut self, s: &SimStats) {
+        self.cycles += s.cycles;
+        self.productive_cycles += s.active_commit_cycles;
+        self.stalls.add(&s.stalls);
+    }
+
+    /// The aggregate as a JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("cycles", self.cycles)
+            .field("productive_cycles", self.productive_cycles)
+            .field("breakdown", self.stalls.to_json())
+    }
+}
+
 /// Everything a run reports.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimStats {
@@ -150,6 +282,9 @@ pub struct SimStats {
     pub int_alu_busy_cycles: u64,
     /// Cycles in which at least one instruction was committed.
     pub active_commit_cycles: u64,
+    /// Where every non-committing cycle went, one cause per cycle;
+    /// `active_commit_cycles + stalls.total() == cycles` always.
+    pub stalls: StallBreakdown,
     /// Sum of RUU occupancy over cycles (for the average).
     pub ruu_occupancy_sum: u64,
     /// Cycles the fetch stage delivered nothing, by cause.
@@ -254,6 +389,14 @@ impl SimStats {
         }
     }
 
+    /// Whether the cycle-accounting invariant holds: every simulated
+    /// cycle is either productive or attributed to exactly one stall
+    /// cause.
+    #[must_use]
+    pub fn stall_conservation_holds(&self) -> bool {
+        self.active_commit_cycles + self.stalls.total() == self.cycles
+    }
+
     /// The full statistics record as a JSON object (the machine-readable
     /// form behind the bench harness's `--json` flag).
     #[must_use]
@@ -274,6 +417,7 @@ impl SimStats {
             .field("int_alu_ops", self.int_alu_ops)
             .field("int_alu_busy_cycles", self.int_alu_busy_cycles)
             .field("active_commit_cycles", self.active_commit_cycles)
+            .field("stalls", self.stalls.to_json())
             .field("ruu_occupancy_sum", self.ruu_occupancy_sum)
             .field(
                 "fetch_stalls",
@@ -400,5 +544,68 @@ mod tests {
     #[test]
     fn reuse_pass_rate_zero_when_unused() {
         assert_eq!(IrbSummary::default().reuse_pass_rate(), 0.0);
+    }
+
+    #[test]
+    fn stall_breakdown_total_and_add() {
+        let a = StallBreakdown {
+            frontend_empty: 1,
+            waiting_deps: 2,
+            issue_starved: 3,
+            fu_contention: 4,
+            irb_port: 5,
+            execution: 6,
+            commit_blocked: 7,
+            rewind: 8,
+        };
+        assert_eq!(a.total(), 36);
+        let mut b = a;
+        b.add(&a);
+        assert_eq!(b.total(), 72);
+        assert_eq!(b.rewind, 16);
+    }
+
+    #[test]
+    fn stall_breakdown_json_round_trips() {
+        let a = StallBreakdown {
+            frontend_empty: 10,
+            waiting_deps: 20,
+            execution: 30,
+            ..StallBreakdown::default()
+        };
+        let j = a.to_json();
+        let back = StallBreakdown::from_json(&Json::parse(&j.to_string()).expect("parses"))
+            .expect("object");
+        assert_eq!(back, a);
+        assert_eq!(StallBreakdown::from_json(&Json::obj()), None);
+    }
+
+    #[test]
+    fn stall_conservation_checks_the_partition() {
+        let mut s = SimStats {
+            cycles: 10,
+            active_commit_cycles: 6,
+            ..SimStats::default()
+        };
+        s.stalls.waiting_deps = 4;
+        assert!(s.stall_conservation_holds());
+        s.stalls.waiting_deps = 5;
+        assert!(!s.stall_conservation_holds());
+    }
+
+    #[test]
+    fn stall_summary_accumulates_runs() {
+        let mut s = SimStats {
+            cycles: 10,
+            active_commit_cycles: 6,
+            ..SimStats::default()
+        };
+        s.stalls.execution = 4;
+        let mut sum = StallSummary::default();
+        sum.add_run(&s);
+        sum.add_run(&s);
+        assert_eq!(sum.cycles, 20);
+        assert_eq!(sum.productive_cycles, 12);
+        assert_eq!(sum.stalls.execution, 8);
     }
 }

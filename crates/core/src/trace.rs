@@ -1,0 +1,413 @@
+//! Structured pipeline tracing: the [`Tracer`] sink trait, the event
+//! record every pipeline stage emits, ready-made sinks
+//! ([`NullTracer`], [`EventLog`], [`FlightRecorder`]) and the Chrome
+//! `trace_event` JSON export that `chrome://tracing` and Perfetto load
+//! directly.
+//!
+//! The layer is compiled in but disabled by default: the pipeline holds
+//! a `&mut dyn Tracer` and caches [`Tracer::enabled`] once per run, so
+//! the disabled path costs one predictable branch per emission site and
+//! never allocates.
+
+use redsim_util::Json;
+
+/// What happened. One variant per observable pipeline event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceEventKind {
+    /// An instruction entered the fetch queue.
+    Fetch,
+    /// A copy was allocated an RUU (and possibly LSQ) slot.
+    Dispatch,
+    /// A copy won issue (`arg` 1 = functional unit, 0 = IRB reuse).
+    Issue,
+    /// A copy started executing (`arg` = latency in cycles).
+    Execute,
+    /// A copy completed and broadcast its result.
+    Writeback,
+    /// An architected instruction retired (`arg` = copies retired).
+    Commit,
+    /// An IRB lookup consumed a read port at fetch.
+    IrbLookup,
+    /// The IRB lookup hit (PC present in the buffer).
+    IrbHit,
+    /// A commit-time IRB insert succeeded.
+    IrbInsert,
+    /// An IRB port request was denied (`arg` 0 = read/lookup,
+    /// 1 = write/insert).
+    IrbPortDenied,
+    /// A fault was injected; `seq` is the fault id and `arg` the site
+    /// (0 = FU, 1 = forwarding bus, 2 = IRB cell).
+    FaultInject,
+    /// A fault was detected by the commit-time pair check; `seq` is the
+    /// fault id.
+    FaultDetect,
+    /// A pair mismatch rewound both copies to re-execute.
+    Rewind,
+}
+
+impl TraceEventKind {
+    /// The stable event name used in exported traces.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceEventKind::Fetch => "fetch",
+            TraceEventKind::Dispatch => "dispatch",
+            TraceEventKind::Issue => "issue",
+            TraceEventKind::Execute => "execute",
+            TraceEventKind::Writeback => "writeback",
+            TraceEventKind::Commit => "commit",
+            TraceEventKind::IrbLookup => "irb_lookup",
+            TraceEventKind::IrbHit => "irb_hit",
+            TraceEventKind::IrbInsert => "irb_insert",
+            TraceEventKind::IrbPortDenied => "irb_port_denied",
+            TraceEventKind::FaultInject => "fault_inject",
+            TraceEventKind::FaultDetect => "fault_detect",
+            TraceEventKind::Rewind => "rewind",
+        }
+    }
+
+    /// The export category: `pipeline`, `irb` or `fault`.
+    #[must_use]
+    pub fn category(self) -> &'static str {
+        match self {
+            TraceEventKind::Fetch
+            | TraceEventKind::Dispatch
+            | TraceEventKind::Issue
+            | TraceEventKind::Execute
+            | TraceEventKind::Writeback
+            | TraceEventKind::Commit => "pipeline",
+            TraceEventKind::IrbLookup
+            | TraceEventKind::IrbHit
+            | TraceEventKind::IrbInsert
+            | TraceEventKind::IrbPortDenied => "irb",
+            TraceEventKind::FaultInject | TraceEventKind::FaultDetect | TraceEventKind::Rewind => {
+                "fault"
+            }
+        }
+    }
+}
+
+/// One structured pipeline event. `Copy` and fixed-width on purpose:
+/// recording is a handful of stores, so the flight recorder can run in
+/// the hot loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulated cycle the event occurred on.
+    pub cycle: u64,
+    /// What happened.
+    pub kind: TraceEventKind,
+    /// Dynamic-instruction sequence number, or the fault id for
+    /// fault-lifecycle events.
+    pub seq: u64,
+    /// Program counter of the instruction involved (0 when unknown).
+    pub pc: u64,
+    /// Execution stream: 0 = primary, 1 = duplicate, 2 = machine-level
+    /// (faults, rewinds).
+    pub stream: u8,
+    /// Kind-specific payload — see [`TraceEventKind`].
+    pub arg: u64,
+}
+
+/// A sink for pipeline events. The pipeline asks [`Tracer::enabled`]
+/// once per run; when it answers `false` no event is ever constructed.
+pub trait Tracer {
+    /// Whether the pipeline should emit events at all.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Records one event.
+    fn record(&mut self, ev: TraceEvent);
+}
+
+/// The default sink: tracing off, zero cost beyond one cached branch.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullTracer;
+
+impl Tracer for NullTracer {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&mut self, _ev: TraceEvent) {}
+}
+
+/// A complete in-memory event log — every event of the run, in emission
+/// order. Use for `sim --trace-out` style full captures.
+#[derive(Debug, Default, Clone)]
+pub struct EventLog {
+    events: Vec<TraceEvent>,
+}
+
+impl EventLog {
+    /// An empty log.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The recorded events, in emission order.
+    #[must_use]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Renders the log as a Chrome `trace_event` JSON document.
+    #[must_use]
+    pub fn to_chrome_json(&self) -> Json {
+        chrome_trace(&self.events, 0)
+    }
+}
+
+impl Tracer for EventLog {
+    fn record(&mut self, ev: TraceEvent) {
+        self.events.push(ev);
+    }
+}
+
+/// A fixed-capacity ring buffer keeping the *last* `capacity` events —
+/// the trailing cycles of the run. This is the post-mortem sink: the
+/// campaign runner attaches one to a `Hang`-classified shard replay and
+/// dumps the window that led into the livelock.
+///
+/// Memory is bounded by construction; once full, each new event evicts
+/// the oldest and bumps [`FlightRecorder::dropped`].
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    buf: Vec<TraceEvent>,
+    next: usize,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the last `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero — a recorder that can hold
+    /// nothing is a configuration bug, not a useful sink.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "flight recorder capacity must be positive");
+        Self {
+            buf: Vec::with_capacity(capacity.min(1 << 20)),
+            next: 0,
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Events evicted because the window was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The retained window in chronological order.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        if self.buf.len() < self.capacity {
+            return self.buf.clone();
+        }
+        let mut out = Vec::with_capacity(self.capacity);
+        out.extend_from_slice(&self.buf[self.next..]);
+        out.extend_from_slice(&self.buf[..self.next]);
+        out
+    }
+
+    /// Renders the retained window as a Chrome `trace_event` JSON
+    /// document (dropped-event count lands in the metadata).
+    #[must_use]
+    pub fn to_chrome_json(&self) -> Json {
+        chrome_trace(&self.snapshot(), self.dropped)
+    }
+}
+
+impl Tracer for FlightRecorder {
+    fn record(&mut self, ev: TraceEvent) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(ev);
+        } else {
+            self.dropped += 1;
+            self.buf[self.next] = ev;
+            self.next = (self.next + 1) % self.capacity;
+        }
+    }
+}
+
+/// Renders events as a Chrome `trace_event` document: pipeline stages
+/// become duration (`"ph":"X"`) events on a per-stream timeline (tid 0
+/// = primary, 1 = duplicate), IRB and fault events become instants
+/// (`"ph":"i"`). Timestamps are simulated cycles interpreted as
+/// microseconds, so one trace-viewer microsecond is one machine cycle.
+#[must_use]
+pub fn chrome_trace(events: &[TraceEvent], dropped: u64) -> Json {
+    let rendered: Json = events.iter().map(render_event).collect();
+    Json::obj()
+        .field("traceEvents", rendered)
+        .field("displayTimeUnit", "ms")
+        .field(
+            "metadata",
+            Json::obj()
+                .field("tool", "redsim")
+                .field("clock", "simulated-cycles-as-us")
+                .field("dropped_events", dropped),
+        )
+}
+
+fn render_event(ev: &TraceEvent) -> Json {
+    let mut j = Json::obj()
+        .field("name", ev.kind.name())
+        .field("cat", ev.kind.category())
+        .field("ts", ev.cycle)
+        .field("pid", 0u64)
+        .field("tid", u64::from(ev.stream));
+    match ev.kind {
+        TraceEventKind::Fetch
+        | TraceEventKind::Dispatch
+        | TraceEventKind::Issue
+        | TraceEventKind::Writeback
+        | TraceEventKind::Commit => {
+            j.set("ph", "X");
+            j.set("dur", 1u64);
+        }
+        TraceEventKind::Execute => {
+            j.set("ph", "X");
+            j.set("dur", ev.arg.max(1));
+        }
+        _ => {
+            j.set("ph", "i");
+            j.set(
+                "s",
+                if ev.kind.category() == "fault" {
+                    "g"
+                } else {
+                    "t"
+                },
+            );
+        }
+    }
+    j.set(
+        "args",
+        Json::obj()
+            .field("seq", ev.seq)
+            .field("pc", format!("{:#x}", ev.pc).as_str())
+            .field("arg", ev.arg),
+    );
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cycle: u64, kind: TraceEventKind, seq: u64) -> TraceEvent {
+        TraceEvent {
+            cycle,
+            kind,
+            seq,
+            pc: 0x400 + 4 * seq,
+            stream: (seq % 2) as u8,
+            arg: 1,
+        }
+    }
+
+    #[test]
+    fn null_tracer_reports_disabled() {
+        assert!(!NullTracer.enabled());
+        assert!(EventLog::new().enabled());
+        assert!(FlightRecorder::new(4).enabled());
+    }
+
+    #[test]
+    fn event_log_records_in_order() {
+        let mut log = EventLog::new();
+        for i in 0..5 {
+            log.record(ev(i, TraceEventKind::Fetch, i));
+        }
+        assert_eq!(log.len(), 5);
+        assert_eq!(log.events()[3].cycle, 3);
+    }
+
+    #[test]
+    fn flight_recorder_keeps_the_last_window_chronologically() {
+        let mut fr = FlightRecorder::new(3);
+        for i in 0..10 {
+            fr.record(ev(i, TraceEventKind::Commit, i));
+        }
+        assert_eq!(fr.dropped(), 7);
+        let snap = fr.snapshot();
+        assert_eq!(
+            snap.iter().map(|e| e.cycle).collect::<Vec<_>>(),
+            vec![7, 8, 9]
+        );
+    }
+
+    #[test]
+    fn flight_recorder_below_capacity_keeps_everything() {
+        let mut fr = FlightRecorder::new(8);
+        for i in 0..3 {
+            fr.record(ev(i, TraceEventKind::Issue, i));
+        }
+        assert_eq!(fr.dropped(), 0);
+        assert_eq!(fr.snapshot().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn flight_recorder_rejects_zero_capacity() {
+        let _ = FlightRecorder::new(0);
+    }
+
+    #[test]
+    fn chrome_export_is_valid_json_with_expected_shape() {
+        let mut log = EventLog::new();
+        log.record(ev(1, TraceEventKind::Fetch, 0));
+        log.record(ev(2, TraceEventKind::Execute, 0));
+        log.record(ev(3, TraceEventKind::IrbHit, 1));
+        log.record(ev(4, TraceEventKind::FaultInject, 9));
+        let text = log.to_chrome_json().to_string();
+        let parsed = Json::parse(&text).expect("chrome trace parses back");
+        let events = parsed
+            .get("traceEvents")
+            .and_then(Json::items)
+            .expect("traceEvents");
+        assert_eq!(events.len(), 4);
+        assert_eq!(events[0].get("ph").and_then(Json::as_str), Some("X"));
+        assert_eq!(events[0].get("name").and_then(Json::as_str), Some("fetch"));
+        assert_eq!(events[2].get("ph").and_then(Json::as_str), Some("i"));
+        assert_eq!(events[3].get("cat").and_then(Json::as_str), Some("fault"));
+        assert_eq!(
+            parsed
+                .get("metadata")
+                .and_then(|m| m.get("dropped_events"))
+                .and_then(Json::as_u64),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let mk = || {
+            let mut log = EventLog::new();
+            for i in 0..50 {
+                log.record(ev(i, TraceEventKind::Writeback, i));
+            }
+            log.to_chrome_json().to_string()
+        };
+        assert_eq!(mk(), mk());
+    }
+}

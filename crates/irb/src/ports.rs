@@ -154,4 +154,111 @@ mod tests {
         assert!(!a.try_read());
         assert!(!a.try_write());
     }
+
+    /// Generative invariants over every port provisioning the paper's
+    /// port-sensitivity figure sweeps (`fig_ports`), plus degenerate
+    /// extremes: under random request streams,
+    ///
+    /// 1. per-cycle read grants never exceed `read + read_write` and
+    ///    write grants never exceed `write + read_write`;
+    /// 2. reads and writes together never oversubscribe the shared
+    ///    ports: `(reads - read) + (writes - write)` grants beyond the
+    ///    dedicated pools fit in `read_write`;
+    /// 3. over the whole run, grants + denials == requests per kind
+    ///    (the denial counters are cumulative and lossless).
+    #[test]
+    fn random_request_streams_respect_budgets_and_conserve_requests() {
+        use redsim_util::Rng;
+
+        let configs = [
+            PortConfig {
+                read: 1,
+                write: 1,
+                read_write: 0,
+            },
+            PortConfig {
+                read: 2,
+                write: 1,
+                read_write: 0,
+            },
+            PortConfig {
+                read: 2,
+                write: 2,
+                read_write: 0,
+            },
+            PortConfig::paper_baseline(),
+            PortConfig {
+                read: 8,
+                write: 4,
+                read_write: 0,
+            },
+            PortConfig {
+                read: 64,
+                write: 64,
+                read_write: 64,
+            },
+            PortConfig {
+                read: 0,
+                write: 0,
+                read_write: 0,
+            },
+            PortConfig {
+                read: 0,
+                write: 0,
+                read_write: 3,
+            },
+        ];
+        let mut rng = Rng::new(0x9e3779b97f4a7c15);
+        for cfg in configs {
+            let mut arb = PortArbiter::new(cfg);
+            let (mut read_reqs, mut read_grants) = (0u64, 0u64);
+            let (mut write_reqs, mut write_grants) = (0u64, 0u64);
+            for _ in 0..500 {
+                arb.begin_cycle();
+                let (mut r_granted, mut w_granted) = (0u32, 0u32);
+                // Up to 16 interleaved requests per cycle, biased so
+                // saturation and starvation both occur.
+                for _ in 0..(rng.next_u64() % 17) {
+                    if rng.next_u64().is_multiple_of(2) {
+                        read_reqs += 1;
+                        if arb.try_read() {
+                            read_grants += 1;
+                            r_granted += 1;
+                        }
+                    } else {
+                        write_reqs += 1;
+                        if arb.try_write() {
+                            write_grants += 1;
+                            w_granted += 1;
+                        }
+                    }
+                }
+                assert!(
+                    r_granted <= cfg.max_reads(),
+                    "{cfg:?}: {r_granted} reads granted in one cycle"
+                );
+                assert!(
+                    w_granted <= cfg.max_writes(),
+                    "{cfg:?}: {w_granted} writes granted in one cycle"
+                );
+                let shared_spent =
+                    r_granted.saturating_sub(cfg.read) + w_granted.saturating_sub(cfg.write);
+                assert!(
+                    shared_spent <= cfg.read_write,
+                    "{cfg:?}: {shared_spent} shared-port grants exceed {}",
+                    cfg.read_write
+                );
+            }
+            assert_eq!(
+                read_grants + arb.denied_reads(),
+                read_reqs,
+                "{cfg:?}: read requests leak"
+            );
+            assert_eq!(
+                write_grants + arb.denied_writes(),
+                write_reqs,
+                "{cfg:?}: write requests leak"
+            );
+        }
+    }
 }

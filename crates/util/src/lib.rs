@@ -16,7 +16,7 @@
 //! * [`hash`] — a deterministic non-cryptographic hasher
 //!   ([`FxHashMap`]) for integer-keyed maps probed per simulated
 //!   instruction.
-//! * [`timer`] — a wall-clock micro-benchmark timer ([`bench`]) backing
+//! * [`timer`] — a wall-clock micro-benchmark timer ([`fn@bench`]) backing
 //!   the `cargo bench` targets.
 //!
 //! Everything in this crate is deterministic given its inputs; nothing

@@ -1,7 +1,7 @@
 //! A wall-clock micro-benchmark timer.
 //!
 //! The in-tree replacement for criterion: the `cargo bench` targets of
-//! `redsim-bench` are plain binaries that call [`bench`] per case and
+//! `redsim-bench` are plain binaries that call [`fn@bench`] per case and
 //! print one aligned line each. No statistics beyond min/mean/max are
 //! attempted — the simulator's benches run millions of simulated cycles
 //! per iteration, so run-to-run noise is small relative to the effects

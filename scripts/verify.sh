@@ -69,6 +69,43 @@ bench_smoke() {
     done
 }
 
+trace_smoke() {
+    # The observability layer end-to-end: a quick DIE-IRB workload run
+    # with --trace-out must produce parseable Chrome-trace JSON carrying
+    # the expected pipeline and IRB event names.
+    echo "==> redsim-sim --trace-out chrome-trace smoke"
+    local out=target/trace-smoke.trace.json
+    run target/release/redsim-sim --workload gzip --scale 1 \
+        --mode die-irb --trace-out "$out" >/dev/null
+    if command -v python3 >/dev/null 2>&1; then
+        python3 - "$out" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+events = doc["traceEvents"]
+assert events, "trace has no events"
+names = {e["name"] for e in events}
+expected = {"fetch", "dispatch", "issue", "execute", "writeback",
+            "commit", "irb_lookup", "irb_hit", "irb_insert"}
+missing = expected - names
+assert not missing, f"missing event names: {sorted(missing)}"
+phases = {e["ph"] for e in events}
+assert "X" in phases and "i" in phases, f"unexpected phase set: {phases}"
+assert doc["metadata"]["tool"] == "redsim"
+EOF
+    else
+        # Fallback: structural grep when python3 is unavailable.
+        local name
+        for name in fetch dispatch issue execute writeback commit \
+                irb_lookup irb_hit irb_insert; do
+            if ! grep -q "\"name\":\"$name\"" "$out"; then
+                echo "FAIL: trace is missing \"$name\" events" >&2
+                exit 1
+            fi
+        done
+    fi
+}
+
 campaign_smoke() {
     # The resumable fault-injection campaign end-to-end: a full tiny
     # run, then the same campaign interrupted partway (exit code 3) and
@@ -113,11 +150,19 @@ if [ "${1:-}" = "campaign-smoke" ]; then
     exit 0
 fi
 
+if [ "${1:-}" = "trace-smoke" ]; then
+    trace_smoke
+    echo "OK: trace smoke passed"
+    exit 0
+fi
+
 run cargo fmt --all -- --check
 run cargo clippy --offline --workspace --all-targets -- -D warnings
+run env RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps
 run cargo build --offline --release --workspace
 run cargo test --offline --workspace -q
 figure_smoke
+trace_smoke
 campaign_smoke
 bench_smoke
 
