@@ -100,11 +100,12 @@ fn faults_smoke() {
         let mut src = SliceSource::new(&trace);
         black_box(
             Simulator::new(base.clone(), ExecMode::Die)
-                .with_faults(FaultConfig {
+                .try_with_faults(FaultConfig {
                     fu_rate: 1e-4,
                     seed: 1,
                     ..FaultConfig::none()
                 })
+                .expect("valid fault configuration")
                 .run_source(&mut src)
                 .unwrap(),
         );

@@ -16,7 +16,10 @@
 
 use std::hint::black_box;
 
-use redsim_core::{ExecMode, MachineConfig, Simulator, SliceSource};
+use redsim_core::{
+    ExecMode, HostProfiler, Instrumentation, MachineConfig, NullMetrics, NullTracer, Simulator,
+    SliceSource,
+};
 use redsim_irb::{IrbConfig, IrbEntry, ReuseBuffer};
 use redsim_mem::{Hierarchy, HierarchyConfig};
 use redsim_predictor::{Bimodal, DirectionPredictor};
@@ -151,6 +154,33 @@ fn predictor_updates(cases: &mut Vec<Case>, iters: (u32, u32)) {
     record(cases, "predictor/bimodal_train_predict (x1000)", r, None);
 }
 
+/// One instrumented (untimed) DIE-IRB run with the host profiler
+/// attached: where the simulator itself spends wall-clock, by pipeline
+/// phase. Kept separate from the timed loops above so the ~6
+/// monotonic-clock reads per cycle never contaminate the min-of-N
+/// numbers the regression gate compares.
+fn host_phase_profile() -> Json {
+    let w = Workload::Gzip;
+    let program = w.program(w.tiny_params()).unwrap();
+    let trace = redsim_isa::emu::Emulator::new(&program)
+        .run_trace(100_000_000)
+        .unwrap();
+    let mut prof = HostProfiler::default();
+    let mut tracer = NullTracer;
+    let mut src = SliceSource::new(&trace);
+    Simulator::new(MachineConfig::paper_baseline(), ExecMode::DieIrb)
+        .run_source_instrumented(
+            &mut src,
+            Instrumentation {
+                tracer: &mut tracer,
+                metrics: &mut NullMetrics,
+                profiler: Some(&mut prof),
+            },
+        )
+        .expect("profiled run completes");
+    prof.to_json()
+}
+
 fn baseline_ms(name: &str) -> Option<f64> {
     SCAN_BASELINE_MS
         .iter()
@@ -158,7 +188,7 @@ fn baseline_ms(name: &str) -> Option<f64> {
         .map(|&(_, ms)| ms)
 }
 
-fn summary_json(cases: &[Case], quick: bool) -> Json {
+fn summary_json(cases: &[Case], quick: bool, host_phases: Json) -> Json {
     let mut arr = Json::arr();
     let mut speedups = Vec::new();
     for c in cases {
@@ -179,7 +209,7 @@ fn summary_json(cases: &[Case], quick: bool) -> Json {
                 .field("scan_baseline_min_ms", base)
                 .field("speedup_vs_scan", speedup);
         }
-        arr = arr.push(obj);
+        arr = arr.item(obj);
     }
     let geomean = if speedups.is_empty() {
         0.0
@@ -195,6 +225,7 @@ fn summary_json(cases: &[Case], quick: bool) -> Json {
             "scan-based scheduler seed, bench(2,10) min on the reference container",
         )
         .field("geomean_speedup_vs_scan", geomean)
+        .field("host_phases", host_phases)
         .field("cases", arr)
 }
 
@@ -223,7 +254,7 @@ fn main() {
     cache_accesses(&mut cases, micro_iters);
     predictor_updates(&mut cases, micro_iters);
 
-    let json = summary_json(&cases, quick);
+    let json = summary_json(&cases, quick, host_phase_profile());
     std::fs::write(out, format!("{json}\n")).expect("write bench summary");
     println!("wrote {out}");
 }

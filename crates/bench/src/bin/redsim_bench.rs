@@ -1,0 +1,114 @@
+//! `redsim-bench` — bench-summary tooling.
+//!
+//! ```text
+//! redsim-bench diff <base.json> <new.json> [--threshold PCT]
+//! redsim-bench perturb <in.json> <out.json> --factor F
+//! ```
+//!
+//! `diff` compares two `BENCH_simulator.json` summaries (see
+//! [`redsim_bench::diff`]) and exits 0 when the geomean min-of-N ratio
+//! stays inside the threshold (default 5%), 1 on a regression, 2 on a
+//! usage or parse error. `perturb` rewrites a summary with every
+//! timing scaled by `--factor` — CI uses it to prove the gate trips.
+
+use std::process::ExitCode;
+
+use redsim_bench::diff::{diff, perturb, BenchSummary, DEFAULT_THRESHOLD};
+
+const USAGE: &str = "usage:
+  redsim-bench diff <base.json> <new.json> [--threshold PCT]
+  redsim-bench perturb <in.json> <out.json> --factor F";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("redsim-bench: {msg}");
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
+
+/// The non-flag arguments, with each `--flag`'s value skipped (every
+/// flag this tool accepts takes one).
+fn positionals(args: &[String]) -> Vec<&String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i].starts_with("--") {
+            i += 2;
+        } else {
+            out.push(&args[i]);
+            i += 1;
+        }
+    }
+    out
+}
+
+fn flag_value(args: &[String], flag: &str) -> Result<Option<f64>, String> {
+    let Some(i) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    let v = args
+        .get(i + 1)
+        .ok_or(format!("{flag} needs a value"))?
+        .parse::<f64>()
+        .map_err(|e| format!("{flag}: {e}"))?;
+    Ok(Some(v))
+}
+
+fn run_diff(args: &[String]) -> ExitCode {
+    let paths = positionals(args);
+    let [base_path, new_path] = paths[..] else {
+        return fail("diff takes exactly two summary files");
+    };
+    let threshold = match flag_value(args, "--threshold") {
+        Ok(t) => t.map_or(DEFAULT_THRESHOLD, |pct| pct / 100.0),
+        Err(e) => return fail(&e),
+    };
+    let load = |path: &str| -> Result<BenchSummary, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        BenchSummary::parse(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let (base, new) = match (load(base_path), load(new_path)) {
+        (Ok(b), Ok(n)) => (b, n),
+        (Err(e), _) | (_, Err(e)) => return fail(&e),
+    };
+    let report = diff(&base, &new, threshold);
+    print!("{}", report.render());
+    if report.regressed() {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn run_perturb(args: &[String]) -> ExitCode {
+    let paths = positionals(args);
+    let [in_path, out_path] = paths[..] else {
+        return fail("perturb takes an input and an output file");
+    };
+    let factor = match flag_value(args, "--factor") {
+        Ok(Some(f)) => f,
+        Ok(None) => return fail("perturb needs --factor"),
+        Err(e) => return fail(&e),
+    };
+    let text = match std::fs::read_to_string(in_path) {
+        Ok(t) => t,
+        Err(e) => return fail(&format!("{in_path}: {e}")),
+    };
+    let out = match perturb(&text, factor) {
+        Ok(o) => o,
+        Err(e) => return fail(&format!("{in_path}: {e}")),
+    };
+    if let Err(e) = std::fs::write(out_path, out) {
+        return fail(&format!("{out_path}: {e}"));
+    }
+    println!("wrote {out_path} (timings x{factor})");
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("diff") => run_diff(&args[1..]),
+        Some("perturb") => run_perturb(&args[1..]),
+        _ => fail("missing or unknown subcommand"),
+    }
+}

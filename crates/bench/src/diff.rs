@@ -1,0 +1,373 @@
+//! Noise-aware comparison of two bench summaries.
+//!
+//! `redsim-bench diff <base.json> <new.json>` compares two
+//! `BENCH_simulator.json` files case by case on their min-of-N
+//! timings. Each case carries a *noise band* derived from the recorded
+//! min/mean/max spread of both runs — a per-case slowdown inside the
+//! band is reported but not alarming, since min-of-N on a shared CI
+//! box easily wobbles that much. The pass/fail gate is the **geomean**
+//! of the per-case ratios: a geomean slowdown beyond the threshold
+//! (default [`DEFAULT_THRESHOLD`], i.e. 5%) means the whole suite got
+//! slower in a way noise does not explain, and the diff exits
+//! non-zero.
+//!
+//! The companion `perturb` helper scales every timing in a summary by
+//! a factor; CI uses it to synthesize a known regression and prove the
+//! gate actually trips.
+
+use redsim_util::Json;
+
+/// Geomean slowdown beyond this fraction fails the diff (0.05 = 5%).
+pub const DEFAULT_THRESHOLD: f64 = 0.05;
+
+/// One timed case from a bench summary file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseTiming {
+    /// Case name (`simulator/Sie_gzip_tiny`, ...).
+    pub name: String,
+    /// Minimum iteration time, milliseconds — the comparison basis.
+    pub min_ms: f64,
+    /// Mean iteration time, milliseconds.
+    pub mean_ms: f64,
+    /// Maximum iteration time, milliseconds.
+    pub max_ms: f64,
+}
+
+impl CaseTiming {
+    /// Relative min-to-max spread of this run, `(max − min) / min`.
+    /// The per-case noise band is the larger spread of the two runs
+    /// being compared.
+    #[must_use]
+    pub fn spread(&self) -> f64 {
+        if self.min_ms > 0.0 {
+            (self.max_ms - self.min_ms) / self.min_ms
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A parsed bench summary (`BENCH_simulator.json`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchSummary {
+    /// The `"bench"` tag of the file (`"simulator"`).
+    pub bench: String,
+    /// Whether the run used `--quick` iteration counts.
+    pub quick: bool,
+    /// The timed cases, in file order.
+    pub cases: Vec<CaseTiming>,
+}
+
+impl BenchSummary {
+    /// Parses a bench summary document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural problem: invalid
+    /// JSON, missing `cases` array, or a case without the
+    /// `name`/`min_ms`/`mean_ms`/`max_ms` fields.
+    pub fn parse(text: &str) -> Result<BenchSummary, String> {
+        let root = Json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+        let bench = root
+            .get("bench")
+            .and_then(Json::as_str)
+            .ok_or("missing string field \"bench\"")?
+            .to_owned();
+        let quick = root.get("quick").and_then(Json::as_bool).unwrap_or(false);
+        let items = root
+            .get("cases")
+            .and_then(Json::items)
+            .ok_or("missing array field \"cases\"")?;
+        let mut cases = Vec::with_capacity(items.len());
+        for (i, c) in items.iter().enumerate() {
+            let field = |key: &str| -> Result<f64, String> {
+                c.get(key)
+                    .and_then(Json::as_f64)
+                    .ok_or(format!("case {i}: missing numeric field {key:?}"))
+            };
+            cases.push(CaseTiming {
+                name: c
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or(format!("case {i}: missing string field \"name\""))?
+                    .to_owned(),
+                min_ms: field("min_ms")?,
+                mean_ms: field("mean_ms")?,
+                max_ms: field("max_ms")?,
+            });
+        }
+        Ok(BenchSummary {
+            bench,
+            quick,
+            cases,
+        })
+    }
+}
+
+/// The comparison of one case present in both summaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseDiff {
+    /// Case name.
+    pub name: String,
+    /// Base (before) minimum, milliseconds.
+    pub base_min_ms: f64,
+    /// New (after) minimum, milliseconds.
+    pub new_min_ms: f64,
+    /// `new_min_ms / base_min_ms`; above 1.0 is a slowdown.
+    pub ratio: f64,
+    /// The larger of the two runs' relative min-to-max spreads — how
+    /// much wobble this case demonstrably has.
+    pub noise_band: f64,
+    /// Whether the slowdown exceeds this case's own noise band (an
+    /// annotation; the pass/fail gate is the geomean).
+    pub beyond_noise: bool,
+}
+
+/// The full comparison of two bench summaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffReport {
+    /// Per-case comparisons, in base-file order.
+    pub cases: Vec<CaseDiff>,
+    /// Case names only the base file has (dropped cases).
+    pub only_in_base: Vec<String>,
+    /// Case names only the new file has (added cases).
+    pub only_in_new: Vec<String>,
+    /// Geomean of the per-case ratios (1.0 when no case matches).
+    pub geomean_ratio: f64,
+    /// The failure threshold the report was built with.
+    pub threshold: f64,
+}
+
+impl DiffReport {
+    /// Whether the suite regressed: geomean slowdown beyond the
+    /// threshold.
+    #[must_use]
+    pub fn regressed(&self) -> bool {
+        self.geomean_ratio > 1.0 + self.threshold
+    }
+
+    /// Renders the report as an aligned text table plus verdict line.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let name_w = self
+            .cases
+            .iter()
+            .map(|c| c.name.len())
+            .chain(["case".len()])
+            .max()
+            .unwrap_or(4);
+        out.push_str(&format!(
+            "{:name_w$}  {:>10}  {:>10}  {:>7}  {:>7}\n",
+            "case", "base_ms", "new_ms", "ratio", "noise"
+        ));
+        for c in &self.cases {
+            let marker = if c.beyond_noise { " !" } else { "" };
+            out.push_str(&format!(
+                "{:name_w$}  {:>10.3}  {:>10.3}  {:>7.3}  {:>6.1}%{marker}\n",
+                c.name,
+                c.base_min_ms,
+                c.new_min_ms,
+                c.ratio,
+                c.noise_band * 100.0
+            ));
+        }
+        for n in &self.only_in_base {
+            out.push_str(&format!("dropped case: {n}\n"));
+        }
+        for n in &self.only_in_new {
+            out.push_str(&format!("added case:   {n}\n"));
+        }
+        out.push_str(&format!(
+            "geomean ratio {:.4} ({}{:.1}% vs base, gate {:.0}%): {}\n",
+            self.geomean_ratio,
+            if self.geomean_ratio >= 1.0 { "+" } else { "" },
+            (self.geomean_ratio - 1.0) * 100.0,
+            self.threshold * 100.0,
+            if self.regressed() { "REGRESSION" } else { "ok" }
+        ));
+        out
+    }
+}
+
+/// Compares two summaries on min-of-N timings. Cases are matched by
+/// name; unmatched cases are listed but excluded from the geomean.
+#[must_use]
+pub fn diff(base: &BenchSummary, new: &BenchSummary, threshold: f64) -> DiffReport {
+    let mut cases = Vec::new();
+    let mut only_in_base = Vec::new();
+    for b in &base.cases {
+        let Some(n) = new.cases.iter().find(|c| c.name == b.name) else {
+            only_in_base.push(b.name.clone());
+            continue;
+        };
+        let ratio = if b.min_ms > 0.0 {
+            n.min_ms / b.min_ms
+        } else {
+            1.0
+        };
+        let noise_band = b.spread().max(n.spread());
+        cases.push(CaseDiff {
+            name: b.name.clone(),
+            base_min_ms: b.min_ms,
+            new_min_ms: n.min_ms,
+            ratio,
+            noise_band,
+            beyond_noise: ratio > 1.0 + noise_band,
+        });
+    }
+    let only_in_new = new
+        .cases
+        .iter()
+        .filter(|c| !base.cases.iter().any(|b| b.name == c.name))
+        .map(|c| c.name.clone())
+        .collect();
+    let geomean_ratio = if cases.is_empty() {
+        1.0
+    } else {
+        (cases.iter().map(|c| c.ratio.ln()).sum::<f64>() / cases.len() as f64).exp()
+    };
+    DiffReport {
+        cases,
+        only_in_base,
+        only_in_new,
+        geomean_ratio,
+        threshold,
+    }
+}
+
+/// Scales every case's `min_ms`/`mean_ms`/`max_ms` in a bench summary
+/// document by `factor`, returning the rewritten JSON. CI smoke uses
+/// this to synthesize a regression and prove the diff gate trips.
+///
+/// # Errors
+///
+/// Returns a description of the problem if the document is not valid
+/// JSON or does not have the bench-summary shape.
+pub fn perturb(text: &str, factor: f64) -> Result<String, String> {
+    let mut root = Json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let Json::Obj(fields) = &mut root else {
+        return Err("bench summary is not a JSON object".to_owned());
+    };
+    let cases = fields
+        .iter_mut()
+        .find(|(k, _)| k == "cases")
+        .map(|(_, v)| v)
+        .ok_or("missing field \"cases\"")?;
+    let Json::Arr(items) = cases else {
+        return Err("\"cases\" is not an array".to_owned());
+    };
+    for (i, case) in items.iter_mut().enumerate() {
+        let Json::Obj(case_fields) = case else {
+            return Err(format!("case {i} is not an object"));
+        };
+        for (k, v) in case_fields.iter_mut() {
+            if matches!(k.as_str(), "min_ms" | "mean_ms" | "max_ms") {
+                let x = v
+                    .as_f64()
+                    .ok_or(format!("case {i}: field {k:?} is not numeric"))?;
+                *v = Json::Num(x * factor);
+            }
+        }
+    }
+    Ok(format!("{root}\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(scale: f64) -> String {
+        let mut cases = Json::arr();
+        for (name, ms) in [("simulator/a", 10.0), ("simulator/b", 20.0)] {
+            cases = cases.item(
+                Json::obj()
+                    .field("name", name)
+                    .field("iters", 3u64)
+                    .field("min_ms", ms * scale)
+                    .field("mean_ms", ms * scale * 1.02)
+                    .field("max_ms", ms * scale * 1.04),
+            );
+        }
+        Json::obj()
+            .field("bench", "simulator")
+            .field("quick", true)
+            .field("geomean_speedup_vs_scan", 2.0)
+            .field("cases", cases)
+            .to_string()
+    }
+
+    #[test]
+    fn self_diff_is_clean() {
+        let s = BenchSummary::parse(&summary(1.0)).unwrap();
+        let r = diff(&s, &s, DEFAULT_THRESHOLD);
+        assert_eq!(r.cases.len(), 2);
+        assert!((r.geomean_ratio - 1.0).abs() < 1e-12);
+        assert!(!r.regressed());
+        assert!(r.cases.iter().all(|c| !c.beyond_noise));
+        assert!(r.render().contains("ok"));
+    }
+
+    #[test]
+    fn ten_percent_slowdown_trips_the_gate() {
+        let base = BenchSummary::parse(&summary(1.0)).unwrap();
+        let slow = BenchSummary::parse(&summary(1.10)).unwrap();
+        let r = diff(&base, &slow, DEFAULT_THRESHOLD);
+        assert!((r.geomean_ratio - 1.10).abs() < 1e-9);
+        assert!(r.regressed());
+        assert!(r.cases.iter().all(|c| c.beyond_noise), "4% spread < 10%");
+        assert!(r.render().contains("REGRESSION"));
+    }
+
+    #[test]
+    fn slowdown_inside_the_noise_band_is_annotated_not_fatal() {
+        let base = BenchSummary::parse(&summary(1.0)).unwrap();
+        let slow = BenchSummary::parse(&summary(1.03)).unwrap();
+        let r = diff(&base, &slow, DEFAULT_THRESHOLD);
+        assert!(!r.regressed(), "3% geomean is under the 5% gate");
+        assert!(
+            r.cases.iter().all(|c| !c.beyond_noise),
+            "3% slowdown sits inside the 4% recorded spread"
+        );
+    }
+
+    #[test]
+    fn perturb_round_trips_through_the_gate() {
+        let text = summary(1.0);
+        let slow = perturb(&text, 1.10).unwrap();
+        let base = BenchSummary::parse(&text).unwrap();
+        let new = BenchSummary::parse(&slow).unwrap();
+        let r = diff(&base, &new, DEFAULT_THRESHOLD);
+        assert!(r.regressed());
+        // Non-timing fields survive untouched.
+        assert!(slow.contains("\"geomean_speedup_vs_scan\":2"));
+        assert!(slow.contains("\"iters\":3"));
+    }
+
+    #[test]
+    fn mismatched_case_sets_are_reported() {
+        let mut base = BenchSummary::parse(&summary(1.0)).unwrap();
+        let new = BenchSummary::parse(&summary(1.0)).unwrap();
+        base.cases.push(CaseTiming {
+            name: "simulator/only_base".to_owned(),
+            min_ms: 1.0,
+            mean_ms: 1.0,
+            max_ms: 1.0,
+        });
+        let r = diff(&base, &new, DEFAULT_THRESHOLD);
+        assert_eq!(r.only_in_base, vec!["simulator/only_base".to_owned()]);
+        assert!(r.only_in_new.is_empty());
+        assert_eq!(r.cases.len(), 2, "unmatched case excluded from geomean");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        assert!(BenchSummary::parse("not json").is_err());
+        assert!(BenchSummary::parse("{\"bench\":\"simulator\"}")
+            .unwrap_err()
+            .contains("cases"));
+        let no_min = r#"{"bench":"simulator","cases":[{"name":"x"}]}"#;
+        assert!(BenchSummary::parse(no_min).unwrap_err().contains("min_ms"));
+        assert!(perturb("[1,2]", 1.0).is_err());
+    }
+}

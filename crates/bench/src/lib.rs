@@ -41,12 +41,14 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use redsim_core::{
-    ExecMode, FaultConfig, MachineConfig, SimStats, Simulator, SliceSource, StallSummary,
-    Throughput,
+    ExecMode, FaultConfig, Instrumentation, MachineConfig, MetricsCollector, NullTracer, SimStats,
+    Simulator, SliceSource, StallSummary, Throughput, WindowSample,
 };
 use redsim_isa::trace::DynInst;
 use redsim_util::Json;
 use redsim_workloads::{Params, Workload};
+
+pub mod diff;
 
 /// Shared command line of the figure binaries.
 #[derive(Debug, Clone)]
@@ -199,6 +201,11 @@ pub struct Job {
     /// Workload input seed override (replication across `--seeds`);
     /// `None` uses the workload's default parameters.
     pub input_seed: Option<u64>,
+    /// Windowed-metrics collection: `Some(n)` samples the time series
+    /// every `n` simulated cycles and returns the windows alongside the
+    /// stats (surfaced through the [`Harness::try_sweep_with`]
+    /// callback). `None` — the default — runs metrics-free.
+    pub metrics_window: Option<u64>,
 }
 
 impl Job {
@@ -212,6 +219,7 @@ impl Job {
             faults: None,
             watchdog: None,
             input_seed: None,
+            metrics_window: None,
         }
     }
 
@@ -233,6 +241,14 @@ impl Job {
     #[must_use]
     pub fn with_input_seed(mut self, seed: u64) -> Self {
         self.input_seed = Some(seed);
+        self
+    }
+
+    /// Enables windowed-metrics collection every `window_cycles`
+    /// simulated cycles.
+    #[must_use]
+    pub fn with_metrics_window(mut self, window_cycles: u64) -> Self {
+        self.metrics_window = Some(window_cycles);
         self
     }
 
@@ -275,29 +291,54 @@ impl JobError {
 ///
 /// Returns the simulation error rendered as a string (deadlock, budget
 /// exhaustion...).
-fn run_job(trace: &[DynInst], job: &Job) -> Result<(SimStats, Throughput), String> {
+fn run_job(
+    trace: &[DynInst],
+    job: &Job,
+) -> Result<(SimStats, Throughput, Vec<WindowSample>), String> {
     let mut source = SliceSource::new(trace);
     let mut sim = Simulator::new(job.config.clone(), job.mode);
     if let Some(fc) = job.faults {
-        sim = sim.with_faults(fc);
+        sim = sim
+            .try_with_faults(fc)
+            .map_err(|e| format!("invalid fault configuration: {e}"))?;
     }
     if let Some(w) = job.watchdog {
         sim = sim.with_watchdog(w);
     }
     let t0 = std::time::Instant::now();
-    let stats = sim.run_source(&mut source).map_err(|e| e.to_string())?;
+    let (stats, windows) = if let Some(window) = job.metrics_window {
+        let mut collector = MetricsCollector::new(window);
+        let mut tracer = NullTracer;
+        let stats = sim
+            .run_source_instrumented(
+                &mut source,
+                Instrumentation {
+                    tracer: &mut tracer,
+                    metrics: &mut collector,
+                    profiler: None,
+                },
+            )
+            .map_err(|e| e.to_string())?;
+        (stats, collector.into_samples())
+    } else {
+        let stats = sim.run_source(&mut source).map_err(|e| e.to_string())?;
+        (stats, Vec::new())
+    };
     let perf = Throughput {
         wall_seconds: t0.elapsed().as_secs_f64(),
         sim_cycles: stats.cycles,
         committed_insts: stats.committed_insts,
     };
-    Ok((stats, perf))
+    Ok((stats, perf, windows))
 }
 
 /// Runs one job with panic isolation: a panicking simulation (a model
 /// bug, an invalid configuration) becomes an `Err` string instead of
 /// tearing down the sweep.
-fn run_job_caught(trace: &[DynInst], job: &Job) -> Result<(SimStats, Throughput), String> {
+fn run_job_caught(
+    trace: &[DynInst],
+    job: &Job,
+) -> Result<(SimStats, Throughput, Vec<WindowSample>), String> {
     match catch_unwind(AssertUnwindSafe(|| run_job(trace, job))) {
         Ok(r) => r,
         Err(payload) => {
@@ -371,22 +412,38 @@ impl Harness {
 
     /// Like [`Harness::trace`], with an optional input-seed override.
     /// Each `(workload, seed)` pair is built once and cached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload fails to assemble or execute; use
+    /// [`Harness::try_trace_for`] to get the structured error instead.
     pub fn trace_for(&mut self, w: Workload, input_seed: Option<u64>) -> Arc<[DynInst]> {
+        match self.try_trace_for(w, input_seed) {
+            Ok(t) => t,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`Harness::trace_for`]: a workload that fails
+    /// to assemble or to reach `halt` within the instruction budget
+    /// reports a [`redsim_workloads::WorkloadError`] instead of
+    /// panicking. Failures are not cached, so a retry re-runs the
+    /// emulator.
+    pub fn try_trace_for(
+        &mut self,
+        w: Workload,
+        input_seed: Option<u64>,
+    ) -> Result<Arc<[DynInst]>, redsim_workloads::WorkloadError> {
         if let Some(t) = self.cache.get(&(w, input_seed)) {
-            return Arc::clone(t);
+            return Ok(Arc::clone(t));
         }
         let mut params = self.params(w);
         if let Some(seed) = input_seed {
             params.seed = seed;
         }
-        let program = w.program(params).expect("workload kernels assemble");
-        let mut emu = redsim_isa::emu::Emulator::new(&program);
-        let trace: Arc<[DynInst]> = emu
-            .run_trace(200_000_000)
-            .expect("workload kernels halt")
-            .into();
+        let trace: Arc<[DynInst]> = w.trace(params, 200_000_000)?.into();
         self.cache.insert((w, input_seed), Arc::clone(&trace));
-        trace
+        Ok(trace)
     }
 
     /// Wall-clock throughput accumulated over every simulation this
@@ -409,7 +466,8 @@ impl Harness {
     /// Runs one workload under one mode and machine configuration.
     pub fn run(&mut self, w: Workload, mode: ExecMode, cfg: &MachineConfig) -> SimStats {
         let trace = self.trace(w);
-        let (stats, perf) = run_job(&trace, &Job::new(w, mode, cfg)).expect("simulation completes");
+        let (stats, perf, _) =
+            run_job(&trace, &Job::new(w, mode, cfg)).expect("simulation completes");
         self.perf.add(&perf);
         self.stalls.add_run(&stats);
         stats
@@ -452,23 +510,37 @@ impl Harness {
     /// `on_done(index, result)` fires once per job, from the worker
     /// thread that finished it, as soon as the result is known —
     /// completion *order* is thread-schedule dependent, but each call's
-    /// content is deterministic. The campaign runner uses this to
+    /// content is deterministic. On success the callback also receives
+    /// the job's windowed-metrics series (empty unless the job set
+    /// [`Job::with_metrics_window`]). The campaign runner uses this to
     /// checkpoint progress incrementally.
+    ///
+    /// A job whose *trace* cannot be materialized (workload assembly or
+    /// emulation failure) is reported as a [`JobError`] like any other
+    /// failure; the remaining jobs still run.
     pub fn try_sweep_with(
         &mut self,
         jobs: &[Job],
         threads: usize,
-        on_done: impl Fn(usize, Result<&SimStats, &JobError>) + Sync,
+        on_done: impl Fn(usize, Result<(&SimStats, &[WindowSample]), &JobError>) + Sync,
     ) -> (Vec<SimStats>, Vec<JobError>) {
-        let traces: Vec<Arc<[DynInst]>> = jobs
+        let traces: Vec<Result<Arc<[DynInst]>, String>> = jobs
             .iter()
-            .map(|j| self.trace_for(j.workload, j.input_seed))
+            .map(|j| {
+                self.try_trace_for(j.workload, j.input_seed)
+                    .map_err(|e| e.to_string())
+            })
             .collect();
         let threads = threads.clamp(1, jobs.len().max(1));
-        let run_one = |i: usize| -> Result<(SimStats, Throughput), JobError> {
-            match run_job_caught(&traces[i], &jobs[i]) {
+        type JobOk = (SimStats, Throughput, Vec<WindowSample>);
+        let run_one = |i: usize| -> Result<JobOk, JobError> {
+            let outcome = match &traces[i] {
+                Ok(trace) => run_job_caught(trace, &jobs[i]),
+                Err(e) => Err(e.clone()),
+            };
+            match outcome {
                 Ok(r) => {
-                    on_done(i, Ok(&r.0));
+                    on_done(i, Ok((&r.0, r.2.as_slice())));
                     Ok(r)
                 }
                 Err(message) => {
@@ -482,11 +554,11 @@ impl Harness {
                 }
             }
         };
-        let results: Vec<Result<(SimStats, Throughput), JobError>> = if threads == 1 {
+        let results: Vec<Result<JobOk, JobError>> = if threads == 1 {
             (0..jobs.len()).map(run_one).collect()
         } else {
             let next = AtomicUsize::new(0);
-            let slots: Vec<OnceLock<Result<(SimStats, Throughput), JobError>>> =
+            let slots: Vec<OnceLock<Result<JobOk, JobError>>> =
                 jobs.iter().map(|_| OnceLock::new()).collect();
             std::thread::scope(|s| {
                 for _ in 0..threads {
@@ -510,7 +582,7 @@ impl Harness {
         let stats = results
             .into_iter()
             .map(|r| match r {
-                Ok((stats, perf)) => {
+                Ok((stats, perf, _)) => {
                     self.perf.add(&perf);
                     self.stalls.add_run(&stats);
                     stats
@@ -956,8 +1028,8 @@ mod tests {
     fn try_sweep_isolates_a_panicking_job() {
         let mut h = Harness::quick();
         let cfg = MachineConfig::paper_baseline();
-        // fu_rate 2.0 is invalid; Simulator::with_faults panics on it,
-        // exercising the catch_unwind isolation path.
+        // fu_rate 2.0 is invalid; `run_job` rejects it through
+        // `Simulator::try_with_faults`, exercising the error path.
         let bad = FaultConfig {
             fu_rate: 2.0,
             ..FaultConfig::none()
@@ -1017,6 +1089,36 @@ mod tests {
         seen.sort_unstable();
         assert_eq!(seen, vec![(0, true), (1, true)]);
         assert_eq!(stats.len(), 2);
+    }
+
+    #[test]
+    fn metrics_windows_flow_through_the_callback() {
+        use std::sync::Mutex;
+        let mut h = Harness::quick();
+        let cfg = MachineConfig::paper_baseline();
+        let jobs = vec![
+            Job::new(Workload::Gzip, ExecMode::Sie, &cfg).with_metrics_window(512),
+            Job::new(Workload::Gzip, ExecMode::Sie, &cfg),
+        ];
+        let committed = Mutex::new(0u64);
+        let (stats, errors) = h.try_sweep_with(&jobs, 1, |i, r| {
+            let (s, windows) = r.expect("jobs succeed");
+            if i == 0 {
+                assert!(!windows.is_empty(), "windowed job yields samples");
+                let cycle_sum: u64 = windows.iter().map(WindowSample::cycles).sum();
+                assert_eq!(cycle_sum, s.cycles, "windows tile the whole run");
+                *committed.lock().unwrap() =
+                    windows.iter().map(|w| w.counters.committed_insts).sum();
+            } else {
+                assert!(windows.is_empty(), "metrics-free job yields none");
+            }
+        });
+        assert!(errors.is_empty());
+        assert_eq!(*committed.lock().unwrap(), stats[0].committed_insts);
+        assert_eq!(
+            stats[0], stats[1],
+            "metrics collection is observationally pure"
+        );
     }
 
     #[test]

@@ -17,6 +17,8 @@
 //!   exit code 3;
 //! * `--watchdog N` — per-shard deadline in simulated cycles (default
 //!   50,000,000; livelocked shards classify pending faults as `Hang`);
+//! * `--metrics-window N` — per-shard IPC time-series window in cycles
+//!   (default 10,000; `0` disables the series);
 //! * `--fu-rate R` / `--forward-rate R` / `--irb-rate R` — override the
 //!   strike rate of scenarios injecting at that site (validated, bad
 //!   rates exit 2).
@@ -116,6 +118,17 @@ fn spec_from_cli(cli: &Cli) -> CampaignSpec {
         },
         None => Some(50_000_000),
     };
+    let metrics_window = match cli.value("--metrics-window") {
+        Some(v) => match v.parse::<u64>() {
+            Ok(0) => None,
+            Ok(n) => Some(n),
+            Err(_) => {
+                eprintln!("error: --metrics-window expects a cycle count, got {v:?}");
+                std::process::exit(2);
+            }
+        },
+        None => Some(10_000),
+    };
     CampaignSpec {
         scenarios,
         workloads: vec![
@@ -127,6 +140,7 @@ fn spec_from_cli(cli: &Cli) -> CampaignSpec {
         seeds: cli.seeds,
         quick: cli.quick,
         watchdog,
+        metrics_window,
     }
 }
 

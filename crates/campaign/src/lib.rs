@@ -42,8 +42,8 @@ use std::sync::Mutex;
 use redsim_bench::Harness;
 pub use redsim_bench::{Job, JobError};
 use redsim_core::{
-    ExecMode, FaultConfig, FaultLifecycle, FlightRecorder, ForwardingPolicy, MachineConfig,
-    SimStats, Simulator, SliceSource,
+    ExecMode, FaultConfig, FaultLifecycle, FlightRecorder, ForwardingPolicy, Histogram,
+    MachineConfig, SimStats, Simulator, SliceSource, WindowSample,
 };
 use redsim_util::hash::FxHasher;
 use redsim_util::Json;
@@ -81,6 +81,12 @@ pub struct CampaignSpec {
     /// reaches it resolves pending faults as `Hang` instead of spinning
     /// forever.
     pub watchdog: Option<u64>,
+    /// Windowed-metrics collection: `Some(n)` samples each shard's IPC
+    /// time series every `n` simulated cycles, records the per-window
+    /// milli-IPC values in the manifest, and aggregates them into
+    /// per-scenario percentile summaries in the report. `None` keeps
+    /// the manifest metrics-free.
+    pub metrics_window: Option<u64>,
 }
 
 /// One cell of the campaign grid.
@@ -142,6 +148,9 @@ impl CampaignSpec {
         if let Some(w) = self.watchdog {
             job = job.with_watchdog(w);
         }
+        if let Some(mw) = self.metrics_window {
+            job = job.with_metrics_window(mw);
+        }
         job
     }
 
@@ -173,7 +182,10 @@ impl CampaignSpec {
             .field("seeds", u64::from(self.seeds))
             .field("quick", self.quick);
         if let Some(w) = self.watchdog {
-            spec.set("watchdog", w);
+            spec = spec.field("watchdog", w);
+        }
+        if let Some(mw) = self.metrics_window {
+            spec = spec.field("metrics_window", mw);
         }
         spec.to_string()
     }
@@ -312,8 +324,14 @@ fn lifecycle_json(l: &FaultLifecycle) -> Json {
         .field("refetch_penalty_sum", l.refetch_penalty_sum)
 }
 
-/// The deterministic record line for one completed shard.
-fn record_line(shard: &Shard, label: &str, result: Result<&SimStats, &str>) -> String {
+/// The deterministic record line for one completed shard. Successful
+/// shards that ran with a metrics window append their per-window
+/// milli-IPC series (integers — exactly mergeable downstream).
+fn record_line(
+    shard: &Shard,
+    label: &str,
+    result: Result<(&SimStats, &[WindowSample]), &str>,
+) -> String {
     let base = Json::obj()
         .field("kind", "shard")
         .field("id", shard.id)
@@ -321,21 +339,32 @@ fn record_line(shard: &Shard, label: &str, result: Result<&SimStats, &str>) -> S
         .field("rep", shard.rep)
         .field("label", label);
     match result {
-        Ok(s) => base
-            .field("ok", true)
-            .field("cycles", s.cycles)
-            .field("committed_insts", s.committed_insts)
-            .field("watchdog_fired", s.watchdog_fired)
-            .field("active_commit_cycles", s.active_commit_cycles)
-            .field("stalls", s.stalls.to_json())
-            .field("injected_fu", s.faults.injected_fu)
-            .field("injected_forward", s.faults.injected_forward)
-            .field("injected_irb", s.faults.injected_irb)
-            .field("legacy_detected", s.faults.detected)
-            .field("legacy_escaped", s.faults.escaped)
-            .field("silent_sie", s.faults.silent_sie)
-            .field("lifecycle", lifecycle_json(&s.fault_lifecycle))
-            .to_string(),
+        Ok((s, windows)) => {
+            let mut j = base
+                .field("ok", true)
+                .field("cycles", s.cycles)
+                .field("committed_insts", s.committed_insts)
+                .field("watchdog_fired", s.watchdog_fired)
+                .field("active_commit_cycles", s.active_commit_cycles)
+                .field("stalls", s.stalls.to_json())
+                .field("injected_fu", s.faults.injected_fu)
+                .field("injected_forward", s.faults.injected_forward)
+                .field("injected_irb", s.faults.injected_irb)
+                .field("legacy_detected", s.faults.detected)
+                .field("legacy_escaped", s.faults.escaped)
+                .field("silent_sie", s.faults.silent_sie)
+                .field("lifecycle", lifecycle_json(&s.fault_lifecycle));
+            if !windows.is_empty() {
+                j = j.field(
+                    "win_milli_ipc",
+                    windows
+                        .iter()
+                        .map(|w| Json::from(w.milli_ipc()))
+                        .collect::<Json>(),
+                );
+            }
+            j.to_string()
+        }
         Err(msg) => base.field("ok", false).field("error", msg).to_string(),
     }
 }
@@ -395,6 +424,11 @@ fn summary_json(spec: &CampaignSpec, records: &BTreeMap<usize, String>) -> Json 
         latency_sum: u64,
         failed: u64,
         hangs_contained: u64,
+        /// Per-window milli-IPC values across every shard of the
+        /// scenario. Bucket-wise mergeable, so the percentiles are a
+        /// pure function of the record set — byte-identical at any
+        /// thread count or interrupt/resume split.
+        ipc_hist: Histogram,
     }
     let mut accs: Vec<Acc> = spec
         .scenarios
@@ -408,6 +442,7 @@ fn summary_json(spec: &CampaignSpec, records: &BTreeMap<usize, String>) -> Json 
             latency_sum: 0,
             failed: 0,
             hangs_contained: 0,
+            ipc_hist: Histogram::default(),
         })
         .collect();
     for line in records.values() {
@@ -429,13 +464,18 @@ fn summary_json(spec: &CampaignSpec, records: &BTreeMap<usize, String>) -> Json 
         acc.silent += g("silent");
         acc.hung += g("hung");
         acc.latency_sum += g("detection_latency_sum");
+        if let Some(wins) = j.get("win_milli_ipc").and_then(Json::items) {
+            for w in wins {
+                acc.ipc_hist.record(w.as_u64().unwrap_or(0));
+            }
+        }
     }
     spec.scenarios
         .iter()
         .zip(&accs)
         .map(|(sc, a)| {
             let vulnerable = a.detected + a.silent;
-            Json::obj()
+            let mut j = Json::obj()
                 .field("scenario", sc.name.as_str())
                 .field("injected", a.injected)
                 .field("detected", a.detected)
@@ -467,7 +507,18 @@ fn summary_json(spec: &CampaignSpec, records: &BTreeMap<usize, String>) -> Json 
                     },
                 )
                 .field("failed_shards", a.failed)
-                .field("watchdog_shards", a.hangs_contained)
+                .field("watchdog_shards", a.hangs_contained);
+            if a.ipc_hist.count() > 0 {
+                j = j.field(
+                    "win_milli_ipc",
+                    Json::obj()
+                        .field("windows", a.ipc_hist.count())
+                        .field("p50", a.ipc_hist.percentile(50))
+                        .field("p90", a.ipc_hist.percentile(90))
+                        .field("p99", a.ipc_hist.percentile(99)),
+                );
+            }
+            j
         })
         .collect()
 }
@@ -605,7 +656,7 @@ pub fn run_campaign(
             let shard = &pending[i];
             let label = spec.label(shard);
             let line = match result {
-                Ok(stats) => record_line(shard, &label, Ok(stats)),
+                Ok((stats, windows)) => record_line(shard, &label, Ok((stats, windows))),
                 Err(err) => record_line(shard, &label, Err(&err.message)),
             };
             {
@@ -672,10 +723,10 @@ fn dump_hang_trace(
         return Some(path); // resumed campaign: the dump is already on disk
     }
     let job = spec.job(shard);
-    let trace = harness.trace_for(job.workload, job.input_seed);
+    let trace = harness.try_trace_for(job.workload, job.input_seed).ok()?;
     let mut sim = Simulator::new(job.config.clone(), job.mode);
     if let Some(fc) = job.faults {
-        sim = sim.with_faults(fc);
+        sim = sim.try_with_faults(fc).ok()?;
     }
     if let Some(w) = job.watchdog {
         sim = sim.with_watchdog(w);
@@ -721,6 +772,7 @@ mod tests {
             seeds: 2,
             quick: true,
             watchdog: Some(5_000_000),
+            metrics_window: None,
         }
     }
 
@@ -743,6 +795,44 @@ mod tests {
         other.seeds = 3;
         assert_ne!(spec.fingerprint(), other.fingerprint());
         assert_eq!(spec.fingerprint(), tiny_spec().fingerprint());
+        let mut windowed = tiny_spec();
+        windowed.metrics_window = Some(4096);
+        assert_ne!(spec.fingerprint(), windowed.fingerprint());
+    }
+
+    #[test]
+    fn window_series_lands_in_records_and_summary_percentiles() {
+        let spec = tiny_spec();
+        let shard = Shard {
+            id: 0,
+            scenario: 0,
+            workload: Workload::Gzip,
+            rep: 0,
+        };
+        let stats = SimStats::default();
+        let w = WindowSample {
+            end_cycle: 1000,
+            counters: redsim_core::WindowCounters {
+                committed_insts: 1500, // 1500 milli-IPC over 1000 cycles
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let line = record_line(&shard, "l", Ok((&stats, &[w, w, w])));
+        assert!(line.contains("\"win_milli_ipc\":[1500,1500,1500]"));
+
+        let mut records = BTreeMap::new();
+        records.insert(0, line);
+        let summary = summary_json(&spec, &records).to_string();
+        assert!(summary.contains("\"win_milli_ipc\":{\"windows\":3,\"p50\":1500"));
+
+        // Without windows the summary stays metrics-free.
+        let bare = record_line(&shard, "l", Ok((&stats, &[])));
+        assert!(!bare.contains("win_milli_ipc"));
+        records.insert(0, bare);
+        assert!(!summary_json(&spec, &records)
+            .to_string()
+            .contains("win_milli_ipc"));
     }
 
     #[test]

@@ -47,6 +47,9 @@ fn small_spec() -> CampaignSpec {
         seeds: 2,
         quick: true,
         watchdog: Some(5_000_000),
+        // Exercise the windowed-metrics path end to end: the resume
+        // determinism assertions below now cover the window series too.
+        metrics_window: Some(4096),
     }
 }
 
@@ -130,8 +133,8 @@ fn resume_against_a_different_campaign_is_rejected() {
 
 #[test]
 fn failed_shards_are_recorded_and_the_rest_complete() {
-    // fu_rate 2.0 is invalid: Simulator::with_faults panics, so every
-    // shard of the first scenario dies while the second still runs.
+    // fu_rate 2.0 is invalid: Simulator::try_with_faults rejects it, so
+    // every shard of the first scenario fails while the second runs.
     let spec = CampaignSpec {
         scenarios: vec![
             scenario(
@@ -157,6 +160,7 @@ fn failed_shards_are_recorded_and_the_rest_complete() {
         seeds: 1,
         quick: true,
         watchdog: Some(5_000_000),
+        metrics_window: None,
     };
     let o = opts("failing", 2);
     let report = complete(run_campaign(&spec, &o).expect("campaign completes"));
@@ -202,6 +206,7 @@ fn livelocked_shard_is_classified_as_hang_by_the_watchdog() {
         seeds: 1,
         quick: true,
         watchdog: Some(20_000),
+        metrics_window: None,
     };
     let mut o = opts("livelock", 1);
     o.hang_dumps = Some(HangDumpOptions {

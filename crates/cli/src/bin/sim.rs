@@ -15,13 +15,17 @@
 //!   --stl-forwarding                             store-to-load forwarding
 //!   --compare                                    run SIE, DIE and DIE-IRB
 //!   --trace-out <file.json>                      Chrome-trace event dump
+//!   --metrics-out <file.jsonl>                   windowed time-series dump
+//!   --metrics-prom <file.prom>                   Prometheus text exposition
+//!   --metrics-window <n>                         window width in cycles (10000)
 //!   --budget <n>
 //! ```
 
 use redsim_cli::{die, load_program, usage, Args};
 use redsim_core::{
-    EventLog, ExecMode, FaultConfig, ForwardingPolicy, MachineConfig, NullTracer, SimStats,
-    Simulator, Tracer, VecSource,
+    EventLog, ExecMode, FaultConfig, ForwardingPolicy, Instrumentation, MachineConfig,
+    MetricsCollector, MetricsSink, NullMetrics, NullTracer, SimStats, Simulator, Tracer, VecSource,
+    DEFAULT_METRICS_WINDOW,
 };
 use redsim_workloads::{Params, Workload};
 
@@ -154,7 +158,8 @@ fn main() {
     };
     let sim = Simulator::new(cfg, mode)
         .with_budget(budget)
-        .with_faults(faults);
+        .try_with_faults(faults)
+        .unwrap_or_else(|e| die(&format!("invalid fault configuration: {e}")));
 
     let trace_out = args.value_of("--trace-out").map(str::to_owned);
     let mut log = EventLog::new();
@@ -165,13 +170,32 @@ fn main() {
         &mut null
     };
 
+    let metrics_out = args.value_of("--metrics-out").map(str::to_owned);
+    let metrics_prom = args.value_of("--metrics-prom").map(str::to_owned);
+    let metrics_window = args
+        .parsed_or("--metrics-window", DEFAULT_METRICS_WINDOW)
+        .unwrap_or_else(|e| die(&e));
+    let metrics_wanted = metrics_out.is_some() || metrics_prom.is_some();
+    let mut collector = MetricsCollector::new(metrics_window);
+    let mut no_metrics = NullMetrics;
+    let metrics: &mut dyn MetricsSink = if metrics_wanted {
+        &mut collector
+    } else {
+        &mut no_metrics
+    };
+    let instr = Instrumentation {
+        tracer,
+        metrics,
+        profiler: None,
+    };
+
     let stats = if let Some(trace_path) = args.value_of("--trace") {
         let file =
             std::fs::File::open(trace_path).unwrap_or_else(|e| die(&format!("{trace_path}: {e}")));
         let trace = redsim_isa::trace_io::read_trace(std::io::BufReader::new(file))
             .unwrap_or_else(|e| die(&format!("{trace_path}: {e}")));
         let mut src = VecSource::new(trace);
-        sim.run_source_traced(&mut src, tracer)
+        sim.run_source_instrumented(&mut src, instr)
     } else if let Some(name) = args.value_of("--workload") {
         let w = Workload::from_name(name).unwrap_or_else(|| {
             die(&format!(
@@ -187,10 +211,10 @@ fn main() {
         let program = w
             .program(Params::new(scale, seed))
             .unwrap_or_else(|e| die(&format!("workload generation failed: {e}")));
-        sim.run_program_traced(&program, tracer)
+        sim.run_program_instrumented(&program, instr)
     } else if let Some(input) = args.positional().first() {
         let program = load_program(input).unwrap_or_else(|e| die(&e));
-        sim.run_program_traced(&program, tracer)
+        sim.run_program_instrumented(&program, instr)
     } else {
         usage(
             "usage: redsim-sim <prog.s|prog.rprog> | --trace <file.rtrc> | --workload <name>\n\
@@ -207,6 +231,19 @@ fn main() {
         std::fs::write(&path, format!("{}\n", log.to_chrome_json()))
             .unwrap_or_else(|e| die(&format!("{path}: {e}")));
         eprintln!("wrote {} trace events to {path}", log.len());
+    }
+    if let Some(path) = metrics_out {
+        std::fs::write(&path, collector.to_jsonl())
+            .unwrap_or_else(|e| die(&format!("{path}: {e}")));
+        eprintln!(
+            "wrote {} metric windows to {path}",
+            collector.samples().len()
+        );
+    }
+    if let Some(path) = metrics_prom {
+        std::fs::write(&path, collector.registry().to_prometheus())
+            .unwrap_or_else(|e| die(&format!("{path}: {e}")));
+        eprintln!("wrote Prometheus exposition to {path}");
     }
 }
 

@@ -61,6 +61,7 @@ pub mod fault;
 mod frontend;
 mod fu;
 mod irb_unit;
+pub mod metrics;
 mod pipeline;
 mod ruu;
 pub mod sched;
@@ -75,7 +76,11 @@ pub use config::{
 pub use fault::{
     FaultConfig, FaultConfigError, FaultLifecycle, FaultOutcome, FaultRecord, FaultSite, FaultStats,
 };
-pub use pipeline::{SimError, Simulator};
+pub use metrics::{
+    Histogram, HostPhase, HostProfiler, Metric, MetricsCollector, MetricsRegistry, MetricsSink,
+    NullMetrics, WindowCounters, WindowSample, DEFAULT_METRICS_WINDOW,
+};
+pub use pipeline::{Instrumentation, SimError, Simulator};
 pub use source::{ArcSource, EmulatorSource, InstructionSource, SliceSource, VecSource};
 pub use stats::{FetchStallKind, SimStats, StallBreakdown, StallSummary, Throughput};
 pub use trace::{

@@ -1,0 +1,942 @@
+//! Windowed metrics: time-resolved counters sampled every N simulated
+//! cycles, HDR-style histograms with exact percentile extraction, a
+//! small insertion-ordered registry with JSONL and Prometheus-style
+//! expositions, and a host-side per-phase profiler.
+//!
+//! The subsystem follows the same discipline as [`crate::trace`]:
+//! collection is compiled in but disabled by default, the disabled path
+//! costs one predictable branch per cycle, and enabling it is proven
+//! observationally pure (it cannot change [`SimStats`]).
+//!
+//! # Window semantics
+//!
+//! A *window* covers the half-open simulated-cycle interval
+//! `[start_cycle, end_cycle)`. Every counter in a
+//! [`WindowSample`] is the exact delta of the corresponding cumulative
+//! machine counter over that interval, so summing any field across all
+//! windows of a run reproduces the final [`SimStats`] total — the
+//! conservation property `tests/metrics_conservation.rs` proves
+//! generatively. The final window may be shorter than the configured
+//! width (a run rarely ends on a window boundary); it is still emitted.
+//! [`WindowSample::ready_occupancy`] is the one instantaneous value: the
+//! number of ready RUU entries at the window boundary.
+//!
+//! # Histogram bucket scheme
+//!
+//! [`Histogram`] uses log2 octaves subdivided into 16 linear
+//! sub-buckets (HDR style): values below 16 are exact, larger values
+//! land in a bucket whose width is 1/16th of their octave, bounding the
+//! relative quantile error at 6.25%. Buckets are plain integers, so
+//! histograms merge associatively — shards aggregated in any order (or
+//! across any thread count) produce byte-identical percentiles.
+//!
+//! [`SimStats`]: crate::SimStats
+
+use std::time::Duration;
+
+use redsim_util::Json;
+
+use crate::stats::StallBreakdown;
+
+/// Default metrics window width in simulated cycles (`--metrics-window`).
+pub const DEFAULT_METRICS_WINDOW: u64 = 10_000;
+
+/// Cumulative machine counters a window delta is computed over. Every
+/// field mirrors a [`SimStats`](crate::SimStats) (or IRB) counter that
+/// only ever increases during a run, so `now - base` is exact.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WindowCounters {
+    /// Architected instructions committed.
+    pub committed_insts: u64,
+    /// RUU copies committed.
+    pub committed_copies: u64,
+    /// Cycles in which at least one instruction committed.
+    pub active_commit_cycles: u64,
+    /// Stall attribution over the window (deltas per cause).
+    pub stalls: StallBreakdown,
+    /// Copies issued to functional units.
+    pub fu_issues: u64,
+    /// Duplicate copies served by IRB reuse.
+    pub fu_bypasses: u64,
+    /// Integer-ALU-pool busy unit-cycles.
+    pub int_alu_busy_cycles: u64,
+    /// Sum of RUU occupancy over the window's cycles.
+    pub ruu_occupancy_sum: u64,
+    /// IRB lookups performed.
+    pub irb_lookups: u64,
+    /// IRB PC-indexed hits.
+    pub irb_pc_hits: u64,
+    /// IRB victim hits.
+    pub irb_victim_hits: u64,
+    /// IRB insertions.
+    pub irb_inserts: u64,
+    /// IRB conflict evictions.
+    pub irb_conflict_evictions: u64,
+    /// Reuse tests passed.
+    pub irb_reuse_passed: u64,
+    /// Reuse tests failed.
+    pub irb_reuse_failed: u64,
+    /// Lookups denied a read port.
+    pub irb_lookups_port_starved: u64,
+    /// Inserts denied a write port.
+    pub irb_inserts_port_starved: u64,
+}
+
+fn stall_delta(now: &StallBreakdown, base: &StallBreakdown) -> StallBreakdown {
+    StallBreakdown {
+        frontend_empty: now.frontend_empty - base.frontend_empty,
+        waiting_deps: now.waiting_deps - base.waiting_deps,
+        issue_starved: now.issue_starved - base.issue_starved,
+        fu_contention: now.fu_contention - base.fu_contention,
+        irb_port: now.irb_port - base.irb_port,
+        execution: now.execution - base.execution,
+        commit_blocked: now.commit_blocked - base.commit_blocked,
+        rewind: now.rewind - base.rewind,
+    }
+}
+
+impl WindowCounters {
+    /// The exact per-window delta `self - base` (field-wise). `base` is
+    /// the cumulative snapshot taken at the previous window boundary.
+    #[must_use]
+    pub fn delta(&self, base: &WindowCounters) -> WindowCounters {
+        WindowCounters {
+            committed_insts: self.committed_insts - base.committed_insts,
+            committed_copies: self.committed_copies - base.committed_copies,
+            active_commit_cycles: self.active_commit_cycles - base.active_commit_cycles,
+            stalls: stall_delta(&self.stalls, &base.stalls),
+            fu_issues: self.fu_issues - base.fu_issues,
+            fu_bypasses: self.fu_bypasses - base.fu_bypasses,
+            int_alu_busy_cycles: self.int_alu_busy_cycles - base.int_alu_busy_cycles,
+            ruu_occupancy_sum: self.ruu_occupancy_sum - base.ruu_occupancy_sum,
+            irb_lookups: self.irb_lookups - base.irb_lookups,
+            irb_pc_hits: self.irb_pc_hits - base.irb_pc_hits,
+            irb_victim_hits: self.irb_victim_hits - base.irb_victim_hits,
+            irb_inserts: self.irb_inserts - base.irb_inserts,
+            irb_conflict_evictions: self.irb_conflict_evictions - base.irb_conflict_evictions,
+            irb_reuse_passed: self.irb_reuse_passed - base.irb_reuse_passed,
+            irb_reuse_failed: self.irb_reuse_failed - base.irb_reuse_failed,
+            irb_lookups_port_starved: self.irb_lookups_port_starved - base.irb_lookups_port_starved,
+            irb_inserts_port_starved: self.irb_inserts_port_starved - base.irb_inserts_port_starved,
+        }
+    }
+
+    /// Accumulates another window's deltas into this one.
+    pub fn add(&mut self, other: &WindowCounters) {
+        self.committed_insts += other.committed_insts;
+        self.committed_copies += other.committed_copies;
+        self.active_commit_cycles += other.active_commit_cycles;
+        self.stalls.add(&other.stalls);
+        self.fu_issues += other.fu_issues;
+        self.fu_bypasses += other.fu_bypasses;
+        self.int_alu_busy_cycles += other.int_alu_busy_cycles;
+        self.ruu_occupancy_sum += other.ruu_occupancy_sum;
+        self.irb_lookups += other.irb_lookups;
+        self.irb_pc_hits += other.irb_pc_hits;
+        self.irb_victim_hits += other.irb_victim_hits;
+        self.irb_inserts += other.irb_inserts;
+        self.irb_conflict_evictions += other.irb_conflict_evictions;
+        self.irb_reuse_passed += other.irb_reuse_passed;
+        self.irb_reuse_failed += other.irb_reuse_failed;
+        self.irb_lookups_port_starved += other.irb_lookups_port_starved;
+        self.irb_inserts_port_starved += other.irb_inserts_port_starved;
+    }
+}
+
+/// One window of the time series: exact counter deltas over
+/// `[start_cycle, end_cycle)` plus the instantaneous ready-set size at
+/// the boundary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WindowSample {
+    /// Zero-based window index.
+    pub index: u64,
+    /// First cycle covered (inclusive).
+    pub start_cycle: u64,
+    /// One past the last cycle covered (exclusive).
+    pub end_cycle: u64,
+    /// Ready RUU entries at the window boundary (instantaneous).
+    pub ready_occupancy: u64,
+    /// Exact counter deltas over the window.
+    pub counters: WindowCounters,
+}
+
+impl WindowSample {
+    /// Simulated cycles the window covers.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.end_cycle - self.start_cycle
+    }
+
+    /// Architected IPC over the window, in thousandths (integer, so it
+    /// is exact, mergeable and byte-stable across platforms).
+    #[must_use]
+    pub fn milli_ipc(&self) -> u64 {
+        (self.counters.committed_insts * 1000)
+            .checked_div(self.cycles())
+            .unwrap_or(0)
+    }
+
+    /// IRB hit rate over the window in thousandths (PC + victim hits
+    /// per lookup); 0 when the window performed no lookups.
+    #[must_use]
+    pub fn irb_hit_permille(&self) -> u64 {
+        ((self.counters.irb_pc_hits + self.counters.irb_victim_hits) * 1000)
+            .checked_div(self.counters.irb_lookups)
+            .unwrap_or(0)
+    }
+
+    /// The sample as one flat-ish JSON object (one JSONL line of
+    /// `--metrics-out`).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let c = &self.counters;
+        Json::obj()
+            .field("window", self.index)
+            .field("start_cycle", self.start_cycle)
+            .field("end_cycle", self.end_cycle)
+            .field("committed_insts", c.committed_insts)
+            .field("committed_copies", c.committed_copies)
+            .field("milli_ipc", self.milli_ipc())
+            .field("active_commit_cycles", c.active_commit_cycles)
+            .field("stalls", c.stalls.to_json())
+            .field("fu_issues", c.fu_issues)
+            .field("fu_bypasses", c.fu_bypasses)
+            .field("int_alu_busy_cycles", c.int_alu_busy_cycles)
+            .field("ruu_occupancy_sum", c.ruu_occupancy_sum)
+            .field("ready_occupancy", self.ready_occupancy)
+            .field(
+                "irb",
+                Json::obj()
+                    .field("lookups", c.irb_lookups)
+                    .field("pc_hits", c.irb_pc_hits)
+                    .field("victim_hits", c.irb_victim_hits)
+                    .field("inserts", c.irb_inserts)
+                    .field("conflict_evictions", c.irb_conflict_evictions)
+                    .field("reuse_passed", c.irb_reuse_passed)
+                    .field("reuse_failed", c.irb_reuse_failed)
+                    .field("lookups_port_starved", c.irb_lookups_port_starved)
+                    .field("inserts_port_starved", c.irb_inserts_port_starved),
+            )
+    }
+}
+
+/// A windowed-metrics sink, mirroring [`Tracer`](crate::Tracer): the
+/// machine caches [`MetricsSink::enabled`] once, and a disabled sink
+/// (the default [`NullMetrics`]) costs one predictable branch per
+/// cycle with no allocation.
+pub trait MetricsSink {
+    /// Whether the machine should compute window samples at all.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Window width in simulated cycles (values below 1 are clamped).
+    fn window_cycles(&self) -> u64 {
+        DEFAULT_METRICS_WINDOW
+    }
+
+    /// Receives one completed window.
+    fn record_window(&mut self, sample: &WindowSample);
+}
+
+/// The no-op sink: reports `enabled() == false`, so the per-cycle
+/// boundary check is the only cost.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullMetrics;
+
+impl MetricsSink for NullMetrics {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record_window(&mut self, _sample: &WindowSample) {}
+}
+
+/// The standard in-memory sink: stores every window in order and
+/// renders JSONL, a registry, or a Prometheus-style exposition.
+#[derive(Debug, Clone)]
+pub struct MetricsCollector {
+    window: u64,
+    samples: Vec<WindowSample>,
+}
+
+impl MetricsCollector {
+    /// Creates a collector with the given window width in simulated
+    /// cycles (clamped to at least 1).
+    #[must_use]
+    pub fn new(window_cycles: u64) -> Self {
+        MetricsCollector {
+            window: window_cycles.max(1),
+            samples: Vec::new(),
+        }
+    }
+
+    /// The recorded windows, in order.
+    #[must_use]
+    pub fn samples(&self) -> &[WindowSample] {
+        &self.samples
+    }
+
+    /// Consumes the collector, returning the recorded windows.
+    #[must_use]
+    pub fn into_samples(self) -> Vec<WindowSample> {
+        self.samples
+    }
+
+    /// The time series as JSONL: one [`WindowSample::to_json`] object
+    /// per line, trailing newline included when non-empty.
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for s in &self.samples {
+            out.push_str(&s.to_json().to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Summarizes the run into a [`MetricsRegistry`]: whole-run
+    /// counters plus per-window distribution histograms.
+    #[must_use]
+    pub fn registry(&self) -> MetricsRegistry {
+        let mut total = WindowCounters::default();
+        let mut cycles = 0u64;
+        let mut ipc = Histogram::new();
+        let mut ready = Histogram::new();
+        let mut irb_hit = Histogram::new();
+        for s in &self.samples {
+            total.add(&s.counters);
+            cycles += s.cycles();
+            ipc.record(s.milli_ipc());
+            ready.record(s.ready_occupancy);
+            if s.counters.irb_lookups > 0 {
+                irb_hit.record(s.irb_hit_permille());
+            }
+        }
+        let mut r = MetricsRegistry::new();
+        r.counter("redsim_cycles_total", "Simulated cycles covered", cycles);
+        r.counter(
+            "redsim_committed_insts_total",
+            "Architected instructions committed",
+            total.committed_insts,
+        );
+        r.counter(
+            "redsim_committed_copies_total",
+            "RUU copies committed",
+            total.committed_copies,
+        );
+        r.counter(
+            "redsim_fu_issues_total",
+            "Copies issued to functional units",
+            total.fu_issues,
+        );
+        r.counter(
+            "redsim_fu_bypasses_total",
+            "Copies served by IRB reuse",
+            total.fu_bypasses,
+        );
+        r.counter(
+            "redsim_irb_lookups_total",
+            "IRB lookups performed",
+            total.irb_lookups,
+        );
+        r.counter(
+            "redsim_irb_hits_total",
+            "IRB hits (PC + victim)",
+            total.irb_pc_hits + total.irb_victim_hits,
+        );
+        r.counter(
+            "redsim_stall_cycles_total",
+            "Cycles attributed to a stall cause",
+            total.stalls.total(),
+        );
+        r.gauge(
+            "redsim_metrics_window_cycles",
+            "Configured window width in simulated cycles",
+            self.window as f64,
+        );
+        r.histogram(
+            "redsim_window_milli_ipc",
+            "Per-window architected IPC in thousandths",
+            ipc,
+        );
+        r.histogram(
+            "redsim_window_ready_occupancy",
+            "Ready RUU entries at each window boundary",
+            ready,
+        );
+        r.histogram(
+            "redsim_window_irb_hit_permille",
+            "Per-window IRB hit rate in thousandths",
+            irb_hit,
+        );
+        r
+    }
+}
+
+impl MetricsSink for MetricsCollector {
+    fn window_cycles(&self) -> u64 {
+        self.window
+    }
+
+    fn record_window(&mut self, sample: &WindowSample) {
+        self.samples.push(*sample);
+    }
+}
+
+/// Linear sub-buckets per octave (2^4 = 16): relative quantile error is
+/// bounded by 1/16 = 6.25%; values below 16 are exact.
+const SUB_BITS: u32 = 4;
+const SUB_BUCKETS: u64 = 1 << SUB_BITS;
+
+/// An HDR-style integer histogram: log2 octaves split into 16 linear
+/// sub-buckets. Recording is O(1) and
+/// allocation-free in the steady state; merging is field-wise addition,
+/// so any aggregation order yields identical percentiles.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS {
+        v as usize
+    } else {
+        let msb = 63 - u64::from(v.leading_zeros());
+        let shift = msb - u64::from(SUB_BITS);
+        ((shift + 1) * SUB_BUCKETS + ((v >> shift) - SUB_BUCKETS)) as usize
+    }
+}
+
+fn bucket_bound(idx: usize) -> u64 {
+    let idx = idx as u64;
+    if idx < SUB_BUCKETS {
+        idx
+    } else {
+        let shift = idx / SUB_BUCKETS - 1;
+        let sub = idx % SUB_BUCKETS;
+        let low = (SUB_BUCKETS + sub) << shift;
+        // Parenthesized so the topmost bucket (bound u64::MAX) cannot
+        // overflow before the -1 applies.
+        low + ((1u64 << shift) - 1)
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    /// Records `n` occurrences of `v`.
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let idx = bucket_index(v);
+        if self.buckets.len() <= idx {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += n;
+        if self.count == 0 || v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+        self.count += n;
+        self.sum += v * n;
+    }
+
+    /// Merges another histogram into this one (bucket-wise addition;
+    /// associative and commutative, so shard order never matters).
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (b, &o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        if self.count == 0 || other.min < self.min {
+            self.min = other.min;
+        }
+        if other.max > self.max {
+            self.max = other.max;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// Recorded value count.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded value (0 when empty).
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The value at or below which `p` percent of recordings fall,
+    /// reported as its bucket's upper bound (exact below 16, within
+    /// 6.25% above), clamped to the observed maximum. `p` is an integer
+    /// percent in `[0, 100]`; an empty histogram reports 0.
+    #[must_use]
+    pub fn percentile(&self, p: u8) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let p = u64::from(p.min(100));
+        // Rank of the target recording, 1-based, rounding up — p50 of
+        // two recordings is the first, p100 is always the last.
+        let target = ((self.count * p).div_ceil(100)).max(1);
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return bucket_bound(idx).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The histogram as JSON: summary stats plus the standard
+    /// percentiles.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("count", self.count())
+            .field("sum", self.sum())
+            .field("min", self.min())
+            .field("max", self.max())
+            .field("p50", self.percentile(50))
+            .field("p90", self.percentile(90))
+            .field("p99", self.percentile(99))
+    }
+
+    /// Occupied buckets as `(upper_bound, count)` pairs, in value order
+    /// (for cumulative expositions).
+    fn occupied(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n > 0)
+            .map(|(idx, &n)| (bucket_bound(idx), n))
+    }
+}
+
+/// A named metric value.
+#[derive(Debug, Clone)]
+pub enum Metric {
+    /// A monotonically increasing count.
+    Counter(u64),
+    /// A point-in-time value.
+    Gauge(f64),
+    /// A distribution.
+    Histogram(Histogram),
+}
+
+/// An insertion-ordered registry of named metrics with help strings,
+/// rendered as JSON or a Prometheus-style text exposition. Ordering is
+/// deterministic (insertion order), so output is byte-stable.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    metrics: Vec<(String, String, Metric)>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Registers a counter.
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) {
+        self.metrics
+            .push((name.to_string(), help.to_string(), Metric::Counter(value)));
+    }
+
+    /// Registers a gauge.
+    pub fn gauge(&mut self, name: &str, help: &str, value: f64) {
+        self.metrics
+            .push((name.to_string(), help.to_string(), Metric::Gauge(value)));
+    }
+
+    /// Registers a histogram.
+    pub fn histogram(&mut self, name: &str, help: &str, h: Histogram) {
+        self.metrics
+            .push((name.to_string(), help.to_string(), Metric::Histogram(h)));
+    }
+
+    /// The registered metrics, in insertion order.
+    pub fn entries(&self) -> impl Iterator<Item = (&str, &str, &Metric)> {
+        self.metrics
+            .iter()
+            .map(|(n, h, m)| (n.as_str(), h.as_str(), m))
+    }
+
+    /// The registry as one JSON object keyed by metric name.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut j = Json::obj();
+        for (name, _, m) in self.entries() {
+            let v = match m {
+                Metric::Counter(c) => Json::from(*c),
+                Metric::Gauge(g) => Json::from(*g),
+                Metric::Histogram(h) => h.to_json(),
+            };
+            j = j.field(name, v);
+        }
+        j
+    }
+
+    /// A Prometheus-style text exposition (`# HELP` / `# TYPE` comment
+    /// pairs; histograms expose cumulative `_bucket{le=...}` series
+    /// plus `_sum` and `_count`).
+    #[must_use]
+    pub fn to_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (name, help, m) in self.entries() {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            match m {
+                Metric::Counter(c) => {
+                    let _ = writeln!(out, "# TYPE {name} counter");
+                    let _ = writeln!(out, "{name} {c}");
+                }
+                Metric::Gauge(g) => {
+                    let _ = writeln!(out, "# TYPE {name} gauge");
+                    let _ = writeln!(out, "{name} {g}");
+                }
+                Metric::Histogram(h) => {
+                    let _ = writeln!(out, "# TYPE {name} histogram");
+                    let mut cum = 0u64;
+                    for (bound, n) in h.occupied() {
+                        cum += n;
+                        let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cum}");
+                    }
+                    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count());
+                    let _ = writeln!(out, "{name}_sum {}", h.sum());
+                    let _ = writeln!(out, "{name}_count {}", h.count());
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A host pipeline phase, for self-profiling where the *simulator*
+/// spends wall-clock time. The five phases map onto the cycle loop's
+/// stage calls: `fetch` → [`HostPhase::Fetch`], `dispatch` →
+/// [`HostPhase::Schedule`] (rename + wakeup linkage), `issue` →
+/// [`HostPhase::Execute`] (selection + FU allocation + reuse tests),
+/// `writeback` → [`HostPhase::Writeback`], `commit` →
+/// [`HostPhase::Commit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostPhase {
+    /// The fetch stage (front end + I-cache).
+    Fetch,
+    /// The dispatch stage (rename, dependence linkage).
+    Schedule,
+    /// The issue stage (selection, FU allocation, reuse tests).
+    Execute,
+    /// The writeback stage (completion, broadcast).
+    Writeback,
+    /// The commit stage (retirement, pair checks, IRB update).
+    Commit,
+}
+
+const HOST_PHASES: [(HostPhase, &str); 5] = [
+    (HostPhase::Fetch, "fetch"),
+    (HostPhase::Schedule, "schedule"),
+    (HostPhase::Execute, "execute"),
+    (HostPhase::Writeback, "writeback"),
+    (HostPhase::Commit, "commit"),
+];
+
+/// Cheap per-phase wall-clock accounting for the simulator itself.
+/// Attach one to an [`Instrumentation`](crate::Instrumentation) bundle
+/// and the cycle loop times each stage call with two monotonic-clock
+/// reads per phase; the accumulated nanoseconds surface in bench JSON.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HostProfiler {
+    nanos: [u64; 5],
+    /// Profiled simulated cycles.
+    pub cycles: u64,
+}
+
+fn phase_slot(p: HostPhase) -> usize {
+    match p {
+        HostPhase::Fetch => 0,
+        HostPhase::Schedule => 1,
+        HostPhase::Execute => 2,
+        HostPhase::Writeback => 3,
+        HostPhase::Commit => 4,
+    }
+}
+
+impl HostProfiler {
+    /// An empty profiler.
+    #[must_use]
+    pub fn new() -> Self {
+        HostProfiler::default()
+    }
+
+    /// Adds elapsed wall time to a phase.
+    pub fn add(&mut self, phase: HostPhase, elapsed: Duration) {
+        self.nanos[phase_slot(phase)] += elapsed.as_nanos() as u64;
+    }
+
+    /// Folds another profiler's accounting into this one.
+    pub fn merge(&mut self, other: &HostProfiler) {
+        for (a, b) in self.nanos.iter_mut().zip(&other.nanos) {
+            *a += b;
+        }
+        self.cycles += other.cycles;
+    }
+
+    /// Accumulated nanoseconds for a phase.
+    #[must_use]
+    pub fn nanos(&self, phase: HostPhase) -> u64 {
+        self.nanos[phase_slot(phase)]
+    }
+
+    /// Total accumulated nanoseconds across all phases.
+    #[must_use]
+    pub fn total_nanos(&self) -> u64 {
+        self.nanos.iter().sum()
+    }
+
+    /// The accounting as JSON: per-phase seconds and shares plus the
+    /// profiled cycle count.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let total = self.total_nanos();
+        let mut phases = Json::obj();
+        for (p, name) in HOST_PHASES {
+            let n = self.nanos(p);
+            let share = if total == 0 {
+                0.0
+            } else {
+                n as f64 / total as f64
+            };
+            phases = phases.field(
+                name,
+                Json::obj()
+                    .field("seconds", n as f64 / 1e9)
+                    .field("share", share),
+            );
+        }
+        Json::obj()
+            .field("cycles", self.cycles)
+            .field("total_seconds", total as f64 / 1e9)
+            .field("phases", phases)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        for p in [1u8, 25, 50, 75, 100] {
+            let expect = (u64::from(p) * 16).div_ceil(100).max(1) - 1;
+            assert_eq!(h.percentile(p), expect, "p{p}");
+        }
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 15);
+        assert_eq!(h.count(), 16);
+        assert_eq!(h.sum(), 120);
+    }
+
+    #[test]
+    fn bucket_bounds_are_consistent_with_indexing() {
+        for v in (0..4096u64).chain([u64::MAX, u64::MAX - 1, 1 << 40, (1 << 40) + 12345]) {
+            let idx = bucket_index(v);
+            let hi = bucket_bound(idx);
+            assert!(hi >= v, "bound {hi} below value {v}");
+            if idx > 0 {
+                let lo_prev = bucket_bound(idx - 1);
+                assert!(lo_prev < v, "value {v} fits the previous bucket");
+            }
+            // Relative error bound: bucket width <= value / 16.
+            if v >= 16 {
+                assert!(hi - v <= v / 16, "bucket too wide at {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn percentile_error_is_bounded() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v * 7);
+        }
+        for p in [50u8, 90, 99] {
+            let exact = u64::from(p) * 10_000 / 100 * 7;
+            let got = h.percentile(p);
+            assert!(got >= exact, "p{p}: {got} < exact {exact}");
+            assert!(
+                got - exact <= exact / 16 + 7,
+                "p{p}: {got} vs {exact} exceeds the 6.25% bound"
+            );
+        }
+        assert_eq!(h.percentile(100), h.max());
+    }
+
+    #[test]
+    fn merge_matches_recording_everything_in_one() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut whole = Histogram::new();
+        for v in 0..500u64 {
+            let x = v * v % 977;
+            if v % 2 == 0 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+            whole.record(x);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged, whole);
+        let mut other_order = b;
+        other_order.merge(&a);
+        assert_eq!(other_order, whole);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.percentile(50), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn window_sample_rates() {
+        let c = WindowCounters {
+            committed_insts: 1234,
+            irb_lookups: 100,
+            irb_pc_hits: 40,
+            irb_victim_hits: 10,
+            ..WindowCounters::default()
+        };
+        let s = WindowSample {
+            index: 0,
+            start_cycle: 0,
+            end_cycle: 1000,
+            ready_occupancy: 3,
+            counters: c,
+        };
+        assert_eq!(s.cycles(), 1000);
+        assert_eq!(s.milli_ipc(), 1234);
+        assert_eq!(s.irb_hit_permille(), 500);
+    }
+
+    #[test]
+    fn delta_then_add_round_trips() {
+        let base = WindowCounters {
+            committed_insts: 10,
+            stalls: StallBreakdown {
+                execution: 4,
+                ..StallBreakdown::default()
+            },
+            ..WindowCounters::default()
+        };
+        let mut now = base;
+        now.committed_insts = 25;
+        now.stalls.execution = 9;
+        now.irb_lookups = 7;
+        let d = now.delta(&base);
+        assert_eq!(d.committed_insts, 15);
+        assert_eq!(d.stalls.execution, 5);
+        assert_eq!(d.irb_lookups, 7);
+        let mut back = base;
+        back.add(&d);
+        assert_eq!(back, now);
+    }
+
+    #[test]
+    fn registry_renders_json_and_prometheus() {
+        let mut h = Histogram::new();
+        h.record(5);
+        h.record(300);
+        let mut r = MetricsRegistry::new();
+        r.counter("redsim_test_total", "a counter", 42);
+        r.gauge("redsim_test_gauge", "a gauge", 1.5);
+        r.histogram("redsim_test_hist", "a histogram", h);
+        let j = r.to_json().to_string();
+        assert!(j.contains("\"redsim_test_total\":42"));
+        assert!(j.contains("\"p50\":"));
+        let p = r.to_prometheus();
+        assert!(p.contains("# TYPE redsim_test_total counter"));
+        assert!(p.contains("redsim_test_total 42"));
+        assert!(p.contains("# TYPE redsim_test_hist histogram"));
+        assert!(p.contains("redsim_test_hist_bucket{le=\"+Inf\"} 2"));
+        assert!(p.contains("redsim_test_hist_count 2"));
+        // Cumulative buckets end at the total count.
+        let last_bucket = p
+            .lines()
+            .rfind(|l| l.starts_with("redsim_test_hist_bucket"))
+            .unwrap();
+        assert!(last_bucket.ends_with(" 2"));
+    }
+
+    #[test]
+    fn profiler_accounts_and_merges() {
+        let mut p = HostProfiler::new();
+        p.add(HostPhase::Fetch, Duration::from_nanos(100));
+        p.add(HostPhase::Commit, Duration::from_nanos(300));
+        p.cycles = 2;
+        let mut q = HostProfiler::new();
+        q.add(HostPhase::Fetch, Duration::from_nanos(50));
+        q.cycles = 1;
+        p.merge(&q);
+        assert_eq!(p.nanos(HostPhase::Fetch), 150);
+        assert_eq!(p.total_nanos(), 450);
+        assert_eq!(p.cycles, 3);
+        let j = p.to_json().to_string();
+        assert!(j.contains("\"total_seconds\":"));
+        assert!(j.contains("\"fetch\":"));
+    }
+}

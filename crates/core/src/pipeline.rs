@@ -3,6 +3,7 @@
 use std::collections::VecDeque;
 use std::error::Error;
 use std::fmt;
+use std::time::Instant;
 
 use redsim_isa::trace::DynInst;
 use redsim_isa::{EmuError, OpClass, Program};
@@ -12,10 +13,13 @@ use redsim_util::FxHashMap;
 use crate::config::{
     ExecMode, ForwardingPolicy, IssuePolicy, MachineConfig, SchedEngine, SchedulerModel,
 };
-use crate::fault::{FaultConfig, FaultInjector, FaultOutcome};
+use crate::fault::{FaultConfig, FaultConfigError, FaultInjector, FaultOutcome};
 use crate::frontend::{FetchOutcome, FrontEnd};
 use crate::fu::{FuBank, Pool};
 use crate::irb_unit::{reuse_output, IrbUnit};
+use crate::metrics::{
+    HostPhase, HostProfiler, MetricsSink, NullMetrics, WindowCounters, WindowSample,
+};
 use crate::ruu::{Entry, EntryState, ReuseState, Ruu, Stream};
 use crate::sched::{self, Calendar, ReadyQueue};
 use crate::source::{EmulatorSource, InstructionSource};
@@ -106,20 +110,34 @@ impl Simulator {
         }
     }
 
+    /// Enables transient-fault injection, rejecting an invalid
+    /// configuration with the typed [`FaultConfigError`] instead of
+    /// panicking.
+    ///
+    /// # Errors
+    ///
+    /// Fails when [`FaultConfig::validate`] does (a NaN, negative or
+    /// above-one rate).
+    pub fn try_with_faults(mut self, faults: FaultConfig) -> Result<Self, FaultConfigError> {
+        faults.validate()?;
+        self.faults = faults;
+        Ok(self)
+    }
+
     /// Enables transient-fault injection.
     ///
     /// # Panics
     ///
     /// Panics on an invalid configuration
-    /// ([`FaultConfig::validate`]) — CLI layers should validate first
-    /// and report the typed error instead.
+    /// ([`FaultConfig::validate`]) — use
+    /// [`Simulator::try_with_faults`] to get the typed error instead.
+    #[deprecated(note = "use `try_with_faults` and handle the error")]
     #[must_use]
-    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
-        if let Err(e) = faults.validate() {
-            panic!("invalid fault configuration: {e}");
+    pub fn with_faults(self, faults: FaultConfig) -> Self {
+        match self.try_with_faults(faults) {
+            Ok(sim) => sim,
+            Err(e) => panic!("invalid fault configuration: {e}"),
         }
-        self.faults = faults;
-        self
     }
 
     /// Sets a watchdog deadline in simulated cycles. A run that reaches
@@ -202,9 +220,65 @@ impl Simulator {
         source: &mut dyn InstructionSource,
         tracer: &mut dyn Tracer,
     ) -> Result<SimStats, SimError> {
-        let mut m = Machine::new(&self.config, self.mode, self.faults, self.watchdog, tracer);
+        self.run_source_instrumented(
+            source,
+            Instrumentation {
+                tracer,
+                metrics: &mut NullMetrics,
+                profiler: None,
+            },
+        )
+    }
+
+    /// Like [`Simulator::run_program`], with the full observability
+    /// bundle attached (tracer, windowed metrics, host profiler).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulator::run_program`].
+    pub fn run_program_instrumented<'a>(
+        &'a self,
+        program: &Program,
+        instr: Instrumentation<'a>,
+    ) -> Result<SimStats, SimError> {
+        let mut source = EmulatorSource::new(program, self.budget);
+        self.run_source_instrumented(&mut source, instr)
+    }
+
+    /// Runs a committed-path source with the full observability bundle:
+    /// trace events into `instr.tracer`, window samples into
+    /// `instr.metrics` (skipped behind one cached branch when the sink
+    /// reports [`MetricsSink::enabled`] `false`), and — when
+    /// `instr.profiler` is attached — per-phase host wall-clock
+    /// accounting. All three are observationally pure: stats are
+    /// identical whether or not they are attached.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulator::run_program`].
+    pub fn run_source_instrumented<'a>(
+        &'a self,
+        source: &mut dyn InstructionSource,
+        instr: Instrumentation<'a>,
+    ) -> Result<SimStats, SimError> {
+        let mut m = Machine::new(&self.config, self.mode, self.faults, self.watchdog, instr);
         m.run(source)
     }
+}
+
+/// The observability bundle a run can carry: a structured-event tracer,
+/// a windowed-metrics sink, and an optional host-side phase profiler.
+/// Each piece follows the disabled-by-default discipline — a bundle of
+/// [`NullTracer`], [`NullMetrics`] and no profiler costs one
+/// predictable branch per emission site.
+pub struct Instrumentation<'a> {
+    /// Structured pipeline events ([`crate::trace`]).
+    pub tracer: &'a mut dyn Tracer,
+    /// Windowed time-series samples ([`crate::metrics`]).
+    pub metrics: &'a mut dyn MetricsSink,
+    /// Per-phase host wall-clock accounting; `Some` enables the two
+    /// monotonic-clock reads per pipeline stage call.
+    pub profiler: Option<&'a mut HostProfiler>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -272,6 +346,22 @@ struct Machine<'a> {
     /// emission site pays one predictable branch when tracing is off.
     tracer: &'a mut dyn Tracer,
     trace_on: bool,
+    /// The windowed-metrics sink; `metrics_on` caches its `enabled()`
+    /// the same way `trace_on` does, so the per-cycle boundary check is
+    /// one predictable branch when metrics are off.
+    metrics: &'a mut dyn MetricsSink,
+    metrics_on: bool,
+    /// Window width in simulated cycles (>= 1).
+    metrics_window: u64,
+    /// First cycle of the window being accumulated.
+    window_start: u64,
+    /// Index of the window being accumulated.
+    window_index: u64,
+    /// Cumulative counter snapshot at the last window boundary.
+    win_base: WindowCounters,
+    /// Host-side per-phase wall-clock accounting (opt-in: `Some`
+    /// switches the cycle loop to its timed variant).
+    profiler: Option<&'a mut HostProfiler>,
     /// A pair mismatch rewound the head pair this cycle (stall
     /// attribution: the cycle belongs to rewind recovery).
     rewound_this_cycle: bool,
@@ -320,9 +410,16 @@ impl<'a> Machine<'a> {
         mode: ExecMode,
         faults: FaultConfig,
         watchdog: Option<u64>,
-        tracer: &'a mut dyn Tracer,
+        instr: Instrumentation<'a>,
     ) -> Self {
+        let Instrumentation {
+            tracer,
+            metrics,
+            profiler,
+        } = instr;
         let trace_on = tracer.enabled();
+        let metrics_on = metrics.enabled();
+        let metrics_window = metrics.window_cycles().max(1);
         let dup_source_bank = match (mode, cfg.forwarding) {
             // The original DIE forwards strictly within each stream.
             (ExecMode::Die, _) => DUP,
@@ -354,6 +451,13 @@ impl<'a> Machine<'a> {
             watchdog,
             tracer,
             trace_on,
+            metrics,
+            metrics_on,
+            metrics_window,
+            window_start: 0,
+            window_index: 0,
+            win_base: WindowCounters::default(),
+            profiler,
             rewound_this_cycle: false,
             prev_issue_saturated: false,
             stats: SimStats::default(),
@@ -425,11 +529,15 @@ impl<'a> Machine<'a> {
             }
             self.cycle += 1;
             self.begin_cycle();
-            self.commit();
-            self.writeback();
-            self.issue();
-            self.dispatch();
-            self.fetch(source)?;
+            if self.profiler.is_some() {
+                self.run_stages_profiled(source)?;
+            } else {
+                self.commit();
+                self.writeback();
+                self.issue();
+                self.dispatch();
+                self.fetch(source)?;
+            }
             self.stats.ruu_occupancy_sum += self.ruu.len() as u64;
             self.cycles_since_commit += 1;
             if self.cycles_since_commit > 100_000 {
@@ -444,9 +552,103 @@ impl<'a> Machine<'a> {
                 self.stats.watchdog_fired = true;
                 break;
             }
+            if self.metrics_on && self.cycle - self.window_start >= self.metrics_window {
+                self.flush_window();
+            }
+        }
+        // The final window is usually partial (a run rarely ends on a
+        // boundary, and a watchdog break above skips the in-loop
+        // check); flush whatever accumulated so window sums stay equal
+        // to the whole-run totals.
+        if self.metrics_on && self.cycle > self.window_start {
+            self.flush_window();
         }
         self.finalize();
         Ok(std::mem::take(&mut self.stats))
+    }
+
+    /// The five stage calls with two monotonic-clock reads per stage,
+    /// accounting host wall time to [`HostPhase`] buckets. Kept apart
+    /// from the plain path so unprofiled runs pay only the
+    /// `profiler.is_some()` branch.
+    fn run_stages_profiled(&mut self, source: &mut dyn InstructionSource) -> Result<(), SimError> {
+        let t0 = Instant::now();
+        self.commit();
+        let t1 = Instant::now();
+        self.writeback();
+        let t2 = Instant::now();
+        self.issue();
+        let t3 = Instant::now();
+        self.dispatch();
+        let t4 = Instant::now();
+        let fetched = self.fetch(source);
+        let t5 = Instant::now();
+        if let Some(p) = self.profiler.as_mut() {
+            p.add(HostPhase::Commit, t1 - t0);
+            p.add(HostPhase::Writeback, t2 - t1);
+            p.add(HostPhase::Execute, t3 - t2);
+            p.add(HostPhase::Schedule, t4 - t3);
+            p.add(HostPhase::Fetch, t5 - t4);
+            p.cycles += 1;
+        }
+        fetched
+    }
+
+    /// Closes the window `[window_start, cycle)`: computes the exact
+    /// counter deltas against the last boundary snapshot, reads the
+    /// instantaneous ready-set size, and hands the sample to the sink.
+    /// Every read is observational — enabling metrics cannot perturb
+    /// the simulation.
+    fn flush_window(&mut self) {
+        let now = self.cumulative_counters();
+        let counters = now.delta(&self.win_base);
+        let ready_occupancy = self
+            .ruu
+            .iter()
+            .filter(|(_, e)| e.state == EntryState::Ready)
+            .count() as u64;
+        let sample = WindowSample {
+            index: self.window_index,
+            start_cycle: self.window_start,
+            end_cycle: self.cycle,
+            ready_occupancy,
+            counters,
+        };
+        self.metrics.record_window(&sample);
+        self.win_base = now;
+        self.window_start = self.cycle;
+        self.window_index += 1;
+    }
+
+    /// Snapshot of every cumulative counter the window series reports,
+    /// read straight from the live pipeline state `finalize` also
+    /// copies — which is what makes the window-sum conservation exact.
+    fn cumulative_counters(&self) -> WindowCounters {
+        let mut c = WindowCounters {
+            committed_insts: self.stats.committed_insts,
+            committed_copies: self.stats.committed_copies,
+            active_commit_cycles: self.stats.active_commit_cycles,
+            stalls: self.stats.stalls,
+            fu_issues: self.stats.fu_issues,
+            fu_bypasses: self.stats.fu_bypasses,
+            int_alu_busy_cycles: self.fu.busy_cycles(Pool::IntAlu),
+            ruu_occupancy_sum: self.stats.ruu_occupancy_sum,
+            ..WindowCounters::default()
+        };
+        if let Some(irb) = &self.irb {
+            let b = irb.buffer().stats();
+            c.irb_lookups = b.lookups;
+            c.irb_pc_hits = b.pc_hits;
+            c.irb_victim_hits = b.victim_hits;
+            c.irb_inserts = b.inserts;
+            c.irb_conflict_evictions = b.conflict_evictions;
+            let u = irb.stats();
+            c.irb_reuse_passed = u.reuse_passed;
+            c.irb_reuse_failed = u.reuse_failed;
+            c.irb_lookups_port_starved = u.lookups_port_starved;
+            c.irb_inserts_port_starved = u.inserts_port_starved;
+        }
+        c
     }
 
     fn fill_lookahead(&mut self, source: &mut dyn InstructionSource) -> Result<(), SimError> {

@@ -303,10 +303,11 @@ fn fault_free_runs_report_no_faults() {
 fn die_detects_fu_faults_and_recovers() {
     let p = assemble(&serial_chain(400)).unwrap();
     let stats = Simulator::new(MachineConfig::tiny(), ExecMode::Die)
-        .with_faults(FaultConfig {
+        .try_with_faults(FaultConfig {
             fu_rate: 0.02,
             ..FaultConfig::none()
         })
+        .expect("valid fault configuration")
         .run_program(&p)
         .expect("run");
     assert!(stats.faults.injected_fu > 0, "faults must fire");
@@ -324,10 +325,11 @@ fn die_detects_fu_faults_and_recovers() {
 fn sie_suffers_silent_corruption_under_the_same_faults() {
     let p = assemble(&serial_chain(400)).unwrap();
     let stats = Simulator::new(MachineConfig::tiny(), ExecMode::Sie)
-        .with_faults(FaultConfig {
+        .try_with_faults(FaultConfig {
             fu_rate: 0.02,
             ..FaultConfig::none()
         })
+        .expect("valid fault configuration")
         .run_program(&p)
         .expect("run");
     assert!(stats.faults.injected_fu > 0);
@@ -354,11 +356,12 @@ fn irb_strikes_are_detected_at_commit() {
     "#;
     let p = assemble(src).unwrap();
     let stats = Simulator::new(MachineConfig::tiny(), ExecMode::DieIrb)
-        .with_faults(FaultConfig {
+        .try_with_faults(FaultConfig {
             irb_rate: 0.8,
             seed: 42,
             ..FaultConfig::none()
         })
+        .expect("valid fault configuration")
         .run_program(&p)
         .expect("run");
     assert!(stats.faults.injected_irb > 0, "IRB strikes must land");
@@ -377,11 +380,12 @@ fn common_mode_forwarding_faults_escape_primary_to_both() {
     let p = assemble(&serial_chain(300)).unwrap();
     let cfg = MachineConfig::tiny(); // forwarding: PrimaryToBoth
     let stats = Simulator::new(cfg, ExecMode::DieIrb)
-        .with_faults(FaultConfig {
+        .try_with_faults(FaultConfig {
             forward_rate: 0.05,
             seed: 3,
             ..FaultConfig::none()
         })
+        .expect("valid fault configuration")
         .run_program(&p)
         .expect("run");
     assert!(stats.faults.injected_forward > 0);
@@ -398,11 +402,12 @@ fn per_stream_forwarding_faults_are_detected() {
     // one stream only, so the commit comparison catches it.
     let p = assemble(&serial_chain(300)).unwrap();
     let stats = Simulator::new(MachineConfig::tiny(), ExecMode::Die)
-        .with_faults(FaultConfig {
+        .try_with_faults(FaultConfig {
             forward_rate: 0.05,
             seed: 3,
             ..FaultConfig::none()
         })
+        .expect("valid fault configuration")
         .run_program(&p)
         .expect("run");
     assert!(stats.faults.injected_forward > 0);
@@ -882,7 +887,18 @@ fn last_store_map_is_pruned_as_stores_commit() {
     for mode in [ExecMode::Sie, ExecMode::Die] {
         let mut source = EmulatorSource::new(&p, 10_000_000);
         let mut tracer = NullTracer;
-        let mut m = Machine::new(&cfg, mode, FaultConfig::none(), None, &mut tracer);
+        let mut metrics = NullMetrics;
+        let mut m = Machine::new(
+            &cfg,
+            mode,
+            FaultConfig::none(),
+            None,
+            Instrumentation {
+                tracer: &mut tracer,
+                metrics: &mut metrics,
+                profiler: None,
+            },
+        );
         m.run(&mut source).expect("run");
         assert!(
             m.last_store.is_empty(),

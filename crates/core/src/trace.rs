@@ -269,45 +269,35 @@ pub fn chrome_trace(events: &[TraceEvent], dropped: u64) -> Json {
 }
 
 fn render_event(ev: &TraceEvent) -> Json {
-    let mut j = Json::obj()
+    let j = Json::obj()
         .field("name", ev.kind.name())
         .field("cat", ev.kind.category())
         .field("ts", ev.cycle)
         .field("pid", 0u64)
         .field("tid", u64::from(ev.stream));
-    match ev.kind {
+    let j = match ev.kind {
         TraceEventKind::Fetch
         | TraceEventKind::Dispatch
         | TraceEventKind::Issue
         | TraceEventKind::Writeback
-        | TraceEventKind::Commit => {
-            j.set("ph", "X");
-            j.set("dur", 1u64);
-        }
-        TraceEventKind::Execute => {
-            j.set("ph", "X");
-            j.set("dur", ev.arg.max(1));
-        }
-        _ => {
-            j.set("ph", "i");
-            j.set(
-                "s",
-                if ev.kind.category() == "fault" {
-                    "g"
-                } else {
-                    "t"
-                },
-            );
-        }
-    }
-    j.set(
+        | TraceEventKind::Commit => j.field("ph", "X").field("dur", 1u64),
+        TraceEventKind::Execute => j.field("ph", "X").field("dur", ev.arg.max(1)),
+        _ => j.field("ph", "i").field(
+            "s",
+            if ev.kind.category() == "fault" {
+                "g"
+            } else {
+                "t"
+            },
+        ),
+    };
+    j.field(
         "args",
         Json::obj()
             .field("seq", ev.seq)
             .field("pc", format!("{:#x}", ev.pc).as_str())
             .field("arg", ev.arg),
-    );
-    j
+    )
 }
 
 #[cfg(test)]

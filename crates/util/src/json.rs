@@ -25,6 +25,27 @@
 
 use std::fmt;
 
+/// A structural misuse of the [`Json`] mutation API: writing a field
+/// on a non-object or appending to a non-array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JsonTypeError {
+    /// [`Json::set`] was called on a value that is not [`Json::Obj`].
+    NotAnObject,
+    /// [`Json::push`] was called on a value that is not [`Json::Arr`].
+    NotAnArray,
+}
+
+impl fmt::Display for JsonTypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonTypeError::NotAnObject => write!(f, "Json::set on a non-object"),
+            JsonTypeError::NotAnArray => write!(f, "Json::push on a non-array"),
+        }
+    }
+}
+
+impl std::error::Error for JsonTypeError {}
+
 /// A JSON value.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Json {
@@ -53,7 +74,7 @@ impl Json {
         Json::Obj(Vec::new())
     }
 
-    /// An empty array, ready for [`Json::push`] chaining.
+    /// An empty array, ready for [`Json::item`] chaining.
     #[must_use]
     pub fn arr() -> Json {
         Json::Arr(Vec::new())
@@ -63,21 +84,25 @@ impl Json {
     ///
     /// # Panics
     ///
-    /// Panics if `self` is not an object.
+    /// Panics if `self` is not an object; use [`Json::set`] for the
+    /// fallible form.
     #[must_use]
     pub fn field(mut self, key: &str, value: impl Into<Json>) -> Json {
-        self.set(key, value);
+        if let Err(e) = self.set(key, value) {
+            panic!("{e}");
+        }
         self
     }
 
     /// Adds (or replaces) a field on an object, in place.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `self` is not an object.
-    pub fn set(&mut self, key: &str, value: impl Into<Json>) {
+    /// Returns [`JsonTypeError::NotAnObject`] if `self` is not an
+    /// object; the value is unchanged.
+    pub fn set(&mut self, key: &str, value: impl Into<Json>) -> Result<(), JsonTypeError> {
         let Json::Obj(fields) = self else {
-            panic!("Json::set on a non-object");
+            return Err(JsonTypeError::NotAnObject);
         };
         let value = value.into();
         if let Some(slot) = fields.iter_mut().find(|(k, _)| k == key) {
@@ -85,20 +110,35 @@ impl Json {
         } else {
             fields.push((key.to_owned(), value));
         }
+        Ok(())
     }
 
     /// Appends an element to an array, builder style.
     ///
     /// # Panics
     ///
-    /// Panics if `self` is not an array.
+    /// Panics if `self` is not an array; use [`Json::push`] for the
+    /// fallible form.
     #[must_use]
-    pub fn push(mut self, value: impl Into<Json>) -> Json {
-        let Json::Arr(items) = &mut self else {
-            panic!("Json::push on a non-array");
+    pub fn item(mut self, value: impl Into<Json>) -> Json {
+        if let Err(e) = self.push(value) {
+            panic!("{e}");
+        }
+        self
+    }
+
+    /// Appends an element to an array, in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonTypeError::NotAnArray`] if `self` is not an
+    /// array; the value is unchanged.
+    pub fn push(&mut self, value: impl Into<Json>) -> Result<(), JsonTypeError> {
+        let Json::Arr(items) = self else {
+            return Err(JsonTypeError::NotAnArray);
         };
         items.push(value.into());
-        self
+        Ok(())
     }
 
     /// Looks a field up on an object (test convenience).
@@ -554,9 +594,31 @@ mod tests {
     #[test]
     fn arrays_nest() {
         let j = Json::arr()
-            .push(Json::from_iter([1i64, 2]))
-            .push(Json::obj().field("k", "v"));
+            .item(Json::from_iter([1i64, 2]))
+            .item(Json::obj().field("k", "v"));
         assert_eq!(j.to_string(), r#"[[1,2],{"k":"v"}]"#);
+    }
+
+    #[test]
+    fn set_on_a_non_object_is_a_typed_error() {
+        let mut j = Json::arr();
+        assert_eq!(j.set("k", 1i64), Err(JsonTypeError::NotAnObject));
+        assert_eq!(j, Json::arr(), "failed set leaves the value unchanged");
+        assert_eq!(
+            JsonTypeError::NotAnObject.to_string(),
+            "Json::set on a non-object"
+        );
+    }
+
+    #[test]
+    fn push_on_a_non_array_is_a_typed_error() {
+        let mut j = Json::obj();
+        assert_eq!(j.push(1i64), Err(JsonTypeError::NotAnArray));
+        assert_eq!(j, Json::obj(), "failed push leaves the value unchanged");
+        assert_eq!(
+            JsonTypeError::NotAnArray.to_string(),
+            "Json::push on a non-array"
+        );
     }
 
     #[test]

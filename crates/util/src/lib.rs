@@ -28,6 +28,6 @@ pub mod rng;
 pub mod timer;
 
 pub use hash::FxHashMap;
-pub use json::{Json, JsonParseError};
+pub use json::{Json, JsonParseError, JsonTypeError};
 pub use rng::{Rng, SplitMix64};
 pub use timer::{bench, BenchResult};

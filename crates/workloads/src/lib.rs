@@ -53,7 +53,46 @@ mod kernels;
 pub mod mix;
 
 use redsim_isa::asm::assemble;
+use redsim_isa::trace::DynInst;
 use redsim_isa::{AsmError, Program};
+
+/// A workload instance that failed to materialize. Either outcome is a
+/// bug in a kernel generator (the suite assembles and halts every
+/// kernel), but harnesses must surface it as a structured per-job error
+/// instead of tearing down a whole sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkloadError {
+    /// The generated kernel source failed to assemble.
+    Build {
+        /// The workload's short name.
+        workload: &'static str,
+        /// The assembler's message.
+        message: String,
+    },
+    /// Functional execution failed (bad memory access, budget
+    /// exhausted before `halt`).
+    Run {
+        /// The workload's short name.
+        workload: &'static str,
+        /// The emulator's message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkloadError::Build { workload, message } => {
+                write!(f, "workload {workload} failed to assemble: {message}")
+            }
+            WorkloadError::Run { workload, message } => {
+                write!(f, "workload {workload} failed to execute: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
 
 /// Problem-size and seeding knobs for a workload instance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -182,6 +221,27 @@ impl Workload {
         assemble(&self.source(params))
     }
 
+    /// Materializes the kernel's committed-path trace: assembles the
+    /// generated source and runs the functional emulator to `halt`
+    /// within `budget` instructions.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadError`] when assembly or functional execution fails —
+    /// a structured error harnesses can attach to the affected jobs
+    /// instead of panicking.
+    pub fn trace(self, params: Params, budget: u64) -> Result<Vec<DynInst>, WorkloadError> {
+        let program = self.program(params).map_err(|e| WorkloadError::Build {
+            workload: self.name(),
+            message: e.to_string(),
+        })?;
+        let mut emu = redsim_isa::emu::Emulator::new(&program);
+        emu.run_trace(budget).map_err(|e| WorkloadError::Run {
+            workload: self.name(),
+            message: e.to_string(),
+        })
+    }
+
     /// A sub-second instance for unit tests (~tens of thousands of
     /// dynamic instructions).
     #[must_use]
@@ -274,6 +334,25 @@ mod tests {
             e.run(50_000_000).unwrap()
         };
         assert!(run_len(2) > run_len(1));
+    }
+
+    #[test]
+    fn trace_reports_structured_errors() {
+        let w = Workload::Gzip;
+        let t = w.trace(w.tiny_params(), 20_000_000).expect("trace builds");
+        assert!(!t.is_empty());
+        let err = w.trace(w.tiny_params(), 10).expect_err("budget too small");
+        assert!(
+            matches!(
+                err,
+                WorkloadError::Run {
+                    workload: "gzip",
+                    ..
+                }
+            ),
+            "unexpected error: {err:?}"
+        );
+        assert!(err.to_string().contains("gzip"));
     }
 
     #[test]

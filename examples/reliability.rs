@@ -23,14 +23,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..FaultConfig::none()
     };
     let sie = Simulator::new(cfg.clone(), ExecMode::Sie)
-        .with_faults(fu)
+        .try_with_faults(fu)
+        .expect("valid fault configuration")
         .run_program(&program)?;
     println!(
         "SIE     / FU strikes : {} injected, {} silently corrupted commits, 0 detected",
         sie.faults.injected_fu, sie.faults.silent_sie
     );
     let die = Simulator::new(cfg.clone(), ExecMode::Die)
-        .with_faults(fu)
+        .try_with_faults(fu)
+        .expect("valid fault configuration")
         .run_program(&program)?;
     println!(
         "DIE     / FU strikes : {} injected, {} detected at commit ({} rewinds), {} escaped",
@@ -45,7 +47,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..FaultConfig::none()
     };
     let die_irb = Simulator::new(cfg.clone(), ExecMode::DieIrb)
-        .with_faults(irb)
+        .try_with_faults(irb)
+        .expect("valid fault configuration")
         .run_program(&program)?;
     println!(
         "DIE-IRB / IRB strikes: {} landed on live entries, {} reached commit and were detected",
@@ -62,12 +65,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..FaultConfig::none()
     };
     let shared = Simulator::new(cfg.clone(), ExecMode::DieIrb)
-        .with_faults(bus)
+        .try_with_faults(bus)
+        .expect("valid fault configuration")
         .run_program(&program)?;
     let mut per_stream_cfg = cfg;
     per_stream_cfg.forwarding = ForwardingPolicy::PerStream;
     let split = Simulator::new(per_stream_cfg, ExecMode::Die)
-        .with_faults(bus)
+        .try_with_faults(bus)
+        .expect("valid fault configuration")
         .run_program(&program)?;
     // One bus strike can corrupt several waiting consumers, so the
     // detected/escaped counts (per corrupted instruction) can exceed

@@ -67,6 +67,55 @@ bench_smoke() {
             exit 1
         fi
     done
+
+    # The regression gate itself: a summary diffed against itself is
+    # clean (exit 0), and a synthetic +10% slowdown must trip the
+    # default 5% geomean threshold (exit 1).
+    echo "==> redsim-bench diff regression-gate smoke"
+    local diff_bin=target/release/redsim-bench
+    local slow="$PWD/target/BENCH_simulator.quick.slow.json"
+    run "$diff_bin" diff "$out" "$out"
+    run "$diff_bin" perturb "$out" "$slow" --factor 1.10
+    local rc=0
+    "$diff_bin" diff "$out" "$slow" || rc=$?
+    if [ "$rc" -ne 1 ]; then
+        echo "FAIL: a +10% perturbation must exit 1, got $rc" >&2
+        exit 1
+    fi
+}
+
+metrics_smoke() {
+    # The windowed-metrics path end-to-end: a quick DIE-IRB run with
+    # --metrics-out/--metrics-prom must produce a JSONL series whose
+    # windows tile the run and a Prometheus exposition of the registry.
+    echo "==> redsim-sim --metrics-out windowed time-series smoke"
+    local out=target/metrics-smoke.jsonl
+    local prom=target/metrics-smoke.prom
+    run target/release/redsim-sim --workload gzip --scale 1 \
+        --mode die-irb --metrics-window 1000 \
+        --metrics-out "$out" --metrics-prom "$prom" >/dev/null
+    if command -v python3 >/dev/null 2>&1; then
+        python3 - "$out" <<'EOF'
+import json, sys
+windows = [json.loads(l) for l in open(sys.argv[1])]
+assert windows, "metrics dump has no windows"
+edge = 0
+for i, w in enumerate(windows):
+    assert w["window"] == i, f"window {i} has index {w['window']}"
+    assert w["start_cycle"] == edge, f"window {i} leaves a gap"
+    assert w["end_cycle"] > w["start_cycle"], f"window {i} is empty"
+    edge = w["end_cycle"]
+assert any(w["irb"]["lookups"] > 0 for w in windows), "DIE-IRB run never touched the IRB"
+assert all("milli_ipc" in w and "stalls" in w for w in windows)
+EOF
+    else
+        grep -q '"window":0,' "$out" || {
+            echo "FAIL: $out is missing window 0" >&2; exit 1; }
+    fi
+    grep -q '^# HELP redsim_cycles_total ' "$prom" || {
+        echo "FAIL: $prom is not a Prometheus exposition" >&2; exit 1; }
+    grep -q '^redsim_window_milli_ipc_count ' "$prom" || {
+        echo "FAIL: $prom is missing the IPC histogram" >&2; exit 1; }
 }
 
 trace_smoke() {
@@ -156,6 +205,12 @@ if [ "${1:-}" = "trace-smoke" ]; then
     exit 0
 fi
 
+if [ "${1:-}" = "metrics-smoke" ]; then
+    metrics_smoke
+    echo "OK: metrics smoke passed"
+    exit 0
+fi
+
 run cargo fmt --all -- --check
 run cargo clippy --offline --workspace --all-targets -- -D warnings
 run env RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps
@@ -163,6 +218,7 @@ run cargo build --offline --release --workspace
 run cargo test --offline --workspace -q
 figure_smoke
 trace_smoke
+metrics_smoke
 campaign_smoke
 bench_smoke
 

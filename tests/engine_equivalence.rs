@@ -145,11 +145,13 @@ fn both_engines(
     let mut event = cfg.clone();
     event.engine = SchedEngine::EventDriven;
     let ev = Simulator::new(event, mode)
-        .with_faults(faults)
+        .try_with_faults(faults)
+        .expect("valid fault configuration")
         .run_program(program)
         .expect("event-driven run");
     let sc = Simulator::new(scan, mode)
-        .with_faults(faults)
+        .try_with_faults(faults)
+        .expect("valid fault configuration")
         .run_program(program)
         .expect("scan-reference run");
     (ev, sc)

@@ -15,11 +15,12 @@ fn die_detects_fu_faults_on_real_workloads_and_still_completes() {
             .run_program(&program)
             .unwrap();
         let faulty = Simulator::new(cfg(), ExecMode::Die)
-            .with_faults(FaultConfig {
+            .try_with_faults(FaultConfig {
                 fu_rate: 1e-4,
                 seed: 5,
                 ..FaultConfig::none()
             })
+            .expect("valid fault configuration")
             .run_program(&program)
             .unwrap();
         assert!(faulty.faults.injected_fu > 0, "{w}");
@@ -40,11 +41,12 @@ fn fu_fault_coverage_is_complete_under_die() {
     let w = Workload::Vortex;
     let program = w.program(w.tiny_params()).unwrap();
     let s = Simulator::new(cfg(), ExecMode::Die)
-        .with_faults(FaultConfig {
+        .try_with_faults(FaultConfig {
             fu_rate: 5e-4,
             seed: 23,
             ..FaultConfig::none()
         })
+        .expect("valid fault configuration")
         .run_program(&program)
         .unwrap();
     assert!(s.faults.injected_fu > 10);
@@ -60,11 +62,12 @@ fn unprotected_irb_is_covered_by_the_sphere_of_replication() {
     let w = Workload::Parser; // high reuse: strikes actually get consumed
     let program = w.program(w.tiny_params()).unwrap();
     let s = Simulator::new(cfg(), ExecMode::DieIrb)
-        .with_faults(FaultConfig {
+        .try_with_faults(FaultConfig {
             irb_rate: 0.05,
             seed: 31,
             ..FaultConfig::none()
         })
+        .expect("valid fault configuration")
         .run_program(&program)
         .unwrap();
     assert!(s.faults.injected_irb > 0);
@@ -89,7 +92,8 @@ fn shared_forwarding_is_the_acknowledged_escape_path() {
     };
     // Figure 6(c): shared forwarding -> common-mode corruption escapes.
     let shared = Simulator::new(cfg(), ExecMode::DieIrb)
-        .with_faults(fc)
+        .try_with_faults(fc)
+        .expect("valid fault configuration")
         .run_program(&program)
         .unwrap();
     assert!(shared.faults.injected_forward > 0);
@@ -99,7 +103,8 @@ fn shared_forwarding_is_the_acknowledged_escape_path() {
     let mut ps = cfg();
     ps.forwarding = ForwardingPolicy::PerStream;
     let split = Simulator::new(ps, ExecMode::Die)
-        .with_faults(fc)
+        .try_with_faults(fc)
+        .expect("valid fault configuration")
         .run_program(&program)
         .unwrap();
     assert!(split.faults.injected_forward > 0);
@@ -111,11 +116,12 @@ fn sie_has_zero_detection_by_construction() {
     let w = Workload::Bzip2;
     let program = w.program(w.tiny_params()).unwrap();
     let s = Simulator::new(cfg(), ExecMode::Sie)
-        .with_faults(FaultConfig {
+        .try_with_faults(FaultConfig {
             fu_rate: 1e-4,
             seed: 3,
             ..FaultConfig::none()
         })
+        .expect("valid fault configuration")
         .run_program(&program)
         .unwrap();
     assert!(s.faults.injected_fu > 0);
@@ -133,11 +139,12 @@ fn lifecycle_detection_carries_latency_and_recovery_cost() {
     let program = w.program(w.tiny_params()).unwrap();
     let machine = cfg();
     let s = Simulator::new(machine.clone(), ExecMode::Die)
-        .with_faults(FaultConfig {
+        .try_with_faults(FaultConfig {
             fu_rate: 2e-4,
             seed: 5,
             ..FaultConfig::none()
         })
+        .expect("valid fault configuration")
         .run_program(&program)
         .unwrap();
     let l = s.fault_lifecycle;
@@ -174,11 +181,12 @@ fn lifecycle_classifies_sie_and_shared_bus_corruption_as_silent() {
     let w = Workload::Bzip2;
     let program = w.program(w.tiny_params()).unwrap();
     let s = Simulator::new(cfg(), ExecMode::Sie)
-        .with_faults(FaultConfig {
+        .try_with_faults(FaultConfig {
             fu_rate: 1e-4,
             seed: 3,
             ..FaultConfig::none()
         })
+        .expect("valid fault configuration")
         .run_program(&program)
         .unwrap();
     let l = s.fault_lifecycle;
@@ -192,11 +200,12 @@ fn lifecycle_classifies_sie_and_shared_bus_corruption_as_silent() {
     let w = Workload::Gzip;
     let program = w.program(w.tiny_params()).unwrap();
     let s = Simulator::new(cfg(), ExecMode::DieIrb)
-        .with_faults(FaultConfig {
+        .try_with_faults(FaultConfig {
             forward_rate: 2e-4,
             seed: 41,
             ..FaultConfig::none()
         })
+        .expect("valid fault configuration")
         .run_program(&program)
         .unwrap();
     let l = s.fault_lifecycle;
@@ -216,11 +225,12 @@ fn watchdog_classifies_a_detection_livelock_as_hang() {
     let program = w.program(w.tiny_params()).unwrap();
     let s = Simulator::new(cfg(), ExecMode::Die)
         .with_watchdog(20_000)
-        .with_faults(FaultConfig {
+        .try_with_faults(FaultConfig {
             fu_rate: 1.0,
             seed: 7,
             ..FaultConfig::none()
         })
+        .expect("valid fault configuration")
         .run_program(&program)
         .unwrap();
     assert!(s.watchdog_fired);
@@ -257,12 +267,13 @@ fn fault_runs_are_deterministic_per_seed() {
     let program = w.program(w.tiny_params()).unwrap();
     let go = |seed| {
         Simulator::new(cfg(), ExecMode::DieIrb)
-            .with_faults(FaultConfig {
+            .try_with_faults(FaultConfig {
                 fu_rate: 1e-4,
                 irb_rate: 0.01,
                 forward_rate: 1e-5,
                 seed,
             })
+            .expect("valid fault configuration")
             .run_program(&program)
             .unwrap()
     };

@@ -1,0 +1,330 @@
+//! Generative metrics-conservation invariants: the windowed time series
+//! is an exact partition of the run. Summing every window's counters
+//! must reproduce the final [`SimStats`] counter for counter, the
+//! windows must tile the cycle axis without gaps or overlaps, and
+//! attaching the collector must not perturb the simulation — on both
+//! scheduling engines, in every execution mode, with and without fault
+//! injection, and across a watchdog cut.
+//!
+//! Program generation mirrors `stall_attribution.rs` (straight-line
+//! code with forward-only branches from a fixed-seed generator, so
+//! everything terminates and failing cases replay exactly).
+
+use redsim::core::{
+    ExecMode, FaultConfig, Instrumentation, MachineConfig, MetricsCollector, NullTracer,
+    SchedEngine, SimStats, Simulator, WindowCounters, WindowSample,
+};
+use redsim::isa::{Inst, IntReg, Opcode, Program, ProgramBuilder};
+use redsim_util::Rng;
+
+#[derive(Debug, Clone)]
+enum Gen {
+    AluRrr(u8, u8, u8, u8),
+    AluRri(u8, u8, u8, i16),
+    Li(u8, i32),
+    MulDiv(u8, u8, u8, u8),
+    Load(u8, u16),
+    Store(u8, u16),
+    Branch(u8, u8, u8, u8),
+}
+
+const RRR_OPS: [Opcode; 6] = [
+    Opcode::Add,
+    Opcode::Sub,
+    Opcode::And,
+    Opcode::Or,
+    Opcode::Xor,
+    Opcode::Slt,
+];
+const RRI_OPS: [Opcode; 4] = [Opcode::Addi, Opcode::Andi, Opcode::Ori, Opcode::Xori];
+const MD_OPS: [Opcode; 4] = [Opcode::Mul, Opcode::Mulh, Opcode::Div, Opcode::Rem];
+const BR_OPS: [Opcode; 4] = [Opcode::Beq, Opcode::Bne, Opcode::Blt, Opcode::Bgeu];
+
+fn reg(sel: u8) -> IntReg {
+    IntReg::new(5 + sel % 20)
+}
+
+fn gen_step(rng: &mut Rng) -> Gen {
+    match rng.index(7) {
+        0 => Gen::AluRrr(rng.any_u8(), rng.any_u8(), rng.any_u8(), rng.any_u8()),
+        1 => Gen::AluRri(rng.any_u8(), rng.any_u8(), rng.any_u8(), rng.any_i16()),
+        2 => Gen::Li(rng.any_u8(), rng.any_i32()),
+        3 => Gen::MulDiv(rng.any_u8(), rng.any_u8(), rng.any_u8(), rng.any_u8()),
+        4 => Gen::Load(rng.any_u8(), rng.next_u64() as u16),
+        5 => Gen::Store(rng.any_u8(), rng.next_u64() as u16),
+        _ => Gen::Branch(
+            rng.any_u8(),
+            rng.any_u8(),
+            rng.any_u8(),
+            rng.range_u64(1, 12) as u8,
+        ),
+    }
+}
+
+fn gen_program(rng: &mut Rng, lo: u64, hi: u64) -> Program {
+    let steps: Vec<Gen> = (0..rng.range_u64(lo, hi)).map(|_| gen_step(rng)).collect();
+    let mut b = ProgramBuilder::new();
+    let buf = b.data_space(2048);
+    let base = IntReg::new(28);
+    b = b.inst(Inst::li(base, buf as i32));
+    for i in 0..8u8 {
+        b = b.inst(Inst::li(reg(i), i32::from(i) * 77 - 100));
+    }
+    for (idx, g) in steps.iter().enumerate() {
+        let inst = match g {
+            Gen::AluRrr(o, a, x, y) => Inst::rrr(
+                RRR_OPS[*o as usize % RRR_OPS.len()],
+                reg(*a),
+                reg(*x),
+                reg(*y),
+            ),
+            Gen::AluRri(o, a, x, i) => Inst::rri(
+                RRI_OPS[*o as usize % RRI_OPS.len()],
+                reg(*a),
+                reg(*x),
+                i32::from(*i),
+            ),
+            Gen::Li(a, i) => Inst::li(reg(*a), *i),
+            Gen::MulDiv(o, a, x, y) => Inst::rrr(
+                MD_OPS[*o as usize % MD_OPS.len()],
+                reg(*a),
+                reg(*x),
+                reg(*y),
+            ),
+            Gen::Load(a, off) => {
+                Inst::load_int(Opcode::Ld, reg(*a), base, i32::from(off % 2048 / 8 * 8))
+            }
+            Gen::Store(a, off) => {
+                Inst::store_int(Opcode::Sd, reg(*a), base, i32::from(off % 2048 / 8 * 8))
+            }
+            Gen::Branch(o, a, x, skip) => {
+                let remaining = steps.len() - idx - 1;
+                let skip = (*skip as usize).min(remaining) as i32;
+                Inst::branch(
+                    BR_OPS[*o as usize % BR_OPS.len()],
+                    reg(*a),
+                    reg(*x),
+                    (skip + 1) * 8,
+                )
+            }
+        };
+        b = b.inst(inst);
+    }
+    b.inst(Inst::halt()).build()
+}
+
+const ALL_MODES: [ExecMode; 5] = [
+    ExecMode::Sie,
+    ExecMode::Die,
+    ExecMode::DieIrb,
+    ExecMode::SieIrb,
+    ExecMode::DieCluster,
+];
+
+const BOTH_ENGINES: [SchedEngine; 2] = [SchedEngine::EventDriven, SchedEngine::ScanReference];
+
+/// A deliberately small window so short generated programs still span
+/// several windows plus a final partial one.
+const WINDOW: u64 = 64;
+
+fn run_windowed(
+    program: &Program,
+    engine: SchedEngine,
+    mode: ExecMode,
+    faults: FaultConfig,
+    watchdog: Option<u64>,
+) -> (SimStats, Vec<WindowSample>) {
+    let mut cfg = MachineConfig::tiny();
+    cfg.engine = engine;
+    let mut sim = Simulator::new(cfg, mode)
+        .try_with_faults(faults)
+        .expect("valid fault configuration");
+    if let Some(w) = watchdog {
+        sim = sim.with_watchdog(w);
+    }
+    let mut collector = MetricsCollector::new(WINDOW);
+    let mut tracer = NullTracer;
+    let stats = sim
+        .run_program_instrumented(
+            program,
+            Instrumentation {
+                tracer: &mut tracer,
+                metrics: &mut collector,
+                profiler: None,
+            },
+        )
+        .expect("run completes");
+    (stats, collector.into_samples())
+}
+
+/// The slice of the final stats a window series can be checked against:
+/// every field of [`WindowCounters`] has an exact cumulative mirror.
+fn counters_of(s: &SimStats) -> WindowCounters {
+    WindowCounters {
+        committed_insts: s.committed_insts,
+        committed_copies: s.committed_copies,
+        active_commit_cycles: s.active_commit_cycles,
+        stalls: s.stalls,
+        fu_issues: s.fu_issues,
+        fu_bypasses: s.fu_bypasses,
+        int_alu_busy_cycles: s.int_alu_busy_cycles,
+        ruu_occupancy_sum: s.ruu_occupancy_sum,
+        irb_lookups: s.irb.buffer.lookups,
+        irb_pc_hits: s.irb.buffer.pc_hits,
+        irb_victim_hits: s.irb.buffer.victim_hits,
+        irb_inserts: s.irb.buffer.inserts,
+        irb_conflict_evictions: s.irb.buffer.conflict_evictions,
+        irb_reuse_passed: s.irb.reuse_passed,
+        irb_reuse_failed: s.irb.reuse_failed,
+        irb_lookups_port_starved: s.irb.lookups_port_starved,
+        irb_inserts_port_starved: s.irb.inserts_port_starved,
+    }
+}
+
+/// Asserts the series is an exact partition: contiguous half-open
+/// windows starting at cycle 0 and ending at `stats.cycles`, whose
+/// counters sum to the final totals.
+fn assert_conserves(stats: &SimStats, windows: &[WindowSample], ctx: &str) {
+    assert!(!windows.is_empty(), "{ctx}: a real run produces windows");
+    let mut expected_start = 0u64;
+    let mut sum = WindowCounters::default();
+    for (i, w) in windows.iter().enumerate() {
+        assert_eq!(w.index, i as u64, "{ctx}: window indices are dense");
+        assert_eq!(
+            w.start_cycle, expected_start,
+            "{ctx}: window {i} starts where its predecessor ended"
+        );
+        assert!(
+            w.end_cycle > w.start_cycle,
+            "{ctx}: window {i} is non-empty"
+        );
+        assert!(
+            w.cycles() <= WINDOW,
+            "{ctx}: window {i} spans at most the configured width"
+        );
+        expected_start = w.end_cycle;
+        sum.add(&w.counters);
+    }
+    assert_eq!(
+        expected_start, stats.cycles,
+        "{ctx}: the last window closes at the final cycle"
+    );
+    assert_eq!(
+        sum,
+        counters_of(stats),
+        "{ctx}: window sums must reproduce the final stats counters"
+    );
+}
+
+#[test]
+fn window_sums_match_final_stats_in_every_mode_on_both_engines() {
+    let mut rng = Rng::new(0x3E7_0001);
+    for case in 0..10u64 {
+        let program = gen_program(&mut rng, 5, 120);
+        for engine in BOTH_ENGINES {
+            for mode in ALL_MODES {
+                let ctx = format!("case {case} {engine:?} {mode:?}");
+                let (stats, windows) =
+                    run_windowed(&program, engine, mode, FaultConfig::none(), None);
+                assert_conserves(&stats, &windows, &ctx);
+            }
+        }
+    }
+}
+
+#[test]
+fn collecting_metrics_is_observationally_pure() {
+    // A metrics-enabled run must produce the exact stats of a bare run:
+    // the collector only ever reads counter deltas at window edges.
+    let mut rng = Rng::new(0x3E7_0002);
+    for case in 0..6u64 {
+        let program = gen_program(&mut rng, 20, 120);
+        for engine in BOTH_ENGINES {
+            for mode in ALL_MODES {
+                let mut cfg = MachineConfig::tiny();
+                cfg.engine = engine;
+                let bare = Simulator::new(cfg, mode)
+                    .run_program(&program)
+                    .expect("bare run");
+                let (windowed, _) = run_windowed(&program, engine, mode, FaultConfig::none(), None);
+                assert_eq!(
+                    bare, windowed,
+                    "case {case} {engine:?} {mode:?}: metrics changed the stats"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn engines_emit_identical_window_series() {
+    // The windows read pipeline state the engines keep bit-identical,
+    // so the series — not just the totals — must match sample for
+    // sample.
+    let mut rng = Rng::new(0x3E7_0003);
+    for case in 0..6u64 {
+        let program = gen_program(&mut rng, 10, 120);
+        for mode in ALL_MODES {
+            let (_, ev) = run_windowed(
+                &program,
+                SchedEngine::EventDriven,
+                mode,
+                FaultConfig::none(),
+                None,
+            );
+            let (_, sc) = run_windowed(
+                &program,
+                SchedEngine::ScanReference,
+                mode,
+                FaultConfig::none(),
+                None,
+            );
+            assert_eq!(ev, sc, "case {case} {mode:?}");
+        }
+    }
+}
+
+#[test]
+fn conservation_survives_fault_injection_and_rewinds() {
+    let mut rng = Rng::new(0x3E7_0004);
+    let faults = FaultConfig {
+        fu_rate: 0.02,
+        forward_rate: 0.01,
+        irb_rate: 0.005,
+        seed: 0xFA19,
+    };
+    let mut mismatches = 0u64;
+    for case in 0..6u64 {
+        let program = gen_program(&mut rng, 20, 120);
+        for engine in BOTH_ENGINES {
+            for mode in [ExecMode::Die, ExecMode::DieIrb, ExecMode::DieCluster] {
+                let ctx = format!("case {case} {engine:?} {mode:?}");
+                let (stats, windows) = run_windowed(&program, engine, mode, faults, None);
+                assert_conserves(&stats, &windows, &ctx);
+                mismatches += stats.pair_mismatches;
+            }
+        }
+    }
+    assert!(mismatches > 0, "the fault rates must provoke mismatches");
+}
+
+#[test]
+fn a_watchdog_cut_still_flushes_an_exact_partial_window() {
+    // A watchdog-cut run stops mid-window; the post-loop flush must
+    // still close the series exactly at the cut cycle.
+    let mut rng = Rng::new(0x3E7_0005);
+    let faults = FaultConfig {
+        fu_rate: 1.0,
+        seed: 3,
+        ..FaultConfig::none()
+    };
+    let program = gen_program(&mut rng, 40, 120);
+    for engine in BOTH_ENGINES {
+        let (stats, windows) = run_windowed(&program, engine, ExecMode::Die, faults, Some(3_000));
+        assert!(
+            stats.watchdog_fired,
+            "{engine:?}: fu_rate 1.0 must livelock"
+        );
+        assert_conserves(&stats, &windows, &format!("{engine:?} watchdog"));
+    }
+}

@@ -131,7 +131,9 @@ fn run_one(
 ) -> SimStats {
     let mut cfg = MachineConfig::tiny();
     cfg.engine = engine;
-    let mut sim = Simulator::new(cfg, mode).with_faults(faults);
+    let mut sim = Simulator::new(cfg, mode)
+        .try_with_faults(faults)
+        .expect("valid fault configuration");
     if let Some(w) = watchdog {
         sim = sim.with_watchdog(w);
     }
