@@ -28,26 +28,37 @@ use redsim_workloads::Workload;
 
 /// Minimum iteration time of the scan-based scheduler (the pre-event-
 /// driven seed of this repo) on the same five cases, in milliseconds.
-/// Recorded on the reference container with `bench(2, 10)`; the paired
-/// names must match the `case` names produced by
-/// [`simulation_throughput`].
+/// Recorded on the reference container with `bench(2, 10)`; keyed by
+/// the stable `case_id`s produced by [`simulation_throughput`], so the
+/// pairing survives display renames.
 const SCAN_BASELINE_MS: [(&str, f64); 5] = [
-    ("simulator/Sie_gzip_tiny", 12.09),
-    ("simulator/Die_gzip_tiny", 21.00),
-    ("simulator/DieIrb_gzip_tiny", 39.71),
-    ("simulator/Die_gzip_tiny_2xruu", 23.26),
-    ("simulator/DieIrb_gzip_tiny_2xruu", 49.82),
+    ("sim.sie.gzip.tiny", 12.09),
+    ("sim.die.gzip.tiny", 21.00),
+    ("sim.die-irb.gzip.tiny", 39.71),
+    ("sim.die.gzip.tiny.2xruu", 23.26),
+    ("sim.die-irb.gzip.tiny.2xruu", 49.82),
 ];
 
 struct Case {
+    /// Stable machine identity, carried as `case_id` in the summary:
+    /// `redsim-bench diff` matches on it, so display names can be
+    /// reworded without old/new summaries failing to pair up.
+    id: &'static str,
     name: String,
     result: BenchResult,
     elements: Option<u64>,
 }
 
-fn record(cases: &mut Vec<Case>, name: &str, result: BenchResult, elements: Option<u64>) {
+fn record(
+    cases: &mut Vec<Case>,
+    id: &'static str,
+    name: &str,
+    result: BenchResult,
+    elements: Option<u64>,
+) {
     println!("{}", result.report(name, elements));
     cases.push(Case {
+        id,
         name: name.to_owned(),
         result,
         elements,
@@ -65,7 +76,7 @@ fn emulator_throughput(cases: &mut Vec<Case>, iters: (u32, u32)) {
         let mut e = redsim_isa::emu::Emulator::new(&program);
         black_box(e.run(100_000_000).unwrap())
     });
-    record(cases, "emulator/gzip_tiny", r, Some(len));
+    record(cases, "emu.gzip.tiny", "emulator/gzip_tiny", r, Some(len));
 }
 
 fn simulation_throughput(cases: &mut Vec<Case>, iters: (u32, u32)) {
@@ -75,7 +86,11 @@ fn simulation_throughput(cases: &mut Vec<Case>, iters: (u32, u32)) {
         .run_trace(100_000_000)
         .unwrap();
     let cfg = MachineConfig::paper_baseline();
-    for mode in [ExecMode::Sie, ExecMode::Die, ExecMode::DieIrb] {
+    for (mode, id) in [
+        (ExecMode::Sie, "sim.sie.gzip.tiny"),
+        (ExecMode::Die, "sim.die.gzip.tiny"),
+        (ExecMode::DieIrb, "sim.die-irb.gzip.tiny"),
+    ] {
         let r = bench(iters.0, iters.1, || {
             let mut src = SliceSource::new(&trace);
             black_box(
@@ -86,13 +101,17 @@ fn simulation_throughput(cases: &mut Vec<Case>, iters: (u32, u32)) {
         });
         record(
             cases,
+            id,
             &format!("simulator/{mode:?}_gzip_tiny"),
             r,
             Some(trace.len() as u64),
         );
     }
     let big = MachineConfig::paper_baseline().with_double_ruu();
-    for mode in [ExecMode::Die, ExecMode::DieIrb] {
+    for (mode, id) in [
+        (ExecMode::Die, "sim.die.gzip.tiny.2xruu"),
+        (ExecMode::DieIrb, "sim.die-irb.gzip.tiny.2xruu"),
+    ] {
         let r = bench(iters.0, iters.1, || {
             let mut src = SliceSource::new(&trace);
             black_box(
@@ -103,6 +122,7 @@ fn simulation_throughput(cases: &mut Vec<Case>, iters: (u32, u32)) {
         });
         record(
             cases,
+            id,
             &format!("simulator/{mode:?}_gzip_tiny_2xruu"),
             r,
             Some(trace.len() as u64),
@@ -125,7 +145,13 @@ fn irb_operations(cases: &mut Vec<Case>, iters: (u32, u32)) {
             black_box(irb.lookup(pc.wrapping_sub(64)));
         }
     });
-    record(cases, "irb/lookup_insert_1024dm (x1000)", r, None);
+    record(
+        cases,
+        "irb.lookup-insert.1024dm",
+        "irb/lookup_insert_1024dm (x1000)",
+        r,
+        None,
+    );
 }
 
 fn cache_accesses(cases: &mut Vec<Case>, iters: (u32, u32)) {
@@ -137,7 +163,13 @@ fn cache_accesses(cases: &mut Vec<Case>, iters: (u32, u32)) {
             black_box(h.read_data(addr));
         }
     });
-    record(cases, "cache/hierarchy_streaming (x1000)", r, None);
+    record(
+        cases,
+        "cache.hierarchy.streaming",
+        "cache/hierarchy_streaming (x1000)",
+        r,
+        None,
+    );
 }
 
 fn predictor_updates(cases: &mut Vec<Case>, iters: (u32, u32)) {
@@ -151,7 +183,13 @@ fn predictor_updates(cases: &mut Vec<Case>, iters: (u32, u32)) {
             black_box(p.predict(pc));
         }
     });
-    record(cases, "predictor/bimodal_train_predict (x1000)", r, None);
+    record(
+        cases,
+        "predictor.bimodal.train-predict",
+        "predictor/bimodal_train_predict (x1000)",
+        r,
+        None,
+    );
 }
 
 /// One instrumented (untimed) DIE-IRB run with the host profiler
@@ -181,10 +219,10 @@ fn host_phase_profile() -> Json {
     prof.to_json()
 }
 
-fn baseline_ms(name: &str) -> Option<f64> {
+fn baseline_ms(case_id: &str) -> Option<f64> {
     SCAN_BASELINE_MS
         .iter()
-        .find(|(n, _)| *n == name)
+        .find(|(id, _)| *id == case_id)
         .map(|&(_, ms)| ms)
 }
 
@@ -194,6 +232,7 @@ fn summary_json(cases: &[Case], quick: bool, host_phases: Json) -> Json {
     for c in cases {
         let min_ms = c.result.min.as_secs_f64() * 1e3;
         let mut obj = Json::obj()
+            .field("case_id", c.id)
             .field("name", c.name.as_str())
             .field("iters", c.result.iters)
             .field("min_ms", min_ms)
@@ -202,7 +241,7 @@ fn summary_json(cases: &[Case], quick: bool, host_phases: Json) -> Json {
         if let Some(n) = c.elements {
             obj = obj.field("melem_per_sec", c.result.throughput(n) / 1e6);
         }
-        if let Some(base) = baseline_ms(&c.name) {
+        if let Some(base) = baseline_ms(c.id) {
             let speedup = if min_ms > 0.0 { base / min_ms } else { 0.0 };
             speedups.push(speedup);
             obj = obj

@@ -1,22 +1,25 @@
 //! `redsim-bench` — bench-summary tooling.
 //!
 //! ```text
-//! redsim-bench diff <base.json> <new.json> [--threshold PCT]
+//! redsim-bench diff <base.json> <new.json> [--threshold PCT] [--phases]
 //! redsim-bench perturb <in.json> <out.json> --factor F
 //! ```
 //!
 //! `diff` compares two `BENCH_simulator.json` summaries (see
 //! [`redsim_bench::diff`]) and exits 0 when the geomean min-of-N ratio
 //! stays inside the threshold (default 5%), 1 on a regression, 2 on a
-//! usage or parse error. `perturb` rewrites a summary with every
-//! timing scaled by `--factor` — CI uses it to prove the gate trips.
+//! usage or parse error. `--phases` appends the host-phase comparison,
+//! naming the pipeline phase responsible for the wall-clock change
+//! (summaries that predate `host_phases` report it as unavailable).
+//! `perturb` rewrites a summary with every timing scaled by
+//! `--factor` — CI uses it to prove the gate trips.
 
 use std::process::ExitCode;
 
-use redsim_bench::diff::{diff, perturb, BenchSummary, DEFAULT_THRESHOLD};
+use redsim_bench::diff::{diff, perturb, phase_diff, BenchSummary, DEFAULT_THRESHOLD};
 
 const USAGE: &str = "usage:
-  redsim-bench diff <base.json> <new.json> [--threshold PCT]
+  redsim-bench diff <base.json> <new.json> [--threshold PCT] [--phases]
   redsim-bench perturb <in.json> <out.json> --factor F";
 
 fn fail(msg: &str) -> ExitCode {
@@ -54,6 +57,11 @@ fn flag_value(args: &[String], flag: &str) -> Result<Option<f64>, String> {
 }
 
 fn run_diff(args: &[String]) -> ExitCode {
+    // `--phases` is the one bare flag; strip it before the positional
+    // walk, which assumes every flag carries a value.
+    let phases_on = args.iter().any(|a| a == "--phases");
+    let args: Vec<String> = args.iter().filter(|a| *a != "--phases").cloned().collect();
+    let args = &args[..];
     let paths = positionals(args);
     let [base_path, new_path] = paths[..] else {
         return fail("diff takes exactly two summary files");
@@ -72,6 +80,12 @@ fn run_diff(args: &[String]) -> ExitCode {
     };
     let report = diff(&base, &new, threshold);
     print!("{}", report.render());
+    if phases_on {
+        match phase_diff(&base, &new) {
+            Some(p) => print!("{}", p.render()),
+            None => println!("host phases: not recorded in both summaries"),
+        }
+    }
     if report.regressed() {
         ExitCode::from(1)
     } else {

@@ -23,7 +23,11 @@ pub const DEFAULT_THRESHOLD: f64 = 0.05;
 /// One timed case from a bench summary file.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CaseTiming {
-    /// Case name (`simulator/Sie_gzip_tiny`, ...).
+    /// Stable machine identity (`sim.die-irb.gzip.tiny`, ...). Older
+    /// summaries don't carry one; matching falls back to `name`.
+    pub case_id: Option<String>,
+    /// Display name (`simulator/Sie_gzip_tiny`, ...); free to change
+    /// between runs without breaking diff matching.
     pub name: String,
     /// Minimum iteration time, milliseconds — the comparison basis.
     pub min_ms: f64,
@@ -47,6 +51,28 @@ impl CaseTiming {
     }
 }
 
+/// Whether two case records are the same case: by `case_id` when both
+/// files recorded one (rename-proof), by display name otherwise.
+#[must_use]
+pub fn same_case(a: &CaseTiming, b: &CaseTiming) -> bool {
+    match (&a.case_id, &b.case_id) {
+        (Some(x), Some(y)) => x == y,
+        _ => a.name == b.name,
+    }
+}
+
+/// The host-side per-phase wall-clock accounting a summary may carry
+/// (`host_phases`, from the bench's untimed profiled DIE-IRB pass).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostPhases {
+    /// Simulated cycles of the profiled run.
+    pub cycles: u64,
+    /// Total profiled wall-clock, seconds.
+    pub total_seconds: f64,
+    /// `(phase name, seconds)` in pipeline order.
+    pub phases: Vec<(String, f64)>,
+}
+
 /// A parsed bench summary (`BENCH_simulator.json`).
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchSummary {
@@ -56,6 +82,8 @@ pub struct BenchSummary {
     pub quick: bool,
     /// The timed cases, in file order.
     pub cases: Vec<CaseTiming>,
+    /// Per-phase host profile, when the summary recorded one.
+    pub host_phases: Option<HostPhases>,
 }
 
 impl BenchSummary {
@@ -86,6 +114,7 @@ impl BenchSummary {
                     .ok_or(format!("case {i}: missing numeric field {key:?}"))
             };
             cases.push(CaseTiming {
+                case_id: c.get("case_id").and_then(Json::as_str).map(str::to_owned),
                 name: c
                     .get("name")
                     .and_then(Json::as_str)
@@ -96,19 +125,52 @@ impl BenchSummary {
                 max_ms: field("max_ms")?,
             });
         }
+        let host_phases = root.get("host_phases").map(parse_host_phases).transpose()?;
         Ok(BenchSummary {
             bench,
             quick,
             cases,
+            host_phases,
         })
     }
+}
+
+/// Parses the `host_phases` object of a summary.
+fn parse_host_phases(hp: &Json) -> Result<HostPhases, String> {
+    let cycles = hp
+        .get("cycles")
+        .and_then(Json::as_f64)
+        .ok_or("host_phases: missing numeric field \"cycles\"")? as u64;
+    let total_seconds = hp
+        .get("total_seconds")
+        .and_then(Json::as_f64)
+        .ok_or("host_phases: missing numeric field \"total_seconds\"")?;
+    let Some(Json::Obj(fields)) = hp.get("phases") else {
+        return Err("host_phases: missing object field \"phases\"".to_owned());
+    };
+    let mut phases = Vec::with_capacity(fields.len());
+    for (name, v) in fields {
+        let seconds = v
+            .get("seconds")
+            .and_then(Json::as_f64)
+            .ok_or(format!("host_phases.{name}: missing \"seconds\""))?;
+        phases.push((name.clone(), seconds));
+    }
+    Ok(HostPhases {
+        cycles,
+        total_seconds,
+        phases,
+    })
 }
 
 /// The comparison of one case present in both summaries.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CaseDiff {
-    /// Case name.
+    /// Case name (the base file's display name).
     pub name: String,
+    /// The new file's display name, when an id-matched case was
+    /// renamed between the runs.
+    pub renamed_to: Option<String>,
     /// Base (before) minimum, milliseconds.
     pub base_min_ms: f64,
     /// New (after) minimum, milliseconds.
@@ -171,6 +233,9 @@ impl DiffReport {
                 c.ratio,
                 c.noise_band * 100.0
             ));
+            if let Some(to) = &c.renamed_to {
+                out.push_str(&format!("{:name_w$}  (renamed to: {to})\n", ""));
+            }
         }
         for n in &self.only_in_base {
             out.push_str(&format!("dropped case: {n}\n"));
@@ -191,13 +256,16 @@ impl DiffReport {
 }
 
 /// Compares two summaries on min-of-N timings. Cases are matched by
-/// name; unmatched cases are listed but excluded from the geomean.
+/// stable `case_id` when both files carry one and by display name
+/// otherwise (see [`same_case`]), so a display rename doesn't read as
+/// a dropped-plus-added pair; unmatched cases are listed but excluded
+/// from the geomean.
 #[must_use]
 pub fn diff(base: &BenchSummary, new: &BenchSummary, threshold: f64) -> DiffReport {
     let mut cases = Vec::new();
     let mut only_in_base = Vec::new();
     for b in &base.cases {
-        let Some(n) = new.cases.iter().find(|c| c.name == b.name) else {
+        let Some(n) = new.cases.iter().find(|c| same_case(b, c)) else {
             only_in_base.push(b.name.clone());
             continue;
         };
@@ -209,6 +277,7 @@ pub fn diff(base: &BenchSummary, new: &BenchSummary, threshold: f64) -> DiffRepo
         let noise_band = b.spread().max(n.spread());
         cases.push(CaseDiff {
             name: b.name.clone(),
+            renamed_to: (n.name != b.name).then(|| n.name.clone()),
             base_min_ms: b.min_ms,
             new_min_ms: n.min_ms,
             ratio,
@@ -219,7 +288,7 @@ pub fn diff(base: &BenchSummary, new: &BenchSummary, threshold: f64) -> DiffRepo
     let only_in_new = new
         .cases
         .iter()
-        .filter(|c| !base.cases.iter().any(|b| b.name == c.name))
+        .filter(|c| !base.cases.iter().any(|b| same_case(b, c)))
         .map(|c| c.name.clone())
         .collect();
     let geomean_ratio = if cases.is_empty() {
@@ -234,6 +303,112 @@ pub fn diff(base: &BenchSummary, new: &BenchSummary, threshold: f64) -> DiffRepo
         geomean_ratio,
         threshold,
     }
+}
+
+/// One pipeline phase compared across two summaries' host profiles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseDiff {
+    /// Phase name (`fetch`, `schedule`, `execute`, ...).
+    pub name: String,
+    /// Base profiled seconds.
+    pub base_seconds: f64,
+    /// New profiled seconds.
+    pub new_seconds: f64,
+    /// `new_seconds − base_seconds`; positive means the phase got
+    /// slower in absolute host time.
+    pub delta_seconds: f64,
+}
+
+/// The host-phase comparison of two summaries: which pipeline phase is
+/// responsible for a wall-clock change.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseReport {
+    /// Per-phase comparisons, in the base profile's order. Phases
+    /// present in only one profile are skipped.
+    pub phases: Vec<PhaseDiff>,
+    /// Base total profiled seconds.
+    pub base_total: f64,
+    /// New total profiled seconds.
+    pub new_total: f64,
+    /// The phase with the largest absolute host-time delta — the one
+    /// that explains most of the end-to-end change. `None` when no
+    /// phase matched.
+    pub responsible: Option<String>,
+}
+
+impl PhaseReport {
+    /// Renders the phase table plus the responsible-phase verdict.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "host phases (profiled run): total {:.4}s -> {:.4}s\n",
+            self.base_total, self.new_total
+        ));
+        out.push_str(&format!(
+            "{:10}  {:>9}  {:>9}  {:>7}  {:>9}\n",
+            "phase", "base_s", "new_s", "ratio", "delta_s"
+        ));
+        for p in &self.phases {
+            let ratio = if p.base_seconds > 0.0 {
+                p.new_seconds / p.base_seconds
+            } else {
+                1.0
+            };
+            out.push_str(&format!(
+                "{:10}  {:>9.4}  {:>9.4}  {:>7.3}  {:>+9.4}\n",
+                p.name, p.base_seconds, p.new_seconds, ratio, p.delta_seconds
+            ));
+        }
+        if let Some(name) = &self.responsible {
+            let p = self
+                .phases
+                .iter()
+                .find(|p| &p.name == name)
+                .expect("responsible phase is one of the compared phases");
+            let direction = if p.delta_seconds > 0.0 {
+                "slower"
+            } else {
+                "faster"
+            };
+            out.push_str(&format!(
+                "responsible phase: {name} ({:+.4}s, {direction})\n",
+                p.delta_seconds
+            ));
+        }
+        out
+    }
+}
+
+/// Compares the `host_phases` profiles of two summaries, attributing
+/// an end-to-end host-time change to the pipeline phase with the
+/// largest absolute delta. Returns `None` when either summary did not
+/// record a profile (older files predate the field).
+#[must_use]
+pub fn phase_diff(base: &BenchSummary, new: &BenchSummary) -> Option<PhaseReport> {
+    let (b, n) = (base.host_phases.as_ref()?, new.host_phases.as_ref()?);
+    let mut phases = Vec::new();
+    for (name, base_seconds) in &b.phases {
+        let Some((_, new_seconds)) = n.phases.iter().find(|(pn, _)| pn == name) else {
+            continue;
+        };
+        phases.push(PhaseDiff {
+            name: name.clone(),
+            base_seconds: *base_seconds,
+            new_seconds: *new_seconds,
+            delta_seconds: new_seconds - base_seconds,
+        });
+    }
+    let responsible = phases
+        .iter()
+        .max_by(|a, b| a.delta_seconds.abs().total_cmp(&b.delta_seconds.abs()))
+        .map(|p| p.name.clone());
+    Some(PhaseReport {
+        phases,
+        base_total: b.total_seconds,
+        new_total: n.total_seconds,
+        responsible,
+    })
 }
 
 /// Scales every case's `min_ms`/`mean_ms`/`max_ms` in a bench summary
@@ -349,6 +524,7 @@ mod tests {
         let mut base = BenchSummary::parse(&summary(1.0)).unwrap();
         let new = BenchSummary::parse(&summary(1.0)).unwrap();
         base.cases.push(CaseTiming {
+            case_id: None,
             name: "simulator/only_base".to_owned(),
             min_ms: 1.0,
             mean_ms: 1.0,
@@ -358,6 +534,125 @@ mod tests {
         assert_eq!(r.only_in_base, vec!["simulator/only_base".to_owned()]);
         assert!(r.only_in_new.is_empty());
         assert_eq!(r.cases.len(), 2, "unmatched case excluded from geomean");
+    }
+
+    fn timing(case_id: Option<&str>, name: &str, ms: f64) -> CaseTiming {
+        CaseTiming {
+            case_id: case_id.map(str::to_owned),
+            name: name.to_owned(),
+            min_ms: ms,
+            mean_ms: ms,
+            max_ms: ms,
+        }
+    }
+
+    #[test]
+    fn case_id_matching_survives_a_display_rename() {
+        let mk = |cases: Vec<CaseTiming>| BenchSummary {
+            bench: "simulator".to_owned(),
+            quick: true,
+            cases,
+            host_phases: None,
+        };
+        let base = mk(vec![timing(Some("sim.sie.gzip.tiny"), "old name", 10.0)]);
+        let new = mk(vec![timing(Some("sim.sie.gzip.tiny"), "new name", 11.0)]);
+        let r = diff(&base, &new, DEFAULT_THRESHOLD);
+        assert!(r.only_in_base.is_empty() && r.only_in_new.is_empty());
+        assert_eq!(r.cases.len(), 1);
+        assert_eq!(r.cases[0].renamed_to.as_deref(), Some("new name"));
+        assert!((r.cases[0].ratio - 1.1).abs() < 1e-9);
+        assert!(r.render().contains("renamed to: new name"));
+
+        // Distinct ids do NOT match even under an identical display
+        // name — identity is the id once both sides carry one.
+        let a = mk(vec![timing(Some("id.a"), "shared", 10.0)]);
+        let b = mk(vec![timing(Some("id.b"), "shared", 10.0)]);
+        let r = diff(&a, &b, DEFAULT_THRESHOLD);
+        assert!(r.cases.is_empty());
+        assert_eq!(r.only_in_base, vec!["shared".to_owned()]);
+
+        // An id-less side (an old summary) still pairs by name.
+        let old = mk(vec![timing(None, "simulator/x", 10.0)]);
+        let new = mk(vec![timing(Some("sim.x"), "simulator/x", 10.0)]);
+        let r = diff(&old, &new, DEFAULT_THRESHOLD);
+        assert_eq!(r.cases.len(), 1);
+        assert_eq!(r.cases[0].renamed_to, None);
+    }
+
+    fn phased(seconds: &[(&str, f64)]) -> BenchSummary {
+        BenchSummary {
+            bench: "simulator".to_owned(),
+            quick: true,
+            cases: Vec::new(),
+            host_phases: Some(HostPhases {
+                cycles: 1000,
+                total_seconds: seconds.iter().map(|(_, s)| s).sum(),
+                phases: seconds.iter().map(|&(n, s)| (n.to_owned(), s)).collect(),
+            }),
+        }
+    }
+
+    #[test]
+    fn phase_diff_names_the_responsible_phase() {
+        let base = phased(&[("fetch", 0.2), ("execute", 0.4), ("commit", 0.1)]);
+        let new = phased(&[("fetch", 0.21), ("execute", 0.9), ("commit", 0.1)]);
+        let r = phase_diff(&base, &new).expect("both profiled");
+        assert_eq!(r.responsible.as_deref(), Some("execute"));
+        assert_eq!(r.phases.len(), 3);
+        let exec = &r.phases[1];
+        assert_eq!(exec.name, "execute");
+        assert!((exec.delta_seconds - 0.5).abs() < 1e-12);
+        let text = r.render();
+        assert!(text.contains("responsible phase: execute"), "{text}");
+        assert!(text.contains("slower"), "{text}");
+
+        // A speedup attributes the same way, with the other direction.
+        let faster = phased(&[("fetch", 0.2), ("execute", 0.1), ("commit", 0.1)]);
+        let r = phase_diff(&base, &faster).expect("both profiled");
+        assert_eq!(r.responsible.as_deref(), Some("execute"));
+        assert!(r.render().contains("faster"));
+    }
+
+    #[test]
+    fn phase_diff_requires_profiles_on_both_sides() {
+        let with = phased(&[("fetch", 0.2)]);
+        let without = BenchSummary {
+            bench: "simulator".to_owned(),
+            quick: true,
+            cases: Vec::new(),
+            host_phases: None,
+        };
+        assert_eq!(phase_diff(&with, &without), None);
+        assert_eq!(phase_diff(&without, &with), None);
+    }
+
+    #[test]
+    fn host_phases_parse_round_trip() {
+        let doc = Json::obj()
+            .field("bench", "simulator")
+            .field("cases", Json::arr())
+            .field(
+                "host_phases",
+                Json::obj()
+                    .field("cycles", 42u64)
+                    .field("total_seconds", 0.5)
+                    .field(
+                        "phases",
+                        Json::obj().field(
+                            "fetch",
+                            Json::obj().field("seconds", 0.5).field("share", 1.0),
+                        ),
+                    ),
+            )
+            .to_string();
+        let s = BenchSummary::parse(&doc).unwrap();
+        let hp = s.host_phases.expect("parsed");
+        assert_eq!(hp.cycles, 42);
+        assert_eq!(hp.phases, vec![("fetch".to_owned(), 0.5)]);
+
+        // Malformed profiles are a parse error, not a silent None.
+        let bad = doc.replace("\"seconds\"", "\"sections\"");
+        assert!(BenchSummary::parse(&bad).unwrap_err().contains("seconds"));
     }
 
     #[test]

@@ -87,10 +87,19 @@ pub fn op_timing(class: OpClass, lat: &LatencyConfig) -> OpTiming {
     }
 }
 
+/// Most units any one pool can hold; pool sizes are single digits in
+/// every configuration the paper sweeps.
+const MAX_UNITS: usize = 16;
+
 /// One pool of identical units, each free or busy-until-cycle.
+///
+/// The per-unit deadlines live in a fixed inline array rather than a
+/// `Vec`: `try_issue` runs once per issue-candidate attempt, and the
+/// scan must not chase a heap pointer to read four u64s.
 #[derive(Debug, Clone)]
 struct UnitPool {
-    busy_until: Vec<u64>,
+    busy_until: [u64; MAX_UNITS],
+    count: usize,
     busy_cycles: u64,
     /// No unit frees before this cycle — cached on a full-pool miss.
     /// `busy_until` values only grow, so the bound stays valid forever
@@ -100,19 +109,26 @@ struct UnitPool {
 
 impl UnitPool {
     fn new(count: usize) -> Self {
+        assert!(
+            count <= MAX_UNITS,
+            "pool of {count} units exceeds {MAX_UNITS}"
+        );
         UnitPool {
-            busy_until: vec![0; count],
+            busy_until: [0; MAX_UNITS],
+            count,
             busy_cycles: 0,
             free_hint: 0,
         }
     }
 
+    #[inline]
     fn try_issue(&mut self, cycle: u64, timing: OpTiming) -> bool {
         if cycle < self.free_hint {
             return false;
         }
-        let Some(unit) = self.busy_until.iter_mut().find(|b| **b <= cycle) else {
-            self.free_hint = self.busy_until.iter().copied().min().unwrap_or(u64::MAX);
+        let units = &mut self.busy_until[..self.count];
+        let Some(unit) = units.iter_mut().find(|b| **b <= cycle) else {
+            self.free_hint = units.iter().copied().min().unwrap_or(u64::MAX);
             return false;
         };
         // A pipelined unit is only unavailable for the issue cycle; an
@@ -144,11 +160,12 @@ impl UnitPool {
 /// ```
 #[derive(Debug, Clone)]
 pub struct FuBank {
-    int_alu: UnitPool,
-    int_mul_div: UnitPool,
-    fp_add: UnitPool,
-    fp_mul_div_sqrt: UnitPool,
-    latency: LatencyConfig,
+    /// Indexed by `Pool as usize`.
+    pools: [UnitPool; 4],
+    /// Per-class `(pool index, timing)`, folded at construction so the
+    /// per-attempt hot path is two table reads instead of three matches
+    /// against the opcode class.
+    dispatch: [(u8, OpTiming); OpClass::ALL.len()],
     issued_by_class: [u64; OpClass::ALL.len()],
 }
 
@@ -156,22 +173,25 @@ impl FuBank {
     /// Creates the pools.
     #[must_use]
     pub fn new(counts: FuCounts, latency: LatencyConfig) -> Self {
-        FuBank {
-            int_alu: UnitPool::new(counts.int_alu),
-            int_mul_div: UnitPool::new(counts.int_mul_div),
-            fp_add: UnitPool::new(counts.fp_add),
-            fp_mul_div_sqrt: UnitPool::new(counts.fp_mul_div_sqrt),
-            latency,
-            issued_by_class: [0; OpClass::ALL.len()],
+        let mut dispatch = [(
+            0u8,
+            OpTiming {
+                latency: 0,
+                pipelined: true,
+            },
+        ); OpClass::ALL.len()];
+        for class in OpClass::ALL {
+            dispatch[class as usize] = (Pool::for_class(class) as u8, op_timing(class, &latency));
         }
-    }
-
-    fn pool_mut(&mut self, pool: Pool) -> &mut UnitPool {
-        match pool {
-            Pool::IntAlu => &mut self.int_alu,
-            Pool::IntMulDiv => &mut self.int_mul_div,
-            Pool::FpAdd => &mut self.fp_add,
-            Pool::FpMulDivSqrt => &mut self.fp_mul_div_sqrt,
+        FuBank {
+            pools: [
+                UnitPool::new(counts.int_alu),
+                UnitPool::new(counts.int_mul_div),
+                UnitPool::new(counts.fp_add),
+                UnitPool::new(counts.fp_mul_div_sqrt),
+            ],
+            dispatch,
+            issued_by_class: [0; OpClass::ALL.len()],
         }
     }
 
@@ -179,40 +199,35 @@ impl FuBank {
     ///
     /// Returns the operation's completion cycle on success, `None` if
     /// every unit of the pool is busy (a structural hazard).
+    #[inline]
     pub fn try_issue(&mut self, class: OpClass, cycle: u64) -> Option<u64> {
-        let timing = op_timing(class, &self.latency);
-        let pool = Pool::for_class(class);
-        if self.pool_mut(pool).try_issue(cycle, timing) {
-            let idx = OpClass::ALL
-                .iter()
-                .position(|&c| c == class)
-                .expect("class in ALL");
-            self.issued_by_class[idx] += 1;
+        let (pool, timing) = self.dispatch[class as usize];
+        if self.pools[pool as usize].try_issue(cycle, timing) {
+            self.issued_by_class[class as usize] += 1;
             Some(cycle + timing.latency)
         } else {
             None
         }
     }
 
+    /// The pool index (`Pool as u8`) an operation class dispatches to.
+    /// The mapping is class-intrinsic, so it is identical across banks.
+    #[inline]
+    #[must_use]
+    pub fn pool_index(&self, class: OpClass) -> u8 {
+        self.dispatch[class as usize].0
+    }
+
     /// Operations issued so far for one class.
     #[must_use]
     pub fn issued(&self, class: OpClass) -> u64 {
-        let idx = OpClass::ALL
-            .iter()
-            .position(|&c| c == class)
-            .expect("class in ALL");
-        self.issued_by_class[idx]
+        self.issued_by_class[class as usize]
     }
 
     /// Busy unit-cycles accumulated by a pool (utilization numerator).
     #[must_use]
     pub fn busy_cycles(&self, pool: Pool) -> u64 {
-        match pool {
-            Pool::IntAlu => self.int_alu.busy_cycles,
-            Pool::IntMulDiv => self.int_mul_div.busy_cycles,
-            Pool::FpAdd => self.fp_add.busy_cycles,
-            Pool::FpMulDivSqrt => self.fp_mul_div_sqrt.busy_cycles,
-        }
+        self.pools[pool as usize].busy_cycles
     }
 }
 
@@ -294,6 +309,16 @@ mod tests {
             b.try_issue(OpClass::FpSqrt, 1).is_some(),
             "the pipelined multiply frees the unit next cycle"
         );
+    }
+
+    #[test]
+    fn class_discriminants_index_the_all_table() {
+        // The per-class issue counters index by discriminant; that is
+        // only the same table `OpClass::ALL` describes while ALL stays
+        // in declaration order.
+        for (i, &c) in OpClass::ALL.iter().enumerate() {
+            assert_eq!(c as usize, i, "{c:?}");
+        }
     }
 
     #[test]

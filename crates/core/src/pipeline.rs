@@ -20,8 +20,8 @@ use crate::irb_unit::{reuse_output, IrbUnit};
 use crate::metrics::{
     HostPhase, HostProfiler, MetricsSink, NullMetrics, WindowCounters, WindowSample,
 };
-use crate::ruu::{Entry, EntryState, ReuseState, Ruu, Stream};
-use crate::sched::{self, Calendar, ReadyQueue};
+use crate::ruu::{EntryState, ReuseState, ReuseTag, Ruu, Stream};
+use crate::sched::{Calendar, ReadySet};
 use crate::source::{EmulatorSource, InstructionSource};
 use crate::stats::{BranchSummary, IrbSummary, SimStats};
 use crate::trace::{NullTracer, TraceEvent, TraceEventKind, Tracer};
@@ -306,10 +306,22 @@ struct FuAttempt {
     input_corrupt: u64,
 }
 
+/// Why a functional-unit issue attempt succeeded or was denied. The
+/// denial causes are distinguished because they memoize differently
+/// within one issue pass: a full pool stays full for the rest of the
+/// cycle, while a port denial only recurs for data-cache users.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FuIssueOutcome {
+    Issued,
+    /// No data-cache port left for a load's access.
+    NoPort,
+    /// Every unit of the class's pool is busy (structural hazard).
+    NoUnit,
+}
+
 #[derive(Debug, Clone)]
 struct FetchedInst {
     di: DynInst,
-    reuse: ReuseState,
     lookup_done_at: u64,
 }
 
@@ -322,6 +334,11 @@ struct Machine<'a> {
     cycle: u64,
     ruu: Ruu,
     ifq: VecDeque<FetchedInst>,
+    /// Parallel to `ifq`, populated only when an IRB is attached: the
+    /// lookup outcome carries a 32-byte-aligned [`IrbEntry`] payload
+    /// that would otherwise double the bytes every non-IRB mode moves
+    /// through the fetch queue per instruction.
+    ifq_reuse: VecDeque<ReuseState>,
     lookahead: Option<DynInst>,
     source_done: bool,
     rename_int: [[Option<u64>; 32]; 2],
@@ -373,6 +390,10 @@ struct Machine<'a> {
     resume_at: u64,
     resume_reason: ResumeReason,
     icache_ready_at: u64,
+    /// `log2` of the L1I line size (validated power of two), so the
+    /// per-instruction line computation in fetch is a shift, not a
+    /// division.
+    l1i_line_shift: u32,
     last_fetch_line: Option<u64>,
     dcache_used: usize,
     /// Next wrong-path address the stalled front end streams through
@@ -385,9 +406,10 @@ struct Machine<'a> {
     /// calendar update so the scan reference never accumulates stale
     /// events.
     event_driven: bool,
-    /// Ready entries per stream (indexed [`PRIMARY`]/[`DUP`]); the
-    /// §3.1 primary-first policy is the drain order of these queues.
-    ready: [ReadyQueue; 2],
+    /// Per-stream ready bitsets over the RUU ring slots (indexed
+    /// [`PRIMARY`]/[`DUP`]); the §3.1 primary-first policy is the walk
+    /// order of these sets.
+    ready: [ReadySet; 2],
     /// Completion events keyed by `complete_at`.
     calendar: Calendar,
     /// Scratch for the seqs completing this cycle (reused every cycle).
@@ -395,9 +417,6 @@ struct Machine<'a> {
     /// Scratch for the issue candidates of this cycle.
     scratch_candidates: Vec<u64>,
     /// Scratch for the producer seqs of the entry being dispatched.
-    scratch_producers: Vec<u64>,
-    /// Scratch for the seqs that left the ready state during issue.
-    scratch_removed: Vec<u64>,
     /// Recycled `consumers` vectors (bounded by in-flight producers):
     /// broadcast returns each drained list here, dispatch hands them
     /// back out, so steady-state wakeup never allocates.
@@ -429,12 +448,15 @@ impl<'a> Machine<'a> {
             (ExecMode::DieCluster, _) => DUP,
             _ => PRIMARY,
         };
+        let ruu = Ruu::new(cfg.ruu_size);
+        let ring = ruu.slot_capacity();
         Machine {
             cfg,
             mode,
             cycle: 0,
-            ruu: Ruu::new(cfg.ruu_size),
+            ruu,
             ifq: VecDeque::with_capacity(cfg.fetch_queue),
+            ifq_reuse: VecDeque::with_capacity(cfg.fetch_queue),
             lookahead: None,
             source_done: false,
             rename_int: [[None; 32]; 2],
@@ -465,18 +487,17 @@ impl<'a> Machine<'a> {
             resume_at: 0,
             resume_reason: ResumeReason::None,
             icache_ready_at: 0,
+            l1i_line_shift: cfg.hierarchy.l1i.line_bytes.trailing_zeros(),
             last_fetch_line: None,
             dcache_used: 0,
             wrong_path_pc: None,
             dup_source_bank,
             cycles_since_commit: 0,
             event_driven: cfg.engine == SchedEngine::EventDriven,
-            ready: [ReadyQueue::default(), ReadyQueue::default()],
+            ready: [ReadySet::new(ring), ReadySet::new(ring)],
             calendar: Calendar::new(),
             scratch_events: Vec::new(),
             scratch_candidates: Vec::new(),
-            scratch_producers: Vec::new(),
-            scratch_removed: Vec::new(),
             consumer_pool: Vec::new(),
         }
     }
@@ -499,13 +520,25 @@ impl<'a> Machine<'a> {
     }
 
     /// Files a newly [`EntryState::Ready`] entry with its stream's
-    /// queue. Every `Ready` transition outside the issue loop must pass
-    /// through here — the queues ARE the ready set under the
+    /// bitset. Every `Ready` transition outside the issue loop must
+    /// pass through here — the bitsets ARE the ready set under the
     /// event-driven engine.
     fn push_ready(&mut self, seq: u64, stream: Stream) {
         if self.event_driven {
             let q = if stream == Stream::Dup { DUP } else { PRIMARY };
-            self.ready[q].push(seq);
+            self.ready[q].insert(self.ruu.slot_of(seq));
+        }
+    }
+
+    /// Clears an entry's ready bit after it leaves the `Ready` state in
+    /// the issue loop (issued, bypassed, or found stale). Clearing both
+    /// streams' sets is branch-free and correct: a slot is marked in at
+    /// most its own stream's set.
+    fn remove_ready(&mut self, seq: u64) {
+        if self.event_driven {
+            let slot = self.ruu.slot_of(seq);
+            self.ready[PRIMARY].remove(slot);
+            self.ready[DUP].remove(slot);
         }
     }
 
@@ -602,11 +635,7 @@ impl<'a> Machine<'a> {
     fn flush_window(&mut self) {
         let now = self.cumulative_counters();
         let counters = now.delta(&self.win_base);
-        let ready_occupancy = self
-            .ruu
-            .iter()
-            .filter(|(_, e)| e.state == EntryState::Ready)
-            .count() as u64;
+        let ready_occupancy = self.ruu.ready_count();
         let sample = WindowSample {
             index: self.window_index,
             start_cycle: self.window_start,
@@ -691,34 +720,23 @@ impl<'a> Machine<'a> {
     fn commit(&mut self) {
         let mut budget = self.cfg.commit_width;
         let mut committed_any = false;
+        // The retirement window: consecutive done entries from the
+        // head, counted once per cycle on the packed done-bit words.
+        // Nothing in the loop marks new entries done, so the count only
+        // needs decrementing as pairs retire.
+        let mut done_run = self.ruu.done_run_from_head(self.cfg.commit_width);
         loop {
-            if self.ruu.is_empty() {
-                break;
-            }
             let need = if self.is_dual() { 2 } else { 1 };
-            if budget < need {
+            if budget < need || done_run < need {
                 break;
             }
             let head = self.ruu.head_seq();
-            let ready = if self.is_dual() {
-                matches!(
-                    (self.ruu.get(head), self.ruu.get(head + 1)),
-                    (Some(p), Some(d)) if p.is_done() && d.is_done()
-                )
-            } else {
-                self.ruu.get(head).is_some_and(Entry::is_done)
-            };
-            if !ready {
-                break;
-            }
 
             // DIE pair check.
             if self.is_dual() {
-                let (p_out, d_out, tainted) = {
-                    let p = self.ruu.get(head).expect("head exists");
-                    let d = self.ruu.get(head + 1).expect("pair exists");
-                    (p.out_bits, d.out_bits, p.fault_tainted || d.fault_tainted)
-                };
+                let p_out = self.ruu.out_bits(head);
+                let d_out = self.ruu.out_bits(head + 1);
+                let tainted = self.ruu.fault_tainted(head) || self.ruu.fault_tainted(head + 1);
                 if let (Some(pb), Some(db)) = (p_out, d_out) {
                     self.stats.pairs_checked += 1;
                     if pb != db {
@@ -731,28 +749,32 @@ impl<'a> Machine<'a> {
                 } else if tainted {
                     self.inj.stats_mut().escaped += 1;
                 }
-            } else {
-                let tainted = self.ruu.get(head).expect("head exists").fault_tainted;
-                if tainted {
-                    // No checking exists in SIE: silent corruption.
-                    self.inj.stats_mut().silent_sie += 1;
-                }
+            } else if self.ruu.fault_tainted(head) {
+                // No checking exists in SIE: silent corruption.
+                self.inj.stats_mut().silent_sie += 1;
             }
 
-            // Only the op kind and address are needed on the common
-            // path; the full `DynInst` is copied out solely for the
+            // Only the op kind is needed on the common path; the cold
+            // `DynInst` record is touched solely for a memory op's
+            // address, an attached tracer's identity fields, or the
             // IRB's commit-time update below.
-            let (is_store, is_mem, ea, di_seq, di_pc) = {
-                let e = self.ruu.get(head).expect("head exists");
-                let op = e.di.inst.op;
-                (op.is_store(), op.is_mem(), e.di.ea, e.di.seq, e.di.pc)
+            let is_store = self.ruu.is_store(head);
+            let is_mem = self.ruu.is_mem(head);
+            let ea = if is_mem { self.ruu.di(head).ea } else { None };
+            let (di_seq, di_pc) = if self.trace_on {
+                let d = self.ruu.di(head);
+                (d.seq, d.pc)
+            } else {
+                // `trace` drops the event without reading these.
+                (0, 0)
             };
             // Invariant: an untainted copy's comparator word equals the
             // architectural check value derived from the trace.
-            debug_assert!({
-                let e = self.ruu.get(head).expect("head exists");
-                e.fault_tainted || e.out_bits.is_none() || e.clean_check_bits() == e.out_bits
-            });
+            debug_assert!(
+                self.ruu.fault_tainted(head)
+                    || self.ruu.out_bits(head).is_none()
+                    || self.ruu.clean_check_bits(head) == self.ruu.out_bits(head)
+            );
 
             // The pair's single architectural store access.
             if is_store {
@@ -765,22 +787,15 @@ impl<'a> Machine<'a> {
 
             // Commit-time IRB update (§3.2: off the critical path).
             if self.irb.is_some() {
-                let di = self.ruu.get(head).expect("head exists").di;
                 let insert = match self.mode {
-                    ExecMode::DieIrb => {
-                        // Update on executions the IRB did not serve.
-                        let d = self.ruu.get(head + 1).expect("pair exists");
-                        d.executed_on_fu
-                    }
-                    ExecMode::SieIrb => {
-                        let e = self.ruu.get(head).expect("head exists");
-                        e.executed_on_fu
-                    }
+                    // Update on executions the IRB did not serve.
+                    ExecMode::DieIrb => self.ruu.executed_on_fu(head + 1),
+                    ExecMode::SieIrb => self.ruu.executed_on_fu(head),
                     _ => false,
                 };
                 let insert_allowed = !self.cfg.reuse_long_latency_only
                     || matches!(
-                        di.class(),
+                        self.ruu.class(head),
                         OpClass::IntMul
                             | OpClass::IntDiv
                             | OpClass::FpAdd
@@ -793,11 +808,11 @@ impl<'a> Machine<'a> {
                 if let Some(irb) = self.irb.as_mut() {
                     if insert && insert_allowed {
                         let starved_before = irb.stats().inserts_port_starved;
-                        inserted = irb.try_insert(&di);
+                        inserted = irb.try_insert(self.ruu.di(head));
                         insert_denied =
                             !inserted && irb.stats().inserts_port_starved > starved_before;
                     }
-                    irb.on_register_write(&di);
+                    irb.on_register_write(self.ruu.di(head));
                 }
                 if inserted {
                     self.trace(TraceEventKind::IrbInsert, di_seq, di_pc, 0, 0);
@@ -833,6 +848,7 @@ impl<'a> Machine<'a> {
             self.stats.committed_copies += need as u64;
             self.trace(TraceEventKind::Commit, di_seq, di_pc, 0, need as u64);
             budget -= need;
+            done_run -= need;
             committed_any = true;
             self.cycles_since_commit = 0;
         }
@@ -867,18 +883,22 @@ impl<'a> Machine<'a> {
         let head = self.ruu.head_seq();
         // In dual modes the pair retires together: blame the copy that
         // is not done yet (the primary first, then its duplicate).
-        let blocker = if self.is_dual() && self.ruu.get(head).is_some_and(Entry::is_done) {
+        let blocker = if self.is_dual() && self.ruu.is_done(head) {
             head + 1
         } else {
             head
         };
-        let snapshot = self.ruu.get(blocker).map(|e| (e.state, e.reuse));
+        if !self.ruu.contains(blocker) {
+            self.stats.stalls.commit_blocked += 1;
+            return;
+        }
+        let state = self.ruu.state(blocker);
+        let reuse = self.ruu.reuse_tag(blocker);
         let s = &mut self.stats.stalls;
-        match snapshot {
-            None => s.commit_blocked += 1,
-            Some((EntryState::Waiting, _)) => s.waiting_deps += 1,
-            Some((EntryState::Ready, reuse)) => {
-                if matches!(reuse, ReuseState::PortStarved) {
+        match state {
+            EntryState::Waiting => s.waiting_deps += 1,
+            EntryState::Ready => {
+                if reuse == ReuseTag::PortStarved {
                     s.irb_port += 1;
                 } else if self.prev_issue_saturated {
                     s.issue_starved += 1;
@@ -886,8 +906,8 @@ impl<'a> Machine<'a> {
                     s.fu_contention += 1;
                 }
             }
-            Some((EntryState::Issued | EntryState::WaitingPair, _)) => s.execution += 1,
-            Some((EntryState::Done, _)) => s.commit_blocked += 1,
+            EntryState::Issued | EntryState::WaitingPair => s.execution += 1,
+            EntryState::Done => s.commit_blocked += 1,
         }
     }
 
@@ -897,12 +917,13 @@ impl<'a> Machine<'a> {
     /// never produced a comparator word) stay pending and fall out as
     /// masked at the end of the run.
     fn resolve_commit_faults(&mut self, seq: u64) {
-        let e = self.ruu.get_mut(seq).expect("committing entry exists");
-        if e.fault_ids.is_empty() {
+        if self.ruu.fault_ids_is_empty(seq) {
             return;
         }
-        let silent = e.fault_tainted && e.out_bits.is_some() && e.out_bits != e.clean_check_bits();
-        let ids = std::mem::take(&mut e.fault_ids);
+        let out = self.ruu.out_bits(seq);
+        let silent =
+            self.ruu.fault_tainted(seq) && out.is_some() && out != self.ruu.clean_check_bits(seq);
+        let ids = self.ruu.take_fault_ids(seq);
         if silent {
             for id in ids {
                 self.inj.resolve_silent(id, self.cycle);
@@ -918,8 +939,10 @@ impl<'a> Machine<'a> {
         self.rewound_this_cycle = true;
         self.inj.stats_mut().detected += 1;
         if self.trace_on {
-            let e = self.ruu.get(head).expect("head exists");
-            let (di_seq, di_pc) = (e.di.seq, e.di.pc);
+            let (di_seq, di_pc) = {
+                let d = self.ruu.di(head);
+                (d.seq, d.pc)
+            };
             self.trace(TraceEventKind::Rewind, di_seq, di_pc, 2, 0);
         }
         // Recovery cost attributed to the faults being detected: the
@@ -928,19 +951,18 @@ impl<'a> Machine<'a> {
         let squash_depth = self.ruu.len() as u64 - 2;
         let refetch = self.cfg.mispredict_penalty;
         for seq in [head, head + 1] {
-            let e = self.ruu.get_mut(seq).expect("pair exists");
-            e.state = EntryState::Ready;
-            e.ready_at = self.cycle;
-            e.complete_at = None;
-            e.out_bits = None;
-            e.executed_on_fu = false;
-            e.fault_tainted = false;
-            e.input_corrupt = 0;
+            self.ruu.set_state(seq, EntryState::Ready);
+            self.ruu.set_ready_at(seq, self.cycle);
+            self.ruu.clear_complete_at(seq);
+            self.ruu.set_out_bits(seq, None);
+            self.ruu.set_executed_on_fu(seq, false);
+            self.ruu.set_fault_tainted(seq, false);
+            self.ruu.clear_input_corrupt(seq);
             // Force the re-execution down the functional units.
-            e.reuse = ReuseState::NotEligible;
-            let ids = std::mem::take(&mut e.fault_ids);
-            let stream = e.stream;
-            let di_pc = e.di.pc;
+            self.ruu.set_reuse(seq, ReuseState::NotEligible);
+            let ids = self.ruu.take_fault_ids(seq);
+            let stream = self.ruu.stream(seq);
+            let di_pc = self.ruu.di(seq).pc;
             for id in ids {
                 self.inj
                     .resolve_detected(id, self.cycle, squash_depth, refetch);
@@ -963,32 +985,23 @@ impl<'a> Machine<'a> {
             self.calendar.pop_due(self.cycle, &mut completing);
         } else {
             completing.clear();
-            completing.extend(
-                self.ruu
-                    .iter()
-                    .filter(|(_, e)| {
-                        e.state == EntryState::Issued && e.complete_at == Some(self.cycle)
-                    })
-                    .map(|(s, _)| s),
-            );
+            self.ruu.collect_completing(self.cycle, &mut completing);
         }
         for &seq in &completing {
             // The scan selected on exactly this predicate; re-checking
             // it at pop time keeps the engines interchangeable and
             // makes any stale calendar event a no-op.
-            let Some(e) = self.ruu.get(seq) else { continue };
-            if e.state != EntryState::Issued || e.complete_at != Some(self.cycle) {
+            if !self.ruu.contains(seq)
+                || self.ruu.state(seq) != EntryState::Issued
+                || !self.ruu.completes_at(seq, self.cycle)
+            {
                 continue;
             }
-            let is_dup_load = e.stream == Stream::Dup && e.di.inst.op.is_load();
-            if is_dup_load {
-                let partner_done = self.ruu.get(seq - 1).is_some_and(Entry::is_done);
-                if !partner_done {
-                    // Address work done; the pair's single data access
-                    // has not returned yet.
-                    self.ruu.get_mut(seq).expect("entry").state = EntryState::WaitingPair;
-                    continue;
-                }
+            if self.ruu.is_dup(seq) && self.ruu.is_load(seq) && !self.ruu.is_done(seq - 1) {
+                // Address work done; the pair's single data access
+                // has not returned yet.
+                self.ruu.set_state(seq, EntryState::WaitingPair);
+                continue;
             }
             self.mark_done(seq);
         }
@@ -997,38 +1010,38 @@ impl<'a> Machine<'a> {
 
     /// Finalizes an entry: broadcast, branch resolution, pair wakeup.
     fn mark_done(&mut self, seq: u64) {
-        let (stream, is_load, di_seq, di_pc) = {
-            let e = self.ruu.get_mut(seq).expect("entry exists");
-            e.state = EntryState::Done;
-            if e.complete_at.is_none() {
-                e.complete_at = Some(self.cycle);
-            }
-            (e.stream, e.di.inst.op.is_load(), e.di.seq, e.di.pc)
-        };
-        self.trace(
-            TraceEventKind::Writeback,
-            di_seq,
-            di_pc,
-            stream_code(stream),
-            0,
-        );
+        self.ruu.set_state(seq, EntryState::Done);
+        if self.ruu.complete_at(seq).is_none() {
+            self.ruu.set_complete_at(seq, self.cycle);
+        }
+        if self.trace_on {
+            let (di_seq, di_pc) = {
+                let d = self.ruu.di(seq);
+                (d.seq, d.pc)
+            };
+            self.trace(
+                TraceEventKind::Writeback,
+                di_seq,
+                di_pc,
+                stream_code(self.ruu.stream(seq)),
+                0,
+            );
+        }
         self.resolve_control(seq);
         self.broadcast(seq);
 
         // A completing primary load releases its duplicate. In the
         // clustered organization the data crosses clusters first.
-        if stream == Stream::Primary && is_load && self.is_dual() {
+        // (Stream and kind are immutable per entry, so reading them
+        // after the broadcast is equivalent — and single-stream modes
+        // skip the lane reads entirely.)
+        if self.is_dual() && self.ruu.stream(seq) == Stream::Primary && self.ruu.is_load(seq) {
             let partner = seq + 1;
-            if self
-                .ruu
-                .get(partner)
-                .is_some_and(|p| p.state == EntryState::WaitingPair)
-            {
+            if self.ruu.contains(partner) && self.ruu.state(partner) == EntryState::WaitingPair {
                 if self.mode == ExecMode::DieCluster && self.cfg.cluster_delay > 0 {
                     let at = self.cycle + self.cfg.cluster_delay;
-                    let p = self.ruu.get_mut(partner).expect("partner exists");
-                    p.state = EntryState::Issued;
-                    p.complete_at = Some(at);
+                    self.ruu.set_state(partner, EntryState::Issued);
+                    self.ruu.set_complete_at(partner, at);
                     self.schedule_completion(at, partner);
                 } else {
                     self.mark_done(partner);
@@ -1041,23 +1054,22 @@ impl<'a> Machine<'a> {
     /// a waiting front end (the paper: recovery starts as soon as
     /// *either* stream resolves).
     fn resolve_control(&mut self, seq: u64) {
-        let e = self.ruu.get(seq).expect("entry exists");
-        if e.di.control.is_none() || e.resolution_reported {
+        if !self.ruu.is_control(seq) || self.ruu.resolution_reported(seq) {
             return;
         }
-        let di_seq = e.di.seq;
-        let stream = e.stream;
+        let di_seq = self.ruu.di(seq).seq;
+        let stream = self.ruu.stream(seq);
         // Train through the borrow — `frontend` and `ruu` are disjoint
         // fields, so no `DynInst` copy is needed.
-        self.frontend.train(&e.di);
-        self.ruu.get_mut(seq).expect("entry").resolution_reported = true;
+        self.frontend.train(self.ruu.di(seq));
+        self.ruu.set_resolution_reported(seq);
         if self.is_dual() {
             let partner = match stream {
                 Stream::Primary => seq + 1,
                 Stream::Dup => seq - 1,
             };
-            if let Some(p) = self.ruu.get_mut(partner) {
-                p.resolution_reported = true;
+            if self.ruu.contains(partner) {
+                self.ruu.set_resolution_reported(partner);
             }
         }
         if self.front_state == FrontState::WaitBranch(di_seq) {
@@ -1073,13 +1085,10 @@ impl<'a> Machine<'a> {
 
     /// Result broadcast: wake consumers, possibly striking the bus.
     fn broadcast(&mut self, seq: u64) {
-        let mut consumers = {
-            let e = self.ruu.get_mut(seq).expect("entry exists");
-            std::mem::take(&mut e.consumers)
-        };
-        if consumers.is_empty() {
+        if self.ruu.consumers_is_empty(seq) {
             return;
         }
+        let mut consumers = self.ruu.take_consumers(seq);
         let strike = if self.inj.enabled() {
             self.inj.strike_forward(self.cycle)
         } else {
@@ -1089,23 +1098,21 @@ impl<'a> Machine<'a> {
             self.trace(TraceEventKind::FaultInject, u64::from(id), 0, 2, 1);
         }
         for &c in &consumers {
-            let mut woke = None;
-            if let Some(e) = self.ruu.get_mut(c) {
-                if let Some((mask, id)) = strike {
-                    e.input_corrupt ^= mask;
-                    e.fault_tainted = true;
-                    e.fault_ids.push(id);
-                }
-                if e.deps_remaining > 0 {
-                    e.deps_remaining -= 1;
-                    if e.deps_remaining == 0 && e.state == EntryState::Waiting {
-                        e.state = EntryState::Ready;
-                        e.ready_at = self.cycle;
-                        woke = Some(e.stream);
-                    }
-                }
+            if !self.ruu.contains(c) {
+                continue;
             }
-            if let Some(stream) = woke {
+            if let Some((mask, id)) = strike {
+                self.ruu.xor_input_corrupt(c, mask);
+                self.ruu.set_fault_tainted(c, true);
+                self.ruu.push_fault_id(c, id);
+            }
+            if self.ruu.deps_remaining(c) > 0
+                && self.ruu.dec_deps(c) == 0
+                && self.ruu.state(c) == EntryState::Waiting
+            {
+                self.ruu.set_state(c, EntryState::Ready);
+                self.ruu.set_ready_at(c, self.cycle);
+                let stream = self.ruu.stream(c);
                 self.push_ready(c, stream);
             }
         }
@@ -1116,6 +1123,16 @@ impl<'a> Machine<'a> {
     // ----- issue ----------------------------------------------------
 
     fn issue(&mut self) {
+        if self.event_driven {
+            // Idle-cycle fast path: with nothing ready the candidate
+            // walk, the policy selection and the loop are all no-ops,
+            // so skip straight to the one observable side effect.
+            let [primary, dup] = &self.ready;
+            if primary.is_empty() && dup.is_empty() {
+                self.prev_issue_saturated = false;
+                return;
+            }
+        }
         let mut issued = 0usize;
         // DIE-IRB selection policy (§3.1): the primary stream owns the
         // functional units — duplicates are IRB candidates first and
@@ -1129,63 +1146,85 @@ impl<'a> Machine<'a> {
         let mut candidates = std::mem::take(&mut self.scratch_candidates);
         candidates.clear();
         if self.event_driven {
-            // Copying the ready set up front snapshots it exactly as the
-            // scan did: entries woken by a mid-issue broadcast land in
-            // the queues' incoming buffers and wait for the next cycle.
-            let [primary, dup] = &mut self.ready;
+            // Walking the bitsets up front snapshots the ready set
+            // exactly as the scan did: entries woken by a mid-issue
+            // broadcast set their bit but are not in this cycle's
+            // candidate list. The walk is windowed to the live RUU
+            // span, so ring order equals ascending seq order.
+            let base_seq = self.ruu.head_seq();
+            let base_slot = self.ruu.slot_of(base_seq);
+            let len = self.ruu.len();
+            let [primary, dup] = &self.ready;
             if primary_first {
-                primary.append_to(&mut candidates);
-                dup.append_to(&mut candidates);
+                primary.append_ring(base_slot, len, base_seq, &mut candidates);
+                dup.append_ring(base_slot, len, base_seq, &mut candidates);
+            } else if !self.is_dual() {
+                // Single-stream modes never populate the dup set; the
+                // union walk would read a second word array of zeros.
+                primary.append_ring(base_slot, len, base_seq, &mut candidates);
             } else {
-                sched::merge_into(primary, dup, &mut candidates);
+                ReadySet::append_union_ring(
+                    primary,
+                    dup,
+                    base_slot,
+                    len,
+                    base_seq,
+                    &mut candidates,
+                );
             }
         } else {
-            candidates.extend(
-                self.ruu
-                    .iter()
-                    .filter(|(_, e)| e.state == EntryState::Ready)
-                    .map(|(s, _)| s),
-            );
+            self.ruu.collect_ready(&mut candidates);
             if primary_first {
-                candidates.sort_by_key(|&s| {
-                    let is_dup = self.ruu.get(s).is_some_and(|e| e.stream == Stream::Dup);
-                    (is_dup, s)
-                });
+                candidates.sort_by_key(|&s| (self.ruu.is_dup(s), s));
             }
         }
         // Without an IRB every entry's reuse state is NotEligible, so
         // `try_bypass` can never fire: skip the call, and stop scanning
         // entirely once the issue slots are gone.
         let has_irb = self.irb.is_some();
-        // Seqs that left the Ready state this cycle (issued, bypassed,
-        // or found stale); everything else stays queued.
-        let mut removed = std::mem::take(&mut self.scratch_removed);
-        removed.clear();
         let mut saturated = false;
+        // Pools that denied an attempt this cycle, one bit per pool per
+        // bank. `UnitPool::try_issue` never frees a unit mid-cycle, so a
+        // denial repeats for every later same-pool candidate in this
+        // pass and the re-probe can be skipped. The failed probe has no
+        // side effects, so the skip is observationally identical.
+        let mut full_pools = [0u8; 2];
+        // Same argument for data-cache ports: `dcache_used` only grows
+        // within a cycle, so one port denial repeats for every later
+        // port-needing load this pass.
+        let mut ports_full = false;
         for &seq in &candidates {
-            // One read covers the still-ready guard and everything an
-            // issue attempt needs; most attempts fail, so they should
-            // touch the entry exactly once.
-            let Some(e) = self.ruu.get(seq) else {
-                removed.push(seq);
+            // Post-saturation fast path: once width exhaustion has
+            // been recorded, only reuse-hit entries can still act (a
+            // bypass consumes no issue slot), so every other candidate
+            // skips on a single lane read. The guards below were
+            // side-effect-free for such entries, and `saturated` stays
+            // true, so the skip is observationally identical.
+            if saturated && self.ruu.reuse_tag(seq) != ReuseTag::Hit {
                 continue;
-            };
-            if e.state != EntryState::Ready {
-                removed.push(seq);
+            }
+            // The still-ready guard and the attempt fields are one-byte
+            // lane reads; most attempts fail, so a losing candidate
+            // costs a few packed bytes, not a record walk.
+            if !self.ruu.contains(seq) {
+                continue;
+            }
+            if self.ruu.state(seq) != EntryState::Ready {
+                self.remove_ready(seq);
                 continue;
             }
             let attempt = FuAttempt {
-                class: e.di.class(),
-                is_load: e.di.inst.op.is_load(),
-                is_dup: e.stream == Stream::Dup,
-                input_corrupt: e.input_corrupt,
+                class: self.ruu.class(seq),
+                is_load: self.ruu.is_load(seq),
+                is_dup: self.ruu.is_dup(seq),
+                input_corrupt: self.ruu.input_corrupt(seq),
             };
             // Reuse-test bypass. With a data-capture scheduler this
             // consumes neither issue bandwidth nor a functional unit
             // (§3.3); the non-data-capture models charge their costs
             // inside `try_bypass`.
             if has_irb && self.try_bypass(seq, &mut issued) {
-                removed.push(seq);
+                self.remove_ready(seq);
                 continue;
             }
             if issued >= self.cfg.issue_width {
@@ -1195,23 +1234,25 @@ impl<'a> Machine<'a> {
                 }
                 break;
             }
-            if self.try_fu_issue(seq, attempt) {
-                issued += 1;
-                removed.push(seq);
+            let bank = usize::from(attempt.is_dup && self.fu_dup.is_some());
+            let pool_bit = 1u8 << self.fu.pool_index(attempt.class);
+            if full_pools[bank] & pool_bit != 0 {
+                continue;
+            }
+            if ports_full && attempt.is_load && (!attempt.is_dup || !self.is_dual()) {
+                continue;
+            }
+            match self.try_fu_issue(seq, attempt) {
+                FuIssueOutcome::Issued => {
+                    issued += 1;
+                    self.remove_ready(seq);
+                }
+                FuIssueOutcome::NoUnit => full_pools[bank] |= pool_bit,
+                FuIssueOutcome::NoPort => ports_full = true,
             }
         }
         // Entries that lost arbitration (no unit, no port, lookup in
-        // flight) are still Ready and stay queued; drop exactly the
-        // ones that left. The removal list is at most a few entries,
-        // so the membership test is a short linear scan — cheaper than
-        // re-reading every ready entry's pipeline state.
-        if self.event_driven && !removed.is_empty() {
-            for q in &mut self.ready {
-                q.sweep(|s| !removed.contains(&s));
-            }
-        }
-        removed.clear();
-        self.scratch_removed = removed;
+        // flight) are still Ready and keep their bit for next cycle.
         self.scratch_candidates = candidates;
         self.prev_issue_saturated = saturated;
     }
@@ -1219,17 +1260,16 @@ impl<'a> Machine<'a> {
     /// Attempts the IRB reuse test on a ready entry. Returns `true` if
     /// the entry bypassed the functional units this cycle.
     fn try_bypass(&mut self, seq: u64, issued: &mut usize) -> bool {
-        let e = self.ruu.get(seq).expect("candidate exists");
-        let ReuseState::Hit(hit) = e.reuse else {
+        if self.ruu.reuse_tag(seq) != ReuseTag::Hit {
             return false;
-        };
-        if self.cycle < e.lookup_done_at {
+        }
+        if self.cycle < self.ruu.lookup_done_at(seq) {
             return false; // lookup still in its pipelined stages
         }
         // Non-data-capture timing (§3.3): the reuse test follows the
         // register-file read, one cycle after wakeup.
         if self.cfg.scheduler == SchedulerModel::NonDataCapturePipelined
-            && self.cycle < e.ready_at + 1
+            && self.cycle < self.ruu.ready_at(seq) + 1
         {
             return false;
         }
@@ -1241,12 +1281,12 @@ impl<'a> Machine<'a> {
             let _ = issued;
             return false;
         }
-        let di = e.di;
-        let is_load = di.inst.op.is_load();
+        let hit = self.ruu.reuse_hit(seq);
+        let is_load = self.ruu.is_load(seq);
         // An operand corrupted on the forwarding bus can never match the
         // buffered operands: the test fails and the copy re-executes.
-        if e.input_corrupt != 0 {
-            self.ruu.get_mut(seq).expect("entry").reuse = ReuseState::Failed;
+        if self.ruu.input_corrupt(seq) != 0 {
+            self.ruu.set_reuse(seq, ReuseState::Failed);
             return false;
         }
         // SIE-IRB loads still perform the (single) data access; make
@@ -1254,54 +1294,56 @@ impl<'a> Machine<'a> {
         if is_load && !self.is_dual() && self.dcache_used >= self.cfg.dcache.ports {
             return false;
         }
-        let irb = self.irb.as_mut().expect("IRB mode");
-        if !irb.reuse_test(&hit, &di) {
-            self.ruu.get_mut(seq).expect("entry").reuse = ReuseState::Failed;
-            return false;
+        {
+            let irb = self.irb.as_mut().expect("IRB mode");
+            if !irb.reuse_test(&hit, self.ruu.di(seq)) {
+                self.ruu.set_reuse(seq, ReuseState::Failed);
+                return false;
+            }
         }
 
         // Passed: the buffered result (possibly struck by an IRB fault)
         // becomes this copy's output.
         self.stats.fu_bypasses += 1;
         let produced = hit.result;
-        let clean = reuse_output(&di);
-        let out = finalize_out(&di, produced);
-        {
-            let e = self.ruu.get(seq).expect("entry");
-            let stream = e.stream;
-            self.trace(TraceEventKind::Issue, di.seq, di.pc, stream_code(stream), 0);
-        }
-        {
-            let e = self.ruu.get_mut(seq).expect("entry");
-            e.reuse = ReuseState::Passed;
-            e.out_bits = Some(out);
-            if produced != clean {
-                e.fault_tainted = true;
-                // Attribute the corrupt buffered result to the IRB
-                // strike that hit this PC's slot.
-                if let Some(&id) = self.irb_fault_pc.get(&hit.pc) {
-                    e.fault_ids.push(id);
-                }
+        let (clean, out, di_seq, di_pc, ea) = {
+            let di = self.ruu.di(seq);
+            (
+                reuse_output(di),
+                finalize_out(di, produced),
+                di.seq,
+                di.pc,
+                di.ea,
+            )
+        };
+        let stream = self.ruu.stream(seq);
+        self.trace(TraceEventKind::Issue, di_seq, di_pc, stream_code(stream), 0);
+        self.ruu.set_reuse(seq, ReuseState::Passed);
+        self.ruu.set_out_bits(seq, Some(out));
+        if produced != clean {
+            self.ruu.set_fault_tainted(seq, true);
+            // Attribute the corrupt buffered result to the IRB
+            // strike that hit this PC's slot.
+            if let Some(&id) = self.irb_fault_pc.get(&hit.pc) {
+                self.ruu.push_fault_id(seq, id);
             }
         }
 
         if is_load {
             if self.is_dual() {
                 // The duplicate's data rides the pair's shared access.
-                let partner_done = self.ruu.get(seq - 1).is_some_and(Entry::is_done);
-                if partner_done {
+                if self.ruu.is_done(seq - 1) {
                     self.mark_done(seq);
                 } else {
-                    self.ruu.get_mut(seq).expect("entry").state = EntryState::WaitingPair;
+                    self.ruu.set_state(seq, EntryState::WaitingPair);
                 }
             } else {
                 // SIE-IRB: address calc skipped, data access remains.
                 self.dcache_used += 1;
-                let ea = di.ea.expect("load has an address");
+                let ea = ea.expect("load has an address");
                 let at = self.cycle + self.hierarchy.read_data(ea);
-                let e = self.ruu.get_mut(seq).expect("entry");
-                e.state = EntryState::Issued;
-                e.complete_at = Some(at);
+                self.ruu.set_state(seq, EntryState::Issued);
+                self.ruu.set_complete_at(seq, at);
                 self.schedule_completion(at, seq);
             }
         } else {
@@ -1313,7 +1355,7 @@ impl<'a> Machine<'a> {
     /// Attempts to issue a ready entry to its functional-unit pool.
     /// `attempt` carries the entry fields the caller already read;
     /// the full `DynInst` is copied only after a unit is secured.
-    fn try_fu_issue(&mut self, seq: u64, attempt: FuAttempt) -> bool {
+    fn try_fu_issue(&mut self, seq: u64, attempt: FuAttempt) -> FuIssueOutcome {
         let FuAttempt {
             class,
             is_load,
@@ -1322,74 +1364,74 @@ impl<'a> Machine<'a> {
         } = attempt;
         let needs_dcache = is_load && (!is_dup || !self.is_dual());
         if needs_dcache && self.dcache_used >= self.cfg.dcache.ports {
-            return false;
+            return FuIssueOutcome::NoPort;
         }
         let bank = match &mut self.fu_dup {
             Some(dup) if is_dup => dup,
             _ => &mut self.fu,
         };
         let Some(done) = bank.try_issue(class, self.cycle) else {
-            return false;
+            return FuIssueOutcome::NoUnit;
         };
         self.stats.fu_issues += 1;
-        let di = self.ruu.get(seq).expect("candidate exists").di;
 
         // Naive non-data-capture (§3.3): the operands arrive only now,
         // after selection and allocation; a passing reuse test wastes
         // the unit but still supplies the result immediately — a
         // latency win with no bandwidth win.
-        if self.cfg.scheduler == SchedulerModel::NonDataCaptureNaive {
-            let e = self.ruu.get(seq).expect("candidate exists");
-            if let ReuseState::Hit(hit) = e.reuse {
-                if self.cycle >= e.lookup_done_at && e.input_corrupt == 0 {
-                    let di = e.di;
-                    let irb = self.irb.as_mut().expect("IRB mode");
-                    if irb.reuse_test(&hit, &di) {
-                        self.stats.fu_bypasses += 1;
-                        let produced = hit.result;
-                        let clean = reuse_output(&di);
-                        let out = finalize_out(&di, produced);
-                        let e = self.ruu.get_mut(seq).expect("entry");
-                        e.reuse = ReuseState::Passed;
-                        e.out_bits = Some(out);
-                        if produced != clean {
-                            e.fault_tainted = true;
-                            if let Some(&id) = self.irb_fault_pc.get(&hit.pc) {
-                                e.fault_ids.push(id);
-                            }
-                        }
-                        self.trace(TraceEventKind::Issue, di.seq, di.pc, u8::from(is_dup), 0);
-                        if di.inst.op.is_load() && self.is_dual() {
-                            let partner_done = self.ruu.get(seq - 1).is_some_and(Entry::is_done);
-                            if partner_done {
-                                self.mark_done(seq);
-                            } else {
-                                self.ruu.get_mut(seq).expect("entry").state =
-                                    EntryState::WaitingPair;
-                            }
-                        } else {
-                            self.mark_done(seq);
-                        }
-                        return true;
+        if self.cfg.scheduler == SchedulerModel::NonDataCaptureNaive
+            && self.ruu.reuse_tag(seq) == ReuseTag::Hit
+            && self.cycle >= self.ruu.lookup_done_at(seq)
+            && input_corrupt == 0
+        {
+            let hit = self.ruu.reuse_hit(seq);
+            let passed = {
+                let irb = self.irb.as_mut().expect("IRB mode");
+                irb.reuse_test(&hit, self.ruu.di(seq))
+            };
+            if passed {
+                self.stats.fu_bypasses += 1;
+                let produced = hit.result;
+                let (clean, out, di_seq, di_pc) = {
+                    let di = self.ruu.di(seq);
+                    (reuse_output(di), finalize_out(di, produced), di.seq, di.pc)
+                };
+                self.ruu.set_reuse(seq, ReuseState::Passed);
+                self.ruu.set_out_bits(seq, Some(out));
+                if produced != clean {
+                    self.ruu.set_fault_tainted(seq, true);
+                    if let Some(&id) = self.irb_fault_pc.get(&hit.pc) {
+                        self.ruu.push_fault_id(seq, id);
                     }
-                    self.ruu.get_mut(seq).expect("entry").reuse = ReuseState::Failed;
                 }
+                self.trace(TraceEventKind::Issue, di_seq, di_pc, u8::from(is_dup), 0);
+                if is_load && self.is_dual() {
+                    if self.ruu.is_done(seq - 1) {
+                        self.mark_done(seq);
+                    } else {
+                        self.ruu.set_state(seq, EntryState::WaitingPair);
+                    }
+                } else {
+                    self.mark_done(seq);
+                }
+                return FuIssueOutcome::Issued;
             }
+            self.ruu.set_reuse(seq, ReuseState::Failed);
         }
 
         // Produce this copy's bits, through the fault model.
-        let produced = produced_bits(&di).map(|p| p ^ input_corrupt);
+        let produced = produced_bits(self.ruu.di(seq)).map(|p| p ^ input_corrupt);
         let (out, struck) = match produced {
             Some(p) => {
                 let (pb, fid) = self.inj.strike_fu(p, self.cycle);
-                (Some(finalize_out(&di, pb)), fid)
+                (Some(finalize_out(self.ruu.di(seq), pb)), fid)
             }
             None => (None, None),
         };
 
         let mut complete_at = done;
         if needs_dcache {
-            let ea = di.ea.expect("load has an address");
+            let ea = self.ruu.di(seq).ea.expect("load has an address");
             // Store-to-load forwarding: if the producing store is still
             // in flight in the LSQ, the data comes from its entry in a
             // single cycle instead of a cache access.
@@ -1397,7 +1439,7 @@ impl<'a> Machine<'a> {
                 && self
                     .last_store
                     .get(&(ea & !7))
-                    .is_some_and(|&s| self.ruu.get(s).is_some());
+                    .is_some_and(|&s| self.ruu.contains(s));
             if forwarded {
                 complete_at = done + 1;
             } else {
@@ -1405,26 +1447,29 @@ impl<'a> Machine<'a> {
                 complete_at = done + self.hierarchy.read_data(ea);
             }
         }
-        let e = self.ruu.get_mut(seq).expect("entry");
-        e.state = EntryState::Issued;
-        e.executed_on_fu = true;
-        e.complete_at = Some(complete_at);
-        e.out_bits = out;
+        self.ruu.set_state(seq, EntryState::Issued);
+        self.ruu.set_executed_on_fu(seq, true);
+        self.ruu.set_complete_at(seq, complete_at);
+        self.ruu.set_out_bits(seq, out);
         if let Some(id) = struck {
-            e.fault_tainted = true;
-            e.fault_ids.push(id);
+            self.ruu.set_fault_tainted(seq, true);
+            self.ruu.push_fault_id(seq, id);
         }
         self.schedule_completion(complete_at, seq);
         if self.trace_on {
+            let (di_seq, di_pc) = {
+                let d = self.ruu.di(seq);
+                (d.seq, d.pc)
+            };
             let stream = u8::from(is_dup);
-            self.trace(TraceEventKind::Issue, di.seq, di.pc, stream, 1);
+            self.trace(TraceEventKind::Issue, di_seq, di_pc, stream, 1);
             let dur = complete_at.saturating_sub(self.cycle).max(1);
-            self.trace(TraceEventKind::Execute, di.seq, di.pc, stream, dur);
+            self.trace(TraceEventKind::Execute, di_seq, di_pc, stream, dur);
             if let Some(id) = struck {
-                self.trace(TraceEventKind::FaultInject, u64::from(id), di.pc, stream, 0);
+                self.trace(TraceEventKind::FaultInject, u64::from(id), di_pc, stream, 0);
             }
         }
-        true
+        FuIssueOutcome::Issued
     }
 
     // ----- dispatch -------------------------------------------------
@@ -1447,48 +1492,52 @@ impl<'a> Machine<'a> {
                 break;
             }
             let fetched = self.ifq.pop_front().expect("front exists");
-            self.dispatch_one(fetched);
+            let reuse = if self.irb.is_some() {
+                self.ifq_reuse.pop_front().expect("parallel to ifq")
+            } else {
+                ReuseState::NotEligible
+            };
+            self.dispatch_one(fetched, reuse);
             budget -= need;
         }
     }
 
-    fn dispatch_one(&mut self, fetched: FetchedInst) {
+    fn dispatch_one(&mut self, fetched: FetchedInst, reuse: ReuseState) {
         let di = fetched.di;
-        // Primary copy.
-        let pseq = self.ruu.next_seq();
-        let mut primary = Entry::new(di, Stream::Primary);
+        // Primary copy. Producers are strictly older than the entry
+        // being linked, so pushing before linking cannot self-link.
+        let pseq = self.ruu.push(di, Stream::Primary);
         if self.mode == ExecMode::SieIrb {
-            primary.reuse = fetched.reuse;
-            primary.lookup_done_at = fetched.lookup_done_at;
+            self.ruu.set_reuse(pseq, reuse);
+            self.ruu.set_lookup_done_at(pseq, fetched.lookup_done_at);
         }
-        primary.deps_remaining = self.link_deps(pseq, &di, PRIMARY, true);
-        let primary_ready = primary.deps_remaining == 0;
+        let deps = self.link_deps(pseq, &di, PRIMARY, true);
+        self.ruu.set_deps_remaining(pseq, deps);
+        let primary_ready = deps == 0;
         if primary_ready {
-            primary.state = EntryState::Ready;
-            primary.ready_at = self.cycle;
+            self.ruu.set_state(pseq, EntryState::Ready);
+            self.ruu.set_ready_at(pseq, self.cycle);
         }
-        let pushed = self.ruu.push(primary);
-        debug_assert_eq!(pushed, pseq);
         self.trace(TraceEventKind::Dispatch, di.seq, di.pc, 0, 0);
         if primary_ready {
             self.push_ready(pseq, Stream::Primary);
         }
 
-        // Duplicate copy.
+        // Duplicate copy — shares the primary's record lane instead of
+        // storing a second identical `DynInst`.
         if self.is_dual() {
-            let dseq = self.ruu.next_seq();
-            let mut dup = Entry::new(di, Stream::Dup);
+            let dseq = self.ruu.push_dup_shared();
             if self.mode == ExecMode::DieIrb {
-                dup.reuse = fetched.reuse;
-                dup.lookup_done_at = fetched.lookup_done_at;
+                self.ruu.set_reuse(dseq, reuse);
+                self.ruu.set_lookup_done_at(dseq, fetched.lookup_done_at);
             }
-            dup.deps_remaining = self.link_deps(dseq, &di, self.dup_source_bank, false);
-            let dup_ready = dup.deps_remaining == 0;
+            let deps = self.link_deps(dseq, &di, self.dup_source_bank, false);
+            self.ruu.set_deps_remaining(dseq, deps);
+            let dup_ready = deps == 0;
             if dup_ready {
-                dup.state = EntryState::Ready;
-                dup.ready_at = self.cycle;
+                self.ruu.set_state(dseq, EntryState::Ready);
+                self.ruu.set_ready_at(dseq, self.cycle);
             }
-            self.ruu.push(dup);
             self.trace(TraceEventKind::Dispatch, di.seq, di.pc, 1, 0);
             if dup_ready {
                 self.push_ready(dseq, Stream::Dup);
@@ -1523,21 +1572,24 @@ impl<'a> Machine<'a> {
     }
 
     /// Registers producer→consumer edges; returns the dependence count.
-    fn link_deps(&mut self, myseq: u64, di: &DynInst, bank: usize, is_primary: bool) -> usize {
-        let mut deps = 0;
-        let mut producers = std::mem::take(&mut self.scratch_producers);
-        producers.clear();
+    fn link_deps(&mut self, myseq: u64, di: &DynInst, bank: usize, is_primary: bool) -> u32 {
+        // At most two register sources plus one memory dependence; the
+        // producer list lives on the stack.
+        let mut producers = [0u64; 3];
+        let mut n = 0;
         for r in di.inst.int_sources() {
             if r.is_zero() {
                 continue;
             }
             if let Some(p) = self.rename_int[bank][r.index()] {
-                producers.push(p);
+                producers[n] = p;
+                n += 1;
             }
         }
         for f in di.inst.fp_sources() {
             if let Some(p) = self.rename_fp[bank][f.index()] {
-                producers.push(p);
+                producers[n] = p;
+                n += 1;
             }
         }
         // Memory dependence: the copy that performs the access waits
@@ -1545,30 +1597,22 @@ impl<'a> Machine<'a> {
         if di.inst.op.is_load() && (is_primary || !self.is_dual()) {
             let ea = di.ea.expect("load has an address");
             if let Some(&s) = self.last_store.get(&(ea & !7)) {
-                producers.push(s);
+                producers[n] = s;
+                n += 1;
             }
         }
-        for &p in &producers {
+        let mut deps = 0;
+        for &p in &producers[..n] {
             // A producer touched for the first time gets a recycled
             // consumers vector so its first push does not allocate.
             let mut spare = self.consumer_pool.pop();
-            if let Some(prod) = self.ruu.get_mut(p) {
-                if !prod.is_done() {
-                    if prod.consumers.capacity() == 0 {
-                        if let Some(v) = spare.take() {
-                            prod.consumers = v;
-                        }
-                    }
-                    prod.consumers.push(myseq);
-                    deps += 1;
-                }
+            if self.ruu.push_consumer(p, myseq, &mut spare) {
+                deps += 1;
             }
             if let Some(v) = spare {
                 self.consumer_pool.push(v);
             }
         }
-        producers.clear();
-        self.scratch_producers = producers;
         deps
     }
 
@@ -1582,7 +1626,7 @@ impl<'a> Machine<'a> {
             if let Some(wp) = self.wrong_path_pc {
                 let line_bytes = self.cfg.hierarchy.l1i.line_bytes;
                 let _ = self.hierarchy.fetch_inst(wp);
-                self.last_fetch_line = Some(wp / line_bytes);
+                self.last_fetch_line = Some(wp >> self.l1i_line_shift);
                 self.wrong_path_pc = Some(wp + line_bytes);
             }
             return Ok(());
@@ -1607,7 +1651,6 @@ impl<'a> Machine<'a> {
             return Ok(());
         }
 
-        let line_bytes = self.cfg.hierarchy.l1i.line_bytes;
         let hit_lat = self.cfg.hierarchy.l1i.hit_latency;
         let mut fetched = 0usize;
 
@@ -1617,7 +1660,7 @@ impl<'a> Machine<'a> {
             // Touch the I-cache once per new line the group walks into
             // (SimpleScalar-style: the group may span line boundaries as
             // long as every line hits).
-            let line = di.pc / line_bytes;
+            let line = di.pc >> self.l1i_line_shift;
             if self.last_fetch_line != Some(line) {
                 let lat = self.hierarchy.fetch_inst(di.pc);
                 self.last_fetch_line = Some(line);
@@ -1646,11 +1689,10 @@ impl<'a> Machine<'a> {
                 Some(irb) if reuse_allowed => irb.start_lookup(&di, self.cycle),
                 _ => (ReuseState::NotEligible, self.cycle),
             };
-            self.ifq.push_back(FetchedInst {
-                di,
-                reuse,
-                lookup_done_at,
-            });
+            self.ifq.push_back(FetchedInst { di, lookup_done_at });
+            if self.irb.is_some() {
+                self.ifq_reuse.push_back(reuse);
+            }
             fetched += 1;
             if self.trace_on {
                 self.trace(TraceEventKind::Fetch, di.seq, di.pc, 0, 0);

@@ -1,145 +1,183 @@
-//! Event-driven scheduling structures: the ready queue and the
+//! Event-driven scheduling structures: the ready bitset and the
 //! completion calendar.
 //!
 //! Together these replace the O(window) per-cycle scans the pipeline
 //! originally performed: instead of filtering every RUU entry for
 //! `Ready` candidates at issue and `complete_at == cycle` entries at
-//! writeback, the pipeline *pushes* a sequence number exactly when the
-//! corresponding transition happens and *pops* exactly the work due.
-//! `DESIGN.md` ("The event-driven scheduling core") documents the
-//! invariants that keep these structures in sync with the RUU's
+//! writeback, the pipeline *marks* a ring slot exactly when the
+//! corresponding transition happens and *walks* exactly the work due.
+//! `DESIGN.md` ("The event-driven scheduling core" and §12) documents
+//! the invariants that keep these structures in sync with the RUU's
 //! per-entry `EntryState`.
 //!
-//! Both structures recycle their backing storage: pushes after the
-//! warm-up phase never allocate, which keeps the steady-state cycle
-//! loop allocation-free.
+//! Both structures have fixed backing storage sized at construction:
+//! the steady-state cycle loop is allocation-free.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-/// A set of ready-to-issue RUU entries, read oldest-first.
+/// A set of ready-to-issue RUU entries, stored as one bit per ring
+/// slot and read in ring (= age) order.
 ///
-/// The pipeline keeps one queue per stream so the §3.1 primary-first
-/// selection policy becomes a read order (primary queue before
-/// duplicate queue) instead of a per-cycle sort.
+/// The pipeline keeps one set per stream so the §3.1 primary-first
+/// selection policy becomes a read order (primary set before duplicate
+/// set) instead of a per-cycle sort.
 ///
 /// Entries that lose issue arbitration stay ready for many consecutive
-/// cycles, so the queue is a *persistent* sorted list rather than a
-/// heap that is drained and rebuilt: [`ReadyQueue::push`] appends to an
-/// unsorted incoming buffer, [`ReadyQueue::append_to`] folds arrivals
-/// in (new seqs are usually the largest, making the fold a plain
-/// append) and copies the list out, and [`ReadyQueue::sweep`] drops the
-/// entries that issued. A still-ready entry costs one word of memcpy
-/// per cycle instead of a heap pop + re-push.
+/// cycles; here a still-ready entry costs nothing at all between
+/// cycles — its bit simply stays set. Wakeup ([`ReadySet::insert`]) and
+/// issue ([`ReadySet::remove`]) are single branchless word updates, and
+/// candidate collection ([`ReadySet::append_ring`]) walks whole words
+/// with trailing-zeros iteration, touching 1 bit of state per window
+/// slot instead of a word per queued entry.
+///
+/// Because the RUU ring is a power of two and its live window never
+/// exceeds the ring size, slot order walked from the window base *is*
+/// ascending sequence order — the same oldest-first order the previous
+/// sorted queue produced.
 ///
 /// # Examples
 ///
 /// ```
-/// use redsim_core::sched::ReadyQueue;
+/// use redsim_core::sched::ReadySet;
 ///
-/// let mut q = ReadyQueue::default();
-/// q.push(7);
-/// q.push(3);
+/// let mut s = ReadySet::new(64);
+/// s.insert(7);
+/// s.insert(3);
 /// let mut out = Vec::new();
-/// q.append_to(&mut out);
-/// assert_eq!(out, [3, 7], "oldest (smallest seq) first");
-/// q.sweep(|seq| seq != 3);
+/// // Window of 16 entries starting at slot 0 == seq 100.
+/// s.append_ring(0, 16, 100, &mut out);
+/// assert_eq!(out, [103, 107], "oldest (smallest seq) first");
+/// s.remove(3); // seq 103 issued; 107 is still ready
 /// out.clear();
-/// q.append_to(&mut out);
-/// assert_eq!(out, [7], "3 issued; 7 is still ready");
+/// s.append_ring(0, 16, 100, &mut out);
+/// assert_eq!(out, [107]);
 /// ```
 #[derive(Debug, Default)]
-pub struct ReadyQueue {
-    /// The ready set, ascending by seq.
-    sorted: Vec<u64>,
-    /// Arrivals since the last fold, unsorted.
-    incoming: Vec<u64>,
-    /// Merge scratch, retained for reuse.
-    scratch: Vec<u64>,
+pub struct ReadySet {
+    /// One bit per ring slot.
+    words: Vec<u64>,
 }
 
-impl ReadyQueue {
-    /// Adds a newly ready entry.
-    pub fn push(&mut self, seq: u64) {
-        self.incoming.push(seq);
+impl ReadySet {
+    /// Creates an empty set over a ring of `slots` slots (a power of
+    /// two, at least 64 — the RUU ring guarantees both).
+    #[must_use]
+    pub fn new(slots: usize) -> Self {
+        assert!(
+            slots >= 64 && slots.is_power_of_two(),
+            "ring size must be a power of two >= 64"
+        );
+        ReadySet {
+            words: vec![0; slots / 64],
+        }
     }
 
-    /// Folds `incoming` into `sorted`.
-    fn normalize(&mut self) {
-        if self.incoming.is_empty() {
-            return;
-        }
-        self.incoming.sort_unstable();
-        if self.sorted.last().is_none_or(|&l| l < self.incoming[0]) {
-            self.sorted.append(&mut self.incoming);
-            return;
-        }
-        self.scratch.clear();
-        let (mut i, mut j) = (0, 0);
-        while i < self.sorted.len() && j < self.incoming.len() {
-            if self.sorted[i] <= self.incoming[j] {
-                self.scratch.push(self.sorted[i]);
-                i += 1;
-            } else {
-                self.scratch.push(self.incoming[j]);
-                j += 1;
-            }
-        }
-        self.scratch.extend_from_slice(&self.sorted[i..]);
-        self.scratch.extend_from_slice(&self.incoming[j..]);
-        std::mem::swap(&mut self.sorted, &mut self.scratch);
-        self.incoming.clear();
-        debug_assert!(
-            self.sorted.windows(2).all(|w| w[0] < w[1]),
-            "a seq was pushed while already queued"
+    /// Marks `slot` ready (idempotent).
+    #[inline]
+    pub fn insert(&mut self, slot: usize) {
+        self.words[slot >> 6] |= 1 << (slot & 63);
+    }
+
+    /// Clears `slot` (idempotent).
+    #[inline]
+    pub fn remove(&mut self, slot: usize) {
+        self.words[slot >> 6] &= !(1 << (slot & 63));
+    }
+
+    /// `true` when no slot is marked.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Marked slot count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Appends the seq of every marked slot inside the live window to
+    /// `out`, in ring order from the window base (= ascending seq).
+    ///
+    /// The window starts at ring slot `base_slot` (holding seq
+    /// `base_seq`) and spans `len` slots, wrapping modulo the ring
+    /// size.
+    pub fn append_ring(&self, base_slot: usize, len: usize, base_seq: u64, out: &mut Vec<u64>) {
+        walk_ring(
+            base_slot,
+            len,
+            self.words.len(),
+            |w| self.words[w],
+            |offset| {
+                out.push(base_seq + offset);
+            },
         );
     }
 
-    /// Appends the ready set to `out` in ascending order, keeping it
-    /// queued (drop issued entries afterwards with
-    /// [`ReadyQueue::sweep`]).
-    pub fn append_to(&mut self, out: &mut Vec<u64>) {
-        self.normalize();
-        out.extend_from_slice(&self.sorted);
-    }
-
-    /// Drops every queued seq for which `keep` returns `false`.
-    pub fn sweep(&mut self, mut keep: impl FnMut(u64) -> bool) {
-        self.sorted.retain(|&s| keep(s));
-    }
-
-    /// `true` when nothing is ready.
-    #[must_use]
-    pub fn is_empty(&self) -> bool {
-        self.sorted.is_empty() && self.incoming.is_empty()
-    }
-
-    /// Queued entry count.
-    #[must_use]
-    pub fn len(&self) -> usize {
-        self.sorted.len() + self.incoming.len()
+    /// Appends the seqs marked in `a` *or* `b` over the shared live
+    /// window, in ring order (the symmetric oldest-first selection
+    /// policy across both streams). Both sets keep their contents.
+    pub fn append_union_ring(
+        a: &ReadySet,
+        b: &ReadySet,
+        base_slot: usize,
+        len: usize,
+        base_seq: u64,
+        out: &mut Vec<u64>,
+    ) {
+        debug_assert_eq!(a.words.len(), b.words.len());
+        walk_ring(
+            base_slot,
+            len,
+            a.words.len(),
+            |w| a.words[w] | b.words[w],
+            |offset| out.push(base_seq + offset),
+        );
     }
 }
 
-/// Appends the union of two ready queues to `out` in ascending seq
-/// order (the symmetric oldest-first selection policy). Both queues
-/// keep their contents.
-pub fn merge_into(a: &mut ReadyQueue, b: &mut ReadyQueue, out: &mut Vec<u64>) {
-    a.normalize();
-    b.normalize();
-    let (xs, ys) = (&a.sorted, &b.sorted);
-    let (mut i, mut j) = (0, 0);
-    while i < xs.len() && j < ys.len() {
-        if xs[i] < ys[j] {
-            out.push(xs[i]);
-            i += 1;
-        } else {
-            out.push(ys[j]);
-            j += 1;
+/// Walks the marked slots of a wrapped window `[base_slot, base_slot +
+/// len)` over a ring of `words * 64` slots, calling `emit` with each
+/// marked slot's offset from the window base, in window order.
+///
+/// The window is at most one wrap, so it splits into at most two
+/// linear spans; each span is scanned a word at a time with the
+/// out-of-window bits masked off and the survivors drained by
+/// trailing-zeros iteration.
+#[inline]
+fn walk_ring(
+    base_slot: usize,
+    len: usize,
+    words: usize,
+    fetch: impl Fn(usize) -> u64,
+    mut emit: impl FnMut(u64),
+) {
+    let slots = words * 64;
+    debug_assert!(len <= slots);
+    let mut span = |lo: usize, hi: usize| {
+        if lo >= hi {
+            return;
         }
-    }
-    out.extend_from_slice(&xs[i..]);
-    out.extend_from_slice(&ys[j..]);
+        let slot_mask = slots as u64 - 1;
+        for w in (lo >> 6)..=((hi - 1) >> 6) {
+            let mut bits = fetch(w);
+            if w == lo >> 6 {
+                bits &= !0 << (lo & 63);
+            }
+            if w == (hi - 1) >> 6 {
+                bits &= !0 >> (63 - ((hi - 1) & 63));
+            }
+            while bits != 0 {
+                let slot = (w << 6) + bits.trailing_zeros() as usize;
+                emit((slot as u64).wrapping_sub(base_slot as u64) & slot_mask);
+                bits &= bits - 1;
+            }
+        }
+    };
+    let end = base_slot + len;
+    span(base_slot, end.min(slots));
+    span(0, end.saturating_sub(slots));
 }
 
 /// Near-horizon bucket count of the calendar's timing wheel. Must be a
@@ -212,8 +250,12 @@ impl Calendar {
     }
 
     /// Replaces `out` with every seq due at cycle `now`, ascending.
+    #[inline]
     pub fn pop_due(&mut self, now: u64, out: &mut Vec<u64>) {
         out.clear();
+        if self.pending == 0 {
+            return;
+        }
         out.append(&mut self.wheel[now as usize & (WHEEL - 1)]);
         while let Some(&Reverse((c, s))) = self.overflow.peek() {
             debug_assert!(c >= now, "overflow events cannot be missed");
@@ -239,68 +281,100 @@ mod tests {
     use super::*;
 
     #[test]
-    fn ready_queue_orders_by_seq_not_insertion() {
-        let mut q = ReadyQueue::default();
-        for s in [9, 2, 5, 11, 3] {
-            q.push(s);
+    fn ready_set_orders_by_ring_position_not_insertion() {
+        let mut s = ReadySet::new(64);
+        for slot in [9, 2, 5, 11, 3] {
+            s.insert(slot);
         }
-        assert_eq!(q.len(), 5);
+        assert_eq!(s.len(), 5);
         let mut out = Vec::new();
-        q.append_to(&mut out);
+        s.append_ring(0, 64, 0, &mut out);
         assert_eq!(out, [2, 3, 5, 9, 11]);
-        assert_eq!(q.len(), 5, "append_to keeps entries queued");
+        assert_eq!(s.len(), 5, "append_ring keeps slots marked");
     }
 
     #[test]
-    fn ready_queue_sweep_retains_survivors_across_cycles() {
-        let mut q = ReadyQueue::default();
-        for s in [4, 8, 6] {
-            q.push(s);
+    fn ready_set_survivors_persist_across_cycles() {
+        let mut s = ReadySet::new(64);
+        for slot in [4, 8, 6] {
+            s.insert(slot);
         }
         let mut out = Vec::new();
-        q.append_to(&mut out);
+        s.append_ring(0, 64, 0, &mut out);
         assert_eq!(out, [4, 6, 8]);
         // Cycle issues 4 and 8; 6 lost arbitration and stays ready.
-        q.sweep(|s| s == 6);
+        s.remove(4);
+        s.remove(8);
         // A younger entry wakes up next cycle, plus one older than the
-        // survivor (a replayed entry) to exercise the merge fold.
-        q.push(10);
-        q.push(5);
+        // survivor (a replayed entry).
+        s.insert(10);
+        s.insert(5);
         out.clear();
-        q.append_to(&mut out);
+        s.append_ring(0, 64, 0, &mut out);
         assert_eq!(out, [5, 6, 10]);
     }
 
     #[test]
-    fn merge_interleaves_two_streams_by_seq() {
-        let mut p = ReadyQueue::default();
-        let mut d = ReadyQueue::default();
-        for s in [0, 4, 6] {
-            p.push(s);
+    fn ring_walk_wraps_and_translates_to_seqs() {
+        let mut s = ReadySet::new(64);
+        // Window of 8 slots starting at slot 61: ring order is
+        // 61, 62, 63, 0, 1, 2, 3, 4.
+        for slot in [62, 1, 61, 4] {
+            s.insert(slot);
         }
-        for s in [1, 5, 7] {
-            d.push(s);
+        // A marked slot *outside* the window must not be reported.
+        s.insert(40);
+        let mut out = Vec::new();
+        s.append_ring(61, 8, 500, &mut out);
+        assert_eq!(out, [500, 501, 504, 507], "ring order, window only");
+    }
+
+    #[test]
+    fn union_interleaves_two_streams_by_ring_order() {
+        let mut p = ReadySet::new(64);
+        let mut d = ReadySet::new(64);
+        for slot in [0, 4, 6] {
+            p.insert(slot);
+        }
+        for slot in [1, 5, 7] {
+            d.insert(slot);
         }
         let mut out = Vec::new();
-        merge_into(&mut p, &mut d, &mut out);
+        ReadySet::append_union_ring(&p, &d, 0, 64, 0, &mut out);
         assert_eq!(out, [0, 1, 4, 5, 6, 7]);
         assert_eq!(p.len(), 3);
         assert_eq!(d.len(), 3);
     }
 
     #[test]
-    fn merge_handles_empty_sides() {
-        let mut p = ReadyQueue::default();
-        let mut d = ReadyQueue::default();
-        p.push(3);
+    fn union_handles_empty_sides() {
+        let mut p = ReadySet::new(64);
+        let d = ReadySet::new(64);
+        p.insert(3);
         let mut out = Vec::new();
-        merge_into(&mut p, &mut d, &mut out);
+        ReadySet::append_union_ring(&p, &d, 0, 64, 0, &mut out);
         assert_eq!(out, [3]);
-        p.sweep(|_| false);
+        p.remove(3);
         out.clear();
-        merge_into(&mut p, &mut d, &mut out);
+        ReadySet::append_union_ring(&p, &d, 0, 64, 0, &mut out);
         assert!(out.is_empty());
         assert!(p.is_empty() && d.is_empty());
+    }
+
+    #[test]
+    fn multi_word_windows_visit_every_word() {
+        let mut s = ReadySet::new(256);
+        for slot in [0, 63, 64, 127, 128, 200, 255] {
+            s.insert(slot);
+        }
+        let mut out = Vec::new();
+        s.append_ring(0, 256, 0, &mut out);
+        assert_eq!(out, [0, 63, 64, 127, 128, 200, 255]);
+        // A wrapped window starting mid-word in the last word.
+        out.clear();
+        s.append_ring(250, 100, 1000, &mut out);
+        // Offsets: 255-250=5, then 0→6, 63→69, 64→70.
+        assert_eq!(out, [1005, 1006, 1069, 1070]);
     }
 
     #[test]
@@ -354,6 +428,51 @@ mod tests {
             }
             c.pop_due(at, &mut out);
             assert_eq!(out, [round]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod generative {
+    //! Seeded model test: the bitset walk must agree with a sorted-set
+    //! reference across random windows and churn.
+
+    use super::*;
+    use redsim_util::Rng;
+
+    #[test]
+    fn ring_walk_matches_sorted_reference() {
+        let mut rng = Rng::new(0x5c4e_d001);
+        for _ in 0..200 {
+            let slots = *rng.pick(&[64usize, 128, 512]);
+            let mut s = ReadySet::new(slots);
+            let mut model: Vec<usize> = Vec::new();
+            for _ in 0..rng.range_u64(1, 60) {
+                let slot = rng.index(slots);
+                if rng.flip() {
+                    s.insert(slot);
+                    if !model.contains(&slot) {
+                        model.push(slot);
+                    }
+                } else {
+                    s.remove(slot);
+                    model.retain(|&m| m != slot);
+                }
+            }
+            // Random live window, possibly wrapping, possibly full.
+            let base_slot = rng.index(slots);
+            let len = rng.index(slots + 1);
+            let base_seq = rng.below(1 << 40);
+            let mut got = Vec::new();
+            s.append_ring(base_slot, len, base_seq, &mut got);
+            let mut want: Vec<u64> = model
+                .iter()
+                .map(|&m| (m + slots - base_slot) % slots)
+                .filter(|&off| off < len)
+                .map(|off| base_seq + off as u64)
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want, "slots={slots} base={base_slot} len={len}");
         }
     }
 }

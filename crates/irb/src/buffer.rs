@@ -9,7 +9,13 @@ use crate::config::{IrbConfig, ReusePolicy};
 /// immediate is stored in `op2` — it is constant per static instruction,
 /// so it always matches, exactly as in hardware where the immediate is
 /// part of the instruction word rather than the reuse test.
+///
+/// The layout is locked to exactly half a cache line (`repr(C,
+/// align(32))`, 32 bytes): the payload lane of the storage array packs
+/// two entries per line and an entry never straddles a line boundary,
+/// so the hit path's payload read touches exactly one line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[repr(C, align(32))]
 pub struct IrbEntry {
     /// The static instruction's address (the tag).
     pub pc: u64,
@@ -22,18 +28,96 @@ pub struct IrbEntry {
     pub result: u64,
 }
 
+// Build-time locks on the packed layout (see DESIGN.md §12): growing a
+// field breaks the two-entries-per-line packing at compile time, not in
+// a benchmark three PRs later.
+const _: () = assert!(std::mem::size_of::<IrbEntry>() == 32);
+const _: () = assert!(std::mem::align_of::<IrbEntry>() == 32);
+
 /// Register names an entry depends on, for name-based reuse.
 ///
 /// Encoded as `index` for integer registers and `32 + index` for fp
 /// registers; `None` when the operand slot is unused or immediate.
 pub type OperandNames = [Option<u8>; 2];
 
-#[derive(Debug, Clone, Copy, Default)]
-struct Slot {
-    valid: bool,
-    entry: IrbEntry,
-    names: OperandNames,
-    lru: u64,
+/// `names` lane encoding of an unused operand slot. Real names are
+/// register indices below 64, so the sentinel can never match one.
+const NO_NAME: u8 = 0xff;
+
+fn pack_names(names: OperandNames) -> [u8; 2] {
+    [names[0].unwrap_or(NO_NAME), names[1].unwrap_or(NO_NAME)]
+}
+
+/// The slot storage, split structure-of-arrays so each access pattern
+/// touches only the lane it needs:
+///
+/// - `tags` — `(pc << 1) | 1` when valid, `0` when invalid. A lookup
+///   probe scans this lane only: eight tags per cache line, so a whole
+///   8-way set (or a 1024-entry direct-mapped probe) costs one line.
+/// - `entries` — the 32-byte payload, read only on a tag match.
+/// - `names`/`lru` — touched only by name invalidation and replacement.
+#[derive(Debug, Clone)]
+struct SlotArray {
+    tags: Vec<u64>,
+    entries: Vec<IrbEntry>,
+    names: Vec<[u8; 2]>,
+    lru: Vec<u64>,
+}
+
+impl SlotArray {
+    fn new(n: usize) -> Self {
+        SlotArray {
+            tags: vec![0; n],
+            entries: vec![IrbEntry::default(); n],
+            names: vec![[NO_NAME; 2]; n],
+            lru: vec![0; n],
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.tags.len()
+    }
+
+    fn is_valid(&self, i: usize) -> bool {
+        self.tags[i] & 1 != 0
+    }
+
+    /// Valid slot holding `pc`? One branchless tag compare.
+    fn matches(&self, i: usize, pc: u64) -> bool {
+        self.tags[i] == (pc << 1) | 1
+    }
+
+    fn pc(&self, i: usize) -> u64 {
+        self.tags[i] >> 1
+    }
+
+    fn set(&mut self, i: usize, entry: IrbEntry, names: [u8; 2], lru: u64) {
+        self.tags[i] = (entry.pc << 1) | 1;
+        self.entries[i] = entry;
+        self.names[i] = names;
+        self.lru[i] = lru;
+    }
+
+    fn invalidate(&mut self, i: usize) {
+        self.tags[i] = 0;
+    }
+
+    /// Moves slot `j` of `other` into slot `i` here (all lanes),
+    /// writing `i`'s previous contents back to `j` — the victim-buffer
+    /// promotion swap.
+    fn swap_with(&mut self, i: usize, other: &mut SlotArray, j: usize) {
+        std::mem::swap(&mut self.tags[i], &mut other.tags[j]);
+        std::mem::swap(&mut self.entries[i], &mut other.entries[j]);
+        std::mem::swap(&mut self.names[i], &mut other.names[j]);
+        std::mem::swap(&mut self.lru[i], &mut other.lru[j]);
+    }
+
+    fn clear(&mut self) {
+        self.tags.fill(0);
+        self.entries.fill(IrbEntry::default());
+        self.names.fill([NO_NAME; 2]);
+        self.lru.fill(0);
+    }
 }
 
 /// Occupancy and traffic statistics for a [`ReuseBuffer`].
@@ -82,8 +166,8 @@ impl IrbStats {
 #[derive(Debug, Clone)]
 pub struct ReuseBuffer {
     config: IrbConfig,
-    slots: Vec<Slot>,
-    victim: Vec<Slot>,
+    slots: SlotArray,
+    victim: SlotArray,
     stats: IrbStats,
     tick: u64,
     /// `num_sets() - 1`, cached at construction: `set_of` runs on every
@@ -103,8 +187,8 @@ impl ReuseBuffer {
         config.validate();
         let set_mask = config.num_sets() - 1;
         ReuseBuffer {
-            slots: vec![Slot::default(); config.entries],
-            victim: vec![Slot::default(); config.victim_entries],
+            slots: SlotArray::new(config.entries),
+            victim: SlotArray::new(config.victim_entries),
             config,
             stats: IrbStats::default(),
             tick: 0,
@@ -137,36 +221,35 @@ impl ReuseBuffer {
         self.stats.lookups += 1;
         let assoc = self.config.assoc;
         let base = self.set_of(pc) * assoc;
+        // The way scan reads only the tag lane — the whole set's tags
+        // share a cache line; the 32-byte payload is read on a hit only.
         for way in 0..assoc {
-            let slot = &mut self.slots[base + way];
-            if slot.valid && slot.entry.pc == pc {
-                slot.lru = self.tick;
+            if self.slots.matches(base + way, pc) {
+                self.slots.lru[base + way] = self.tick;
                 self.stats.pc_hits += 1;
-                return Some(slot.entry);
+                return Some(self.slots.entries[base + way]);
             }
         }
-        // Victim probe.
-        if let Some(vi) = self.victim.iter().position(|s| s.valid && s.entry.pc == pc) {
+        // Victim probe: a linear sweep of the victim tag lane.
+        let tag = (pc << 1) | 1;
+        if let Some(vi) = self.victim.tags.iter().position(|&t| t == tag) {
             self.stats.victim_hits += 1;
-            let promoted = self.victim[vi];
             // Swap with the main-array victim for this set.
             let victim_way = self.choose_victim(base, assoc);
-            self.victim[vi] = self.slots[base + victim_way];
-            self.slots[base + victim_way] = Slot {
-                lru: self.tick,
-                ..promoted
-            };
-            return Some(promoted.entry);
+            self.slots
+                .swap_with(base + victim_way, &mut self.victim, vi);
+            self.slots.lru[base + victim_way] = self.tick;
+            return Some(self.slots.entries[base + victim_way]);
         }
         None
     }
 
     fn choose_victim(&self, base: usize, assoc: usize) -> usize {
         (0..assoc)
-            .find(|&w| !self.slots[base + w].valid)
+            .find(|&w| !self.slots.is_valid(base + w))
             .unwrap_or_else(|| {
                 (0..assoc)
-                    .min_by_key(|&w| self.slots[base + w].lru)
+                    .min_by_key(|&w| self.slots.lru[base + w])
                     .expect("assoc >= 1")
             })
     }
@@ -180,45 +263,42 @@ impl ReuseBuffer {
     pub fn insert_named(&mut self, entry: IrbEntry, names: OperandNames) {
         self.tick += 1;
         self.stats.inserts += 1;
+        let packed = pack_names(names);
         let assoc = self.config.assoc;
         let base = self.set_of(entry.pc) * assoc;
         // Refresh in place on a PC match.
         for way in 0..assoc {
-            let slot = &mut self.slots[base + way];
-            if slot.valid && slot.entry.pc == entry.pc {
-                slot.entry = entry;
-                slot.names = names;
-                slot.lru = self.tick;
+            if self.slots.matches(base + way, entry.pc) {
+                self.slots.set(base + way, entry, packed, self.tick);
                 return;
             }
         }
         let way = self.choose_victim(base, assoc);
-        let displaced = self.slots[base + way];
-        if displaced.valid && displaced.entry.pc != entry.pc {
+        if self.slots.is_valid(base + way) && self.slots.pc(base + way) != entry.pc {
             self.stats.conflict_evictions += 1;
             // Spill into the victim buffer (LRU there as well).
-            if !self.victim.is_empty() {
+            if self.victim.len() > 0 {
                 let vi = self
                     .victim
+                    .tags
                     .iter()
-                    .position(|s| !s.valid)
+                    .position(|&t| t & 1 == 0)
                     .unwrap_or_else(|| {
                         self.victim
+                            .lru
                             .iter()
                             .enumerate()
-                            .min_by_key(|(_, s)| s.lru)
+                            .min_by_key(|&(_, &lru)| lru)
                             .map(|(i, _)| i)
                             .expect("victim_entries > 0")
                     });
-                self.victim[vi] = displaced;
+                self.victim.tags[vi] = self.slots.tags[base + way];
+                self.victim.entries[vi] = self.slots.entries[base + way];
+                self.victim.names[vi] = self.slots.names[base + way];
+                self.victim.lru[vi] = self.slots.lru[base + way];
             }
         }
-        self.slots[base + way] = Slot {
-            valid: true,
-            entry,
-            names,
-            lru: self.tick,
-        };
+        self.slots.set(base + way, entry, packed, self.tick);
     }
 
     /// Name-based invalidation: drops every entry that names `reg` as a
@@ -228,10 +308,14 @@ impl ReuseBuffer {
         if self.config.policy != ReusePolicy::Name {
             return;
         }
-        for slot in self.slots.iter_mut().chain(self.victim.iter_mut()) {
-            if slot.valid && slot.names.iter().flatten().any(|&n| n == reg) {
-                slot.valid = false;
-                self.stats.invalidations += 1;
+        // Real names are < 64, so the NO_NAME sentinel never matches
+        // and invalid slots (tag bit clear) are skipped explicitly.
+        for arr in [&mut self.slots, &mut self.victim] {
+            for i in 0..arr.len() {
+                if arr.is_valid(i) && (arr.names[i][0] == reg || arr.names[i][1] == reg) {
+                    arr.invalidate(i);
+                    self.stats.invalidations += 1;
+                }
             }
         }
     }
@@ -240,6 +324,13 @@ impl ReuseBuffer {
     #[must_use]
     pub fn num_slots(&self) -> usize {
         self.slots.len()
+    }
+
+    /// Size of one packed tag-lane element in bytes, for the capacity
+    /// model: a 64-byte line holds `64 / tag_bytes()` tags.
+    #[must_use]
+    pub fn tag_bytes() -> usize {
+        std::mem::size_of::<u64>()
     }
 
     /// PC of the valid entry occupying `slot`, if any — lets the fault
@@ -252,8 +343,7 @@ impl ReuseBuffer {
     #[must_use]
     pub fn slot_pc(&self, slot: usize) -> Option<u64> {
         assert!(slot < self.slots.len(), "slot {slot} out of range");
-        let s = &self.slots[slot];
-        s.valid.then_some(s.entry.pc)
+        self.slots.is_valid(slot).then(|| self.slots.pc(slot))
     }
 
     /// Flips one bit of the buffered *result* in slot `slot`, modelling a
@@ -269,9 +359,8 @@ impl ReuseBuffer {
     /// Panics if `slot` is out of range.
     pub fn inject_fault(&mut self, slot: usize, bit: u32) -> bool {
         assert!(slot < self.slots.len(), "fault slot {slot} out of range");
-        let s = &mut self.slots[slot];
-        if s.valid {
-            s.entry.result ^= 1 << (bit % 64);
+        if self.slots.is_valid(slot) {
+            self.slots.entries[slot].result ^= 1 << (bit % 64);
             true
         } else {
             false
@@ -280,8 +369,8 @@ impl ReuseBuffer {
 
     /// Invalidates everything and clears statistics.
     pub fn reset(&mut self) {
-        self.slots.fill(Slot::default());
-        self.victim.fill(Slot::default());
+        self.slots.clear();
+        self.victim.clear();
         self.stats = IrbStats::default();
         self.tick = 0;
     }
@@ -490,6 +579,35 @@ mod tests {
         b.lookup(0x1000); // victim hit
         b.lookup(0x9999_9999 & !7); // miss
         assert!((b.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn packed_layout_is_locked() {
+        // The same facts the `const` asserts lock at build time, stated
+        // where a failing run names them: the payload is half a cache
+        // line and the tag lane packs eight probes per line.
+        assert_eq!(std::mem::size_of::<IrbEntry>(), 32);
+        assert_eq!(std::mem::align_of::<IrbEntry>(), 32);
+        assert_eq!(ReuseBuffer::tag_bytes(), 8);
+        assert_eq!(64 / ReuseBuffer::tag_bytes(), 8, "tags per 64-byte line");
+        // The packed names lane must round-trip the public encoding.
+        assert_eq!(pack_names([Some(2), None]), [2, NO_NAME]);
+        assert_eq!(pack_names([None, Some(63)]), [NO_NAME, 63]);
+    }
+
+    #[test]
+    fn tags_distinguish_odd_probe_from_valid_entry() {
+        // The tag is (pc << 1) | 1, so bit 0 of a stored PC survives
+        // and an invalid slot (tag 0) can never match any probe.
+        let mut b = ReuseBuffer::new(cfg(16, 1, 0));
+        assert!(b.lookup(0).is_none(), "pc 0 must not match empty slots");
+        b.insert(IrbEntry {
+            pc: 0,
+            op1: 1,
+            op2: 2,
+            result: 3,
+        });
+        assert_eq!(b.lookup(0).unwrap().result, 3, "pc 0 is a real tag");
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Sparse paged byte-addressable memory.
 
-use std::collections::HashMap;
+use redsim_util::FxHashMap;
 
 use crate::error::EmuError;
 use crate::op::MemWidth;
@@ -20,7 +20,7 @@ pub const NULL_GUARD: u64 = 0x1000;
 /// zero-fills fresh pages). Accesses must be naturally aligned.
 #[derive(Debug, Clone, Default)]
 pub struct Memory {
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+    pages: FxHashMap<u64, Box<[u8; PAGE_SIZE]>>,
 }
 
 impl Memory {
@@ -34,13 +34,6 @@ impl Memory {
     pub fn load_segment(&mut self, base: u64, bytes: &[u8]) {
         for (i, &b) in bytes.iter().enumerate() {
             self.write_u8_raw(base + i as u64, b);
-        }
-    }
-
-    fn read_u8_raw(&self, addr: u64) -> u8 {
-        match self.pages.get(&(addr >> PAGE_SHIFT)) {
-            Some(page) => page[(addr & PAGE_MASK) as usize],
-            None => 0,
         }
     }
 
@@ -71,9 +64,15 @@ impl Memory {
     /// annotate the error.
     pub fn read(&self, addr: u64, width: MemWidth, pc: u64) -> Result<u64, EmuError> {
         self.check(addr, width, pc)?;
+        // Natural alignment keeps the access inside one page, so a
+        // single page probe covers every byte.
+        let Some(page) = self.pages.get(&(addr >> PAGE_SHIFT)) else {
+            return Ok(0);
+        };
+        let off = (addr & PAGE_MASK) as usize;
         let mut v: u64 = 0;
-        for i in (0..width.bytes()).rev() {
-            v = v << 8 | u64::from(self.read_u8_raw(addr + i));
+        for i in (0..width.bytes() as usize).rev() {
+            v = v << 8 | u64::from(page[off + i]);
         }
         Ok(v)
     }
@@ -91,8 +90,13 @@ impl Memory {
         pc: u64,
     ) -> Result<(), EmuError> {
         self.check(addr, width, pc)?;
-        for i in 0..width.bytes() {
-            self.write_u8_raw(addr + i, (value >> (8 * i)) as u8);
+        let page = self
+            .pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0; PAGE_SIZE]));
+        let off = (addr & PAGE_MASK) as usize;
+        for i in 0..width.bytes() as usize {
+            page[off + i] = (value >> (8 * i)) as u8;
         }
         Ok(())
     }

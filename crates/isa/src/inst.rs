@@ -270,33 +270,39 @@ impl Inst {
     }
 
     /// The integer source registers, in operand order.
+    ///
+    /// Returned inline ([`SrcRegs`]) rather than heap-allocated: this
+    /// accessor runs on the simulator's per-instruction hot paths
+    /// (dependence linking, IRB operand naming).
     #[must_use]
-    pub fn int_sources(&self) -> Vec<IntReg> {
+    #[inline]
+    pub fn int_sources(&self) -> SrcRegs<IntReg> {
         use OperandSig::*;
+        let r1 = IntReg::new(self.rs1);
+        let r2 = IntReg::new(self.rs2);
         match self.op.sig() {
-            Rrr => vec![IntReg::new(self.rs1), IntReg::new(self.rs2)],
-            Rri => vec![IntReg::new(self.rs1)],
-            Ri | JImm | JalImm | SysNone => vec![],
-            Fff | Ff | Rff | Rf | SysF => vec![],
-            Fr => vec![IntReg::new(self.rs1)],
-            MemLoadInt | MemLoadFp => vec![IntReg::new(self.rs1)],
-            MemStoreInt => vec![IntReg::new(self.rs1), IntReg::new(self.rs2)],
-            MemStoreFp => vec![IntReg::new(self.rs1)],
-            Bcc => vec![IntReg::new(self.rs1), IntReg::new(self.rs2)],
-            JReg | JalReg => vec![IntReg::new(self.rs1)],
-            SysR => vec![IntReg::new(self.rs1)],
+            Rrr | MemStoreInt | Bcc => SrcRegs::two(r1, r2),
+            Rri | Fr | MemLoadInt | MemLoadFp | MemStoreFp | JReg | JalReg | SysR => {
+                SrcRegs::one(r1)
+            }
+            Ri | JImm | JalImm | SysNone | Fff | Ff | Rff | Rf | SysF => SrcRegs::none(r1),
         }
     }
 
     /// The fp source registers, in operand order.
+    ///
+    /// Returned inline ([`SrcRegs`]); see [`Inst::int_sources`].
     #[must_use]
-    pub fn fp_sources(&self) -> Vec<FpReg> {
+    #[inline]
+    pub fn fp_sources(&self) -> SrcRegs<FpReg> {
         use OperandSig::*;
+        let f1 = FpReg::new(self.rs1);
+        let f2 = FpReg::new(self.rs2);
         match self.op.sig() {
-            Fff | Rff => vec![FpReg::new(self.rs1), FpReg::new(self.rs2)],
-            Ff | Rf | SysF => vec![FpReg::new(self.rs1)],
-            MemStoreFp => vec![FpReg::new(self.rs2)],
-            _ => vec![],
+            Fff | Rff => SrcRegs::two(f1, f2),
+            Ff | Rf | SysF => SrcRegs::one(f1),
+            MemStoreFp => SrcRegs::one(f2),
+            _ => SrcRegs::none(f1),
         }
     }
 
@@ -312,6 +318,93 @@ impl Default for Inst {
         Inst::NOP
     }
 }
+
+/// Up to two source registers, in operand order, held inline.
+///
+/// The source-register accessors run per dynamic instruction on the
+/// simulator's dispatch and IRB paths; a `Vec` return would make every
+/// call a heap allocation. Unused slots carry a filler register the
+/// length field hides.
+///
+/// # Examples
+///
+/// ```
+/// use redsim_isa::{Inst, IntReg, Opcode};
+///
+/// let s = Inst::store_int(Opcode::Sd, IntReg::new(7), IntReg::new(2), 16);
+/// assert_eq!(s.int_sources().as_slice(), &[IntReg::new(2), IntReg::new(7)]);
+/// for r in s.int_sources() {
+///     assert!(!r.is_zero() || r.index() == 0);
+/// }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct SrcRegs<R> {
+    regs: [R; 2],
+    len: u8,
+}
+
+impl<R: Copy> SrcRegs<R> {
+    fn none(fill: R) -> Self {
+        SrcRegs {
+            regs: [fill; 2],
+            len: 0,
+        }
+    }
+
+    fn one(a: R) -> Self {
+        SrcRegs {
+            regs: [a; 2],
+            len: 1,
+        }
+    }
+
+    fn two(a: R, b: R) -> Self {
+        SrcRegs {
+            regs: [a, b],
+            len: 2,
+        }
+    }
+
+    /// The registers as a slice, in operand order.
+    #[must_use]
+    pub fn as_slice(&self) -> &[R] {
+        &self.regs[..usize::from(self.len)]
+    }
+
+    /// Number of source registers (0–2).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        usize::from(self.len)
+    }
+
+    /// `true` if the instruction reads no register of this file.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates the registers by value.
+    pub fn iter(&self) -> impl Iterator<Item = R> + '_ {
+        self.as_slice().iter().copied()
+    }
+}
+
+impl<R: Copy> IntoIterator for SrcRegs<R> {
+    type Item = R;
+    type IntoIter = std::iter::Take<std::array::IntoIter<R, 2>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.regs.into_iter().take(usize::from(self.len))
+    }
+}
+
+impl<R: Copy + PartialEq> PartialEq for SrcRegs<R> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<R: Copy + Eq> Eq for SrcRegs<R> {}
 
 impl fmt::Display for Inst {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -353,7 +446,7 @@ mod tests {
     fn constructors_set_expected_fields() {
         let i = Inst::rri(Opcode::Addi, IntReg::new(5), IntReg::new(6), -42);
         assert_eq!(i.int_dest(), Some(IntReg::new(5)));
-        assert_eq!(i.int_sources(), vec![IntReg::new(6)]);
+        assert_eq!(i.int_sources().as_slice(), &[IntReg::new(6)]);
         assert_eq!(i.imm, -42);
     }
 
@@ -361,14 +454,17 @@ mod tests {
     fn store_sources_include_data_register() {
         let s = Inst::store_int(Opcode::Sd, IntReg::new(7), IntReg::new(2), 16);
         assert_eq!(s.int_dest(), None);
-        assert_eq!(s.int_sources(), vec![IntReg::new(2), IntReg::new(7)]);
+        assert_eq!(
+            s.int_sources().as_slice(),
+            &[IntReg::new(2), IntReg::new(7)]
+        );
     }
 
     #[test]
     fn fp_store_reads_fp_data() {
         let s = Inst::store_fp(FpReg::new(4), IntReg::new(2), 8);
-        assert_eq!(s.fp_sources(), vec![FpReg::new(4)]);
-        assert_eq!(s.int_sources(), vec![IntReg::new(2)]);
+        assert_eq!(s.fp_sources().as_slice(), &[FpReg::new(4)]);
+        assert_eq!(s.int_sources().as_slice(), &[IntReg::new(2)]);
         assert!(!s.has_dest());
     }
 

@@ -67,7 +67,7 @@ pub mod trace;
 pub mod trace_io;
 
 pub use error::{AsmError, DecodeError, EmuError};
-pub use inst::Inst;
+pub use inst::{Inst, SrcRegs};
 pub use op::{MemWidth, OpClass, Opcode, OperandSig};
 pub use program::{Program, ProgramBuilder, Symbol, DATA_BASE, STACK_TOP, TEXT_BASE};
 pub use reg::{FpReg, IntReg, NUM_REGS};

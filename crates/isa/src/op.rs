@@ -324,6 +324,7 @@ pub enum OperandSig {
 impl Opcode {
     /// The operation's functional-unit class.
     #[must_use]
+    #[inline]
     pub fn class(self) -> OpClass {
         use Opcode::*;
         match self {
@@ -346,6 +347,7 @@ impl Opcode {
 
     /// The operand signature (how `rd`/`rs1`/`rs2`/`imm` are interpreted).
     #[must_use]
+    #[inline]
     pub fn sig(self) -> OperandSig {
         use Opcode::*;
         match self {
@@ -375,6 +377,7 @@ impl Opcode {
 
     /// The memory access width for loads and stores, `None` otherwise.
     #[must_use]
+    #[inline]
     pub fn mem_width(self) -> Option<MemWidth> {
         use Opcode::*;
         match self {
@@ -412,18 +415,21 @@ impl Opcode {
 
     /// `true` for loads (including fp loads).
     #[must_use]
+    #[inline]
     pub fn is_load(self) -> bool {
         self.class() == OpClass::Load
     }
 
     /// `true` for stores (including fp stores).
     #[must_use]
+    #[inline]
     pub fn is_store(self) -> bool {
         self.class() == OpClass::Store
     }
 
     /// `true` if the instruction accesses memory.
     #[must_use]
+    #[inline]
     pub fn is_mem(self) -> bool {
         self.is_load() || self.is_store()
     }

@@ -66,6 +66,7 @@ impl IntReg {
     ///
     /// Panics if `index >= 32`.
     #[must_use]
+    #[inline]
     pub fn new(index: u8) -> Self {
         assert!(
             (index as usize) < NUM_REGS,
@@ -76,12 +77,14 @@ impl IntReg {
 
     /// The register's index in the architectural file, `0..32`.
     #[must_use]
+    #[inline]
     pub fn index(self) -> usize {
         self.0 as usize
     }
 
     /// Returns `true` for the hard-wired zero register.
     #[must_use]
+    #[inline]
     pub fn is_zero(self) -> bool {
         self.0 == 0
     }
@@ -129,6 +132,7 @@ impl FpReg {
     ///
     /// Panics if `index >= 32`.
     #[must_use]
+    #[inline]
     pub fn new(index: u8) -> Self {
         assert!(
             (index as usize) < NUM_REGS,
@@ -139,6 +143,7 @@ impl FpReg {
 
     /// The register's index in the architectural file, `0..32`.
     #[must_use]
+    #[inline]
     pub fn index(self) -> usize {
         self.0 as usize
     }

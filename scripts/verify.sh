@@ -70,11 +70,15 @@ bench_smoke() {
 
     # The regression gate itself: a summary diffed against itself is
     # clean (exit 0), and a synthetic +10% slowdown must trip the
-    # default 5% geomean threshold (exit 1).
+    # default 5% geomean threshold (exit 1). The self-diff report —
+    # including the per-phase host profile — is kept as a file so CI
+    # can publish it as an artifact.
     echo "==> redsim-bench diff regression-gate smoke"
     local diff_bin=target/release/redsim-bench
     local slow="$PWD/target/BENCH_simulator.quick.slow.json"
-    run "$diff_bin" diff "$out" "$out"
+    local report="$PWD/target/BENCH_diff_report.txt"
+    echo "==> $diff_bin diff (report: $report)"
+    "$diff_bin" diff "$out" "$out" --phases | tee "$report"
     run "$diff_bin" perturb "$out" "$slow" --factor 1.10
     local rc=0
     "$diff_bin" diff "$out" "$slow" || rc=$?
