@@ -37,7 +37,7 @@
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use redsim_core::{
@@ -206,6 +206,11 @@ pub struct Job {
     /// stats (surfaced through the [`Harness::try_sweep_with`]
     /// callback). `None` — the default — runs metrics-free.
     pub metrics_window: Option<u64>,
+    /// Host-side cancellation flag ([`Simulator::with_cancel`]): a
+    /// supervisor raising it aborts the run with a
+    /// [`JobErrorKind::Deadline`] failure. `None` — the default — runs
+    /// uncancellable.
+    pub cancel: Option<Arc<AtomicBool>>,
 }
 
 impl Job {
@@ -220,6 +225,7 @@ impl Job {
             watchdog: None,
             input_seed: None,
             metrics_window: None,
+            cancel: None,
         }
     }
 
@@ -252,10 +258,114 @@ impl Job {
         self
     }
 
+    /// Attaches a host-side cancellation flag; a supervisor raising it
+    /// mid-run turns the job into a [`JobErrorKind::Deadline`] failure.
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
     /// A short human-readable label (error reports, manifests).
     #[must_use]
     pub fn label(&self) -> String {
         format!("{}/{:?}", self.workload.name(), self.mode)
+    }
+}
+
+/// How a sweep job died. The split drives the campaign supervisor's
+/// retry decision: *transient* kinds (a host-side effect that can
+/// plausibly differ on a re-run) are retried with backoff; *persistent*
+/// kinds (a property of the job itself — the same inputs will fail the
+/// same way) fail immediately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobErrorKind {
+    /// The timing simulation returned a [`redsim_core::SimError`]
+    /// (deadlock, emulation fault). Deterministic, so persistent.
+    Sim,
+    /// The workload trace could not be materialized (assembly or
+    /// functional-emulation failure). Deterministic, so persistent.
+    Trace,
+    /// The job panicked (caught by the sweep's `catch_unwind`
+    /// isolation). Treated as transient: a panic can be a host effect
+    /// (allocation failure) and the retry cap bounds the cost of
+    /// re-trying a deterministic one.
+    Panic,
+    /// A host wall-clock deadline cancelled the run
+    /// ([`Job::with_cancel`]). Transient: host load varies.
+    Deadline,
+    /// A host IO failure while persisting the job's results. Transient.
+    Io,
+    /// A fault injected by a test harness (chaos schedules, flake
+    /// plans). Transient by construction.
+    Injected,
+}
+
+impl JobErrorKind {
+    /// Whether the supervisor should retry a failure of this kind.
+    #[must_use]
+    pub fn is_transient(self) -> bool {
+        match self {
+            JobErrorKind::Sim | JobErrorKind::Trace => false,
+            JobErrorKind::Panic
+            | JobErrorKind::Deadline
+            | JobErrorKind::Io
+            | JobErrorKind::Injected => true,
+        }
+    }
+
+    /// The manifest/JSON spelling.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobErrorKind::Sim => "sim",
+            JobErrorKind::Trace => "trace",
+            JobErrorKind::Panic => "panic",
+            JobErrorKind::Deadline => "deadline",
+            JobErrorKind::Io => "io",
+            JobErrorKind::Injected => "injected",
+        }
+    }
+
+    /// Parses the manifest spelling; unknown strings fall back to
+    /// [`JobErrorKind::Sim`] (the conservative, non-retried kind) so a
+    /// record written by a newer binary never triggers retry storms.
+    #[must_use]
+    pub fn parse_lossy(s: &str) -> Self {
+        match s {
+            "trace" => JobErrorKind::Trace,
+            "panic" => JobErrorKind::Panic,
+            "deadline" => JobErrorKind::Deadline,
+            "io" => JobErrorKind::Io,
+            "injected" => JobErrorKind::Injected,
+            _ => JobErrorKind::Sim,
+        }
+    }
+}
+
+/// One failure of one job *attempt*, before it is tied to a grid index:
+/// the kind (retry classification), a display message, and — for panics
+/// — the payload preserved verbatim for post-mortems.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobFailure {
+    /// Retry classification.
+    pub kind: JobErrorKind,
+    /// Human-readable rendering (for panics: `panic: {payload}`).
+    pub message: String,
+    /// The `catch_unwind` payload, verbatim, when the failure was a
+    /// panic with a `String`/`&str` payload.
+    pub panic_payload: Option<String>,
+}
+
+impl JobFailure {
+    /// A non-panic failure of the given kind.
+    #[must_use]
+    pub fn new(kind: JobErrorKind, message: impl Into<String>) -> Self {
+        JobFailure {
+            kind,
+            message: message.into(),
+            panic_payload: None,
+        }
     }
 }
 
@@ -269,17 +379,49 @@ pub struct JobError {
     pub label: String,
     /// The simulation error or panic message.
     pub message: String,
+    /// Retry classification of the failure.
+    pub kind: JobErrorKind,
+    /// For panics with a `String`/`&str` payload: the payload verbatim,
+    /// so quarantined shards stay debuggable post-mortem.
+    pub panic_payload: Option<String>,
 }
 
 impl JobError {
+    /// Ties an attempt failure to its grid cell.
+    #[must_use]
+    pub fn from_failure(index: usize, label: String, failure: JobFailure) -> Self {
+        JobError {
+            index,
+            label,
+            message: failure.message,
+            kind: failure.kind,
+            panic_payload: failure.panic_payload,
+        }
+    }
+
     /// The record as a JSON object (the `"errors"` array of `--json`
     /// output).
     #[must_use]
     pub fn to_json(&self) -> Json {
-        Json::obj()
+        let mut j = Json::obj()
             .field("index", self.index)
             .field("label", self.label.as_str())
             .field("message", self.message.as_str())
+            .field("kind", self.kind.as_str());
+        if let Some(p) = &self.panic_payload {
+            j = j.field("panic", p.as_str());
+        }
+        j
+    }
+}
+
+/// Maps a simulation error to its retry classification: a raised
+/// cancellation flag is the host deadline firing (transient); anything
+/// else is a deterministic property of the job (persistent).
+fn classify_sim_error(e: &redsim_core::SimError) -> JobErrorKind {
+    match e {
+        redsim_core::SimError::HostCancelled { .. } => JobErrorKind::Deadline,
+        _ => JobErrorKind::Sim,
     }
 }
 
@@ -289,22 +431,29 @@ impl JobError {
 ///
 /// # Errors
 ///
-/// Returns the simulation error rendered as a string (deadlock, budget
-/// exhaustion...).
+/// A typed [`JobFailure`] carrying the retry classification (deadlock,
+/// budget exhaustion, a fired host deadline...).
 fn run_job(
     trace: &[DynInst],
     job: &Job,
-) -> Result<(SimStats, Throughput, Vec<WindowSample>), String> {
+) -> Result<(SimStats, Throughput, Vec<WindowSample>), JobFailure> {
     let mut source = SliceSource::new(trace);
     let mut sim = Simulator::new(job.config.clone(), job.mode);
     if let Some(fc) = job.faults {
-        sim = sim
-            .try_with_faults(fc)
-            .map_err(|e| format!("invalid fault configuration: {e}"))?;
+        sim = sim.try_with_faults(fc).map_err(|e| {
+            JobFailure::new(
+                JobErrorKind::Sim,
+                format!("invalid fault configuration: {e}"),
+            )
+        })?;
     }
     if let Some(w) = job.watchdog {
         sim = sim.with_watchdog(w);
     }
+    if let Some(c) = &job.cancel {
+        sim = sim.with_cancel(Arc::clone(c));
+    }
+    let sim_err = |e: redsim_core::SimError| JobFailure::new(classify_sim_error(&e), e.to_string());
     let t0 = std::time::Instant::now();
     let (stats, windows) = if let Some(window) = job.metrics_window {
         let mut collector = MetricsCollector::new(window);
@@ -318,10 +467,10 @@ fn run_job(
                     profiler: None,
                 },
             )
-            .map_err(|e| e.to_string())?;
+            .map_err(sim_err)?;
         (stats, collector.into_samples())
     } else {
-        let stats = sim.run_source(&mut source).map_err(|e| e.to_string())?;
+        let stats = sim.run_source(&mut source).map_err(sim_err)?;
         (stats, Vec::new())
     };
     let perf = Throughput {
@@ -333,21 +482,37 @@ fn run_job(
 }
 
 /// Runs one job with panic isolation: a panicking simulation (a model
-/// bug, an invalid configuration) becomes an `Err` string instead of
-/// tearing down the sweep.
-fn run_job_caught(
+/// bug, an invalid configuration) becomes a [`JobFailure`] instead of
+/// tearing down the sweep. A `String`/`&str` panic payload is preserved
+/// verbatim in [`JobFailure::panic_payload`] — the display message
+/// prefixes it with `panic: `, but post-mortems get the raw text.
+///
+/// This is the attempt-level entry point the campaign shard supervisor
+/// retries around; the sweep path below shares it.
+///
+/// # Errors
+///
+/// Every failure mode of the job — simulation error, fired deadline,
+/// panic — as a typed [`JobFailure`].
+pub fn run_job_isolated(
     trace: &[DynInst],
     job: &Job,
-) -> Result<(SimStats, Throughput, Vec<WindowSample>), String> {
+) -> Result<(SimStats, Throughput, Vec<WindowSample>), JobFailure> {
     match catch_unwind(AssertUnwindSafe(|| run_job(trace, job))) {
         Ok(r) => r,
         Err(payload) => {
-            let msg = payload
+            let payload = payload
                 .downcast_ref::<&str>()
                 .map(|s| (*s).to_owned())
-                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .or_else(|| payload.downcast_ref::<String>().cloned());
+            let msg = payload
+                .clone()
                 .unwrap_or_else(|| "panic with non-string payload".to_owned());
-            Err(format!("panic: {msg}"))
+            Err(JobFailure {
+                kind: JobErrorKind::Panic,
+                message: format!("panic: {msg}"),
+                panic_payload: payload,
+            })
         }
     }
 }
@@ -524,18 +689,18 @@ impl Harness {
         threads: usize,
         on_done: impl Fn(usize, Result<(&SimStats, &[WindowSample]), &JobError>) + Sync,
     ) -> (Vec<SimStats>, Vec<JobError>) {
-        let traces: Vec<Result<Arc<[DynInst]>, String>> = jobs
+        let traces: Vec<Result<Arc<[DynInst]>, JobFailure>> = jobs
             .iter()
             .map(|j| {
                 self.try_trace_for(j.workload, j.input_seed)
-                    .map_err(|e| e.to_string())
+                    .map_err(|e| JobFailure::new(JobErrorKind::Trace, e.to_string()))
             })
             .collect();
         let threads = threads.clamp(1, jobs.len().max(1));
         type JobOk = (SimStats, Throughput, Vec<WindowSample>);
         let run_one = |i: usize| -> Result<JobOk, JobError> {
             let outcome = match &traces[i] {
-                Ok(trace) => run_job_caught(trace, &jobs[i]),
+                Ok(trace) => run_job_isolated(trace, &jobs[i]),
                 Err(e) => Err(e.clone()),
             };
             match outcome {
@@ -543,12 +708,8 @@ impl Harness {
                     on_done(i, Ok((&r.0, r.2.as_slice())));
                     Ok(r)
                 }
-                Err(message) => {
-                    let err = JobError {
-                        index: i,
-                        label: jobs[i].label(),
-                        message,
-                    };
+                Err(failure) => {
+                    let err = JobError::from_failure(i, jobs[i].label(), failure);
                     on_done(i, Err(&err));
                     Err(err)
                 }
@@ -1119,6 +1280,96 @@ mod tests {
             stats[0], stats[1],
             "metrics collection is observationally pure"
         );
+    }
+
+    #[test]
+    fn panic_payloads_are_preserved_verbatim() {
+        let mut h = Harness::quick();
+        let trace = h.trace(Workload::Gzip);
+        let mut cfg = MachineConfig::paper_baseline();
+        cfg.fetch_width = 0; // Simulator::new panics in validate().
+        let job = Job::new(Workload::Gzip, ExecMode::Sie, &cfg);
+        let err = match run_job_isolated(&trace, &job) {
+            Err(e) => e,
+            Ok(_) => panic!("an invalid config must fail the job"),
+        };
+        assert_eq!(err.kind, JobErrorKind::Panic);
+        assert_eq!(
+            err.panic_payload.as_deref(),
+            Some("fetch width must be positive"),
+            "the payload survives without any prefix or rewording"
+        );
+        assert_eq!(err.message, "panic: fetch width must be positive");
+    }
+
+    #[test]
+    fn error_kinds_classify_and_round_trip() {
+        assert!(!JobErrorKind::Sim.is_transient());
+        assert!(!JobErrorKind::Trace.is_transient());
+        assert!(JobErrorKind::Panic.is_transient());
+        assert!(JobErrorKind::Deadline.is_transient());
+        assert!(JobErrorKind::Io.is_transient());
+        assert!(JobErrorKind::Injected.is_transient());
+        for k in [
+            JobErrorKind::Sim,
+            JobErrorKind::Trace,
+            JobErrorKind::Panic,
+            JobErrorKind::Deadline,
+            JobErrorKind::Io,
+            JobErrorKind::Injected,
+        ] {
+            assert_eq!(JobErrorKind::parse_lossy(k.as_str()), k);
+        }
+        // Unknown spellings degrade to the non-retried kind.
+        assert_eq!(JobErrorKind::parse_lossy("gamma-ray"), JobErrorKind::Sim);
+    }
+
+    #[test]
+    fn a_raised_cancel_flag_fails_the_job_as_a_deadline() {
+        use std::sync::atomic::AtomicBool;
+        let mut h = Harness::quick();
+        let trace = h.trace(Workload::Gzip);
+        let cfg = MachineConfig::paper_baseline();
+        let flag = Arc::new(AtomicBool::new(true)); // already expired
+        let job = Job::new(Workload::Gzip, ExecMode::Sie, &cfg).with_cancel(Arc::clone(&flag));
+        let err = match run_job_isolated(&trace, &job) {
+            Err(e) => e,
+            Ok(_) => panic!("a pre-raised flag must cancel the run"),
+        };
+        assert_eq!(err.kind, JobErrorKind::Deadline);
+        assert!(
+            err.message.contains("host wall-clock deadline"),
+            "message names the mechanism: {}",
+            err.message
+        );
+        // An unarmed job over the same trace is untouched by the flag.
+        let clean = Job::new(Workload::Gzip, ExecMode::Sie, &cfg);
+        let (stats, _, _) = run_job_isolated(&trace, &clean).expect("clean run completes");
+        assert!(stats.ipc() > 0.0);
+    }
+
+    #[test]
+    fn job_error_json_carries_kind_and_panic_payload() {
+        let err = JobError {
+            index: 3,
+            label: "gzip/Sie".into(),
+            message: "panic: boom".into(),
+            kind: JobErrorKind::Panic,
+            panic_payload: Some("boom".into()),
+        };
+        let s = err.to_json().to_string();
+        assert!(s.contains(r#""kind":"panic""#), "{s}");
+        assert!(s.contains(r#""panic":"boom""#), "{s}");
+        let plain = JobError {
+            index: 0,
+            label: "gzip/Sie".into(),
+            message: "pipeline made no progress near cycle 7".into(),
+            kind: JobErrorKind::Sim,
+            panic_payload: None,
+        };
+        let s = plain.to_json().to_string();
+        assert!(s.contains(r#""kind":"sim""#), "{s}");
+        assert!(!s.contains(r#""panic""#), "no payload field when none: {s}");
     }
 
     #[test]

@@ -21,17 +21,39 @@
 //!   (default 10,000; `0` disables the series);
 //! * `--fu-rate R` / `--forward-rate R` / `--irb-rate R` — override the
 //!   strike rate of scenarios injecting at that site (validated, bad
-//!   rates exit 2).
+//!   rates exit 2);
+//! * `--retry-max N` — attempts per shard before quarantine (default 3);
+//! * `--backoff-ms N` — base retry backoff in milliseconds (default 25,
+//!   doubling per attempt, capped at 1s);
+//! * `--host-deadline-ms N` — host wall-clock deadline per shard
+//!   attempt (default none; distinct from `--watchdog`, which bounds
+//!   *simulated* cycles);
+//! * `--fsync MODE` — manifest durability: `always`, `critical`
+//!   (default) or `never`;
+//! * `--chaos-seed S` — chaos harness: route all campaign IO through a
+//!   fault-injecting backend seeded with `S`;
+//! * `--chaos-rate R` — per-op fault rate for the chaos backend
+//!   (default 0.02);
+//! * `--chaos-kill-after N` — chaos harness: emulate a SIGKILL at the
+//!   `N`-th IO operation.
+//!
+//! Exit codes: 0 success; 1 failed shards; 2 usage/mismatch/corrupt
+//! manifest; 3 interrupted (resume to continue); 4 completed with
+//! quarantined shards; 5 host IO failure (resume to continue).
 
 use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
 
 use redsim_bench::{emit, pm, Cli, Table};
 use redsim_campaign::{
-    run_campaign, CampaignOptions, CampaignOutcome, CampaignSpec, HangDumpOptions, Scenario,
+    exit_codes, run_campaign, CampaignError, CampaignOptions, CampaignOutcome, CampaignSpec,
+    HangDumpOptions, Scenario,
 };
 use redsim_core::{
     ExecMode, FaultConfig, ForwardingPolicy, StallBreakdown, StallSummary, Throughput,
 };
+use redsim_util::io::{ChaosConfig, ChaosIo, FsyncPolicy, RealIo};
 use redsim_util::Json;
 use redsim_workloads::Workload;
 
@@ -144,29 +166,67 @@ fn spec_from_cli(cli: &Cli) -> CampaignSpec {
     }
 }
 
+/// Parses an integer-valued flag or exits with the usage code.
+fn int_flag<T: std::str::FromStr>(cli: &Cli, flag: &str, what: &str) -> Option<T> {
+    cli.value(flag).map(|v| match v.parse::<T>() {
+        Ok(n) => n,
+        Err(_) => {
+            eprintln!("error: {flag} expects {what}, got {v:?}");
+            std::process::exit(exit_codes::USAGE);
+        }
+    })
+}
+
 fn main() {
     let cli = Cli::parse();
     let spec = spec_from_cli(&cli);
     let out = PathBuf::from(cli.value("--out").unwrap_or("target/campaign/fig_coverage"));
-    let opts = CampaignOptions {
-        threads: cli.threads,
-        resume: cli.flag("--resume"),
-        interrupt_after: cli
-            .value("--interrupt-after")
-            .map(|v| match v.parse::<usize>() {
-                Ok(n) => n,
-                Err(_) => {
-                    eprintln!("error: --interrupt-after expects a shard count, got {v:?}");
-                    std::process::exit(2);
+    let mut opts = CampaignOptions::new(
+        out.with_extension("progress.jsonl"),
+        out.with_extension("report.json"),
+    );
+    opts.threads = cli.threads;
+    opts.resume = cli.flag("--resume");
+    opts.interrupt_after = int_flag(&cli, "--interrupt-after", "a shard count");
+    opts.hang_dumps = Some(HangDumpOptions {
+        base: out.clone(),
+        capacity: 1 << 15,
+    });
+    if let Some(n) = int_flag::<u32>(&cli, "--retry-max", "a positive attempt count") {
+        if n == 0 {
+            eprintln!("error: --retry-max expects a positive attempt count, got \"0\"");
+            std::process::exit(exit_codes::USAGE);
+        }
+        opts.retry.max_attempts = n;
+    }
+    if let Some(ms) = int_flag::<u64>(&cli, "--backoff-ms", "milliseconds") {
+        opts.retry.backoff = Duration::from_millis(ms);
+    }
+    opts.host_deadline =
+        int_flag::<u64>(&cli, "--host-deadline-ms", "milliseconds").map(Duration::from_millis);
+    if let Some(mode) = cli.value("--fsync") {
+        opts.fsync = FsyncPolicy::parse(mode).unwrap_or_else(|| {
+            eprintln!("error: --fsync expects always|critical|never, got {mode:?}");
+            std::process::exit(exit_codes::USAGE);
+        });
+    }
+    if let Some(seed) = int_flag::<u64>(&cli, "--chaos-seed", "a seed") {
+        let rate = match cli.value("--chaos-rate") {
+            None => 0.02,
+            Some(v) => match v.parse::<f64>() {
+                Ok(r) if (0.0..=1.0).contains(&r) => r,
+                _ => {
+                    eprintln!("error: --chaos-rate expects a rate in [0,1], got {v:?}");
+                    std::process::exit(exit_codes::USAGE);
                 }
-            }),
-        progress_path: out.with_extension("progress.jsonl"),
-        report_path: out.with_extension("report.json"),
-        hang_dumps: Some(HangDumpOptions {
-            base: out.clone(),
-            capacity: 1 << 15,
-        }),
-    };
+            },
+        };
+        let cfg = ChaosConfig {
+            kill_after_ops: int_flag(&cli, "--chaos-kill-after", "an op count"),
+            ..ChaosConfig::uniform(seed, rate)
+        };
+        opts.io = Arc::new(ChaosIo::new(Arc::new(RealIo), cfg));
+    }
 
     let report = match run_campaign(&spec, &opts) {
         Ok(CampaignOutcome::Complete(r)) => r,
@@ -176,11 +236,15 @@ fn main() {
                  rerun with --resume to continue",
                 opts.progress_path.display()
             );
-            std::process::exit(3);
+            std::process::exit(exit_codes::INTERRUPTED);
+        }
+        Err(e @ CampaignError::Io(_)) => {
+            eprintln!("error: {e} (rerun with --resume to continue)");
+            std::process::exit(exit_codes::IO);
         }
         Err(e) => {
             eprintln!("error: {e}");
-            std::process::exit(2);
+            std::process::exit(exit_codes::USAGE);
         }
     };
 
@@ -295,7 +359,16 @@ fn main() {
         &report.failed,
         &Throughput::default(),
     );
+    if !report.quarantined.is_empty() {
+        for q in &report.quarantined {
+            eprintln!(
+                "quarantined: shard {} ({}): {}",
+                q.index, q.label, q.message
+            );
+        }
+        std::process::exit(exit_codes::QUARANTINED);
+    }
     if !report.failed.is_empty() {
-        std::process::exit(1);
+        std::process::exit(exit_codes::SHARD_FAILURES);
     }
 }

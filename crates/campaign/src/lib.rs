@@ -27,27 +27,65 @@
 //!   deterministic, and the final report embeds the record lines sorted
 //!   by shard id. Any thread count, and any interrupt/resume split,
 //!   produces the identical report file.
-//! * **Torn-tail tolerance** — a partial trailing line (the process was
-//!   killed mid-write) is discarded on resume and its shard re-runs;
-//!   resume also rewrites the manifest (via a temp file + rename) so
-//!   the torn bytes never corrupt subsequent appends.
+//! * **Crash-consistent manifests** — every record is framed with a
+//!   per-record checksum ([`manifest`]); a torn trailing frame (the
+//!   process was killed mid-write) is discarded on resume and its shard
+//!   re-runs, while a damaged *interior* frame is a typed
+//!   [`CampaignError::Corrupt`] naming the line — never a silent skip.
+//!   Resume rewrites the manifest and writes the report atomically
+//!   (temp file + rename + fsync barriers per [`FsyncPolicy`]), and all
+//!   filesystem traffic flows through a swappable [`Io`] backend so the
+//!   chaos tests can inject EINTR, short writes, ENOSPC, fsync failures
+//!   and kills at every write boundary.
+//! * **Supervised shards** — each shard runs under the [`supervisor`]:
+//!   host wall-clock deadlines (distinct from the simulated-cycle
+//!   watchdog), deterministic retry with capped exponential backoff for
+//!   transient failures, and quarantine with graceful degradation when
+//!   the retry budget runs out.
 
 use std::collections::BTreeMap;
-use std::fs;
 use std::hash::Hasher;
-use std::io::{ErrorKind, Write};
+use std::io::ErrorKind;
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use redsim_bench::Harness;
-pub use redsim_bench::{Job, JobError};
+pub use redsim_bench::{Job, JobError, JobErrorKind, JobFailure};
 use redsim_core::{
     ExecMode, FaultConfig, FaultLifecycle, FlightRecorder, ForwardingPolicy, Histogram,
     MachineConfig, SimStats, Simulator, SliceSource, WindowSample,
 };
+use redsim_isa::trace::DynInst;
 use redsim_util::hash::FxHasher;
+use redsim_util::io::{atomic_write, write_all_retrying, FsyncPolicy, Io, IoFile, RealIo};
 use redsim_util::Json;
 use redsim_workloads::Workload;
+
+pub mod manifest;
+pub mod supervisor;
+
+use manifest::{frame_record, header_line, parse_manifest};
+use supervisor::execute_shard;
+pub use supervisor::{DeadlineMonitor, FlakePlan, RetryPolicy, ShardFailure};
+
+/// Process exit codes shared by the campaign binaries, so scripts can
+/// tell the degradation modes apart.
+pub mod exit_codes {
+    /// Completed, but at least one shard is recorded as failed.
+    pub const SHARD_FAILURES: i32 = 1;
+    /// Usage error, spec mismatch, or a corrupt manifest.
+    pub const USAGE: i32 = 2;
+    /// Interrupted with shards still pending (resume to continue).
+    pub const INTERRUPTED: i32 = 3;
+    /// Completed with quarantined shards: every failure was transient
+    /// and the retry budget ran out — partial results are in the
+    /// report.
+    pub const QUARANTINED: i32 = 4;
+    /// A host IO failure stopped the campaign; re-run with `--resume`.
+    pub const IO: i32 = 5;
+}
 
 /// One fault-injection scenario: an execution mode plus where and how
 /// often to strike.
@@ -201,8 +239,8 @@ impl CampaignSpec {
     }
 }
 
-/// How to run a campaign: parallelism, resume behaviour and file
-/// placement.
+/// How to run a campaign: parallelism, resume behaviour, file
+/// placement, durability policy and supervision limits.
 #[derive(Debug, Clone)]
 pub struct CampaignOptions {
     /// Worker threads for the shard sweep.
@@ -220,6 +258,43 @@ pub struct CampaignOptions {
     /// When set, every shard whose watchdog fired is replayed under a
     /// flight recorder and its trace tail dumped to a sidecar file.
     pub hang_dumps: Option<HangDumpOptions>,
+    /// The filesystem backend every manifest/report byte flows through.
+    /// [`RealIo`] in production; the chaos tests swap in a fault-
+    /// injecting [`redsim_util::io::ChaosIo`].
+    pub io: Arc<dyn Io>,
+    /// When to fsync manifest records and rewrite/report barriers.
+    pub fsync: FsyncPolicy,
+    /// Retry discipline for transient shard failures.
+    pub retry: RetryPolicy,
+    /// Host wall-clock deadline per shard *attempt*; `None` leaves
+    /// attempts unbounded in host time (the simulated-cycle watchdog
+    /// still applies).
+    pub host_deadline: Option<Duration>,
+    /// Test hook: a deterministic injected-fault schedule. Not part of
+    /// the spec fingerprint, so flaky and clean runs share manifests —
+    /// which is what makes retry determinism testable.
+    pub flake: Option<FlakePlan>,
+}
+
+impl CampaignOptions {
+    /// Defaults: single-threaded, no resume, real filesystem, critical
+    /// fsync, default retry policy, no deadline, no flake plan.
+    #[must_use]
+    pub fn new(progress_path: impl Into<PathBuf>, report_path: impl Into<PathBuf>) -> Self {
+        CampaignOptions {
+            threads: 1,
+            resume: false,
+            interrupt_after: None,
+            progress_path: progress_path.into(),
+            report_path: report_path.into(),
+            hang_dumps: None,
+            io: Arc::new(RealIo),
+            fsync: FsyncPolicy::default(),
+            retry: RetryPolicy::default(),
+            host_deadline: None,
+            flake: None,
+        }
+    }
 }
 
 /// Where and how large the hang flight-recorder sidecars are.
@@ -237,16 +312,28 @@ pub fn hang_trace_path(base: &Path, shard_id: usize) -> PathBuf {
     PathBuf::from(format!("{}.hang-{shard_id}.trace.json", base.display()))
 }
 
-/// Campaign failure: I/O trouble or a manifest that does not belong to
-/// this campaign.
+/// Campaign failure: I/O trouble, a manifest that does not belong to
+/// this campaign, or one damaged at rest.
 #[derive(Debug)]
 pub enum CampaignError {
-    /// Filesystem error on the manifest or report.
+    /// Filesystem error on the manifest or report. Transient from the
+    /// campaign's point of view: a `--resume` re-run picks up from the
+    /// last durable record.
     Io(std::io::Error),
     /// The progress manifest exists but its header does not match this
-    /// spec (different fingerprint or shard count), or a record is
-    /// out of range.
+    /// spec (different fingerprint, shard count or format version), or
+    /// a record is out of range.
     Mismatch(String),
+    /// An *interior* manifest record failed its checksum or did not
+    /// parse. A torn tail is tolerated (the kill window), but damage
+    /// before the tail means the file was corrupted at rest — refusing
+    /// beats silently re-running shards whose results exist.
+    Corrupt {
+        /// 1-based line number of the damaged record.
+        line: usize,
+        /// What exactly failed (framing, checksum, JSON).
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for CampaignError {
@@ -254,6 +341,9 @@ impl std::fmt::Display for CampaignError {
         match self {
             CampaignError::Io(e) => write!(f, "campaign i/o error: {e}"),
             CampaignError::Mismatch(m) => write!(f, "campaign manifest mismatch: {m}"),
+            CampaignError::Corrupt { line, detail } => {
+                write!(f, "campaign manifest corrupt at line {line}: {detail}")
+            }
         }
     }
 }
@@ -273,8 +363,14 @@ pub struct CampaignReport {
     pub fingerprint: u64,
     /// Verbatim record lines, sorted by shard id (dense `0..shards`).
     pub records: Vec<String>,
-    /// Shards recorded as failed (`"ok":false`).
+    /// Shards recorded as failed (`"ok":false`), quarantined ones
+    /// included.
     pub failed: Vec<JobError>,
+    /// The quarantined subset of `failed`: transient failures that
+    /// survived every retry. Partial results for these shards are
+    /// excluded from the aggregates but the campaign still completed —
+    /// the binaries exit with [`exit_codes::QUARANTINED`].
+    pub quarantined: Vec<JobError>,
     /// The exact report text written to `report_path`.
     pub report: String,
     /// Flight-recorder sidecars written for hung shards (empty unless
@@ -294,14 +390,6 @@ pub enum CampaignOutcome {
         /// Total shards in the campaign.
         total: usize,
     },
-}
-
-fn header_line(fingerprint: u64, shards: usize) -> String {
-    Json::obj()
-        .field("kind", "header")
-        .field("fingerprint", format!("{fingerprint:016x}").as_str())
-        .field("shards", shards)
-        .to_string()
 }
 
 fn lifecycle_json(l: &FaultLifecycle) -> Json {
@@ -324,13 +412,25 @@ fn lifecycle_json(l: &FaultLifecycle) -> Json {
         .field("refetch_penalty_sum", l.refetch_penalty_sum)
 }
 
+/// What a failed shard writes into its record: the terminal failure,
+/// the attempts spent, and the supervisor's verdict.
+#[derive(Debug, Clone, Copy)]
+struct FailureInfo<'a> {
+    failure: &'a JobFailure,
+    attempts: u32,
+    quarantined: bool,
+}
+
 /// The deterministic record line for one completed shard. Successful
 /// shards that ran with a metrics window append their per-window
 /// milli-IPC series (integers — exactly mergeable downstream).
+/// Successful records carry no attempt count: which attempt finally
+/// succeeded is host history, and keeping it out of the record is what
+/// makes reports byte-identical regardless of retry schedule.
 fn record_line(
     shard: &Shard,
     label: &str,
-    result: Result<(&SimStats, &[WindowSample]), &str>,
+    result: Result<(&SimStats, &[WindowSample]), FailureInfo<'_>>,
 ) -> String {
     let base = Json::obj()
         .field("kind", "shard")
@@ -365,51 +465,19 @@ fn record_line(
             }
             j.to_string()
         }
-        Err(msg) => base.field("ok", false).field("error", msg).to_string(),
-    }
-}
-
-/// Parses a progress manifest back into `id → verbatim line`.
-///
-/// Unparseable lines (a torn tail from a kill mid-write) are skipped —
-/// their shards simply re-run. Duplicate ids keep the *last* line, so a
-/// shard recorded again after a torn first attempt settles on the
-/// complete record.
-fn parse_manifest(
-    text: &str,
-    expect_header: &str,
-    shards: usize,
-) -> Result<BTreeMap<usize, String>, CampaignError> {
-    let mut lines = text.lines();
-    match lines.next() {
-        None => return Ok(BTreeMap::new()),
-        Some(h) if h == expect_header => {}
-        Some(h) => {
-            return Err(CampaignError::Mismatch(format!(
-                "header {h:?} does not match this campaign (expected {expect_header:?})"
-            )));
+        Err(info) => {
+            let mut j = base
+                .field("ok", false)
+                .field("error", info.failure.message.as_str())
+                .field("ekind", info.failure.kind.as_str())
+                .field("attempts", u64::from(info.attempts))
+                .field("quarantined", info.quarantined);
+            if let Some(p) = &info.failure.panic_payload {
+                j = j.field("panic", p.as_str());
+            }
+            j.to_string()
         }
     }
-    let mut done = BTreeMap::new();
-    for line in lines {
-        let Ok(j) = Json::parse(line) else {
-            continue; // torn tail / partial write
-        };
-        if j.get("kind").and_then(Json::as_str) != Some("shard") {
-            continue;
-        }
-        let Some(id) = j.get("id").and_then(Json::as_u64) else {
-            continue;
-        };
-        let id = id as usize;
-        if id >= shards {
-            return Err(CampaignError::Mismatch(format!(
-                "record id {id} out of range for {shards} shards"
-            )));
-        }
-        done.insert(id, line.to_owned());
-    }
-    Ok(done)
 }
 
 /// Aggregates the sorted record lines into the per-scenario summary
@@ -423,6 +491,7 @@ fn summary_json(spec: &CampaignSpec, records: &BTreeMap<usize, String>) -> Json 
         hung: u64,
         latency_sum: u64,
         failed: u64,
+        quarantined: u64,
         hangs_contained: u64,
         /// Per-window milli-IPC values across every shard of the
         /// scenario. Bucket-wise mergeable, so the percentiles are a
@@ -441,6 +510,7 @@ fn summary_json(spec: &CampaignSpec, records: &BTreeMap<usize, String>) -> Json 
             hung: 0,
             latency_sum: 0,
             failed: 0,
+            quarantined: 0,
             hangs_contained: 0,
             ipc_hist: Histogram::default(),
         })
@@ -451,6 +521,9 @@ fn summary_json(spec: &CampaignSpec, records: &BTreeMap<usize, String>) -> Json 
         let acc = &mut accs[si];
         if j.get("ok").and_then(Json::as_bool) != Some(true) {
             acc.failed += 1;
+            if j.get("quarantined").and_then(Json::as_bool) == Some(true) {
+                acc.quarantined += 1;
+            }
             continue;
         }
         if j.get("watchdog_fired").and_then(Json::as_bool) == Some(true) {
@@ -507,6 +580,7 @@ fn summary_json(spec: &CampaignSpec, records: &BTreeMap<usize, String>) -> Json 
                     },
                 )
                 .field("failed_shards", a.failed)
+                .field("quarantined_shards", a.quarantined)
                 .field("watchdog_shards", a.hangs_contained);
             if a.ipc_hist.count() > 0 {
                 j = j.field(
@@ -528,18 +602,20 @@ fn summary_json(spec: &CampaignSpec, records: &BTreeMap<usize, String>) -> Json 
 /// function of the record set — hence byte-identical however the
 /// campaign was scheduled, interrupted or resumed.
 fn report_text(spec: &CampaignSpec, fingerprint: u64, records: &BTreeMap<usize, String>) -> String {
-    let failed = records
-        .values()
-        .filter(|l| {
-            Json::parse(l)
-                .ok()
-                .and_then(|j| j.get("ok").and_then(Json::as_bool))
-                != Some(true)
-        })
-        .count();
+    let mut failed = 0usize;
+    let mut quarantined = 0usize;
+    for l in records.values() {
+        let Ok(j) = Json::parse(l) else { continue };
+        if j.get("ok").and_then(Json::as_bool) != Some(true) {
+            failed += 1;
+            if j.get("quarantined").and_then(Json::as_bool) == Some(true) {
+                quarantined += 1;
+            }
+        }
+    }
     let mut out = String::new();
     out.push_str(&format!(
-        "{{\"fingerprint\":\"{fingerprint:016x}\",\"shards\":{},\"failed\":{failed},\"summary\":{},\"records\":[",
+        "{{\"fingerprint\":\"{fingerprint:016x}\",\"shards\":{},\"failed\":{failed},\"quarantined\":{quarantined},\"summary\":{},\"records\":[",
         records.len(),
         summary_json(spec, records),
     ));
@@ -553,63 +629,131 @@ fn report_text(spec: &CampaignSpec, fingerprint: u64, records: &BTreeMap<usize, 
     out
 }
 
-/// Extracts the failed-shard list from the sorted records.
-fn failed_records(records: &BTreeMap<usize, String>) -> Vec<JobError> {
-    records
-        .iter()
-        .filter_map(|(&id, line)| {
-            let j = Json::parse(line).ok()?;
-            if j.get("ok").and_then(Json::as_bool) == Some(true) {
-                return None;
-            }
-            Some(JobError {
-                index: id,
-                label: j
-                    .get("label")
-                    .and_then(Json::as_str)
-                    .unwrap_or("?")
-                    .to_owned(),
-                message: j
-                    .get("error")
-                    .and_then(Json::as_str)
-                    .unwrap_or("unrecorded error")
-                    .to_owned(),
-            })
+/// Extracts the failed-shard list from the sorted records; the second
+/// list is the quarantined subset (also present in the first).
+fn failed_records(records: &BTreeMap<usize, String>) -> (Vec<JobError>, Vec<JobError>) {
+    let mut failed = Vec::new();
+    let mut quarantined = Vec::new();
+    for (&id, line) in records {
+        let Ok(j) = Json::parse(line) else { continue };
+        if j.get("ok").and_then(Json::as_bool) == Some(true) {
+            continue;
+        }
+        let err = JobError {
+            index: id,
+            label: j
+                .get("label")
+                .and_then(Json::as_str)
+                .unwrap_or("?")
+                .to_owned(),
+            message: j
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("unrecorded error")
+                .to_owned(),
+            kind: JobErrorKind::parse_lossy(j.get("ekind").and_then(Json::as_str).unwrap_or("sim")),
+            panic_payload: j.get("panic").and_then(Json::as_str).map(str::to_owned),
+        };
+        if j.get("quarantined").and_then(Json::as_bool) == Some(true) {
+            quarantined.push(err.clone());
+        }
+        failed.push(err);
+    }
+    (failed, quarantined)
+}
+
+/// The shared, error-latching manifest appender. One frame per record,
+/// written whole through [`write_all_retrying`] (EINTR and short
+/// writes are absorbed) and optionally fsynced per record. The *first*
+/// IO error latches: every later append refuses immediately, so at
+/// most the latching write can leave a torn frame — and it is the last
+/// line of the file, exactly the shape resume tolerates.
+struct ManifestSink {
+    state: Mutex<SinkState>,
+    sync_each: bool,
+}
+
+struct SinkState {
+    file: Box<dyn IoFile>,
+    error: Option<std::io::Error>,
+}
+
+impl ManifestSink {
+    fn open(io: &dyn Io, path: &Path, fsync: FsyncPolicy) -> std::io::Result<Self> {
+        Ok(ManifestSink {
+            state: Mutex::new(SinkState {
+                file: io.open_append(path)?,
+                error: None,
+            }),
+            sync_each: fsync.sync_records(),
         })
-        .collect()
+    }
+
+    /// Appends one framed record; `false` means the sink is dead (this
+    /// call or an earlier one hit an IO error) and the campaign should
+    /// wind down.
+    fn append(&self, payload: &str) -> bool {
+        let mut st = self.state.lock().expect("manifest sink lock");
+        if st.error.is_some() {
+            return false;
+        }
+        let framed = format!("{}\n", frame_record(payload));
+        let r = write_all_retrying(st.file.as_mut(), framed.as_bytes()).and_then(|()| {
+            if self.sync_each {
+                st.file.sync()
+            } else {
+                Ok(())
+            }
+        });
+        match r {
+            Ok(()) => true,
+            Err(e) => {
+                st.error = Some(e);
+                false
+            }
+        }
+    }
+
+    fn into_error(self) -> Option<std::io::Error> {
+        self.state.into_inner().expect("manifest sink lock").error
+    }
 }
 
 /// Runs (or resumes) a campaign.
 ///
-/// Completed shards checkpoint to `opts.progress_path` as they finish;
-/// when every shard is recorded the final report is written to
-/// `opts.report_path` and returned. With `opts.interrupt_after`
-/// set, at most that many new shards complete before the run stops
-/// with [`CampaignOutcome::Interrupted`].
+/// Completed shards checkpoint to `opts.progress_path` as they finish
+/// (each supervised by `opts.retry` / `opts.host_deadline`); when every
+/// shard is recorded the final report is written atomically to
+/// `opts.report_path` and returned. With `opts.interrupt_after` set, at
+/// most that many new shards complete before the run stops with
+/// [`CampaignOutcome::Interrupted`].
 ///
 /// # Errors
 ///
-/// [`CampaignError::Io`] on filesystem trouble, and
-/// [`CampaignError::Mismatch`] when resuming against a manifest written
-/// by a different campaign.
+/// [`CampaignError::Io`] on filesystem trouble (resume to continue
+/// from the last durable record), [`CampaignError::Mismatch`] when
+/// resuming against a manifest written by a different campaign, and
+/// [`CampaignError::Corrupt`] when an interior manifest record is
+/// damaged.
 pub fn run_campaign(
     spec: &CampaignSpec,
     opts: &CampaignOptions,
 ) -> Result<CampaignOutcome, CampaignError> {
+    let io = opts.io.as_ref();
     let shards = spec.shards();
     let fingerprint = spec.fingerprint();
     let header = header_line(fingerprint, shards.len());
 
     if let Some(dir) = opts.progress_path.parent() {
-        fs::create_dir_all(dir)?;
+        io.create_dir_all(dir)?;
     }
     if let Some(dir) = opts.report_path.parent() {
-        fs::create_dir_all(dir)?;
+        io.create_dir_all(dir)?;
     }
 
     let mut done: BTreeMap<usize, String> = BTreeMap::new();
     if opts.resume {
-        match fs::read_to_string(&opts.progress_path) {
+        match io.read_to_string(&opts.progress_path) {
             Ok(text) => done = parse_manifest(&text, &header, shards.len())?,
             Err(e) if e.kind() == ErrorKind::NotFound => {}
             Err(e) => return Err(e.into()),
@@ -617,17 +761,23 @@ pub fn run_campaign(
     }
 
     // (Re)write the manifest cleanly — header plus every known-good
-    // record — via a temp file and rename, so a torn tail from a
-    // previous kill never corrupts the lines appended next.
+    // record, freshly framed — atomically (temp file + rename, fsync
+    // per policy), so a torn tail from a previous kill never corrupts
+    // the lines appended next.
     {
-        let tmp = opts.progress_path.with_extension("tmp");
-        let mut f = fs::File::create(&tmp)?;
-        writeln!(f, "{header}")?;
+        let mut buf = String::with_capacity(256 + done.values().map(String::len).sum::<usize>());
+        buf.push_str(&header);
+        buf.push('\n');
         for line in done.values() {
-            writeln!(f, "{line}")?;
+            buf.push_str(&frame_record(line));
+            buf.push('\n');
         }
-        f.sync_all()?;
-        fs::rename(&tmp, &opts.progress_path)?;
+        atomic_write(
+            io,
+            &opts.progress_path,
+            buf.as_bytes(),
+            opts.fsync.sync_barriers(),
+        )?;
     }
 
     let mut pending: Vec<Shard> = shards
@@ -645,30 +795,82 @@ pub fn run_campaign(
 
     if !pending.is_empty() {
         let jobs: Vec<Job> = pending.iter().map(|s| spec.job(s)).collect();
-        let progress = Mutex::new(
-            fs::OpenOptions::new()
-                .append(true)
-                .open(&opts.progress_path)?,
-        );
-        let fresh: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::new());
+        // Traces are materialized up front, single-threaded, through
+        // the bench cache — workers then share them read-only. A trace
+        // that cannot be built is a persistent failure for its shards.
         let mut h = Harness::new(spec.quick);
-        h.try_sweep_with(&jobs, opts.threads, |i, result| {
-            let shard = &pending[i];
-            let label = spec.label(shard);
-            let line = match result {
-                Ok((stats, windows)) => record_line(shard, &label, Ok((stats, windows))),
-                Err(err) => record_line(shard, &label, Err(&err.message)),
-            };
-            {
-                let mut f = progress.lock().expect("progress writer lock");
-                writeln!(f, "{line}").expect("progress manifest append");
-                f.flush().expect("progress manifest flush");
+        let traces: Vec<Result<Arc<[DynInst]>, JobFailure>> = jobs
+            .iter()
+            .map(|j| {
+                h.try_trace_for(j.workload, j.input_seed)
+                    .map_err(|e| JobFailure::new(JobErrorKind::Trace, e.to_string()))
+            })
+            .collect();
+        let sink = ManifestSink::open(io, &opts.progress_path, opts.fsync)?;
+        let monitor = opts.host_deadline.map(|_| DeadlineMonitor::new());
+        let abort = AtomicBool::new(false);
+        let next = AtomicUsize::new(0);
+        let fresh: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::new());
+        let threads = opts.threads.clamp(1, pending.len());
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| loop {
+                    if abort.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= pending.len() {
+                        break;
+                    }
+                    let shard = &pending[i];
+                    let label = spec.label(shard);
+                    let injected = opts.flake.as_ref().map_or(0, |f| f.failures_for(shard.id));
+                    let line = match &traces[i] {
+                        Err(f) => record_line(
+                            shard,
+                            &label,
+                            Err(FailureInfo {
+                                failure: f,
+                                attempts: 1,
+                                quarantined: false,
+                            }),
+                        ),
+                        Ok(trace) => match execute_shard(
+                            trace,
+                            &jobs[i],
+                            &opts.retry,
+                            monitor.as_ref(),
+                            opts.host_deadline,
+                            injected,
+                        ) {
+                            Ok((stats, windows)) => {
+                                record_line(shard, &label, Ok((&stats, &windows)))
+                            }
+                            Err(sf) => record_line(
+                                shard,
+                                &label,
+                                Err(FailureInfo {
+                                    failure: &sf.failure,
+                                    attempts: sf.attempts,
+                                    quarantined: sf.quarantined,
+                                }),
+                            ),
+                        },
+                    };
+                    if !sink.append(&line) {
+                        abort.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                    fresh
+                        .lock()
+                        .expect("record list lock")
+                        .push((shard.id, line));
+                });
             }
-            fresh
-                .lock()
-                .expect("record list lock")
-                .push((shard.id, line));
         });
+        if let Some(e) = sink.into_error() {
+            return Err(CampaignError::Io(e));
+        }
         for (id, line) in fresh.into_inner().expect("record list lock") {
             done.insert(id, line);
         }
@@ -682,7 +884,12 @@ pub fn run_campaign(
     }
 
     let report = report_text(spec, fingerprint, &done);
-    fs::write(&opts.report_path, &report)?;
+    atomic_write(
+        io,
+        &opts.report_path,
+        report.as_bytes(),
+        opts.fsync.sync_barriers(),
+    )?;
 
     let mut hang_traces = Vec::new();
     if let Some(dump) = &opts.hang_dumps {
@@ -698,10 +905,12 @@ pub fn run_campaign(
         }
     }
 
+    let (failed, quarantined) = failed_records(&done);
     Ok(CampaignOutcome::Complete(CampaignReport {
         fingerprint,
         records: done.values().cloned().collect(),
-        failed: failed_records(&done),
+        failed,
+        quarantined,
         report,
         hang_traces,
     }))
@@ -736,7 +945,7 @@ fn dump_hang_trace(
     // The shard already ran to classification once; the replay exists
     // only for its event tail, so the stats result is discarded.
     let _ = sim.run_source_traced(&mut source, &mut recorder);
-    fs::write(&path, format!("{}\n", recorder.to_chrome_json())).ok()?;
+    std::fs::write(&path, format!("{}\n", recorder.to_chrome_json())).ok()?;
     Some(path)
 }
 
@@ -847,23 +1056,41 @@ mod tests {
     }
 
     #[test]
-    fn manifest_parser_skips_torn_tail_and_rejects_foreign_headers() {
-        let header = header_line(0xabcd, 4);
-        let rec = r#"{"kind":"shard","id":2,"ok":false,"error":"x"}"#;
-        let text = format!("{header}\n{rec}\n{{\"kind\":\"sha");
-        let done = parse_manifest(&text, &header, 4).expect("parses");
-        assert_eq!(done.len(), 1);
-        assert_eq!(done[&2], rec);
+    fn failure_records_carry_the_supervision_verdict() {
+        let shard = Shard {
+            id: 3,
+            scenario: 1,
+            workload: Workload::Gzip,
+            rep: 0,
+        };
+        let failure = JobFailure {
+            kind: JobErrorKind::Panic,
+            message: "panic: boom".into(),
+            panic_payload: Some("boom".into()),
+        };
+        let line = record_line(
+            &shard,
+            "l",
+            Err(FailureInfo {
+                failure: &failure,
+                attempts: 3,
+                quarantined: true,
+            }),
+        );
+        let j = Json::parse(&line).expect("record parses");
+        assert_eq!(j.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(j.get("ekind").and_then(Json::as_str), Some("panic"));
+        assert_eq!(j.get("attempts").and_then(Json::as_u64), Some(3));
+        assert_eq!(j.get("quarantined").and_then(Json::as_bool), Some(true));
+        assert_eq!(j.get("panic").and_then(Json::as_str), Some("boom"));
 
-        let foreign = header_line(0x1234, 4);
-        assert!(matches!(
-            parse_manifest(&text, &foreign, 4),
-            Err(CampaignError::Mismatch(_))
-        ));
-        assert!(matches!(
-            parse_manifest(&format!("{header}\n{rec}\n"), &header, 2),
-            Err(CampaignError::Mismatch(_))
-        ));
+        let mut records = BTreeMap::new();
+        records.insert(3, line);
+        let (failed, quarantined) = failed_records(&records);
+        assert_eq!(failed.len(), 1);
+        assert_eq!(quarantined.len(), 1);
+        assert_eq!(failed[0].kind, JobErrorKind::Panic);
+        assert_eq!(failed[0].panic_payload.as_deref(), Some("boom"));
     }
 
     #[test]

@@ -56,14 +56,9 @@ fn small_spec() -> CampaignSpec {
 fn opts(dir: &str, threads: usize) -> CampaignOptions {
     let base = PathBuf::from(env!("CARGO_TARGET_TMPDIR"))
         .join(format!("campaign-{}-{dir}", std::process::id()));
-    CampaignOptions {
-        threads,
-        resume: false,
-        interrupt_after: None,
-        progress_path: base.join("c.progress.jsonl"),
-        report_path: base.join("c.report.json"),
-        hang_dumps: None,
-    }
+    let mut o = CampaignOptions::new(base.join("c.progress.jsonl"), base.join("c.report.json"));
+    o.threads = threads;
+    o
 }
 
 fn complete(outcome: CampaignOutcome) -> CampaignReport {

@@ -3,6 +3,8 @@
 use std::collections::VecDeque;
 use std::error::Error;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use redsim_isa::trace::DynInst;
@@ -37,6 +39,13 @@ pub enum SimError {
         /// Cycle at which progress stopped.
         cycle: u64,
     },
+    /// A host-side supervisor raised the cancellation flag attached via
+    /// [`Simulator::with_cancel`] — typically a wall-clock deadline,
+    /// distinct from the simulated-cycle watchdog.
+    HostCancelled {
+        /// Cycle at which the flag was observed.
+        cycle: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -46,6 +55,12 @@ impl fmt::Display for SimError {
             SimError::Deadlock { cycle } => {
                 write!(f, "pipeline made no progress near cycle {cycle}")
             }
+            SimError::HostCancelled { cycle } => {
+                write!(
+                    f,
+                    "host wall-clock deadline cancelled the run near cycle {cycle}"
+                )
+            }
         }
     }
 }
@@ -54,7 +69,7 @@ impl Error for SimError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             SimError::Emu(e) => Some(e),
-            SimError::Deadlock { .. } => None,
+            SimError::Deadlock { .. } | SimError::HostCancelled { .. } => None,
         }
     }
 }
@@ -89,6 +104,7 @@ pub struct Simulator {
     faults: FaultConfig,
     budget: u64,
     watchdog: Option<u64>,
+    cancel: Option<Arc<AtomicBool>>,
 }
 
 impl Simulator {
@@ -107,6 +123,7 @@ impl Simulator {
             faults: FaultConfig::none(),
             budget: 50_000_000,
             watchdog: None,
+            cancel: None,
         }
     }
 
@@ -156,6 +173,20 @@ impl Simulator {
     #[must_use]
     pub fn with_budget(mut self, budget: u64) -> Self {
         self.budget = budget;
+        self
+    }
+
+    /// Attaches a host-side cancellation flag. The cycle loop polls it
+    /// every 64 cycles; once the flag is raised the run fails with
+    /// [`SimError::HostCancelled`]. This is how a supervisor enforces a
+    /// wall-clock deadline on a job without killing the whole process —
+    /// unlike [`Simulator::with_watchdog`], which bounds *simulated*
+    /// cycles and ends the run cleanly, cancellation is an external
+    /// abort and yields an error. An unarmed simulator (the default)
+    /// pays nothing: the check is behind one `Option` branch.
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(cancel);
         self
     }
 
@@ -261,7 +292,14 @@ impl Simulator {
         source: &mut dyn InstructionSource,
         instr: Instrumentation<'a>,
     ) -> Result<SimStats, SimError> {
-        let mut m = Machine::new(&self.config, self.mode, self.faults, self.watchdog, instr);
+        let mut m = Machine::new(
+            &self.config,
+            self.mode,
+            self.faults,
+            self.watchdog,
+            self.cancel.as_deref(),
+            instr,
+        );
         m.run(source)
     }
 }
@@ -359,6 +397,9 @@ struct Machine<'a> {
     /// Watchdog deadline in cycles; reaching it ends the run cleanly
     /// with pending faults classified as hangs.
     watchdog: Option<u64>,
+    /// Host-side cancellation flag, polled every 64 cycles; raised by
+    /// a supervisor's wall-clock deadline.
+    cancel: Option<&'a AtomicBool>,
     /// The event sink. `trace_on` caches `tracer.enabled()` so every
     /// emission site pays one predictable branch when tracing is off.
     tracer: &'a mut dyn Tracer,
@@ -429,6 +470,7 @@ impl<'a> Machine<'a> {
         mode: ExecMode,
         faults: FaultConfig,
         watchdog: Option<u64>,
+        cancel: Option<&'a AtomicBool>,
         instr: Instrumentation<'a>,
     ) -> Self {
         let Instrumentation {
@@ -471,6 +513,7 @@ impl<'a> Machine<'a> {
             inj: FaultInjector::new(faults),
             irb_fault_pc: FxHashMap::default(),
             watchdog,
+            cancel,
             tracer,
             trace_on,
             metrics,
@@ -575,6 +618,14 @@ impl<'a> Machine<'a> {
             self.cycles_since_commit += 1;
             if self.cycles_since_commit > 100_000 {
                 return Err(SimError::Deadlock { cycle: self.cycle });
+            }
+            if let Some(flag) = self.cancel {
+                // Poll every 64 cycles: cheap enough to bound reaction
+                // latency, rare enough that the atomic load never shows
+                // in profiles. Unarmed runs skip on the `Option` branch.
+                if self.cycle & 0x3F == 0 && flag.load(Ordering::Relaxed) {
+                    return Err(SimError::HostCancelled { cycle: self.cycle });
+                }
             }
             if self.watchdog.is_some_and(|limit| self.cycle >= limit) {
                 // Watchdog deadline: end the run cleanly. Faults still

@@ -893,6 +893,7 @@ fn last_store_map_is_pruned_as_stores_commit() {
             mode,
             FaultConfig::none(),
             None,
+            None,
             Instrumentation {
                 tracer: &mut tracer,
                 metrics: &mut metrics,

@@ -86,6 +86,27 @@ impl Hasher for FxHasher {
 /// integer keys.
 pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
 
+/// Hashes a byte string to a deterministic 64-bit checksum.
+///
+/// This is the record checksum used by the campaign manifest framing:
+/// stable across processes and platforms (no per-process key), cheap
+/// enough to run on every appended record, and strong enough to catch
+/// torn or bit-flipped JSONL lines. Not cryptographic.
+///
+/// # Examples
+///
+/// ```
+/// use redsim_util::hash::fx64;
+///
+/// assert_eq!(fx64(b"record"), fx64(b"record"));
+/// assert_ne!(fx64(b"record"), fx64(b"recore"));
+/// ```
+pub fn fx64(bytes: &[u8]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(bytes);
+    h.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,707 @@
+//! A fallible-IO shim: the host-filesystem surface the campaign layer
+//! writes durable state through, abstracted behind the [`Io`] trait so
+//! tests can inject host faults deterministically.
+//!
+//! Two implementations ship here:
+//!
+//! * [`RealIo`] — a thin veneer over `std::fs`, used in production.
+//! * [`ChaosIo`] — wraps another [`Io`] and injects the host faults a
+//!   long-running sweep actually meets: `EINTR`, short writes, torn
+//!   writes followed by `ENOSPC`, `fsync` failures, and a hard "kill"
+//!   after a chosen operation count (every later operation fails, and
+//!   the in-flight write lands torn — exactly the on-disk state a
+//!   `SIGKILL` at that boundary leaves behind). The schedule is a pure
+//!   function of the [`ChaosConfig`] seed and the operation sequence,
+//!   so a failing fault schedule replays exactly.
+//!
+//! The helpers encode the durability discipline the campaign manifest
+//! relies on:
+//!
+//! * [`write_all_retrying`] — absorbs the *transient* faults (`EINTR`,
+//!   short writes) with a bounded retry loop; anything else bubbles up
+//!   as a typed `io::Error`.
+//! * [`atomic_write`] — full-file replacement via temp file + optional
+//!   `fsync` + rename, so readers observe either the old bytes or the
+//!   new bytes, never a mix.
+//! * [`FsyncPolicy`] — where the durability barriers sit: every record,
+//!   only at atomic-replace barriers, or nowhere.
+
+use std::fmt;
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use crate::rng::Rng;
+
+/// An open file handle the shim hands out: sequential writes plus an
+/// explicit durability barrier. Deliberately narrower than
+/// `std::io::Write` — the campaign writers only ever append and sync.
+pub trait IoFile: Send {
+    /// Writes a prefix of `buf`, returning how many bytes landed.
+    /// Short writes and `EINTR` are legal outcomes; callers that need
+    /// the whole buffer durable go through [`write_all_retrying`].
+    ///
+    /// # Errors
+    ///
+    /// Any `io::Error` of the underlying filesystem (or the injected
+    /// fault of a chaos backend).
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize>;
+
+    /// Durability barrier (`fsync`): on `Ok`, every byte written so far
+    /// is on stable storage.
+    ///
+    /// # Errors
+    ///
+    /// Any `io::Error` of the underlying filesystem (or the injected
+    /// fault of a chaos backend).
+    fn sync(&mut self) -> io::Result<()>;
+}
+
+/// The filesystem surface durable campaign state flows through. Every
+/// method mirrors its `std::fs` namesake; implementations may fail any
+/// of them, so callers must treat each call as fallible and recover
+/// through typed errors, never `unwrap`.
+pub trait Io: fmt::Debug + Send + Sync {
+    /// Reads a whole file as UTF-8.
+    ///
+    /// # Errors
+    ///
+    /// As `std::fs::read_to_string`.
+    fn read_to_string(&self, path: &Path) -> io::Result<String>;
+
+    /// Creates a directory and its ancestors.
+    ///
+    /// # Errors
+    ///
+    /// As `std::fs::create_dir_all`.
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+
+    /// Creates (truncating) a file for writing.
+    ///
+    /// # Errors
+    ///
+    /// As `std::fs::File::create`.
+    fn create(&self, path: &Path) -> io::Result<Box<dyn IoFile>>;
+
+    /// Opens a file for appending.
+    ///
+    /// # Errors
+    ///
+    /// As `std::fs::OpenOptions::append`.
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn IoFile>>;
+
+    /// Atomically replaces `to` with `from`.
+    ///
+    /// # Errors
+    ///
+    /// As `std::fs::rename`.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+
+    /// Whether `path` exists (best-effort, infallible by design).
+    fn exists(&self, path: &Path) -> bool;
+}
+
+/// Where the durability barriers (`fsync`) sit on the write path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsyncPolicy {
+    /// Barrier after every appended record *and* at every atomic
+    /// replace. Maximum durability, one `fsync` per shard.
+    Always,
+    /// Barrier only at atomic-replace boundaries (manifest rewrite,
+    /// final report). A crash can lose the most recent appended
+    /// records — they simply re-run on resume — but a renamed file is
+    /// never observed partially written. The default.
+    #[default]
+    Critical,
+    /// No explicit barriers; durability is whatever the OS page cache
+    /// provides. For throughput experiments only.
+    Never,
+}
+
+impl FsyncPolicy {
+    /// Whether each appended record gets its own barrier.
+    #[must_use]
+    pub fn sync_records(self) -> bool {
+        matches!(self, FsyncPolicy::Always)
+    }
+
+    /// Whether atomic full-file replacements get a barrier before the
+    /// rename.
+    #[must_use]
+    pub fn sync_barriers(self) -> bool {
+        matches!(self, FsyncPolicy::Always | FsyncPolicy::Critical)
+    }
+
+    /// Parses the `--fsync` spelling (`always` / `critical` / `never`).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "always" => Some(FsyncPolicy::Always),
+            "critical" => Some(FsyncPolicy::Critical),
+            "never" => Some(FsyncPolicy::Never),
+            _ => None,
+        }
+    }
+}
+
+/// The production [`Io`]: plain `std::fs`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealIo;
+
+struct RealFile(fs::File);
+
+impl IoFile for RealFile {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0.write(buf)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.0.sync_all()
+    }
+}
+
+impl Io for RealIo {
+    fn read_to_string(&self, path: &Path) -> io::Result<String> {
+        let mut s = String::new();
+        fs::File::open(path)?.read_to_string(&mut s)?;
+        Ok(s)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        fs::create_dir_all(path)
+    }
+
+    fn create(&self, path: &Path) -> io::Result<Box<dyn IoFile>> {
+        Ok(Box::new(RealFile(fs::File::create(path)?)))
+    }
+
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn IoFile>> {
+        Ok(Box::new(RealFile(
+            fs::OpenOptions::new().append(true).open(path)?,
+        )))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+}
+
+/// Raw `errno` values for the injected faults, chosen so
+/// `io::Error::kind` classifies them the way the real syscalls would.
+const EINTR: i32 = 4;
+const ENOSPC: i32 = 28;
+const EIO: i32 = 5;
+
+/// The fault schedule of a [`ChaosIo`]: independent per-operation
+/// rates for each fault family plus an optional hard kill point. All
+/// rates are probabilities in `[0, 1]` drawn from a PRNG seeded by
+/// `seed`, so the schedule is deterministic given the operation
+/// sequence.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosConfig {
+    /// PRNG seed for the fault draws.
+    pub seed: u64,
+    /// Per-write probability of `EINTR` with no bytes written
+    /// (transient: callers retry).
+    pub eintr_rate: f64,
+    /// Per-write probability of a short write — a strict prefix lands,
+    /// `Ok(k < len)` returns (transient: callers continue the loop).
+    pub short_write_rate: f64,
+    /// Per-operation probability of `ENOSPC`. On a write the failure is
+    /// *torn*: a deterministic prefix lands before the error, the
+    /// on-disk state a full disk really leaves.
+    pub enospc_rate: f64,
+    /// Per-`sync` probability of an `EIO` fsync failure.
+    pub sync_fail_rate: f64,
+    /// Hard kill: after this many counted operations every further
+    /// operation fails, and the operation at the boundary lands torn.
+    /// Sweeping this over `0..ops` simulates a `SIGKILL` at every write
+    /// boundary of a run.
+    pub kill_after_ops: Option<u64>,
+}
+
+impl ChaosConfig {
+    /// A schedule that injects nothing — useful for counting the
+    /// operations of a run before sweeping kill points over them.
+    #[must_use]
+    pub fn quiet(seed: u64) -> Self {
+        ChaosConfig {
+            seed,
+            eintr_rate: 0.0,
+            short_write_rate: 0.0,
+            enospc_rate: 0.0,
+            sync_fail_rate: 0.0,
+            kill_after_ops: None,
+        }
+    }
+
+    /// Every fault family at the same per-operation rate.
+    #[must_use]
+    pub fn uniform(seed: u64, rate: f64) -> Self {
+        ChaosConfig {
+            seed,
+            eintr_rate: rate,
+            short_write_rate: rate,
+            enospc_rate: rate,
+            sync_fail_rate: rate,
+            kill_after_ops: None,
+        }
+    }
+
+    /// Only the transient families (`EINTR`, short writes) — a schedule
+    /// a correct retry loop must absorb completely.
+    #[must_use]
+    pub fn transient_only(seed: u64, rate: f64) -> Self {
+        ChaosConfig {
+            seed,
+            eintr_rate: rate,
+            short_write_rate: rate,
+            enospc_rate: 0.0,
+            sync_fail_rate: 0.0,
+            kill_after_ops: None,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ChaosState {
+    rng: Rng,
+    ops: u64,
+    killed: bool,
+}
+
+#[derive(Debug)]
+struct ChaosShared {
+    cfg: ChaosConfig,
+    state: Mutex<ChaosState>,
+}
+
+/// What the schedule decided for one write of `len` bytes.
+enum WritePlan {
+    Clean,
+    Eintr,
+    Short(usize),
+    /// Write this prefix, then fail with the error.
+    Torn(usize, io::Error),
+}
+
+impl ChaosShared {
+    fn kill_err() -> io::Error {
+        io::Error::other("chaos: process killed at this operation")
+    }
+
+    /// Counts one operation and applies the kill schedule. Returns the
+    /// kill error once the boundary is passed.
+    fn tick(state: &mut ChaosState, cfg: &ChaosConfig) -> Option<io::Error> {
+        if state.killed {
+            return Some(Self::kill_err());
+        }
+        state.ops += 1;
+        if cfg.kill_after_ops.is_some_and(|k| state.ops > k) {
+            state.killed = true;
+            return Some(Self::kill_err());
+        }
+        None
+    }
+
+    /// Schedule decision for a non-write operation (`open`, `rename`,
+    /// `create_dir_all`): kill, then `ENOSPC`.
+    fn plain_op(&self) -> io::Result<()> {
+        let mut st = self.state.lock().expect("chaos state lock");
+        if let Some(e) = Self::tick(&mut st, &self.cfg) {
+            return Err(e);
+        }
+        if st.rng.chance(self.cfg.enospc_rate) {
+            return Err(io::Error::from_raw_os_error(ENOSPC));
+        }
+        Ok(())
+    }
+
+    fn sync_op(&self) -> io::Result<()> {
+        let mut st = self.state.lock().expect("chaos state lock");
+        if let Some(e) = Self::tick(&mut st, &self.cfg) {
+            return Err(e);
+        }
+        if st.rng.chance(self.cfg.sync_fail_rate) {
+            return Err(io::Error::from_raw_os_error(EIO));
+        }
+        Ok(())
+    }
+
+    fn write_op(&self, len: usize) -> WritePlan {
+        let mut st = self.state.lock().expect("chaos state lock");
+        if st.killed {
+            return WritePlan::Torn(len / 2, Self::kill_err());
+        }
+        st.ops += 1;
+        if self.cfg.kill_after_ops.is_some_and(|k| st.ops > k) {
+            st.killed = true;
+            // The kill boundary tears the in-flight write: a prefix is
+            // durable, the rest is gone — like SIGKILL mid-`write(2)`.
+            return WritePlan::Torn(len / 2, Self::kill_err());
+        }
+        if st.rng.chance(self.cfg.eintr_rate) {
+            return WritePlan::Eintr;
+        }
+        if len > 1 && st.rng.chance(self.cfg.short_write_rate) {
+            return WritePlan::Short(st.rng.range_u64(1, len as u64) as usize);
+        }
+        if st.rng.chance(self.cfg.enospc_rate) {
+            let torn = st.rng.below(len as u64 + 1) as usize;
+            return WritePlan::Torn(torn, io::Error::from_raw_os_error(ENOSPC));
+        }
+        WritePlan::Clean
+    }
+}
+
+/// A fault-injecting [`Io`] wrapper. See the module docs for the fault
+/// families; [`ChaosIo::ops`] exposes the operation counter so tests
+/// can measure a run and then sweep [`ChaosConfig::kill_after_ops`]
+/// across every boundary.
+#[derive(Debug, Clone)]
+pub struct ChaosIo {
+    inner: Arc<dyn Io>,
+    shared: Arc<ChaosShared>,
+}
+
+impl ChaosIo {
+    /// Wraps `inner` with the fault schedule `cfg`.
+    #[must_use]
+    pub fn new(inner: Arc<dyn Io>, cfg: ChaosConfig) -> Self {
+        ChaosIo {
+            inner,
+            shared: Arc::new(ChaosShared {
+                state: Mutex::new(ChaosState {
+                    rng: Rng::new(cfg.seed),
+                    ops: 0,
+                    killed: false,
+                }),
+                cfg,
+            }),
+        }
+    }
+
+    /// Operations counted so far (writes, syncs, opens, renames).
+    #[must_use]
+    pub fn ops(&self) -> u64 {
+        self.shared.state.lock().expect("chaos state lock").ops
+    }
+
+    /// Whether the kill boundary has been crossed.
+    #[must_use]
+    pub fn killed(&self) -> bool {
+        self.shared.state.lock().expect("chaos state lock").killed
+    }
+}
+
+struct ChaosFile {
+    inner: Box<dyn IoFile>,
+    shared: Arc<ChaosShared>,
+}
+
+impl IoFile for ChaosFile {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self.shared.write_op(buf.len()) {
+            WritePlan::Clean => self.inner.write(buf),
+            WritePlan::Eintr => Err(io::Error::from_raw_os_error(EINTR)),
+            WritePlan::Short(k) => self.inner.write(&buf[..k]),
+            WritePlan::Torn(k, e) => {
+                // Best-effort prefix: the torn bytes really land, so a
+                // resumed reader must cope with a half-written record.
+                let _ = write_plain(self.inner.as_mut(), &buf[..k]);
+                Err(e)
+            }
+        }
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.shared.sync_op()?;
+        self.inner.sync()
+    }
+}
+
+/// Writes `buf` fully through raw `write` calls, retrying only genuine
+/// `EINTR` (used for the torn-prefix path where the prefix itself must
+/// not be chaos-faulted again).
+fn write_plain(f: &mut dyn IoFile, mut buf: &[u8]) -> io::Result<()> {
+    while !buf.is_empty() {
+        match f.write(buf) {
+            Ok(0) => return Err(io::Error::new(io::ErrorKind::WriteZero, "wrote 0 bytes")),
+            Ok(n) => buf = &buf[n..],
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+impl Io for ChaosIo {
+    fn read_to_string(&self, path: &Path) -> io::Result<String> {
+        // Reads are not faulted: the interesting failures are on the
+        // durability path, and a kill "during a read" is
+        // indistinguishable from a kill before the next write.
+        self.inner.read_to_string(path)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        self.shared.plain_op()?;
+        self.inner.create_dir_all(path)
+    }
+
+    fn create(&self, path: &Path) -> io::Result<Box<dyn IoFile>> {
+        self.shared.plain_op()?;
+        Ok(Box::new(ChaosFile {
+            inner: self.inner.create(path)?,
+            shared: Arc::clone(&self.shared),
+        }))
+    }
+
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn IoFile>> {
+        self.shared.plain_op()?;
+        Ok(Box::new(ChaosFile {
+            inner: self.inner.open_append(path)?,
+            shared: Arc::clone(&self.shared),
+        }))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.shared.plain_op()?;
+        self.inner.rename(from, to)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.inner.exists(path)
+    }
+}
+
+/// Upper bound on consecutive `EINTR` retries before the error is
+/// surfaced — purely a safety net against a pathological schedule
+/// (`eintr_rate == 1.0`) spinning forever.
+const MAX_EINTR_RETRIES: u32 = 4096;
+
+/// Writes all of `buf`, absorbing the transient fault families: short
+/// writes continue the loop, `EINTR` retries (bounded). Every other
+/// error — `ENOSPC`, a failed sync, a chaos kill — is returned for the
+/// caller's typed recovery path.
+///
+/// # Errors
+///
+/// The first non-transient `io::Error`, or `EINTR` after
+/// `MAX_EINTR_RETRIES` (4096) consecutive interruptions.
+pub fn write_all_retrying(f: &mut dyn IoFile, mut buf: &[u8]) -> io::Result<()> {
+    let mut interrupted = 0;
+    while !buf.is_empty() {
+        match f.write(buf) {
+            Ok(0) => return Err(io::Error::new(io::ErrorKind::WriteZero, "wrote 0 bytes")),
+            Ok(n) => {
+                interrupted = 0;
+                buf = &buf[n.min(buf.len())..];
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                interrupted += 1;
+                if interrupted > MAX_EINTR_RETRIES {
+                    return Err(e);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// The sidecar temp path `atomic_write` stages through: the target path
+/// with `.tmp` appended (appended, not substituted, so multi-extension
+/// names like `a.progress.jsonl` and `a.report.json` never collide).
+#[must_use]
+pub fn tmp_path(path: &Path) -> PathBuf {
+    PathBuf::from(format!("{}.tmp", path.display()))
+}
+
+/// Replaces `path` atomically: the bytes land in [`tmp_path`], are
+/// optionally fsynced, then renamed over `path`. A crash at any point
+/// leaves either the old file or the new file, never a mix; a stale
+/// temp file from an earlier crash is simply overwritten.
+///
+/// # Errors
+///
+/// Any `io::Error` from the create/write/sync/rename sequence. On
+/// error the target `path` is untouched.
+pub fn atomic_write(io: &dyn Io, path: &Path, bytes: &[u8], sync: bool) -> io::Result<()> {
+    let tmp = tmp_path(path);
+    let mut f = io.create(&tmp)?;
+    write_all_retrying(f.as_mut(), bytes)?;
+    if sync {
+        f.sync()?;
+    }
+    drop(f);
+    io.rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let d = std::env::temp_dir().join(format!(
+            "redsim-io-{}-{tag}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::create_dir_all(&d).expect("test dir");
+        d
+    }
+
+    #[test]
+    fn real_io_roundtrip_append_and_atomic_write() {
+        let d = tmp_dir("real");
+        let io = RealIo;
+        let p = d.join("f.txt");
+        let mut f = io.create(&p).expect("create");
+        write_all_retrying(f.as_mut(), b"one\n").expect("write");
+        f.sync().expect("sync");
+        drop(f);
+        let mut a = io.open_append(&p).expect("append");
+        write_all_retrying(a.as_mut(), b"two\n").expect("append write");
+        drop(a);
+        assert_eq!(io.read_to_string(&p).expect("read"), "one\ntwo\n");
+
+        atomic_write(&io, &p, b"replaced\n", true).expect("atomic");
+        assert_eq!(io.read_to_string(&p).expect("read"), "replaced\n");
+        assert!(!io.exists(&tmp_path(&p)), "temp staging file renamed away");
+    }
+
+    /// Runs a fixed op sequence under one chaos schedule, returning the
+    /// outcome fingerprint of every operation.
+    fn chaos_fingerprint(dir: &Path, cfg: ChaosConfig) -> Vec<String> {
+        let io = ChaosIo::new(Arc::new(RealIo), cfg);
+        let mut out = Vec::new();
+        let p = dir.join("probe.txt");
+        for i in 0..40 {
+            let r = io.create(&p).and_then(|mut f| {
+                f.write(format!("record {i} with some padding bytes\n").as_bytes())
+            });
+            out.push(match r {
+                Ok(n) => format!("ok:{n}"),
+                Err(e) => format!("err:{:?}", e.kind()),
+            });
+        }
+        out
+    }
+
+    #[test]
+    fn chaos_schedule_is_deterministic_in_the_seed() {
+        let d1 = tmp_dir("det1");
+        let d2 = tmp_dir("det2");
+        let cfg = ChaosConfig::uniform(42, 0.3);
+        assert_eq!(chaos_fingerprint(&d1, cfg), chaos_fingerprint(&d2, cfg));
+        let other = ChaosConfig::uniform(43, 0.3);
+        assert_ne!(
+            chaos_fingerprint(&d1, cfg),
+            chaos_fingerprint(&d2, other),
+            "a different seed draws a different schedule"
+        );
+    }
+
+    #[test]
+    fn kill_boundary_tears_the_inflight_write_and_fails_everything_after() {
+        let d = tmp_dir("kill");
+        let io = ChaosIo::new(
+            Arc::new(RealIo),
+            ChaosConfig {
+                kill_after_ops: Some(1), // op 1 = create, op 2 = the write
+                ..ChaosConfig::quiet(0)
+            },
+        );
+        let p = d.join("killed.txt");
+        let mut f = io.create(&p).expect("create precedes the boundary");
+        let err = write_all_retrying(f.as_mut(), b"0123456789").expect_err("write is killed");
+        assert!(err.to_string().contains("chaos"), "typed kill error: {err}");
+        assert!(io.killed());
+        drop(f);
+        // The torn prefix (half the buffer) is on disk.
+        assert_eq!(RealIo.read_to_string(&p).expect("read"), "01234");
+        // Every subsequent operation fails too.
+        assert!(io.create(&d.join("other.txt")).is_err());
+        assert!(io.rename(&p, &d.join("x")).is_err());
+    }
+
+    #[test]
+    fn transient_only_schedules_are_fully_absorbed_by_the_retry_loop() {
+        let d = tmp_dir("transient");
+        let io = ChaosIo::new(Arc::new(RealIo), ChaosConfig::transient_only(7, 0.4));
+        let p = d.join("t.txt");
+        let mut f = io.create(&p).expect("create");
+        let payload = "x".repeat(1000);
+        write_all_retrying(f.as_mut(), payload.as_bytes())
+            .expect("EINTR and short writes are transient");
+        drop(f);
+        assert_eq!(RealIo.read_to_string(&p).expect("read"), payload);
+    }
+
+    #[test]
+    fn enospc_and_sync_failures_surface_as_typed_errors() {
+        let d = tmp_dir("enospc");
+        let io = ChaosIo::new(
+            Arc::new(RealIo),
+            ChaosConfig {
+                enospc_rate: 1.0,
+                ..ChaosConfig::quiet(1)
+            },
+        );
+        let err = match io.create(&d.join("full.txt")) {
+            Err(e) => e,
+            Ok(_) => panic!("disk is full"),
+        };
+        assert_eq!(err.raw_os_error(), Some(ENOSPC));
+
+        let io = ChaosIo::new(
+            Arc::new(RealIo),
+            ChaosConfig {
+                sync_fail_rate: 1.0,
+                ..ChaosConfig::quiet(1)
+            },
+        );
+        let p = d.join("sync.txt");
+        let mut f = io.create(&p).expect("create");
+        write_all_retrying(f.as_mut(), b"abc").expect("write");
+        let err = f.sync().expect_err("fsync fails");
+        assert_eq!(err.raw_os_error(), Some(EIO));
+    }
+
+    #[test]
+    fn atomic_write_failure_leaves_the_target_untouched() {
+        let d = tmp_dir("atomic");
+        let p = d.join("state.json");
+        atomic_write(&RealIo, &p, b"v1", false).expect("seed the file");
+        let io = ChaosIo::new(
+            Arc::new(RealIo),
+            ChaosConfig {
+                kill_after_ops: Some(1), // create ok, write killed
+                ..ChaosConfig::quiet(0)
+            },
+        );
+        atomic_write(&io, &p, b"v2 that never lands", true).expect_err("killed mid-replace");
+        assert_eq!(RealIo.read_to_string(&p).expect("read"), "v1");
+    }
+
+    #[test]
+    fn fsync_policy_barriers() {
+        assert!(FsyncPolicy::Always.sync_records());
+        assert!(FsyncPolicy::Always.sync_barriers());
+        assert!(!FsyncPolicy::Critical.sync_records());
+        assert!(FsyncPolicy::Critical.sync_barriers());
+        assert!(!FsyncPolicy::Never.sync_records());
+        assert!(!FsyncPolicy::Never.sync_barriers());
+        assert_eq!(FsyncPolicy::parse("always"), Some(FsyncPolicy::Always));
+        assert_eq!(FsyncPolicy::parse("critical"), Some(FsyncPolicy::Critical));
+        assert_eq!(FsyncPolicy::parse("never"), Some(FsyncPolicy::Never));
+        assert_eq!(FsyncPolicy::parse("sometimes"), None);
+    }
+}

@@ -18,16 +18,23 @@
 //!   instruction.
 //! * [`timer`] — a wall-clock micro-benchmark timer ([`fn@bench`]) backing
 //!   the `cargo bench` targets.
+//! * [`io`] — the fallible filesystem shim ([`Io`]/[`RealIo`]) durable
+//!   campaign state flows through, with a deterministic fault-injecting
+//!   [`ChaosIo`] (EINTR, short/torn writes, ENOSPC, fsync failure,
+//!   kill-after-N-ops) for chaos testing the recovery paths.
 //!
 //! Everything in this crate is deterministic given its inputs; nothing
-//! touches the filesystem or the environment.
+//! except the explicit [`io`] backends touches the filesystem or the
+//! environment.
 
 pub mod hash;
+pub mod io;
 pub mod json;
 pub mod rng;
 pub mod timer;
 
 pub use hash::FxHashMap;
+pub use io::{ChaosConfig, ChaosIo, FsyncPolicy, Io, IoFile, RealIo};
 pub use json::{Json, JsonParseError, JsonTypeError};
 pub use rng::{Rng, SplitMix64};
 pub use timer::{bench, BenchResult};

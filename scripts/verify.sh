@@ -191,6 +191,60 @@ campaign_smoke() {
     fi
 }
 
+chaos_smoke() {
+    # The chaos-recovery guarantee end-to-end: a campaign run under an
+    # injected host-fault schedule (EINTR, short and torn writes,
+    # ENOSPC, fsync failures, a hard kill) must degrade to exit code 5
+    # with a resumable manifest, and --resume must converge to the
+    # byte-identical report of a clean run.
+    echo "==> fig_coverage chaos-recovery determinism check"
+    local bin=target/release/fig_coverage
+    local dir=target/chaos-smoke
+    rm -rf "$dir"
+    mkdir -p "$dir"
+    run "$bin" --quick --json --threads 4 --out "$dir/clean" >/dev/null
+
+    # A hard kill at an early IO boundary: graceful IO degradation is
+    # exit code 5, and no report may exist yet.
+    local rc=0
+    "$bin" --quick --json --threads 2 --chaos-seed 1 --chaos-rate 0 \
+        --chaos-kill-after 6 --out "$dir/chaos" >/dev/null 2>&1 || rc=$?
+    if [ "$rc" -ne 5 ]; then
+        echo "FAIL: a chaos kill must exit with code 5, got $rc" >&2
+        exit 1
+    fi
+    if [ -e "$dir/chaos.report.json" ]; then
+        echo "FAIL: a killed campaign must not leave a report" >&2
+        exit 1
+    fi
+
+    # Resume under fresh random fault schedules (every family at once)
+    # until a round survives; each failing round must still exit 5, and
+    # the surviving round's report must match the clean run.
+    local i=0
+    while :; do
+        rc=0
+        "$bin" --quick --json --resume --threads $((1 + i % 4)) \
+            --chaos-seed $((100 + i)) --chaos-rate 0.05 \
+            --out "$dir/chaos" >/dev/null 2>&1 || rc=$?
+        [ "$rc" -eq 0 ] && break
+        if [ "$rc" -ne 5 ]; then
+            echo "FAIL: chaos round $i exited $rc (want 0 or 5)" >&2
+            exit 1
+        fi
+        i=$((i + 1))
+        if [ "$i" -ge 30 ]; then
+            echo "FAIL: chaos campaign never converged in 30 rounds" >&2
+            exit 1
+        fi
+    done
+    echo "==> chaos campaign converged after $i faulted round(s)"
+    if ! cmp -s "$dir/clean.report.json" "$dir/chaos.report.json"; then
+        echo "FAIL: chaos-recovered report differs from the clean one" >&2
+        exit 1
+    fi
+}
+
 if [ "${1:-}" = "bench-smoke" ]; then
     bench_smoke
     echo "OK: bench smoke passed"
@@ -200,6 +254,12 @@ fi
 if [ "${1:-}" = "campaign-smoke" ]; then
     campaign_smoke
     echo "OK: campaign smoke passed"
+    exit 0
+fi
+
+if [ "${1:-}" = "chaos-smoke" ]; then
+    chaos_smoke
+    echo "OK: chaos smoke passed"
     exit 0
 fi
 
@@ -224,6 +284,7 @@ figure_smoke
 trace_smoke
 metrics_smoke
 campaign_smoke
+chaos_smoke
 bench_smoke
 
 echo "OK: all checks passed"

@@ -1,0 +1,146 @@
+//! The generative crash-consistency property: kill the campaign at
+//! *every* write boundary (and under random host-fault schedules),
+//! resume it, and the final report is byte-identical to an
+//! uninterrupted run — at any thread count.
+//!
+//! The sweep works in three movements:
+//!
+//! 1. A clean reference run on the real filesystem pins the expected
+//!    report bytes.
+//! 2. A chaos-quiet probe run counts the IO operations of one
+//!    uninterrupted campaign — the number of distinct kill boundaries.
+//! 3. For each boundary `k`, a fresh campaign runs under
+//!    [`ChaosConfig::kill_after_ops`]`= k` (the op at the boundary
+//!    lands *torn*: a prefix is durable, like `SIGKILL` mid-`write`),
+//!    then resumes on the real filesystem at a rotating thread count.
+//!    The recovered report must match the reference byte for byte.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use redsim_campaign::{
+    run_campaign, CampaignError, CampaignOptions, CampaignOutcome, CampaignSpec, Scenario,
+};
+use redsim_core::{ExecMode, FaultConfig, ForwardingPolicy};
+use redsim_util::io::{ChaosConfig, ChaosIo, RealIo};
+use redsim_workloads::Workload;
+
+fn spec() -> CampaignSpec {
+    CampaignSpec {
+        scenarios: vec![Scenario {
+            name: "die-irb/irb".to_owned(),
+            mode: ExecMode::DieIrb,
+            faults: FaultConfig {
+                irb_rate: 0.05,
+                seed: 13,
+                ..FaultConfig::none()
+            },
+            forwarding: ForwardingPolicy::PrimaryToBoth,
+        }],
+        workloads: vec![Workload::Gzip],
+        seeds: 2,
+        quick: true,
+        watchdog: Some(5_000_000),
+        metrics_window: Some(4096),
+    }
+}
+
+fn opts(dir: &str) -> CampaignOptions {
+    let base = PathBuf::from(env!("CARGO_TARGET_TMPDIR"))
+        .join(format!("killsweep-{}-{dir}", std::process::id()));
+    CampaignOptions::new(base.join("c.progress.jsonl"), base.join("c.report.json"))
+}
+
+fn report_of(outcome: CampaignOutcome) -> String {
+    match outcome {
+        CampaignOutcome::Complete(r) => r.report,
+        CampaignOutcome::Interrupted { completed, total } => {
+            panic!("expected completion, interrupted at {completed}/{total}")
+        }
+    }
+}
+
+#[test]
+fn a_kill_at_every_write_boundary_resumes_to_the_identical_report() {
+    let spec = spec();
+    let reference = report_of(run_campaign(&spec, &opts("ref")).expect("reference run"));
+
+    // Probe: count the write boundaries of one uninterrupted run.
+    let probe = ChaosIo::new(Arc::new(RealIo), ChaosConfig::quiet(0));
+    let mut o = opts("probe");
+    o.io = Arc::new(probe.clone());
+    assert_eq!(
+        report_of(run_campaign(&spec, &o).expect("quiet chaos is a clean run")),
+        reference
+    );
+    let boundaries = probe.ops();
+    assert!(boundaries >= 8, "campaign does real IO: {boundaries} ops");
+
+    for k in 0..boundaries {
+        let dir = format!("kill-{k}");
+        let mut o = opts(&dir);
+        o.io = Arc::new(ChaosIo::new(
+            Arc::new(RealIo),
+            ChaosConfig {
+                kill_after_ops: Some(k),
+                ..ChaosConfig::quiet(0)
+            },
+        ));
+        match run_campaign(&spec, &o) {
+            Err(CampaignError::Io(_)) => {}
+            Ok(_) => panic!("kill at op {k} of {boundaries} did not surface"),
+            Err(e) => panic!("kill at op {k} produced the wrong error: {e}"),
+        }
+
+        // Recover on the real filesystem, rotating the thread count so
+        // the sweep also exercises re-parallelised resumes.
+        let mut o = opts(&dir);
+        o.resume = true;
+        o.threads = 1 + (k as usize % 4);
+        let recovered = report_of(run_campaign(&spec, &o).expect("resume after kill"));
+        assert_eq!(
+            recovered, reference,
+            "kill at op {k} changed the recovered report"
+        );
+        assert_eq!(
+            std::fs::read_to_string(&o.report_path).expect("report on disk"),
+            reference
+        );
+    }
+}
+
+#[test]
+fn random_fault_schedules_always_recover_to_the_identical_report() {
+    // Every fault family at once — EINTR, short writes, torn ENOSPC,
+    // failed fsyncs. Each failed run leaves a manifest whose only legal
+    // defect is a torn tail; resuming under a fresh schedule must
+    // converge to the reference bytes.
+    let spec = spec();
+    let reference = report_of(run_campaign(&spec, &opts("rand-ref")).expect("reference run"));
+
+    let o_base = opts("rand");
+    let mut recovered = None;
+    for round in 0..40u64 {
+        let mut o = opts("rand");
+        o.resume = round > 0;
+        o.threads = 1 + (round as usize % 3);
+        o.io = Arc::new(ChaosIo::new(
+            Arc::new(RealIo),
+            ChaosConfig::uniform(0x5eed + round, 0.08),
+        ));
+        match run_campaign(&spec, &o) {
+            Ok(outcome) => {
+                recovered = Some(report_of(outcome));
+                break;
+            }
+            Err(CampaignError::Io(_)) => {} // expected: resume next round
+            Err(e) => panic!("round {round}: unexpected error {e}"),
+        }
+    }
+    let recovered = recovered.expect("40 rounds never converged");
+    assert_eq!(recovered, reference);
+    assert_eq!(
+        std::fs::read_to_string(&o_base.report_path).expect("report on disk"),
+        reference
+    );
+}
