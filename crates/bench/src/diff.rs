@@ -20,6 +20,16 @@ use redsim_util::Json;
 /// Geomean slowdown beyond this fraction fails the diff (0.05 = 5%).
 pub const DEFAULT_THRESHOLD: f64 = 0.05;
 
+/// Smallest `min_ms` treated as a real measurement, milliseconds
+/// (1 nanosecond). A recorded minimum of 0.0 happens in `--quick` runs
+/// when a case finishes under the timer's resolution; feeding it into
+/// the ratio math produces 0, `inf` or NaN, and a single `ln(0) = -inf`
+/// term drives the geomean to 0 — masking genuine regressions in every
+/// other case. A case with a sub-resolution minimum on either side is
+/// annotated ([`CaseDiff::unmeasured`]) and excluded from the geomean;
+/// its displayed ratio is computed from values clamped to this floor.
+pub const MIN_MEASURABLE_MS: f64 = 1e-6;
+
 /// One timed case from a bench summary file.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CaseTiming {
@@ -183,6 +193,12 @@ pub struct CaseDiff {
     /// Whether the slowdown exceeds this case's own noise band (an
     /// annotation; the pass/fail gate is the geomean).
     pub beyond_noise: bool,
+    /// Whether either side's minimum sat below [`MIN_MEASURABLE_MS`]
+    /// (the timer could not resolve the case). The displayed ratio is
+    /// computed from clamped values and the case is excluded from the
+    /// geomean — a 0-vs-anything ratio is timer granularity, not a
+    /// performance signal.
+    pub unmeasured: bool,
 }
 
 /// The full comparison of two bench summaries.
@@ -224,7 +240,13 @@ impl DiffReport {
             "case", "base_ms", "new_ms", "ratio", "noise"
         ));
         for c in &self.cases {
-            let marker = if c.beyond_noise { " !" } else { "" };
+            let marker = if c.unmeasured {
+                " ? (below timer resolution; excluded from geomean)"
+            } else if c.beyond_noise {
+                " !"
+            } else {
+                ""
+            };
             out.push_str(&format!(
                 "{:name_w$}  {:>10.3}  {:>10.3}  {:>7.3}  {:>6.1}%{marker}\n",
                 c.name,
@@ -269,11 +291,8 @@ pub fn diff(base: &BenchSummary, new: &BenchSummary, threshold: f64) -> DiffRepo
             only_in_base.push(b.name.clone());
             continue;
         };
-        let ratio = if b.min_ms > 0.0 {
-            n.min_ms / b.min_ms
-        } else {
-            1.0
-        };
+        let unmeasured = b.min_ms < MIN_MEASURABLE_MS || n.min_ms < MIN_MEASURABLE_MS;
+        let ratio = n.min_ms.max(MIN_MEASURABLE_MS) / b.min_ms.max(MIN_MEASURABLE_MS);
         let noise_band = b.spread().max(n.spread());
         cases.push(CaseDiff {
             name: b.name.clone(),
@@ -282,7 +301,8 @@ pub fn diff(base: &BenchSummary, new: &BenchSummary, threshold: f64) -> DiffRepo
             new_min_ms: n.min_ms,
             ratio,
             noise_band,
-            beyond_noise: ratio > 1.0 + noise_band,
+            beyond_noise: !unmeasured && ratio > 1.0 + noise_band,
+            unmeasured,
         });
     }
     let only_in_new = new
@@ -291,10 +311,13 @@ pub fn diff(base: &BenchSummary, new: &BenchSummary, threshold: f64) -> DiffRepo
         .filter(|c| !base.cases.iter().any(|b| same_case(b, c)))
         .map(|c| c.name.clone())
         .collect();
-    let geomean_ratio = if cases.is_empty() {
+    // The geomean covers only measurable cases: one sub-resolution
+    // timing must not poison the gate with an infinite log term.
+    let measured: Vec<&CaseDiff> = cases.iter().filter(|c| !c.unmeasured).collect();
+    let geomean_ratio = if measured.is_empty() {
         1.0
     } else {
-        (cases.iter().map(|c| c.ratio.ln()).sum::<f64>() / cases.len() as f64).exp()
+        (measured.iter().map(|c| c.ratio.ln()).sum::<f64>() / measured.len() as f64).exp()
     };
     DiffReport {
         cases,
@@ -517,6 +540,80 @@ mod tests {
         // Non-timing fields survive untouched.
         assert!(slow.contains("\"geomean_speedup_vs_scan\":2"));
         assert!(slow.contains("\"iters\":3"));
+    }
+
+    #[test]
+    fn zero_min_baseline_does_not_poison_the_geomean() {
+        // Regression: a base_min_ms of 0.0 (quick runs on fast cases
+        // land under the timer resolution) used to feed the ratio math
+        // degenerate values. The case must be annotated and excluded;
+        // the measured case's 10% slowdown must still trip the gate.
+        let mk = |cases: Vec<CaseTiming>| BenchSummary {
+            bench: "simulator".to_owned(),
+            quick: true,
+            cases,
+            host_phases: None,
+        };
+        let base = mk(vec![
+            timing(None, "simulator/zero", 0.0),
+            timing(None, "simulator/real", 10.0),
+        ]);
+        let new = mk(vec![
+            timing(None, "simulator/zero", 5.0),
+            timing(None, "simulator/real", 11.0),
+        ]);
+        let r = diff(&base, &new, DEFAULT_THRESHOLD);
+        assert_eq!(r.cases.len(), 2);
+        assert!(r.cases[0].unmeasured, "zero-min case is annotated");
+        assert!(!r.cases[1].unmeasured);
+        assert!(
+            r.geomean_ratio.is_finite(),
+            "geomean stays finite: {}",
+            r.geomean_ratio
+        );
+        assert!(
+            (r.geomean_ratio - 1.10).abs() < 1e-9,
+            "geomean covers only the measured case, got {}",
+            r.geomean_ratio
+        );
+        assert!(r.regressed(), "the real slowdown still trips the gate");
+        assert!(
+            r.render().contains("below timer resolution"),
+            "{}",
+            r.render()
+        );
+    }
+
+    #[test]
+    fn zero_min_on_the_new_side_cannot_mask_a_regression() {
+        // Regression: new_min_ms of 0.0 made that case's ratio 0, so
+        // ln(0) = -inf dragged the whole geomean to 0 and the gate
+        // could never fire again.
+        let mk = |cases: Vec<CaseTiming>| BenchSummary {
+            bench: "simulator".to_owned(),
+            quick: true,
+            cases,
+            host_phases: None,
+        };
+        let base = mk(vec![
+            timing(None, "simulator/zero", 10.0),
+            timing(None, "simulator/real", 10.0),
+        ]);
+        let new = mk(vec![
+            timing(None, "simulator/zero", 0.0),
+            timing(None, "simulator/real", 12.0),
+        ]);
+        let r = diff(&base, &new, DEFAULT_THRESHOLD);
+        assert!(r.cases[0].unmeasured);
+        assert!(!r.cases[0].beyond_noise, "unmeasured never flags noise");
+        assert!((r.geomean_ratio - 1.20).abs() < 1e-9, "{}", r.geomean_ratio);
+        assert!(r.regressed(), "a 20% slowdown elsewhere still fails");
+
+        // Both sides zero everywhere: no measured case, neutral verdict.
+        let all_zero = mk(vec![timing(None, "simulator/zero", 0.0)]);
+        let r = diff(&all_zero, &all_zero, DEFAULT_THRESHOLD);
+        assert_eq!(r.geomean_ratio, 1.0);
+        assert!(!r.regressed());
     }
 
     #[test]

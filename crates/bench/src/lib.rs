@@ -62,6 +62,13 @@ pub struct Cli {
     /// Replications across independent seeds (`--seeds N`, default 1).
     /// Figure binaries that support it report mean ± stddev columns.
     pub seeds: u32,
+    /// Windowed-metrics sampling period in simulated cycles
+    /// (`--metrics-window N`), for the binaries that forward it into
+    /// [`Job::with_metrics_window`]. `None` when the flag is absent —
+    /// each binary picks its own default. Zero is rejected at the front
+    /// door: a zero-cycle window reaches the sampler as a degenerate
+    /// tiling, never a useful series.
+    pub metrics_window: Option<u64>,
     args: Vec<String>,
 }
 
@@ -76,6 +83,10 @@ pub enum CliError {
     InvalidThreads(String),
     /// `--seeds` needs a positive integer.
     InvalidSeeds(String),
+    /// `--metrics-window` needs a positive cycle count (0 used to leak
+    /// through as a zero-cycle window — a degenerate tiling the sampler
+    /// should never see).
+    InvalidMetricsWindow(String),
 }
 
 impl std::fmt::Display for CliError {
@@ -86,6 +97,12 @@ impl std::fmt::Display for CliError {
             }
             CliError::InvalidSeeds(v) => {
                 write!(f, "--seeds expects a positive integer, got {v:?}")
+            }
+            CliError::InvalidMetricsWindow(v) => {
+                write!(
+                    f,
+                    "--metrics-window expects a positive cycle count, got {v:?}"
+                )
             }
         }
     }
@@ -136,8 +153,8 @@ impl Cli {
     ///
     /// # Errors
     ///
-    /// [`CliError`] when `--threads` or `--seeds` is zero or not an
-    /// integer.
+    /// [`CliError`] when `--threads`, `--seeds` or `--metrics-window`
+    /// is zero or not an integer.
     pub fn try_from_vec(args: Vec<String>) -> Result<Self, CliError> {
         let quick = args.iter().any(|a| a == "--quick") || env_flag("REDSIM_QUICK");
         let json = args.iter().any(|a| a == "--json");
@@ -157,11 +174,21 @@ impl Cli {
                 .ok_or_else(|| CliError::InvalidSeeds(w[1].clone()))?,
             None => 1,
         };
+        let metrics_window = match args.windows(2).find(|w| w[0] == "--metrics-window") {
+            Some(w) => Some(
+                w[1].parse()
+                    .ok()
+                    .filter(|&n: &u64| n > 0)
+                    .ok_or_else(|| CliError::InvalidMetricsWindow(w[1].clone()))?,
+            ),
+            None => None,
+        };
         Ok(Cli {
             quick,
             json,
             threads,
             seeds,
+            metrics_window,
             args,
         })
     }
@@ -1082,6 +1109,30 @@ mod tests {
         assert_eq!((ok.threads, ok.seeds), (2, 3));
         let e = CliError::InvalidThreads("0".into());
         assert!(e.to_string().contains("--threads"));
+    }
+
+    #[test]
+    fn cli_rejects_a_zero_metrics_window() {
+        // Regression: `--metrics-window 0` used to flow through to the
+        // sampler (or be silently reinterpreted per binary) instead of
+        // being a typed usage error like `--threads 0` / `--seeds 0`.
+        let args = |v: &[&str]| v.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>();
+        assert_eq!(
+            Cli::try_from_vec(args(&["--metrics-window", "0"])).err(),
+            Some(CliError::InvalidMetricsWindow("0".into()))
+        );
+        assert_eq!(
+            Cli::try_from_vec(args(&["--metrics-window", "lots"])).err(),
+            Some(CliError::InvalidMetricsWindow("lots".into()))
+        );
+        let ok = Cli::try_from_vec(args(&["--metrics-window", "512"])).expect("valid");
+        assert_eq!(ok.metrics_window, Some(512));
+        assert_eq!(
+            Cli::try_from_vec(vec![]).expect("valid").metrics_window,
+            None
+        );
+        let e = CliError::InvalidMetricsWindow("0".into());
+        assert!(e.to_string().contains("--metrics-window"));
     }
 
     #[test]

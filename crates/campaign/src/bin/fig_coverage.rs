@@ -18,7 +18,7 @@
 //! * `--watchdog N` — per-shard deadline in simulated cycles (default
 //!   50,000,000; livelocked shards classify pending faults as `Hang`);
 //! * `--metrics-window N` — per-shard IPC time-series window in cycles
-//!   (default 10,000; `0` disables the series);
+//!   (default 10,000; must be positive — `0` is a usage error, exit 2);
 //! * `--fu-rate R` / `--forward-rate R` / `--irb-rate R` — override the
 //!   strike rate of scenarios injecting at that site (validated, bad
 //!   rates exit 2);
@@ -140,17 +140,9 @@ fn spec_from_cli(cli: &Cli) -> CampaignSpec {
         },
         None => Some(50_000_000),
     };
-    let metrics_window = match cli.value("--metrics-window") {
-        Some(v) => match v.parse::<u64>() {
-            Ok(0) => None,
-            Ok(n) => Some(n),
-            Err(_) => {
-                eprintln!("error: --metrics-window expects a cycle count, got {v:?}");
-                std::process::exit(2);
-            }
-        },
-        None => Some(10_000),
-    };
+    // Parsed and validated by the shared CLI (`Cli::try_from_vec`
+    // rejects 0 and non-integers at exit 2, like `--threads`).
+    let metrics_window = Some(cli.metrics_window.unwrap_or(10_000));
     CampaignSpec {
         scenarios,
         workloads: vec![

@@ -175,6 +175,9 @@ fn main() {
     let metrics_window = args
         .parsed_or("--metrics-window", DEFAULT_METRICS_WINDOW)
         .unwrap_or_else(|e| die(&e));
+    if metrics_window == 0 {
+        die("--metrics-window expects a positive cycle count, got 0");
+    }
     let metrics_wanted = metrics_out.is_some() || metrics_prom.is_some();
     let mut collector = MetricsCollector::new(metrics_window);
     let mut no_metrics = NullMetrics;

@@ -625,11 +625,18 @@ impl MetricsRegistry {
     /// A Prometheus-style text exposition (`# HELP` / `# TYPE` comment
     /// pairs; histograms expose cumulative `_bucket{le=...}` series
     /// plus `_sum` and `_count`).
+    ///
+    /// Names are sanitized to the metric-name alphabet
+    /// `[a-zA-Z_:][a-zA-Z0-9_:]*` and help text has `\` and newlines
+    /// escaped, so a registry entry with a hostile name or multi-line
+    /// help can never emit an unparseable exposition.
     #[must_use]
     pub fn to_prometheus(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        for (name, help, m) in self.entries() {
+        for (raw_name, raw_help, m) in self.entries() {
+            let name = prometheus_name(raw_name);
+            let help = prometheus_help(raw_help);
             let _ = writeln!(out, "# HELP {name} {help}");
             match m {
                 Metric::Counter(c) => {
@@ -655,6 +662,40 @@ impl MetricsRegistry {
         }
         out
     }
+}
+
+/// Maps a registry name onto the Prometheus metric-name alphabet
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`: every illegal character becomes `_`
+/// (including a leading digit), and an empty name becomes `_`. The map
+/// is position-preserving, so distinct sane names stay distinct.
+fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len().max(1));
+    for (i, c) in name.chars().enumerate() {
+        let legal =
+            c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        out.push(if legal { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escapes help text for a `# HELP` line: `\` → `\\`, newline → `\n`
+/// (carriage returns fold into the newline escape), per the exposition
+/// format's escaping rules. Without this a multi-line help string
+/// splits the comment across lines and the exposition stops parsing.
+fn prometheus_help(help: &str) -> String {
+    let mut out = String::with_capacity(help.len());
+    for c in help.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => {}
+            other => out.push(other),
+        }
+    }
+    out
 }
 
 /// A host pipeline phase, for self-profiling where the *simulator*
@@ -920,6 +961,52 @@ mod tests {
             .rfind(|l| l.starts_with("redsim_test_hist_bucket"))
             .unwrap();
         assert!(last_bucket.ends_with(" 2"));
+    }
+
+    #[test]
+    fn prometheus_exposition_survives_hostile_names_and_help() {
+        // Regression: names and help text used to be interpolated
+        // verbatim, so a name with a space or a help string with a
+        // newline produced lines no exposition parser accepts.
+        let mut h = Histogram::new();
+        h.record(5);
+        let mut r = MetricsRegistry::new();
+        r.counter("bad name!", "line one\nline two \\ backslash", 1);
+        r.gauge("9starts_with_digit", "ok", 2.0);
+        r.histogram("", "empty name", h);
+        let p = r.to_prometheus();
+
+        // Sanitized spellings, deterministically derived.
+        assert!(p.contains("# HELP bad_name_ line one\\nline two \\\\ backslash"));
+        assert!(p.contains("bad_name_ 1"));
+        assert!(p.contains("# TYPE _starts_with_digit gauge"));
+        assert!(p.contains("__bucket{le=\"+Inf\"} 1"), "{p}");
+
+        // Every line is structurally parseable: a `# HELP`/`# TYPE`
+        // comment or a `<name>[{labels}] <value>` sample whose name
+        // matches [a-zA-Z_:][a-zA-Z0-9_:]*.
+        let name_ok = |s: &str| {
+            !s.is_empty()
+                && s.chars().enumerate().all(|(i, c)| {
+                    c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit())
+                })
+        };
+        for line in p.lines() {
+            if let Some(rest) = line
+                .strip_prefix("# HELP ")
+                .or(line.strip_prefix("# TYPE "))
+            {
+                let name = rest.split(' ').next().unwrap();
+                assert!(name_ok(name), "bad comment name in {line:?}");
+            } else {
+                let sample_name = line.split(['{', ' ']).next().unwrap_or_default();
+                assert!(name_ok(sample_name), "bad sample name in {line:?}");
+                assert!(
+                    line.split_whitespace().count() >= 2,
+                    "sample line {line:?} has no value"
+                );
+            }
+        }
     }
 
     #[test]

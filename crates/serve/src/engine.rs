@@ -1,0 +1,617 @@
+//! The job engine: a durable work queue over the campaign shard
+//! supervisor.
+//!
+//! Submissions are deduplicated on the spec fingerprint and journaled
+//! before they are acknowledged, so the engine's durable state is
+//! exactly the set of acknowledged jobs plus their results. Worker
+//! threads pull from a condvar-fronted queue and run each job through
+//! [`execute_shard`] — the same retry/backoff/quarantine/host-deadline
+//! discipline campaign shards get. Results are integers, bools and
+//! strings only, a pure function of the spec, which is what makes the
+//! compacted journal byte-identical at any worker count and across
+//! any kill/restart schedule.
+//!
+//! The first journal-append failure latches the engine into an
+//! aborted state (mirroring the campaign manifest sink): no further
+//! submissions are acknowledged and workers stop, so only the
+//! journal's final line can ever be torn.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use redsim_campaign::supervisor::{execute_shard, DeadlineMonitor, RetryPolicy};
+use redsim_core::{Histogram, MetricsRegistry, SimStats};
+use redsim_util::io::{atomic_write, FsyncPolicy, Io};
+use redsim_util::Json;
+
+use crate::journal::{self, JournalSink, JournalState};
+use crate::spec::{JobSpec, DEFAULT_TRACE_BUDGET};
+use crate::store::TraceStore;
+use crate::ServeError;
+
+/// Engine tuning: worker-pool width, durability, and the supervision
+/// discipline handed to [`execute_shard`].
+#[derive(Debug, Clone)]
+pub struct EngineOptions {
+    /// Worker threads (minimum 1).
+    pub workers: usize,
+    /// Where the durability barriers sit on the journal write path.
+    pub fsync: FsyncPolicy,
+    /// Retry discipline for transient job failures.
+    pub retry: RetryPolicy,
+    /// Host wall-clock deadline per attempt, if any.
+    pub host_deadline: Option<Duration>,
+    /// Instruction budget for trace materialization.
+    pub trace_budget: u64,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            workers: 1,
+            fsync: FsyncPolicy::default(),
+            retry: RetryPolicy::default(),
+            host_deadline: None,
+            trace_budget: DEFAULT_TRACE_BUDGET,
+        }
+    }
+}
+
+/// A point-in-time queue summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatusSnapshot {
+    /// Jobs waiting for a worker.
+    pub queued: usize,
+    /// Jobs currently executing.
+    pub running: usize,
+    /// Jobs with a result (successes and failures).
+    pub done: usize,
+    /// Done jobs whose result is a failure.
+    pub failed: usize,
+    /// The next id a submission would get.
+    pub next_id: u64,
+}
+
+struct QState {
+    queue: VecDeque<u64>,
+    specs: BTreeMap<u64, JobSpec>,
+    results: BTreeMap<u64, String>,
+    /// fingerprint → id of the first submission with that spec.
+    by_fp: HashMap<u64, u64>,
+    running: BTreeSet<u64>,
+    next_id: u64,
+    stop: bool,
+    io_error: Option<String>,
+}
+
+struct EngineMetrics {
+    submitted: u64,
+    dedup_hits: u64,
+    failed: u64,
+    latency_ms: Histogram,
+}
+
+struct Shared {
+    io: Arc<dyn Io>,
+    journal_path: PathBuf,
+    opts: EngineOptions,
+    store: TraceStore,
+    sink: JournalSink,
+    monitor: Option<DeadlineMonitor>,
+    q: Mutex<QState>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+    metrics: Mutex<EngineMetrics>,
+}
+
+/// The durable job engine. Cheap to share behind an `Arc`; all
+/// methods take `&self`.
+pub struct Engine {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("journal", &self.shared.journal_path)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Engine {
+    /// Opens (or resumes) an engine over `state_dir`: loads the
+    /// journal, compacts it atomically (dropping any torn tail from
+    /// disk), re-queues every acknowledged job without a result, and
+    /// spawns the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Corrupt`]/[`ServeError::Mismatch`] on a damaged
+    /// or foreign journal, [`ServeError::Io`] when the state directory
+    /// or journal cannot be prepared.
+    pub fn open(
+        io: Arc<dyn Io>,
+        state_dir: &Path,
+        opts: EngineOptions,
+    ) -> Result<Self, ServeError> {
+        io.create_dir_all(state_dir)?;
+        let journal_path = state_dir.join("jobs.progress.jsonl");
+        let state = journal::load(io.as_ref(), &journal_path)?;
+        // Compact on open: the on-disk journal starts every run clean
+        // (no torn tail, records in id order).
+        atomic_write(
+            io.as_ref(),
+            &journal_path,
+            journal::render(&state).as_bytes(),
+            opts.fsync.sync_barriers(),
+        )?;
+        let store = TraceStore::open(
+            Arc::clone(&io),
+            state_dir.join("traces"),
+            opts.fsync.sync_barriers(),
+        )?;
+        let sink = JournalSink::open(io.as_ref(), &journal_path, opts.fsync.sync_records())?;
+
+        let JournalState {
+            specs,
+            results,
+            next_id,
+        } = state;
+        let by_fp: HashMap<u64, u64> = specs.iter().map(|(&id, s)| (s.fingerprint(), id)).collect();
+        let queue: VecDeque<u64> = specs
+            .keys()
+            .filter(|id| !results.contains_key(id))
+            .copied()
+            .collect();
+        let failed = results.values().filter(|r| !result_is_ok(r)).count() as u64;
+        let submitted = specs.len() as u64;
+
+        let shared = Arc::new(Shared {
+            io,
+            journal_path,
+            monitor: opts.host_deadline.is_some().then(DeadlineMonitor::new),
+            store,
+            sink,
+            q: Mutex::new(QState {
+                queue,
+                specs,
+                results,
+                by_fp,
+                running: BTreeSet::new(),
+                next_id,
+                stop: false,
+                io_error: None,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            metrics: Mutex::new(EngineMetrics {
+                submitted,
+                dedup_hits: 0,
+                failed,
+                latency_ms: Histogram::new(),
+            }),
+            opts,
+        });
+        let workers = (0..shared.opts.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Ok(Engine {
+            shared,
+            workers: Mutex::new(workers),
+        })
+    }
+
+    /// Submits a job. Returns its id and whether the submission was
+    /// deduplicated against an identical earlier one (in which case
+    /// the id is the earlier job's — re-submission is idempotent, so
+    /// a client can blindly replay its submissions after a crash).
+    ///
+    /// The job record is journaled *before* the submission is
+    /// acknowledged: an id returned from here survives `kill -9`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Stopped`] after shutdown, [`ServeError::Io`] when
+    /// the journal append failed (the submission is NOT acknowledged
+    /// and the engine latches).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue mutex was poisoned by a panicking thread.
+    pub fn submit(&self, spec: &JobSpec) -> Result<(u64, bool), ServeError> {
+        let fp = spec.fingerprint();
+        let mut q = self.shared.q.lock().expect("engine queue lock");
+        if q.stop {
+            return Err(ServeError::Stopped);
+        }
+        if let Some(e) = &q.io_error {
+            return Err(ServeError::Io(std::io::Error::other(e.clone())));
+        }
+        if let Some(&id) = q.by_fp.get(&fp) {
+            self.shared.metrics.lock().expect("metrics lock").dedup_hits += 1;
+            return Ok((id, true));
+        }
+        let id = q.next_id;
+        if !self.shared.sink.append(&journal::job_record(id, spec)) {
+            let e = self
+                .shared
+                .sink
+                .error()
+                .unwrap_or_else(|| "journal append failed".to_owned());
+            q.io_error = Some(e.clone());
+            self.shared.work_cv.notify_all();
+            self.shared.done_cv.notify_all();
+            return Err(ServeError::Io(std::io::Error::other(e)));
+        }
+        q.next_id = id + 1;
+        q.specs.insert(id, spec.clone());
+        q.by_fp.insert(fp, id);
+        q.queue.push_back(id);
+        self.shared.metrics.lock().expect("metrics lock").submitted += 1;
+        drop(q);
+        self.shared.work_cv.notify_one();
+        Ok((id, false))
+    }
+
+    /// The result of a job, if it has one: the canonical result JSON.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue mutex was poisoned by a panicking thread.
+    #[must_use]
+    pub fn result(&self, id: u64) -> Option<String> {
+        self.shared
+            .q
+            .lock()
+            .expect("engine queue lock")
+            .results
+            .get(&id)
+            .cloned()
+    }
+
+    /// Blocks until job `id` has a result, the timeout expires
+    /// (`Ok(None)`), or the engine stops/aborts.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Stopped`] when the engine shut down before the
+    /// job completed, [`ServeError::Io`] when the journal latched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue mutex was poisoned by a panicking thread.
+    pub fn wait(&self, id: u64, timeout: Option<Duration>) -> Result<Option<String>, ServeError> {
+        let deadline = timeout.map(|t| Instant::now() + t);
+        let mut q = self.shared.q.lock().expect("engine queue lock");
+        loop {
+            if let Some(res) = q.results.get(&id) {
+                return Ok(Some(res.clone()));
+            }
+            if let Some(e) = &q.io_error {
+                return Err(ServeError::Io(std::io::Error::other(e.clone())));
+            }
+            if q.stop {
+                return Err(ServeError::Stopped);
+            }
+            q = match deadline {
+                None => self.shared.done_cv.wait(q).expect("engine queue lock"),
+                Some(at) => {
+                    let left = at.saturating_duration_since(Instant::now());
+                    if left.is_zero() {
+                        return Ok(None);
+                    }
+                    self.shared
+                        .done_cv
+                        .wait_timeout(q, left)
+                        .expect("engine queue lock")
+                        .0
+                }
+            };
+        }
+    }
+
+    /// Blocks until every queued and running job has a result.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the journal latched mid-drain (the
+    /// remaining jobs will re-run on restart).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue mutex was poisoned by a panicking thread.
+    pub fn drain(&self) -> Result<(), ServeError> {
+        let mut q = self.shared.q.lock().expect("engine queue lock");
+        loop {
+            if let Some(e) = &q.io_error {
+                return Err(ServeError::Io(std::io::Error::other(e.clone())));
+            }
+            if q.queue.is_empty() && q.running.is_empty() {
+                return Ok(());
+            }
+            if q.stop {
+                return Err(ServeError::Stopped);
+            }
+            q = self.shared.done_cv.wait(q).expect("engine queue lock");
+        }
+    }
+
+    /// A point-in-time queue summary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue mutex was poisoned by a panicking thread.
+    #[must_use]
+    pub fn status(&self) -> StatusSnapshot {
+        let q = self.shared.q.lock().expect("engine queue lock");
+        StatusSnapshot {
+            queued: q.queue.len(),
+            running: q.running.len(),
+            done: q.results.len(),
+            failed: q.results.values().filter(|r| !result_is_ok(r)).count(),
+            next_id: q.next_id,
+        }
+    }
+
+    /// Whether shutdown has been requested.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue mutex was poisoned by a panicking thread.
+    #[must_use]
+    pub fn stopped(&self) -> bool {
+        self.shared.q.lock().expect("engine queue lock").stop
+    }
+
+    /// Requests shutdown: workers finish their in-flight job and
+    /// exit; queued jobs stay journaled and re-run on the next open.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue mutex was poisoned by a panicking thread.
+    pub fn stop(&self) {
+        self.shared.q.lock().expect("engine queue lock").stop = true;
+        self.shared.work_cv.notify_all();
+        self.shared.done_cv.notify_all();
+    }
+
+    /// Stops the engine, joins the workers, and compacts the journal
+    /// to its canonical rendering (header + records in id order).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the compaction write fails (e.g. the
+    /// chaos backend was killed); the appended journal on disk is
+    /// still recoverable.
+    pub fn close(&self) -> Result<(), ServeError> {
+        self.stop();
+        self.join_workers();
+        let q = self.shared.q.lock().expect("engine queue lock");
+        let state = JournalState {
+            specs: q.specs.clone(),
+            results: q.results.clone(),
+            next_id: q.next_id,
+        };
+        drop(q);
+        atomic_write(
+            self.shared.io.as_ref(),
+            &self.shared.journal_path,
+            journal::render(&state).as_bytes(),
+            self.shared.opts.fsync.sync_barriers(),
+        )?;
+        Ok(())
+    }
+
+    /// Trace-store counters (for the cache-effectiveness tests and
+    /// the metrics endpoint).
+    #[must_use]
+    pub fn store_stats(&self) -> crate::store::StoreStats {
+        self.shared.store.stats()
+    }
+
+    /// The metrics registry behind `/metrics`: queue gauges, cache
+    /// counters and the per-job latency histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an engine mutex was poisoned by a panicking thread.
+    #[must_use]
+    pub fn metrics_registry(&self) -> MetricsRegistry {
+        let status = self.status();
+        let store = self.shared.store.stats();
+        let m = self.shared.metrics.lock().expect("metrics lock");
+        let mut reg = MetricsRegistry::new();
+        reg.counter(
+            "serve_jobs_submitted_total",
+            "Acknowledged job submissions (deduplicated re-submissions excluded)",
+            m.submitted,
+        );
+        reg.counter(
+            "serve_jobs_dedup_hits_total",
+            "Submissions answered by an identical earlier job",
+            m.dedup_hits,
+        );
+        reg.gauge(
+            "serve_jobs_queued",
+            "Jobs waiting for a worker",
+            status.queued as f64,
+        );
+        reg.gauge(
+            "serve_jobs_running",
+            "Jobs currently executing",
+            status.running as f64,
+        );
+        reg.gauge("serve_jobs_done", "Jobs with a result", status.done as f64);
+        reg.gauge(
+            "serve_jobs_failed",
+            "Done jobs whose result is a failure",
+            status.failed as f64,
+        );
+        reg.counter(
+            "serve_trace_cache_mem_hits_total",
+            "Traces served from the in-process map",
+            store.mem_hits,
+        );
+        reg.counter(
+            "serve_trace_cache_disk_hits_total",
+            "Traces deserialized from the content-addressed store",
+            store.disk_hits,
+        );
+        reg.counter(
+            "serve_trace_cache_builds_total",
+            "Traces assembled and emulated from source",
+            store.builds,
+        );
+        let lookups = store.mem_hits + store.disk_hits + store.builds;
+        reg.gauge(
+            "serve_trace_cache_hit_ratio",
+            "Fraction of trace lookups served without re-emulation",
+            if lookups == 0 {
+                0.0
+            } else {
+                (store.mem_hits + store.disk_hits) as f64 / lookups as f64
+            },
+        );
+        reg.histogram(
+            "serve_job_latency_ms",
+            "Wall-clock milliseconds per completed job (trace + simulation + retries)",
+            m.latency_ms.clone(),
+        );
+        reg
+    }
+
+    fn join_workers(&self) {
+        let handles: Vec<_> = self
+            .workers
+            .lock()
+            .expect("worker handle lock")
+            .drain(..)
+            .collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.stop();
+        self.join_workers();
+    }
+}
+
+/// Whether a result payload is a success (`"ok":true`). Results are
+/// engine-written, so string matching on the canonical prefix is
+/// exact.
+fn result_is_ok(res: &str) -> bool {
+    res.starts_with("{\"ok\":true")
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let (id, spec) = {
+            let mut q = shared.q.lock().expect("engine queue lock");
+            loop {
+                if q.stop || q.io_error.is_some() {
+                    return;
+                }
+                if let Some(id) = q.queue.pop_front() {
+                    let spec = q.specs.get(&id).expect("queued id has a spec").clone();
+                    q.running.insert(id);
+                    break (id, spec);
+                }
+                q = shared.work_cv.wait(q).expect("engine queue lock");
+            }
+        };
+        let t0 = Instant::now();
+        let (res, ok) = run_spec(shared, &spec);
+        let latency_ms = t0.elapsed().as_millis() as u64;
+
+        let mut q = shared.q.lock().expect("engine queue lock");
+        q.running.remove(&id);
+        if shared.sink.append(&journal::done_record(id, &res)) {
+            q.results.insert(id, res);
+            let mut m = shared.metrics.lock().expect("metrics lock");
+            m.latency_ms.record(latency_ms);
+            if !ok {
+                m.failed += 1;
+            }
+        } else {
+            // Latch: the result is lost from this process, the job
+            // stays journaled without a result and re-runs on the
+            // next open — identical bytes, nothing diverges.
+            q.io_error = Some(
+                shared
+                    .sink
+                    .error()
+                    .unwrap_or_else(|| "journal append failed".to_owned()),
+            );
+            shared.work_cv.notify_all();
+        }
+        drop(q);
+        shared.done_cv.notify_all();
+    }
+}
+
+/// Runs one spec to its canonical result payload. Every field is an
+/// integer, bool or string, and every value is a deterministic
+/// function of the spec — the byte-identity property rests here.
+fn run_spec(shared: &Shared, spec: &JobSpec) -> (String, bool) {
+    let fp = spec.fingerprint_hex();
+    let trace = match shared.store.get(spec, shared.opts.trace_budget) {
+        Ok((trace, _origin)) => trace,
+        Err(e) => {
+            let res = Json::obj()
+                .field("ok", false)
+                .field("fp", fp.as_str())
+                .field("stage", "trace")
+                .field("error", e.to_string())
+                .to_string();
+            return (res, false);
+        }
+    };
+    let job = spec.to_job();
+    match execute_shard(
+        &trace,
+        &job,
+        &shared.opts.retry,
+        shared.monitor.as_ref(),
+        shared.opts.host_deadline,
+        0,
+    ) {
+        Ok((stats, _windows)) => (ok_payload(&fp, &stats), true),
+        Err(sf) => {
+            let res = Json::obj()
+                .field("ok", false)
+                .field("fp", fp.as_str())
+                .field("stage", "sim")
+                .field("error", sf.failure.message.as_str())
+                .field("kind", sf.failure.kind.as_str())
+                .field("attempts", sf.attempts)
+                .field("quarantined", sf.quarantined)
+                .to_string();
+            (res, false)
+        }
+    }
+}
+
+fn ok_payload(fp: &str, stats: &SimStats) -> String {
+    let milli_ipc = (stats.committed_insts * 1000)
+        .checked_div(stats.cycles)
+        .unwrap_or(0);
+    Json::obj()
+        .field("ok", true)
+        .field("fp", fp)
+        .field("cycles", stats.cycles)
+        .field("insts", stats.committed_insts)
+        .field("milli_ipc", milli_ipc)
+        .field("watchdog", stats.watchdog_fired)
+        .to_string()
+}

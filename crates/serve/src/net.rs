@@ -1,0 +1,403 @@
+//! The wire layer: blocking `std::net` servers and a small client.
+//!
+//! The native protocol is one JSON object per line in each direction:
+//!
+//! ```text
+//! → {"op":"submit","spec":{"workload":"gzip","mode":"die-irb"}}
+//! ← {"ok":true,"id":0,"cached":false}
+//! → {"op":"wait","id":0}
+//! ← {"ok":true,"id":0,"res":{"ok":true,"fp":"…","cycles":…}}
+//! ```
+//!
+//! Ops: `ping`, `submit`, `wait` (optional `timeout_ms`), `status`,
+//! `metrics`, `shutdown`. Errors come back as
+//! `{"ok":false,"error":"…"}` and keep the connection open; a
+//! malformed line closes it.
+//!
+//! A connection whose first bytes spell `GET ` is treated as HTTP:
+//! `GET /metrics` answers with the Prometheus text exposition from
+//! the engine's registry, anything else with 404 — enough for a
+//! scraper, with no HTTP stack in the tree.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+
+use redsim_util::Json;
+
+use crate::engine::Engine;
+use crate::spec::JobSpec;
+use crate::ServeError;
+
+/// How often the accept loop polls the engine's stop flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
+
+/// Serves the native protocol (and `GET /metrics`) on a TCP listener
+/// until the engine is stopped (e.g. by a `shutdown` op).
+///
+/// # Errors
+///
+/// Any `io::Error` from the listener itself; per-connection errors
+/// only close that connection.
+pub fn serve_tcp(engine: &Arc<Engine>, listener: &TcpListener) -> io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                stream.set_nonblocking(false)?;
+                stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+                let engine = Arc::clone(engine);
+                conns.push(std::thread::spawn(move || {
+                    let mut stream = stream;
+                    let reader = match stream.try_clone() {
+                        Ok(s) => s,
+                        Err(_) => return,
+                    };
+                    handle_conn(&engine, BufReader::new(reader), &mut stream);
+                }));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if engine.stopped() {
+                    break;
+                }
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+        conns.retain(|h| !h.is_finished());
+    }
+    for h in conns {
+        let _ = h.join();
+    }
+    Ok(())
+}
+
+/// Unix-socket twin of [`serve_tcp`].
+///
+/// # Errors
+///
+/// Any `io::Error` from the listener itself.
+#[cfg(unix)]
+pub fn serve_unix(engine: &Arc<Engine>, listener: &UnixListener) -> io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                stream.set_nonblocking(false)?;
+                stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+                let engine = Arc::clone(engine);
+                conns.push(std::thread::spawn(move || {
+                    let mut stream = stream;
+                    let reader = match stream.try_clone() {
+                        Ok(s) => s,
+                        Err(_) => return,
+                    };
+                    handle_conn(&engine, BufReader::new(reader), &mut stream);
+                }));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if engine.stopped() {
+                    break;
+                }
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+        conns.retain(|h| !h.is_finished());
+    }
+    for h in conns {
+        let _ = h.join();
+    }
+    Ok(())
+}
+
+/// Reads a line, treating a read timeout as "check the stop flag and
+/// keep waiting" so idle keep-alive connections don't pin the server.
+/// A timeout mid-line keeps the partial bytes and resumes.
+fn read_line_polling<R: BufRead>(
+    engine: &Engine,
+    reader: &mut R,
+    line: &mut String,
+) -> io::Result<usize> {
+    line.clear();
+    loop {
+        match reader.read_line(line) {
+            Ok(0) => return Ok(0),
+            Ok(_) => return Ok(line.len()),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if engine.stopped() {
+                    return Ok(0);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Drives one connection: HTTP if it opens with `GET `, otherwise the
+/// line protocol until EOF, error, or a `shutdown` op.
+fn handle_conn<R: BufRead>(engine: &Engine, mut reader: R, writer: &mut dyn Write) {
+    let mut line = String::new();
+    if read_line_polling(engine, &mut reader, &mut line).unwrap_or(0) == 0 {
+        return;
+    }
+    if line.starts_with("GET ") {
+        let _ = respond_http(engine, &line, &mut reader, writer);
+        return;
+    }
+    loop {
+        let (response, shutdown) = dispatch(engine, line.trim_end());
+        if writeln!(writer, "{response}")
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            return;
+        }
+        if shutdown {
+            return;
+        }
+        match read_line_polling(engine, &mut reader, &mut line) {
+            Ok(0) | Err(_) => return,
+            Ok(_) => {}
+        }
+    }
+}
+
+/// Answers one HTTP request (already-read request line in `first`).
+fn respond_http<R: BufRead>(
+    engine: &Engine,
+    first: &str,
+    reader: &mut R,
+    writer: &mut dyn Write,
+) -> io::Result<()> {
+    // Drain the request headers up to the blank line.
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 || line.trim_end().is_empty() {
+            break;
+        }
+    }
+    let path = first.split_whitespace().nth(1).unwrap_or("/");
+    let (status, body) = if path == "/metrics" {
+        ("200 OK", engine.metrics_registry().to_prometheus())
+    } else {
+        ("404 Not Found", "not found; try /metrics\n".to_owned())
+    };
+    write!(
+        writer,
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    writer.flush()
+}
+
+fn err_response(msg: &str) -> Json {
+    Json::obj().field("ok", false).field("error", msg)
+}
+
+fn serve_error_response(e: &ServeError) -> Json {
+    err_response(&e.to_string())
+}
+
+/// Executes one request line, returning the response and whether the
+/// connection (and server) should shut down.
+fn dispatch(engine: &Engine, line: &str) -> (Json, bool) {
+    let j = match Json::parse(line) {
+        Ok(j) => j,
+        Err(e) => return (err_response(&format!("bad request: {e}")), false),
+    };
+    let op = j.get("op").and_then(Json::as_str).unwrap_or("");
+    let response = match op {
+        "ping" => Json::obj().field("ok", true).field("pong", true),
+        "submit" => match j.get("spec").map(JobSpec::parse) {
+            None => err_response("submit needs a \"spec\" object"),
+            Some(Err(e)) => err_response(&e),
+            Some(Ok(spec)) => match engine.submit(&spec) {
+                Ok((id, cached)) => Json::obj()
+                    .field("ok", true)
+                    .field("id", id)
+                    .field("cached", cached),
+                Err(e) => serve_error_response(&e),
+            },
+        },
+        "wait" => match j.get("id").and_then(Json::as_u64) {
+            None => err_response("wait needs an \"id\""),
+            Some(id) => {
+                let timeout = j
+                    .get("timeout_ms")
+                    .and_then(Json::as_u64)
+                    .map(Duration::from_millis);
+                match engine.wait(id, timeout) {
+                    Ok(Some(res)) => {
+                        let res = Json::parse(&res).unwrap_or_else(|_| Json::Str(res.clone()));
+                        Json::obj()
+                            .field("ok", true)
+                            .field("id", id)
+                            .field("res", res)
+                    }
+                    Ok(None) => err_response("timeout"),
+                    Err(e) => serve_error_response(&e),
+                }
+            }
+        },
+        "status" => {
+            let s = engine.status();
+            Json::obj()
+                .field("ok", true)
+                .field("queued", s.queued)
+                .field("running", s.running)
+                .field("done", s.done)
+                .field("failed", s.failed)
+                .field("next_id", s.next_id)
+        }
+        "metrics" => Json::obj()
+            .field("ok", true)
+            .field("prometheus", engine.metrics_registry().to_prometheus()),
+        "shutdown" => {
+            engine.stop();
+            Json::obj().field("ok", true).field("stopping", true)
+        }
+        other => err_response(&format!("unknown op {other:?}")),
+    };
+    (response, op == "shutdown")
+}
+
+/// One end of a client connection (TCP or unix socket).
+enum ClientStream {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Read for ClientStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            ClientStream::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            ClientStream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for ClientStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            ClientStream::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            ClientStream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            ClientStream::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            ClientStream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// A blocking line-protocol client.
+pub struct Client {
+    reader: BufReader<ClientStream>,
+    writer: ClientStream,
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client").finish_non_exhaustive()
+    }
+}
+
+impl Client {
+    /// Connects to an endpoint: `tcp <addr>`, `unix <path>`, or a
+    /// bare `<host>:<port>`.
+    ///
+    /// # Errors
+    ///
+    /// Any `io::Error` from connecting, or `InvalidInput` for an
+    /// endpoint spelling this build cannot reach.
+    pub fn connect(endpoint: &str) -> io::Result<Client> {
+        let endpoint = endpoint.trim();
+        if let Some(path) = endpoint.strip_prefix("unix ") {
+            return Self::connect_unix(Path::new(path.trim()));
+        }
+        let addr = endpoint.strip_prefix("tcp ").unwrap_or(endpoint).trim();
+        Self::connect_tcp(addr)
+    }
+
+    /// Connects over TCP.
+    ///
+    /// # Errors
+    ///
+    /// Any `io::Error` from `TcpStream::connect`.
+    pub fn connect_tcp(addr: &str) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let reader = ClientStream::Tcp(stream.try_clone()?);
+        Ok(Client {
+            reader: BufReader::new(reader),
+            writer: ClientStream::Tcp(stream),
+        })
+    }
+
+    /// Connects over a unix socket.
+    ///
+    /// # Errors
+    ///
+    /// Any `io::Error` from `UnixStream::connect`; `InvalidInput` on
+    /// non-unix builds.
+    pub fn connect_unix(path: &Path) -> io::Result<Client> {
+        #[cfg(unix)]
+        {
+            let stream = UnixStream::connect(path)?;
+            let reader = ClientStream::Unix(stream.try_clone()?);
+            Ok(Client {
+                reader: BufReader::new(reader),
+                writer: ClientStream::Unix(stream),
+            })
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = path;
+            Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "unix sockets are not available on this platform",
+            ))
+        }
+    }
+
+    /// Sends one request and reads one response line.
+    ///
+    /// # Errors
+    ///
+    /// Any transport `io::Error`, or `InvalidData` when the response
+    /// is not a JSON object.
+    pub fn request(&mut self, req: &Json) -> io::Result<Json> {
+        writeln!(self.writer, "{req}")?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Json::parse(line.trim_end())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad response: {e}")))
+    }
+}

@@ -245,6 +245,94 @@ chaos_smoke() {
     fi
 }
 
+serve_smoke() {
+    # The simulation-as-a-service daemon end-to-end with the real
+    # binary: submit over TCP, scrape /metrics, `kill -9` the daemon,
+    # restart it on the same state directory, and require the replayed
+    # submission to be answered from the journal ("cached":true) with
+    # no re-assembly or re-emulation. The server log is kept as a file
+    # so CI can publish it as an artifact on failure.
+    echo "==> redsim-serve kill -9 / restart / cache smoke"
+    local bin=target/release/redsim-serve
+    local dir=target/serve-smoke
+    local log="$dir/server.log"
+    rm -rf "$dir"
+    mkdir -p "$dir"
+
+    start_daemon() {
+        "$bin" serve --state-dir "$dir" --workers 2 >>"$log" 2>&1 &
+        serve_pid=$!
+        # The daemon writes `<state-dir>/endpoint` once it is listening.
+        local i=0
+        until [ -s "$dir/endpoint" ]; do
+            if ! kill -0 "$serve_pid" 2>/dev/null; then
+                echo "FAIL: redsim-serve died during startup" >&2
+                cat "$log" >&2
+                exit 1
+            fi
+            i=$((i + 1))
+            if [ "$i" -ge 200 ]; then
+                echo "FAIL: redsim-serve never announced an endpoint" >&2
+                cat "$log" >&2
+                exit 1
+            fi
+            sleep 0.05
+        done
+    }
+
+    start_daemon
+    local first second
+    first=$("$bin" submit --state-dir "$dir" --workload gzip \
+        --mode die-irb --wait | tail -1)
+    case "$first" in
+        '{"ok":true,'*'"cycles":'*) ;;
+        *) echo "FAIL: first submission did not succeed: $first" >&2
+           cat "$log" >&2; exit 1 ;;
+    esac
+    "$bin" metrics --state-dir "$dir" | grep -q \
+        '^serve_trace_cache_builds_total 1$' || {
+        echo "FAIL: the first job must build exactly one trace" >&2
+        cat "$log" >&2; exit 1
+    }
+
+    # Hard-kill the daemon and restart it on the same state directory.
+    kill -9 "$serve_pid"
+    wait "$serve_pid" 2>/dev/null || true
+    rm -f "$dir/endpoint"
+    start_daemon
+
+    # A replayed submission is answered from the journal: same result,
+    # no new trace build, and the ack says "cached".
+    second=$("$bin" submit --state-dir "$dir" --workload gzip \
+        --mode die-irb --wait)
+    case "$second" in
+        *'"cached":true'*) ;;
+        *) echo "FAIL: replay after restart was not served from the journal: $second" >&2
+           cat "$log" >&2; exit 1 ;;
+    esac
+    if [ "$(tail -1 <<<"$second")" != "$first" ]; then
+        echo "FAIL: replayed result differs from the original" >&2
+        echo "  first:  $first" >&2
+        echo "  second: $(tail -1 <<<"$second")" >&2
+        cat "$log" >&2
+        exit 1
+    fi
+    "$bin" metrics --state-dir "$dir" | grep -q \
+        '^serve_trace_cache_builds_total 0$' || {
+        echo "FAIL: the restarted daemon re-built a cached trace" >&2
+        cat "$log" >&2; exit 1
+    }
+
+    run "$bin" shutdown --state-dir "$dir"
+    wait "$serve_pid" 2>/dev/null || true
+}
+
+if [ "${1:-}" = "serve-smoke" ]; then
+    serve_smoke
+    echo "OK: serve smoke passed"
+    exit 0
+fi
+
 if [ "${1:-}" = "bench-smoke" ]; then
     bench_smoke
     echo "OK: bench smoke passed"
@@ -285,6 +373,7 @@ trace_smoke
 metrics_smoke
 campaign_smoke
 chaos_smoke
+serve_smoke
 bench_smoke
 
 echo "OK: all checks passed"
