@@ -238,6 +238,10 @@ pub struct Job {
     /// [`JobErrorKind::Deadline`] failure. `None` — the default — runs
     /// uncancellable.
     pub cancel: Option<Arc<AtomicBool>>,
+    /// Reuse attribution ([`Simulator::with_attribution`]): when set
+    /// the stats carry the opcode-class × PC × loop breakdown of every
+    /// IRB event. Off by default (byte-identical stats when off).
+    pub attribution: bool,
 }
 
 impl Job {
@@ -253,6 +257,7 @@ impl Job {
             input_seed: None,
             metrics_window: None,
             cancel: None,
+            attribution: false,
         }
     }
 
@@ -290,6 +295,13 @@ impl Job {
     #[must_use]
     pub fn with_cancel(mut self, cancel: Arc<AtomicBool>) -> Self {
         self.cancel = Some(cancel);
+        self
+    }
+
+    /// Enables reuse attribution for the run.
+    #[must_use]
+    pub fn with_attribution(mut self) -> Self {
+        self.attribution = true;
         self
     }
 
@@ -479,6 +491,9 @@ fn run_job(
     }
     if let Some(c) = &job.cancel {
         sim = sim.with_cancel(Arc::clone(c));
+    }
+    if job.attribution {
+        sim = sim.with_attribution();
     }
     let sim_err = |e: redsim_core::SimError| JobFailure::new(classify_sim_error(&e), e.to_string());
     let t0 = std::time::Instant::now();

@@ -444,6 +444,8 @@ fn record_line(
                 .field("ok", true)
                 .field("cycles", s.cycles)
                 .field("committed_insts", s.committed_insts)
+                .field("milli_ipc", s.milli_ipc())
+                .field("reuse_pass_permille", s.irb.reuse_pass_permille())
                 .field("watchdog_fired", s.watchdog_fired)
                 .field("active_commit_cycles", s.active_commit_cycles)
                 .field("stalls", s.stalls.to_json())

@@ -11,6 +11,7 @@
 //!   --irb-entries <n>                            IRB capacity
 //!   --forwarding shared|per-stream               §3.3 wakeup policy
 //!   --fault-fu <rate> --fault-irb <rate> --fault-bus <rate> --seed <s>
+//!   --attribution                                reuse-attribution breakdown
 //!   --wrong-path                                 model wrong-path i-fetch
 //!   --stl-forwarding                             store-to-load forwarding
 //!   --compare                                    run SIE, DIE and DIE-IRB
@@ -25,7 +26,7 @@ use redsim_cli::{die, load_program, usage, Args};
 use redsim_core::{
     EventLog, ExecMode, FaultConfig, ForwardingPolicy, Instrumentation, MachineConfig,
     MetricsCollector, MetricsSink, NullMetrics, NullTracer, SimStats, Simulator, Tracer, VecSource,
-    DEFAULT_METRICS_WINDOW,
+    DEFAULT_METRICS_WINDOW, REUSE_CLASS_NAMES,
 };
 use redsim_workloads::{Params, Workload};
 
@@ -98,6 +99,33 @@ fn print_stats(mode: ExecMode, stats: &SimStats) {
             stats.pairs_checked, stats.pair_mismatches
         );
     }
+    if let Some(a) = &stats.attribution {
+        for (name, c) in REUSE_CLASS_NAMES.iter().zip(&a.classes) {
+            if c.lookups == 0 {
+                continue;
+            }
+            println!(
+                "reuse[{name:>6}]:      {} lookups, {} hits, {} passed",
+                c.lookups, c.hits, c.passes
+            );
+        }
+        for site in &a.hot_pcs {
+            println!(
+                "hot pc {:#010x}:   {} ({} lookups, {} hits, {} passed)",
+                site.pc,
+                REUSE_CLASS_NAMES[usize::from(site.class)],
+                site.counters.lookups,
+                site.counters.hits,
+                site.counters.passes
+            );
+        }
+        for site in &a.loops {
+            println!(
+                "loop @ {:#010x}:   {} lookups, {} hits, {} passed",
+                site.head, site.counters.lookups, site.counters.hits, site.counters.passes
+            );
+        }
+    }
     if stats.faults.injected_fu + stats.faults.injected_forward + stats.faults.injected_irb > 0 {
         println!(
             "faults:              {} injected, {} detected, {} escaped, {} silent",
@@ -156,10 +184,13 @@ fn main() {
             .unwrap_or_else(|e| die(&e)),
         seed: args.parsed_or("--seed", 0u64).unwrap_or_else(|e| die(&e)),
     };
-    let sim = Simulator::new(cfg, mode)
+    let mut sim = Simulator::new(cfg, mode)
         .with_budget(budget)
         .try_with_faults(faults)
         .unwrap_or_else(|e| die(&format!("invalid fault configuration: {e}")));
+    if args.has("--attribution") {
+        sim = sim.with_attribution();
+    }
 
     let trace_out = args.value_of("--trace-out").map(str::to_owned);
     let mut log = EventLog::new();

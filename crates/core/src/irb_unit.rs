@@ -1,7 +1,7 @@
 //! The IRB as integrated into the pipeline: port arbitration + the
 //! 3-stage pipelined lookup race of §3.2.
 
-use redsim_irb::{IrbConfig, IrbEntry, PortArbiter, ReuseBuffer};
+use redsim_irb::{AttributionCollector, IrbConfig, IrbEntry, PortArbiter, ReuseBuffer};
 use redsim_isa::trace::DynInst;
 use redsim_isa::OpClass;
 
@@ -27,6 +27,24 @@ pub struct IrbUnit {
     arbiter: PortArbiter,
     lookup_stages: u64,
     stats: IrbUnitStats,
+    /// Reuse-attribution collector; `None` (never allocated) unless the
+    /// run enabled attribution, keeping the default path pure.
+    attr: Option<Box<AttributionCollector>>,
+}
+
+/// Attribution class id for `di` (index into
+/// [`redsim_irb::REUSE_CLASS_NAMES`]): `alu`, `mul`, `div`, `mem`,
+/// `branch`. Sys ops map to `alu` but are never reuse-eligible, so they
+/// are never counted.
+#[must_use]
+pub fn reuse_class(di: &DynInst) -> usize {
+    match di.class() {
+        OpClass::IntAlu | OpClass::FpAdd | OpClass::Sys => 0,
+        OpClass::IntMul | OpClass::FpMul => 1,
+        OpClass::IntDiv | OpClass::FpDiv | OpClass::FpSqrt => 2,
+        OpClass::Load | OpClass::Store => 3,
+        OpClass::Branch | OpClass::Jump => 4,
+    }
 }
 
 /// Is this instruction a candidate for instruction reuse?
@@ -78,6 +96,36 @@ impl IrbUnit {
             arbiter: PortArbiter::new(config.ports),
             lookup_stages: u64::from(config.lookup_stages),
             stats: IrbUnitStats::default(),
+            attr: None,
+        }
+    }
+
+    /// Turns on reuse attribution (allocates the collector). Off by
+    /// default; when off, no attribution code allocates or observes.
+    pub fn enable_attribution(&mut self) {
+        self.attr = Some(Box::new(AttributionCollector::new()));
+    }
+
+    /// The live attribution collector, if enabled.
+    #[must_use]
+    pub fn attribution(&self) -> Option<&AttributionCollector> {
+        self.attr.as_deref()
+    }
+
+    /// Observes every instruction leaving fetch, keeping the loop-region
+    /// tracker current: a taken control transfer to a lower address is a
+    /// backedge, naming the loop by its target (head) PC.
+    ///
+    /// Called unconditionally from the fetch stage (one predictable
+    /// branch when attribution is off), *before* the instruction's own
+    /// lookup starts, so a backedge's lookup is charged to its own loop.
+    pub fn note_fetched(&mut self, di: &DynInst) {
+        if let Some(attr) = &mut self.attr {
+            if let Some(c) = di.control {
+                if c.taken && c.target < di.pc {
+                    attr.enter_loop(c.target);
+                }
+            }
         }
     }
 
@@ -97,9 +145,20 @@ impl IrbUnit {
             self.stats.lookups_port_starved += 1;
             return (ReuseState::PortStarved, cycle);
         }
+        // Attribution mirrors the buffer's own counters exactly: one
+        // `record_lookup` per granted probe, one `record_hit` per tag
+        // match, so per-class sums equal `IrbStats` totals.
+        if let Some(attr) = &mut self.attr {
+            attr.record_lookup(reuse_class(di), di.pc);
+        }
         let done = cycle + self.lookup_stages;
         match self.buffer.lookup(di.pc) {
-            Some(entry) => (ReuseState::Hit(entry), done),
+            Some(entry) => {
+                if let Some(attr) = &mut self.attr {
+                    attr.record_hit(reuse_class(di), di.pc);
+                }
+                (ReuseState::Hit(entry), done)
+            }
             None => (ReuseState::PcMiss, done),
         }
     }
@@ -112,6 +171,9 @@ impl IrbUnit {
             self.stats.reuse_passed += 1;
         } else {
             self.stats.reuse_failed += 1;
+        }
+        if let Some(attr) = &mut self.attr {
+            attr.record_test(reuse_class(di), di.pc, pass);
         }
         pass
     }
@@ -258,6 +320,40 @@ mod tests {
         u.begin_cycle();
         let (s, _) = u.start_lookup(&d, 1);
         assert_ne!(s, ReuseState::PortStarved, "ports replenish each cycle");
+    }
+
+    #[test]
+    fn attribution_mirrors_unit_counters() {
+        let mut u = unit();
+        u.enable_attribution();
+        u.begin_cycle();
+        let d = alu_di(0x1000, 5, 6, 11);
+        assert!(u.try_insert(&d));
+        let (s, _) = u.start_lookup(&d, 1);
+        let ReuseState::Hit(e) = s else {
+            panic!("expected hit, got {s:?}")
+        };
+        assert!(u.reuse_test(&e, &d));
+        assert!(!u.reuse_test(&e, &alu_di(0x1000, 5, 7, 12)));
+        let _ = u.start_lookup(&alu_di(0x2000, 1, 2, 3), 2);
+        let a = u.attribution().expect("enabled").finish(8);
+        let t = a.total();
+        let b = u.buffer().stats();
+        assert_eq!(t.lookups, b.lookups);
+        assert_eq!(t.hits, b.pc_hits + b.victim_hits);
+        assert_eq!(t.passes, u.stats().reuse_passed);
+        assert_eq!(t.fails, u.stats().reuse_failed);
+        assert_eq!(a.classes[0].lookups, t.lookups, "all events were alu");
+        assert_eq!(t, a.pc_total());
+        assert_eq!(t, a.loop_total());
+    }
+
+    #[test]
+    fn reuse_class_taxonomy_is_total() {
+        use redsim_irb::REUSE_CLASSES;
+        let d = alu_di(0x1000, 1, 2, 3);
+        assert!(reuse_class(&d) < REUSE_CLASSES);
+        assert_eq!(reuse_class(&d), 0);
     }
 
     #[test]

@@ -80,9 +80,15 @@ pub use metrics::{
     Histogram, HostPhase, HostProfiler, Metric, MetricsCollector, MetricsRegistry, MetricsSink,
     NullMetrics, WindowCounters, WindowSample, DEFAULT_METRICS_WINDOW,
 };
-pub use pipeline::{Instrumentation, SimError, Simulator};
+pub use pipeline::{Instrumentation, SimError, Simulator, ATTRIBUTION_TOP_K};
+pub use redsim_irb::{
+    AttrCounters, LoopSite, PcSite, ReuseAttribution, REUSE_CLASSES, REUSE_CLASS_NAMES,
+};
 pub use source::{ArcSource, EmulatorSource, InstructionSource, SliceSource, VecSource};
-pub use stats::{FetchStallKind, SimStats, StallBreakdown, StallSummary, Throughput};
+pub use stats::{
+    attribution_to_json, FetchStallKind, IrbSummary, SimStats, StallBreakdown, StallSummary,
+    Throughput,
+};
 pub use trace::{
     chrome_trace, EventLog, FlightRecorder, NullTracer, TraceEvent, TraceEventKind, Tracer,
 };

@@ -34,6 +34,7 @@
 
 use std::time::Duration;
 
+use redsim_irb::{REUSE_CLASSES, REUSE_CLASS_NAMES};
 use redsim_util::Json;
 
 use crate::stats::StallBreakdown;
@@ -80,6 +81,23 @@ pub struct WindowCounters {
     pub irb_lookups_port_starved: u64,
     /// Inserts denied a write port.
     pub irb_inserts_port_starved: u64,
+    /// Per-opcode-class attributed lookups, indexed by
+    /// [`redsim_irb::REUSE_CLASS_NAMES`]; all zero unless the run
+    /// enabled reuse attribution.
+    pub attr_lookups: [u64; REUSE_CLASSES],
+    /// Per-opcode-class attributed hits.
+    pub attr_hits: [u64; REUSE_CLASSES],
+    /// Per-opcode-class attributed reuse-test passes.
+    pub attr_passes: [u64; REUSE_CLASSES],
+}
+
+/// Element-wise `now - base` over a per-class array.
+fn attr_delta(now: &[u64; REUSE_CLASSES], base: &[u64; REUSE_CLASSES]) -> [u64; REUSE_CLASSES] {
+    let mut out = [0u64; REUSE_CLASSES];
+    for i in 0..REUSE_CLASSES {
+        out[i] = now[i] - base[i];
+    }
+    out
 }
 
 fn stall_delta(now: &StallBreakdown, base: &StallBreakdown) -> StallBreakdown {
@@ -118,6 +136,9 @@ impl WindowCounters {
             irb_reuse_failed: self.irb_reuse_failed - base.irb_reuse_failed,
             irb_lookups_port_starved: self.irb_lookups_port_starved - base.irb_lookups_port_starved,
             irb_inserts_port_starved: self.irb_inserts_port_starved - base.irb_inserts_port_starved,
+            attr_lookups: attr_delta(&self.attr_lookups, &base.attr_lookups),
+            attr_hits: attr_delta(&self.attr_hits, &base.attr_hits),
+            attr_passes: attr_delta(&self.attr_passes, &base.attr_passes),
         }
     }
 
@@ -140,6 +161,11 @@ impl WindowCounters {
         self.irb_reuse_failed += other.irb_reuse_failed;
         self.irb_lookups_port_starved += other.irb_lookups_port_starved;
         self.irb_inserts_port_starved += other.irb_inserts_port_starved;
+        for i in 0..REUSE_CLASSES {
+            self.attr_lookups[i] += other.attr_lookups[i];
+            self.attr_hits[i] += other.attr_hits[i];
+            self.attr_passes[i] += other.attr_passes[i];
+        }
     }
 }
 
@@ -217,6 +243,19 @@ impl WindowSample {
                     .field("lookups_port_starved", c.irb_lookups_port_starved)
                     .field("inserts_port_starved", c.irb_inserts_port_starved),
             )
+            .field("attribution", {
+                let mut a = Json::obj();
+                for (i, name) in REUSE_CLASS_NAMES.iter().enumerate() {
+                    a = a.field(
+                        name,
+                        Json::obj()
+                            .field("lookups", c.attr_lookups[i])
+                            .field("hits", c.attr_hits[i])
+                            .field("passes", c.attr_passes[i]),
+                    );
+                }
+                a
+            })
     }
 }
 
@@ -350,6 +389,26 @@ impl MetricsCollector {
             "Cycles attributed to a stall cause",
             total.stalls.total(),
         );
+        // Per-class reuse attribution (the registry has no label
+        // support, so class names ride in the metric name). All zero
+        // unless the run enabled attribution.
+        for (i, name) in REUSE_CLASS_NAMES.iter().enumerate() {
+            r.counter(
+                &format!("redsim_attr_{name}_lookups_total"),
+                "Attributed IRB lookups for this opcode class",
+                total.attr_lookups[i],
+            );
+            r.counter(
+                &format!("redsim_attr_{name}_hits_total"),
+                "Attributed IRB hits for this opcode class",
+                total.attr_hits[i],
+            );
+            r.counter(
+                &format!("redsim_attr_{name}_passes_total"),
+                "Attributed reuse-test passes for this opcode class",
+                total.attr_passes[i],
+            );
+        }
         r.gauge(
             "redsim_metrics_window_cycles",
             "Configured window width in simulated cycles",

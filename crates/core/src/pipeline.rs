@@ -105,6 +105,7 @@ pub struct Simulator {
     budget: u64,
     watchdog: Option<u64>,
     cancel: Option<Arc<AtomicBool>>,
+    attribution: bool,
 }
 
 impl Simulator {
@@ -124,7 +125,19 @@ impl Simulator {
             budget: 50_000_000,
             watchdog: None,
             cancel: None,
+            attribution: false,
         }
+    }
+
+    /// Enables reuse attribution (opcode class × PC × loop-structure
+    /// accounting of every IRB event; see `redsim_irb::attribution`).
+    /// The result lands in [`SimStats::attribution`](crate::SimStats).
+    /// Off by default: a disabled run allocates nothing for attribution
+    /// and produces byte-identical statistics.
+    #[must_use]
+    pub fn with_attribution(mut self) -> Self {
+        self.attribution = true;
+        self
     }
 
     /// Enables transient-fault injection, rejecting an invalid
@@ -298,6 +311,7 @@ impl Simulator {
             self.faults,
             self.watchdog,
             self.cancel.as_deref(),
+            self.attribution,
             instr,
         );
         m.run(source)
@@ -397,6 +411,9 @@ struct Machine<'a> {
     /// Watchdog deadline in cycles; reaching it ends the run cleanly
     /// with pending faults classified as hangs.
     watchdog: Option<u64>,
+    /// Reuse attribution requested for this run; finalize publishes the
+    /// collector (or an empty record for IRB-less modes) when set.
+    attribution: bool,
     /// Host-side cancellation flag, polled every 64 cycles; raised by
     /// a supervisor's wall-clock deadline.
     cancel: Option<&'a AtomicBool>,
@@ -471,6 +488,7 @@ impl<'a> Machine<'a> {
         faults: FaultConfig,
         watchdog: Option<u64>,
         cancel: Option<&'a AtomicBool>,
+        attribution: bool,
         instr: Instrumentation<'a>,
     ) -> Self {
         let Instrumentation {
@@ -509,10 +527,17 @@ impl<'a> Machine<'a> {
             hierarchy: Hierarchy::new(cfg.hierarchy),
             fu: FuBank::new(cfg.fu, cfg.latency),
             fu_dup: (mode == ExecMode::DieCluster).then(|| FuBank::new(cfg.fu, cfg.latency)),
-            irb: mode.has_irb().then(|| IrbUnit::new(cfg.irb)),
+            irb: mode.has_irb().then(|| {
+                let mut irb = IrbUnit::new(cfg.irb);
+                if attribution {
+                    irb.enable_attribution();
+                }
+                irb
+            }),
             inj: FaultInjector::new(faults),
             irb_fault_pc: FxHashMap::default(),
             watchdog,
+            attribution,
             cancel,
             tracer,
             trace_on,
@@ -727,6 +752,13 @@ impl<'a> Machine<'a> {
             c.irb_reuse_failed = u.reuse_failed;
             c.irb_lookups_port_starved = u.lookups_port_starved;
             c.irb_inserts_port_starved = u.inserts_port_starved;
+            if let Some(attr) = irb.attribution() {
+                for (i, cls) in attr.class_counters().iter().enumerate() {
+                    c.attr_lookups[i] = cls.lookups;
+                    c.attr_hits[i] = cls.hits;
+                    c.attr_passes[i] = cls.passes;
+                }
+            }
         }
         c
     }
@@ -1726,6 +1758,13 @@ impl<'a> Machine<'a> {
 
             // Consume the instruction.
             self.lookahead = None;
+            // Keep the attribution loop tracker current for *every*
+            // fetched instruction (a backedge may be reuse-filtered but
+            // still opens a loop), before the instruction's own lookup
+            // so a backedge's events land in its own loop.
+            if let Some(irb) = &mut self.irb {
+                irb.note_fetched(&di);
+            }
             let reuse_allowed = !self.cfg.reuse_long_latency_only
                 || matches!(
                     di.class(),
@@ -1840,6 +1879,17 @@ impl<'a> Machine<'a> {
                 inserts_port_starved: irb.stats().inserts_port_starved,
             };
         }
+        if self.attribution {
+            // IRB-less modes publish an empty (but present) record so
+            // "attribution requested" always yields the section.
+            self.stats.attribution = Some(Box::new(
+                self.irb
+                    .as_ref()
+                    .and_then(|irb| irb.attribution())
+                    .map(|a| a.finish(ATTRIBUTION_TOP_K))
+                    .unwrap_or_default(),
+            ));
+        }
         self.stats.faults = *self.inj.stats();
         // Faults with no terminal event by now never corrupted an
         // architectural value: masked. (A watchdog break already
@@ -1849,6 +1899,11 @@ impl<'a> Machine<'a> {
         self.stats.fault_lifecycle = self.inj.lifecycle();
     }
 }
+
+/// Size of the hot-PC and hot-loop tables in a finalized
+/// [`SimStats::attribution`](crate::SimStats) record. Sites beyond the
+/// top K fold into the `folded_*` conservation buckets.
+pub const ATTRIBUTION_TOP_K: usize = 8;
 
 /// Trace stream id for an RUU stream (0 primary, 1 duplicate).
 fn stream_code(s: Stream) -> u8 {

@@ -894,6 +894,7 @@ fn last_store_map_is_pruned_as_stores_commit() {
             FaultConfig::none(),
             None,
             None,
+            false,
             Instrumentation {
                 tracer: &mut tracer,
                 metrics: &mut metrics,

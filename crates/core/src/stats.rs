@@ -1,10 +1,18 @@
 //! End-of-run simulation statistics.
 
-use redsim_irb::IrbStats;
+use redsim_irb::{AttrCounters, IrbStats, ReuseAttribution, REUSE_CLASS_NAMES};
 use redsim_mem::CacheStats;
 use redsim_util::Json;
 
 use crate::fault::{FaultLifecycle, FaultStats};
+
+/// Integer ratio `numerator * 1000 / denominator`, zero when the
+/// denominator is zero — the byte-stable `permille` convention used
+/// alongside every float ratio in `--json` output (see `milli_ipc`).
+#[must_use]
+fn permille(numerator: u64, denominator: u64) -> u64 {
+    (numerator * 1000).checked_div(denominator).unwrap_or(0)
+}
 
 /// Why the fetch stage produced no instructions in a cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -74,6 +82,70 @@ impl IrbSummary {
             self.reuse_passed as f64 / n as f64
         }
     }
+
+    /// [`IrbSummary::reuse_pass_rate`] as an exact integer per-mille
+    /// (byte-stable across hosts, like `milli_ipc`).
+    #[must_use]
+    pub fn reuse_pass_permille(&self) -> u64 {
+        permille(self.reuse_passed, self.reuse_passed + self.reuse_failed)
+    }
+
+    /// Buffer hit rate (PC + victim hits over lookups) as an exact
+    /// integer per-mille.
+    #[must_use]
+    pub fn hit_permille(&self) -> u64 {
+        permille(
+            self.buffer.pc_hits + self.buffer.victim_hits,
+            self.buffer.lookups,
+        )
+    }
+}
+
+/// One [`AttrCounters`] tally as a flat JSON object.
+fn attr_counters_json(c: &AttrCounters) -> Json {
+    Json::obj()
+        .field("lookups", c.lookups)
+        .field("hits", c.hits)
+        .field("passes", c.passes)
+        .field("fails", c.fails)
+}
+
+/// A [`ReuseAttribution`] as a JSON object — the `"attribution"` field
+/// of [`SimStats::to_json`] and of `redsim-serve` result payloads.
+///
+/// Shape: `classes` keyed by class name, `hot_pcs`/`loops` arrays in
+/// the deterministic top-K order, plus the `folded_pcs`/`folded_loops`/
+/// `outside` conservation buckets.
+#[must_use]
+pub fn attribution_to_json(a: &ReuseAttribution) -> Json {
+    let mut classes = Json::obj();
+    for (i, name) in REUSE_CLASS_NAMES.iter().enumerate() {
+        classes = classes.field(name, attr_counters_json(&a.classes[i]));
+    }
+    let pc_site = |s: &redsim_irb::PcSite| {
+        Json::obj()
+            .field("pc", s.pc)
+            .field("class", REUSE_CLASS_NAMES[s.class as usize])
+            .field("lookups", s.counters.lookups)
+            .field("hits", s.counters.hits)
+            .field("passes", s.counters.passes)
+            .field("fails", s.counters.fails)
+    };
+    let loop_site = |l: &redsim_irb::LoopSite| {
+        Json::obj()
+            .field("head", l.head)
+            .field("lookups", l.counters.lookups)
+            .field("hits", l.counters.hits)
+            .field("passes", l.counters.passes)
+            .field("fails", l.counters.fails)
+    };
+    Json::obj()
+        .field("classes", classes)
+        .field("hot_pcs", a.hot_pcs.iter().map(pc_site).collect::<Json>())
+        .field("folded_pcs", attr_counters_json(&a.folded_pcs))
+        .field("loops", a.loops.iter().map(loop_site).collect::<Json>())
+        .field("folded_loops", attr_counters_json(&a.folded_loops))
+        .field("outside", attr_counters_json(&a.outside))
 }
 
 /// Wall-clock throughput of one or more timing-simulation runs: how
@@ -323,6 +395,12 @@ pub struct SimStats {
     /// ([`Simulator::with_watchdog`](crate::Simulator::with_watchdog));
     /// pending faults were then classified as hangs.
     pub watchdog_fired: bool,
+    /// Reuse attribution (opcode class × PC × loop), present only when
+    /// the run was configured with
+    /// [`Simulator::with_attribution`](crate::Simulator::with_attribution).
+    /// `None` keeps disabled runs byte-identical: the field is omitted
+    /// from [`SimStats::to_json`] and never allocated.
+    pub attribution: Option<Box<ReuseAttribution>>,
 }
 
 impl SimStats {
@@ -334,6 +412,14 @@ impl SimStats {
         } else {
             self.committed_insts as f64 / self.cycles as f64
         }
+    }
+
+    /// [`SimStats::ipc`] ×1000 as an exact integer (byte-stable across
+    /// hosts; the aggregation currency of the metrics and campaign
+    /// layers).
+    #[must_use]
+    pub fn milli_ipc(&self) -> u64 {
+        permille(self.committed_insts, self.cycles)
     }
 
     /// Copies (RUU entries) per cycle — the machine's raw throughput.
@@ -389,6 +475,12 @@ impl SimStats {
         }
     }
 
+    /// [`SimStats::bypass_fraction`] as an exact integer per-mille.
+    #[must_use]
+    pub fn bypass_permille(&self) -> u64 {
+        permille(self.fu_bypasses, self.fu_issues + self.fu_bypasses)
+    }
+
     /// Whether the cycle-accounting invariant holds: every simulated
     /// cycle is either productive or attributed to exactly one stall
     /// cause.
@@ -407,13 +499,15 @@ impl SimStats {
                 .field("hits", c.hits)
                 .field("writebacks", c.writebacks)
         };
-        Json::obj()
+        let j = Json::obj()
             .field("cycles", self.cycles)
             .field("committed_insts", self.committed_insts)
             .field("committed_copies", self.committed_copies)
             .field("ipc", self.ipc())
+            .field("milli_ipc", self.milli_ipc())
             .field("fu_issues", self.fu_issues)
             .field("fu_bypasses", self.fu_bypasses)
+            .field("bypass_permille", self.bypass_permille())
             .field("int_alu_ops", self.int_alu_ops)
             .field("int_alu_busy_cycles", self.int_alu_busy_cycles)
             .field("active_commit_cycles", self.active_commit_cycles)
@@ -456,6 +550,8 @@ impl SimStats {
                     .field("invalidations", self.irb.buffer.invalidations)
                     .field("reuse_passed", self.irb.reuse_passed)
                     .field("reuse_failed", self.irb.reuse_failed)
+                    .field("reuse_pass_permille", self.irb.reuse_pass_permille())
+                    .field("hit_permille", self.irb.hit_permille())
                     .field("lookups_port_starved", self.irb.lookups_port_starved)
                     .field("inserts_port_starved", self.irb.inserts_port_starved),
             )
@@ -501,7 +597,13 @@ impl SimStats {
                         self.fault_lifecycle.refetch_penalty_sum,
                     ),
             )
-            .field("watchdog_fired", self.watchdog_fired)
+            .field("watchdog_fired", self.watchdog_fired);
+        // Omitted entirely when attribution is off, so disabled runs
+        // stay byte-identical to pre-attribution output.
+        match &self.attribution {
+            Some(a) => j.field("attribution", attribution_to_json(a)),
+            None => j,
+        }
     }
 }
 
@@ -544,6 +646,41 @@ mod tests {
     #[test]
     fn reuse_pass_rate_zero_when_unused() {
         assert_eq!(IrbSummary::default().reuse_pass_rate(), 0.0);
+    }
+
+    #[test]
+    fn permille_fields_match_float_ratios() {
+        let s = SimStats {
+            cycles: 3,
+            committed_insts: 2,
+            fu_issues: 1,
+            fu_bypasses: 3,
+            ..SimStats::default()
+        };
+        assert_eq!(s.milli_ipc(), 666);
+        assert_eq!(s.bypass_permille(), 750);
+        assert_eq!(SimStats::default().milli_ipc(), 0);
+        let irb = IrbSummary {
+            reuse_passed: 1,
+            reuse_failed: 2,
+            ..IrbSummary::default()
+        };
+        assert_eq!(irb.reuse_pass_permille(), 333);
+        assert_eq!(IrbSummary::default().hit_permille(), 0);
+    }
+
+    #[test]
+    fn attribution_omitted_from_json_when_disabled() {
+        let s = SimStats::default();
+        assert!(!s.to_json().to_string().contains("attribution"));
+        let on = SimStats {
+            attribution: Some(Box::default()),
+            ..SimStats::default()
+        };
+        let txt = on.to_json().to_string();
+        assert!(txt.contains("\"attribution\""));
+        assert!(txt.contains("\"hot_pcs\""));
+        assert!(txt.contains("\"outside\""));
     }
 
     #[test]

@@ -1,0 +1,349 @@
+//! Reuse-attribution accounting: opcode class × PC × loop structure.
+//!
+//! The aggregate hit/miss counters in [`crate::IrbStats`] say *how much*
+//! reuse the buffer recovers, but not *where* it comes from. Following
+//! the decomposition of Coppieters et al. ("Decanting the Contribution
+//! of Instruction Types and Loop Structures in the Reuse of Traces"),
+//! this module attributes every IRB event along three axes:
+//!
+//! * **opcode class** — a fixed five-way taxonomy (`alu`, `mul`, `div`,
+//!   `mem`, `branch`) indexed by `usize` so this crate stays independent
+//!   of any particular ISA's opcode enum;
+//! * **static PC** — a per-site tally, reduced to a fixed-size top-K
+//!   table with deterministic tie-breaking at finalization;
+//! * **loop structure** — events are charged to the innermost loop the
+//!   fetch stream is currently inside, identified by the
+//!   backward-branch-target heuristic (a taken control transfer to a
+//!   lower address names a loop by its head PC).
+//!
+//! The design invariant is **exact conservation**: the per-class
+//! counters, the top-K + folded PC counters, and the loop + outside
+//! counters each sum to precisely the same totals, which in turn equal
+//! the `IrbStats`/reuse-test aggregates maintained by the timing model.
+//! There is no sampling anywhere — "folded" buckets absorb whatever the
+//! fixed-size tables cannot name.
+//!
+//! The collector is allocation-heavy (two `BTreeMap`s) and therefore
+//! lives behind an `Option<Box<..>>` in the timing model: when
+//! attribution is disabled nothing here is ever constructed, keeping the
+//! disabled path allocation-free and observationally pure.
+
+use std::collections::BTreeMap;
+
+/// Number of opcode classes in the attribution taxonomy.
+pub const REUSE_CLASSES: usize = 5;
+
+/// Wire names of the opcode classes, indexed by class id.
+pub const REUSE_CLASS_NAMES: [&str; REUSE_CLASSES] = ["alu", "mul", "div", "mem", "branch"];
+
+/// One attribution tally: the IRB event counts charged to a class, a
+/// static PC, or a loop.
+///
+/// `lookups` counts granted buffer probes, `hits` the probes that found
+/// a matching tag (PC or victim), and `passes`/`fails` the outcomes of
+/// the issue-window reuse test. Note `passes + fails` need not equal
+/// `hits`: a hit whose instruction squashes before issue never reaches
+/// the reuse test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AttrCounters {
+    /// Granted IRB lookups.
+    pub lookups: u64,
+    /// Lookups that found a matching entry (PC or victim hit).
+    pub hits: u64,
+    /// Reuse tests whose operands matched (duplicate skipped the FU).
+    pub passes: u64,
+    /// Reuse tests whose operands differed.
+    pub fails: u64,
+}
+
+impl AttrCounters {
+    /// Accumulate `other` into `self`.
+    pub fn add(&mut self, other: &AttrCounters) {
+        self.lookups += other.lookups;
+        self.hits += other.hits;
+        self.passes += other.passes;
+        self.fails += other.fails;
+    }
+
+    /// True when every counter is zero.
+    pub fn is_zero(&self) -> bool {
+        self.lookups == 0 && self.hits == 0 && self.passes == 0 && self.fails == 0
+    }
+}
+
+/// One entry of the top-K hot-PC table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PcSite {
+    /// The static instruction address.
+    pub pc: u64,
+    /// Opcode class id of the instruction at `pc` (index into
+    /// [`REUSE_CLASS_NAMES`]).
+    pub class: u8,
+    /// Events charged to this PC.
+    pub counters: AttrCounters,
+}
+
+/// One loop's attribution, named by its head PC (the target of the
+/// backward branch that closes it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LoopSite {
+    /// Loop head PC (backward-branch target).
+    pub head: u64,
+    /// Events charged while this loop was the current region.
+    pub counters: AttrCounters,
+}
+
+/// Finalized reuse attribution, as published in `SimStats`.
+///
+/// Three independent decompositions of the same event stream, each
+/// summing exactly to the aggregate IRB counters (see
+/// [`ReuseAttribution::total`]):
+///
+/// 1. `classes[c]` over all class ids `c`;
+/// 2. `hot_pcs[..]` plus `folded_pcs`;
+/// 3. `loops[..]` plus `folded_loops` plus `outside`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ReuseAttribution {
+    /// Per-opcode-class tallies, indexed by class id.
+    pub classes: [AttrCounters; REUSE_CLASSES],
+    /// The K hottest static PCs (most hits first; ties broken by more
+    /// lookups, then lower PC).
+    pub hot_pcs: Vec<PcSite>,
+    /// Events at PCs beyond the top K, folded into one bucket.
+    pub folded_pcs: AttrCounters,
+    /// The K hottest loops, same ordering discipline as `hot_pcs`.
+    pub loops: Vec<LoopSite>,
+    /// Events inside loops beyond the top K.
+    pub folded_loops: AttrCounters,
+    /// Events observed before any backedge was seen (straight-line
+    /// prologue code outside every loop).
+    pub outside: AttrCounters,
+}
+
+impl ReuseAttribution {
+    /// The grand total, computed from the per-class decomposition.
+    pub fn total(&self) -> AttrCounters {
+        let mut t = AttrCounters::default();
+        for c in &self.classes {
+            t.add(c);
+        }
+        t
+    }
+
+    /// Sum of the PC decomposition (`hot_pcs` + `folded_pcs`); equals
+    /// [`ReuseAttribution::total`] by construction.
+    pub fn pc_total(&self) -> AttrCounters {
+        let mut t = self.folded_pcs;
+        for s in &self.hot_pcs {
+            t.add(&s.counters);
+        }
+        t
+    }
+
+    /// Sum of the loop decomposition (`loops` + `folded_loops` +
+    /// `outside`); equals [`ReuseAttribution::total`] by construction.
+    pub fn loop_total(&self) -> AttrCounters {
+        let mut t = self.outside;
+        t.add(&self.folded_loops);
+        for l in &self.loops {
+            t.add(&l.counters);
+        }
+        t
+    }
+}
+
+/// Live attribution collector, owned by the timing model's IRB unit
+/// while attribution is enabled.
+///
+/// Events arrive pre-classified (the caller maps its ISA's opcode enum
+/// to a class id); the collector charges each event to its class, its
+/// PC, and the current loop region in lockstep so the three
+/// decompositions can never drift apart.
+#[derive(Debug, Clone, Default)]
+pub struct AttributionCollector {
+    classes: [AttrCounters; REUSE_CLASSES],
+    by_pc: BTreeMap<u64, (u8, AttrCounters)>,
+    by_loop: BTreeMap<u64, AttrCounters>,
+    outside: AttrCounters,
+    cur_loop: Option<u64>,
+}
+
+impl AttributionCollector {
+    /// A fresh collector with no events and no current loop.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Note a taken backward control transfer to `head`: the fetch
+    /// stream is now (re-)entering the loop with that head PC.
+    pub fn enter_loop(&mut self, head: u64) {
+        self.cur_loop = Some(head);
+    }
+
+    fn charge(&mut self, class: usize, pc: u64, f: impl Fn(&mut AttrCounters)) {
+        debug_assert!(class < REUSE_CLASSES);
+        f(&mut self.classes[class]);
+        let site = self
+            .by_pc
+            .entry(pc)
+            .or_insert((class as u8, AttrCounters::default()));
+        f(&mut site.1);
+        match self.cur_loop {
+            Some(head) => f(self.by_loop.entry(head).or_default()),
+            None => f(&mut self.outside),
+        }
+    }
+
+    /// Charge one granted IRB lookup.
+    pub fn record_lookup(&mut self, class: usize, pc: u64) {
+        self.charge(class, pc, |c| c.lookups += 1);
+    }
+
+    /// Charge one lookup hit (PC or victim).
+    pub fn record_hit(&mut self, class: usize, pc: u64) {
+        self.charge(class, pc, |c| c.hits += 1);
+    }
+
+    /// Charge one reuse-test outcome.
+    pub fn record_test(&mut self, class: usize, pc: u64, passed: bool) {
+        self.charge(class, pc, move |c| {
+            if passed {
+                c.passes += 1;
+            } else {
+                c.fails += 1;
+            }
+        });
+    }
+
+    /// The live per-class tallies, for windowed metrics snapshots.
+    pub fn class_counters(&self) -> &[AttrCounters; REUSE_CLASSES] {
+        &self.classes
+    }
+
+    /// Finalize into a [`ReuseAttribution`] with at most `top_k` named
+    /// PCs and `top_k` named loops.
+    ///
+    /// Selection and ordering are deterministic: sites sort by hits
+    /// (descending), then lookups (descending), then address
+    /// (ascending), so equal-count ties always resolve the same way
+    /// regardless of map iteration or thread count.
+    pub fn finish(&self, top_k: usize) -> ReuseAttribution {
+        let mut pcs: Vec<PcSite> = self
+            .by_pc
+            .iter()
+            .map(|(&pc, &(class, counters))| PcSite {
+                pc,
+                class,
+                counters,
+            })
+            .collect();
+        pcs.sort_by(|a, b| {
+            b.counters
+                .hits
+                .cmp(&a.counters.hits)
+                .then(b.counters.lookups.cmp(&a.counters.lookups))
+                .then(a.pc.cmp(&b.pc))
+        });
+        let mut folded_pcs = AttrCounters::default();
+        for s in pcs.iter().skip(top_k) {
+            folded_pcs.add(&s.counters);
+        }
+        pcs.truncate(top_k);
+
+        let mut loops: Vec<LoopSite> = self
+            .by_loop
+            .iter()
+            .map(|(&head, &counters)| LoopSite { head, counters })
+            .collect();
+        loops.sort_by(|a, b| {
+            b.counters
+                .hits
+                .cmp(&a.counters.hits)
+                .then(b.counters.lookups.cmp(&a.counters.lookups))
+                .then(a.head.cmp(&b.head))
+        });
+        let mut folded_loops = AttrCounters::default();
+        for l in loops.iter().skip(top_k) {
+            folded_loops.add(&l.counters);
+        }
+        loops.truncate(top_k);
+
+        ReuseAttribution {
+            classes: self.classes,
+            hot_pcs: pcs,
+            folded_pcs,
+            loops,
+            folded_loops,
+            outside: self.outside,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_decompositions_conserve() {
+        let mut c = AttributionCollector::new();
+        // Prologue, outside any loop.
+        c.record_lookup(0, 0x100);
+        c.record_hit(0, 0x100);
+        c.record_test(0, 0x100, true);
+        // Enter loop at 0x200, charge events across classes.
+        c.enter_loop(0x200);
+        for i in 0..10u64 {
+            let pc = 0x200 + 8 * (i % 3);
+            let class = (i % 3) as usize;
+            c.record_lookup(class, pc);
+            if i % 2 == 0 {
+                c.record_hit(class, pc);
+                c.record_test(class, pc, i % 4 == 0);
+            }
+        }
+        // Inner loop at 0x180 (lower head).
+        c.enter_loop(0x180);
+        c.record_lookup(3, 0x188);
+        c.record_hit(3, 0x188);
+
+        let a = c.finish(2);
+        let t = a.total();
+        assert_eq!(t, a.pc_total());
+        assert_eq!(t, a.loop_total());
+        assert_eq!(t.lookups, 12);
+        assert_eq!(t.hits, 7);
+        assert_eq!(t.passes + t.fails, 6);
+        // Top-K is capped.
+        assert!(a.hot_pcs.len() <= 2 && a.loops.len() <= 2);
+        assert!(!a.pc_total().is_zero());
+    }
+
+    #[test]
+    fn top_k_ordering_is_deterministic() {
+        let mut c = AttributionCollector::new();
+        // Three PCs with equal hits: tie-break must pick lower PCs first.
+        for pc in [0x300u64, 0x100, 0x200] {
+            c.record_lookup(1, pc);
+            c.record_hit(1, pc);
+        }
+        let a = c.finish(2);
+        assert_eq!(a.hot_pcs.len(), 2);
+        assert_eq!(a.hot_pcs[0].pc, 0x100);
+        assert_eq!(a.hot_pcs[1].pc, 0x200);
+        assert_eq!(a.folded_pcs.hits, 1);
+        assert_eq!(a.total(), a.pc_total());
+    }
+
+    #[test]
+    fn outside_bucket_collects_preloop_events() {
+        let mut c = AttributionCollector::new();
+        c.record_lookup(4, 0x40);
+        c.enter_loop(0x10);
+        c.record_lookup(4, 0x40);
+        let a = c.finish(8);
+        assert_eq!(a.outside.lookups, 1);
+        assert_eq!(a.loops.len(), 1);
+        assert_eq!(a.loops[0].head, 0x10);
+        assert_eq!(a.loops[0].counters.lookups, 1);
+    }
+}

@@ -24,6 +24,10 @@
 //! * [`IrbConfig`] — declarative configuration with
 //!   [`IrbConfig::paper_baseline`] matching §3.2 (1024-entry
 //!   direct-mapped, 3-stage pipelined lookup).
+//! * [`attribution`] — reuse-attribution accounting (opcode class ×
+//!   PC × loop structure) with exact conservation against the aggregate
+//!   counters, so the hit rate can be decomposed into *where* the reuse
+//!   comes from.
 //! * [`ReusePolicy`] — value-based reuse (the paper's evaluated scheme)
 //!   or name-based reuse (§3.3's sketch for non-data-capture
 //!   schedulers), where entries are invalidated when a source register
@@ -45,10 +49,15 @@
 //! assert!(irb.lookup(0x1008).is_none());
 //! ```
 
+pub mod attribution;
 mod buffer;
 mod config;
 mod ports;
 
+pub use attribution::{
+    AttrCounters, AttributionCollector, LoopSite, PcSite, ReuseAttribution, REUSE_CLASSES,
+    REUSE_CLASS_NAMES,
+};
 pub use buffer::{IrbEntry, IrbStats, ReuseBuffer};
 pub use config::{IrbConfig, PortConfig, ReusePolicy};
 pub use ports::PortArbiter;

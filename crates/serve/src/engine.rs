@@ -18,12 +18,13 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use redsim_campaign::supervisor::{execute_shard, DeadlineMonitor, RetryPolicy};
-use redsim_core::{Histogram, MetricsRegistry, SimStats};
+use redsim_core::{attribution_to_json, Histogram, MetricsRegistry, SimStats};
 use redsim_util::io::{atomic_write, FsyncPolicy, Io};
 use redsim_util::Json;
 
@@ -56,6 +57,67 @@ impl Default for EngineOptions {
             retry: RetryPolicy::default(),
             host_deadline: None,
             trace_budget: DEFAULT_TRACE_BUDGET,
+        }
+    }
+}
+
+/// A counted client-request category: the native protocol ops plus
+/// raw HTTP GETs. Every request the daemon answers increments exactly
+/// one of these, so the `/metrics` counters partition the request
+/// stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestKind {
+    /// Native `ping` op.
+    Ping,
+    /// Native `submit` op.
+    Submit,
+    /// Native `wait` op.
+    Wait,
+    /// Native `status` op.
+    Status,
+    /// Native `metrics` op.
+    Metrics,
+    /// Native `shutdown` op.
+    Shutdown,
+    /// Raw HTTP GET (the observability API, including `/metrics`).
+    Http,
+}
+
+impl RequestKind {
+    /// All kinds, in exposition order.
+    pub const ALL: [RequestKind; 7] = [
+        RequestKind::Ping,
+        RequestKind::Submit,
+        RequestKind::Wait,
+        RequestKind::Status,
+        RequestKind::Metrics,
+        RequestKind::Shutdown,
+        RequestKind::Http,
+    ];
+
+    /// The kind's wire spelling (used in metric names).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            RequestKind::Ping => "ping",
+            RequestKind::Submit => "submit",
+            RequestKind::Wait => "wait",
+            RequestKind::Status => "status",
+            RequestKind::Metrics => "metrics",
+            RequestKind::Shutdown => "shutdown",
+            RequestKind::Http => "http",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            RequestKind::Ping => 0,
+            RequestKind::Submit => 1,
+            RequestKind::Wait => 2,
+            RequestKind::Status => 3,
+            RequestKind::Metrics => 4,
+            RequestKind::Shutdown => 5,
+            RequestKind::Http => 6,
         }
     }
 }
@@ -105,6 +167,8 @@ struct Shared {
     work_cv: Condvar,
     done_cv: Condvar,
     metrics: Mutex<EngineMetrics>,
+    started: Instant,
+    requests: [AtomicU64; 7],
 }
 
 /// The durable job engine. Cheap to share behind an `Arc`; all
@@ -194,6 +258,8 @@ impl Engine {
                 failed,
                 latency_ms: Histogram::new(),
             }),
+            started: Instant::now(),
+            requests: Default::default(),
             opts,
         });
         let workers = (0..shared.opts.workers.max(1))
@@ -409,6 +475,60 @@ impl Engine {
         Ok(())
     }
 
+    /// Counts one answered client request of the given kind. Called
+    /// by the transport layer; a relaxed atomic so the hot native
+    /// dispatch path takes no lock.
+    pub fn count_request(&self, kind: RequestKind) {
+        self.shared.requests[kind.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One line per journaled job, in id order: id, lifecycle state
+    /// (`queued`/`running`/`done`/`failed`) and the spec fingerprint.
+    /// This is the `/jobs` listing — derived purely from queue state,
+    /// so it is deterministic for a drained engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue mutex was poisoned by a panicking thread.
+    #[must_use]
+    pub fn jobs_json(&self) -> Json {
+        let q = self.shared.q.lock().expect("engine queue lock");
+        q.specs
+            .iter()
+            .map(|(&id, spec)| {
+                let state = match q.results.get(&id) {
+                    Some(res) if result_is_ok(res) => "done",
+                    Some(_) => "failed",
+                    None if q.running.contains(&id) => "running",
+                    None => "queued",
+                };
+                Json::obj()
+                    .field("id", id)
+                    .field("state", state)
+                    .field("fp", spec.fingerprint_hex())
+                    .field("workload", spec.workload.name())
+                    .field("mode", crate::spec::mode_name(spec.mode))
+            })
+            .collect()
+    }
+
+    /// Whether job `id` has been acknowledged (journaled) by this
+    /// engine — distinguishes "not finished yet" from "never existed"
+    /// for the HTTP results API.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue mutex was poisoned by a panicking thread.
+    #[must_use]
+    pub fn knows(&self, id: u64) -> bool {
+        self.shared
+            .q
+            .lock()
+            .expect("engine queue lock")
+            .specs
+            .contains_key(&id)
+    }
+
     /// Trace-store counters (for the cache-effectiveness tests and
     /// the metrics endpoint).
     #[must_use]
@@ -484,6 +604,27 @@ impl Engine {
             "Wall-clock milliseconds per completed job (trace + simulation + retries)",
             m.latency_ms.clone(),
         );
+        drop(m);
+        reg.gauge(
+            "redsim_serve_uptime_seconds",
+            "Seconds since this engine was opened",
+            self.shared.started.elapsed().as_secs_f64(),
+        );
+        for kind in RequestKind::ALL {
+            reg.counter(
+                match kind {
+                    RequestKind::Ping => "serve_requests_ping_total",
+                    RequestKind::Submit => "serve_requests_submit_total",
+                    RequestKind::Wait => "serve_requests_wait_total",
+                    RequestKind::Status => "serve_requests_status_total",
+                    RequestKind::Metrics => "serve_requests_metrics_total",
+                    RequestKind::Shutdown => "serve_requests_shutdown_total",
+                    RequestKind::Http => "serve_requests_http_total",
+                },
+                "Client requests answered, by request kind",
+                self.shared.requests[kind.index()].load(Ordering::Relaxed),
+            );
+        }
         reg
     }
 
@@ -602,16 +743,23 @@ fn run_spec(shared: &Shared, spec: &JobSpec) -> (String, bool) {
     }
 }
 
+/// The success payload. `"ok":true` must stay the first field — it is
+/// the prefix [`result_is_ok`] matches on. The `"attribution"` section
+/// appears only when the spec asked for it, so pre-attribution stored
+/// results stay byte-identical.
 fn ok_payload(fp: &str, stats: &SimStats) -> String {
-    let milli_ipc = (stats.committed_insts * 1000)
-        .checked_div(stats.cycles)
-        .unwrap_or(0);
-    Json::obj()
+    let j = Json::obj()
         .field("ok", true)
         .field("fp", fp)
         .field("cycles", stats.cycles)
         .field("insts", stats.committed_insts)
-        .field("milli_ipc", milli_ipc)
-        .field("watchdog", stats.watchdog_fired)
-        .to_string()
+        .field("milli_ipc", stats.milli_ipc())
+        .field("watchdog", stats.watchdog_fired);
+    match &stats.attribution {
+        Some(a) => j
+            .field("reuse_pass_permille", stats.irb.reuse_pass_permille())
+            .field("attribution", attribution_to_json(a))
+            .to_string(),
+        None => j.to_string(),
+    }
 }

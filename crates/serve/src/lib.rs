@@ -25,8 +25,10 @@
 //!   memoization, and the metrics registry behind `/metrics`.
 //! * [`net`] — the wire protocol: a blocking accept loop over
 //!   `std::net` (TCP, or a unix socket on unix) speaking one JSON
-//!   object per line, plus a minimal `GET /metrics` HTTP response for
-//!   Prometheus scrapers.
+//!   object per line, plus a minimal HTTP/1.1 GET observability API:
+//!   `/metrics` for Prometheus scrapers and `/jobs`, `/jobs/<id>`,
+//!   `/jobs/<id>/attribution` serving stored deterministic JSON
+//!   results.
 //!
 //! Everything a job produces is a deterministic function of its spec,
 //! so the journal a drained server compacts to is byte-identical at

@@ -13,6 +13,7 @@
 //!   --full                 default workload sizing (quick otherwise)
 //!   --seed <n> --watchdog <n>
 //!   --fault-fu <r> --fault-bus <r> --fault-irb <r> --fault-seed <n>
+//!   --attribution          carry the reuse-attribution breakdown
 //!   --wait                 block for and print the result
 //!
 //! redsim-serve status|metrics|shutdown --connect <ep>
@@ -39,7 +40,7 @@ use redsim_workloads::Workload;
 
 const USAGE: &str = "usage: redsim-serve <serve|submit|status|metrics|shutdown> [options]\n\
      serve    --state-dir <dir> [--listen <addr> | --unix <path>] [--workers n] [--fsync p] [--deadline-ms n]\n\
-     submit   --connect <ep> --workload <w> [--mode m] [--full] [--seed n] [--watchdog n] [--wait]\n\
+     submit   --connect <ep> --workload <w> [--mode m] [--full] [--seed n] [--watchdog n] [--attribution] [--wait]\n\
      status | metrics | shutdown   --connect <ep>\n\
      <ep> is `tcp addr`, `unix path`, `addr`, or use --state-dir to read the endpoint file";
 
@@ -201,6 +202,7 @@ fn cmd_submit(args: &Args) {
                 .unwrap_or_else(|e| die(&e)),
         });
     }
+    spec.attribution = args.has("--attribution");
 
     let mut client = connect(args);
     let spec_json = Json::parse(&spec.canonical()).expect("canonical spec is JSON");

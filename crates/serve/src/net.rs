@@ -14,10 +14,14 @@
 //! `{"ok":false,"error":"…"}` and keep the connection open; a
 //! malformed line closes it.
 //!
-//! A connection whose first bytes spell `GET ` is treated as HTTP:
-//! `GET /metrics` answers with the Prometheus text exposition from
-//! the engine's registry, anything else with 404 — enough for a
-//! scraper, with no HTTP stack in the tree.
+//! A connection whose first line is an HTTP request line is treated
+//! as HTTP/1.1 with no HTTP stack in the tree: `GET /metrics` answers
+//! with the Prometheus text exposition, `GET /jobs`,
+//! `GET /jobs/<id>` and `GET /jobs/<id>/attribution` serve the stored
+//! deterministic JSON results, non-GET methods get 405 and unknown
+//! paths 404. Request lines are capped at [`MAX_REQUEST_LINE`] bytes,
+//! so an oversized request cannot make the server buffer unbounded
+//! input.
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -29,12 +33,21 @@ use std::time::Duration;
 
 use redsim_util::Json;
 
-use crate::engine::Engine;
+use crate::engine::{Engine, RequestKind};
 use crate::spec::JobSpec;
 use crate::ServeError;
 
 /// How often the accept loop polls the engine's stop flag.
 const ACCEPT_POLL: Duration = Duration::from_millis(25);
+
+/// Hard cap on one request line (native op or HTTP request/header
+/// line). Longer lines are rejected and the connection closed before
+/// the buffer can grow past this.
+pub const MAX_REQUEST_LINE: usize = 64 * 1024;
+
+/// How many HTTP header lines are drained before responding; anything
+/// beyond is ignored (the connection closes after the response).
+const MAX_HTTP_HEADERS: usize = 64;
 
 /// Serves the native protocol (and `GET /metrics`) on a TCP listener
 /// until the engine is stopped (e.g. by a `shutdown` op).
@@ -119,19 +132,28 @@ pub fn serve_unix(engine: &Arc<Engine>, listener: &UnixListener) -> io::Result<(
     Ok(())
 }
 
-/// Reads a line, treating a read timeout as "check the stop flag and
-/// keep waiting" so idle keep-alive connections don't pin the server.
-/// A timeout mid-line keeps the partial bytes and resumes.
+/// Reads a line of at most [`MAX_REQUEST_LINE`] bytes, treating a
+/// read timeout as "check the stop flag and keep waiting" so idle
+/// keep-alive connections don't pin the server. A timeout mid-line
+/// keeps the partial bytes and resumes.
+///
+/// An overlong line fails with `InvalidData` *before* buffering past
+/// the cap — a client streaming an unterminated line can never make
+/// the server allocate unbounded memory.
 fn read_line_polling<R: BufRead>(
     engine: &Engine,
     reader: &mut R,
     line: &mut String,
 ) -> io::Result<usize> {
     line.clear();
+    let mut bytes = Vec::new();
     loop {
-        match reader.read_line(line) {
-            Ok(0) => return Ok(0),
-            Ok(_) => return Ok(line.len()),
+        let (used, done) = match reader.fill_buf() {
+            Ok([]) => break, // EOF: hand back any partial line, like read_line.
+            Ok(available) => match available.iter().position(|&b| b == b'\n') {
+                Some(i) => ((i + 1).min(available.len()), true),
+                None => (available.len(), false),
+            },
             Err(e)
                 if matches!(
                     e.kind(),
@@ -141,21 +163,50 @@ fn read_line_polling<R: BufRead>(
                 if engine.stopped() {
                     return Ok(0);
                 }
+                continue;
             }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
             Err(e) => return Err(e),
+        };
+        if bytes.len() + used > MAX_REQUEST_LINE {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "request line exceeds the 64 KiB cap",
+            ));
         }
+        bytes.extend_from_slice(&reader.fill_buf()?[..used]);
+        reader.consume(used);
+        if done {
+            break;
+        }
+    }
+    match String::from_utf8(bytes) {
+        Ok(s) => {
+            line.push_str(&s);
+            Ok(line.len())
+        }
+        Err(_) => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "request line is not UTF-8",
+        )),
     }
 }
 
-/// Drives one connection: HTTP if it opens with `GET `, otherwise the
-/// line protocol until EOF, error, or a `shutdown` op.
+/// Whether a first line spells an HTTP request line (any method);
+/// native-protocol lines are JSON objects, which never do.
+fn looks_like_http(line: &str) -> bool {
+    let line = line.trim_end();
+    line.ends_with("HTTP/1.1") || line.ends_with("HTTP/1.0")
+}
+
+/// Drives one connection: HTTP if it opens with a request line,
+/// otherwise the line protocol until EOF, error, or a `shutdown` op.
 fn handle_conn<R: BufRead>(engine: &Engine, mut reader: R, writer: &mut dyn Write) {
     let mut line = String::new();
     if read_line_polling(engine, &mut reader, &mut line).unwrap_or(0) == 0 {
         return;
     }
-    if line.starts_with("GET ") {
+    if looks_like_http(&line) {
         let _ = respond_http(engine, &line, &mut reader, writer);
         return;
     }
@@ -184,26 +235,91 @@ fn respond_http<R: BufRead>(
     reader: &mut R,
     writer: &mut dyn Write,
 ) -> io::Result<()> {
-    // Drain the request headers up to the blank line.
+    engine.count_request(RequestKind::Http);
+    // Drain the request headers up to the blank line, each bounded by
+    // the request-line cap and at most MAX_HTTP_HEADERS of them.
     let mut line = String::new();
-    loop {
-        line.clear();
-        if reader.read_line(&mut line)? == 0 || line.trim_end().is_empty() {
+    for _ in 0..MAX_HTTP_HEADERS {
+        if read_line_polling(engine, reader, &mut line)? == 0 || line.trim_end().is_empty() {
             break;
         }
     }
-    let path = first.split_whitespace().nth(1).unwrap_or("/");
-    let (status, body) = if path == "/metrics" {
-        ("200 OK", engine.metrics_registry().to_prometheus())
-    } else {
-        ("404 Not Found", "not found; try /metrics\n".to_owned())
-    };
+    let mut parts = first.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("/");
+    let (status, content_type, body) = route(engine, method, path);
     write!(
         writer,
-        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len()
     )?;
     writer.flush()
+}
+
+/// Resolves one HTTP request to (status, content type, body).
+fn route(engine: &Engine, method: &str, path: &str) -> (&'static str, &'static str, String) {
+    if method != "GET" {
+        return (
+            "405 Method Not Allowed",
+            "text/plain",
+            "only GET is supported\n".to_owned(),
+        );
+    }
+    if path == "/metrics" {
+        return (
+            "200 OK",
+            "text/plain; version=0.0.4",
+            engine.metrics_registry().to_prometheus(),
+        );
+    }
+    if path == "/jobs" {
+        return ("200 OK", "application/json", engine.jobs_json().to_string());
+    }
+    if let Some(rest) = path.strip_prefix("/jobs/") {
+        let (id, attribution) = match rest.strip_suffix("/attribution") {
+            Some(id) => (id, true),
+            None => (rest, false),
+        };
+        if let Ok(id) = id.parse::<u64>() {
+            return job_route(engine, id, attribution);
+        }
+    }
+    (
+        "404 Not Found",
+        "text/plain",
+        "not found; try /metrics, /jobs, /jobs/<id>, /jobs/<id>/attribution\n".to_owned(),
+    )
+}
+
+/// `GET /jobs/<id>` serves the stored result payload verbatim;
+/// `/jobs/<id>/attribution` extracts just its `"attribution"` section
+/// (`null` when the job ran without attribution). A known job without
+/// a result yet answers `{"id":…,"done":false}`; an id the engine
+/// never acknowledged is 404.
+fn job_route(engine: &Engine, id: u64, attribution: bool) -> (&'static str, &'static str, String) {
+    match engine.result(id) {
+        Some(res) if attribution => {
+            let attr = Json::parse(&res)
+                .ok()
+                .and_then(|j| j.get("attribution").cloned())
+                .unwrap_or(Json::Null);
+            ("200 OK", "application/json", attr.to_string())
+        }
+        Some(res) => ("200 OK", "application/json", res),
+        None if engine.knows(id) => (
+            "200 OK",
+            "application/json",
+            Json::obj().field("id", id).field("done", false).to_string(),
+        ),
+        None => (
+            "404 Not Found",
+            "application/json",
+            Json::obj()
+                .field("error", "unknown job")
+                .field("id", id)
+                .to_string(),
+        ),
+    }
 }
 
 fn err_response(msg: &str) -> Json {
@@ -222,6 +338,15 @@ fn dispatch(engine: &Engine, line: &str) -> (Json, bool) {
         Err(e) => return (err_response(&format!("bad request: {e}")), false),
     };
     let op = j.get("op").and_then(Json::as_str).unwrap_or("");
+    match op {
+        "ping" => engine.count_request(RequestKind::Ping),
+        "submit" => engine.count_request(RequestKind::Submit),
+        "wait" => engine.count_request(RequestKind::Wait),
+        "status" => engine.count_request(RequestKind::Status),
+        "metrics" => engine.count_request(RequestKind::Metrics),
+        "shutdown" => engine.count_request(RequestKind::Shutdown),
+        _ => {}
+    }
     let response = match op {
         "ping" => Json::obj().field("ok", true).field("pong", true),
         "submit" => match j.get("spec").map(JobSpec::parse) {

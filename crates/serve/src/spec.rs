@@ -59,6 +59,11 @@ pub struct JobSpec {
     pub watchdog: Option<u64>,
     /// Deterministic fault-injection schedule, if any.
     pub faults: Option<FaultConfig>,
+    /// Reuse attribution: when `true` the result payload carries the
+    /// opcode-class × PC × loop breakdown. Rendered in the canonical
+    /// form only when set, so pre-attribution fingerprints are
+    /// unchanged.
+    pub attribution: bool,
 }
 
 impl JobSpec {
@@ -72,6 +77,7 @@ impl JobSpec {
             input_seed: None,
             watchdog: None,
             faults: None,
+            attribution: false,
         }
     }
 
@@ -116,6 +122,9 @@ impl JobSpec {
                     .field("seed", fc.seed),
             );
         }
+        if self.attribution {
+            j = j.field("attribution", true);
+        }
         j.to_string()
     }
 
@@ -146,6 +155,9 @@ impl JobSpec {
         }
         if let Some(fc) = self.faults {
             job = job.with_faults(fc);
+        }
+        if self.attribution {
+            job = job.with_attribution();
         }
         job
     }
@@ -208,6 +220,10 @@ impl JobSpec {
                 })
             }
         };
+        let attribution = match j.get("attribution") {
+            None => false,
+            Some(a) => a.as_bool().ok_or("\"attribution\" must be a bool")?,
+        };
         Ok(JobSpec {
             workload,
             mode,
@@ -215,6 +231,7 @@ impl JobSpec {
             input_seed,
             watchdog,
             faults,
+            attribution,
         })
     }
 }
@@ -237,6 +254,7 @@ mod tests {
                 irb_rate: 1e-5,
                 seed: 11,
             }),
+            attribution: true,
         };
         let text = spec.canonical();
         let parsed = JobSpec::parse(&Json::parse(&text).expect("canonical form is JSON"))
@@ -254,9 +272,25 @@ mod tests {
         c.input_seed = Some(1);
         let mut d = a.clone();
         d.quick = false;
+        let mut e = a.clone();
+        e.attribution = true;
         assert_ne!(a.fingerprint(), b.fingerprint());
         assert_ne!(a.fingerprint(), c.fingerprint());
         assert_ne!(a.fingerprint(), d.fingerprint());
+        assert_ne!(a.fingerprint(), e.fingerprint());
+    }
+
+    #[test]
+    fn attribution_off_keeps_pre_attribution_canonical_shape() {
+        // The canonical form is the fingerprint pre-image: a spec that
+        // never asked for attribution must render exactly as it did
+        // before the field existed, or every stored fingerprint would
+        // silently change.
+        let spec = JobSpec::new(Workload::Gzip, ExecMode::Sie);
+        assert!(!spec.canonical().contains("attribution"));
+        let mut on = spec.clone();
+        on.attribution = true;
+        assert!(on.canonical().contains("\"attribution\":true"));
     }
 
     #[test]

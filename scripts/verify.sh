@@ -327,9 +327,152 @@ serve_smoke() {
     wait "$serve_pid" 2>/dev/null || true
 }
 
+attribution_smoke() {
+    # The reuse-attribution telemetry end-to-end: the fig_reuse_anatomy
+    # sweep (all five modes, both engines, attribution on) must satisfy
+    # the conservation contract — per-class lookup/hit/pass counters sum
+    # exactly to the aggregate IrbSummary totals, and the hot-PC and
+    # loop decompositions cover the same events — byte-identically at
+    # any thread count. Then the serve daemon's HTTP observability API
+    # is scraped: /jobs, /jobs/<id>/attribution, /metrics (uptime and
+    # request-type counters), plus the 404 surface. The sweep JSON is
+    # kept as a file so CI can publish it as an artifact on failure.
+    echo "==> fig_reuse_anatomy conservation + serve attribution API smoke"
+    local bin=target/release/fig_reuse_anatomy
+    local out="$PWD/target/attribution-smoke.json"
+    "$bin" --quick --json --threads 1 >"$out"
+    local many
+    many=$("$bin" --quick --json --threads 4)
+    if [ "$(strip_perf <"$out")" != "$(strip_perf <<<"$many")" ]; then
+        echo "FAIL: fig_reuse_anatomy --threads 4 differs from --threads 1" >&2
+        exit 1
+    fi
+    if command -v python3 >/dev/null 2>&1; then
+        python3 - "$out" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+anatomy = doc["anatomy"]
+assert anatomy, "no anatomy entries"
+KEYS = ("lookups", "hits", "passes", "fails")
+by_cell = {}
+for e in anatomy:
+    tag = (e["workload"], e["mode"], e["engine"])
+    a, irb = e["attribution"], e["irb"]
+    cls = a["classes"]
+    assert set(cls) == {"alu", "mul", "div", "mem", "branch"}, tag
+    tot = {k: sum(c[k] for c in cls.values()) for k in KEYS}
+    assert tot["lookups"] == irb["lookups"], tag
+    assert tot["hits"] == irb["hits"], tag
+    assert tot["passes"] == irb["reuse_passed"], tag
+    assert tot["fails"] == irb["reuse_failed"], tag
+    pc = {k: sum(p[k] for p in a["hot_pcs"]) + a["folded_pcs"][k] for k in KEYS}
+    assert pc == tot, f"{tag}: hot-PC decomposition diverges"
+    lp = {k: sum(l[k] for l in a["loops"]) + a["folded_loops"][k] + a["outside"][k]
+          for k in KEYS}
+    assert lp == tot, f"{tag}: loop decomposition diverges"
+    if e["mode"] not in ("SieIrb", "DieIrb"):
+        assert tot["lookups"] == 0, f"{tag}: an IRB-less mode attributed lookups"
+    by_cell.setdefault(tag[:2], {})[e["engine"]] = json.dumps(a, sort_keys=True)
+for cell, by_engine in by_cell.items():
+    assert by_engine["event"] == by_engine["scan"], f"{cell}: engines diverge"
+print(f"attribution conservation OK: {len(anatomy)} jobs, {len(by_cell)} cells")
+EOF
+    else
+        grep -q '"anatomy":\[' "$out" || {
+            echo "FAIL: $out has no anatomy section" >&2; exit 1; }
+    fi
+
+    # The serve daemon's observability API over real HTTP.
+    local serve=target/release/redsim-serve
+    local dir=target/attribution-serve-smoke
+    local log="$dir/server.log"
+    rm -rf "$dir"
+    mkdir -p "$dir"
+    "$serve" serve --state-dir "$dir" --workers 2 >>"$log" 2>&1 &
+    local serve_pid=$!
+    local i=0
+    until [ -s "$dir/endpoint" ]; do
+        if ! kill -0 "$serve_pid" 2>/dev/null; then
+            echo "FAIL: redsim-serve died during startup" >&2
+            cat "$log" >&2
+            exit 1
+        fi
+        i=$((i + 1))
+        if [ "$i" -ge 200 ]; then
+            echo "FAIL: redsim-serve never announced an endpoint" >&2
+            cat "$log" >&2
+            exit 1
+        fi
+        sleep 0.05
+    done
+    local ack
+    ack=$("$serve" submit --state-dir "$dir" --workload gzip \
+        --mode die-irb --attribution --wait)
+    ack=$(head -1 <<<"$ack")
+    case "$ack" in
+        '{"ok":true,"id":'*) ;;
+        *) echo "FAIL: attribution submission was refused: $ack" >&2
+           cat "$log" >&2; exit 1 ;;
+    esac
+    local jid
+    jid=$(sed -E 's/.*"id":([0-9]+).*/\1/' <<<"$ack")
+    local addr
+    addr=$(sed -n 's/^tcp //p' "$dir/endpoint")
+    if command -v python3 >/dev/null 2>&1; then
+        python3 - "$addr" "$jid" <<'EOF' || { cat target/attribution-serve-smoke/server.log >&2; exit 1; }
+import json, socket, sys
+addr, jid = sys.argv[1].strip(), sys.argv[2]
+host, port = addr.rsplit(":", 1)
+def get(path):
+    s = socket.create_connection((host, int(port)), timeout=30)
+    s.sendall(f"GET {path} HTTP/1.1\r\nHost: x\r\n\r\n".encode())
+    data = b""
+    while True:
+        chunk = s.recv(65536)
+        if not chunk:
+            break
+        data += chunk
+    s.close()
+    head, _, body = data.decode().partition("\r\n\r\n")
+    return head.split("\r\n")[0], body
+status, body = get(f"/jobs/{jid}")
+assert "200" in status, (status, body)
+payload = json.loads(body)
+assert payload["ok"] is True and "attribution" in payload, body
+status, body = get(f"/jobs/{jid}/attribution")
+assert "200" in status, (status, body)
+attr = json.loads(body)
+assert set(attr["classes"]) == {"alu", "mul", "div", "mem", "branch"}, body
+assert attr == payload["attribution"], "attribution route must serve the stored section"
+status, body = get("/jobs")
+assert "200" in status, (status, body)
+listing = json.loads(body)
+assert any(e["id"] == int(jid) and e["state"] == "done" for e in listing), body
+status, body = get("/metrics")
+assert "200" in status, (status, body)
+assert "redsim_serve_uptime_seconds" in body, body
+assert "serve_requests_http_total" in body, body
+assert "serve_requests_submit_total 1" in body, body
+status, body = get("/nope")
+assert "404" in status, (status, body)
+print("serve attribution endpoints OK")
+EOF
+    else
+        echo "==> python3 unavailable; skipping the HTTP endpoint scrape"
+    fi
+    run "$serve" shutdown --state-dir "$dir"
+    wait "$serve_pid" 2>/dev/null || true
+}
+
 if [ "${1:-}" = "serve-smoke" ]; then
     serve_smoke
     echo "OK: serve smoke passed"
+    exit 0
+fi
+
+if [ "${1:-}" = "attribution-smoke" ]; then
+    attribution_smoke
+    echo "OK: attribution smoke passed"
     exit 0
 fi
 
@@ -374,6 +517,7 @@ metrics_smoke
 campaign_smoke
 chaos_smoke
 serve_smoke
+attribution_smoke
 bench_smoke
 
 echo "OK: all checks passed"

@@ -12,7 +12,7 @@
 
 use redsim::core::{
     ExecMode, FaultConfig, Instrumentation, MachineConfig, MetricsCollector, NullTracer,
-    SchedEngine, SimStats, Simulator, WindowCounters, WindowSample,
+    SchedEngine, SimStats, Simulator, WindowCounters, WindowSample, REUSE_CLASSES,
 };
 use redsim::isa::{Inst, IntReg, Opcode, Program, ProgramBuilder};
 use redsim_util::Rng;
@@ -160,6 +160,16 @@ fn run_windowed(
 /// The slice of the final stats a window series can be checked against:
 /// every field of [`WindowCounters`] has an exact cumulative mirror.
 fn counters_of(s: &SimStats) -> WindowCounters {
+    let mut attr_lookups = [0u64; REUSE_CLASSES];
+    let mut attr_hits = [0u64; REUSE_CLASSES];
+    let mut attr_passes = [0u64; REUSE_CLASSES];
+    if let Some(a) = &s.attribution {
+        for (i, c) in a.classes.iter().enumerate() {
+            attr_lookups[i] = c.lookups;
+            attr_hits[i] = c.hits;
+            attr_passes[i] = c.passes;
+        }
+    }
     WindowCounters {
         committed_insts: s.committed_insts,
         committed_copies: s.committed_copies,
@@ -178,6 +188,9 @@ fn counters_of(s: &SimStats) -> WindowCounters {
         irb_reuse_failed: s.irb.reuse_failed,
         irb_lookups_port_starved: s.irb.lookups_port_starved,
         irb_inserts_port_starved: s.irb.inserts_port_starved,
+        attr_lookups,
+        attr_hits,
+        attr_passes,
     }
 }
 
